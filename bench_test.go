@@ -1,0 +1,391 @@
+// Benchmarks regenerating every figure of the paper's evaluation section
+// (Figures 4a–6b; Table 1 is a related-work taxonomy with no data), plus
+// micro-benchmarks of the building blocks and ablation benches for the
+// design choices documented in DESIGN.md.
+//
+// Figure benches run the experiment harness at bench scale (shorter
+// window, one seed) — the full-scale reproduction is
+// `bdps-sim -figure all` — and report the headline series values as
+// custom metrics so regressions in *results*, not just speed, are
+// visible. The paper-vs-measured comparison lives in EXPERIMENTS.md.
+package bdps
+
+import (
+	"testing"
+
+	"bdps/internal/core"
+	"bdps/internal/experiments"
+	"bdps/internal/filter"
+	"bdps/internal/msg"
+	"bdps/internal/routing"
+	"bdps/internal/simnet"
+	"bdps/internal/stats"
+	"bdps/internal/topology"
+	"bdps/internal/vtime"
+	"bdps/internal/workload"
+)
+
+// benchOpts is the bench-scale experiment configuration: same topology
+// and workload laws as the paper, compressed window.
+func benchOpts() experiments.Options {
+	return experiments.Options{
+		Seeds:    []uint64{1},
+		Duration: 4 * vtime.Minute,
+		Rates:    []float64{6, 15},
+		Weights:  []float64{0, 0.5, 1},
+		Fig4Rate: 10,
+	}
+}
+
+// BenchmarkFigure4a regenerates Figure 4(a): SSD earning vs EBPC weight.
+func BenchmarkFigure4a(b *testing.B) {
+	var fig *experiments.Figure
+	for i := 0; i < b.N; i++ {
+		var err error
+		fig, err = experiments.Figure4a(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	mid := len(fig.Points) / 2
+	b.ReportMetric(fig.Value(mid, "EBPC"), "EBPC_earning_k")
+	b.ReportMetric(fig.Value(mid, "EB"), "EB_earning_k")
+	b.ReportMetric(fig.Value(mid, "PC"), "PC_earning_k")
+}
+
+// BenchmarkFigure4b regenerates Figure 4(b): PSD delivery rate vs weight.
+func BenchmarkFigure4b(b *testing.B) {
+	var fig *experiments.Figure
+	for i := 0; i < b.N; i++ {
+		var err error
+		fig, err = experiments.Figure4b(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	mid := len(fig.Points) / 2
+	b.ReportMetric(fig.Value(mid, "EBPC"), "EBPC_delivery_pct")
+	b.ReportMetric(fig.Value(mid, "EB"), "EB_delivery_pct")
+}
+
+// BenchmarkFigure5a regenerates Figure 5(a): SSD earning vs rate.
+func BenchmarkFigure5a(b *testing.B) {
+	var fig *experiments.Figure
+	for i := 0; i < b.N; i++ {
+		var err error
+		fig, _, err = experiments.Figure5(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := len(fig.Points) - 1
+	b.ReportMetric(fig.Value(last, "EB"), "EB_earning_k")
+	b.ReportMetric(fig.Value(last, "FIFO"), "FIFO_earning_k")
+	b.ReportMetric(fig.Value(last, "RL"), "RL_earning_k")
+}
+
+// BenchmarkFigure5b regenerates Figure 5(b): SSD message number vs rate.
+func BenchmarkFigure5b(b *testing.B) {
+	var fig *experiments.Figure
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, fig, err = experiments.Figure5(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := len(fig.Points) - 1
+	b.ReportMetric(fig.Value(last, "EB"), "EB_msgs_k")
+	b.ReportMetric(fig.Value(last, "FIFO"), "FIFO_msgs_k")
+	b.ReportMetric(fig.Value(last, "RL"), "RL_msgs_k")
+}
+
+// BenchmarkFigure6a regenerates Figure 6(a): PSD delivery rate vs rate.
+func BenchmarkFigure6a(b *testing.B) {
+	var fig *experiments.Figure
+	for i := 0; i < b.N; i++ {
+		var err error
+		fig, _, err = experiments.Figure6(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := len(fig.Points) - 1
+	b.ReportMetric(fig.Value(last, "EB"), "EB_delivery_pct")
+	b.ReportMetric(fig.Value(last, "FIFO"), "FIFO_delivery_pct")
+	b.ReportMetric(fig.Value(last, "RL"), "RL_delivery_pct")
+}
+
+// BenchmarkFigure6b regenerates Figure 6(b): PSD message number vs rate.
+func BenchmarkFigure6b(b *testing.B) {
+	var fig *experiments.Figure
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, fig, err = experiments.Figure6(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := len(fig.Points) - 1
+	b.ReportMetric(fig.Value(last, "EB"), "EB_msgs_k")
+	b.ReportMetric(fig.Value(last, "FIFO"), "FIFO_msgs_k")
+}
+
+// ---------------------------------------------------------------------
+// Ablation benches: design choices under the congested PSD point.
+
+func ablationRun(b *testing.B, mutate func(*simnet.Config)) (delivery float64) {
+	b.Helper()
+	cfg := simnet.Config{
+		Seed:     1,
+		Scenario: msg.PSD,
+		Strategy: core.MaxEB{},
+		Workload: workload.Config{RatePerMin: 12, Duration: 4 * vtime.Minute},
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	var res float64
+	for i := 0; i < b.N; i++ {
+		r, err := simnet.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r.DeliveryRate()
+	}
+	return res
+}
+
+// BenchmarkAblationEpsilonOn/Off quantify invalid-message detection §5.4.
+func BenchmarkAblationEpsilonOn(b *testing.B) {
+	d := ablationRun(b, nil)
+	b.ReportMetric(100*d, "delivery_pct")
+}
+
+func BenchmarkAblationEpsilonOff(b *testing.B) {
+	d := ablationRun(b, func(c *simnet.Config) {
+		c.Params = core.Params{PD: 2, Epsilon: 0}
+	})
+	b.ReportMetric(100*d, "delivery_pct")
+}
+
+// BenchmarkAblationMultipath2 runs DCP-style 2-path routing with dedup.
+func BenchmarkAblationMultipath2(b *testing.B) {
+	d := ablationRun(b, func(c *simnet.Config) { c.Multipath = 2 })
+	b.ReportMetric(100*d, "delivery_pct")
+}
+
+// BenchmarkAblationMeasuredRates estimates link parameters from 50
+// samples instead of knowing them (oracle).
+func BenchmarkAblationMeasuredRates(b *testing.B) {
+	d := ablationRun(b, func(c *simnet.Config) { c.MeasureSamples = 50 })
+	b.ReportMetric(100*d, "delivery_pct")
+}
+
+// BenchmarkAblationLinkGamma swaps the normal link model for the
+// shifted-gamma shape of the paper's refs [17,18].
+func BenchmarkAblationLinkGamma(b *testing.B) {
+	d := ablationRun(b, func(c *simnet.Config) { c.LinkModel = simnet.LinkGamma })
+	b.ReportMetric(100*d, "delivery_pct")
+}
+
+// BenchmarkAblationLinkFixed uses deterministic link rates (the
+// fixed-bandwidth assumption the paper argues against).
+func BenchmarkAblationLinkFixed(b *testing.B) {
+	d := ablationRun(b, func(c *simnet.Config) { c.LinkModel = simnet.LinkFixed })
+	b.ReportMetric(100*d, "delivery_pct")
+}
+
+// BenchmarkAblationAcyclicTopology runs the §3.1 alternative topology.
+func BenchmarkAblationAcyclicTopology(b *testing.B) {
+	ov, err := topology.BuildAcyclic(topology.AcyclicConfig{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := ablationRun(b, func(c *simnet.Config) { c.Overlay = ov })
+	b.ReportMetric(100*d, "delivery_pct")
+}
+
+// ---------------------------------------------------------------------
+// Micro-benchmarks: the hot paths.
+
+func BenchmarkFilterMatch(b *testing.B) {
+	f := filter.MustParse("A1 < 6.5 && A2 < 3.2")
+	attrs := msg.NumAttrs(map[string]float64{"A1": 5, "A2": 2})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !f.Match(attrs) {
+			b.Fatal("should match")
+		}
+	}
+}
+
+func BenchmarkFilterParse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := filter.Parse("(A1 < 6.5 && A2 < 3.2) || tag == 'hot'"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNormalCDF(b *testing.B) {
+	n := stats.Normal{Mean: 140, Sigma: 28}
+	for i := 0; i < b.N; i++ {
+		_ = n.CDF(float64(i % 300))
+	}
+}
+
+func BenchmarkNormalQuantile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = stats.StdNormalQuantile(float64(i%999+1) / 1000)
+	}
+}
+
+// benchQueue builds a queue with n entries of mixed urgency.
+func benchQueue(n int) *core.Queue {
+	q := core.NewQueue(70)
+	for i := 0; i < n; i++ {
+		e := &core.Entry{
+			SizeKB:    50,
+			Published: 0,
+			Targets: []core.Target{{
+				Deadline: vtime.Millis(10000 + i*500),
+				Price:    float64(1 + i%3),
+				Hops:     1 + i%3,
+				Rate:     stats.Normal{Mean: 70 * float64(1+i%3), Sigma: 20},
+			}},
+		}
+		q.Enqueue(e, 0)
+	}
+	return q
+}
+
+func benchPick(b *testing.B, s core.Strategy) {
+	q := benchQueue(128)
+	ctx := core.Context{Now: 5000, PD: 2, FT: 3500}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s.Pick(q.Entries(), ctx) < 0 {
+			b.Fatal("empty pick")
+		}
+	}
+}
+
+func BenchmarkPickFIFO(b *testing.B) { benchPick(b, core.FIFO{}) }
+func BenchmarkPickRL(b *testing.B)   { benchPick(b, core.RL{}) }
+func BenchmarkPickEB(b *testing.B)   { benchPick(b, core.MaxEB{}) }
+func BenchmarkPickPC(b *testing.B)   { benchPick(b, core.MaxPC{}) }
+func BenchmarkPickEBPC(b *testing.B) { benchPick(b, core.MaxEBPC{R: 0.5}) }
+
+func BenchmarkQueuePrune(b *testing.B) {
+	p := core.DefaultParams()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		q := benchQueue(128)
+		b.StartTimer()
+		q.Prune(60000, p) // everything expired: worst case
+	}
+}
+
+// BenchmarkTableMatch compares linear-scan matching with the
+// counting-index fast path on the paper's 160-subscription population.
+func benchTableMatch(b *testing.B, indexed bool) {
+	ov, err := topology.BuildLayered(topology.LayeredConfig{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	subs := (workload.Config{Scenario: msg.SSD, Seed: 1}).Subscriptions(ov.Edges)
+	tables, err := routing.Build(ov, subs, routing.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tb := tables[ov.Ingress[0]]
+	if indexed {
+		tb.EnableIndex()
+	}
+	m := &msg.Message{
+		Ingress: ov.Ingress[0],
+		Attrs:   msg.NumAttrs(map[string]float64{"A1": 4, "A2": 6}),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(tb.Match(m)) == 0 {
+			b.Fatal("no matches")
+		}
+	}
+}
+
+func BenchmarkTableMatchLinear(b *testing.B)  { benchTableMatch(b, false) }
+func BenchmarkTableMatchIndexed(b *testing.B) { benchTableMatch(b, true) }
+
+func BenchmarkRoutingBuild(b *testing.B) {
+	ov, err := topology.BuildLayered(topology.LayeredConfig{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	subs := (workload.Config{Scenario: msg.SSD, Seed: 1}).Subscriptions(ov.Edges)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := routing.Build(ov, subs, routing.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTopologyBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := topology.BuildLayered(topology.LayeredConfig{Seed: uint64(i + 1)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDijkstra(b *testing.B) {
+	ov, err := topology.BuildLayered(topology.LayeredConfig{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ov.Graph.ShortestPaths(msg.NodeID(i % 4))
+	}
+}
+
+func BenchmarkCodecEncodeDecode(b *testing.B) {
+	m := &msg.Message{
+		ID: 42, Publisher: 1, Ingress: 0, Published: 1000, Allowed: 20000,
+		SizeKB: 50,
+		Attrs:  msg.NumAttrs(map[string]float64{"A1": 3.5, "A2": 7.25}),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		body, err := msg.AppendMessage(nil, m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := msg.DecodeMessage(body); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimSecond measures simulator throughput: one simulated second
+// of the paper's full system per reported unit.
+func BenchmarkSimSecond(b *testing.B) {
+	duration := vtime.Millis(b.N) * 20 // 20 simulated ms per iteration
+	if duration < vtime.Minute {
+		duration = vtime.Minute
+	}
+	r, err := simnet.Run(simnet.Config{
+		Seed:     1,
+		Scenario: msg.PSD,
+		Strategy: core.MaxEB{},
+		Workload: workload.Config{RatePerMin: 10, Duration: duration},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(r.Receptions)/float64(b.N), "receptions/op")
+}

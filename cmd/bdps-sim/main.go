@@ -1,0 +1,288 @@
+// Command bdps-sim reproduces the paper's evaluation figures on the
+// discrete-event simulator, and runs individual configurations for
+// exploration.
+//
+// Reproduce a figure (text table to stdout, optional CSV files):
+//
+//	bdps-sim -figure 6 -duration 2h -seeds 1,2,3
+//	bdps-sim -figure all -csv results/
+//
+// Run a single configuration verbosely:
+//
+//	bdps-sim -single -scenario ssd -strategy ebpc:0.5 -rate 12 -seed 7
+//
+// Ablations pass through: -multipath 2, -measure 100, -linkmodel gamma,
+// -epsilon 0 (disable invalid-message detection).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"bdps/internal/core"
+	"bdps/internal/experiments"
+	"bdps/internal/msg"
+	"bdps/internal/simnet"
+	"bdps/internal/topology"
+	"bdps/internal/trace"
+	"bdps/internal/vtime"
+	"bdps/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bdps-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("bdps-sim", flag.ContinueOnError)
+	var (
+		figure   = fs.String("figure", "", "figure to reproduce: 4a, 4b, 5, 5a, 5b, 6, 6a, 6b, all")
+		ablation = fs.String("ablation", "", "ablation to run: epsilon, measure, multipath, linkmodel, topology, fairness, all")
+		claims   = fs.Bool("claims", false, "re-run the evaluation and check the paper's claims")
+		single   = fs.Bool("single", false, "run a single configuration instead of a figure")
+		topoDump = fs.Bool("dump-topology", false, "print the layered overlay as JSON and exit")
+		traceOut = fs.String("trace", "", "write a JSONL event trace (single mode)")
+
+		scenario = fs.String("scenario", "psd", "psd, ssd or both (single mode)")
+		strategy = fs.String("strategy", "eb", "fifo, rl, eb, pc, ebpc[:r] (single mode)")
+		rate     = fs.Float64("rate", 10, "publishing rate, msg/min per publisher (single mode)")
+		seed     = fs.Uint64("seed", 1, "seed (single / dump-topology mode)")
+
+		duration = fs.Duration("duration", 2*time.Hour, "publishing window")
+		seeds    = fs.String("seeds", "1,2,3", "comma-separated seeds for figures")
+		rates    = fs.String("rates", "", "comma-separated rate sweep (figures 5/6)")
+		weights  = fs.String("weights", "", "comma-separated r sweep (figure 4)")
+		fig4rate = fs.Float64("fig4-rate", 10, "publishing rate for figure 4")
+
+		pd        = fs.Float64("pd", 2, "processing delay per broker, ms")
+		epsilon   = fs.Float64("epsilon", core.DefaultEpsilon, "invalid-message threshold for EB/PC/EBPC (0 disables)")
+		multipath = fs.Int("multipath", 0, "K-path routing (0/1 = single path)")
+		measure   = fs.Int("measure", 0, "estimate link rates from N measured samples (0 = exact)")
+		linkmodel = fs.String("linkmodel", "normal", "link model: normal, fixed, gamma")
+
+		csvDir   = fs.String("csv", "", "directory to write per-figure CSV files")
+		progress = fs.Bool("progress", false, "print one line per completed run")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	lm, err := parseLinkModel(*linkmodel)
+	if err != nil {
+		return err
+	}
+	params := core.Params{PD: vtime.Millis(*pd), Epsilon: *epsilon}
+
+	if *topoDump {
+		ov, err := topology.BuildLayered(topology.LayeredConfig{Seed: *seed})
+		if err != nil {
+			return err
+		}
+		return ov.WriteJSON(os.Stdout)
+	}
+
+	if *single {
+		sc, err := parseScenario(*scenario)
+		if err != nil {
+			return err
+		}
+		st, err := core.ParseStrategy(*strategy)
+		if err != nil {
+			return err
+		}
+		p := params
+		switch st.(type) {
+		case core.FIFO, core.RL:
+			p.Epsilon = 0
+		}
+		cfg := simnet.Config{
+			Seed:     *seed,
+			Scenario: sc,
+			Strategy: st,
+			Params:   p,
+			Workload: workload.Config{
+				RatePerMin: *rate,
+				Duration:   vtime.FromDuration(*duration),
+			},
+			Multipath:      *multipath,
+			MeasureSamples: *measure,
+			LinkModel:      lm,
+		}
+		var traceFile *os.File
+		if *traceOut != "" {
+			traceFile, err = os.Create(*traceOut)
+			if err != nil {
+				return err
+			}
+			defer traceFile.Close()
+			cfg.Tracer = &trace.JSONL{W: traceFile}
+		}
+		res, err := simnet.Run(cfg)
+		if err != nil {
+			return err
+		}
+		printSingle(res)
+		if j, ok := cfg.Tracer.(*trace.JSONL); ok && j.Err() != nil {
+			return fmt.Errorf("writing trace: %w", j.Err())
+		}
+		return nil
+	}
+
+	if *figure == "" && *ablation == "" && !*claims {
+		return fmt.Errorf("nothing to do: pass -figure <id>, -ablation <id>, -claims, -single or -dump-topology (see -h)")
+	}
+
+	opts := experiments.Options{
+		Duration:       vtime.FromDuration(*duration),
+		Fig4Rate:       *fig4rate,
+		Params:         params,
+		Multipath:      *multipath,
+		MeasureSamples: *measure,
+		LinkModel:      lm,
+	}
+	if opts.Seeds, err = parseUints(*seeds); err != nil {
+		return fmt.Errorf("-seeds: %w", err)
+	}
+	if *rates != "" {
+		if opts.Rates, err = parseFloats(*rates); err != nil {
+			return fmt.Errorf("-rates: %w", err)
+		}
+	}
+	if *weights != "" {
+		if opts.Weights, err = parseFloats(*weights); err != nil {
+			return fmt.Errorf("-weights: %w", err)
+		}
+	}
+	if *progress {
+		opts.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
+	}
+
+	if *claims {
+		results, err := experiments.CheckClaims(opts)
+		if err != nil {
+			return err
+		}
+		failed, err := experiments.RenderClaims(os.Stdout, results)
+		if err != nil {
+			return err
+		}
+		if failed > 0 {
+			return fmt.Errorf("%d/%d claims failed", failed, len(results))
+		}
+		fmt.Printf("all %d claims hold\n", len(results))
+		return nil
+	}
+
+	var figs []*experiments.Figure
+	switch {
+	case *ablation == "all":
+		for _, id := range experiments.Ablations() {
+			f, err := experiments.RunAblation(id, opts)
+			if err != nil {
+				return err
+			}
+			figs = append(figs, f)
+		}
+	case *ablation != "":
+		f, err := experiments.RunAblation(*ablation, opts)
+		if err != nil {
+			return err
+		}
+		figs = append(figs, f)
+	case *figure == "all":
+		figs, err = experiments.All(opts)
+	default:
+		figs, err = experiments.Run(*figure, opts)
+	}
+	if err != nil {
+		return err
+	}
+
+	for i, f := range figs {
+		if i > 0 {
+			fmt.Println()
+		}
+		if err := f.Render(os.Stdout); err != nil {
+			return err
+		}
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				return err
+			}
+			path := filepath.Join(*csvDir, "figure"+f.ID+".csv")
+			file, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := f.WriteCSV(file); err != nil {
+				file.Close()
+				return err
+			}
+			if err := file.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		}
+	}
+	return nil
+}
+
+func printSingle(res interface{ String() string }) {
+	fmt.Println(res.String())
+}
+
+func parseScenario(s string) (msg.Scenario, error) {
+	switch strings.ToLower(s) {
+	case "psd":
+		return msg.PSD, nil
+	case "ssd":
+		return msg.SSD, nil
+	case "both", "psd+ssd":
+		return msg.Both, nil
+	}
+	return 0, fmt.Errorf("unknown scenario %q (want psd, ssd or both)", s)
+}
+
+func parseLinkModel(s string) (simnet.LinkModel, error) {
+	switch strings.ToLower(s) {
+	case "normal":
+		return simnet.LinkNormal, nil
+	case "fixed":
+		return simnet.LinkFixed, nil
+	case "gamma":
+		return simnet.LinkGamma, nil
+	}
+	return 0, fmt.Errorf("unknown link model %q (want normal, fixed, gamma)", s)
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		f, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+func parseUints(s string) ([]uint64, error) {
+	var out []uint64
+	for _, part := range strings.Split(s, ",") {
+		u, err := strconv.ParseUint(strings.TrimSpace(part), 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, u)
+	}
+	return out, nil
+}

@@ -1,0 +1,102 @@
+// Command bdps-sub subscribes to a live bounded-delay pub/sub overlay and
+// prints deliveries with their end-to-end latency and validity.
+//
+//	bdps-sub -broker 127.0.0.1:7003 -edge 3 -filter "A1 < 5 && A2 < 5" \
+//	         -deadline 10s -price 3 -scenario ssd
+//
+// Run until interrupted; a summary prints on exit.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"bdps/internal/filter"
+	"bdps/internal/livenet"
+	"bdps/internal/msg"
+	"bdps/internal/vtime"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bdps-sub:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("bdps-sub", flag.ContinueOnError)
+	var (
+		broker   = fs.String("broker", "", "edge broker address (required)")
+		edge     = fs.Int("edge", 0, "edge broker node id")
+		subID    = fs.Int("id", 1, "subscription id (unique per overlay)")
+		filterS  = fs.String("filter", "true", "content filter")
+		deadline = fs.Duration("deadline", 0, "subscriber delay bound (SSD)")
+		price    = fs.Float64("price", 0, "price per valid message (SSD)")
+		scenario = fs.String("scenario", "psd", "psd or ssd")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *broker == "" {
+		return fmt.Errorf("-broker is required")
+	}
+	f, err := filter.Parse(*filterS)
+	if err != nil {
+		return err
+	}
+	var sc msg.Scenario
+	switch *scenario {
+	case "psd":
+		sc = msg.PSD
+	case "ssd":
+		sc = msg.SSD
+	default:
+		return fmt.Errorf("unknown scenario %q", *scenario)
+	}
+
+	sub := &msg.Subscription{
+		ID:       msg.SubID(*subID),
+		Edge:     msg.NodeID(*edge),
+		Filter:   f,
+		Deadline: vtime.FromDuration(*deadline),
+		Price:    *price,
+	}
+	s, err := livenet.DialSubscriber(*broker, sub)
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	fmt.Printf("subscribed at broker %d: %s\n", *edge, sub)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
+	valid, late := 0, 0
+	for {
+		select {
+		case m, ok := <-s.C():
+			if !ok {
+				return fmt.Errorf("connection closed")
+			}
+			lat := time.Duration(0)
+			if now := float64(time.Now().UnixMicro()) / 1000; now > m.Published {
+				lat = vtime.ToDuration(now - m.Published)
+			}
+			ok2 := s.Valid(m, sc)
+			if ok2 {
+				valid++
+			} else {
+				late++
+			}
+			fmt.Printf("msg %d %s latency=%v valid=%v\n", m.ID, m.Attrs, lat.Round(time.Millisecond), ok2)
+		case <-sig:
+			fmt.Printf("received %d valid, %d late\n", valid, late)
+			return nil
+		}
+	}
+}

@@ -1,0 +1,131 @@
+// Command bdps-topo generates, inspects and validates broker overlay
+// topologies.
+//
+// Generate the paper's layered mesh (or variants) as JSON:
+//
+//	bdps-topo -kind layered -seed 1 > overlay.json
+//	bdps-topo -kind acyclic -brokers 16 > tree.json
+//
+// Describe an overlay (degree distribution, path statistics between
+// ingress and edge brokers, expected single-hop delays for 50 KB
+// messages):
+//
+//	bdps-topo -describe overlay.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"bdps/internal/msg"
+	"bdps/internal/stats"
+	"bdps/internal/topology"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bdps-topo:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("bdps-topo", flag.ContinueOnError)
+	var (
+		kind     = fs.String("kind", "layered", "layered, acyclic or mesh")
+		seed     = fs.Uint64("seed", 1, "generation seed")
+		brokers  = fs.Int("brokers", 0, "broker count (acyclic/mesh; 0 = default)")
+		describe = fs.String("describe", "", "describe an overlay JSON file instead of generating")
+		sizeKB   = fs.Float64("size", 50, "message size for delay estimates (describe mode)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *describe != "" {
+		f, err := os.Open(*describe)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		ov, err := topology.ReadJSON(f)
+		if err != nil {
+			return err
+		}
+		return describeOverlay(os.Stdout, ov, *sizeKB)
+	}
+
+	var (
+		ov  *topology.Overlay
+		err error
+	)
+	switch *kind {
+	case "layered":
+		ov, err = topology.BuildLayered(topology.LayeredConfig{Seed: *seed})
+	case "acyclic":
+		ov, err = topology.BuildAcyclic(topology.AcyclicConfig{Seed: *seed, Brokers: *brokers})
+	case "mesh":
+		ov, err = topology.BuildMesh(topology.MeshConfig{Seed: *seed, Brokers: *brokers})
+	default:
+		return fmt.Errorf("unknown kind %q (want layered, acyclic, mesh)", *kind)
+	}
+	if err != nil {
+		return err
+	}
+	return ov.WriteJSON(os.Stdout)
+}
+
+func describeOverlay(w *os.File, ov *topology.Overlay, sizeKB float64) error {
+	g := ov.Graph
+	fmt.Fprintf(w, "overlay %q: %d brokers, %d directed arcs\n", ov.Name, g.N(), len(g.Arcs()))
+	fmt.Fprintf(w, "ingress brokers: %v\n", ov.Ingress)
+	fmt.Fprintf(w, "edge brokers:    %v\n", ov.Edges)
+
+	// Degree distribution.
+	degrees := make(map[int]int)
+	for id := 0; id < g.N(); id++ {
+		degrees[g.Degree(msg.NodeID(id))]++
+	}
+	var ds []int
+	for d := range degrees {
+		ds = append(ds, d)
+	}
+	sort.Ints(ds)
+	fmt.Fprintln(w, "degree distribution:")
+	for _, d := range ds {
+		fmt.Fprintf(w, "  degree %2d: %d brokers\n", d, degrees[d])
+	}
+
+	// Link-rate summary.
+	var rates stats.Summary
+	for _, arc := range g.Arcs() {
+		r, _ := g.Rate(arc[0], arc[1])
+		rates.Add(r.Mean)
+	}
+	fmt.Fprintf(w, "link mean rates (ms/KB): min %.1f, median %.1f, max %.1f\n",
+		rates.Min(), rates.Quantile(0.5), rates.Max())
+
+	// Ingress→edge path statistics under the routing rule.
+	var hops, mean stats.Summary
+	for _, in := range ov.Ingress {
+		for _, e := range ov.Edges {
+			path, ok := g.Path(in, e)
+			if !ok {
+				fmt.Fprintf(w, "WARNING: edge %d unreachable from ingress %d\n", e, in)
+				continue
+			}
+			rate, _ := g.PathRate(path)
+			hops.Add(float64(len(path) - 1))
+			mean.Add(rate.Mean)
+		}
+	}
+	fmt.Fprintf(w, "best paths ingress→edge: hops min %.0f / median %.0f / max %.0f\n",
+		hops.Min(), hops.Quantile(0.5), hops.Max())
+	fmt.Fprintf(w, "path mean rate (ms/KB): min %.0f / median %.0f / max %.0f\n",
+		mean.Min(), mean.Quantile(0.5), mean.Max())
+	fmt.Fprintf(w, "expected propagation for %.0f KB: median %.2f s (excluding queueing)\n",
+		sizeKB, sizeKB*mean.Quantile(0.5)/1000)
+	return nil
+}

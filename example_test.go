@@ -1,0 +1,71 @@
+package bdps_test
+
+import (
+	"fmt"
+
+	"bdps"
+)
+
+// ExampleRunSim simulates a small bounded-delay run and reports the
+// delivery rate within publisher-specified bounds.
+func ExampleRunSim() {
+	res, err := bdps.RunSim(bdps.SimConfig{
+		Seed:     1,
+		Scenario: bdps.PSD,
+		Strategy: bdps.EB(),
+		Workload: bdps.WorkloadConfig{
+			RatePerMin: 3,
+			Duration:   2 * bdps.Minute,
+		},
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("published %d messages, delivery rate within bounds: %.0f%%\n",
+		res.Published, 100*res.DeliveryRate())
+	// Output:
+	// published 26 messages, delivery rate within bounds: 86%
+}
+
+// ExampleParseFilter shows the content-filter language.
+func ExampleParseFilter() {
+	f, err := bdps.ParseFilter("(A1 < 5 && A2 < 3) || tag == 'urgent'")
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	// The canonical form drops redundant parentheses: && binds tighter
+	// than ||.
+	fmt.Println(f.String())
+	// Output:
+	// A1 < 5 && A2 < 3 || tag == "urgent"
+}
+
+// ExampleParseStrategy resolves strategy names as the CLI does.
+func ExampleParseStrategy() {
+	for _, name := range []string{"fifo", "rl", "eb", "pc", "ebpc:0.6"} {
+		s, err := bdps.ParseStrategy(name)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Println(s.Name())
+	}
+	// Output:
+	// FIFO
+	// RL
+	// EB
+	// PC
+	// EBPC(r=0.60)
+}
+
+// ExampleEBPC shows that the combined strategy degenerates to the pure
+// ones at its endpoints.
+func ExampleEBPC() {
+	fmt.Println(bdps.EBPC(1).Name(), "behaves like", bdps.EB().Name())
+	fmt.Println(bdps.EBPC(0).Name(), "behaves like", bdps.PC().Name())
+	// Output:
+	// EBPC(r=1.00) behaves like EB
+	// EBPC(r=0.00) behaves like PC
+}

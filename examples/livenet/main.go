@@ -1,0 +1,112 @@
+// Live overlay demo: the paper's full 32-broker layered mesh running as
+// real goroutine brokers over loopback TCP, with the EBPC scheduler
+// picking every transmission.
+//
+//	go run ./examples/livenet
+//
+// Link speeds are emulated at 1/200 time scale (an emulated 3.5 s hop
+// takes 17.5 ms of wall time). The demo attaches one subscriber to each
+// of four edge brokers, publishes a burst from two publishers and prints
+// per-delivery latencies (in emulated time) against each bound.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"bdps"
+	"bdps/internal/core"
+	"bdps/internal/filter"
+	"bdps/internal/livenet"
+	"bdps/internal/msg"
+	"bdps/internal/topology"
+	"bdps/internal/vtime"
+)
+
+const timeScale = 0.005 // emulated ms → real ms factor
+
+func main() {
+	ov, err := topology.BuildLayered(topology.LayeredConfig{Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("starting %d live brokers (overlay %q)…\n", ov.Graph.N(), ov.Name)
+	cluster, err := livenet.StartCluster(livenet.ClusterConfig{
+		Overlay:   ov,
+		Scenario:  bdps.PSD,
+		Strategy:  core.MaxEBPC{R: 0.6},
+		TimeScale: timeScale,
+		Seed:      11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Stop()
+
+	// One wildcard subscriber on four different edge brokers.
+	var subs []*livenet.Subscriber
+	for i := 0; i < 4; i++ {
+		edge := ov.Edges[i*4]
+		s, err := livenet.DialSubscriber(cluster.Addr(edge), &msg.Subscription{
+			ID: msg.SubID(i + 1), Edge: edge, Filter: &filter.Filter{},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer s.Close()
+		subs = append(subs, s)
+		fmt.Printf("subscriber %d attached to edge broker B%d\n", i+1, edge)
+	}
+	time.Sleep(300 * time.Millisecond) // subscription flooding
+
+	// Two publishers, a burst of five messages each, 20 s bounds.
+	for p := 0; p < 2; p++ {
+		pub, err := livenet.DialPublisher(cluster.Addr(ov.Ingress[p]), msg.NodeID(p))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer pub.Close()
+		for i := 0; i < 5; i++ {
+			attrs := msg.NumAttrs(map[string]float64{
+				"A1": float64(i), "A2": float64(p),
+			})
+			if _, err := pub.Publish(ov.Ingress[p], attrs, 50, 20*vtime.Second, nil); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	fmt.Println("published 10 messages (50 KB emulated, 20 s bounds)")
+
+	// Collect deliveries; each subscriber should see all 10 (wildcards).
+	deadline := time.After(10 * time.Second)
+	total, valid := 0, 0
+	for i, s := range subs {
+		for n := 0; n < 10; n++ {
+			select {
+			case m, ok := <-s.C():
+				if !ok {
+					log.Fatalf("subscriber %d closed early", i+1)
+				}
+				// Emulated latency: wall latency ÷ time scale.
+				wallMs := float64(time.Now().UnixMicro())/1000 - m.Published
+				emulated := time.Duration(wallMs/timeScale) * time.Millisecond
+				ok2 := s.Valid(m, bdps.PSD)
+				total++
+				if ok2 {
+					valid++
+				}
+				if n < 3 && i == 0 {
+					fmt.Printf("  sub %d got msg %d: emulated latency %v (bound 20s) valid=%v\n",
+						i+1, m.ID, emulated.Round(time.Millisecond), ok2)
+				}
+			case <-deadline:
+				log.Fatalf("subscriber %d: only %d deliveries before timeout", i+1, n)
+			}
+		}
+	}
+	stats := cluster.TotalStats()
+	fmt.Printf("deliveries: %d (%d valid), broker receptions: %d\n",
+		total, valid, stats.Receptions)
+	fmt.Println("the same scheduler that ran the simulation just ran on real sockets.")
+}

@@ -1,0 +1,62 @@
+// Quickstart: simulate the paper's broker overlay under load and compare
+// the proposed EB scheduling strategy with the traditional FIFO and RL
+// baselines.
+//
+//	go run ./examples/quickstart
+//
+// The run uses the paper's topology (32 brokers, 4 layers, 160
+// subscribers), the publisher-specified-delay (PSD) scenario at a
+// congested publishing rate, and a 15-minute window so it finishes in a
+// couple of seconds.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"bdps"
+)
+
+func main() {
+	const rate = 12 // messages/min per publisher: well into congestion
+
+	strategies := []struct {
+		name string
+		s    bdps.Strategy
+		// Traditional strategies have no invalid-message detection.
+		epsilon float64
+	}{
+		{"EB (paper §5.1)", bdps.EB(), 0.0005},
+		{"EBPC r=0.6 (paper §5.3)", bdps.EBPC(0.6), 0.0005},
+		{"FIFO (baseline)", bdps.FIFO(), 0},
+		{"RL (baseline)", bdps.RL(), 0},
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "strategy\tdelivery rate\ttraffic (msgs)\tp95 latency")
+	for _, st := range strategies {
+		res, err := bdps.RunSim(bdps.SimConfig{
+			Seed:     1,
+			Scenario: bdps.PSD,
+			Strategy: st.s,
+			Params:   bdps.Params{PD: 2 * bdps.Ms, Epsilon: st.epsilon},
+			Workload: bdps.WorkloadConfig{
+				RatePerMin: rate,
+				Duration:   15 * bdps.Minute,
+			},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(w, "%s\t%.1f%%\t%d\t%.1fs\n",
+			st.name, 100*res.DeliveryRate(), res.Receptions, res.LatencyP95Ms/1000)
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nEB delivers far more messages within their bounds for a")
+	fmt.Println("modest traffic increase — the paper's headline result.")
+}

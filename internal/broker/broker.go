@@ -1,0 +1,214 @@
+// Package broker implements the message-broker node of §3.2 (Figure 2):
+// receive → process (match against the subscription table, resolve next
+// hops) → forward via per-neighbor output queues scheduled by a core
+// strategy. The broker is runtime-agnostic: the discrete-event simulator
+// and the live TCP runtime both drive the same Process logic and the same
+// queues.
+package broker
+
+import (
+	"fmt"
+
+	"bdps/internal/core"
+	"bdps/internal/msg"
+	"bdps/internal/routing"
+	"bdps/internal/vtime"
+)
+
+// Config assembles a broker.
+type Config struct {
+	ID       msg.NodeID
+	Scenario msg.Scenario
+	Params   core.Params
+	Strategy core.Strategy
+	Table    *routing.Table
+	// LinkMeans maps each downstream neighbor to the believed mean
+	// per-KB rate of the link, used by the queues' FT estimate.
+	LinkMeans map[msg.NodeID]float64
+	// Dedup drops duplicate message arrivals (multi-path routing mode).
+	Dedup bool
+}
+
+// Broker is one overlay node.
+type Broker struct {
+	id       msg.NodeID
+	scenario msg.Scenario
+	params   core.Params
+	strategy core.Strategy
+	table    *routing.Table
+
+	linkMeans map[msg.NodeID]float64
+	queues    map[msg.NodeID]*core.Queue
+
+	dedup bool
+	seen  map[msg.ID]struct{}
+}
+
+// New builds a broker from its configuration.
+func New(cfg Config) (*Broker, error) {
+	if cfg.Strategy == nil {
+		return nil, fmt.Errorf("broker %d: nil strategy", cfg.ID)
+	}
+	if cfg.Table == nil {
+		return nil, fmt.Errorf("broker %d: nil routing table", cfg.ID)
+	}
+	b := &Broker{
+		id:        cfg.ID,
+		scenario:  cfg.Scenario,
+		params:    cfg.Params,
+		strategy:  cfg.Strategy,
+		table:     cfg.Table,
+		linkMeans: cfg.LinkMeans,
+		queues:    make(map[msg.NodeID]*core.Queue),
+		dedup:     cfg.Dedup,
+	}
+	if b.dedup {
+		b.seen = make(map[msg.ID]struct{})
+	}
+	return b, nil
+}
+
+// ID returns the broker's node id.
+func (b *Broker) ID() msg.NodeID { return b.id }
+
+// Params returns the scheduling parameters.
+func (b *Broker) Params() core.Params { return b.params }
+
+// Strategy returns the scheduling strategy.
+func (b *Broker) Strategy() core.Strategy { return b.strategy }
+
+// Queue returns (creating on first use) the output queue toward a
+// downstream neighbor.
+func (b *Broker) Queue(next msg.NodeID) *core.Queue {
+	q, ok := b.queues[next]
+	if !ok {
+		q = core.NewQueue(b.linkMeans[next])
+		b.queues[next] = q
+	}
+	return q
+}
+
+// Queues exposes the instantiated output queues (diagnostics).
+func (b *Broker) Queues() map[msg.NodeID]*core.Queue { return b.queues }
+
+// PeakQueue returns the largest occupancy any output queue reached.
+func (b *Broker) PeakQueue() int {
+	peak := 0
+	for _, q := range b.queues {
+		if q.Peak() > peak {
+			peak = q.Peak()
+		}
+	}
+	return peak
+}
+
+// Delivery is one local hand-off to a subscriber.
+type Delivery struct {
+	SubID   msg.SubID
+	Price   float64
+	Latency vtime.Millis
+	Valid   bool // delivered within the applicable bound
+}
+
+// Result reports what Process did with a message.
+type Result struct {
+	// Deliveries to subscribers attached to this broker.
+	Deliveries []Delivery
+	// EnqueuedHops lists downstream neighbors whose queues received a new
+	// entry; the runtime kicks those links.
+	EnqueuedHops []msg.NodeID
+	// ArrivalDrops counts forwarding intents discarded immediately
+	// (expired or hopeless before queueing).
+	ArrivalDrops int
+	// Duplicate is true when dedup suppressed the whole message.
+	Duplicate bool
+}
+
+// Process handles one received message at the given time: deliver to
+// local subscribers, and enqueue one entry per distinct next hop carrying
+// the targets routed through it (§4.2's table drives both). It implements
+// the early deletion rule of §5.4 at arrival: forwarding intents that are
+// already expired — or hopeless when ε-detection is on — are dropped
+// before consuming queue space.
+func (b *Broker) Process(m *msg.Message, now vtime.Millis) Result {
+	var res Result
+	if b.dedup {
+		if _, dup := b.seen[m.ID]; dup {
+			res.Duplicate = true
+			return res
+		}
+		b.seen[m.ID] = struct{}{}
+	}
+
+	matched := b.table.Match(m)
+	if len(matched) == 0 {
+		return res
+	}
+	hops, groups := routing.GroupByNext(matched)
+	for _, hop := range hops {
+		entries := groups[hop]
+		if hop == msg.None {
+			// Multi-path routing installs one local entry per path;
+			// deliver to each subscriber once per message.
+			seenSubs := make(map[msg.SubID]bool, len(entries))
+			for _, e := range entries {
+				if seenSubs[e.Sub.ID] {
+					continue
+				}
+				seenSubs[e.Sub.ID] = true
+				allowed, price := b.scenario.AllowedDelay(m, e.Sub)
+				latency := now - m.Published
+				res.Deliveries = append(res.Deliveries, Delivery{
+					SubID:   e.Sub.ID,
+					Price:   price,
+					Latency: latency,
+					Valid:   allowed > 0 && latency <= allowed,
+				})
+			}
+			continue
+		}
+		entry := b.buildEntry(m, entries)
+		if !core.Viable(entry, now, b.params) {
+			res.ArrivalDrops++
+			continue
+		}
+		b.Queue(hop).Enqueue(entry, now)
+		res.EnqueuedHops = append(res.EnqueuedHops, hop)
+	}
+	return res
+}
+
+// buildEntry converts routing entries for one next hop into a queue entry
+// with per-subscriber targets (§4.2 → §5.1 inputs).
+func (b *Broker) buildEntry(m *msg.Message, entries []*routing.Entry) *core.Entry {
+	e := &core.Entry{
+		MsgID:     uint64(m.ID),
+		SizeKB:    m.SizeKB,
+		Published: m.Published,
+		Data:      m,
+		Targets:   make([]core.Target, 0, len(entries)),
+	}
+	seenSubs := make(map[msg.SubID]bool, len(entries))
+	for _, re := range entries {
+		// Collapse multi-path duplicates of the same subscription within
+		// one next hop so EB does not double-count its benefit.
+		if seenSubs[re.Sub.ID] {
+			continue
+		}
+		seenSubs[re.Sub.ID] = true
+		allowed, price := b.scenario.AllowedDelay(m, re.Sub)
+		if allowed <= 0 {
+			// No bound applies (misconfigured subscription); treat as
+			// undeliverable rather than infinitely patient.
+			continue
+		}
+		e.Targets = append(e.Targets, core.Target{
+			SubID:    int32(re.Sub.ID),
+			Deadline: m.Published + allowed,
+			Price:    price,
+			Hops:     re.Hops,
+			Rate:     re.Rate,
+		})
+	}
+	return e
+}

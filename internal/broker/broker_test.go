@@ -1,0 +1,248 @@
+package broker
+
+import (
+	"testing"
+
+	"bdps/internal/core"
+	"bdps/internal/filter"
+	"bdps/internal/msg"
+	"bdps/internal/routing"
+	"bdps/internal/stats"
+	"bdps/internal/vtime"
+)
+
+// testTable builds a routing table for broker 1 with:
+//   - a local subscription (sub 1)
+//   - two remote subscriptions via hop 2 (subs 2, 3)
+//   - one remote subscription via hop 3 (sub 4)
+//
+// All filters are "A1 < 5". SSD deadlines/prices set per subscription.
+func testTable(t *testing.T) *routing.Table {
+	t.Helper()
+	mk := func(id msg.SubID, dl vtime.Millis, pr float64) *msg.Subscription {
+		return &msg.Subscription{ID: id, Edge: 9, Filter: filter.MustParse("A1 < 5"),
+			Deadline: dl, Price: pr}
+	}
+	tb := routing.NewTable(1)
+	tb.Add(&routing.Entry{Sub: mk(1, 10*vtime.Second, 3), Source: 0, Next: msg.None})
+	tb.Add(&routing.Entry{Sub: mk(2, 30*vtime.Second, 2), Source: 0, Next: 2, Hops: 2,
+		Rate: stats.Normal{Mean: 140, Sigma: 28}})
+	tb.Add(&routing.Entry{Sub: mk(3, 60*vtime.Second, 1), Source: 0, Next: 2, Hops: 2,
+		Rate: stats.Normal{Mean: 140, Sigma: 28}})
+	tb.Add(&routing.Entry{Sub: mk(4, 30*vtime.Second, 2), Source: 0, Next: 3, Hops: 1,
+		Rate: stats.Normal{Mean: 70, Sigma: 20}})
+	return tb
+}
+
+func testBroker(t *testing.T, scenario msg.Scenario, dedup bool) *Broker {
+	t.Helper()
+	b, err := New(Config{
+		ID:        1,
+		Scenario:  scenario,
+		Params:    core.DefaultParams(),
+		Strategy:  core.MaxEB{},
+		Table:     testTable(t),
+		LinkMeans: map[msg.NodeID]float64{2: 70, 3: 70},
+		Dedup:     dedup,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func message(a1 float64, published vtime.Millis) *msg.Message {
+	return &msg.Message{
+		ID: 100, Publisher: 0, Ingress: 0,
+		Published: published, SizeKB: 50,
+		Attrs: msg.NumAttrs(map[string]float64{"A1": a1, "A2": 1}),
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Table: routing.NewTable(1)}); err == nil {
+		t.Error("nil strategy should fail")
+	}
+	if _, err := New(Config{Strategy: core.FIFO{}}); err == nil {
+		t.Error("nil table should fail")
+	}
+}
+
+func TestProcessDeliversLocallyAndEnqueues(t *testing.T) {
+	b := testBroker(t, msg.SSD, false)
+	m := message(3, 0)
+	res := b.Process(m, 1000)
+
+	if len(res.Deliveries) != 1 {
+		t.Fatalf("deliveries = %d, want 1", len(res.Deliveries))
+	}
+	d := res.Deliveries[0]
+	if d.SubID != 1 || !d.Valid || d.Latency != 1000 || d.Price != 3 {
+		t.Errorf("delivery = %+v", d)
+	}
+
+	if len(res.EnqueuedHops) != 2 {
+		t.Fatalf("enqueued hops = %v, want 2", res.EnqueuedHops)
+	}
+	// Hop 2 entry carries both subs 2 and 3.
+	q2 := b.Queue(2)
+	if q2.Len() != 1 {
+		t.Fatalf("queue 2 len = %d", q2.Len())
+	}
+	e := q2.Entries()[0]
+	if len(e.Targets) != 2 {
+		t.Fatalf("targets = %d, want 2", len(e.Targets))
+	}
+	// SSD: deadlines are absolute per-subscription.
+	if e.Targets[0].Deadline != 30*vtime.Second || e.Targets[0].Price != 2 {
+		t.Errorf("target 0 = %+v", e.Targets[0])
+	}
+	if e.Targets[1].Deadline != 60*vtime.Second || e.Targets[1].Price != 1 {
+		t.Errorf("target 1 = %+v", e.Targets[1])
+	}
+	if e.Data.(*msg.Message) != m {
+		t.Error("entry must carry the message")
+	}
+}
+
+func TestProcessNonMatchingMessage(t *testing.T) {
+	b := testBroker(t, msg.SSD, false)
+	res := b.Process(message(7, 0), 1000) // A1=7 fails "A1<5"
+	if len(res.Deliveries) != 0 || len(res.EnqueuedHops) != 0 || res.ArrivalDrops != 0 {
+		t.Errorf("non-matching message produced work: %+v", res)
+	}
+}
+
+func TestProcessWrongIngressIgnored(t *testing.T) {
+	b := testBroker(t, msg.SSD, false)
+	m := message(3, 0)
+	m.Ingress = 5 // table only has source 0
+	res := b.Process(m, 1000)
+	if len(res.Deliveries) != 0 || len(res.EnqueuedHops) != 0 {
+		t.Errorf("wrong-ingress message produced work: %+v", res)
+	}
+}
+
+func TestProcessPSDUsesPublisherBound(t *testing.T) {
+	b := testBroker(t, msg.PSD, false)
+	m := message(3, 0)
+	m.Allowed = 20 * vtime.Second
+	res := b.Process(m, 1000)
+	if len(res.Deliveries) != 1 {
+		t.Fatalf("deliveries = %d", len(res.Deliveries))
+	}
+	if res.Deliveries[0].Price != 1 {
+		t.Errorf("PSD price = %v, want 1", res.Deliveries[0].Price)
+	}
+	e := b.Queue(2).Entries()[0]
+	for _, tg := range e.Targets {
+		if tg.Deadline != 20*vtime.Second {
+			t.Errorf("PSD target deadline = %v, want the publisher bound", tg.Deadline)
+		}
+		if tg.Price != 1 {
+			t.Errorf("PSD target price = %v, want 1", tg.Price)
+		}
+	}
+}
+
+func TestProcessLateLocalDelivery(t *testing.T) {
+	b := testBroker(t, msg.SSD, false)
+	// Sub 1 allows 10 s; arrival at 11 s is late.
+	res := b.Process(message(3, 0), 11*vtime.Second)
+	found := false
+	for _, d := range res.Deliveries {
+		if d.SubID == 1 {
+			found = true
+			if d.Valid {
+				t.Error("late delivery marked valid")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("local delivery missing")
+	}
+}
+
+func TestProcessArrivalDropExpired(t *testing.T) {
+	b := testBroker(t, msg.SSD, false)
+	// At t = 61 s every remote deadline (30 s, 60 s) has passed.
+	res := b.Process(message(3, 0), 61*vtime.Second)
+	if res.ArrivalDrops != 2 {
+		t.Errorf("arrival drops = %d, want 2 (both hops)", res.ArrivalDrops)
+	}
+	if len(res.EnqueuedHops) != 0 {
+		t.Error("expired intents must not be enqueued")
+	}
+}
+
+func TestProcessArrivalDropHopeless(t *testing.T) {
+	b := testBroker(t, msg.SSD, false)
+	// At t = 29.9 s, sub 4 via hop 3 has 98 ms of slack against a
+	// N(70,20) ms/KB single-hop residual for 50 KB: success ≈ 3e-4 < ε,
+	// hopeless → the hop-3 intent drops. Hop 2 survives through sub 3
+	// (60 s deadline) even though sub 2 (30 s) is hopeless too.
+	res := b.Process(message(3, 0), 29900)
+	if len(res.EnqueuedHops) != 1 || res.EnqueuedHops[0] != 2 {
+		t.Errorf("enqueued hops = %v, want [2]", res.EnqueuedHops)
+	}
+	if res.ArrivalDrops != 1 {
+		t.Errorf("arrival drops = %d, want 1", res.ArrivalDrops)
+	}
+}
+
+func TestProcessDedup(t *testing.T) {
+	b := testBroker(t, msg.SSD, true)
+	m := message(3, 0)
+	first := b.Process(m, 1000)
+	if first.Duplicate {
+		t.Fatal("first arrival flagged duplicate")
+	}
+	second := b.Process(m, 2000)
+	if !second.Duplicate {
+		t.Fatal("second arrival not deduplicated")
+	}
+	if len(second.Deliveries) != 0 || len(second.EnqueuedHops) != 0 {
+		t.Error("duplicate must produce no work")
+	}
+	// Without dedup the same message processes twice.
+	b2 := testBroker(t, msg.SSD, false)
+	b2.Process(m, 1000)
+	again := b2.Process(m, 2000)
+	if again.Duplicate || len(again.Deliveries) != 1 {
+		t.Error("dedup off: reprocessing expected")
+	}
+}
+
+func TestQueueReuseAndPeak(t *testing.T) {
+	b := testBroker(t, msg.SSD, false)
+	q := b.Queue(2)
+	if b.Queue(2) != q {
+		t.Error("Queue must return the same instance per neighbor")
+	}
+	if q.LinkMean != 70 {
+		t.Errorf("queue link mean = %v, want 70", q.LinkMean)
+	}
+	b.Process(message(3, 0), 0)
+	b.Process(message(2, 0), 0)
+	if b.PeakQueue() != 2 {
+		t.Errorf("peak = %d, want 2", b.PeakQueue())
+	}
+}
+
+func TestBuildEntrySkipsUnboundedTargets(t *testing.T) {
+	// SSD subscription with no deadline: unschedulable, skipped.
+	tb := routing.NewTable(1)
+	tb.Add(&routing.Entry{
+		Sub:    &msg.Subscription{ID: 5, Edge: 9, Filter: filter.MustParse("A1 < 5")},
+		Source: 0, Next: 2, Hops: 1, Rate: stats.Normal{Mean: 70, Sigma: 20},
+	})
+	b, err := New(Config{ID: 1, Scenario: msg.SSD, Params: core.DefaultParams(),
+		Strategy: core.MaxEB{}, Table: tb, LinkMeans: map[msg.NodeID]float64{2: 70}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := b.Process(message(3, 0), 0)
+	if len(res.EnqueuedHops) != 0 || res.ArrivalDrops != 1 {
+		t.Errorf("unbounded-target entry should drop at arrival: %+v", res)
+	}
+}

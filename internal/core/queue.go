@@ -1,0 +1,152 @@
+package core
+
+import "bdps/internal/vtime"
+
+// Queue is one broker output queue, feeding one downstream link (§3.2,
+// Figure 2: "one output queue is created for each downstream neighbor").
+//
+// The queue is strategy-agnostic storage: Enqueue stamps arrival order,
+// Prune applies expiry and invalid-message detection, and the owner asks a
+// Strategy to pick the next entry when the link frees up. Metrics are
+// computed lazily at decision time because they depend on the current
+// clock — priorities decay as messages age, so precomputed orderings go
+// stale.
+//
+// FT (§5.2) is estimated exactly as the paper prescribes: "the average
+// size of all messages multiplied by the mean value of the transmitting
+// rate on the link", with the average taken over everything this queue
+// has seen.
+type Queue struct {
+	// LinkMean is the believed mean per-KB transmission time of the link
+	// this queue feeds, used for the FT estimate.
+	LinkMean float64
+
+	entries []*Entry
+	nextSeq uint64
+
+	enqSizeSum float64
+	enqCount   int
+
+	// Peak occupancy, for diagnostics.
+	peak int
+}
+
+// NewQueue returns an empty queue for a link with the given believed mean
+// rate (ms/KB).
+func NewQueue(linkMean float64) *Queue {
+	return &Queue{LinkMean: linkMean}
+}
+
+// Enqueue adds an entry, stamping its Seq and Enqueued fields.
+func (q *Queue) Enqueue(e *Entry, now vtime.Millis) {
+	e.Seq = q.nextSeq
+	q.nextSeq++
+	e.Enqueued = now
+	q.entries = append(q.entries, e)
+	q.enqSizeSum += e.SizeKB
+	q.enqCount++
+	if len(q.entries) > q.peak {
+		q.peak = len(q.entries)
+	}
+}
+
+// Len returns the number of queued entries.
+func (q *Queue) Len() int { return len(q.entries) }
+
+// Peak returns the maximum occupancy observed.
+func (q *Queue) Peak() int { return q.peak }
+
+// Entries exposes the queued entries for strategies. The slice is owned
+// by the queue; callers must not grow or reorder it.
+func (q *Queue) Entries() []*Entry { return q.entries }
+
+// RemoveAt removes and returns the i-th entry in O(1) by swapping with
+// the tail. Strategies identify entries by index; arrival order lives in
+// Entry.Seq, so the in-slice order is free to change.
+func (q *Queue) RemoveAt(i int) *Entry {
+	e := q.entries[i]
+	last := len(q.entries) - 1
+	q.entries[i] = q.entries[last]
+	q.entries[last] = nil
+	q.entries = q.entries[:last]
+	return e
+}
+
+// FT estimates the time to transmit one other message first: average
+// enqueued size × believed link mean rate. Before any enqueue it returns
+// 0 (there is no "other message" to wait for).
+func (q *Queue) FT() vtime.Millis {
+	if q.enqCount == 0 {
+		return 0
+	}
+	return vtime.Millis(q.enqSizeSum / float64(q.enqCount) * q.LinkMean)
+}
+
+// Context builds the metric context for a decision at time now.
+func (q *Queue) Context(now vtime.Millis, p Params) Context {
+	return Context{Now: now, PD: p.PD, FT: q.FT()}
+}
+
+// DropReason classifies why Prune removed an entry.
+type DropReason uint8
+
+// Drop reasons.
+const (
+	// DropExpired: every target's deadline has passed (all strategies).
+	DropExpired DropReason = iota
+	// DropHopeless: ε-detection fired — every target's success
+	// probability is below Params.Epsilon (§5.4).
+	DropHopeless
+)
+
+// String implements fmt.Stringer.
+func (r DropReason) String() string {
+	switch r {
+	case DropExpired:
+		return "expired"
+	case DropHopeless:
+		return "hopeless"
+	}
+	return "unknown"
+}
+
+// Drop records one pruned entry.
+type Drop struct {
+	Entry  *Entry
+	Reason DropReason
+}
+
+// Prune deletes expired and (when p.Epsilon > 0) hopeless entries,
+// returning what was dropped. Brokers call it before every scheduling
+// decision, implementing "delete as early as possible the messages in
+// transit that have expired" (§1) and condition (11) of §5.4.
+func (q *Queue) Prune(now vtime.Millis, p Params) []Drop {
+	var drops []Drop
+	for i := 0; i < len(q.entries); {
+		e := q.entries[i]
+		switch {
+		case AllExpired(e, now):
+			drops = append(drops, Drop{Entry: q.RemoveAt(i), Reason: DropExpired})
+		case p.Epsilon > 0 && MaxSuccess(e, now, p.PD) < p.Epsilon:
+			drops = append(drops, Drop{Entry: q.RemoveAt(i), Reason: DropHopeless})
+		default:
+			i++
+		}
+	}
+	return drops
+}
+
+// PopNext prunes the queue, then lets the strategy pick and removes the
+// chosen entry. It returns the entry (nil if the queue emptied) and the
+// prune drops.
+func (q *Queue) PopNext(s Strategy, now vtime.Millis, p Params) (*Entry, []Drop) {
+	drops := q.Prune(now, p)
+	if len(q.entries) == 0 {
+		return nil, drops
+	}
+	i := s.Pick(q.entries, q.Context(now, p))
+	if i < 0 || i >= len(q.entries) {
+		return nil, drops
+	}
+	return q.RemoveAt(i), drops
+}

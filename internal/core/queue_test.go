@@ -1,0 +1,155 @@
+package core
+
+import (
+	"testing"
+
+	"bdps/internal/vtime"
+)
+
+func TestQueueEnqueueStampsSeqAndTime(t *testing.T) {
+	q := NewQueue(70)
+	a := entry(0, target(10*vtime.Second, 1, 1))
+	b := entry(0, target(10*vtime.Second, 1, 1))
+	q.Enqueue(a, 100)
+	q.Enqueue(b, 200)
+	if a.Seq != 0 || b.Seq != 1 {
+		t.Errorf("seqs = %d,%d, want 0,1", a.Seq, b.Seq)
+	}
+	if a.Enqueued != 100 || b.Enqueued != 200 {
+		t.Error("Enqueued timestamps not set")
+	}
+	if q.Len() != 2 || q.Peak() != 2 {
+		t.Errorf("len=%d peak=%d, want 2/2", q.Len(), q.Peak())
+	}
+}
+
+func TestQueueRemoveAt(t *testing.T) {
+	q := NewQueue(70)
+	a := entry(0, target(10*vtime.Second, 1, 1))
+	b := entry(0, target(10*vtime.Second, 1, 1))
+	c := entry(0, target(10*vtime.Second, 1, 1))
+	q.Enqueue(a, 0)
+	q.Enqueue(b, 0)
+	q.Enqueue(c, 0)
+	got := q.RemoveAt(0)
+	if got != a {
+		t.Error("RemoveAt(0) should return first entry")
+	}
+	if q.Len() != 2 {
+		t.Errorf("len = %d, want 2", q.Len())
+	}
+	// Remaining entries are b and c in some order.
+	seen := map[*Entry]bool{}
+	for _, e := range q.Entries() {
+		seen[e] = true
+	}
+	if !seen[b] || !seen[c] {
+		t.Error("remaining entries wrong")
+	}
+}
+
+func TestQueueFT(t *testing.T) {
+	q := NewQueue(70)
+	if q.FT() != 0 {
+		t.Errorf("empty-queue FT = %v, want 0", q.FT())
+	}
+	q.Enqueue(entry(0, target(10*vtime.Second, 1, 1)), 0) // 50 KB
+	if got := q.FT(); got != 3500 {
+		t.Errorf("FT = %v, want 50×70 = 3500", got)
+	}
+	// A 100 KB entry moves the average to 75 KB.
+	big := entry(0, target(10*vtime.Second, 1, 1))
+	big.SizeKB = 100
+	q.Enqueue(big, 0)
+	if got := q.FT(); got != 75*70 {
+		t.Errorf("FT = %v, want 5250", got)
+	}
+	// FT reflects history even after removals.
+	q.RemoveAt(0)
+	q.RemoveAt(0)
+	if got := q.FT(); got != 75*70 {
+		t.Errorf("FT after drain = %v, want 5250", got)
+	}
+}
+
+func TestQueuePruneExpired(t *testing.T) {
+	q := NewQueue(70)
+	p := Params{PD: 2} // ε off: only expiry drops
+	live := entry(0, target(30*vtime.Second, 1, 1))
+	dead := entry(0, target(1*vtime.Second, 1, 1))
+	mixed := entry(0, target(1*vtime.Second, 1, 1), target(30*vtime.Second, 1, 1))
+	q.Enqueue(live, 0)
+	q.Enqueue(dead, 0)
+	q.Enqueue(mixed, 0)
+
+	drops := q.Prune(5*vtime.Second, p)
+	if len(drops) != 1 || drops[0].Entry != dead || drops[0].Reason != DropExpired {
+		t.Fatalf("drops = %+v, want only the fully expired entry", drops)
+	}
+	if q.Len() != 2 {
+		t.Errorf("len = %d, want 2 (mixed entry must survive)", q.Len())
+	}
+}
+
+func TestQueuePruneHopeless(t *testing.T) {
+	q := NewQueue(70)
+	p := DefaultParams()
+	// Hopeless: 2 hops ≈ 7 s residual vs 1.2 s slack, not yet expired.
+	hopeless := entry(0, target(1200, 1, 2))
+	live := entry(0, target(30*vtime.Second, 1, 2))
+	q.Enqueue(hopeless, 0)
+	q.Enqueue(live, 0)
+
+	drops := q.Prune(0, p)
+	if len(drops) != 1 || drops[0].Entry != hopeless || drops[0].Reason != DropHopeless {
+		t.Fatalf("drops = %+v, want the hopeless entry", drops)
+	}
+
+	// With ε disabled the same entry survives until expiry.
+	q2 := NewQueue(70)
+	q2.Enqueue(entry(0, target(1200, 1, 2)), 0)
+	if drops := q2.Prune(0, Params{PD: 2}); len(drops) != 0 {
+		t.Errorf("ε=0 should not drop hopeless entries: %+v", drops)
+	}
+}
+
+func TestQueuePopNext(t *testing.T) {
+	q := NewQueue(70)
+	p := DefaultParams()
+	a := entry(0, target(10*vtime.Second, 1, 1))
+	b := entry(0, target(10*vtime.Second, 1, 1))
+	q.Enqueue(a, 0)
+	q.Enqueue(b, 10)
+	got, drops := q.PopNext(FIFO{}, 20, p)
+	if got != a || len(drops) != 0 {
+		t.Errorf("PopNext = %v (drops %v), want first-arrived", got, drops)
+	}
+	if q.Len() != 1 {
+		t.Errorf("len = %d, want 1", q.Len())
+	}
+}
+
+func TestQueuePopNextDrainsToEmpty(t *testing.T) {
+	q := NewQueue(70)
+	p := DefaultParams()
+	q.Enqueue(entry(0, target(1, 1, 1)), 0) // expires immediately
+	got, drops := q.PopNext(FIFO{}, 5*vtime.Second, p)
+	if got != nil {
+		t.Error("PopNext should return nil when pruning empties the queue")
+	}
+	if len(drops) != 1 {
+		t.Errorf("drops = %d, want 1", len(drops))
+	}
+	if got, _ := q.PopNext(FIFO{}, 5*vtime.Second, p); got != nil {
+		t.Error("PopNext on empty queue should return nil")
+	}
+}
+
+func TestDropReasonString(t *testing.T) {
+	if DropExpired.String() != "expired" || DropHopeless.String() != "hopeless" {
+		t.Error("DropReason strings wrong")
+	}
+	if DropReason(9).String() != "unknown" {
+		t.Error("unknown DropReason should render as unknown")
+	}
+}

@@ -1,0 +1,239 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"bdps/internal/stats"
+	"bdps/internal/vtime"
+)
+
+func ctxAt(now vtime.Millis) Context {
+	return Context{Now: now, PD: 2, FT: 3500}
+}
+
+func TestFIFOPicksArrivalOrderRegardlessOfSlicePosition(t *testing.T) {
+	q := NewQueue(70)
+	a := entry(0, target(10*vtime.Second, 1, 1))
+	b := entry(0, target(10*vtime.Second, 1, 1))
+	c := entry(0, target(10*vtime.Second, 1, 1))
+	q.Enqueue(a, 0)
+	q.Enqueue(b, 1)
+	q.Enqueue(c, 2)
+	// Swap-remove the head: slice order becomes [c, b].
+	q.RemoveAt(0)
+	i := FIFO{}.Pick(q.Entries(), ctxAt(10))
+	if q.Entries()[i] != b {
+		t.Error("FIFO must follow Seq, not slice position")
+	}
+}
+
+func TestFIFOEmpty(t *testing.T) {
+	if got := (FIFO{}).Pick(nil, ctxAt(0)); got != -1 {
+		t.Errorf("empty pick = %d, want -1", got)
+	}
+}
+
+func TestRLPicksShortestLifetime(t *testing.T) {
+	es := []*Entry{
+		entry(0, target(30*vtime.Second, 1, 1)),
+		entry(0, target(10*vtime.Second, 1, 1)), // most urgent
+		entry(0, target(20*vtime.Second, 1, 1)),
+	}
+	if got := (RL{}).Pick(es, ctxAt(0)); got != 1 {
+		t.Errorf("RL pick = %d, want 1", got)
+	}
+}
+
+func TestRLUsesAverageAcrossTargets(t *testing.T) {
+	es := []*Entry{
+		entry(0, target(10*vtime.Second, 1, 1), target(50*vtime.Second, 1, 1)), // avg 30s
+		entry(0, target(25*vtime.Second, 1, 1)),                                // avg 25s
+	}
+	if got := (RL{}).Pick(es, ctxAt(0)); got != 1 {
+		t.Errorf("RL pick = %d, want 1 (average lifetime)", got)
+	}
+}
+
+func TestMaxEBPrefersMoreSubscribers(t *testing.T) {
+	es := []*Entry{
+		entry(0, target(30*vtime.Second, 1, 1)),
+		entry(0, target(30*vtime.Second, 1, 1), target(30*vtime.Second, 1, 1)),
+	}
+	if got := (MaxEB{}).Pick(es, ctxAt(0)); got != 1 {
+		t.Errorf("EB pick = %d, want the 2-subscriber entry", got)
+	}
+}
+
+func TestMaxEBPrefersHigherPrice(t *testing.T) {
+	es := []*Entry{
+		entry(0, target(30*vtime.Second, 1, 1)),
+		entry(0, target(30*vtime.Second, 3, 1)),
+	}
+	if got := (MaxEB{}).Pick(es, ctxAt(0)); got != 1 {
+		t.Errorf("EB pick = %d, want the price-3 entry", got)
+	}
+}
+
+func TestMaxEBPrefersFeasibleOverDoomed(t *testing.T) {
+	es := []*Entry{
+		entry(0, target(1500, 1, 2)), // ~7s residual vs 1.5s slack: doomed
+		entry(0, target(30*vtime.Second, 1, 2)),
+	}
+	if got := (MaxEB{}).Pick(es, ctxAt(0)); got != 1 {
+		t.Errorf("EB pick = %d, want the feasible entry", got)
+	}
+}
+
+func TestMaxPCPrefersUrgent(t *testing.T) {
+	// Safe: 60s slack. Urgent: ~4.2s slack with FT 3.5s — postponing it
+	// costs real success probability.
+	es := []*Entry{
+		entry(0, target(60*vtime.Second, 1, 1)),
+		entry(0, target(4200, 1, 1)),
+	}
+	if got := (MaxPC{}).Pick(es, ctxAt(0)); got != 1 {
+		t.Errorf("PC pick = %d, want the urgent entry", got)
+	}
+}
+
+func TestEBAndPCDisagreeOnSafeRichMessage(t *testing.T) {
+	// The scenario §5.2 motivates: a message with high success (rich but
+	// safe) vs a borderline one. EB picks the safe rich one; PC picks the
+	// urgent one.
+	es := []*Entry{
+		entry(0, target(60*vtime.Second, 2, 1)), // safe, high benefit
+		entry(0, target(4200, 1, 1)),            // urgent, lower benefit
+	}
+	ctx := ctxAt(0)
+	if got := (MaxEB{}).Pick(es, ctx); got != 0 {
+		t.Errorf("EB pick = %d, want safe rich entry", got)
+	}
+	if got := (MaxPC{}).Pick(es, ctx); got != 1 {
+		t.Errorf("PC pick = %d, want urgent entry", got)
+	}
+}
+
+func TestMaxEBPCEndpointsMatchEBandPC(t *testing.T) {
+	es := []*Entry{
+		entry(0, target(60*vtime.Second, 2, 1)),
+		entry(0, target(4200, 1, 1)),
+		entry(0, target(12*vtime.Second, 1, 2)),
+	}
+	ctx := ctxAt(0)
+	if (MaxEBPC{R: 1}).Pick(es, ctx) != (MaxEB{}).Pick(es, ctx) {
+		t.Error("EBPC(r=1) must agree with EB")
+	}
+	if (MaxEBPC{R: 0}).Pick(es, ctx) != (MaxPC{}).Pick(es, ctx) {
+		t.Error("EBPC(r=0) must agree with PC")
+	}
+}
+
+func TestStrategiesDeterministicTieBreak(t *testing.T) {
+	// Identical entries: every strategy must pick index 0.
+	mk := func() *Entry { return entry(0, target(30*vtime.Second, 1, 1)) }
+	es := []*Entry{mk(), mk(), mk()}
+	// Give them distinct seqs as a queue would.
+	for i, e := range es {
+		e.Seq = uint64(i)
+	}
+	ctx := ctxAt(0)
+	for _, s := range Strategies(0.5) {
+		if got := s.Pick(es, ctx); got != 0 {
+			t.Errorf("%s tie-break pick = %d, want 0", s.Name(), got)
+		}
+	}
+}
+
+func TestStrategiesEmptyPick(t *testing.T) {
+	for _, s := range Strategies(0.5) {
+		if got := s.Pick(nil, ctxAt(0)); got != -1 {
+			t.Errorf("%s empty pick = %d, want -1", s.Name(), got)
+		}
+	}
+}
+
+func TestParseStrategy(t *testing.T) {
+	cases := map[string]string{
+		"fifo":     "FIFO",
+		"FIFO":     "FIFO",
+		"rl":       "RL",
+		"eb":       "EB",
+		"pc":       "PC",
+		"ebpc":     "EBPC(r=0.50)",
+		"ebpc:0.7": "EBPC(r=0.70)",
+		" eb ":     "EB",
+	}
+	for in, want := range cases {
+		s, err := ParseStrategy(in)
+		if err != nil {
+			t.Errorf("ParseStrategy(%q): %v", in, err)
+			continue
+		}
+		if s.Name() != want {
+			t.Errorf("ParseStrategy(%q).Name() = %q, want %q", in, s.Name(), want)
+		}
+	}
+	for _, bad := range []string{"", "lifo", "ebpc:", "ebpc:1.5", "ebpc:x", "ebpc:-0.1"} {
+		if _, err := ParseStrategy(bad); err == nil {
+			t.Errorf("ParseStrategy(%q) should fail", bad)
+		}
+	}
+}
+
+func TestStrategiesList(t *testing.T) {
+	ss := Strategies(0.3)
+	if len(ss) != 5 {
+		t.Fatalf("Strategies returns %d, want 5", len(ss))
+	}
+	if ebpc, ok := ss[2].(MaxEBPC); !ok || ebpc.R != 0.3 {
+		t.Error("third strategy should be EBPC with the given weight")
+	}
+}
+
+// TestScheduleScenarioEndToEnd drives one queue through a congested
+// moment and checks that EB outperforms FIFO in delivered benefit under
+// the same arrivals — the core claim of the paper in miniature.
+func TestScheduleScenarioEndToEnd(t *testing.T) {
+	run := func(s Strategy) (delivered float64) {
+		q := NewQueue(70)
+		p := DefaultParams()
+		now := vtime.Millis(0)
+		// Ten messages arrive at once; deadlines interleave feasible and
+		// infeasible; the link sends one message every 3.5 s.
+		for i := 0; i < 10; i++ {
+			deadline := vtime.Millis(6000 + 4000*(i%5))
+			q.Enqueue(entry(0, Target{
+				Deadline: deadline, Price: 1, Hops: 1,
+				Rate: stats.Normal{Mean: 70, Sigma: 20},
+			}), now)
+		}
+		for q.Len() > 0 {
+			e, _ := q.PopNext(s, now, p)
+			if e == nil {
+				break
+			}
+			// Deterministic link: transmission takes the mean time.
+			arrival := now + vtime.Millis(e.SizeKB*70)
+			for _, tg := range e.Targets {
+				if arrival+2 <= tg.Deadline {
+					delivered += tg.Price
+				}
+			}
+			now = arrival
+		}
+		return delivered
+	}
+	eb := run(MaxEB{})
+	fifo := run(FIFO{})
+	rl := run(RL{})
+	if eb < fifo {
+		t.Errorf("EB delivered %v, FIFO %v — EB should not lose", eb, fifo)
+	}
+	if eb < rl {
+		t.Errorf("EB delivered %v, RL %v — EB should not lose", eb, rl)
+	}
+	if math.Abs(eb) < 1 {
+		t.Error("scenario should deliver something under EB")
+	}
+}

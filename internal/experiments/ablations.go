@@ -1,0 +1,269 @@
+package experiments
+
+import (
+	"fmt"
+
+	"bdps/internal/core"
+	"bdps/internal/metrics"
+	"bdps/internal/msg"
+	"bdps/internal/simnet"
+	"bdps/internal/topology"
+	"bdps/internal/workload"
+)
+
+// Ablations quantify the design choices DESIGN.md calls out, beyond the
+// paper's own figures. Each returns a Figure so the CLI renders and saves
+// them uniformly. They run the congested PSD point (rate 12) with the EB
+// strategy unless stated otherwise.
+
+// ablationCell runs one ablation configuration averaged over seeds.
+func (o *Options) ablationCell(mutate func(*simnet.Config)) (metrics.Result, error) {
+	var rs []metrics.Result
+	for _, seed := range o.Seeds {
+		cfg := simnet.Config{
+			Seed:      seed,
+			Scenario:  msg.PSD,
+			Strategy:  core.MaxEB{},
+			Params:    o.Params,
+			Workload:  workload.Config{RatePerMin: 12, Duration: o.Duration},
+			LinkModel: o.LinkModel,
+		}
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		r, err := simnet.Run(cfg)
+		if err != nil {
+			return metrics.Result{}, err
+		}
+		if o.Progress != nil {
+			o.Progress(r.String())
+		}
+		rs = append(rs, r)
+	}
+	return metrics.Mean(rs), nil
+}
+
+// AblationEpsilon sweeps the invalid-message detection threshold ε
+// (§5.4). ε = 0 disables detection entirely.
+func AblationEpsilon(opts Options) (*Figure, error) {
+	opts.setDefaults()
+	fig := &Figure{
+		ID:     "A1",
+		Title:  "ε-detection sweep (PSD, EB, rate 12)",
+		XLabel: "epsilon",
+		YLabel: "delivery rate (%) / traffic (k)",
+		Series: []string{"delivery %", "traffic k", "hopeless drops k"},
+	}
+	for _, eps := range []float64{0, 0.00005, 0.0005, 0.005, 0.05, 0.2} {
+		res, err := opts.ablationCell(func(c *simnet.Config) {
+			c.Params = core.Params{PD: opts.Params.PD, Epsilon: eps}
+		})
+		if err != nil {
+			return nil, err
+		}
+		fig.Points = append(fig.Points, Point{X: eps, Values: map[string]float64{
+			"delivery %":       100 * res.DeliveryRate(),
+			"traffic k":        res.MessageNumberK(),
+			"hopeless drops k": float64(res.DropsHopeless) / 1000,
+		}})
+	}
+	return fig, nil
+}
+
+// AblationMeasure sweeps the number of measured samples used to estimate
+// link-rate parameters; 0 is the oracle (the paper's assumption).
+func AblationMeasure(opts Options) (*Figure, error) {
+	opts.setDefaults()
+	fig := &Figure{
+		ID:     "A2",
+		Title:  "measured vs known link parameters (PSD, EB, rate 12)",
+		XLabel: "measurement samples (0 = oracle)",
+		YLabel: "delivery rate (%)",
+		Series: []string{"delivery %"},
+	}
+	for _, n := range []int{0, 5, 20, 100, 500} {
+		res, err := opts.ablationCell(func(c *simnet.Config) { c.MeasureSamples = n })
+		if err != nil {
+			return nil, err
+		}
+		fig.Points = append(fig.Points, Point{X: float64(n), Values: map[string]float64{
+			"delivery %": 100 * res.DeliveryRate(),
+		}})
+	}
+	return fig, nil
+}
+
+// AblationMultipath compares single-path routing with DCP-style K-path
+// forwarding (K = 1, 2, 3): reliability vs traffic.
+func AblationMultipath(opts Options) (*Figure, error) {
+	opts.setDefaults()
+	fig := &Figure{
+		ID:     "A3",
+		Title:  "single-path vs multi-path routing (PSD, EB, rate 12)",
+		XLabel: "paths per (ingress, subscriber)",
+		YLabel: "delivery rate (%) / traffic (k)",
+		Series: []string{"delivery %", "traffic k"},
+	}
+	for _, k := range []int{1, 2, 3} {
+		res, err := opts.ablationCell(func(c *simnet.Config) { c.Multipath = k })
+		if err != nil {
+			return nil, err
+		}
+		fig.Points = append(fig.Points, Point{X: float64(k), Values: map[string]float64{
+			"delivery %": 100 * res.DeliveryRate(),
+			"traffic k":  res.MessageNumberK(),
+		}})
+	}
+	return fig, nil
+}
+
+// AblationLinkModel compares the normal link model (§3.2) against the
+// fixed-rate assumption of QRON-style work and the shifted-gamma shape of
+// refs [17, 18]. X encodes the model: 0 normal, 1 fixed, 2 gamma.
+func AblationLinkModel(opts Options) (*Figure, error) {
+	opts.setDefaults()
+	fig := &Figure{
+		ID:     "A4",
+		Title:  "link model: 0=normal, 1=fixed, 2=gamma (PSD, EB, rate 12)",
+		XLabel: "link model",
+		YLabel: "delivery rate (%)",
+		Series: []string{"delivery %"},
+	}
+	for i, model := range []simnet.LinkModel{simnet.LinkNormal, simnet.LinkFixed, simnet.LinkGamma} {
+		res, err := opts.ablationCell(func(c *simnet.Config) { c.LinkModel = model })
+		if err != nil {
+			return nil, err
+		}
+		fig.Points = append(fig.Points, Point{X: float64(i), Values: map[string]float64{
+			"delivery %": 100 * res.DeliveryRate(),
+		}})
+	}
+	return fig, nil
+}
+
+// AblationTopology compares the paper's layered mesh with the acyclic
+// tree of §3.1 and a random mesh. X encodes the shape: 0 layered,
+// 1 acyclic, 2 mesh.
+func AblationTopology(opts Options) (*Figure, error) {
+	opts.setDefaults()
+	fig := &Figure{
+		ID:     "A5",
+		Title:  "topology: 0=layered-mesh, 1=acyclic-tree, 2=random-mesh (PSD, EB, rate 12)",
+		XLabel: "topology",
+		YLabel: "delivery rate (%)",
+		Series: []string{"delivery %"},
+	}
+	builders := []func(seed uint64) (*topology.Overlay, error){
+		func(seed uint64) (*topology.Overlay, error) {
+			return topology.BuildLayered(topology.LayeredConfig{Seed: seed})
+		},
+		func(seed uint64) (*topology.Overlay, error) {
+			return topology.BuildAcyclic(topology.AcyclicConfig{Seed: seed})
+		},
+		func(seed uint64) (*topology.Overlay, error) {
+			return topology.BuildMesh(topology.MeshConfig{Seed: seed})
+		},
+	}
+	for i, build := range builders {
+		ov, err := build(opts.Seeds[0])
+		if err != nil {
+			return nil, err
+		}
+		res, err := opts.ablationCell(func(c *simnet.Config) { c.Overlay = ov })
+		if err != nil {
+			return nil, err
+		}
+		fig.Points = append(fig.Points, Point{X: float64(i), Values: map[string]float64{
+			"delivery %": 100 * res.DeliveryRate(),
+		}})
+	}
+	return fig, nil
+}
+
+// AblationFairness compares Jain's fairness index across strategies at
+// the congested point — an aspect the paper does not report but the
+// operator of a priced system cares about.
+func AblationFairness(opts Options) (*Figure, error) {
+	opts.setDefaults()
+	fig := &Figure{
+		ID:     "A6",
+		Title:  "per-subscriber fairness: 0=EB, 1=PC, 2=FIFO, 3=RL (PSD, rate 12)",
+		XLabel: "strategy",
+		YLabel: "Jain index / delivery %",
+		Series: []string{"jain", "delivery %"},
+	}
+	strategies := []core.Strategy{core.MaxEB{}, core.MaxPC{}, core.FIFO{}, core.RL{}}
+	for i, s := range strategies {
+		s := s
+		res, err := opts.ablationCell(func(c *simnet.Config) {
+			c.Strategy = s
+			c.Params = opts.paramsFor(s)
+			c.PerSubscriber = true
+		})
+		if err != nil {
+			return nil, err
+		}
+		fig.Points = append(fig.Points, Point{X: float64(i), Values: map[string]float64{
+			"jain":       res.Fairness,
+			"delivery %": 100 * res.DeliveryRate(),
+		}})
+	}
+	return fig, nil
+}
+
+// AblationHotspot skews message popularity: a growing fraction of
+// messages draw attributes from the hot low range, concentrating
+// subscriber interest on fewer, more-valuable messages.
+func AblationHotspot(opts Options) (*Figure, error) {
+	opts.setDefaults()
+	fig := &Figure{
+		ID:     "A7",
+		Title:  "content hotspot skew (PSD, EB, rate 12)",
+		XLabel: "hot fraction",
+		YLabel: "delivery rate (%) / avg interested subs",
+		Series: []string{"delivery %", "interest/msg"},
+	}
+	for _, h := range []float64{0, 0.25, 0.5, 0.75} {
+		res, err := opts.ablationCell(func(c *simnet.Config) {
+			c.Workload.HotspotFraction = h
+		})
+		if err != nil {
+			return nil, err
+		}
+		interest := 0.0
+		if res.Published > 0 {
+			interest = float64(res.TotalTargets) / float64(res.Published)
+		}
+		fig.Points = append(fig.Points, Point{X: h, Values: map[string]float64{
+			"delivery %":   100 * res.DeliveryRate(),
+			"interest/msg": interest,
+		}})
+	}
+	return fig, nil
+}
+
+// RunAblation dispatches an ablation id.
+func RunAblation(id string, opts Options) (*Figure, error) {
+	switch id {
+	case "epsilon", "A1":
+		return AblationEpsilon(opts)
+	case "measure", "A2":
+		return AblationMeasure(opts)
+	case "multipath", "A3":
+		return AblationMultipath(opts)
+	case "linkmodel", "A4":
+		return AblationLinkModel(opts)
+	case "topology", "A5":
+		return AblationTopology(opts)
+	case "fairness", "A6":
+		return AblationFairness(opts)
+	case "hotspot", "A7":
+		return AblationHotspot(opts)
+	}
+	return nil, fmt.Errorf("experiments: unknown ablation %q (want epsilon, measure, multipath, linkmodel, topology, fairness, hotspot)", id)
+}
+
+// Ablations lists the ablation ids in order.
+func Ablations() []string {
+	return []string{"epsilon", "measure", "multipath", "linkmodel", "topology", "fairness", "hotspot"}
+}

@@ -1,0 +1,213 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// Claim is one falsifiable statement the paper's evaluation makes. The
+// claims checker reruns the experiments and verifies each statement
+// against the measured figures, turning "the shapes should hold" into an
+// executable test (`bdps-sim -claims` or TestPaperClaims).
+type Claim struct {
+	ID          string
+	Description string
+	// Check inspects the figures (keyed "4a".."6b") and returns an error
+	// describing the violation, or nil.
+	Check func(figs map[string]*Figure) error
+}
+
+// ClaimResult is one claim's verdict.
+type ClaimResult struct {
+	Claim Claim
+	Err   error
+}
+
+// PaperClaims returns the qualitative results of §6.2 as checks. They are
+// written with tolerances wide enough to hold from ~10-minute windows up
+// to the full 2-hour reproduction.
+func PaperClaims() []Claim {
+	lastX := func(f *Figure) int { return len(f.Points) - 1 }
+	return []Claim{
+		{
+			ID:          "fig6a-ordering",
+			Description: "PSD delivery at the highest rate: EB > FIFO > RL (paper: 40.1% / 22.5% / 11.6%)",
+			Check: func(figs map[string]*Figure) error {
+				f := figs["6a"]
+				i := lastX(f)
+				eb, fifo, rl := f.Value(i, "EB"), f.Value(i, "FIFO"), f.Value(i, "RL")
+				if !(eb > fifo && fifo > rl) {
+					return fmt.Errorf("got EB=%.1f FIFO=%.1f RL=%.1f", eb, fifo, rl)
+				}
+				return nil
+			},
+		},
+		{
+			ID:          "fig6a-monotone",
+			Description: "PSD delivery rate decreases as publishing rate grows (every strategy)",
+			Check: func(figs map[string]*Figure) error {
+				f := figs["6a"]
+				for _, s := range f.Series {
+					if f.Value(0, s) <= f.Value(lastX(f), s) {
+						return fmt.Errorf("series %s: first %.1f <= last %.1f",
+							s, f.Value(0, s), f.Value(lastX(f), s))
+					}
+				}
+				return nil
+			},
+		},
+		{
+			ID:          "fig5a-eb-monotone",
+			Description: "SSD earning grows monotonically with rate under EB (paper Fig 5a)",
+			Check: func(figs map[string]*Figure) error {
+				f := figs["5a"]
+				for i := 1; i < len(f.Points); i++ {
+					if f.Value(i, "EB") < f.Value(i-1, "EB")*0.98 {
+						return fmt.Errorf("EB earning fell at x=%v: %.1f -> %.1f",
+							f.Points[i].X, f.Value(i-1, "EB"), f.Value(i, "EB"))
+					}
+				}
+				return nil
+			},
+		},
+		{
+			ID:          "fig5a-baselines-peak",
+			Description: "FIFO and RL earnings peak then decline (paper Fig 5a)",
+			Check: func(figs map[string]*Figure) error {
+				f := figs["5a"]
+				if len(f.Points) < 3 {
+					return fmt.Errorf("need >= 3 rates to see a peak")
+				}
+				for _, s := range []string{"FIFO", "RL"} {
+					last := f.Value(lastX(f), s)
+					peak := last
+					for i := range f.Points {
+						if v := f.Value(i, s); v > peak {
+							peak = v
+						}
+					}
+					if peak <= last*1.05 {
+						return fmt.Errorf("series %s never declines: peak %.1f vs last %.1f",
+							s, peak, last)
+					}
+				}
+				return nil
+			},
+		},
+		{
+			ID:          "fig5a-eb-multiple",
+			Description: "SSD earning at the highest rate: EB is a multiple of FIFO (paper: 5×) and RL (paper: 10×)",
+			Check: func(figs map[string]*Figure) error {
+				f := figs["5a"]
+				i := lastX(f)
+				eb, fifo, rl := f.Value(i, "EB"), f.Value(i, "FIFO"), f.Value(i, "RL")
+				if eb < 2*fifo || eb < 2*rl {
+					return fmt.Errorf("EB=%.1f vs FIFO=%.1f RL=%.1f: below 2×", eb, fifo, rl)
+				}
+				return nil
+			},
+		},
+		{
+			ID:          "fig5b-traffic-modest",
+			Description: "EB's extra traffic over FIFO stays modest (paper: +23% at rate 15)",
+			Check: func(figs map[string]*Figure) error {
+				f := figs["5b"]
+				i := lastX(f)
+				eb, fifo := f.Value(i, "EB"), f.Value(i, "FIFO")
+				if eb < fifo*0.95 {
+					return fmt.Errorf("EB traffic %.1f unexpectedly below FIFO %.1f", eb, fifo)
+				}
+				if eb > fifo*1.6 {
+					return fmt.Errorf("EB traffic %.1f exceeds 1.6× FIFO %.1f", eb, fifo)
+				}
+				return nil
+			},
+		},
+		{
+			ID:          "fig4a-endpoints",
+			Description: "EBPC degenerates to PC at r=0 and EB at r=1 (definition, eq. 10)",
+			Check: func(figs map[string]*Figure) error {
+				f := figs["4a"]
+				if f.Value(0, "EBPC") != f.Value(0, "PC") {
+					return fmt.Errorf("r=0: EBPC %.2f != PC %.2f",
+						f.Value(0, "EBPC"), f.Value(0, "PC"))
+				}
+				i := lastX(f)
+				if f.Value(i, "EBPC") != f.Value(i, "EB") {
+					return fmt.Errorf("r=1: EBPC %.2f != EB %.2f",
+						f.Value(i, "EBPC"), f.Value(i, "EB"))
+				}
+				return nil
+			},
+		},
+		{
+			ID:          "fig4a-eb-beats-pc",
+			Description: "SSD: EB earns more than PC (paper Fig 4a)",
+			Check: func(figs map[string]*Figure) error {
+				f := figs["4a"]
+				if f.Value(0, "EB") <= f.Value(0, "PC") {
+					return fmt.Errorf("EB %.2f <= PC %.2f", f.Value(0, "EB"), f.Value(0, "PC"))
+				}
+				return nil
+			},
+		},
+		{
+			ID:          "fig4-ebpc-advantage",
+			Description: "some EBPC weight matches or beats pure EB (paper: r in (23%,100%))",
+			Check: func(figs map[string]*Figure) error {
+				for _, id := range []string{"4a", "4b"} {
+					f := figs[id]
+					eb := f.Value(0, "EB")
+					best := eb
+					for i := range f.Points {
+						if v := f.Value(i, "EBPC"); v > best {
+							best = v
+						}
+					}
+					if best < eb*0.995 {
+						return fmt.Errorf("fig %s: best EBPC %.2f below EB %.2f", id, best, eb)
+					}
+				}
+				return nil
+			},
+		},
+	}
+}
+
+// CheckClaims runs every claim against the four figure panels, which it
+// obtains by running the full experiment set at the given scale.
+func CheckClaims(opts Options) ([]ClaimResult, error) {
+	figs, err := All(opts)
+	if err != nil {
+		return nil, err
+	}
+	byID := make(map[string]*Figure, len(figs))
+	for _, f := range figs {
+		byID[f.ID] = f
+	}
+	var out []ClaimResult
+	for _, c := range PaperClaims() {
+		out = append(out, ClaimResult{Claim: c, Err: c.Check(byID)})
+	}
+	return out, nil
+}
+
+// RenderClaims writes a pass/fail report.
+func RenderClaims(w io.Writer, results []ClaimResult) (failed int, err error) {
+	for _, r := range results {
+		status := "PASS"
+		if r.Err != nil {
+			status = "FAIL"
+			failed++
+		}
+		if _, err := fmt.Fprintf(w, "%-4s %-22s %s\n", status, r.Claim.ID, r.Claim.Description); err != nil {
+			return failed, err
+		}
+		if r.Err != nil {
+			if _, err := fmt.Fprintf(w, "     -> %v\n", r.Err); err != nil {
+				return failed, err
+			}
+		}
+	}
+	return failed, nil
+}

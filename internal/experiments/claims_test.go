@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"bdps/internal/vtime"
+)
+
+// TestPaperClaims is the executable reproduction check: all qualitative
+// claims of §6.2 must hold on a 10-minute window. (The full-scale run is
+// `bdps-sim -claims`; results are recorded in EXPERIMENTS.md.)
+func TestPaperClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("claims need a window long enough for congestion to build")
+	}
+	opts := Options{
+		Seeds:    []uint64{1},
+		Duration: 10 * vtime.Minute,
+		Rates:    []float64{3, 9, 15},
+		Weights:  []float64{0, 0.5, 0.7, 1},
+	}
+	results, err := CheckClaims(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(PaperClaims()) {
+		t.Fatalf("checked %d claims, want %d", len(results), len(PaperClaims()))
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Errorf("claim %s failed: %v (%s)", r.Claim.ID, r.Err, r.Claim.Description)
+		}
+	}
+}
+
+func TestRenderClaims(t *testing.T) {
+	results := []ClaimResult{
+		{Claim: Claim{ID: "ok", Description: "fine"}},
+		{Claim: Claim{ID: "bad", Description: "broken"}, Err: errTest},
+	}
+	var buf bytes.Buffer
+	failed, err := RenderClaims(&buf, results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed != 1 {
+		t.Errorf("failed = %d, want 1", failed)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "PASS ok") || !strings.Contains(out, "FAIL bad") {
+		t.Errorf("report:\n%s", out)
+	}
+}
+
+var errTest = &claimError{"synthetic"}
+
+type claimError struct{ s string }
+
+func (e *claimError) Error() string { return e.s }
+
+func TestClaimsHaveUniqueIDs(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range PaperClaims() {
+		if seen[c.ID] {
+			t.Errorf("duplicate claim id %s", c.ID)
+		}
+		seen[c.ID] = true
+		if c.Description == "" || c.Check == nil {
+			t.Errorf("claim %s incomplete", c.ID)
+		}
+	}
+}
+
+func TestAblationRunners(t *testing.T) {
+	opts := Options{Seeds: []uint64{1}, Duration: 2 * vtime.Minute}
+	for _, id := range Ablations() {
+		fig, err := RunAblation(id, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(fig.Points) < 2 {
+			t.Errorf("%s: only %d points", id, len(fig.Points))
+		}
+		for _, p := range fig.Points {
+			for s, v := range p.Values {
+				if v < 0 {
+					t.Errorf("%s: series %s negative at x=%v: %v", id, s, p.X, v)
+				}
+			}
+		}
+	}
+	if _, err := RunAblation("nope", opts); err == nil {
+		t.Error("unknown ablation should fail")
+	}
+}
+
+func TestAblationEpsilonShape(t *testing.T) {
+	opts := Options{Seeds: []uint64{1}, Duration: 4 * vtime.Minute}
+	fig, err := AblationEpsilon(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ε = 0 produces no hopeless drops; large ε produces many.
+	if fig.Points[0].Values["hopeless drops k"] != 0 {
+		t.Error("ε=0 must not drop hopeless entries")
+	}
+	last := fig.Points[len(fig.Points)-1]
+	if last.Values["hopeless drops k"] == 0 {
+		t.Error("aggressive ε should drop entries")
+	}
+}
+
+func TestAblationFairnessProducesIndex(t *testing.T) {
+	opts := Options{Seeds: []uint64{1}, Duration: 3 * vtime.Minute}
+	fig, err := AblationFairness(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range fig.Points {
+		if j := p.Values["jain"]; j <= 0 || j > 1 {
+			t.Errorf("jain index %v out of (0,1]", j)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+// Package experiments reproduces the evaluation of §6: one runner per
+// figure panel, sweeping publishing rate or the EBPC weight across
+// strategies, aggregating over seeds, and rendering the same series the
+// paper plots.
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Figure is one reproduced figure panel: an x-swept family of named
+// series.
+type Figure struct {
+	ID     string // "4a" … "6b"
+	Title  string
+	XLabel string
+	YLabel string
+	Series []string
+	Points []Point
+}
+
+// Point holds one x value and the y value of every series at that x.
+type Point struct {
+	X      float64
+	Values map[string]float64
+}
+
+// Value returns the y value of a series at point i.
+func (f *Figure) Value(i int, series string) float64 {
+	return f.Points[i].Values[series]
+}
+
+// Render writes an aligned text table, one row per x value.
+func (f *Figure) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "Figure %s — %s\n", f.ID, f.Title); err != nil {
+		return err
+	}
+	widths := make([]int, len(f.Series)+1)
+	header := append([]string{f.XLabel}, f.Series...)
+	rows := [][]string{header}
+	for _, p := range f.Points {
+		row := []string{trimFloat(p.X)}
+		for _, s := range f.Series {
+			row = append(row, fmt.Sprintf("%.2f", p.Values[s]))
+		}
+		rows = append(rows, row)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for _, row := range rows {
+		var b strings.Builder
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+			b.WriteString(cell)
+		}
+		if _, err := fmt.Fprintf(w, "%s\n", b.String()); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "(y: %s)\n", f.YLabel)
+	return err
+}
+
+// WriteCSV emits the figure as CSV with an x column and one column per
+// series.
+func (f *Figure) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(append([]string{f.XLabel}, f.Series...)); err != nil {
+		return err
+	}
+	for _, p := range f.Points {
+		row := []string{strconv.FormatFloat(p.X, 'g', -1, 64)}
+		for _, s := range f.Series {
+			row = append(row, strconv.FormatFloat(p.Values[s], 'g', 6, 64))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func trimFloat(x float64) string {
+	// Round away float noise (100·0.1 = 10.000000000000002), then render
+	// shortest-form so sub-0.01 x values (ε sweeps) stay distinguishable.
+	return strconv.FormatFloat(math.Round(x*1e9)/1e9, 'g', -1, 64)
+}

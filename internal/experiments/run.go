@@ -1,0 +1,267 @@
+package experiments
+
+import (
+	"fmt"
+
+	"bdps/internal/core"
+	"bdps/internal/metrics"
+	"bdps/internal/msg"
+	"bdps/internal/simnet"
+	"bdps/internal/vtime"
+	"bdps/internal/workload"
+)
+
+// Options scales an experiment. The zero value reproduces the paper's
+// full setup; tests and benchmarks shrink Duration and Seeds.
+type Options struct {
+	// Seeds to average over; default {1, 2, 3}.
+	Seeds []uint64
+	// Duration of the publishing window; default 2 h (paper §6.1).
+	Duration vtime.Millis
+	// Rates is the publishing-rate sweep for Figures 5 and 6; default
+	// {1, 3, 6, 9, 12, 15} msg/min per publisher.
+	Rates []float64
+	// Weights is the EBPC r sweep for Figure 4; default 0, 0.1, …, 1.
+	Weights []float64
+	// Fig4Rate is the fixed publishing rate of Figure 4; default 10.
+	Fig4Rate float64
+	// EBPCWeight is the r used when EBPC appears in rate sweeps; the
+	// paper found r ∈ (0.23, 1) beneficial; default 0.5.
+	EBPCWeight float64
+	// Params are the scheduling parameters for the proposed strategies
+	// (EB, PC, EBPC); FIFO and RL always run with ε = 0, as traditional
+	// strategies have no invalid-message detection.
+	Params core.Params
+	// Multipath, MeasureSamples and LinkModel pass through to the
+	// simulator for ablations.
+	Multipath      int
+	MeasureSamples int
+	LinkModel      simnet.LinkModel
+	// Progress, when non-nil, receives one line per completed run.
+	Progress func(string)
+}
+
+func (o *Options) setDefaults() {
+	if len(o.Seeds) == 0 {
+		o.Seeds = []uint64{1, 2, 3}
+	}
+	if o.Duration == 0 {
+		o.Duration = 2 * vtime.Hour
+	}
+	if len(o.Rates) == 0 {
+		o.Rates = []float64{1, 3, 6, 9, 12, 15}
+	}
+	if len(o.Weights) == 0 {
+		o.Weights = []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1}
+	}
+	if o.Fig4Rate == 0 {
+		o.Fig4Rate = 10
+	}
+	if o.EBPCWeight == 0 {
+		o.EBPCWeight = 0.5
+	}
+	if o.Params == (core.Params{}) {
+		o.Params = core.DefaultParams()
+	}
+}
+
+// paramsFor returns the scheduling parameters a strategy runs with:
+// traditional baselines (FIFO, RL) drop only expired messages.
+func (o *Options) paramsFor(s core.Strategy) core.Params {
+	switch s.(type) {
+	case core.FIFO, core.RL:
+		return core.Params{PD: o.Params.PD, Epsilon: 0}
+	default:
+		return o.Params
+	}
+}
+
+// runOne executes one (scenario, strategy, rate) cell averaged over seeds.
+func (o *Options) runOne(scenario msg.Scenario, strat core.Strategy, rate float64) (metrics.Result, error) {
+	var rs []metrics.Result
+	for _, seed := range o.Seeds {
+		cfg := simnet.Config{
+			Seed:     seed,
+			Scenario: scenario,
+			Strategy: strat,
+			Params:   o.paramsFor(strat),
+			Workload: workload.Config{
+				RatePerMin: rate,
+				Duration:   o.Duration,
+			},
+			Multipath:      o.Multipath,
+			MeasureSamples: o.MeasureSamples,
+			LinkModel:      o.LinkModel,
+		}
+		r, err := simnet.Run(cfg)
+		if err != nil {
+			return metrics.Result{}, err
+		}
+		if o.Progress != nil {
+			o.Progress(r.String())
+		}
+		rs = append(rs, r)
+	}
+	return metrics.Mean(rs), nil
+}
+
+// Figure4a reproduces Figure 4(a): SSD total earning versus the EBPC
+// weight r, with the flat EB and PC references.
+func Figure4a(opts Options) (*Figure, error) {
+	opts.setDefaults()
+	return figure4(opts, msg.SSD, "4a", "total earning (k)",
+		func(r metrics.Result) float64 { return r.EarningK() })
+}
+
+// Figure4b reproduces Figure 4(b): PSD delivery rate versus r.
+func Figure4b(opts Options) (*Figure, error) {
+	opts.setDefaults()
+	return figure4(opts, msg.PSD, "4b", "delivery rate (%)",
+		func(r metrics.Result) float64 { return 100 * r.DeliveryRate() })
+}
+
+func figure4(opts Options, scenario msg.Scenario, id, ylabel string, y func(metrics.Result) float64) (*Figure, error) {
+	fig := &Figure{
+		ID:     id,
+		Title:  fmt.Sprintf("%s: EB vs PC vs EBPC, publishing rate %.0f", scenario, opts.Fig4Rate),
+		XLabel: "weight of EB (%)",
+		YLabel: ylabel,
+		Series: []string{"EBPC", "EB", "PC"},
+	}
+	ebRes, err := opts.runOne(scenario, core.MaxEB{}, opts.Fig4Rate)
+	if err != nil {
+		return nil, err
+	}
+	pcRes, err := opts.runOne(scenario, core.MaxPC{}, opts.Fig4Rate)
+	if err != nil {
+		return nil, err
+	}
+	for _, w := range opts.Weights {
+		var ebpcRes metrics.Result
+		// The endpoints coincide with the pure strategies by
+		// construction; reuse their runs to keep the figure consistent
+		// and save a third of the sweep.
+		switch w {
+		case 0:
+			ebpcRes = pcRes
+		case 1:
+			ebpcRes = ebRes
+		default:
+			ebpcRes, err = opts.runOne(scenario, core.MaxEBPC{R: w}, opts.Fig4Rate)
+			if err != nil {
+				return nil, err
+			}
+		}
+		fig.Points = append(fig.Points, Point{
+			X: 100 * w,
+			Values: map[string]float64{
+				"EBPC": y(ebpcRes),
+				"EB":   y(ebRes),
+				"PC":   y(pcRes),
+			},
+		})
+	}
+	return fig, nil
+}
+
+// Figure5 reproduces Figure 5: the SSD rate sweep. It returns panel (a)
+// total earning and panel (b) message number from one set of runs.
+func Figure5(opts Options) (earning, traffic *Figure, err error) {
+	opts.setDefaults()
+	return rateSweep(opts, msg.SSD, "5a", "5b",
+		"total earning (k)", func(r metrics.Result) float64 { return r.EarningK() })
+}
+
+// Figure6 reproduces Figure 6: the PSD rate sweep. It returns panel (a)
+// delivery rate and panel (b) message number from one set of runs.
+func Figure6(opts Options) (delivery, traffic *Figure, err error) {
+	opts.setDefaults()
+	return rateSweep(opts, msg.PSD, "6a", "6b",
+		"delivery rate (%)", func(r metrics.Result) float64 { return 100 * r.DeliveryRate() })
+}
+
+func rateSweep(opts Options, scenario msg.Scenario, idA, idB, ylabelA string, yA func(metrics.Result) float64) (*Figure, *Figure, error) {
+	strategies := []core.Strategy{core.MaxEB{}, core.MaxPC{}, core.FIFO{}, core.RL{}}
+	names := []string{"EB", "PC", "FIFO", "RL"}
+
+	figA := &Figure{
+		ID:     idA,
+		Title:  fmt.Sprintf("%s: strategies vs publishing rate", scenario),
+		XLabel: "publishing rate",
+		YLabel: ylabelA,
+		Series: names,
+	}
+	figB := &Figure{
+		ID:     idB,
+		Title:  fmt.Sprintf("%s: network traffic vs publishing rate", scenario),
+		XLabel: "publishing rate",
+		YLabel: "msg number (k)",
+		Series: names,
+	}
+	for _, rate := range opts.Rates {
+		pa := Point{X: rate, Values: map[string]float64{}}
+		pb := Point{X: rate, Values: map[string]float64{}}
+		for i, strat := range strategies {
+			res, err := opts.runOne(scenario, strat, rate)
+			if err != nil {
+				return nil, nil, err
+			}
+			pa.Values[names[i]] = yA(res)
+			pb.Values[names[i]] = res.MessageNumberK()
+		}
+		figA.Points = append(figA.Points, pa)
+		figB.Points = append(figB.Points, pb)
+	}
+	return figA, figB, nil
+}
+
+// Run dispatches a figure id ("4a", "4b", "5a", "5b", "6a", "6b", or "5"
+// and "6" for both panels) to its runner.
+func Run(id string, opts Options) ([]*Figure, error) {
+	switch id {
+	case "4a":
+		f, err := Figure4a(opts)
+		return []*Figure{f}, err
+	case "4b":
+		f, err := Figure4b(opts)
+		return []*Figure{f}, err
+	case "5", "5a", "5b":
+		a, b, err := Figure5(opts)
+		if err != nil {
+			return nil, err
+		}
+		switch id {
+		case "5a":
+			return []*Figure{a}, nil
+		case "5b":
+			return []*Figure{b}, nil
+		}
+		return []*Figure{a, b}, nil
+	case "6", "6a", "6b":
+		a, b, err := Figure6(opts)
+		if err != nil {
+			return nil, err
+		}
+		switch id {
+		case "6a":
+			return []*Figure{a}, nil
+		case "6b":
+			return []*Figure{b}, nil
+		}
+		return []*Figure{a, b}, nil
+	}
+	return nil, fmt.Errorf("experiments: unknown figure %q (want 4a, 4b, 5, 5a, 5b, 6, 6a, 6b)", id)
+}
+
+// All runs every figure of the paper's evaluation.
+func All(opts Options) ([]*Figure, error) {
+	var out []*Figure
+	for _, id := range []string{"4a", "4b", "5", "6"} {
+		figs, err := Run(id, opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, figs...)
+	}
+	return out, nil
+}

@@ -1,0 +1,223 @@
+package filter
+
+import "math"
+
+// Covers reports whether f provably covers g: every message matching g
+// also matches f. The test is sound but conservative — it may return
+// false for filters whose coverage cannot be established by per-attribute
+// interval reasoning over the DNF expansions. Routing uses it only as an
+// optimization (aggregating subscription entries), so a false negative
+// costs a little table space, never correctness.
+func Covers(f, g *Filter) bool {
+	if f == nil || f.root == nil {
+		return true // wildcard covers everything
+	}
+	if g == nil || g.root == nil {
+		// Only a wildcard-equivalent f covers the wildcard; after the
+		// check above, f has constraints, so be conservative.
+		return false
+	}
+	// f covers g iff every disjunct of g is covered by some disjunct of f
+	// (sufficient condition).
+	for _, gc := range g.DNF() {
+		covered := false
+		for _, fc := range f.DNF() {
+			if conjCovers(fc, gc) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			return false
+		}
+	}
+	return true
+}
+
+// conjCovers reports whether conjunction fc covers conjunction gc.
+func conjCovers(fc, gc []Predicate) bool {
+	fr, ok := conjRanges(fc)
+	if !ok {
+		return false
+	}
+	gr, ok := conjRanges(gc)
+	if !ok {
+		return false
+	}
+	// Every constraint in f must be implied by g's constraints. If g has
+	// no constraint on an attribute f constrains, f cannot cover g.
+	for attr, fi := range fr {
+		gi, exists := gr[attr]
+		if !exists {
+			return false
+		}
+		if gi.empty() {
+			// g's disjunct matches nothing; vacuously covered.
+			return true
+		}
+		if !fi.contains(gi) {
+			return false
+		}
+	}
+	return true
+}
+
+// interval is a numeric constraint lo < / <= x < / <= hi with optional
+// pinned string equality. It is the meet of all predicates on one
+// attribute within a conjunction.
+type interval struct {
+	lo, hi         float64
+	loOpen, hiOpen bool
+	// String-typed equality constraint; "" kind handled via isStr.
+	isStr  bool
+	strVal string
+}
+
+func newInterval() interval {
+	return interval{lo: math.Inf(-1), hi: math.Inf(1)}
+}
+
+func (iv interval) empty() bool {
+	if iv.lo > iv.hi {
+		return true
+	}
+	if iv.lo == iv.hi && (iv.loOpen || iv.hiOpen) {
+		return true
+	}
+	return false
+}
+
+// contains reports whether iv ⊇ other.
+func (iv interval) contains(other interval) bool {
+	if iv.isStr || other.isStr {
+		// Only identical pinned strings can establish coverage.
+		return iv.isStr && other.isStr && iv.strVal == other.strVal
+	}
+	// Lower bound: iv.lo must be <= other.lo, with openness compatible.
+	if iv.lo > other.lo {
+		return false
+	}
+	if iv.lo == other.lo && iv.loOpen && !other.loOpen {
+		return false
+	}
+	if iv.hi < other.hi {
+		return false
+	}
+	if iv.hi == other.hi && iv.hiOpen && !other.hiOpen {
+		return false
+	}
+	return true
+}
+
+// conjRanges folds a conjunction into per-attribute intervals. It returns
+// ok=false when a predicate cannot be represented (NE, or mixed
+// string/number constraints on one attribute) — the caller then falls
+// back to "not provably covered".
+func conjRanges(conj []Predicate) (map[string]interval, bool) {
+	out := make(map[string]interval, len(conj))
+	for _, p := range conj {
+		iv, exists := out[p.Attr]
+		if !exists {
+			iv = newInterval()
+		}
+		switch {
+		case p.Val.Kind == String:
+			if p.Op != EQ {
+				return nil, false
+			}
+			if exists && (!iv.isStr || iv.strVal != p.Val.Str) {
+				return nil, false
+			}
+			iv = interval{isStr: true, strVal: p.Val.Str}
+		case p.Op == NE:
+			return nil, false
+		default:
+			if iv.isStr {
+				return nil, false
+			}
+			x := p.Val.Num
+			switch p.Op {
+			case LT:
+				if x < iv.hi || (x == iv.hi && !iv.hiOpen) {
+					iv.hi, iv.hiOpen = x, true
+				}
+			case LE:
+				if x < iv.hi {
+					iv.hi, iv.hiOpen = x, false
+				}
+			case GT:
+				if x > iv.lo || (x == iv.lo && !iv.loOpen) {
+					iv.lo, iv.loOpen = x, true
+				}
+			case GE:
+				if x > iv.lo {
+					iv.lo, iv.loOpen = x, false
+				}
+			case EQ:
+				if x > iv.lo || (x == iv.lo && iv.loOpen) {
+					iv.lo, iv.loOpen = x, false
+				}
+				if x < iv.hi || (x == iv.hi && iv.hiOpen) {
+					iv.hi, iv.hiOpen = x, false
+				}
+			}
+		}
+		out[p.Attr] = iv
+	}
+	return out, true
+}
+
+// Overlaps reports whether f and g can both match some message, using the
+// same conservative interval reasoning. It errs on the side of true (it
+// may report overlap for filters that are actually disjoint).
+func Overlaps(f, g *Filter) bool {
+	if f == nil || f.root == nil || g == nil || g.root == nil {
+		return true
+	}
+	for _, fc := range f.DNF() {
+		fr, ok := conjRanges(fc)
+		if !ok {
+			return true
+		}
+		for _, gc := range g.DNF() {
+			gr, ok := conjRanges(gc)
+			if !ok {
+				return true
+			}
+			if rangesOverlap(fr, gr) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func rangesOverlap(a, b map[string]interval) bool {
+	for attr, ia := range a {
+		ib, exists := b[attr]
+		if !exists {
+			continue
+		}
+		if ia.isStr != ib.isStr {
+			return false
+		}
+		if ia.isStr {
+			if ia.strVal != ib.strVal {
+				return false
+			}
+			continue
+		}
+		lo, loOpen := ia.lo, ia.loOpen
+		if ib.lo > lo || (ib.lo == lo && ib.loOpen) {
+			lo, loOpen = ib.lo, ib.loOpen
+		}
+		hi, hiOpen := ia.hi, ia.hiOpen
+		if ib.hi < hi || (ib.hi == hi && ib.hiOpen) {
+			hi, hiOpen = ib.hi, ib.hiOpen
+		}
+		if lo > hi || (lo == hi && (loOpen || hiOpen)) {
+			return false
+		}
+	}
+	return true
+}

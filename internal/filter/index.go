@@ -1,0 +1,267 @@
+package filter
+
+import "sort"
+
+// Iterable is the attribute interface the index needs: lookup plus
+// iteration over all attributes.
+type Iterable interface {
+	Attrs
+	// Each calls fn for every attribute.
+	Each(fn func(name string, v Value))
+}
+
+// Index is a predicate-counting matching index over a set of filters —
+// the classic content-based pub/sub matching structure (Siena's counting
+// algorithm): each conjunction's numeric predicates are indexed per
+// attribute in sorted order, a message's attributes select satisfied
+// predicates by binary search, and a conjunction matches when its
+// satisfied count reaches its predicate count.
+//
+// Filters whose DNF contains non-indexable predicates (NE, string
+// inequalities) fall back to a linear list, so Match is always equivalent
+// to evaluating every filter directly. The broker's matching loop is the
+// hot path of a content-based router; this index turns O(filters) into
+// O(log predicates + matches) for the common conjunctive case.
+type Index struct {
+	conjs []conjState
+	// per-attribute predicate lists, sorted by bound
+	lt map[string]boundList // pred: v < bound  (satisfied: bound > v)
+	le map[string]boundList // pred: v <= bound (satisfied: bound >= v)
+	gt map[string]boundList // pred: v > bound  (satisfied: bound < v)
+	ge map[string]boundList // pred: v >= bound (satisfied: bound <= v)
+	eq map[string]map[float64][]int
+	se map[string]map[string][]int // string equality
+
+	fallback []fallbackFilter
+
+	// match-epoch counters (no clearing between matches)
+	epoch   uint64
+	seen    []uint64
+	counts  []int
+	matched map[int32]uint64
+}
+
+type conjState struct {
+	id     int32 // caller's id for the owning filter
+	needed int
+}
+
+type boundList struct {
+	bounds []float64
+	conj   []int
+}
+
+type fallbackFilter struct {
+	id int32
+	f  *Filter
+}
+
+// NewIndex returns an empty index.
+func NewIndex() *Index {
+	return &Index{
+		lt:      make(map[string]boundList),
+		le:      make(map[string]boundList),
+		gt:      make(map[string]boundList),
+		ge:      make(map[string]boundList),
+		eq:      make(map[string]map[float64][]int),
+		se:      make(map[string]map[string][]int),
+		matched: make(map[int32]uint64),
+	}
+}
+
+// Len returns the number of added filters (indexed + fallback).
+func (ix *Index) Len() int {
+	ids := make(map[int32]bool)
+	for _, c := range ix.conjs {
+		ids[c.id] = true
+	}
+	for _, fb := range ix.fallback {
+		ids[fb.id] = true
+	}
+	return len(ids)
+}
+
+// Add registers a filter under the caller's id. Ids may repeat (a
+// subscription re-added is matched once per Match call regardless).
+// Add must not be interleaved with Match.
+func (ix *Index) Add(id int32, f *Filter) {
+	if f == nil || f.root == nil {
+		// Wildcard: a conjunction with zero predicates always matches.
+		ix.conjs = append(ix.conjs, conjState{id: id, needed: 0})
+		ix.dirty()
+		return
+	}
+	for _, conj := range f.DNF() {
+		if !indexable(conj) {
+			ix.fallback = append(ix.fallback, fallbackFilter{id: id, f: f})
+			ix.dirty()
+			return // linear fallback evaluates the whole filter once
+		}
+	}
+	for _, conj := range f.DNF() {
+		ci := len(ix.conjs)
+		ix.conjs = append(ix.conjs, conjState{id: id, needed: len(conj)})
+		for _, p := range conj {
+			switch {
+			case p.Val.Kind == String:
+				m := ix.se[p.Attr]
+				if m == nil {
+					m = make(map[string][]int)
+					ix.se[p.Attr] = m
+				}
+				m[p.Val.Str] = append(m[p.Val.Str], ci)
+			case p.Op == LT:
+				bl := ix.lt[p.Attr]
+				bl.bounds = append(bl.bounds, p.Val.Num)
+				bl.conj = append(bl.conj, ci)
+				ix.lt[p.Attr] = bl
+			case p.Op == LE:
+				bl := ix.le[p.Attr]
+				bl.bounds = append(bl.bounds, p.Val.Num)
+				bl.conj = append(bl.conj, ci)
+				ix.le[p.Attr] = bl
+			case p.Op == GT:
+				bl := ix.gt[p.Attr]
+				bl.bounds = append(bl.bounds, p.Val.Num)
+				bl.conj = append(bl.conj, ci)
+				ix.gt[p.Attr] = bl
+			case p.Op == GE:
+				bl := ix.ge[p.Attr]
+				bl.bounds = append(bl.bounds, p.Val.Num)
+				bl.conj = append(bl.conj, ci)
+				ix.ge[p.Attr] = bl
+			case p.Op == EQ:
+				m := ix.eq[p.Attr]
+				if m == nil {
+					m = make(map[float64][]int)
+					ix.eq[p.Attr] = m
+				}
+				m[p.Val.Num] = append(m[p.Val.Num], ci)
+			}
+		}
+	}
+	ix.dirty()
+}
+
+// indexable reports whether a conjunction can live in the counting index.
+func indexable(conj []Predicate) bool {
+	for _, p := range conj {
+		if p.Op == NE {
+			return false
+		}
+		if p.Val.Kind == String && p.Op != EQ {
+			return false
+		}
+	}
+	return true
+}
+
+// dirty re-sorts bound lists and resizes counters after an Add.
+func (ix *Index) dirty() {
+	for _, m := range []map[string]boundList{ix.lt, ix.le, ix.gt, ix.ge} {
+		for attr, bl := range m {
+			sort.Sort(byBound{&bl})
+			m[attr] = bl
+		}
+	}
+	ix.seen = make([]uint64, len(ix.conjs))
+	ix.counts = make([]int, len(ix.conjs))
+}
+
+type byBound struct{ bl *boundList }
+
+func (s byBound) Len() int { return len(s.bl.bounds) }
+func (s byBound) Less(i, j int) bool {
+	return s.bl.bounds[i] < s.bl.bounds[j]
+}
+func (s byBound) Swap(i, j int) {
+	s.bl.bounds[i], s.bl.bounds[j] = s.bl.bounds[j], s.bl.bounds[i]
+	s.bl.conj[i], s.bl.conj[j] = s.bl.conj[j], s.bl.conj[i]
+}
+
+// Match returns the ids whose filters match the attributes, in first-add
+// order, each at most once.
+func (ix *Index) Match(a Iterable) []int32 {
+	ix.epoch++
+	var out []int32
+	emit := func(id int32) {
+		if ix.matched[id] != ix.epoch {
+			ix.matched[id] = ix.epoch
+			out = append(out, id)
+		}
+	}
+
+	bump := func(ci int) {
+		if ix.seen[ci] != ix.epoch {
+			ix.seen[ci] = ix.epoch
+			ix.counts[ci] = 0
+		}
+		ix.counts[ci]++
+		if ix.counts[ci] == ix.conjs[ci].needed {
+			emit(ix.conjs[ci].id)
+		}
+	}
+
+	a.Each(func(name string, v Value) {
+		if v.Kind == Number {
+			x := v.Num
+			if bl, ok := ix.lt[name]; ok {
+				// Satisfied: bound > x → suffix starting at first bound > x.
+				i := sort.SearchFloat64s(bl.bounds, x)
+				for ; i < len(bl.bounds) && bl.bounds[i] <= x; i++ {
+				}
+				for ; i < len(bl.bounds); i++ {
+					bump(bl.conj[i])
+				}
+			}
+			if bl, ok := ix.le[name]; ok {
+				// Satisfied: bound >= x.
+				i := sort.SearchFloat64s(bl.bounds, x)
+				for ; i < len(bl.bounds); i++ {
+					bump(bl.conj[i])
+				}
+			}
+			if bl, ok := ix.gt[name]; ok {
+				// Satisfied: bound < x → prefix below x.
+				hi := sort.SearchFloat64s(bl.bounds, x)
+				for i := 0; i < hi; i++ {
+					bump(bl.conj[i])
+				}
+			}
+			if bl, ok := ix.ge[name]; ok {
+				// Satisfied: bound <= x → prefix through x.
+				hi := sort.SearchFloat64s(bl.bounds, x)
+				for ; hi < len(bl.bounds) && bl.bounds[hi] == x; hi++ {
+				}
+				for i := 0; i < hi; i++ {
+					bump(bl.conj[i])
+				}
+			}
+			if m, ok := ix.eq[name]; ok {
+				for _, ci := range m[x] {
+					bump(ci)
+				}
+			}
+		} else if m, ok := ix.se[name]; ok {
+			for _, ci := range m[v.Str] {
+				bump(ci)
+			}
+		}
+	})
+
+	// Zero-predicate conjunctions (wildcards) match everything.
+	for ci, c := range ix.conjs {
+		if c.needed == 0 {
+			_ = ci
+			emit(c.id)
+		}
+	}
+
+	// Fallback filters evaluate directly.
+	for _, fb := range ix.fallback {
+		if fb.f.Match(a) {
+			emit(fb.id)
+		}
+	}
+	return out
+}

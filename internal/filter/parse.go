@@ -1,0 +1,294 @@
+package filter
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse parses a subscription expression. Grammar:
+//
+//	filter    := orExpr
+//	orExpr    := andExpr ( "||" andExpr )*
+//	andExpr   := term ( "&&" term )*
+//	term      := predicate | "(" orExpr ")" | "true"
+//	predicate := IDENT op value
+//	op        := "<" | "<=" | ">" | ">=" | "==" | "=" | "!="
+//	value     := NUMBER | STRING
+//
+// Identifiers are [A-Za-z_][A-Za-z0-9_.]*. Numbers use Go float syntax.
+// Strings are single- or double-quoted. "true" (or an empty input) is the
+// wildcard filter.
+func Parse(src string) (*Filter, error) {
+	p := &parser{lex: lexer{src: src}}
+	p.next()
+	if p.tok.kind == tokEOF {
+		return &Filter{}, nil
+	}
+	root, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, p.errorf("unexpected %q after expression", p.tok.text)
+	}
+	// A nil root is the canonical wildcard.
+	return &Filter{root: root}, nil
+}
+
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokOp     // comparison operator
+	tokAnd    // &&
+	tokOr     // ||
+	tokLParen // (
+	tokRParen // )
+	tokErr
+)
+
+type token struct {
+	kind tokKind
+	text string
+	num  float64
+	op   Op
+	pos  int
+}
+
+type lexer struct {
+	src string
+	pos int
+}
+
+func (l *lexer) lex() token {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	start := l.pos
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: start}
+	}
+	c := l.src[l.pos]
+	switch {
+	case c == '(':
+		l.pos++
+		return token{kind: tokLParen, text: "(", pos: start}
+	case c == ')':
+		l.pos++
+		return token{kind: tokRParen, text: ")", pos: start}
+	case c == '&':
+		if strings.HasPrefix(l.src[l.pos:], "&&") {
+			l.pos += 2
+			return token{kind: tokAnd, text: "&&", pos: start}
+		}
+		l.pos++
+		return token{kind: tokErr, text: "&", pos: start}
+	case c == '|':
+		if strings.HasPrefix(l.src[l.pos:], "||") {
+			l.pos += 2
+			return token{kind: tokOr, text: "||", pos: start}
+		}
+		l.pos++
+		return token{kind: tokErr, text: "|", pos: start}
+	case c == '<':
+		if strings.HasPrefix(l.src[l.pos:], "<=") {
+			l.pos += 2
+			return token{kind: tokOp, op: LE, text: "<=", pos: start}
+		}
+		l.pos++
+		return token{kind: tokOp, op: LT, text: "<", pos: start}
+	case c == '>':
+		if strings.HasPrefix(l.src[l.pos:], ">=") {
+			l.pos += 2
+			return token{kind: tokOp, op: GE, text: ">=", pos: start}
+		}
+		l.pos++
+		return token{kind: tokOp, op: GT, text: ">", pos: start}
+	case c == '=':
+		if strings.HasPrefix(l.src[l.pos:], "==") {
+			l.pos += 2
+			return token{kind: tokOp, op: EQ, text: "==", pos: start}
+		}
+		l.pos++
+		return token{kind: tokOp, op: EQ, text: "=", pos: start}
+	case c == '!':
+		if strings.HasPrefix(l.src[l.pos:], "!=") {
+			l.pos += 2
+			return token{kind: tokOp, op: NE, text: "!=", pos: start}
+		}
+		l.pos++
+		return token{kind: tokErr, text: "!", pos: start}
+	case c == '\'' || c == '"':
+		quote := c
+		l.pos++
+		var b strings.Builder
+		for l.pos < len(l.src) && l.src[l.pos] != quote {
+			if l.src[l.pos] == '\\' && l.pos+1 < len(l.src) {
+				l.pos++
+			}
+			b.WriteByte(l.src[l.pos])
+			l.pos++
+		}
+		if l.pos >= len(l.src) {
+			return token{kind: tokErr, text: "unterminated string", pos: start}
+		}
+		l.pos++ // closing quote
+		return token{kind: tokString, text: b.String(), pos: start}
+	case c >= '0' && c <= '9' || c == '-' || c == '+' || c == '.':
+		end := l.pos
+		for end < len(l.src) && strings.ContainsRune("0123456789.eE+-", rune(l.src[end])) {
+			// Stop '+'/'-' unless preceded by an exponent marker.
+			if (l.src[end] == '+' || l.src[end] == '-') && end > l.pos &&
+				l.src[end-1] != 'e' && l.src[end-1] != 'E' {
+				break
+			}
+			end++
+		}
+		text := l.src[l.pos:end]
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return token{kind: tokErr, text: text, pos: start}
+		}
+		l.pos = end
+		return token{kind: tokNumber, text: text, num: f, pos: start}
+	case isIdentStart(c):
+		end := l.pos
+		for end < len(l.src) && isIdentPart(l.src[end]) {
+			end++
+		}
+		text := l.src[l.pos:end]
+		l.pos = end
+		return token{kind: tokIdent, text: text, pos: start}
+	}
+	l.pos++
+	return token{kind: tokErr, text: string(c), pos: start}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9' || c == '.'
+}
+
+type parser struct {
+	lex lexer
+	tok token
+}
+
+func (p *parser) next() { p.tok = p.lex.lex() }
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("filter: pos %d: %s", p.tok.pos, fmt.Sprintf(format, args...))
+}
+
+// parseOr returns a nil node for a wildcard (always-true) expression.
+func (p *parser) parseOr() (node, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	wildcard := left == nil
+	var kids []node
+	if left != nil {
+		kids = append(kids, left)
+	}
+	for p.tok.kind == tokOr {
+		p.next()
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		if right == nil {
+			wildcard = true // true ∨ x = true
+		} else {
+			kids = append(kids, right)
+		}
+	}
+	if wildcard {
+		return nil, nil
+	}
+	if len(kids) == 1 {
+		return kids[0], nil
+	}
+	return orNode{kids: kids}, nil
+}
+
+func (p *parser) parseAnd() (node, error) {
+	left, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	var kids []node
+	if left != nil {
+		kids = append(kids, left)
+	}
+	for p.tok.kind == tokAnd {
+		p.next()
+		right, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		if right != nil {
+			kids = append(kids, right) // true ∧ x = x
+		}
+	}
+	switch len(kids) {
+	case 0:
+		return nil, nil
+	case 1:
+		return kids[0], nil
+	}
+	return andNode{kids: kids}, nil
+}
+
+func (p *parser) parseTerm() (node, error) {
+	switch p.tok.kind {
+	case tokLParen:
+		p.next()
+		inner, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokRParen {
+			return nil, p.errorf("expected ')', got %q", p.tok.text)
+		}
+		p.next()
+		return inner, nil
+	case tokIdent:
+		if p.tok.text == "true" {
+			p.next()
+			// Wildcard term: represented by a nil node, collapsed by the
+			// callers (true ∧ x = x, true ∨ x = true).
+			return nil, nil
+		}
+		attr := p.tok.text
+		p.next()
+		if p.tok.kind != tokOp {
+			return nil, p.errorf("expected comparison operator after %q, got %q", attr, p.tok.text)
+		}
+		op := p.tok.op
+		p.next()
+		var val Value
+		switch p.tok.kind {
+		case tokNumber:
+			val = Num(p.tok.num)
+		case tokString:
+			val = Str(p.tok.text)
+		default:
+			return nil, p.errorf("expected value, got %q", p.tok.text)
+		}
+		p.next()
+		return predNode{Predicate{Attr: attr, Op: op, Val: val}}, nil
+	case tokErr:
+		return nil, p.errorf("bad token %q", p.tok.text)
+	default:
+		return nil, p.errorf("expected predicate or '(', got %q", p.tok.text)
+	}
+}

@@ -1,0 +1,177 @@
+package livenet
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"bdps/internal/msg"
+	"bdps/internal/vtime"
+)
+
+// Publisher is a live publishing client attached to an ingress broker.
+type Publisher struct {
+	id   msg.NodeID
+	conn net.Conn
+	mu   sync.Mutex
+	seq  uint32
+}
+
+// DialPublisher connects publisher `id` to its ingress broker. The id
+// doubles as the publisher index for message-id allocation; the ingress
+// id must match the broker being dialed (brokers reject messages claiming
+// a different ingress).
+func DialPublisher(addr string, id msg.NodeID) (*Publisher, error) {
+	conn, err := dialRetry(addr, 40, 50*time.Millisecond)
+	if err != nil {
+		return nil, err
+	}
+	hello := msg.AppendHello(nil, msg.RolePublisher, id)
+	if err := msg.WriteFrame(conn, msg.FrameHello, hello); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return &Publisher{id: id, conn: conn}, nil
+}
+
+// Publish sends one message. SizeKB is the emulated size that paces the
+// overlay links; allowed is the publisher-specified bound (0 in SSD).
+// The publication timestamp is stamped here from the shared wall clock.
+func (p *Publisher) Publish(ingress msg.NodeID, attrs msg.AttrSet, sizeKB float64, allowed vtime.Millis, payload []byte) (msg.ID, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	m := &msg.Message{
+		ID:        msg.MakeID(p.id, p.seq),
+		Publisher: p.id,
+		Ingress:   ingress,
+		Published: wallNow(),
+		Allowed:   allowed,
+		SizeKB:    sizeKB,
+		Attrs:     attrs,
+		Payload:   payload,
+	}
+	p.seq++
+	body, err := msg.AppendMessage(nil, m)
+	if err != nil {
+		return 0, err
+	}
+	if err := p.conn.SetWriteDeadline(time.Now().Add(10 * time.Second)); err != nil {
+		return 0, err
+	}
+	if err := msg.WriteFrame(p.conn, msg.FrameMessage, body); err != nil {
+		return 0, err
+	}
+	return m.ID, nil
+}
+
+// Close closes the publisher connection.
+func (p *Publisher) Close() error { return p.conn.Close() }
+
+// Subscriber is a live subscribing client attached to an edge broker.
+type Subscriber struct {
+	sub  *msg.Subscription
+	conn net.Conn
+	ch   chan *msg.Message
+	done chan struct{}
+	once sync.Once
+}
+
+// DialSubscriber connects to the edge broker, registers the subscription
+// (which the broker floods across the overlay) and starts receiving.
+func DialSubscriber(addr string, sub *msg.Subscription) (*Subscriber, error) {
+	if sub == nil || sub.Filter == nil {
+		return nil, fmt.Errorf("livenet: nil subscription or filter")
+	}
+	conn, err := dialRetry(addr, 40, 50*time.Millisecond)
+	if err != nil {
+		return nil, err
+	}
+	hello := msg.AppendHello(nil, msg.RoleSubscriber, msg.NodeID(sub.ID))
+	if err := msg.WriteFrame(conn, msg.FrameHello, hello); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	body, err := msg.AppendSubscription(nil, sub)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := msg.WriteFrame(conn, msg.FrameSubscribe, body); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	s := &Subscriber{
+		sub:  sub,
+		conn: conn,
+		ch:   make(chan *msg.Message, 256),
+		done: make(chan struct{}),
+	}
+	go s.readLoop()
+	return s, nil
+}
+
+func (s *Subscriber) readLoop() {
+	defer close(s.ch)
+	for {
+		ft, body, err := msg.ReadFrame(s.conn)
+		if err != nil {
+			return
+		}
+		if ft != msg.FrameMessage {
+			continue
+		}
+		m, err := msg.DecodeMessage(body)
+		if err != nil {
+			continue
+		}
+		select {
+		case s.ch <- m:
+		case <-s.done:
+			return
+		default:
+			// Slow consumer: drop rather than stall the edge broker.
+		}
+	}
+}
+
+// C returns the delivery channel. It is closed when the connection ends.
+func (s *Subscriber) C() <-chan *msg.Message { return s.ch }
+
+// Receive waits up to timeout for one delivery.
+func (s *Subscriber) Receive(timeout time.Duration) (*msg.Message, error) {
+	select {
+	case m, ok := <-s.ch:
+		if !ok {
+			return nil, fmt.Errorf("livenet: subscriber connection closed")
+		}
+		return m, nil
+	case <-time.After(timeout):
+		return nil, fmt.Errorf("livenet: no delivery within %v", timeout)
+	}
+}
+
+// Valid reports whether a received message met this subscriber's bound
+// (or, in PSD, the publisher's), judged against the delivery wall clock.
+func (s *Subscriber) Valid(m *msg.Message, scenario msg.Scenario) bool {
+	allowed, _ := scenario.AllowedDelay(m, s.sub)
+	return allowed > 0 && wallNow()-m.Published <= allowed
+}
+
+// Unsubscribe withdraws the subscription from the overlay: the edge
+// broker removes it and floods the removal, so upstream brokers stop
+// forwarding matching messages this way. The connection stays open (a
+// subsequent Close tears it down).
+func (s *Subscriber) Unsubscribe() error {
+	body := msg.AppendUnsubscribe(nil, s.sub.ID)
+	if err := s.conn.SetWriteDeadline(time.Now().Add(10 * time.Second)); err != nil {
+		return err
+	}
+	return msg.WriteFrame(s.conn, msg.FrameUnsubscribe, body)
+}
+
+// Close tears the subscriber down.
+func (s *Subscriber) Close() error {
+	s.once.Do(func() { close(s.done) })
+	return s.conn.Close()
+}

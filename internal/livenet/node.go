@@ -1,0 +1,586 @@
+// Package livenet runs the bounded-delay pub/sub system for real: each
+// broker is a Node with goroutines for inbound connections and one sender
+// goroutine per overlay link, talking the binary wire protocol of
+// internal/msg over TCP. The same core scheduler that drives the
+// simulator picks which queued message each link sends next.
+//
+// Link speeds are emulated by pacing: before writing a message frame the
+// sender sleeps SizeKB × rate × TimeScale milliseconds, with the rate
+// drawn from the link's configured N(μ,σ²) — the paper's delay model on a
+// wall clock. TimeScale < 1 compresses the emulation for demos and tests.
+//
+// Subscriptions are dynamic: a subscriber client sends its subscription
+// to its edge broker, which floods it across the overlay; every broker
+// independently computes the deterministic single path from each ingress
+// (the same "minimize mean path rate" rule as the simulator) and installs
+// its routing entries. Messages published before a subscription has
+// propagated may miss it — exactly the transient any real pub/sub overlay
+// has.
+package livenet
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"bdps/internal/core"
+	"bdps/internal/msg"
+	"bdps/internal/routing"
+	"bdps/internal/stats"
+	"bdps/internal/topology"
+	"bdps/internal/vtime"
+)
+
+// wallNow returns wall-clock time as virtual milliseconds since the Unix
+// epoch. All participants run on the same clock domain (one machine or a
+// synchronized cluster), matching the paper's assumption that brokers can
+// compute a message's already-incurred delay.
+func wallNow() vtime.Millis {
+	return float64(time.Now().UnixMicro()) / 1000
+}
+
+// NodeConfig assembles a live broker.
+type NodeConfig struct {
+	ID       msg.NodeID
+	Overlay  *topology.Overlay
+	Scenario msg.Scenario
+	Params   core.Params
+	Strategy core.Strategy
+	// TimeScale compresses emulated link delays: real sleep = emulated ms
+	// × TimeScale. 1.0 is real time; tests use ~0.002. Must be > 0.
+	TimeScale float64
+	// Seed drives the link-rate samplers.
+	Seed uint64
+}
+
+// Node is one live broker.
+type Node struct {
+	cfg NodeConfig
+
+	mu        sync.Mutex
+	table     *routing.Table
+	queues    map[msg.NodeID]*core.Queue
+	wake      map[msg.NodeID]chan struct{}
+	estimates map[msg.NodeID]*stats.WelfordEstimator
+	// local subscriber connections by subscription id
+	locals map[msg.SubID]*subConn
+	// flood dedup; removed subscriptions leave a tombstone so a late
+	// subscribe flood cannot resurrect them
+	seenSubs    map[msg.SubID]bool
+	removedSubs map[msg.SubID]bool
+	// statistics
+	stats Stats
+
+	listener net.Listener
+	peers    map[msg.NodeID]*peerConn
+	inbound  map[net.Conn]struct{}
+	stopped  chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// Stats counts a live node's activity (retrieved via Node.Stats).
+type Stats struct {
+	Receptions    int
+	Deliveries    int
+	ValidDeliver  int
+	DropsExpired  int
+	DropsHopeless int
+	DropsArrival  int
+	Duplicates    int
+}
+
+type peerConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+func (p *peerConn) writeFrame(frameType byte, body []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.conn.SetWriteDeadline(time.Now().Add(10 * time.Second)); err != nil {
+		return err
+	}
+	return msg.WriteFrame(p.conn, frameType, body)
+}
+
+type subConn struct {
+	sub  *msg.Subscription
+	peer *peerConn
+}
+
+// NewNode validates the configuration and builds a node.
+func NewNode(cfg NodeConfig) (*Node, error) {
+	if cfg.Overlay == nil {
+		return nil, errors.New("livenet: nil overlay")
+	}
+	if cfg.Strategy == nil {
+		return nil, errors.New("livenet: nil strategy")
+	}
+	if cfg.TimeScale <= 0 {
+		return nil, fmt.Errorf("livenet: TimeScale %v must be > 0", cfg.TimeScale)
+	}
+	if cfg.Params == (core.Params{}) {
+		cfg.Params = core.DefaultParams()
+	}
+	return &Node{
+		cfg:         cfg,
+		table:       routing.NewTable(cfg.ID),
+		queues:      make(map[msg.NodeID]*core.Queue),
+		wake:        make(map[msg.NodeID]chan struct{}),
+		estimates:   make(map[msg.NodeID]*stats.WelfordEstimator),
+		locals:      make(map[msg.SubID]*subConn),
+		seenSubs:    make(map[msg.SubID]bool),
+		removedSubs: make(map[msg.SubID]bool),
+		peers:       make(map[msg.NodeID]*peerConn),
+		inbound:     make(map[net.Conn]struct{}),
+		stopped:     make(chan struct{}),
+	}, nil
+}
+
+// ID returns the broker id.
+func (n *Node) ID() msg.NodeID { return n.cfg.ID }
+
+// Listen binds the node's TCP listener and starts accepting connections.
+// It returns the bound address (useful with ":0").
+func (n *Node) Listen(addr string) (string, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	n.listener = l
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return l.Addr().String(), nil
+}
+
+// ConnectPeers dials every overlay neighbor at the given addresses and
+// starts one sender goroutine per link. Addresses of non-neighbors are
+// ignored.
+func (n *Node) ConnectPeers(addrs map[msg.NodeID]string) error {
+	for _, e := range n.cfg.Overlay.Graph.Neighbors(n.cfg.ID) {
+		addr, ok := addrs[e.To]
+		if !ok {
+			return fmt.Errorf("livenet: broker %d: no address for neighbor %d", n.cfg.ID, e.To)
+		}
+		conn, err := dialRetry(addr, 40, 50*time.Millisecond)
+		if err != nil {
+			return fmt.Errorf("livenet: broker %d dialing %d: %w", n.cfg.ID, e.To, err)
+		}
+		hello := msg.AppendHello(nil, msg.RoleBroker, n.cfg.ID)
+		if err := msg.WriteFrame(conn, msg.FrameHello, hello); err != nil {
+			conn.Close()
+			return err
+		}
+		pc := &peerConn{conn: conn}
+		n.mu.Lock()
+		n.peers[e.To] = pc
+		wake := make(chan struct{}, 1)
+		n.wake[e.To] = wake
+		n.queues[e.To] = core.NewQueue(e.Rate.Mean)
+		n.estimates[e.To] = &stats.WelfordEstimator{Prior: e.Rate}
+		n.mu.Unlock()
+
+		n.wg.Add(1)
+		go n.senderLoop(e.To, e.Rate, pc, wake)
+	}
+	return nil
+}
+
+func dialRetry(addr string, attempts int, backoff time.Duration) (net.Conn, error) {
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		conn, err := net.DialTimeout("tcp", addr, time.Second)
+		if err == nil {
+			return conn, nil
+		}
+		lastErr = err
+		time.Sleep(backoff)
+	}
+	return nil, lastErr
+}
+
+// Stop shuts the node down: listener, peer connections and sender
+// goroutines.
+func (n *Node) Stop() {
+	n.stopOnce.Do(func() {
+		close(n.stopped)
+		if n.listener != nil {
+			n.listener.Close()
+		}
+		n.mu.Lock()
+		for _, p := range n.peers {
+			p.conn.Close()
+		}
+		for _, s := range n.locals {
+			s.peer.conn.Close()
+		}
+		for conn := range n.inbound {
+			conn.Close()
+		}
+		n.mu.Unlock()
+	})
+	n.wg.Wait()
+}
+
+// Stats returns a snapshot of the node's counters.
+func (n *Node) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// acceptLoop accepts inbound connections (brokers, publishers,
+// subscribers) and spawns a reader per connection.
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.listener.Accept()
+		if err != nil {
+			select {
+			case <-n.stopped:
+				return
+			default:
+				continue
+			}
+		}
+		n.mu.Lock()
+		select {
+		case <-n.stopped:
+			n.mu.Unlock()
+			conn.Close()
+			return
+		default:
+		}
+		n.inbound[conn] = struct{}{}
+		n.mu.Unlock()
+		n.wg.Add(1)
+		go n.readLoop(conn)
+	}
+}
+
+// readLoop consumes frames from one inbound connection.
+func (n *Node) readLoop(conn net.Conn) {
+	defer n.wg.Done()
+	defer func() {
+		conn.Close()
+		n.mu.Lock()
+		delete(n.inbound, conn)
+		n.mu.Unlock()
+	}()
+
+	ft, body, err := msg.ReadFrame(conn)
+	if err != nil || ft != msg.FrameHello {
+		return
+	}
+	role, _, err := msg.DecodeHello(body)
+	if err != nil {
+		return
+	}
+	peer := &peerConn{conn: conn}
+
+	for {
+		ft, body, err := msg.ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		switch ft {
+		case msg.FrameMessage:
+			m, err := msg.DecodeMessage(body)
+			if err != nil {
+				continue // tolerate one corrupt frame; connection survives
+			}
+			if role == msg.RolePublisher && m.Ingress != n.cfg.ID {
+				// Publishers must publish through their ingress broker.
+				continue
+			}
+			n.receive(m)
+		case msg.FrameSubscribe:
+			s, err := msg.DecodeSubscription(body)
+			if err != nil {
+				continue
+			}
+			var from *peerConn
+			if role == msg.RoleSubscriber {
+				from = peer
+			}
+			n.handleSubscribe(s, from)
+		case msg.FrameUnsubscribe:
+			id, err := msg.DecodeUnsubscribe(body)
+			if err != nil {
+				continue
+			}
+			n.handleUnsubscribe(id)
+		case msg.FrameAck, msg.FrameHello:
+			// Ignored.
+		}
+	}
+}
+
+// handleSubscribe installs a subscription (local conn non-nil when the
+// subscriber is attached here) and floods it to neighbors once.
+func (n *Node) handleSubscribe(s *msg.Subscription, local *peerConn) {
+	n.mu.Lock()
+	if n.removedSubs[s.ID] {
+		// Tombstoned: a subscribe flood racing its own unsubscribe.
+		n.mu.Unlock()
+		return
+	}
+	if n.seenSubs[s.ID] && local == nil {
+		n.mu.Unlock()
+		return
+	}
+	first := !n.seenSubs[s.ID]
+	n.seenSubs[s.ID] = true
+	if local != nil && s.Edge == n.cfg.ID {
+		n.locals[s.ID] = &subConn{sub: s, peer: local}
+	}
+	if first {
+		n.installRoutes(s)
+	}
+	peers := make([]*peerConn, 0, len(n.peers))
+	if first {
+		for _, p := range n.peers {
+			peers = append(peers, p)
+		}
+	}
+	n.mu.Unlock()
+
+	if !first {
+		return
+	}
+	body, err := msg.AppendSubscription(nil, s)
+	if err != nil {
+		return
+	}
+	for _, p := range peers {
+		_ = p.writeFrame(msg.FrameSubscribe, body) // dead peers are fine
+	}
+}
+
+// handleUnsubscribe removes a subscription's routing state and floods the
+// removal across the overlay once. A tombstone prevents resurrection by
+// late subscribe floods.
+func (n *Node) handleUnsubscribe(id msg.SubID) {
+	n.mu.Lock()
+	if n.removedSubs[id] {
+		n.mu.Unlock()
+		return
+	}
+	n.removedSubs[id] = true
+	delete(n.locals, id)
+	n.table.RemoveSub(id)
+	peers := make([]*peerConn, 0, len(n.peers))
+	for _, p := range n.peers {
+		peers = append(peers, p)
+	}
+	n.mu.Unlock()
+
+	body := msg.AppendUnsubscribe(nil, id)
+	for _, p := range peers {
+		_ = p.writeFrame(msg.FrameUnsubscribe, body)
+	}
+}
+
+// installRoutes computes this broker's routing entries for one
+// subscription: for each ingress, the deterministic min-mean path; if this
+// broker lies on it, install the residual-path entry (n.mu held).
+func (n *Node) installRoutes(s *msg.Subscription) {
+	g := n.cfg.Overlay.Graph
+	for _, src := range n.cfg.Overlay.Ingress {
+		path, ok := g.Path(src, s.Edge)
+		if !ok {
+			continue
+		}
+		for i, at := range path {
+			if at != n.cfg.ID {
+				continue
+			}
+			e := &routing.Entry{Sub: s, Source: src}
+			if i == len(path)-1 {
+				e.Next = msg.None
+			} else {
+				e.Next = path[i+1]
+				e.Hops = len(path) - 1 - i
+				var parts []stats.Normal
+				for j := i; j < len(path)-1; j++ {
+					r, _ := g.Rate(path[j], path[j+1])
+					parts = append(parts, r)
+				}
+				e.Rate = stats.SumNormal(parts...)
+			}
+			n.table.Add(e)
+		}
+	}
+}
+
+// receive handles one message arrival: processing delay, then match,
+// deliver locally, and enqueue toward next hops.
+func (n *Node) receive(m *msg.Message) {
+	// Processing delay, scaled like link delays.
+	if pd := n.cfg.Params.PD * n.cfg.TimeScale; pd > 0 {
+		time.Sleep(vtime.ToDuration(pd))
+	}
+	now := wallNow()
+
+	n.mu.Lock()
+	n.stats.Receptions++
+	matched := n.table.Match(m)
+	var wakes []chan struct{}
+	var deliveries []struct {
+		peer  *peerConn
+		valid bool
+	}
+	if len(matched) > 0 {
+		hops, groups := routing.GroupByNext(matched)
+		for _, hop := range hops {
+			entries := groups[hop]
+			if hop == msg.None {
+				for _, e := range entries {
+					allowed, _ := n.cfg.Scenario.AllowedDelay(m, e.Sub)
+					lat := now - m.Published
+					valid := allowed > 0 && lat <= allowed
+					n.stats.Deliveries++
+					if valid {
+						n.stats.ValidDeliver++
+					}
+					if sc, ok := n.locals[e.Sub.ID]; ok {
+						deliveries = append(deliveries, struct {
+							peer  *peerConn
+							valid bool
+						}{sc.peer, valid})
+					}
+				}
+				continue
+			}
+			entry := n.buildEntry(m, entries)
+			if !core.Viable(entry, now, n.cfg.Params) {
+				n.stats.DropsArrival++
+				continue
+			}
+			q := n.queues[hop]
+			if q == nil {
+				// Neighbor not connected (e.g. crashed); drop.
+				n.stats.DropsArrival++
+				continue
+			}
+			q.Enqueue(entry, now)
+			wakes = append(wakes, n.wake[hop])
+		}
+	}
+	n.mu.Unlock()
+
+	body, err := msg.AppendMessage(nil, m)
+	if err == nil {
+		for _, d := range deliveries {
+			_ = d.peer.writeFrame(msg.FrameMessage, body)
+		}
+	}
+	for _, w := range wakes {
+		select {
+		case w <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// buildEntry mirrors broker.buildEntry for the live path (n.mu held).
+func (n *Node) buildEntry(m *msg.Message, entries []*routing.Entry) *core.Entry {
+	e := &core.Entry{
+		MsgID:     uint64(m.ID),
+		SizeKB:    m.SizeKB,
+		Published: m.Published,
+		Data:      m,
+	}
+	seen := make(map[msg.SubID]bool, len(entries))
+	for _, re := range entries {
+		if seen[re.Sub.ID] {
+			continue
+		}
+		seen[re.Sub.ID] = true
+		allowed, price := n.cfg.Scenario.AllowedDelay(m, re.Sub)
+		if allowed <= 0 {
+			continue
+		}
+		e.Targets = append(e.Targets, core.Target{
+			SubID:    int32(re.Sub.ID),
+			Deadline: m.Published + allowed,
+			Price:    price,
+			Hops:     re.Hops,
+			Rate:     re.Rate,
+		})
+	}
+	return e
+}
+
+// senderLoop drains one link's queue: pick by strategy, pace to the
+// emulated link speed, write the frame.
+func (n *Node) senderLoop(to msg.NodeID, rate stats.Normal, pc *peerConn, wake chan struct{}) {
+	defer n.wg.Done()
+	sampler := stats.TruncatedNormal{Normal: rate, Min: 1}
+	stream := stats.DeriveN(n.cfg.Seed, "livenet/link", int(n.cfg.ID)<<16|int(uint16(to)))
+	for {
+		n.mu.Lock()
+		q := n.queues[to]
+		e, drops := q.PopNext(n.cfg.Strategy, wallNow(), n.cfg.Params)
+		for _, d := range drops {
+			if d.Reason == core.DropExpired {
+				n.stats.DropsExpired++
+			} else {
+				n.stats.DropsHopeless++
+			}
+		}
+		n.mu.Unlock()
+
+		if e == nil {
+			select {
+			case <-wake:
+				continue
+			case <-n.stopped:
+				return
+			}
+		}
+
+		// Pace the transfer to the sampled rate, measuring the wall time
+		// the transfer actually took — the live equivalent of the
+		// paper's "tools of network measurement".
+		tx := e.SizeKB * sampler.Sample(stream) * n.cfg.TimeScale
+		start := time.Now()
+		select {
+		case <-time.After(vtime.ToDuration(tx)):
+		case <-n.stopped:
+			return
+		}
+		m := e.Data.(*msg.Message)
+		body, err := msg.AppendMessage(nil, m)
+		if err != nil {
+			continue
+		}
+		_ = pc.writeFrame(msg.FrameMessage, body) // peer loss handled by queue decay
+
+		if e.SizeKB > 0 {
+			elapsed := vtime.FromDuration(time.Since(start)) / n.cfg.TimeScale
+			n.mu.Lock()
+			if est := n.estimates[to]; est != nil {
+				est.Observe(elapsed / e.SizeKB)
+			}
+			n.mu.Unlock()
+		}
+	}
+}
+
+// LinkEstimate returns the measured per-KB rate estimate for the link to
+// a neighbor (emulated milliseconds per KB), and whether any transfers
+// have been observed yet. Before enough observations it returns the
+// configured prior.
+func (n *Node) LinkEstimate(to msg.NodeID) (stats.Normal, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	est, ok := n.estimates[to]
+	if !ok {
+		return stats.Normal{}, false
+	}
+	return est.Estimate(), est.Count() > 0
+}

@@ -1,0 +1,247 @@
+// Package metrics collects and reports the evaluation metrics of §6.1:
+// delivery rate (eq. 1), total earning (eq. 2) and message number (total
+// broker receptions, the network-traffic proxy), plus the drop taxonomy
+// and latency distributions this reimplementation adds for diagnosis.
+package metrics
+
+import (
+	"fmt"
+
+	"bdps/internal/stats"
+	"bdps/internal/vtime"
+)
+
+// Collector accumulates one simulation run's metrics. It is not
+// goroutine-safe: the simulator is single-threaded by construction, and
+// the live runtime keeps one collector per node.
+type Collector struct {
+	published    int
+	totalTargets int // Σ tsᵢ: interested subscribers over published messages
+	receptions   int // the paper's "message number"
+
+	validDeliveries int // Σ dsᵢ
+	lateDeliveries  int
+	earning         float64
+
+	dropsExpired  int // queue drops: all deadlines passed
+	dropsHopeless int // queue drops: ε-detection (§5.4)
+	dropsArrival  int // dropped at arrival processing (not viable / no match)
+	dropsCrashed  int // lost to injected broker crashes
+
+	latency stats.Summary // valid deliveries only, ms
+
+	// Per-subscriber accounting for fairness analysis.
+	subExpected map[int32]int
+	subValid    map[int32]int
+}
+
+// Published records a published message and its interested-subscriber
+// count tsᵢ.
+func (c *Collector) Published(interested int) {
+	c.published++
+	c.totalTargets += interested
+}
+
+// PublishedTo additionally attributes the expectation to each interested
+// subscriber for fairness accounting. Call instead of Published when
+// per-subscriber metrics are wanted.
+func (c *Collector) PublishedTo(interested []int32) {
+	c.Published(len(interested))
+	if c.subExpected == nil {
+		c.subExpected = make(map[int32]int)
+	}
+	for _, id := range interested {
+		c.subExpected[id]++
+	}
+}
+
+// Reception records one message received by a broker.
+func (c *Collector) Reception() { c.receptions++ }
+
+// Delivered records a delivery to one subscriber. Valid deliveries add
+// price to the earning and the latency sample.
+func (c *Collector) Delivered(price float64, latency vtime.Millis, valid bool) {
+	c.DeliveredTo(-1, price, latency, valid)
+}
+
+// DeliveredTo is Delivered with subscriber attribution (id < 0 skips the
+// per-subscriber accounting).
+func (c *Collector) DeliveredTo(subID int32, price float64, latency vtime.Millis, valid bool) {
+	if !valid {
+		c.lateDeliveries++
+		return
+	}
+	c.validDeliveries++
+	c.earning += price
+	c.latency.Add(latency)
+	if subID >= 0 {
+		if c.subValid == nil {
+			c.subValid = make(map[int32]int)
+		}
+		c.subValid[subID]++
+	}
+}
+
+// DroppedExpired counts queue entries pruned after full expiry.
+func (c *Collector) DroppedExpired(n int) { c.dropsExpired += n }
+
+// DroppedHopeless counts queue entries pruned by ε-detection.
+func (c *Collector) DroppedHopeless(n int) { c.dropsHopeless += n }
+
+// DroppedOnArrival counts forwarding intents discarded during arrival
+// processing (expired or hopeless before ever being queued).
+func (c *Collector) DroppedOnArrival(n int) { c.dropsArrival += n }
+
+// DroppedCrashed counts messages lost to injected broker crashes.
+func (c *Collector) DroppedCrashed(n int) { c.dropsCrashed += n }
+
+// Result freezes a collector into the run summary.
+func (c *Collector) Result() Result {
+	r := Result{
+		Published:       c.published,
+		TotalTargets:    c.totalTargets,
+		Receptions:      c.receptions,
+		ValidDeliveries: c.validDeliveries,
+		LateDeliveries:  c.lateDeliveries,
+		Earning:         c.earning,
+		DropsExpired:    c.dropsExpired,
+		DropsHopeless:   c.dropsHopeless,
+		DropsArrival:    c.dropsArrival,
+		DropsCrashed:    c.dropsCrashed,
+		Fairness:        c.fairness(),
+	}
+	if c.latency.Count() > 0 {
+		r.LatencyMeanMs = c.latency.Mean()
+		r.LatencyP50Ms = c.latency.Quantile(0.5)
+		r.LatencyP95Ms = c.latency.Quantile(0.95)
+		r.LatencyMaxMs = c.latency.Max()
+	}
+	return r
+}
+
+// fairness computes Jain's fairness index over per-subscriber delivery
+// ratios xᵢ = validᵢ/expectedᵢ: (Σx)² / (n·Σx²). 1.0 means perfectly even
+// service; 1/n means one subscriber got everything. Returns 0 when
+// per-subscriber accounting was not enabled or nothing was expected.
+func (c *Collector) fairness() float64 {
+	if len(c.subExpected) == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	n := 0
+	for id, exp := range c.subExpected {
+		if exp == 0 {
+			continue
+		}
+		x := float64(c.subValid[id]) / float64(exp)
+		sum += x
+		sumSq += x * x
+		n++
+	}
+	if n == 0 || sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(n) * sumSq)
+}
+
+// Result is the immutable outcome of one run.
+type Result struct {
+	Label    string // run identification (strategy, scenario, rate…)
+	Seed     uint64
+	Strategy string
+	Scenario string
+
+	Published    int
+	TotalTargets int
+	Receptions   int
+
+	ValidDeliveries int
+	LateDeliveries  int
+	Earning         float64
+
+	DropsExpired  int
+	DropsHopeless int
+	DropsArrival  int
+	DropsCrashed  int
+
+	// Fairness is Jain's index over per-subscriber delivery ratios, or 0
+	// when per-subscriber accounting was off.
+	Fairness float64
+
+	LatencyMeanMs float64
+	LatencyP50Ms  float64
+	LatencyP95Ms  float64
+	LatencyMaxMs  float64
+
+	PeakQueue int
+}
+
+// DeliveryRate is eq. (1): Σ dsᵢ / Σ tsᵢ (0 when nothing was published).
+func (r Result) DeliveryRate() float64 {
+	if r.TotalTargets == 0 {
+		return 0
+	}
+	return float64(r.ValidDeliveries) / float64(r.TotalTargets)
+}
+
+// MessageNumberK is the paper's traffic metric in thousands.
+func (r Result) MessageNumberK() float64 { return float64(r.Receptions) / 1000 }
+
+// EarningK is the total earning in thousands.
+func (r Result) EarningK() float64 { return r.Earning / 1000 }
+
+// String implements fmt.Stringer with the headline numbers.
+func (r Result) String() string {
+	return fmt.Sprintf("%s: delivery %.1f%% earning %.1fk traffic %.1fk (drops exp=%d hopeless=%d arrival=%d)",
+		r.Label, 100*r.DeliveryRate(), r.EarningK(), r.MessageNumberK(),
+		r.DropsExpired, r.DropsHopeless, r.DropsArrival)
+}
+
+// Mean averages a set of results (for multi-seed aggregation). Counts are
+// averaged as floats and rounded; the label is taken from the first
+// result.
+func Mean(rs []Result) Result {
+	if len(rs) == 0 {
+		return Result{}
+	}
+	out := rs[0]
+	n := float64(len(rs))
+	var pub, tgt, rec, valid, late, de, dh, da, dc, peak float64
+	var earn, lm, l50, l95, lmax, fair float64
+	for _, r := range rs {
+		pub += float64(r.Published)
+		tgt += float64(r.TotalTargets)
+		rec += float64(r.Receptions)
+		valid += float64(r.ValidDeliveries)
+		late += float64(r.LateDeliveries)
+		de += float64(r.DropsExpired)
+		dh += float64(r.DropsHopeless)
+		da += float64(r.DropsArrival)
+		dc += float64(r.DropsCrashed)
+		peak += float64(r.PeakQueue)
+		earn += r.Earning
+		lm += r.LatencyMeanMs
+		l50 += r.LatencyP50Ms
+		l95 += r.LatencyP95Ms
+		lmax += r.LatencyMaxMs
+		fair += r.Fairness
+	}
+	round := func(x float64) int { return int(x/n + 0.5) }
+	out.Published = round(pub)
+	out.TotalTargets = round(tgt)
+	out.Receptions = round(rec)
+	out.ValidDeliveries = round(valid)
+	out.LateDeliveries = round(late)
+	out.DropsExpired = round(de)
+	out.DropsHopeless = round(dh)
+	out.DropsArrival = round(da)
+	out.DropsCrashed = round(dc)
+	out.PeakQueue = round(peak)
+	out.Earning = earn / n
+	out.Fairness = fair / n
+	out.LatencyMeanMs = lm / n
+	out.LatencyP50Ms = l50 / n
+	out.LatencyP95Ms = l95 / n
+	out.LatencyMaxMs = lmax / n
+	return out
+}

@@ -1,0 +1,99 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCollectorBasics(t *testing.T) {
+	var c Collector
+	c.Published(4)
+	c.Published(2)
+	c.Reception()
+	c.Reception()
+	c.Reception()
+	c.Delivered(3, 1500, true)
+	c.Delivered(2, 2500, true)
+	c.Delivered(1, 9000, false)
+	c.DroppedExpired(2)
+	c.DroppedHopeless(1)
+	c.DroppedOnArrival(3)
+
+	r := c.Result()
+	if r.Published != 2 || r.TotalTargets != 6 || r.Receptions != 3 {
+		t.Errorf("counts wrong: %+v", r)
+	}
+	if r.ValidDeliveries != 2 || r.LateDeliveries != 1 {
+		t.Errorf("deliveries wrong: %+v", r)
+	}
+	if r.Earning != 5 {
+		t.Errorf("earning = %v, want 5", r.Earning)
+	}
+	if r.DropsExpired != 2 || r.DropsHopeless != 1 || r.DropsArrival != 3 {
+		t.Errorf("drops wrong: %+v", r)
+	}
+	if got := r.DeliveryRate(); math.Abs(got-2.0/6) > 1e-12 {
+		t.Errorf("delivery rate = %v, want 1/3", got)
+	}
+	if r.LatencyMeanMs != 2000 {
+		t.Errorf("latency mean = %v, want 2000 (valid only)", r.LatencyMeanMs)
+	}
+}
+
+func TestResultDerivedMetrics(t *testing.T) {
+	r := Result{Receptions: 123400, Earning: 5600}
+	if r.MessageNumberK() != 123.4 {
+		t.Errorf("MessageNumberK = %v", r.MessageNumberK())
+	}
+	if r.EarningK() != 5.6 {
+		t.Errorf("EarningK = %v", r.EarningK())
+	}
+	empty := Result{}
+	if empty.DeliveryRate() != 0 {
+		t.Error("empty delivery rate should be 0")
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := Result{Label: "SSD/EB rate=10", ValidDeliveries: 5, TotalTargets: 10}
+	s := r.String()
+	if !strings.Contains(s, "SSD/EB") || !strings.Contains(s, "50.0%") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestMean(t *testing.T) {
+	rs := []Result{
+		{Label: "x", Published: 100, TotalTargets: 400, ValidDeliveries: 100,
+			Receptions: 1000, Earning: 200, LatencyMeanMs: 10, PeakQueue: 5},
+		{Label: "y", Published: 200, TotalTargets: 600, ValidDeliveries: 200,
+			Receptions: 2000, Earning: 400, LatencyMeanMs: 30, PeakQueue: 15},
+	}
+	m := Mean(rs)
+	if m.Label != "x" {
+		t.Error("label should come from the first result")
+	}
+	if m.Published != 150 || m.TotalTargets != 500 || m.ValidDeliveries != 150 {
+		t.Errorf("averaged counts wrong: %+v", m)
+	}
+	if m.Receptions != 1500 || m.Earning != 300 || m.LatencyMeanMs != 20 || m.PeakQueue != 10 {
+		t.Errorf("averaged values wrong: %+v", m)
+	}
+	if got := m.DeliveryRate(); math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("mean delivery rate = %v, want 0.3", got)
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if m := Mean(nil); m != (Result{}) {
+		t.Error("Mean(nil) should be zero Result")
+	}
+}
+
+func TestMeanSingle(t *testing.T) {
+	r := Result{Published: 7, Earning: 3.5}
+	if m := Mean([]Result{r}); m.Published != 7 || m.Earning != 3.5 {
+		t.Error("Mean of one result should be itself")
+	}
+}

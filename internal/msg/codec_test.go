@@ -1,0 +1,321 @@
+package msg
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"bdps/internal/filter"
+)
+
+func sampleMessage() *Message {
+	return &Message{
+		ID:        MakeID(2, 77),
+		Publisher: 2,
+		Ingress:   1,
+		Published: 123456.5,
+		Allowed:   20000,
+		SizeKB:    50,
+		Attrs: NewAttrSet(
+			Attr{"A1", filter.Num(3.25)},
+			Attr{"A2", filter.Num(8.5)},
+			Attr{"topic", filter.Str("traffic/k11")},
+		),
+		Payload: []byte("hello world"),
+	}
+}
+
+func TestMessageCodecRoundTrip(t *testing.T) {
+	m := sampleMessage()
+	body, err := AppendMessage(nil, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeMessage(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, got) {
+		t.Errorf("round trip mismatch:\n in  %+v\n out %+v", m, got)
+	}
+}
+
+func TestMessageCodecEmptyPayloadNilVsZero(t *testing.T) {
+	m := sampleMessage()
+	m.Payload = nil
+	body, err := AppendMessage(nil, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeMessage(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Payload != nil {
+		t.Error("nil payload should decode as nil")
+	}
+}
+
+func TestMessageCodecQuick(t *testing.T) {
+	prop := func(id uint64, pub, ing int32, published, allowed, size float64,
+		a1, a2 float64, s string) bool {
+		if math.IsNaN(published) || math.IsNaN(allowed) || math.IsNaN(size) ||
+			math.IsNaN(a1) || math.IsNaN(a2) {
+			return true
+		}
+		if len(s) > 1000 {
+			s = s[:1000]
+		}
+		m := &Message{
+			ID: ID(id), Publisher: NodeID(pub), Ingress: NodeID(ing),
+			Published: published, Allowed: allowed, SizeKB: size,
+			Attrs: NewAttrSet(
+				Attr{"A1", filter.Num(a1)},
+				Attr{"A2", filter.Num(a2)},
+				Attr{"s", filter.Str(s)},
+			),
+		}
+		body, err := AppendMessage(nil, m)
+		if err != nil {
+			return false
+		}
+		got, err := DecodeMessage(body)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(m, got)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeMessageTruncated(t *testing.T) {
+	body, err := AppendMessage(nil, sampleMessage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(body); cut += 3 {
+		if _, err := DecodeMessage(body[:cut]); err == nil {
+			t.Fatalf("truncation at %d bytes should fail", cut)
+		}
+	}
+}
+
+func TestDecodeMessageTrailingGarbage(t *testing.T) {
+	body, err := AppendMessage(nil, sampleMessage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeMessage(append(body, 0xFF)); err == nil {
+		t.Error("trailing bytes should fail")
+	}
+}
+
+func TestDecodeMessageBadAttrKind(t *testing.T) {
+	m := &Message{Attrs: NewAttrSet(Attr{"a", filter.Num(1)})}
+	body, err := AppendMessage(nil, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The attr kind byte sits right after the name; find and corrupt it.
+	i := bytes.Index(body, []byte("a")) + 1
+	body[i] = 9
+	if _, err := DecodeMessage(body); err == nil {
+		t.Error("unknown attr kind should fail")
+	}
+}
+
+func TestAppendMessageLimits(t *testing.T) {
+	m := &Message{Payload: make([]byte, MaxPayloadLen+1)}
+	if _, err := AppendMessage(nil, m); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversized payload: err = %v, want ErrTooLarge", err)
+	}
+	m2 := &Message{Attrs: NewAttrSet(Attr{strings.Repeat("n", MaxNameLen+1), filter.Num(1)})}
+	if _, err := AppendMessage(nil, m2); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversized name: err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestSubscriptionCodecRoundTrip(t *testing.T) {
+	s := &Subscription{
+		ID: 42, Edge: 19,
+		Filter:   filter.MustParse("A1 < 6.25 && A2 < 3"),
+		Deadline: 30000, Price: 2,
+	}
+	body, err := AppendSubscription(nil, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSubscription(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != s.ID || got.Edge != s.Edge || got.Deadline != s.Deadline || got.Price != s.Price {
+		t.Errorf("fields mismatch: %+v vs %+v", got, s)
+	}
+	if got.Filter.String() != s.Filter.String() {
+		t.Errorf("filter mismatch: %q vs %q", got.Filter.String(), s.Filter.String())
+	}
+}
+
+func TestSubscriptionCodecWildcard(t *testing.T) {
+	s := &Subscription{ID: 1, Edge: 2, Filter: &filter.Filter{}}
+	body, err := AppendSubscription(nil, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSubscription(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Filter.Match(NumAttrs(map[string]float64{"x": 1})) {
+		t.Error("wildcard filter should survive the codec")
+	}
+}
+
+func TestDecodeSubscriptionTruncated(t *testing.T) {
+	s := &Subscription{ID: 1, Edge: 2, Filter: filter.MustParse("a<1")}
+	body, _ := AppendSubscription(nil, s)
+	for cut := 0; cut < len(body); cut += 2 {
+		if _, err := DecodeSubscription(body[:cut]); err == nil {
+			t.Fatalf("truncation at %d should fail", cut)
+		}
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	body, _ := AppendMessage(nil, sampleMessage())
+	if err := WriteFrame(&buf, FrameMessage, body); err != nil {
+		t.Fatal(err)
+	}
+	sub := &Subscription{ID: 1, Edge: 2, Filter: filter.MustParse("a<1")}
+	sbody, _ := AppendSubscription(nil, sub)
+	if err := WriteFrame(&buf, FrameSubscribe, sbody); err != nil {
+		t.Fatal(err)
+	}
+
+	ft, b, err := ReadFrame(&buf)
+	if err != nil || ft != FrameMessage || !bytes.Equal(b, body) {
+		t.Fatalf("first frame: type=%d err=%v", ft, err)
+	}
+	ft, b, err = ReadFrame(&buf)
+	if err != nil || ft != FrameSubscribe || !bytes.Equal(b, sbody) {
+		t.Fatalf("second frame: type=%d err=%v", ft, err)
+	}
+	if _, _, err = ReadFrame(&buf); err != io.EOF {
+		t.Errorf("clean EOF expected, got %v", err)
+	}
+}
+
+func TestReadFrameBadMagic(t *testing.T) {
+	buf := bytes.NewBuffer([]byte{0, 0, 1, 1, 0, 0, 0, 0})
+	if _, _, err := ReadFrame(buf); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestReadFrameBadVersion(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, FrameAck, nil); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[2] = 99
+	if _, _, err := ReadFrame(bytes.NewReader(raw)); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("err = %v, want ErrBadVersion", err)
+	}
+}
+
+func TestReadFrameTruncatedBody(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, FrameMessage, []byte("abcdef")); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()[:buf.Len()-3]
+	if _, _, err := ReadFrame(bytes.NewReader(raw)); err != io.ErrUnexpectedEOF {
+		t.Errorf("err = %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+// TestDecodeMessageNeverPanicsOnMutation flips random bytes in valid
+// encodings: decoding must fail cleanly or succeed, never panic or
+// over-allocate.
+func TestDecodeMessageNeverPanicsOnMutation(t *testing.T) {
+	base, err := AppendMessage(nil, sampleMessage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := uint64(0x9e3779b97f4a7c15)
+	next := func(n int) int {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return int(rng % uint64(n))
+	}
+	for trial := 0; trial < 5000; trial++ {
+		mut := append([]byte(nil), base...)
+		for flips := 0; flips <= trial%4; flips++ {
+			mut[next(len(mut))] ^= byte(1 << next(8))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("decode panicked on mutation %d: %v", trial, r)
+				}
+			}()
+			_, _ = DecodeMessage(mut)
+		}()
+	}
+}
+
+// TestDecodeSubscriptionNeverPanicsOnGarbage feeds raw noise.
+func TestDecodeSubscriptionNeverPanicsOnGarbage(t *testing.T) {
+	rng := uint64(12345)
+	next := func() byte {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return byte(rng)
+	}
+	for trial := 0; trial < 3000; trial++ {
+		buf := make([]byte, trial%97)
+		for i := range buf {
+			buf[i] = next()
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("decode panicked on garbage %d: %v", trial, r)
+				}
+			}()
+			_, _ = DecodeSubscription(buf)
+			_, _ = DecodeMessage(buf)
+			_, _, _ = DecodeHello(buf)
+		}()
+	}
+}
+
+func TestHelloCodec(t *testing.T) {
+	body := AppendHello(nil, RoleSubscriber, 42)
+	role, id, err := DecodeHello(body)
+	if err != nil || role != RoleSubscriber || id != 42 {
+		t.Errorf("hello round trip: role=%d id=%d err=%v", role, id, err)
+	}
+	if _, _, err := DecodeHello([]byte{1, 2}); err == nil {
+		t.Error("short hello should fail")
+	}
+}
+
+func TestReadFrameHugeBodyRejected(t *testing.T) {
+	raw := []byte{0xBD, 0x75, 1, 1, 0xFF, 0xFF, 0xFF, 0xFF}
+	if _, _, err := ReadFrame(bytes.NewReader(raw)); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("err = %v, want ErrTooLarge", err)
+	}
+}

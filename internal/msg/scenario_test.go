@@ -1,0 +1,69 @@
+package msg
+
+import (
+	"testing"
+
+	"bdps/internal/vtime"
+)
+
+func TestScenarioStrings(t *testing.T) {
+	if PSD.String() != "PSD" || SSD.String() != "SSD" || Both.String() != "PSD+SSD" {
+		t.Error("scenario names wrong")
+	}
+	if Scenario(9).String() == "" {
+		t.Error("unknown scenario should render")
+	}
+}
+
+func TestAllowedDelayPSD(t *testing.T) {
+	m := &Message{Allowed: 20 * vtime.Second}
+	sub := &Subscription{Deadline: 10 * vtime.Second, Price: 3}
+	allowed, price := PSD.AllowedDelay(m, sub)
+	if allowed != 20*vtime.Second || price != 1 {
+		t.Errorf("PSD = (%v, %v), want (20s, 1)", allowed, price)
+	}
+}
+
+func TestAllowedDelaySSD(t *testing.T) {
+	m := &Message{Allowed: 20 * vtime.Second}
+	sub := &Subscription{Deadline: 10 * vtime.Second, Price: 3}
+	allowed, price := SSD.AllowedDelay(m, sub)
+	if allowed != 10*vtime.Second || price != 3 {
+		t.Errorf("SSD = (%v, %v), want (10s, 3)", allowed, price)
+	}
+}
+
+func TestAllowedDelayBothTakesStricter(t *testing.T) {
+	sub := &Subscription{Deadline: 10 * vtime.Second, Price: 3}
+
+	// Publisher stricter.
+	m := &Message{Allowed: 5 * vtime.Second}
+	allowed, price := Both.AllowedDelay(m, sub)
+	if allowed != 5*vtime.Second || price != 3 {
+		t.Errorf("Both = (%v, %v), want (5s, 3)", allowed, price)
+	}
+
+	// Subscriber stricter.
+	m = &Message{Allowed: 30 * vtime.Second}
+	allowed, _ = Both.AllowedDelay(m, sub)
+	if allowed != 10*vtime.Second {
+		t.Errorf("Both = %v, want 10s", allowed)
+	}
+}
+
+func TestAllowedDelayBothMissingSides(t *testing.T) {
+	// Only publisher bound.
+	m := &Message{Allowed: 20 * vtime.Second}
+	noSub := &Subscription{}
+	allowed, price := Both.AllowedDelay(m, noSub)
+	if allowed != 20*vtime.Second || price != 1 {
+		t.Errorf("publisher-only Both = (%v, %v)", allowed, price)
+	}
+	// Only subscriber bound.
+	m = &Message{}
+	sub := &Subscription{Deadline: 10 * vtime.Second, Price: 2}
+	allowed, price = Both.AllowedDelay(m, sub)
+	if allowed != 10*vtime.Second || price != 2 {
+		t.Errorf("subscriber-only Both = (%v, %v)", allowed, price)
+	}
+}

@@ -1,0 +1,135 @@
+package routing
+
+import (
+	"fmt"
+
+	"bdps/internal/msg"
+	"bdps/internal/stats"
+	"bdps/internal/topology"
+)
+
+// RateFunc supplies the per-KB rate distribution a broker believes a link
+// has. The default uses the true distributions from the overlay graph
+// (the paper assumes known parameters); the estimation ablation passes
+// measured estimates instead.
+type RateFunc func(from, to msg.NodeID) stats.Normal
+
+// Options configures a routing build.
+type Options struct {
+	// Rates overrides the link-rate beliefs; nil means the overlay's true
+	// distributions.
+	Rates RateFunc
+	// Multipath installs up to K paths per (ingress, subscription) when
+	// K > 1. K = 0 or 1 is single-path (the paper's default).
+	Multipath int
+}
+
+// Build computes the per-broker subscription tables for an overlay and a
+// subscription population. Every subscription's edge broker must be listed
+// in ov.Edges; every table is returned even if empty, so brokers can be
+// constructed uniformly.
+func Build(ov *topology.Overlay, subs []*msg.Subscription, opts Options) (map[msg.NodeID]*Table, error) {
+	rates := opts.Rates
+	if rates == nil {
+		rates = func(from, to msg.NodeID) stats.Normal {
+			r, ok := ov.Graph.Rate(from, to)
+			if !ok {
+				// Unreachable: Build only asks for rates of arcs on paths
+				// returned by the graph itself.
+				panic(fmt.Sprintf("routing: no arc %d->%d", from, to))
+			}
+			return r
+		}
+	}
+
+	tables := make(map[msg.NodeID]*Table, ov.Graph.N())
+	for id := 0; id < ov.Graph.N(); id++ {
+		tables[msg.NodeID(id)] = NewTable(msg.NodeID(id))
+	}
+
+	edgeSet := make(map[msg.NodeID]bool, len(ov.Edges))
+	for _, e := range ov.Edges {
+		edgeSet[e] = true
+	}
+
+	k := opts.Multipath
+	if k < 1 {
+		k = 1
+	}
+
+	for _, src := range ov.Ingress {
+		// One Dijkstra per ingress covers all single-path routes.
+		dist, prev := ov.Graph.ShortestPaths(src)
+		for _, sub := range subs {
+			if !edgeSet[sub.Edge] {
+				return nil, fmt.Errorf("routing: subscription %d attaches to non-edge broker %d", sub.ID, sub.Edge)
+			}
+			var paths [][]msg.NodeID
+			if k == 1 {
+				p, ok := pathVia(dist, prev, src, sub.Edge)
+				if !ok {
+					return nil, fmt.Errorf("routing: no path %d->%d for subscription %d", src, sub.Edge, sub.ID)
+				}
+				paths = [][]msg.NodeID{p}
+			} else {
+				paths = ov.Graph.KShortestPaths(src, sub.Edge, k)
+				if len(paths) == 0 {
+					return nil, fmt.Errorf("routing: no path %d->%d for subscription %d", src, sub.Edge, sub.ID)
+				}
+			}
+			for pathID, path := range paths {
+				installPath(tables, path, sub, src, pathID, rates)
+			}
+		}
+	}
+	return tables, nil
+}
+
+// pathVia reconstructs the shortest path from precomputed Dijkstra state.
+func pathVia(dist []float64, prev []msg.NodeID, src, dst msg.NodeID) ([]msg.NodeID, bool) {
+	const unreachable = 1.7e308
+	if dist[dst] > unreachable {
+		return nil, false
+	}
+	var rev []msg.NodeID
+	for at := dst; ; at = prev[at] {
+		rev = append(rev, at)
+		if at == src {
+			break
+		}
+		if prev[at] == msg.None {
+			return nil, false
+		}
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, true
+}
+
+// installPath writes one entry per broker along the path. For the broker
+// at position i, the residual path is path[i..end]: Hops counts its links
+// (each terminating at a broker that must still process the message,
+// which is the paper's NN_p), and Rate sums the believed link
+// distributions.
+func installPath(tables map[msg.NodeID]*Table, path []msg.NodeID, sub *msg.Subscription, src msg.NodeID, pathID int, rates RateFunc) {
+	l := len(path)
+	for i := 0; i < l; i++ {
+		at := path[i]
+		e := &Entry{Sub: sub, Source: src, PathID: pathID}
+		if i == l-1 {
+			e.Next = msg.None
+			e.Hops = 0
+			e.Rate = stats.Normal{}
+		} else {
+			e.Next = path[i+1]
+			e.Hops = l - 1 - i
+			parts := make([]stats.Normal, 0, l-1-i)
+			for j := i; j < l-1; j++ {
+				parts = append(parts, rates(path[j], path[j+1]))
+			}
+			e.Rate = stats.SumNormal(parts...)
+		}
+		tables[at].Add(e)
+	}
+}

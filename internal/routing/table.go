@@ -1,0 +1,222 @@
+// Package routing implements the pub/sub routing protocol of §3.3 and the
+// per-broker subscription table of §4.2.
+//
+// For every (ingress broker A, subscription s) pair the builder selects
+// the single path from A to s's edge broker that minimizes the sum of mean
+// link rates, and installs an entry at every broker along it. An entry
+// stores the residual-path statistics the scheduling core needs: the next
+// hop, the number of remaining intermediate brokers NN_p, and the residual
+// path rate distribution N(μ_p, σ_p²). Entries are keyed by ingress
+// because single-path routes from different publishers to the same
+// subscriber may diverge in a mesh.
+//
+// A multi-path mode (the DCP-style alternative the paper contrasts with,
+// §3.3) installs entries for up to K disjoint-prefix paths; edge brokers
+// then deduplicate by message ID.
+package routing
+
+import (
+	"fmt"
+	"sort"
+
+	"bdps/internal/filter"
+	"bdps/internal/msg"
+	"bdps/internal/stats"
+)
+
+// Interface conformance: messages' attribute sets satisfy the index's
+// iteration requirement.
+var _ filter.Iterable = msg.AttrSet{}
+
+// Entry is one subscription's routing state at one broker for one ingress.
+type Entry struct {
+	Sub    *msg.Subscription
+	Source msg.NodeID   // ingress broker this route applies to
+	Next   msg.NodeID   // next hop toward the subscriber; msg.None = local
+	Hops   int          // NN_p: links (= downstream brokers) remaining
+	Rate   stats.Normal // residual path per-KB time TR_p ~ N(μ_p, σ_p²)
+	PathID int          // 0 for single-path; 0..K-1 in multi-path mode
+}
+
+// Local reports whether the entry delivers to a subscriber attached to
+// this broker.
+func (e *Entry) Local() bool { return e.Next == msg.None }
+
+// String implements fmt.Stringer.
+func (e *Entry) String() string {
+	next := "local"
+	if !e.Local() {
+		next = fmt.Sprintf("B%d", e.Next)
+	}
+	return fmt.Sprintf("sub %d src B%d via %s hops=%d rate=%s",
+		e.Sub.ID, e.Source, next, e.Hops, e.Rate)
+}
+
+// Table is one broker's subscription table.
+type Table struct {
+	broker   msg.NodeID
+	bySource map[msg.NodeID][]*Entry
+	size     int
+
+	// Optional counting-index fast path, built by EnableIndex.
+	index map[msg.NodeID]*filter.Index
+}
+
+// NewTable returns an empty table for the given broker.
+func NewTable(broker msg.NodeID) *Table {
+	return &Table{broker: broker, bySource: make(map[msg.NodeID][]*Entry)}
+}
+
+// Broker returns the owning broker id.
+func (t *Table) Broker() msg.NodeID { return t.broker }
+
+// Add installs an entry. Adding after EnableIndex discards the index;
+// call EnableIndex again once the table is complete.
+func (t *Table) Add(e *Entry) {
+	t.bySource[e.Source] = append(t.bySource[e.Source], e)
+	t.size++
+	t.index = nil
+}
+
+// Len returns the number of entries.
+func (t *Table) Len() int { return t.size }
+
+// RemoveSub deletes every entry of a subscription (all ingresses, all
+// paths), returning how many entries were removed. Any counting index is
+// discarded.
+func (t *Table) RemoveSub(id msg.SubID) int {
+	removed := 0
+	for src, entries := range t.bySource {
+		kept := entries[:0]
+		for _, e := range entries {
+			if e.Sub.ID == id {
+				removed++
+				continue
+			}
+			kept = append(kept, e)
+		}
+		if len(kept) == 0 {
+			delete(t.bySource, src)
+		} else {
+			t.bySource[src] = kept
+		}
+	}
+	t.size -= removed
+	if removed > 0 {
+		t.index = nil
+	}
+	return removed
+}
+
+// EnableIndex builds a per-ingress predicate-counting index over the
+// entry filters, turning Match from a linear filter scan into the
+// counting algorithm. Matching semantics are identical (the filter
+// package's index falls back for non-indexable filters).
+func (t *Table) EnableIndex() {
+	t.index = make(map[msg.NodeID]*filter.Index, len(t.bySource))
+	for src, entries := range t.bySource {
+		ix := filter.NewIndex()
+		for i, e := range entries {
+			ix.Add(int32(i), e.Sub.Filter)
+		}
+		t.index[src] = ix
+	}
+}
+
+// Match returns the entries whose source matches the message's ingress
+// and whose filter matches its attributes, in deterministic order.
+func (t *Table) Match(m *msg.Message) []*Entry {
+	entries := t.bySource[m.Ingress]
+	if ix := t.index[m.Ingress]; ix != nil {
+		ids := ix.Match(m.Attrs)
+		if len(ids) == 0 {
+			return nil
+		}
+		// The index emits positions; restore first-add order.
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		out := make([]*Entry, len(ids))
+		for i, id := range ids {
+			out[i] = entries[id]
+		}
+		return out
+	}
+	var out []*Entry
+	for _, e := range entries {
+		if e.Sub.Filter.Match(m.Attrs) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Entries returns all entries for an ingress, for tests and inspection.
+func (t *Table) Entries(source msg.NodeID) []*Entry { return t.bySource[source] }
+
+// Sources returns the ingress ids present in the table, sorted.
+func (t *Table) Sources() []msg.NodeID {
+	out := make([]msg.NodeID, 0, len(t.bySource))
+	for s := range t.bySource {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// GroupByNext buckets matched entries by next hop. Local deliveries come
+// back under msg.None. Bucket contents preserve Match order; bucket keys
+// are sorted for deterministic iteration by the caller.
+func GroupByNext(entries []*Entry) (hops []msg.NodeID, groups map[msg.NodeID][]*Entry) {
+	groups = make(map[msg.NodeID][]*Entry)
+	for _, e := range entries {
+		if _, ok := groups[e.Next]; !ok {
+			hops = append(hops, e.Next)
+		}
+		groups[e.Next] = append(groups[e.Next], e)
+	}
+	sort.Slice(hops, func(i, j int) bool { return hops[i] < hops[j] })
+	return hops, groups
+}
+
+// CoverageStats summarizes a routing build for diagnostics: entries per
+// broker and total state.
+type CoverageStats struct {
+	Brokers      int
+	TotalEntries int
+	MaxPerBroker int
+}
+
+// Stats computes coverage statistics over a table set.
+func Stats(tables map[msg.NodeID]*Table) CoverageStats {
+	cs := CoverageStats{Brokers: len(tables)}
+	for _, t := range tables {
+		cs.TotalEntries += t.Len()
+		if t.Len() > cs.MaxPerBroker {
+			cs.MaxPerBroker = t.Len()
+		}
+	}
+	return cs
+}
+
+// Aggregate drops entries provably covered by another entry with the same
+// (source, next hop, subscriber-independent delivery terms). This is the
+// covering optimization enabled by filter.Covers; the default build does
+// not use it because per-subscriber accounting (deadlines, prices, success
+// probabilities) requires individual entries, but the live runtime uses it
+// for its forwarding-only tables.
+func Aggregate(entries []*Entry) []*Entry {
+	var out []*Entry
+	for _, e := range entries {
+		covered := false
+		for _, f := range out {
+			if f.Source == e.Source && f.Next == e.Next &&
+				filter.Covers(f.Sub.Filter, e.Sub.Filter) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			out = append(out, e)
+		}
+	}
+	return out
+}

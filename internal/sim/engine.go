@@ -1,0 +1,104 @@
+// Package sim is a deterministic discrete-event simulation engine: a
+// virtual clock and a time-ordered event queue. Events scheduled for the
+// same instant execute in scheduling order, so simulation runs are exactly
+// reproducible — the property every experiment in this repository leans
+// on.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"bdps/internal/vtime"
+)
+
+// Engine runs events in virtual time.
+type Engine struct {
+	now   vtime.Millis
+	queue eventHeap
+	seq   uint64
+	steps uint64
+}
+
+// New returns an engine at time 0.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() vtime.Millis { return e.now }
+
+// Steps returns the number of events executed so far.
+func (e *Engine) Steps() uint64 { return e.steps }
+
+// Pending returns the number of scheduled, not-yet-run events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn at absolute time t. Scheduling in the past panics: it is
+// always a logic error in the embedding model, and silently reordering
+// time would corrupt every metric downstream.
+func (e *Engine) At(t vtime.Millis, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, e.now))
+	}
+	heap.Push(&e.queue, event{time: t, seq: e.seq, fn: fn})
+	e.seq++
+}
+
+// After schedules fn d milliseconds from now.
+func (e *Engine) After(d vtime.Millis, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	e.At(e.now+d, fn)
+}
+
+// Run executes events until none remain, returning the final time.
+func (e *Engine) Run() vtime.Millis {
+	for len(e.queue) > 0 {
+		e.step()
+	}
+	return e.now
+}
+
+// RunUntil executes all events with time <= t, then advances the clock to
+// t (even if idle). Events scheduled during execution are honored if they
+// fall within the horizon.
+func (e *Engine) RunUntil(t vtime.Millis) {
+	for len(e.queue) > 0 && e.queue[0].time <= t {
+		e.step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
+
+func (e *Engine) step() {
+	ev := heap.Pop(&e.queue).(event)
+	e.now = ev.time
+	e.steps++
+	ev.fn()
+}
+
+type event struct {
+	time vtime.Millis
+	seq  uint64
+	fn   func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,134 @@
+package sim
+
+import (
+	"testing"
+
+	"bdps/internal/vtime"
+)
+
+func TestEngineRunsInTimeOrder(t *testing.T) {
+	e := New()
+	var order []int
+	e.At(30, func() { order = append(order, 3) })
+	e.At(10, func() { order = append(order, 1) })
+	e.At(20, func() { order = append(order, 2) })
+	end := e.Run()
+	if end != 30 {
+		t.Errorf("final time = %v, want 30", end)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+	if e.Steps() != 3 {
+		t.Errorf("steps = %d, want 3", e.Steps())
+	}
+}
+
+func TestEngineSameTimeFIFO(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.At(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events out of scheduling order at %d: %d", i, v)
+		}
+	}
+}
+
+func TestEngineEventSchedulesEvent(t *testing.T) {
+	e := New()
+	var hits []vtime.Millis
+	e.At(10, func() {
+		hits = append(hits, e.Now())
+		e.After(5, func() { hits = append(hits, e.Now()) })
+	})
+	e.Run()
+	if len(hits) != 2 || hits[0] != 10 || hits[1] != 15 {
+		t.Errorf("hits = %v, want [10 15]", hits)
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := New()
+	ran := 0
+	e.At(10, func() { ran++ })
+	e.At(20, func() { ran++ })
+	e.At(30, func() { ran++ })
+	e.RunUntil(20)
+	if ran != 2 {
+		t.Errorf("ran = %d, want 2", ran)
+	}
+	if e.Now() != 20 {
+		t.Errorf("now = %v, want 20", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Errorf("pending = %d, want 1", e.Pending())
+	}
+	e.RunUntil(100)
+	if ran != 3 || e.Now() != 100 {
+		t.Errorf("after horizon: ran=%d now=%v", ran, e.Now())
+	}
+}
+
+func TestEngineRunUntilIdleAdvancesClock(t *testing.T) {
+	e := New()
+	e.RunUntil(500)
+	if e.Now() != 500 {
+		t.Errorf("idle advance: now = %v, want 500", e.Now())
+	}
+}
+
+func TestEnginePanicsOnPastScheduling(t *testing.T) {
+	e := New()
+	e.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past should panic")
+			}
+		}()
+		e.At(5, func() {})
+	})
+	e.Run()
+}
+
+func TestEnginePanicsOnNegativeDelay(t *testing.T) {
+	e := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("negative After should panic")
+		}
+	}()
+	e.After(-1, func() {})
+}
+
+func TestEngineDeterminism(t *testing.T) {
+	trace := func() []vtime.Millis {
+		e := New()
+		var out []vtime.Millis
+		var tick func()
+		n := 0
+		tick = func() {
+			out = append(out, e.Now())
+			n++
+			if n < 50 {
+				e.After(vtime.Millis(n%7)+1, tick)
+			}
+		}
+		e.At(0, tick)
+		e.Run()
+		return out
+	}
+	a, b := trace(), trace()
+	if len(a) != len(b) {
+		t.Fatal("different event counts")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("divergence at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,486 @@
+// Package simnet wires the whole system together on the discrete-event
+// engine: the overlay topology, per-link transmission with sampled rates,
+// brokers running a scheduling strategy, publishers and subscriber
+// accounting. One Run reproduces one data point of the paper's evaluation.
+package simnet
+
+import (
+	"fmt"
+	"sort"
+
+	"bdps/internal/broker"
+	"bdps/internal/core"
+	"bdps/internal/metrics"
+	"bdps/internal/msg"
+	"bdps/internal/routing"
+	"bdps/internal/sim"
+	"bdps/internal/stats"
+	"bdps/internal/topology"
+	"bdps/internal/trace"
+	"bdps/internal/vtime"
+	"bdps/internal/workload"
+)
+
+// LinkModel selects how per-transfer link rates are drawn.
+type LinkModel uint8
+
+// Link models.
+const (
+	// LinkNormal samples each transfer's per-KB rate from the link's
+	// N(μ,σ²), truncated at MinRate — the paper's model (§3.2).
+	LinkNormal LinkModel = iota
+	// LinkFixed uses the mean deterministically (the fixed-bandwidth
+	// assumption of QRON-style related work, for the ablation).
+	LinkFixed
+	// LinkGamma samples from a shifted gamma matched to the link's mean
+	// and variance (the IP-delay shape of the paper's refs [17,18]).
+	LinkGamma
+)
+
+// String implements fmt.Stringer.
+func (m LinkModel) String() string {
+	switch m {
+	case LinkNormal:
+		return "normal"
+	case LinkFixed:
+		return "fixed"
+	case LinkGamma:
+		return "gamma"
+	}
+	return fmt.Sprintf("LinkModel(%d)", uint8(m))
+}
+
+// Config describes one simulation run.
+type Config struct {
+	Seed     uint64
+	Scenario msg.Scenario
+	Strategy core.Strategy
+	Params   core.Params
+
+	Workload workload.Config
+
+	// Overlay, when non-nil, is used as-is; otherwise TopologyCfg builds
+	// the paper's layered mesh with the run's seed.
+	Overlay     *topology.Overlay
+	TopologyCfg topology.LayeredConfig
+
+	// Multipath > 1 enables K-path routing with per-broker deduplication.
+	Multipath int
+
+	// MeasureSamples > 0 makes brokers estimate link-rate parameters from
+	// that many measured transfers instead of knowing them exactly.
+	MeasureSamples int
+
+	LinkModel LinkModel
+	// MinRate truncates sampled rates (ms/KB); default 1.
+	MinRate float64
+
+	// Faults injects failures into the run (link outages, broker
+	// crashes). Empty means a fault-free run.
+	Faults []Fault
+
+	// Tracer receives per-message lifecycle events; nil disables tracing.
+	Tracer trace.Tracer
+
+	// PerSubscriber enables per-subscriber delivery accounting (Jain
+	// fairness in the Result). Costs one map update per delivery.
+	PerSubscriber bool
+
+	// IndexedMatch builds the counting-index fast path on every broker's
+	// subscription table. Semantically identical to the linear scan.
+	IndexedMatch bool
+
+	// Subscriptions overrides the workload-generated population with an
+	// explicit one (every subscription must attach to an edge broker).
+	Subscriptions []*msg.Subscription
+}
+
+// Fault is an injected failure. The concrete types are LinkDown and
+// BrokerCrash.
+type Fault interface {
+	isFault()
+}
+
+// LinkDown takes the directed link From→To out of service during
+// [Start, End): no new transmissions start (in-flight transfers finish).
+// Take both directions down with two faults.
+type LinkDown struct {
+	From, To   msg.NodeID
+	Start, End vtime.Millis
+}
+
+func (LinkDown) isFault() {}
+
+// BrokerCrash permanently kills a broker at time At: queued and arriving
+// messages are lost, and its links stop sending.
+type BrokerCrash struct {
+	ID msg.NodeID
+	At vtime.Millis
+}
+
+func (BrokerCrash) isFault() {}
+
+func (c *Config) setDefaults() error {
+	if c.Strategy == nil {
+		c.Strategy = core.MaxEB{}
+	}
+	if c.Params == (core.Params{}) {
+		c.Params = core.DefaultParams()
+	}
+	if c.MinRate == 0 {
+		c.MinRate = 1
+	}
+	c.Workload.Scenario = c.Scenario
+	if c.Workload.Seed == 0 {
+		c.Workload.Seed = c.Seed
+	}
+	return c.Workload.Validate()
+}
+
+// rateSampler draws one per-transfer per-KB rate.
+type rateSampler interface {
+	sample(s *stats.Stream) float64
+}
+
+type normalSampler struct{ d stats.TruncatedNormal }
+
+func (n normalSampler) sample(s *stats.Stream) float64 { return n.d.Sample(s) }
+
+type fixedSampler struct{ mean float64 }
+
+func (f fixedSampler) sample(*stats.Stream) float64 { return f.mean }
+
+type gammaSampler struct {
+	d   stats.ShiftedGamma
+	min float64
+}
+
+func (g gammaSampler) sample(s *stats.Stream) float64 {
+	x := g.d.Sample(s)
+	if x < g.min {
+		return g.min
+	}
+	return x
+}
+
+// newSampler builds the configured sampler for a link with true
+// distribution d.
+func newSampler(model LinkModel, d stats.Normal, minRate float64) rateSampler {
+	switch model {
+	case LinkFixed:
+		return fixedSampler{mean: d.Mean}
+	case LinkGamma:
+		// Shape 4 gamma matched to (mean, sigma²): θ = σ/2,
+		// shift = μ − 2σ. Same two moments, right-skewed tail.
+		return gammaSampler{
+			d:   stats.ShiftedGamma{K: 4, Theta: d.Sigma / 2, Shift: d.Mean - 2*d.Sigma},
+			min: minRate,
+		}
+	default:
+		return normalSampler{d: stats.TruncatedNormal{Normal: d, Min: minRate}}
+	}
+}
+
+// link is one directed overlay link at runtime.
+type link struct {
+	from, to msg.NodeID
+	busy     bool
+	down     bool
+	sampler  rateSampler
+	stream   *stats.Stream
+}
+
+// Network is an assembled simulation, stepped by its engine. Most callers
+// use Run; tests use New + Engine for finer control.
+type Network struct {
+	Engine    *sim.Engine
+	Overlay   *topology.Overlay
+	Brokers   map[msg.NodeID]*broker.Broker
+	Collector *metrics.Collector
+
+	cfg    Config
+	subs   []*msg.Subscription
+	links  map[msg.NodeID]map[msg.NodeID]*link
+	dead   map[msg.NodeID]bool
+	tracer trace.Tracer
+}
+
+// New assembles a network: builds (or adopts) the overlay, generates
+// subscriptions, computes routing tables (from true or measured link
+// beliefs), instantiates brokers and links, and schedules all
+// publications.
+func New(cfg Config) (*Network, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	ov := cfg.Overlay
+	if ov == nil {
+		tc := cfg.TopologyCfg
+		if tc.Seed == 0 {
+			tc.Seed = cfg.Seed
+		}
+		built, err := topology.BuildLayered(tc)
+		if err != nil {
+			return nil, err
+		}
+		ov = built
+	}
+
+	n := &Network{
+		Engine:    sim.New(),
+		Overlay:   ov,
+		Brokers:   make(map[msg.NodeID]*broker.Broker),
+		Collector: &metrics.Collector{},
+		cfg:       cfg,
+		links:     make(map[msg.NodeID]map[msg.NodeID]*link),
+		dead:      make(map[msg.NodeID]bool),
+		tracer:    cfg.Tracer,
+	}
+	if n.tracer == nil {
+		n.tracer = trace.Nop{}
+	}
+	if cfg.Subscriptions != nil {
+		n.subs = cfg.Subscriptions
+	} else {
+		n.subs = cfg.Workload.Subscriptions(ov.Edges)
+	}
+
+	// Deterministic link enumeration: sorted arcs.
+	arcs := ov.Graph.Arcs()
+	sort.Slice(arcs, func(i, j int) bool {
+		if arcs[i][0] != arcs[j][0] {
+			return arcs[i][0] < arcs[j][0]
+		}
+		return arcs[i][1] < arcs[j][1]
+	})
+	for i, arc := range arcs {
+		from, to := arc[0], arc[1]
+		truth, _ := ov.Graph.Rate(from, to)
+		l := &link{
+			from:    from,
+			to:      to,
+			sampler: newSampler(cfg.LinkModel, truth, cfg.MinRate),
+			stream:  stats.DeriveN(cfg.Seed, "simnet/link", i),
+		}
+		if n.links[from] == nil {
+			n.links[from] = make(map[msg.NodeID]*link)
+		}
+		n.links[from][to] = l
+	}
+
+	// Link-rate beliefs: exact (paper default) or measured.
+	beliefs := func(from, to msg.NodeID) stats.Normal {
+		r, _ := ov.Graph.Rate(from, to)
+		return r
+	}
+	if cfg.MeasureSamples > 0 {
+		measured := make(map[[2]msg.NodeID]stats.Normal, len(arcs))
+		for i, arc := range arcs {
+			truth, _ := ov.Graph.Rate(arc[0], arc[1])
+			sampler := newSampler(cfg.LinkModel, truth, cfg.MinRate)
+			probe := stats.DeriveN(cfg.Seed, "simnet/measure", i)
+			est := &stats.WelfordEstimator{Prior: truth}
+			for k := 0; k < cfg.MeasureSamples; k++ {
+				est.Observe(sampler.sample(probe))
+			}
+			measured[[2]msg.NodeID{arc[0], arc[1]}] = est.Estimate()
+		}
+		beliefs = func(from, to msg.NodeID) stats.Normal {
+			return measured[[2]msg.NodeID{from, to}]
+		}
+	}
+
+	tables, err := routing.Build(ov, n.subs, routing.Options{
+		Rates:     beliefs,
+		Multipath: cfg.Multipath,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if cfg.IndexedMatch {
+		for _, t := range tables {
+			t.EnableIndex()
+		}
+	}
+
+	for id := 0; id < ov.Graph.N(); id++ {
+		nid := msg.NodeID(id)
+		means := make(map[msg.NodeID]float64)
+		for _, e := range ov.Graph.Neighbors(nid) {
+			means[e.To] = beliefs(nid, e.To).Mean
+		}
+		b, err := broker.New(broker.Config{
+			ID:        nid,
+			Scenario:  cfg.Scenario,
+			Params:    cfg.Params,
+			Strategy:  cfg.Strategy,
+			Table:     tables[nid],
+			LinkMeans: means,
+			Dedup:     cfg.Multipath > 1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		n.Brokers[nid] = b
+	}
+
+	// Schedule every publication.
+	for i, ingress := range ov.Ingress {
+		pub := cfg.Workload.NewPublisher(i, ingress)
+		for {
+			m, ok := pub.Next()
+			if !ok {
+				break
+			}
+			n.Engine.At(m.Published, func() { n.inject(m) })
+		}
+	}
+
+	// Schedule injected faults.
+	for _, f := range cfg.Faults {
+		switch f := f.(type) {
+		case LinkDown:
+			l := n.links[f.From][f.To]
+			if l == nil {
+				return nil, fmt.Errorf("simnet: LinkDown on missing arc %d->%d", f.From, f.To)
+			}
+			if f.End < f.Start {
+				return nil, fmt.Errorf("simnet: LinkDown window [%v,%v) inverted", f.Start, f.End)
+			}
+			n.Engine.At(f.Start, func() { l.down = true })
+			n.Engine.At(f.End, func() {
+				l.down = false
+				n.kick(f.From, f.To)
+			})
+		case BrokerCrash:
+			if _, ok := n.Brokers[f.ID]; !ok {
+				return nil, fmt.Errorf("simnet: BrokerCrash on unknown broker %d", f.ID)
+			}
+			n.Engine.At(f.At, func() { n.dead[f.ID] = true })
+		default:
+			return nil, fmt.Errorf("simnet: unknown fault type %T", f)
+		}
+	}
+	return n, nil
+}
+
+// Subscriptions exposes the generated population (for tests and reports).
+func (n *Network) Subscriptions() []*msg.Subscription { return n.subs }
+
+// inject delivers a freshly published message to its ingress broker.
+func (n *Network) inject(m *msg.Message) {
+	if n.cfg.PerSubscriber {
+		var interested []int32
+		for _, s := range n.subs {
+			if s.Filter.Match(m.Attrs) {
+				interested = append(interested, int32(s.ID))
+			}
+		}
+		n.Collector.PublishedTo(interested)
+	} else {
+		n.Collector.Published(workload.Interested(n.subs, m))
+	}
+	n.tracer.Emit(trace.Event{T: n.Engine.Now(), Kind: trace.Publish,
+		MsgID: uint64(m.ID), Broker: int32(m.Ingress)})
+	n.arrive(m, m.Ingress)
+}
+
+// arrive counts a broker reception and schedules processing after PD.
+// Arrivals at crashed brokers are lost.
+func (n *Network) arrive(m *msg.Message, at msg.NodeID) {
+	if n.dead[at] {
+		n.Collector.DroppedCrashed(1)
+		n.tracer.Emit(trace.Event{T: n.Engine.Now(), Kind: trace.Drop,
+			MsgID: uint64(m.ID), Broker: int32(at), Note: "crashed"})
+		return
+	}
+	n.Collector.Reception()
+	n.tracer.Emit(trace.Event{T: n.Engine.Now(), Kind: trace.Arrive,
+		MsgID: uint64(m.ID), Broker: int32(at)})
+	n.Engine.After(n.cfg.Params.PD, func() { n.process(m, at) })
+}
+
+// process runs the broker logic and kicks any links that gained work.
+func (n *Network) process(m *msg.Message, at msg.NodeID) {
+	if n.dead[at] {
+		n.Collector.DroppedCrashed(1)
+		return
+	}
+	b := n.Brokers[at]
+	res := b.Process(m, n.Engine.Now())
+	for _, d := range res.Deliveries {
+		n.Collector.DeliveredTo(int32(d.SubID), d.Price, d.Latency, d.Valid)
+		n.tracer.Emit(trace.Event{T: n.Engine.Now(), Kind: trace.Deliver,
+			MsgID: uint64(m.ID), Broker: int32(at), Peer: int32(d.SubID)})
+	}
+	if res.ArrivalDrops > 0 {
+		n.Collector.DroppedOnArrival(res.ArrivalDrops)
+	}
+	for _, hop := range res.EnqueuedHops {
+		n.tracer.Emit(trace.Event{T: n.Engine.Now(), Kind: trace.Enqueue,
+			MsgID: uint64(m.ID), Broker: int32(at), Peer: int32(hop)})
+		n.kick(at, hop)
+	}
+}
+
+// kick starts a transmission on the (from → to) link if it is idle, up,
+// and work is queued. Each completion re-kicks, draining the queue.
+func (n *Network) kick(from, to msg.NodeID) {
+	l := n.links[from][to]
+	if l == nil || l.busy || l.down || n.dead[from] {
+		return
+	}
+	b := n.Brokers[from]
+	q := b.Queue(to)
+	e, drops := q.PopNext(b.Strategy(), n.Engine.Now(), b.Params())
+	for _, d := range drops {
+		reason := "expired"
+		if d.Reason == core.DropHopeless {
+			reason = "hopeless"
+		}
+		n.tracer.Emit(trace.Event{T: n.Engine.Now(), Kind: trace.Drop,
+			MsgID: d.Entry.MsgID, Broker: int32(from), Note: reason})
+		switch d.Reason {
+		case core.DropExpired:
+			n.Collector.DroppedExpired(1)
+		case core.DropHopeless:
+			n.Collector.DroppedHopeless(1)
+		}
+	}
+	if e == nil {
+		return
+	}
+	l.busy = true
+	m := e.Data.(*msg.Message)
+	n.tracer.Emit(trace.Event{T: n.Engine.Now(), Kind: trace.Send,
+		MsgID: uint64(m.ID), Broker: int32(from), Peer: int32(to)})
+	tx := e.SizeKB * l.sampler.sample(l.stream)
+	n.Engine.After(tx, func() {
+		l.busy = false
+		n.arrive(m, to)
+		n.kick(from, to)
+	})
+}
+
+// Run assembles a network, runs it to completion (all publications done
+// and all queues drained) and returns the metrics.
+func Run(cfg Config) (metrics.Result, error) {
+	n, err := New(cfg)
+	if err != nil {
+		return metrics.Result{}, err
+	}
+	n.Engine.Run()
+	r := n.Collector.Result()
+	r.Seed = cfg.Seed
+	r.Strategy = cfg.Strategy.Name()
+	r.Scenario = cfg.Scenario.String()
+	r.Label = fmt.Sprintf("%s/%s rate=%.0f", r.Scenario, r.Strategy, cfg.Workload.RatePerMin)
+	peak := 0
+	for _, b := range n.Brokers {
+		if p := b.PeakQueue(); p > peak {
+			peak = p
+		}
+	}
+	r.PeakQueue = peak
+	return r, nil
+}

@@ -1,0 +1,264 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+
+	"bdps/internal/core"
+	"bdps/internal/msg"
+	"bdps/internal/stats"
+	"bdps/internal/topology"
+	"bdps/internal/vtime"
+	"bdps/internal/workload"
+)
+
+// quickCfg is a scaled-down paper setup: same topology, 10-minute window.
+func quickCfg(scenario msg.Scenario, strat core.Strategy, rate float64) Config {
+	return Config{
+		Seed:     1,
+		Scenario: scenario,
+		Strategy: strat,
+		Workload: workload.Config{
+			RatePerMin: rate,
+			Duration:   10 * vtime.Minute,
+		},
+	}
+}
+
+func TestRunCompletesAndDelivers(t *testing.T) {
+	r, err := Run(quickCfg(msg.PSD, core.MaxEB{}, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Published == 0 {
+		t.Fatal("nothing published")
+	}
+	if r.ValidDeliveries == 0 {
+		t.Fatal("nothing delivered")
+	}
+	if r.Receptions <= r.Published {
+		t.Error("messages should traverse multiple brokers")
+	}
+	if rate := r.DeliveryRate(); rate <= 0 || rate > 1 {
+		t.Errorf("delivery rate = %v", rate)
+	}
+	if r.LatencyMeanMs <= 0 {
+		t.Error("valid deliveries must have positive latency")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a, err := Run(quickCfg(msg.SSD, core.MaxEB{}, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(quickCfg(msg.SSD, core.MaxEB{}, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Receptions != b.Receptions || a.ValidDeliveries != b.ValidDeliveries ||
+		a.Earning != b.Earning || a.DropsExpired != b.DropsExpired ||
+		a.DropsHopeless != b.DropsHopeless {
+		t.Errorf("same seed diverged:\n a=%+v\n b=%+v", a, b)
+	}
+}
+
+func TestRunSeedSensitivity(t *testing.T) {
+	a, _ := Run(quickCfg(msg.SSD, core.MaxEB{}, 6))
+	cfg := quickCfg(msg.SSD, core.MaxEB{}, 6)
+	cfg.Seed = 2
+	b, _ := Run(cfg)
+	if a.Receptions == b.Receptions && a.Earning == b.Earning &&
+		a.ValidDeliveries == b.ValidDeliveries {
+		t.Error("different seeds should differ somewhere")
+	}
+}
+
+func TestRunLatencyRespectsPhysics(t *testing.T) {
+	// Minimum possible end-to-end latency: 4 brokers × 2 ms PD plus
+	// 3 links × 50 KB × ≥1 ms/KB... but with realistic rates ≥ 50·30
+	// ms/link. Valid deliveries can't beat 2 ms (single-broker local) —
+	// here all subscribers sit 3 links deep, so check a loose bound.
+	r, err := Run(quickCfg(msg.PSD, core.MaxEB{}, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LatencyP50Ms < 3*50*1+4*2 {
+		t.Errorf("median latency %v ms is below the physical floor", r.LatencyP50Ms)
+	}
+	// And deliveries marked valid are within the largest PSD bound.
+	if r.LatencyMaxMs > float64(30*vtime.Second) {
+		t.Errorf("valid delivery with latency %v beyond max PSD bound", r.LatencyMaxMs)
+	}
+}
+
+func TestRunFIFOWithoutEpsilonHasNoHopelessDrops(t *testing.T) {
+	cfg := quickCfg(msg.PSD, core.FIFO{}, 6)
+	cfg.Params = core.Params{PD: 2, Epsilon: 0} // traditional strategy: expiry only
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.DropsHopeless != 0 {
+		t.Errorf("ε off but %d hopeless drops", r.DropsHopeless)
+	}
+}
+
+func TestRunCongestionDegradesDelivery(t *testing.T) {
+	lo, err := Run(quickCfg(msg.PSD, core.MaxEB{}, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := Run(quickCfg(msg.PSD, core.MaxEB{}, 15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi.DeliveryRate() >= lo.DeliveryRate() {
+		t.Errorf("delivery rate should fall with load: lo=%.3f hi=%.3f",
+			lo.DeliveryRate(), hi.DeliveryRate())
+	}
+}
+
+func TestRunEBOutperformsBaselinesUnderLoad(t *testing.T) {
+	// The headline qualitative claim at a congested rate, small scale.
+	run := func(s core.Strategy, eps float64) float64 {
+		cfg := quickCfg(msg.PSD, s, 12)
+		cfg.Params = core.Params{PD: 2, Epsilon: eps}
+		r, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.DeliveryRate()
+	}
+	eb := run(core.MaxEB{}, core.DefaultEpsilon)
+	fifo := run(core.FIFO{}, 0)
+	rl := run(core.RL{}, 0)
+	if eb <= fifo {
+		t.Errorf("EB (%.3f) should beat FIFO (%.3f) under load", eb, fifo)
+	}
+	if eb <= rl {
+		t.Errorf("EB (%.3f) should beat RL (%.3f) under load", eb, rl)
+	}
+}
+
+func TestRunWithPrebuiltOverlay(t *testing.T) {
+	ov, err := topology.BuildLayered(topology.LayeredConfig{Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := quickCfg(msg.SSD, core.MaxEB{}, 3)
+	cfg.Overlay = ov
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ValidDeliveries == 0 {
+		t.Error("prebuilt overlay run delivered nothing")
+	}
+}
+
+func TestRunMultipathDeliversWithDedup(t *testing.T) {
+	cfg := quickCfg(msg.SSD, core.MaxEB{}, 3)
+	cfg.Multipath = 2
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := Run(quickCfg(msg.SSD, core.MaxEB{}, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ValidDeliveries == 0 {
+		t.Fatal("multipath delivered nothing")
+	}
+	if r.Receptions <= single.Receptions {
+		t.Errorf("multipath should cost more traffic: %d vs %d",
+			r.Receptions, single.Receptions)
+	}
+	// Dedup must prevent duplicate deliveries: valid+late per (msg,sub)
+	// pair at most once means valid deliveries cannot exceed Σtsᵢ.
+	if r.ValidDeliveries > r.TotalTargets {
+		t.Errorf("deliveries (%d) exceed targets (%d): dedup broken",
+			r.ValidDeliveries, r.TotalTargets)
+	}
+}
+
+func TestRunMeasuredRatesClose(t *testing.T) {
+	exact, err := Run(quickCfg(msg.SSD, core.MaxEB{}, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := quickCfg(msg.SSD, core.MaxEB{}, 6)
+	cfg.MeasureSamples = 200
+	measured, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if measured.ValidDeliveries == 0 {
+		t.Fatal("measured-rates run delivered nothing")
+	}
+	// With 200 samples the estimates are tight; earnings within 20%.
+	ratio := measured.Earning / exact.Earning
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Errorf("measured/exact earning ratio = %.2f, want ≈1", ratio)
+	}
+}
+
+func TestRunLinkModels(t *testing.T) {
+	for _, model := range []LinkModel{LinkNormal, LinkFixed, LinkGamma} {
+		cfg := quickCfg(msg.PSD, core.MaxEB{}, 3)
+		cfg.LinkModel = model
+		r, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", model, err)
+		}
+		if r.ValidDeliveries == 0 {
+			t.Errorf("%v: nothing delivered", model)
+		}
+	}
+}
+
+func TestLinkModelString(t *testing.T) {
+	if LinkNormal.String() != "normal" || LinkFixed.String() != "fixed" ||
+		LinkGamma.String() != "gamma" {
+		t.Error("LinkModel strings wrong")
+	}
+	if LinkModel(9).String() == "" {
+		t.Error("unknown model should still render")
+	}
+}
+
+func TestSamplerMoments(t *testing.T) {
+	truth := stats.Normal{Mean: 75, Sigma: 20}
+	for _, tc := range []struct {
+		model LinkModel
+		name  string
+	}{{LinkNormal, "normal"}, {LinkGamma, "gamma"}} {
+		s := newSampler(tc.model, truth, 1)
+		stream := stats.NewStream(5)
+		var w stats.Welford
+		for i := 0; i < 100000; i++ {
+			w.Add(s.sample(stream))
+		}
+		if math.Abs(w.Mean()-75) > 1.5 {
+			t.Errorf("%s sampler mean = %v, want ≈75", tc.name, w.Mean())
+		}
+		if math.Abs(w.Std()-20) > 2 {
+			t.Errorf("%s sampler std = %v, want ≈20", tc.name, w.Std())
+		}
+	}
+	fixed := newSampler(LinkFixed, truth, 1)
+	if fixed.sample(stats.NewStream(1)) != 75 {
+		t.Error("fixed sampler should return the mean")
+	}
+}
+
+func TestNetworkExposesSubscriptions(t *testing.T) {
+	n, err := New(quickCfg(msg.SSD, core.MaxEB{}, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Subscriptions()) != 160 {
+		t.Errorf("subs = %d, want 160 (paper population)", len(n.Subscriptions()))
+	}
+}

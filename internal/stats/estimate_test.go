@@ -1,0 +1,204 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func naiveMoments(xs []float64) (mean, variance float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean = sum / float64(len(xs))
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return mean, ss / float64(len(xs)-1)
+}
+
+func TestWelfordMatchesNaive(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			// Keep magnitudes sane so the naive formula stays accurate.
+			xs = append(xs, math.Mod(x, 1e6))
+		}
+		var w Welford
+		for _, x := range xs {
+			w.Add(x)
+		}
+		mean, variance := naiveMoments(xs)
+		scale := math.Max(1, math.Abs(mean))
+		if math.Abs(w.Mean()-mean) > 1e-9*scale {
+			return false
+		}
+		vscale := math.Max(1, variance)
+		return math.Abs(w.Var()-variance) <= 1e-8*vscale
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWelfordMergeEquivalentToSequential(t *testing.T) {
+	f := func(a, b []float64) bool {
+		clean := func(xs []float64) []float64 {
+			out := xs[:0]
+			for _, x := range xs {
+				if !math.IsNaN(x) && !math.IsInf(x, 0) {
+					out = append(out, math.Mod(x, 1e6))
+				}
+			}
+			return out
+		}
+		a, b = clean(a), clean(b)
+		var w1, w2, all Welford
+		for _, x := range a {
+			w1.Add(x)
+			all.Add(x)
+		}
+		for _, x := range b {
+			w2.Add(x)
+			all.Add(x)
+		}
+		w1.Merge(w2)
+		if w1.Count() != all.Count() {
+			return false
+		}
+		if all.Count() == 0 {
+			return true
+		}
+		scale := math.Max(1, math.Abs(all.Mean()))
+		if math.Abs(w1.Mean()-all.Mean()) > 1e-9*scale {
+			return false
+		}
+		vscale := math.Max(1, all.Var())
+		return math.Abs(w1.Var()-all.Var()) <= 1e-8*vscale
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWelfordEstimatorPrior(t *testing.T) {
+	prior := Normal{Mean: 75, Sigma: 20}
+	e := &WelfordEstimator{Prior: prior}
+	if got := e.Estimate(); got != prior {
+		t.Errorf("before observations: %v, want prior %v", got, prior)
+	}
+	e.Observe(50)
+	if got := e.Estimate(); got != prior {
+		t.Errorf("with one observation: %v, want prior", got)
+	}
+	e.Observe(60)
+	got := e.Estimate()
+	if math.Abs(got.Mean-55) > 1e-12 {
+		t.Errorf("mean = %v, want 55", got.Mean)
+	}
+}
+
+func TestWelfordEstimatorConverges(t *testing.T) {
+	s := NewStream(1)
+	truth := Normal{Mean: 80, Sigma: 15}
+	e := &WelfordEstimator{Prior: Normal{Mean: 1, Sigma: 1}}
+	for i := 0; i < 100000; i++ {
+		e.Observe(truth.Sample(s))
+	}
+	got := e.Estimate()
+	if math.Abs(got.Mean-80) > 0.3 {
+		t.Errorf("mean = %v, want ≈80", got.Mean)
+	}
+	if math.Abs(got.Sigma-15) > 0.3 {
+		t.Errorf("sigma = %v, want ≈15", got.Sigma)
+	}
+}
+
+func TestEWMAEstimatorTracksShift(t *testing.T) {
+	s := NewStream(2)
+	e := &EWMAEstimator{Alpha: 0.2}
+	for i := 0; i < 2000; i++ {
+		e.Observe(Normal{Mean: 50, Sigma: 5}.Sample(s))
+	}
+	for i := 0; i < 2000; i++ {
+		e.Observe(Normal{Mean: 90, Sigma: 5}.Sample(s))
+	}
+	got := e.Estimate()
+	if math.Abs(got.Mean-90) > 3 {
+		t.Errorf("EWMA mean = %v, want ≈90 after shift", got.Mean)
+	}
+}
+
+func TestEWMAEstimatorPrior(t *testing.T) {
+	prior := Normal{Mean: 75, Sigma: 20}
+	e := &EWMAEstimator{Prior: prior}
+	if e.Estimate() != prior {
+		t.Error("EWMA should return prior before observations")
+	}
+	e.Observe(42)
+	if got := e.Estimate(); got.Mean != 42 {
+		t.Errorf("EWMA first observation sets mean, got %v", got.Mean)
+	}
+}
+
+func TestWindowEstimatorSlides(t *testing.T) {
+	e := &WindowEstimator{Size: 4}
+	for _, x := range []float64{1, 1, 1, 1} {
+		e.Observe(x)
+	}
+	if got := e.Estimate(); got.Mean != 1 {
+		t.Fatalf("mean = %v, want 1", got.Mean)
+	}
+	// Slide the window fully over to 9s.
+	for _, x := range []float64{9, 9, 9, 9} {
+		e.Observe(x)
+	}
+	if got := e.Estimate(); got.Mean != 9 {
+		t.Fatalf("after slide mean = %v, want 9", got.Mean)
+	}
+}
+
+func TestWindowEstimatorPrior(t *testing.T) {
+	prior := Normal{Mean: 5, Sigma: 2}
+	e := &WindowEstimator{Prior: prior, Size: 8}
+	if e.Estimate() != prior {
+		t.Error("window estimator should return prior when underfilled")
+	}
+}
+
+func TestOracleEstimator(t *testing.T) {
+	d := Normal{Mean: 60, Sigma: 20}
+	e := &OracleEstimator{Dist: d}
+	e.Observe(1)
+	e.Observe(1000)
+	if e.Estimate() != d {
+		t.Error("oracle must ignore observations")
+	}
+	if e.Count() != 2 {
+		t.Errorf("count = %d, want 2", e.Count())
+	}
+}
+
+func TestEstimatorInterfaceCompliance(t *testing.T) {
+	for _, e := range []Estimator{
+		&WelfordEstimator{}, &EWMAEstimator{}, &WindowEstimator{}, &OracleEstimator{},
+	} {
+		e.Observe(1)
+		_ = e.Estimate()
+		if e.Count() < 0 {
+			t.Errorf("%T: negative count", e)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRegularizedGammaPKnownValues(t *testing.T) {
+	// P(1, x) = 1 - exp(-x); P(0.5, x) = erf(sqrt(x)).
+	for x := 0.0; x <= 20; x += 0.3 {
+		want := 1 - math.Exp(-x)
+		if got := RegularizedGammaP(1, x); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("P(1,%v) = %v, want %v", x, got, want)
+		}
+		want = math.Erf(math.Sqrt(x))
+		if got := RegularizedGammaP(0.5, x); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("P(0.5,%v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestRegularizedGammaComplement(t *testing.T) {
+	for _, a := range []float64{0.3, 1, 2.5, 7, 30} {
+		for x := 0.0; x < 4*a+10; x += 0.7 {
+			p := RegularizedGammaP(a, x)
+			q := RegularizedGammaQ(a, x)
+			if math.Abs(p+q-1) > 1e-12 {
+				t.Fatalf("P+Q(a=%v,x=%v) = %v, want 1", a, x, p+q)
+			}
+		}
+	}
+}
+
+func TestRegularizedGammaPDomain(t *testing.T) {
+	if !math.IsNaN(RegularizedGammaP(-1, 2)) {
+		t.Error("negative shape should be NaN")
+	}
+	if !math.IsNaN(RegularizedGammaP(1, -2)) {
+		t.Error("negative x should be NaN")
+	}
+	if RegularizedGammaP(3, 0) != 0 {
+		t.Error("P(a,0) should be 0")
+	}
+	if RegularizedGammaQ(3, 0) != 1 {
+		t.Error("Q(a,0) should be 1")
+	}
+}
+
+func TestShiftedGammaMoments(t *testing.T) {
+	g := ShiftedGamma{K: 4, Theta: 2.5, Shift: 100}
+	if got, want := g.Mean(), 110.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Mean = %v, want %v", got, want)
+	}
+	if got, want := g.Var(), 25.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Var = %v, want %v", got, want)
+	}
+}
+
+func TestShiftedGammaSampleMoments(t *testing.T) {
+	for _, g := range []ShiftedGamma{
+		{K: 4, Theta: 2.5, Shift: 100},
+		{K: 0.7, Theta: 3, Shift: 0},
+		{K: 1, Theta: 1, Shift: 5},
+	} {
+		s := NewStream(99)
+		var w Welford
+		for i := 0; i < 200000; i++ {
+			x := g.Sample(s)
+			if x < g.Shift {
+				t.Fatalf("%v: sample %v below shift", g, x)
+			}
+			w.Add(x)
+		}
+		if math.Abs(w.Mean()-g.Mean()) > 0.05*math.Max(1, g.Mean()) {
+			t.Errorf("%v: sample mean %v, want ≈%v", g, w.Mean(), g.Mean())
+		}
+		if math.Abs(w.Var()-g.Var()) > 0.05*math.Max(1, g.Var()) {
+			t.Errorf("%v: sample var %v, want ≈%v", g, w.Var(), g.Var())
+		}
+	}
+}
+
+func TestShiftedGammaCDFMatchesSamples(t *testing.T) {
+	g := ShiftedGamma{K: 3, Theta: 10, Shift: 50}
+	s := NewStream(123)
+	const n = 100000
+	for _, x := range []float64{60, 80, 100, 130} {
+		count := 0
+		probe := NewStream(123)
+		_ = s
+		for i := 0; i < n; i++ {
+			if g.Sample(probe) <= x {
+				count++
+			}
+		}
+		emp := float64(count) / n
+		if math.Abs(emp-g.CDF(x)) > 0.01 {
+			t.Errorf("CDF(%v) = %v, empirical %v", x, g.CDF(x), emp)
+		}
+	}
+}
+
+func TestShiftedGammaCDFBelowShift(t *testing.T) {
+	g := ShiftedGamma{K: 2, Theta: 1, Shift: 10}
+	if g.CDF(9.99) != 0 {
+		t.Error("CDF below shift should be 0")
+	}
+}

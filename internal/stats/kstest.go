@@ -1,0 +1,53 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// KSStatistic computes the one-sample Kolmogorov–Smirnov statistic
+// D_n = sup_x |F_n(x) − F(x)| between an empirical sample and a reference
+// CDF. It is used by the test suite to verify that the link-rate samplers
+// actually produce their claimed distributions, not just matching
+// moments.
+func KSStatistic(sample []float64, cdf func(float64) float64) float64 {
+	if len(sample) == 0 {
+		return 0
+	}
+	xs := append([]float64(nil), sample...)
+	sort.Float64s(xs)
+	n := float64(len(xs))
+	var d float64
+	for i, x := range xs {
+		f := cdf(x)
+		// Empirical CDF jumps from i/n to (i+1)/n at x.
+		lo := math.Abs(f - float64(i)/n)
+		hi := math.Abs(float64(i+1)/n - f)
+		if lo > d {
+			d = lo
+		}
+		if hi > d {
+			d = hi
+		}
+	}
+	return d
+}
+
+// KSCritical returns the approximate critical value of the one-sample KS
+// statistic at the given significance level for n samples (asymptotic
+// formula c(α)·√(1/n); valid for n ≳ 35). Supported alphas: 0.10, 0.05,
+// 0.01, 0.001; other values fall back to 0.05.
+func KSCritical(n int, alpha float64) float64 {
+	var c float64
+	switch alpha {
+	case 0.10:
+		c = 1.224
+	case 0.01:
+		c = 1.628
+	case 0.001:
+		c = 1.949
+	default:
+		c = 1.358 // α = 0.05
+	}
+	return c / math.Sqrt(float64(n))
+}

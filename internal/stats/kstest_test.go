@@ -1,0 +1,109 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestKSStatisticPerfectFit(t *testing.T) {
+	// Sample = exact quantiles of the reference → D ≈ 1/(2n) at most 1/n.
+	n := 1000
+	sample := make([]float64, n)
+	ref := Normal{Mean: 0, Sigma: 1}
+	for i := range sample {
+		sample[i] = ref.Quantile((float64(i) + 0.5) / float64(n))
+	}
+	d := KSStatistic(sample, ref.CDF)
+	if d > 1.0/float64(n) {
+		t.Errorf("D = %v for perfect quantile sample, want <= 1/n", d)
+	}
+}
+
+func TestKSStatisticDetectsWrongDistribution(t *testing.T) {
+	s := NewStream(3)
+	sample := make([]float64, 2000)
+	for i := range sample {
+		sample[i] = Normal{Mean: 60, Sigma: 20}.Sample(s)
+	}
+	wrong := Normal{Mean: 75, Sigma: 20}
+	d := KSStatistic(sample, wrong.CDF)
+	if d < KSCritical(len(sample), 0.001) {
+		t.Errorf("D = %v should reject a 15-unit mean shift", d)
+	}
+}
+
+func TestKSStatisticEmpty(t *testing.T) {
+	if KSStatistic(nil, func(float64) float64 { return 0.5 }) != 0 {
+		t.Error("empty sample should give D = 0")
+	}
+}
+
+func TestKSCriticalShrinksWithN(t *testing.T) {
+	if KSCritical(100, 0.05) <= KSCritical(10000, 0.05) {
+		t.Error("critical value must shrink with n")
+	}
+	if KSCritical(100, 0.001) <= KSCritical(100, 0.10) {
+		t.Error("critical value must grow as alpha shrinks")
+	}
+	if KSCritical(100, 0.42) != KSCritical(100, 0.05) {
+		t.Error("unknown alpha should fall back to 0.05")
+	}
+}
+
+// TestNormalSamplerPassesKS statistically validates the normal sampler
+// against its own CDF.
+func TestNormalSamplerPassesKS(t *testing.T) {
+	s := NewStream(17)
+	ref := Normal{Mean: 75, Sigma: 20}
+	sample := make([]float64, 5000)
+	for i := range sample {
+		sample[i] = ref.Sample(s)
+	}
+	d := KSStatistic(sample, ref.CDF)
+	if crit := KSCritical(len(sample), 0.001); d > crit {
+		t.Errorf("normal sampler KS D = %v > critical %v", d, crit)
+	}
+}
+
+// TestGammaSamplerPassesKS statistically validates the shifted-gamma
+// sampler against its analytic CDF.
+func TestGammaSamplerPassesKS(t *testing.T) {
+	s := NewStream(19)
+	g := ShiftedGamma{K: 4, Theta: 10, Shift: 10}
+	sample := make([]float64, 5000)
+	for i := range sample {
+		sample[i] = g.Sample(s)
+	}
+	d := KSStatistic(sample, g.CDF)
+	if crit := KSCritical(len(sample), 0.001); d > crit {
+		t.Errorf("gamma sampler KS D = %v > critical %v", d, crit)
+	}
+}
+
+// TestTruncatedNormalKSAgainstTruncatedCDF validates the truncated
+// sampler against the renormalized truncated CDF.
+func TestTruncatedNormalKSAgainstTruncatedCDF(t *testing.T) {
+	s := NewStream(23)
+	tn := TruncatedNormal{Normal: Normal{Mean: 20, Sigma: 15}, Min: 1}
+	sample := make([]float64, 5000)
+	for i := range sample {
+		sample[i] = tn.Sample(s)
+	}
+	// Truncated CDF: (F(x) − F(min)) / (1 − F(min)) for x >= min. The
+	// sampler clamps after 16 rejections, adding a point mass at Min of
+	// probability F(min)^16 ≈ 1e-19 here — negligible.
+	fMin := tn.Normal.CDF(tn.Min)
+	cdf := func(x float64) float64 {
+		if x < tn.Min {
+			return 0
+		}
+		return (tn.Normal.CDF(x) - fMin) / (1 - fMin)
+	}
+	d := KSStatistic(sample, cdf)
+	if crit := KSCritical(len(sample), 0.001); d > crit {
+		t.Errorf("truncated sampler KS D = %v > critical %v", d, crit)
+	}
+	if math.IsNaN(d) {
+		t.Error("KS statistic is NaN")
+	}
+}

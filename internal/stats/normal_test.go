@@ -1,0 +1,175 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestStdNormalCDFKnownValues(t *testing.T) {
+	// Reference values from standard normal tables (15-digit references
+	// computed with mpmath).
+	cases := []struct {
+		z, want float64
+	}{
+		{0, 0.5},
+		{1, 0.841344746068543},
+		{-1, 0.158655253931457},
+		{1.959963984540054, 0.975},
+		{-1.959963984540054, 0.025},
+		{3, 0.998650101968370},
+		{-3, 0.001349898031630},
+		{6, 0.999999999013412},
+	}
+	for _, c := range cases {
+		got := StdNormalCDF(c.z)
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("StdNormalCDF(%v) = %.15f, want %.15f", c.z, got, c.want)
+		}
+	}
+}
+
+func TestStdNormalCDFMonotone(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		// Restrict to a reasonable dynamic range.
+		a = math.Mod(a, 50)
+		b = math.Mod(b, 50)
+		if a > b {
+			a, b = b, a
+		}
+		return StdNormalCDF(a) <= StdNormalCDF(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStdNormalQuantileRoundTrip(t *testing.T) {
+	for p := 0.0001; p < 1; p += 0.0007 {
+		z := StdNormalQuantile(p)
+		back := StdNormalCDF(z)
+		if math.Abs(back-p) > 1e-12 {
+			t.Fatalf("CDF(Quantile(%v)) = %v, |err| = %g", p, back, math.Abs(back-p))
+		}
+	}
+}
+
+func TestStdNormalQuantileEdges(t *testing.T) {
+	if !math.IsInf(StdNormalQuantile(0), -1) {
+		t.Error("Quantile(0) should be -Inf")
+	}
+	if !math.IsInf(StdNormalQuantile(1), 1) {
+		t.Error("Quantile(1) should be +Inf")
+	}
+	if !math.IsNaN(StdNormalQuantile(-0.1)) || !math.IsNaN(StdNormalQuantile(1.1)) {
+		t.Error("Quantile outside [0,1] should be NaN")
+	}
+	if !math.IsNaN(StdNormalQuantile(math.NaN())) {
+		t.Error("Quantile(NaN) should be NaN")
+	}
+	if got := StdNormalQuantile(0.5); math.Abs(got) > 1e-15 {
+		t.Errorf("Quantile(0.5) = %g, want 0", got)
+	}
+}
+
+func TestNormalCDFAndQuantile(t *testing.T) {
+	n := Normal{Mean: 75, Sigma: 20}
+	if got := n.CDF(75); math.Abs(got-0.5) > 1e-14 {
+		t.Errorf("CDF at mean = %v, want 0.5", got)
+	}
+	if got := n.CDF(95); math.Abs(got-0.841344746068543) > 1e-12 {
+		t.Errorf("CDF(mean+sigma) = %v", got)
+	}
+	q := n.Quantile(0.975)
+	want := 75 + 20*1.959963984540054
+	if math.Abs(q-want) > 1e-9 {
+		t.Errorf("Quantile(0.975) = %v, want %v", q, want)
+	}
+}
+
+func TestNormalTailComplement(t *testing.T) {
+	n := Normal{Mean: 10, Sigma: 3}
+	for x := -20.0; x <= 40; x += 0.5 {
+		sum := n.CDF(x) + n.Tail(x)
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("CDF+Tail at %v = %v, want 1", x, sum)
+		}
+	}
+}
+
+func TestDegenerateNormal(t *testing.T) {
+	n := Normal{Mean: 5, Sigma: 0}
+	if n.CDF(4.999) != 0 || n.CDF(5) != 1 || n.CDF(6) != 1 {
+		t.Error("degenerate CDF should be a step at the mean")
+	}
+	if n.Tail(4.999) != 1 || n.Tail(5) != 0 {
+		t.Error("degenerate Tail should be a step at the mean")
+	}
+	if n.Quantile(0.3) != 5 {
+		t.Error("degenerate Quantile should return the mean")
+	}
+}
+
+func TestSumNormal(t *testing.T) {
+	got := SumNormal(
+		Normal{Mean: 50, Sigma: 20},
+		Normal{Mean: 60, Sigma: 20},
+		Normal{Mean: 70, Sigma: 20},
+	)
+	if got.Mean != 180 {
+		t.Errorf("mean = %v, want 180", got.Mean)
+	}
+	wantSigma := math.Sqrt(3 * 400)
+	if math.Abs(got.Sigma-wantSigma) > 1e-12 {
+		t.Errorf("sigma = %v, want %v", got.Sigma, wantSigma)
+	}
+}
+
+func TestSumNormalEmpty(t *testing.T) {
+	got := SumNormal()
+	if got.Mean != 0 || got.Sigma != 0 {
+		t.Errorf("empty sum = %+v, want zero normal", got)
+	}
+}
+
+func TestNormalSampleMoments(t *testing.T) {
+	s := NewStream(42)
+	n := Normal{Mean: 75, Sigma: 20}
+	var w Welford
+	for i := 0; i < 200000; i++ {
+		w.Add(n.Sample(s))
+	}
+	if math.Abs(w.Mean()-75) > 0.25 {
+		t.Errorf("sample mean = %v, want ≈75", w.Mean())
+	}
+	if math.Abs(w.Std()-20) > 0.25 {
+		t.Errorf("sample std = %v, want ≈20", w.Std())
+	}
+}
+
+func TestTruncatedNormalRespectsMin(t *testing.T) {
+	s := NewStream(7)
+	tn := TruncatedNormal{Normal: Normal{Mean: 5, Sigma: 20}, Min: 1}
+	for i := 0; i < 50000; i++ {
+		if x := tn.Sample(s); x < 1 {
+			t.Fatalf("sample %v below Min", x)
+		}
+	}
+}
+
+func TestTruncatedNormalBiasSmallAtPaperParams(t *testing.T) {
+	// With μ=50, σ=20 and Min=1 the truncated mass is ~0.7%, so the
+	// sample mean must stay within 1% of μ.
+	s := NewStream(11)
+	tn := TruncatedNormal{Normal: Normal{Mean: 50, Sigma: 20}, Min: 1}
+	var w Welford
+	for i := 0; i < 200000; i++ {
+		w.Add(tn.Sample(s))
+	}
+	if math.Abs(w.Mean()-50) > 0.5 {
+		t.Errorf("truncated mean = %v, want within 0.5 of 50", w.Mean())
+	}
+}

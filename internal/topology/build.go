@@ -1,0 +1,246 @@
+package topology
+
+import (
+	"fmt"
+
+	"bdps/internal/msg"
+	"bdps/internal/stats"
+)
+
+// LayeredConfig parameterizes the paper's simulated broker network
+// (§6.1, Figure 3). The defaults reproduce it exactly: 32 brokers in 4
+// layers {4, 4, 8, 16}; layer 1 hosts one publisher per broker; layer 2 is
+// fully connected to layer 1; each broker of layers 3 and 4 connects to
+// FanIn random brokers of the previous layer; layer 4 brokers each serve
+// subscribers. Link mean rates are uniform in [RateMeanLo, RateMeanHi]
+// ms/KB with standard deviation RateSigma.
+type LayeredConfig struct {
+	Seed       uint64
+	LayerSizes []int   // default {4, 4, 8, 16}
+	FanIn      int     // parents per node in layers >= 3; default 2
+	RateMeanLo float64 // default 50 ms/KB
+	RateMeanHi float64 // default 100 ms/KB
+	RateSigma  float64 // default 20 ms/KB
+}
+
+func (c *LayeredConfig) setDefaults() {
+	if len(c.LayerSizes) == 0 {
+		c.LayerSizes = []int{4, 4, 8, 16}
+	}
+	if c.FanIn <= 0 {
+		c.FanIn = 2
+	}
+	if c.RateMeanLo == 0 && c.RateMeanHi == 0 {
+		c.RateMeanLo, c.RateMeanHi = 50, 100
+	}
+	if c.RateSigma == 0 {
+		c.RateSigma = 20
+	}
+}
+
+// BuildLayered constructs the layered-mesh overlay. The same seed always
+// yields the same overlay (random parent choices and link rates come from
+// streams derived from it).
+func BuildLayered(cfg LayeredConfig) (*Overlay, error) {
+	cfg.setDefaults()
+	if len(cfg.LayerSizes) < 2 {
+		return nil, fmt.Errorf("topology: need at least 2 layers, got %d", len(cfg.LayerSizes))
+	}
+	total := 0
+	layers := make([][]msg.NodeID, len(cfg.LayerSizes))
+	for i, sz := range cfg.LayerSizes {
+		if sz <= 0 {
+			return nil, fmt.Errorf("topology: layer %d has size %d", i, sz)
+		}
+		layers[i] = make([]msg.NodeID, sz)
+		for j := 0; j < sz; j++ {
+			layers[i][j] = msg.NodeID(total + j)
+		}
+		total += sz
+	}
+
+	g := NewGraph(total)
+	wire := stats.Derive(cfg.Seed, "topology/wiring")
+	rates := stats.Derive(cfg.Seed, "topology/rates")
+	newRate := func() stats.Normal {
+		return stats.Normal{Mean: rates.Uniform(cfg.RateMeanLo, cfg.RateMeanHi), Sigma: cfg.RateSigma}
+	}
+
+	// Layer 2 is fully connected to layer 1.
+	for _, b2 := range layers[1] {
+		for _, b1 := range layers[0] {
+			if err := g.AddLink(b1, b2, newRate()); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Layers >= 3: FanIn random distinct parents in the previous layer.
+	for li := 2; li < len(layers); li++ {
+		parents := layers[li-1]
+		fan := cfg.FanIn
+		if fan > len(parents) {
+			fan = len(parents)
+		}
+		for _, b := range layers[li] {
+			perm := wire.Perm(len(parents))
+			for _, pi := range perm[:fan] {
+				if err := g.AddLink(parents[pi], b, newRate()); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	ov := &Overlay{
+		Graph:   g,
+		Ingress: append([]msg.NodeID(nil), layers[0]...),
+		Edges:   append([]msg.NodeID(nil), layers[len(layers)-1]...),
+		Layers:  layers,
+		Name:    "layered-mesh",
+	}
+	sortNodeIDs(ov.Ingress)
+	sortNodeIDs(ov.Edges)
+	return ov, ov.Validate()
+}
+
+// AcyclicConfig parameterizes a random-tree overlay, the alternative
+// topology of §3.1 (Siena/JEDI/Rebeca style), where any broker can serve
+// both publishers and subscribers and exactly one path exists between any
+// broker pair.
+type AcyclicConfig struct {
+	Seed       uint64
+	Brokers    int     // default 32
+	Ingress    int     // brokers (lowest ids) hosting publishers; default 4
+	EdgeCount  int     // brokers (highest ids) hosting subscribers; default 16
+	RateMeanLo float64 // default 50
+	RateMeanHi float64 // default 100
+	RateSigma  float64 // default 20
+}
+
+func (c *AcyclicConfig) setDefaults() {
+	if c.Brokers == 0 {
+		c.Brokers = 32
+	}
+	if c.Ingress == 0 {
+		c.Ingress = 4
+	}
+	if c.EdgeCount == 0 {
+		c.EdgeCount = 16
+	}
+	if c.RateMeanLo == 0 && c.RateMeanHi == 0 {
+		c.RateMeanLo, c.RateMeanHi = 50, 100
+	}
+	if c.RateSigma == 0 {
+		c.RateSigma = 20
+	}
+}
+
+// BuildAcyclic constructs a uniformly random tree: node i (i >= 1)
+// attaches to a random earlier node.
+func BuildAcyclic(cfg AcyclicConfig) (*Overlay, error) {
+	cfg.setDefaults()
+	if cfg.Brokers < 2 {
+		return nil, fmt.Errorf("topology: acyclic overlay needs >= 2 brokers")
+	}
+	if cfg.Ingress+cfg.EdgeCount > cfg.Brokers {
+		return nil, fmt.Errorf("topology: %d ingress + %d edge brokers exceed %d total",
+			cfg.Ingress, cfg.EdgeCount, cfg.Brokers)
+	}
+	g := NewGraph(cfg.Brokers)
+	wire := stats.Derive(cfg.Seed, "topology/tree")
+	rates := stats.Derive(cfg.Seed, "topology/tree-rates")
+	for i := 1; i < cfg.Brokers; i++ {
+		parent := msg.NodeID(wire.IntN(i))
+		rate := stats.Normal{Mean: rates.Uniform(cfg.RateMeanLo, cfg.RateMeanHi), Sigma: cfg.RateSigma}
+		if err := g.AddLink(parent, msg.NodeID(i), rate); err != nil {
+			return nil, err
+		}
+	}
+	ov := &Overlay{Graph: g, Name: "acyclic-tree"}
+	for i := 0; i < cfg.Ingress; i++ {
+		ov.Ingress = append(ov.Ingress, msg.NodeID(i))
+	}
+	for i := cfg.Brokers - cfg.EdgeCount; i < cfg.Brokers; i++ {
+		ov.Edges = append(ov.Edges, msg.NodeID(i))
+	}
+	return ov, ov.Validate()
+}
+
+// MeshConfig parameterizes a random connected mesh: a random spanning tree
+// plus ExtraLinks random chords, for robustness and multi-path
+// experiments.
+type MeshConfig struct {
+	Seed       uint64
+	Brokers    int // default 32
+	ExtraLinks int // default Brokers
+	Ingress    int // default 4
+	EdgeCount  int // default 16
+	RateMeanLo float64
+	RateMeanHi float64
+	RateSigma  float64
+}
+
+func (c *MeshConfig) setDefaults() {
+	if c.Brokers == 0 {
+		c.Brokers = 32
+	}
+	if c.ExtraLinks == 0 {
+		c.ExtraLinks = c.Brokers
+	}
+	if c.Ingress == 0 {
+		c.Ingress = 4
+	}
+	if c.EdgeCount == 0 {
+		c.EdgeCount = 16
+	}
+	if c.RateMeanLo == 0 && c.RateMeanHi == 0 {
+		c.RateMeanLo, c.RateMeanHi = 50, 100
+	}
+	if c.RateSigma == 0 {
+		c.RateSigma = 20
+	}
+}
+
+// BuildMesh constructs the random connected mesh.
+func BuildMesh(cfg MeshConfig) (*Overlay, error) {
+	cfg.setDefaults()
+	if cfg.Brokers < 2 {
+		return nil, fmt.Errorf("topology: mesh needs >= 2 brokers")
+	}
+	if cfg.Ingress+cfg.EdgeCount > cfg.Brokers {
+		return nil, fmt.Errorf("topology: %d ingress + %d edge brokers exceed %d total",
+			cfg.Ingress, cfg.EdgeCount, cfg.Brokers)
+	}
+	g := NewGraph(cfg.Brokers)
+	wire := stats.Derive(cfg.Seed, "topology/mesh")
+	rates := stats.Derive(cfg.Seed, "topology/mesh-rates")
+	newRate := func() stats.Normal {
+		return stats.Normal{Mean: rates.Uniform(cfg.RateMeanLo, cfg.RateMeanHi), Sigma: cfg.RateSigma}
+	}
+	for i := 1; i < cfg.Brokers; i++ {
+		parent := msg.NodeID(wire.IntN(i))
+		if err := g.AddLink(parent, msg.NodeID(i), newRate()); err != nil {
+			return nil, err
+		}
+	}
+	added := 0
+	for attempts := 0; added < cfg.ExtraLinks && attempts < cfg.ExtraLinks*20; attempts++ {
+		a := msg.NodeID(wire.IntN(cfg.Brokers))
+		b := msg.NodeID(wire.IntN(cfg.Brokers))
+		if a == b || g.HasArc(a, b) {
+			continue
+		}
+		if err := g.AddLink(a, b, newRate()); err != nil {
+			return nil, err
+		}
+		added++
+	}
+	ov := &Overlay{Graph: g, Name: "random-mesh"}
+	for i := 0; i < cfg.Ingress; i++ {
+		ov.Ingress = append(ov.Ingress, msg.NodeID(i))
+	}
+	for i := cfg.Brokers - cfg.EdgeCount; i < cfg.Brokers; i++ {
+		ov.Edges = append(ov.Edges, msg.NodeID(i))
+	}
+	return ov, ov.Validate()
+}

@@ -1,0 +1,103 @@
+package topology
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"bdps/internal/msg"
+	"bdps/internal/stats"
+)
+
+// JSON wire form of an overlay, used by the CLI tools and the live
+// runtime's configuration files.
+type overlayJSON struct {
+	Name    string         `json:"name"`
+	Nodes   int            `json:"nodes"`
+	Links   []linkJSON     `json:"links"`
+	Ingress []msg.NodeID   `json:"ingress"`
+	Edges   []msg.NodeID   `json:"edges"`
+	Layers  [][]msg.NodeID `json:"layers,omitempty"`
+}
+
+type linkJSON struct {
+	A     msg.NodeID `json:"a"`
+	B     msg.NodeID `json:"b"`
+	Mean  float64    `json:"mean_ms_per_kb"`
+	Sigma float64    `json:"sigma_ms_per_kb"`
+}
+
+// WriteJSON serializes the overlay. Undirected links are emitted once
+// (a < b) when both arcs carry the same distribution; asymmetric arcs are
+// emitted individually with A/B in arc direction.
+func (o *Overlay) WriteJSON(w io.Writer) error {
+	oj := overlayJSON{
+		Name:    o.Name,
+		Nodes:   o.Graph.N(),
+		Ingress: o.Ingress,
+		Edges:   o.Edges,
+		Layers:  o.Layers,
+	}
+	seen := make(map[[2]msg.NodeID]bool)
+	for _, arc := range o.Graph.Arcs() {
+		a, b := arc[0], arc[1]
+		ra, _ := o.Graph.Rate(a, b)
+		rb, okBack := o.Graph.Rate(b, a)
+		if okBack && ra == rb {
+			key := [2]msg.NodeID{min(a, b), max(a, b)}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			oj.Links = append(oj.Links, linkJSON{A: key[0], B: key[1], Mean: ra.Mean, Sigma: ra.Sigma})
+			continue
+		}
+		oj.Links = append(oj.Links, linkJSON{A: a, B: b, Mean: ra.Mean, Sigma: ra.Sigma})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(oj)
+}
+
+// ReadJSON deserializes an overlay written by WriteJSON. Links are
+// installed undirected (matching WriteJSON's symmetric-link folding; an
+// asymmetric pair appears as two entries and the second overwrites the
+// reverse arc's rate, preserving both directions).
+func ReadJSON(r io.Reader) (*Overlay, error) {
+	var oj overlayJSON
+	if err := json.NewDecoder(r).Decode(&oj); err != nil {
+		return nil, fmt.Errorf("topology: decoding overlay: %w", err)
+	}
+	if oj.Nodes <= 0 {
+		return nil, fmt.Errorf("topology: overlay has %d nodes", oj.Nodes)
+	}
+	g := NewGraph(oj.Nodes)
+	for _, l := range oj.Links {
+		rate := stats.Normal{Mean: l.Mean, Sigma: l.Sigma}
+		if err := g.AddLink(l.A, l.B, rate); err != nil {
+			return nil, err
+		}
+	}
+	ov := &Overlay{
+		Graph:   g,
+		Ingress: oj.Ingress,
+		Edges:   oj.Edges,
+		Layers:  oj.Layers,
+		Name:    oj.Name,
+	}
+	return ov, ov.Validate()
+}
+
+func min(a, b msg.NodeID) msg.NodeID {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b msg.NodeID) msg.NodeID {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,119 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestBufferCollects(t *testing.T) {
+	var b Buffer
+	b.Emit(Event{T: 1, Kind: Publish, MsgID: 7, Broker: 0})
+	b.Emit(Event{T: 2, Kind: Arrive, MsgID: 7, Broker: 0})
+	b.Emit(Event{T: 3, Kind: Arrive, MsgID: 8, Broker: 1})
+	if len(b.Events) != 3 {
+		t.Fatalf("events = %d", len(b.Events))
+	}
+	if b.Count(Arrive) != 2 || b.Count(Publish) != 1 || b.Count(Drop) != 0 {
+		t.Error("counts wrong")
+	}
+	if got := b.ByMessage(7); len(got) != 2 {
+		t.Errorf("msg 7 events = %d, want 2", len(got))
+	}
+}
+
+func TestNopIsSilent(t *testing.T) {
+	var n Nop
+	n.Emit(Event{Kind: Publish}) // must not panic
+}
+
+func TestJSONLWritesValidLines(t *testing.T) {
+	var buf bytes.Buffer
+	j := &JSONL{W: &buf}
+	j.Emit(Event{T: 1.5, Kind: Send, MsgID: 3, Broker: 2, Peer: 4})
+	j.Emit(Event{T: 2.5, Kind: Drop, MsgID: 3, Broker: 4, Note: "expired"})
+	if j.Err() != nil {
+		t.Fatal(j.Err())
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	var e Event
+	if err := json.Unmarshal([]byte(lines[1]), &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Kind != Drop || e.Note != "expired" {
+		t.Errorf("decoded = %+v", e)
+	}
+}
+
+type failingWriter struct{}
+
+func (failingWriter) Write([]byte) (int, error) {
+	return 0, &json.UnsupportedValueError{}
+}
+
+func TestJSONLRemembersError(t *testing.T) {
+	j := &JSONL{W: failingWriter{}}
+	j.Emit(Event{Kind: Publish})
+	if j.Err() == nil {
+		t.Fatal("error not remembered")
+	}
+	j.Emit(Event{Kind: Arrive}) // must not panic after error
+}
+
+func TestBuildTimeline(t *testing.T) {
+	events := []Event{
+		{T: 0, Kind: Publish, MsgID: 1, Broker: 0},
+		{T: 0, Kind: Arrive, MsgID: 1, Broker: 0},
+		{T: 2, Kind: Enqueue, MsgID: 1, Broker: 0, Peer: 1},
+		{T: 10, Kind: Send, MsgID: 1, Broker: 0, Peer: 1}, // queued 8 ms
+		{T: 3510, Kind: Arrive, MsgID: 1, Broker: 1},      // tx 3500 ms
+		{T: 3512, Kind: Enqueue, MsgID: 1, Broker: 1, Peer: 2},
+		{T: 4000, Kind: Send, MsgID: 1, Broker: 1, Peer: 2}, // queued 488 ms
+		{T: 7500, Kind: Arrive, MsgID: 1, Broker: 2},        // tx 3500 ms
+		{T: 7502, Kind: Deliver, MsgID: 1, Broker: 2, Peer: 9},
+	}
+	tl := BuildTimeline(events)
+	if !tl.Delivered || tl.Dropped {
+		t.Fatalf("state wrong: %+v", tl)
+	}
+	if tl.Queueing != 8+488 {
+		t.Errorf("queueing = %v, want 496", tl.Queueing)
+	}
+	if tl.Transmit != 7000 {
+		t.Errorf("transmit = %v, want 7000", tl.Transmit)
+	}
+	if tl.DeliverT != 7502 {
+		t.Errorf("deliverT = %v", tl.DeliverT)
+	}
+	if tl.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestBuildTimelineDropped(t *testing.T) {
+	tl := BuildTimeline([]Event{
+		{T: 0, Kind: Publish, MsgID: 1},
+		{T: 5, Kind: Enqueue, MsgID: 1},
+		{T: 900, Kind: Drop, MsgID: 1, Note: "expired"},
+	})
+	if tl.Delivered || !tl.Dropped {
+		t.Errorf("state = %+v", tl)
+	}
+	if !strings.Contains(tl.String(), "dropped") {
+		t.Error("String should mention dropped")
+	}
+}
+
+func TestBuildTimelineInFlight(t *testing.T) {
+	tl := BuildTimeline([]Event{{T: 0, Kind: Publish, MsgID: 1}})
+	if tl.Delivered || tl.Dropped {
+		t.Error("fresh message should be in flight")
+	}
+	if !strings.Contains(tl.String(), "in flight") {
+		t.Error("String should mention in flight")
+	}
+}

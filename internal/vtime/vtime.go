@@ -1,0 +1,47 @@
+// Package vtime defines the virtual time base shared by the simulator,
+// the scheduling core and the live runtime.
+//
+// Time is measured in milliseconds as a float64, matching the units the
+// paper uses throughout (link rates in ms per kilobyte, processing delay
+// in ms, allowed delays in seconds converted to ms). A float64 keeps the
+// arithmetic with normal-distribution parameters trivial and is exact far
+// beyond the precision any of the experiments need (2 h = 7.2e6 ms).
+package vtime
+
+import "time"
+
+// Millis is a point in virtual time, or a duration, in milliseconds.
+type Millis = float64
+
+// Convenient multiples of one millisecond.
+const (
+	Ms     Millis = 1
+	Second Millis = 1000 * Ms
+	Minute Millis = 60 * Second
+	Hour   Millis = 60 * Minute
+)
+
+// Inf is a time later than any event the simulator can schedule.
+const Inf Millis = 1e300
+
+// FromDuration converts a time.Duration to virtual milliseconds.
+func FromDuration(d time.Duration) Millis {
+	return float64(d) / float64(time.Millisecond)
+}
+
+// ToDuration converts virtual milliseconds to a time.Duration, saturating
+// at the int64 range.
+func ToDuration(m Millis) time.Duration {
+	ns := m * float64(time.Millisecond)
+	const maxNS = float64(1<<63 - 1)
+	if ns > maxNS {
+		return time.Duration(1<<63 - 1)
+	}
+	if ns < -maxNS {
+		return -time.Duration(1<<63 - 1)
+	}
+	return time.Duration(ns)
+}
+
+// Seconds reports m in seconds, for human-facing output.
+func Seconds(m Millis) float64 { return m / Second }

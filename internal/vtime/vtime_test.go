@@ -1,0 +1,35 @@
+package vtime
+
+import (
+	"testing"
+	"time"
+)
+
+func TestUnits(t *testing.T) {
+	if Second != 1000 || Minute != 60000 || Hour != 3600000 {
+		t.Error("unit constants are wrong")
+	}
+}
+
+func TestDurationRoundTrip(t *testing.T) {
+	for _, d := range []time.Duration{0, time.Millisecond, 2500 * time.Millisecond, time.Hour} {
+		if got := ToDuration(FromDuration(d)); got != d {
+			t.Errorf("round trip %v -> %v", d, got)
+		}
+	}
+}
+
+func TestToDurationSaturates(t *testing.T) {
+	if got := ToDuration(Inf); got != time.Duration(1<<63-1) {
+		t.Errorf("ToDuration(Inf) = %v, want max duration", got)
+	}
+	if got := ToDuration(-Inf); got != -time.Duration(1<<63-1) {
+		t.Errorf("ToDuration(-Inf) = %v, want min duration", got)
+	}
+}
+
+func TestSeconds(t *testing.T) {
+	if Seconds(2500) != 2.5 {
+		t.Error("Seconds(2500) should be 2.5")
+	}
+}
