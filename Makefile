@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: build vet test bench verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+verify: build vet test
+
+# bench emits the perf-trajectory file for this PR: every benchmark at a
+# fixed, comparable iteration count, with allocation stats, as the JSON
+# stream go test produces with -json.
+bench:
+	$(GO) test -json -run '^$$' -bench . -benchmem -benchtime 100x . > BENCH_pr1.json
+	@grep -o '"Output":"Benchmark[^"]*ns/op[^"]*"' BENCH_pr1.json | head -40 || true

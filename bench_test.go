@@ -212,9 +212,11 @@ func BenchmarkAblationAcyclicTopology(b *testing.B) {
 func BenchmarkFilterMatch(b *testing.B) {
 	f := filter.MustParse("A1 < 6.5 && A2 < 3.2")
 	attrs := msg.NumAttrs(map[string]float64{"A1": 5, "A2": 2})
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if !f.Match(attrs) {
+		// Pointer form, as the hot paths use it (no interface boxing).
+		if !f.Match(&attrs) {
 			b.Fatal("should match")
 		}
 	}
@@ -308,9 +310,13 @@ func benchTableMatch(b *testing.B, indexed bool) {
 		Ingress: ov.Ingress[0],
 		Attrs:   msg.NumAttrs(map[string]float64{"A1": 4, "A2": 6}),
 	}
+	// Brokers match through a reusable scratch buffer; measure that path.
+	var buf []*routing.Entry
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if len(tb.Match(m)) == 0 {
+		buf = tb.MatchAppend(m, buf[:0])
+		if len(buf) == 0 {
 			b.Fatal("no matches")
 		}
 	}

@@ -1,0 +1,3 @@
+module bdps
+
+go 1.24

@@ -42,6 +42,17 @@ type Broker struct {
 
 	dedup bool
 	seen  map[msg.ID]struct{}
+
+	// Reusable per-Process scratch: the processing hot path is
+	// allocation-free in steady state. matchBuf backs the routing-table
+	// match, grouper the next-hop bucketing, res the returned slices,
+	// and subEpoch deduplicates subscriptions within one target group
+	// (stamped with epoch so it is never cleared).
+	matchBuf []*routing.Entry
+	grouper  routing.Grouper
+	res      Result
+	subEpoch map[msg.SubID]uint64
+	epoch    uint64
 }
 
 // New builds a broker from its configuration.
@@ -61,6 +72,7 @@ func New(cfg Config) (*Broker, error) {
 		linkMeans: cfg.LinkMeans,
 		queues:    make(map[msg.NodeID]*core.Queue),
 		dedup:     cfg.Dedup,
+		subEpoch:  make(map[msg.SubID]uint64),
 	}
 	if b.dedup {
 		b.seen = make(map[msg.ID]struct{})
@@ -110,7 +122,9 @@ type Delivery struct {
 	Valid   bool // delivered within the applicable bound
 }
 
-// Result reports what Process did with a message.
+// Result reports what Process did with a message. The slices are views
+// over broker-owned scratch buffers, valid until the broker's next
+// Process call; runtimes consume them before processing again.
 type Result struct {
 	// Deliveries to subscribers attached to this broker.
 	Deliveries []Delivery
@@ -131,31 +145,36 @@ type Result struct {
 // already expired — or hopeless when ε-detection is on — are dropped
 // before consuming queue space.
 func (b *Broker) Process(m *msg.Message, now vtime.Millis) Result {
-	var res Result
+	res := &b.res
+	res.Deliveries = res.Deliveries[:0]
+	res.EnqueuedHops = res.EnqueuedHops[:0]
+	res.ArrivalDrops = 0
+	res.Duplicate = false
 	if b.dedup {
 		if _, dup := b.seen[m.ID]; dup {
 			res.Duplicate = true
-			return res
+			return *res
 		}
 		b.seen[m.ID] = struct{}{}
 	}
 
-	matched := b.table.Match(m)
+	b.matchBuf = b.table.MatchAppend(m, b.matchBuf[:0])
+	matched := b.matchBuf
 	if len(matched) == 0 {
-		return res
+		return *res
 	}
-	hops, groups := routing.GroupByNext(matched)
-	for _, hop := range hops {
-		entries := groups[hop]
+	hops, groups := b.grouper.Group(matched)
+	for k, hop := range hops {
+		entries := groups[k]
 		if hop == msg.None {
 			// Multi-path routing installs one local entry per path;
 			// deliver to each subscriber once per message.
-			seenSubs := make(map[msg.SubID]bool, len(entries))
+			b.epoch++
 			for _, e := range entries {
-				if seenSubs[e.Sub.ID] {
+				if b.subEpoch[e.Sub.ID] == b.epoch {
 					continue
 				}
-				seenSubs[e.Sub.ID] = true
+				b.subEpoch[e.Sub.ID] = b.epoch
 				allowed, price := b.scenario.AllowedDelay(m, e.Sub)
 				latency := now - m.Published
 				res.Deliveries = append(res.Deliveries, Delivery{
@@ -170,32 +189,33 @@ func (b *Broker) Process(m *msg.Message, now vtime.Millis) Result {
 		entry := b.buildEntry(m, entries)
 		if !core.Viable(entry, now, b.params) {
 			res.ArrivalDrops++
+			entry.Release()
 			continue
 		}
 		b.Queue(hop).Enqueue(entry, now)
 		res.EnqueuedHops = append(res.EnqueuedHops, hop)
 	}
-	return res
+	return *res
 }
 
-// buildEntry converts routing entries for one next hop into a queue entry
-// with per-subscriber targets (§4.2 → §5.1 inputs).
+// buildEntry converts routing entries for one next hop into a pooled
+// queue entry with per-subscriber targets (§4.2 → §5.1 inputs). The
+// entry is released back to the pool by whoever removes it from the
+// queue (or immediately, if it never gets enqueued).
 func (b *Broker) buildEntry(m *msg.Message, entries []*routing.Entry) *core.Entry {
-	e := &core.Entry{
-		MsgID:     uint64(m.ID),
-		SizeKB:    m.SizeKB,
-		Published: m.Published,
-		Data:      m,
-		Targets:   make([]core.Target, 0, len(entries)),
-	}
-	seenSubs := make(map[msg.SubID]bool, len(entries))
+	e := core.GetEntry()
+	e.MsgID = uint64(m.ID)
+	e.SizeKB = m.SizeKB
+	e.Published = m.Published
+	e.Data = m
+	b.epoch++
 	for _, re := range entries {
 		// Collapse multi-path duplicates of the same subscription within
 		// one next hop so EB does not double-count its benefit.
-		if seenSubs[re.Sub.ID] {
+		if b.subEpoch[re.Sub.ID] == b.epoch {
 			continue
 		}
-		seenSubs[re.Sub.ID] = true
+		b.subEpoch[re.Sub.ID] = b.epoch
 		allowed, price := b.scenario.AllowedDelay(m, re.Sub)
 		if allowed <= 0 {
 			// No bound applies (misconfigured subscription); treat as

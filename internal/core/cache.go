@@ -1,0 +1,100 @@
+package core
+
+import (
+	"math"
+
+	"bdps/internal/stats"
+	"bdps/internal/vtime"
+)
+
+// entryCache holds the per-entry scheduling invariants the cached metric
+// fast paths use (see EB, EBDelayed, MaxSuccess, AllExpired and
+// Queue.Prune). It is rebuilt lazily on first use and whenever the
+// processing delay changes, and reset by Release so a pooled entry
+// starts cold. Queue.Enqueue trusts an already-built cache (the
+// producer typically just ran Viable over the final target set); a
+// producer that mutates Targets after evaluating any metric must call
+// Invalidate before handing the entry over.
+//
+// The load-bearing invariant is the per-target saturation time sure[i]:
+// for now ≤ sure[i] the target's standardized slack is at least
+// stats.SureSigmas, where SuccessProb evaluates to exactly 1.0, so the
+// metric loops can add Price without touching math.Erfc and still
+// produce bit-identical sums to the naive reference implementations
+// (reference.go). Targets with Sigma == 0 (point-mass residual rates)
+// never saturate under this rule (sure = -Inf); they always take the
+// exact path, which is already Erfc-free.
+type entryCache struct {
+	ready bool
+	pd    vtime.Millis // processing delay the invariants assume
+
+	priceSum    float64      // Σ Price, folded in target order
+	maxDeadline vtime.Millis // all targets expired iff now > maxDeadline
+	minSure     vtime.Millis // now ≤ minSure ⇒ every target is certain
+	sure        []vtime.Millis
+
+	// Memoized metric values, keyed by the evaluation time (and pd via
+	// the cache itself). Pick/Prune sequences at one instant — and the
+	// EB/EB' pair inside PC and EBPC — hit these instead of rescanning.
+	ebAt  vtime.Millis
+	eb    float64
+	ebOK  bool
+	ebdAt vtime.Millis
+	ebd   float64
+	ebdOK bool
+	msAt  vtime.Millis
+	ms    float64
+	msOK  bool
+}
+
+// metrics returns the entry's invariant cache for the given processing
+// delay, (re)building it when stale.
+func (e *Entry) metrics(pd vtime.Millis) *entryCache {
+	c := &e.cache
+	if c.ready && c.pd == pd {
+		return c
+	}
+	c.ready, c.pd = true, pd
+	c.ebOK, c.ebdOK, c.msOK = false, false, false
+	c.priceSum = 0
+	c.maxDeadline = math.Inf(-1)
+	c.minSure = math.Inf(1)
+	c.sure = c.sure[:0]
+	if len(e.Targets) == 0 {
+		// No targets: never certain (and AllExpired is vacuously true).
+		c.minSure = math.Inf(-1)
+		return c
+	}
+	size := e.SizeKB
+	if size < minSizeKB {
+		size = minSizeKB
+	}
+	for _, t := range e.Targets {
+		c.priceSum += t.Price
+		if t.Deadline > c.maxDeadline {
+			c.maxDeadline = t.Deadline
+		}
+		sure := math.Inf(-1)
+		if t.Rate.Sigma > 0 {
+			// SuccessProb == 1.0 exactly while
+			//   slack/size ≥ μ + SureSigmas·σ,
+			// i.e. until `sure` below. span > 0 also guarantees
+			// sure < deadline − hops·pd, so a certain target is never
+			// expired — the invariant Queue.Prune's skip relies on.
+			span := size * (t.Rate.Mean + stats.SureSigmas*t.Rate.Sigma)
+			if span > 0 {
+				sure = t.Deadline - float64(t.Hops)*pd - span
+			}
+		}
+		c.sure = append(c.sure, sure)
+		if sure < c.minSure {
+			c.minSure = sure
+		}
+	}
+	return c
+}
+
+// Invalidate discards the entry's cached metrics. Producers that mutate
+// Targets, SizeKB or deadlines after an entry has already been evaluated
+// must call it; Queue.Enqueue and Release invalidate automatically.
+func (e *Entry) Invalidate() { e.cache.ready = false }

@@ -82,7 +82,9 @@ type Target struct {
 func (t Target) Expired(now vtime.Millis) bool { return now > t.Deadline }
 
 // Entry is a message waiting in an output queue, with the targets it
-// serves via this queue's link.
+// serves via this queue's link. Entries are pooled (GetEntry / Release)
+// and carry a metric cache (cache.go); producers that mutate Targets
+// after an entry has been evaluated must call Invalidate.
 type Entry struct {
 	MsgID     uint64
 	Seq       uint64       // arrival order within the queue (set by Enqueue)
@@ -91,6 +93,8 @@ type Entry struct {
 	Enqueued  vtime.Millis // when the entry joined this queue
 	Targets   []Target
 	Data      any // opaque payload for the embedding runtime
+
+	cache entryCache
 }
 
 // Context carries the per-decision inputs of the metric functions.
@@ -122,20 +126,53 @@ func SuccessProb(t Target, now vtime.Millis, sizeKB float64, pd vtime.Millis) fl
 }
 
 // EB is the expected benefit of sending e first (§5.1, eq. 3).
+//
+// This is the cached fast path: targets whose saturation time has not
+// passed contribute exactly Price without an Erfc evaluation, and a
+// fully saturated entry returns the precomputed price sum. The value is
+// bit-identical to RefEB (proved by the equivalence suite) and memoized
+// per evaluation instant.
 func EB(e *Entry, ctx Context) float64 {
-	var sum float64
-	for _, t := range e.Targets {
-		sum += SuccessProb(t, ctx.Now, e.SizeKB, ctx.PD) * t.Price
+	c := e.metrics(ctx.PD)
+	if c.ebOK && c.ebAt == ctx.Now {
+		return c.eb
 	}
-	return sum
+	v := benefitAt(e, c, ctx.Now)
+	c.ebOK, c.ebAt, c.eb = true, ctx.Now, v
+	return v
 }
 
 // EBDelayed is EB′: the expected benefit when this broker sends the
 // message second, i.e. after FT more milliseconds (§5.2, eqs. 6–8).
+// Cached like EB, keyed by the delayed instant now+FT.
 func EBDelayed(e *Entry, ctx Context) float64 {
+	c := e.metrics(ctx.PD)
+	at := ctx.Now + ctx.FT
+	if c.ebdOK && c.ebdAt == at {
+		return c.ebd
+	}
+	v := benefitAt(e, c, at)
+	c.ebdOK, c.ebdAt, c.ebd = true, at, v
+	return v
+}
+
+// benefitAt sums success·price at the given instant, shortcutting
+// saturated targets. The summation order and every floating-point
+// operation on the exact path match RefEB term for term, so the result
+// is bit-identical to the naive loop (a saturated target's naive term is
+// fl(1.0·Price) = Price).
+func benefitAt(e *Entry, c *entryCache, at vtime.Millis) float64 {
+	if at <= c.minSure {
+		return c.priceSum
+	}
 	var sum float64
-	for _, t := range e.Targets {
-		sum += SuccessProb(t, ctx.Now+ctx.FT, e.SizeKB, ctx.PD) * t.Price
+	for i := range e.Targets {
+		t := &e.Targets[i]
+		if at <= c.sure[i] {
+			sum += t.Price
+		} else {
+			sum += SuccessProb(*t, at, e.SizeKB, c.pd) * t.Price
+		}
 	}
 	return sum
 }
@@ -169,25 +206,39 @@ func AvgRemainingLifetime(e *Entry, now vtime.Millis) vtime.Millis {
 
 // MaxSuccess returns the largest success probability over the entry's
 // targets; the invalid-message detector compares it against ε (§5.4,
-// condition 11).
+// condition 11). Any saturated target pins the maximum at exactly 1.0
+// (no probability exceeds 1), so the scan stops at the first one.
 func MaxSuccess(e *Entry, now vtime.Millis, pd vtime.Millis) float64 {
+	c := e.metrics(pd)
+	if c.msOK && c.msAt == now {
+		return c.ms
+	}
 	var best float64
-	for _, t := range e.Targets {
-		if p := SuccessProb(t, now, e.SizeKB, pd); p > best {
-			best = p
+	if now <= c.minSure {
+		best = 1
+	} else {
+		for i := range e.Targets {
+			if now <= c.sure[i] {
+				best = 1
+				break
+			}
+			if p := SuccessProb(e.Targets[i], now, e.SizeKB, pd); p > best {
+				best = p
+			}
 		}
 	}
+	c.msOK, c.msAt, c.ms = true, now, best
 	return best
 }
 
-// AllExpired reports whether every target's deadline has passed.
+// AllExpired reports whether every target's deadline has passed. With a
+// warm cache this is one comparison against the precomputed latest
+// deadline; the comparison semantics match the per-target scan exactly.
 func AllExpired(e *Entry, now vtime.Millis) bool {
-	for _, t := range e.Targets {
-		if !t.Expired(now) {
-			return false
-		}
+	if e.cache.ready {
+		return now > e.cache.maxDeadline
 	}
-	return true
+	return RefAllExpired(e, now)
 }
 
 // Viable reports whether an entry is worth enqueueing (or keeping) under

@@ -1,0 +1,315 @@
+package core
+
+// Equivalence suite for ISSUE 1: the cached fast paths (cache.go,
+// core.go, queue.go) must return bit-identical values — and therefore
+// make byte-identical scheduling decisions — to the retained naive
+// reference implementations (reference.go), across randomized workloads
+// spanning the saturated, transition, expired and σ=0 regimes.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"bdps/internal/stats"
+	"bdps/internal/vtime"
+)
+
+// randTarget draws a target covering every regime the fast paths
+// special-case: point-mass rates (σ=0), zero hops, deadlines from
+// already-expired to deeply saturated.
+func randTarget(r *rand.Rand) Target {
+	sigma := 5 + 35*r.Float64()
+	if r.Intn(8) == 0 {
+		sigma = 0
+	}
+	return Target{
+		SubID:    int32(r.Intn(200)),
+		Deadline: vtime.Millis(r.Float64() * 120 * vtime.Second),
+		Price:    []float64{1, 1, 2, 3}[r.Intn(4)],
+		Hops:     r.Intn(4),
+		Rate:     stats.Normal{Mean: 20 + 230*r.Float64(), Sigma: sigma},
+	}
+}
+
+func randEntry(r *rand.Rand, id uint64) *Entry {
+	e := &Entry{
+		MsgID:  id,
+		SizeKB: []float64{0, 0.5, 10, 50, 100}[r.Intn(5)],
+	}
+	for i, n := 0, r.Intn(5); i < n; i++ {
+		e.Targets = append(e.Targets, randTarget(r))
+	}
+	return e
+}
+
+// randNow mixes uniform instants with instants placed right around a
+// target's deadline and saturation boundary (for the given processing
+// delay), where the fast paths switch regimes.
+func randNow(r *rand.Rand, e *Entry, pd vtime.Millis) vtime.Millis {
+	if len(e.Targets) > 0 && r.Intn(2) == 0 {
+		t := e.Targets[r.Intn(len(e.Targets))]
+		edge := t.Deadline
+		if r.Intn(2) == 0 {
+			size := e.SizeKB
+			if size < minSizeKB {
+				size = minSizeKB
+			}
+			edge = t.Deadline - float64(t.Hops)*pd -
+				size*(t.Rate.Mean+stats.SureSigmas*t.Rate.Sigma)
+		}
+		return edge + vtime.Millis(r.NormFloat64()*100)
+	}
+	return vtime.Millis(r.Float64() * 130 * vtime.Second)
+}
+
+// randPD draws a processing delay, mostly the paper's 2 ms but often
+// enough something else that the cache's pd-staleness rebuild runs.
+func randPD(r *rand.Rand) vtime.Millis {
+	return []vtime.Millis{0, 1, 2, 2, 5}[r.Intn(5)]
+}
+
+func bitsEq(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+func TestMetricEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 5000; trial++ {
+		e := randEntry(r, uint64(trial))
+		pd := randPD(r)
+		ctx := Context{
+			Now: randNow(r, e, pd),
+			PD:  pd,
+			FT:  vtime.Millis(r.Float64() * 8000),
+		}
+		check := func(when string) {
+			t.Helper()
+			if got, want := EB(e, ctx), RefEB(e, ctx); !bitsEq(got, want) {
+				t.Fatalf("trial %d (%s): EB = %v, ref %v", trial, when, got, want)
+			}
+			if got, want := EBDelayed(e, ctx), RefEBDelayed(e, ctx); !bitsEq(got, want) {
+				t.Fatalf("trial %d (%s): EBDelayed = %v, ref %v", trial, when, got, want)
+			}
+			if got, want := PC(e, ctx), RefPC(e, ctx); !bitsEq(got, want) {
+				t.Fatalf("trial %d (%s): PC = %v, ref %v", trial, when, got, want)
+			}
+			for _, w := range []float64{0, 0.3, 0.5, 1} {
+				if got, want := EBPC(e, ctx, w), RefEBPC(e, ctx, w); !bitsEq(got, want) {
+					t.Fatalf("trial %d (%s): EBPC(%v) = %v, ref %v", trial, when, w, got, want)
+				}
+			}
+			if got, want := MaxSuccess(e, ctx.Now, ctx.PD), RefMaxSuccess(e, ctx.Now, ctx.PD); !bitsEq(got, want) {
+				t.Fatalf("trial %d (%s): MaxSuccess = %v, ref %v", trial, when, got, want)
+			}
+			if got, want := AllExpired(e, ctx.Now), RefAllExpired(e, ctx.Now); got != want {
+				t.Fatalf("trial %d (%s): AllExpired = %v, ref %v", trial, when, got, want)
+			}
+			p := Params{PD: ctx.PD, Epsilon: DefaultEpsilon}
+			if got, want := Viable(e, ctx.Now, p), RefViable(e, ctx.Now, p); got != want {
+				t.Fatalf("trial %d (%s): Viable = %v, ref %v", trial, when, got, want)
+			}
+		}
+		check("cold cache")
+		check("memo hit")
+		// A different FT must not be served from the stale EB′ memo.
+		ctx.FT = vtime.Millis(r.Float64() * 8000)
+		check("new FT")
+		// A different PD must rebuild the invariants, not reuse them.
+		ctx.PD = ctx.PD + 1
+		check("new PD")
+		ctx.PD = pd
+		check("back to old PD")
+		// Mutation + Invalidate must fully refresh the invariants.
+		if len(e.Targets) > 0 {
+			e.Targets[r.Intn(len(e.Targets))].Deadline = vtime.Millis(r.Float64() * 120 * vtime.Second)
+			e.Invalidate()
+			check("after mutation")
+		}
+	}
+}
+
+func TestPickEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	strategies := []Strategy{
+		FIFO{}, RL{}, MaxEB{}, MaxPC{},
+		MaxEBPC{R: 0}, MaxEBPC{R: 0.25}, MaxEBPC{R: 0.5}, MaxEBPC{R: 1},
+	}
+	for trial := 0; trial < 800; trial++ {
+		n := 1 + r.Intn(40)
+		entries := make([]*Entry, n)
+		for i := range entries {
+			entries[i] = randEntry(r, uint64(i))
+			entries[i].Seq = uint64(i)
+		}
+		pd := randPD(r)
+		ctx := Context{
+			Now: randNow(r, entries[r.Intn(n)], pd),
+			PD:  pd,
+			FT:  vtime.Millis(r.Float64() * 8000),
+		}
+		for _, s := range strategies {
+			got := s.Pick(entries, ctx)
+			want := Reference(s).Pick(entries, ctx)
+			if got != want {
+				t.Fatalf("trial %d: %s.Pick = %d, reference %d", trial, s.Name(), got, want)
+			}
+			// The MetricStrategy accessor must expose the same cached
+			// metric Pick ranks by, bit-identical to the reference.
+			if ms, ok := s.(MetricStrategy); ok {
+				e := entries[r.Intn(n)]
+				if gotM, wantM := ms.Metric(e, ctx), refMetric(s, e, ctx); !bitsEq(gotM, wantM) {
+					t.Fatalf("trial %d: %s.Metric = %v, reference %v", trial, s.Name(), gotM, wantM)
+				}
+			}
+		}
+	}
+}
+
+// refMetric is the naive counterpart of MetricStrategy.Metric.
+func refMetric(s Strategy, e *Entry, ctx Context) float64 {
+	switch s := s.(type) {
+	case MaxEB:
+		return RefEB(e, ctx)
+	case MaxPC:
+		return RefPC(e, ctx)
+	case MaxEBPC:
+		return RefEBPC(e, ctx, s.R)
+	}
+	panic("refMetric: not a MetricStrategy")
+}
+
+// clone deep-copies an entry without its cache, so mirrored queues share
+// no state.
+func clone(e *Entry) *Entry {
+	c := &Entry{
+		MsgID:     e.MsgID,
+		SizeKB:    e.SizeKB,
+		Published: e.Published,
+	}
+	c.Targets = append(c.Targets, e.Targets...)
+	return c
+}
+
+// naivePrune is Prune recomputed with the reference metrics and the
+// same swap-remove traversal, so both drop decisions and resulting
+// queue order must match the optimized Prune exactly.
+func naivePrune(q *Queue, now vtime.Millis, p Params) []Drop {
+	var drops []Drop
+	for i := 0; i < q.Len(); {
+		e := q.Entries()[i]
+		switch {
+		case RefAllExpired(e, now):
+			drops = append(drops, Drop{Entry: q.RemoveAt(i), Reason: DropExpired})
+		case p.Epsilon > 0 && RefMaxSuccess(e, now, p.PD) < p.Epsilon:
+			drops = append(drops, Drop{Entry: q.RemoveAt(i), Reason: DropHopeless})
+		default:
+			i++
+		}
+	}
+	return drops
+}
+
+func sameDrops(t *testing.T, trial int, got, want []Drop) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("trial %d: %d drops, reference %d", trial, len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Entry.MsgID != want[i].Entry.MsgID || got[i].Reason != want[i].Reason {
+			t.Fatalf("trial %d: drop %d = (%d,%v), reference (%d,%v)", trial, i,
+				got[i].Entry.MsgID, got[i].Reason, want[i].Entry.MsgID, want[i].Reason)
+		}
+	}
+}
+
+func sameOrder(t *testing.T, trial int, got, want *Queue) {
+	t.Helper()
+	if got.Len() != want.Len() {
+		t.Fatalf("trial %d: len %d, reference %d", trial, got.Len(), want.Len())
+	}
+	for i := range got.Entries() {
+		if got.Entries()[i].MsgID != want.Entries()[i].MsgID {
+			t.Fatalf("trial %d: slot %d holds msg %d, reference %d", trial, i,
+				got.Entries()[i].MsgID, want.Entries()[i].MsgID)
+		}
+	}
+}
+
+// TestPruneEquivalence steps mirrored queues through interleaved
+// enqueues and prunes — including the tiny time steps that exercise the
+// O(1) skip window — and demands identical drops and identical
+// surviving order at every step.
+func TestPruneEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 300; trial++ {
+		fast, naive := NewQueue(70), NewQueue(70)
+		p := DefaultParams()
+		p.PD = randPD(r)
+		if r.Intn(4) == 0 {
+			p.Epsilon = 0
+		}
+		now := vtime.Millis(0)
+		nextID := uint64(0)
+		for step := 0; step < 60; step++ {
+			switch r.Intn(3) {
+			case 0: // enqueue the same entry into both queues
+				e := randEntry(r, nextID)
+				nextID++
+				fast.Enqueue(e, now)
+				naive.Enqueue(clone(e), now)
+			default: // advance (often by a little, to hit the skip) and prune
+				if r.Intn(2) == 0 {
+					now += vtime.Millis(r.Float64() * 50)
+				} else {
+					now += vtime.Millis(r.Float64() * 20 * vtime.Second)
+				}
+				sameDrops(t, trial, fast.Prune(now, p), naivePrune(naive, now, p))
+				sameOrder(t, trial, fast, naive)
+			}
+		}
+	}
+}
+
+// TestPopNextDrainEquivalence drains mirrored queues to empty under
+// every strategy: optimized PopNext vs naive prune + reference pick.
+// The popped sequence and every drop must coincide.
+func TestPopNextDrainEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	strategies := []Strategy{FIFO{}, RL{}, MaxEB{}, MaxPC{}, MaxEBPC{R: 0.5}}
+	for trial := 0; trial < 120; trial++ {
+		s := strategies[trial%len(strategies)]
+		fast, naive := NewQueue(70), NewQueue(70)
+		p := DefaultParams()
+		p.PD = randPD(r)
+		now := vtime.Millis(0)
+		for i := 0; i < 1+r.Intn(30); i++ {
+			e := randEntry(r, uint64(i))
+			fast.Enqueue(e, now)
+			naive.Enqueue(clone(e), now)
+		}
+		for steps := 0; fast.Len() > 0 || naive.Len() > 0; steps++ {
+			if steps > 1000 {
+				t.Fatalf("trial %d: drain did not terminate", trial)
+			}
+			got, gotDrops := fast.PopNext(s, now, p)
+			wantDrops := naivePrune(naive, now, p)
+			var want *Entry
+			if naive.Len() > 0 {
+				if i := Reference(s).Pick(naive.Entries(), naive.Context(now, p)); i >= 0 {
+					want = naive.RemoveAt(i)
+				}
+			}
+			sameDrops(t, trial, gotDrops, wantDrops)
+			switch {
+			case got == nil && want == nil:
+			case got == nil || want == nil:
+				t.Fatalf("trial %d: pop = %v, reference %v", trial, got, want)
+			case got.MsgID != want.MsgID:
+				t.Fatalf("trial %d (%s): popped msg %d, reference %d", trial, s.Name(), got.MsgID, want.MsgID)
+			}
+			sameOrder(t, trial, fast, naive)
+			now += vtime.Millis(r.Float64() * 4 * vtime.Second)
+		}
+	}
+}

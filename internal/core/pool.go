@@ -1,0 +1,28 @@
+package core
+
+import "sync"
+
+// entryPool recycles Entry objects (and their Targets / cache backing
+// arrays) across messages. One broker builds one entry per (message,
+// next hop); at paper-scale traffic that dominated the scheduler's
+// allocation profile before pooling.
+var entryPool = sync.Pool{New: func() any { return new(Entry) }}
+
+// GetEntry returns an empty Entry from the pool. Targets has length zero
+// but retains the capacity of its previous life, so producers appending
+// targets allocate only while an entry grows past anything seen before.
+func GetEntry() *Entry { return entryPool.Get().(*Entry) }
+
+// Release resets the entry and returns it to the pool. The caller must
+// be the sole owner: entries handed to a Queue are owned by the queue
+// until PopNext or Prune hands them back (queue drops are released by
+// the runtime that consumes them). Release clears Data so pooled entries
+// never pin a message alive.
+func (e *Entry) Release() {
+	e.MsgID, e.Seq = 0, 0
+	e.SizeKB, e.Published, e.Enqueued = 0, 0, 0
+	e.Targets = e.Targets[:0]
+	e.Data = nil
+	e.cache.ready = false
+	entryPool.Put(e)
+}

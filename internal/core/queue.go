@@ -29,6 +29,19 @@ type Queue struct {
 
 	// Peak occupancy, for diagnostics.
 	peak int
+
+	// drops is the reusable Prune output buffer; see Prune.
+	drops []Drop
+
+	// Prune skip state: after a full scan under parameters wakeP, no
+	// entry can expire or turn hopeless before wakeUntil (the earliest
+	// saturation time over all queued targets — while every success
+	// probability is exactly 1, neither drop condition can fire).
+	// Enqueue lowers wakeUntil; a scan under different parameters
+	// recomputes it.
+	wakeOK    bool
+	wakeP     Params
+	wakeUntil vtime.Millis
 }
 
 // NewQueue returns an empty queue for a link with the given believed mean
@@ -37,7 +50,11 @@ func NewQueue(linkMean float64) *Queue {
 	return &Queue{LinkMean: linkMean}
 }
 
-// Enqueue adds an entry, stamping its Seq and Enqueued fields.
+// Enqueue adds an entry, stamping its Seq and Enqueued fields, and
+// extends the Prune skip window to cover it. An already-built metric
+// cache is trusted and reused — producers typically just ran Viable,
+// which built it for the final target set; a producer that mutated an
+// evaluated entry must call Invalidate before enqueueing.
 func (q *Queue) Enqueue(e *Entry, now vtime.Millis) {
 	e.Seq = q.nextSeq
 	q.nextSeq++
@@ -47,6 +64,11 @@ func (q *Queue) Enqueue(e *Entry, now vtime.Millis) {
 	q.enqCount++
 	if len(q.entries) > q.peak {
 		q.peak = len(q.entries)
+	}
+	if q.wakeOK {
+		if ms := e.metrics(q.wakeP.PD).minSure; ms < q.wakeUntil {
+			q.wakeUntil = ms
+		}
 	}
 }
 
@@ -120,25 +142,49 @@ type Drop struct {
 // returning what was dropped. Brokers call it before every scheduling
 // decision, implementing "delete as early as possible the messages in
 // transit that have expired" (§1) and condition (11) of §5.4.
+//
+// The returned slice is a buffer owned by the queue, valid until the
+// next Prune or PopNext call; consume it before scheduling again.
+//
+// Prune is O(1) while the clock has not reached the queue's wake time:
+// as long as every queued target is still in its saturated region
+// (success probability exactly 1), no entry can be expired (the
+// saturation time precedes the deadline) nor hopeless (1 ≥ ε), so the
+// scan is skipped entirely. This is the "stale-priority" fast path that
+// keeps a drain from rescanning the whole queue on every dequeue.
 func (q *Queue) Prune(now vtime.Millis, p Params) []Drop {
-	var drops []Drop
+	if q.wakeOK && p == q.wakeP && now <= q.wakeUntil {
+		return nil
+	}
+	q.drops = q.drops[:0]
+	wake := vtime.Inf
 	for i := 0; i < len(q.entries); {
 		e := q.entries[i]
 		switch {
 		case AllExpired(e, now):
-			drops = append(drops, Drop{Entry: q.RemoveAt(i), Reason: DropExpired})
+			q.drops = append(q.drops, Drop{Entry: q.RemoveAt(i), Reason: DropExpired})
 		case p.Epsilon > 0 && MaxSuccess(e, now, p.PD) < p.Epsilon:
-			drops = append(drops, Drop{Entry: q.RemoveAt(i), Reason: DropHopeless})
+			q.drops = append(q.drops, Drop{Entry: q.RemoveAt(i), Reason: DropHopeless})
 		default:
+			if ms := e.metrics(p.PD).minSure; ms < wake {
+				wake = ms
+			}
 			i++
 		}
 	}
-	return drops
+	// ε > 1 would make even certain targets hopeless and a negative PD
+	// would put saturation after the deadline; neither occurs in
+	// practice, but the skip window is only sound without them.
+	q.wakeOK = p.Epsilon <= 1 && p.PD >= 0
+	q.wakeP = p
+	q.wakeUntil = wake
+	return q.drops
 }
 
 // PopNext prunes the queue, then lets the strategy pick and removes the
 // chosen entry. It returns the entry (nil if the queue emptied) and the
-// prune drops.
+// prune drops (a queue-owned buffer, valid until the next Prune or
+// PopNext call).
 func (q *Queue) PopNext(s Strategy, now vtime.Millis, p Params) (*Entry, []Drop) {
 	drops := q.Prune(now, p)
 	if len(q.entries) == 0 {

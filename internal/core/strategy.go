@@ -15,6 +15,17 @@ type Strategy interface {
 	Pick(entries []*Entry, ctx Context) int
 }
 
+// MetricStrategy is implemented by strategies whose Pick maximizes a
+// per-entry metric (EB, PC, EBPC). Metric exposes that metric through
+// the cached fast path for diagnostics and for the equivalence suite,
+// which asserts it bit-matches the naive reference; FIFO and RL rank by
+// arrival order and remaining lifetime and are deliberately not
+// MetricStrategies.
+type MetricStrategy interface {
+	Strategy
+	Metric(e *Entry, ctx Context) float64
+}
+
 // FIFO sends in arrival order — the first traditional baseline of §6.
 type FIFO struct{}
 
@@ -60,6 +71,9 @@ type MaxEB struct{}
 // Name implements Strategy.
 func (MaxEB) Name() string { return "EB" }
 
+// Metric implements MetricStrategy.
+func (MaxEB) Metric(e *Entry, ctx Context) float64 { return EB(e, ctx) }
+
 // Pick implements Strategy: maximum EB.
 func (MaxEB) Pick(entries []*Entry, ctx Context) int {
 	best := -1
@@ -78,6 +92,9 @@ type MaxPC struct{}
 
 // Name implements Strategy.
 func (MaxPC) Name() string { return "PC" }
+
+// Metric implements MetricStrategy.
+func (MaxPC) Metric(e *Entry, ctx Context) float64 { return PC(e, ctx) }
 
 // Pick implements Strategy: maximum PC.
 func (MaxPC) Pick(entries []*Entry, ctx Context) int {
@@ -100,6 +117,9 @@ type MaxEBPC struct {
 
 // Name implements Strategy.
 func (s MaxEBPC) Name() string { return fmt.Sprintf("EBPC(r=%.2f)", s.R) }
+
+// Metric implements MetricStrategy.
+func (s MaxEBPC) Metric(e *Entry, ctx Context) float64 { return EBPC(e, ctx, s.R) }
 
 // Pick implements Strategy: maximum r·EB + (1−r)·PC.
 func (s MaxEBPC) Pick(entries []*Entry, ctx Context) int {

@@ -21,9 +21,14 @@ type Iterable interface {
 // inequalities) fall back to a linear list, so Match is always equivalent
 // to evaluating every filter directly. The broker's matching loop is the
 // hot path of a content-based router; this index turns O(filters) into
-// O(log predicates + matches) for the common conjunctive case.
+// O(log predicates + matches) for the common conjunctive case, and Match
+// is allocation-free in steady state: all per-match state lives in
+// epoch-stamped slices owned by the index, including the output.
 type Index struct {
 	conjs []conjState
+	// wild lists the ids of zero-predicate (wildcard) conjunctions in
+	// add order; they match every message.
+	wild []int32
 	// per-attribute predicate lists, sorted by bound
 	lt map[string]boundList // pred: v < bound  (satisfied: bound > v)
 	le map[string]boundList // pred: v <= bound (satisfied: bound >= v)
@@ -34,12 +39,30 @@ type Index struct {
 
 	fallback []fallbackFilter
 
-	// match-epoch counters (no clearing between matches)
-	epoch   uint64
-	seen    []uint64
-	counts  []int
-	matched map[int32]uint64
+	// distinct ids ever added, maintained at Add time so Len is O(1).
+	known map[int32]struct{}
+
+	// Match-epoch state: nothing is cleared between matches — a slot is
+	// live only when its stamp equals the current epoch.
+	epoch  uint64
+	seen   []uint64 // per conjunction: epoch of last predicate hit
+	counts []int    // per conjunction: satisfied predicates this epoch
+	// Output dedup. Ids are usually small and dense (routing tables use
+	// positions), so the stamp lives in a slice indexed by id; an id
+	// outside [0, denseLimit] flips the index to a map permanently.
+	dense      bool
+	maxID      int32
+	emittedAt  []uint64
+	emittedMap map[int32]uint64
+	out        []int32
+
+	// visit bound once so Match passes a preallocated callback to Each.
+	visitor func(name string, v Value)
 }
+
+// denseLimit bounds the id-indexed stamp slice; ids beyond it (or
+// negative) use the map fallback instead of a multi-megabyte slice.
+const denseLimit = 1 << 20
 
 type conjState struct {
 	id     int32 // caller's id for the owning filter
@@ -58,36 +81,38 @@ type fallbackFilter struct {
 
 // NewIndex returns an empty index.
 func NewIndex() *Index {
-	return &Index{
-		lt:      make(map[string]boundList),
-		le:      make(map[string]boundList),
-		gt:      make(map[string]boundList),
-		ge:      make(map[string]boundList),
-		eq:      make(map[string]map[float64][]int),
-		se:      make(map[string]map[string][]int),
-		matched: make(map[int32]uint64),
+	ix := &Index{
+		lt:         make(map[string]boundList),
+		le:         make(map[string]boundList),
+		gt:         make(map[string]boundList),
+		ge:         make(map[string]boundList),
+		eq:         make(map[string]map[float64][]int),
+		se:         make(map[string]map[string][]int),
+		known:      make(map[int32]struct{}),
+		emittedMap: make(map[int32]uint64),
+		dense:      true,
 	}
+	ix.visitor = ix.visit
+	return ix
 }
 
-// Len returns the number of added filters (indexed + fallback).
-func (ix *Index) Len() int {
-	ids := make(map[int32]bool)
-	for _, c := range ix.conjs {
-		ids[c.id] = true
-	}
-	for _, fb := range ix.fallback {
-		ids[fb.id] = true
-	}
-	return len(ids)
-}
+// Len returns the number of distinct added filter ids (indexed +
+// fallback), tracked at Add time.
+func (ix *Index) Len() int { return len(ix.known) }
 
 // Add registers a filter under the caller's id. Ids may repeat (a
 // subscription re-added is matched once per Match call regardless).
 // Add must not be interleaved with Match.
 func (ix *Index) Add(id int32, f *Filter) {
+	ix.known[id] = struct{}{}
+	if id < 0 || id > denseLimit {
+		ix.dense = false
+	} else if id > ix.maxID {
+		ix.maxID = id
+	}
 	if f == nil || f.root == nil {
 		// Wildcard: a conjunction with zero predicates always matches.
-		ix.conjs = append(ix.conjs, conjState{id: id, needed: 0})
+		ix.wild = append(ix.wild, id)
 		ix.dirty()
 		return
 	}
@@ -156,7 +181,9 @@ func indexable(conj []Predicate) bool {
 	return true
 }
 
-// dirty re-sorts bound lists and resizes counters after an Add.
+// dirty re-sorts bound lists and resizes the epoch-stamped counters
+// after an Add. Existing stamps stay valid: a zero stamp is simply an
+// epoch no live match uses.
 func (ix *Index) dirty() {
 	for _, m := range []map[string]boundList{ix.lt, ix.le, ix.gt, ix.ge} {
 		for attr, bl := range m {
@@ -164,8 +191,20 @@ func (ix *Index) dirty() {
 			m[attr] = bl
 		}
 	}
-	ix.seen = make([]uint64, len(ix.conjs))
-	ix.counts = make([]int, len(ix.conjs))
+	ix.seen = growU64(ix.seen, len(ix.conjs))
+	for len(ix.counts) < len(ix.conjs) {
+		ix.counts = append(ix.counts, 0)
+	}
+	if ix.dense {
+		ix.emittedAt = growU64(ix.emittedAt, int(ix.maxID)+1)
+	}
+}
+
+func growU64(s []uint64, n int) []uint64 {
+	for len(s) < n {
+		s = append(s, 0)
+	}
+	return s
 }
 
 type byBound struct{ bl *boundList }
@@ -179,89 +218,107 @@ func (s byBound) Swap(i, j int) {
 	s.bl.conj[i], s.bl.conj[j] = s.bl.conj[j], s.bl.conj[i]
 }
 
-// Match returns the ids whose filters match the attributes, in first-add
-// order, each at most once.
+// Match returns the ids whose filters match the attributes, each at most
+// once: indexed conjunctions as their counts complete, then wildcards in
+// add order, then fallback filters in add order.
+//
+// The returned slice is a buffer owned by the index, valid until the
+// next Match call. Callers may reorder it in place but must not append
+// to it or retain it across matches.
 func (ix *Index) Match(a Iterable) []int32 {
 	ix.epoch++
-	var out []int32
-	emit := func(id int32) {
-		if ix.matched[id] != ix.epoch {
-			ix.matched[id] = ix.epoch
-			out = append(out, id)
-		}
-	}
-
-	bump := func(ci int) {
-		if ix.seen[ci] != ix.epoch {
-			ix.seen[ci] = ix.epoch
-			ix.counts[ci] = 0
-		}
-		ix.counts[ci]++
-		if ix.counts[ci] == ix.conjs[ci].needed {
-			emit(ix.conjs[ci].id)
-		}
-	}
-
-	a.Each(func(name string, v Value) {
-		if v.Kind == Number {
-			x := v.Num
-			if bl, ok := ix.lt[name]; ok {
-				// Satisfied: bound > x → suffix starting at first bound > x.
-				i := sort.SearchFloat64s(bl.bounds, x)
-				for ; i < len(bl.bounds) && bl.bounds[i] <= x; i++ {
-				}
-				for ; i < len(bl.bounds); i++ {
-					bump(bl.conj[i])
-				}
-			}
-			if bl, ok := ix.le[name]; ok {
-				// Satisfied: bound >= x.
-				i := sort.SearchFloat64s(bl.bounds, x)
-				for ; i < len(bl.bounds); i++ {
-					bump(bl.conj[i])
-				}
-			}
-			if bl, ok := ix.gt[name]; ok {
-				// Satisfied: bound < x → prefix below x.
-				hi := sort.SearchFloat64s(bl.bounds, x)
-				for i := 0; i < hi; i++ {
-					bump(bl.conj[i])
-				}
-			}
-			if bl, ok := ix.ge[name]; ok {
-				// Satisfied: bound <= x → prefix through x.
-				hi := sort.SearchFloat64s(bl.bounds, x)
-				for ; hi < len(bl.bounds) && bl.bounds[hi] == x; hi++ {
-				}
-				for i := 0; i < hi; i++ {
-					bump(bl.conj[i])
-				}
-			}
-			if m, ok := ix.eq[name]; ok {
-				for _, ci := range m[x] {
-					bump(ci)
-				}
-			}
-		} else if m, ok := ix.se[name]; ok {
-			for _, ci := range m[v.Str] {
-				bump(ci)
-			}
-		}
-	})
+	ix.out = ix.out[:0]
+	a.Each(ix.visitor)
 
 	// Zero-predicate conjunctions (wildcards) match everything.
-	for ci, c := range ix.conjs {
-		if c.needed == 0 {
-			_ = ci
-			emit(c.id)
-		}
+	for _, id := range ix.wild {
+		ix.emit(id)
 	}
 
 	// Fallback filters evaluate directly.
-	for _, fb := range ix.fallback {
-		if fb.f.Match(a) {
-			emit(fb.id)
+	for i := range ix.fallback {
+		if ix.fallback[i].f.Match(a) {
+			ix.emit(ix.fallback[i].id)
 		}
 	}
-	return out
+	return ix.out
+}
+
+// visit processes one message attribute, bumping every satisfied
+// predicate's conjunction.
+func (ix *Index) visit(name string, v Value) {
+	if v.Kind == Number {
+		x := v.Num
+		if bl, ok := ix.lt[name]; ok {
+			// Satisfied: bound > x → suffix starting at first bound > x.
+			i := sort.SearchFloat64s(bl.bounds, x)
+			for ; i < len(bl.bounds) && bl.bounds[i] <= x; i++ {
+			}
+			for ; i < len(bl.bounds); i++ {
+				ix.bump(bl.conj[i])
+			}
+		}
+		if bl, ok := ix.le[name]; ok {
+			// Satisfied: bound >= x.
+			i := sort.SearchFloat64s(bl.bounds, x)
+			for ; i < len(bl.bounds); i++ {
+				ix.bump(bl.conj[i])
+			}
+		}
+		if bl, ok := ix.gt[name]; ok {
+			// Satisfied: bound < x → prefix below x.
+			hi := sort.SearchFloat64s(bl.bounds, x)
+			for i := 0; i < hi; i++ {
+				ix.bump(bl.conj[i])
+			}
+		}
+		if bl, ok := ix.ge[name]; ok {
+			// Satisfied: bound <= x → prefix through x.
+			hi := sort.SearchFloat64s(bl.bounds, x)
+			for ; hi < len(bl.bounds) && bl.bounds[hi] == x; hi++ {
+			}
+			for i := 0; i < hi; i++ {
+				ix.bump(bl.conj[i])
+			}
+		}
+		if m, ok := ix.eq[name]; ok {
+			for _, ci := range m[x] {
+				ix.bump(ci)
+			}
+		}
+	} else if m, ok := ix.se[name]; ok {
+		for _, ci := range m[v.Str] {
+			ix.bump(ci)
+		}
+	}
+}
+
+// bump credits one satisfied predicate to a conjunction, emitting its id
+// when the count completes.
+func (ix *Index) bump(ci int) {
+	if ix.seen[ci] != ix.epoch {
+		ix.seen[ci] = ix.epoch
+		ix.counts[ci] = 0
+	}
+	ix.counts[ci]++
+	if ix.counts[ci] == ix.conjs[ci].needed {
+		ix.emit(ix.conjs[ci].id)
+	}
+}
+
+// emit appends an id to the output unless it was already emitted this
+// epoch.
+func (ix *Index) emit(id int32) {
+	if ix.dense {
+		if ix.emittedAt[id] == ix.epoch {
+			return
+		}
+		ix.emittedAt[id] = ix.epoch
+	} else {
+		if ix.emittedMap[id] == ix.epoch {
+			return
+		}
+		ix.emittedMap[id] = ix.epoch
+	}
+	ix.out = append(ix.out, id)
 }

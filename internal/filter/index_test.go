@@ -240,3 +240,89 @@ func sameIDs(got []int32, want []int32) bool {
 	}
 	return true
 }
+
+// TestIndexMatchReusesOutput pins the zero-allocation contract: Match
+// returns an index-owned buffer, stable and correct across repeated
+// calls (including interleaved inputs), and steady-state Match performs
+// no allocations.
+func TestIndexMatchReusesOutput(t *testing.T) {
+	ix := NewIndex()
+	ix.Add(1, MustParse("a < 5"))
+	ix.Add(2, MustParse("a < 8 && b > 1"))
+	ix.Add(3, nil) // wildcard
+	ix.Add(4, MustParse("s != 'x'")) // fallback
+
+	hit := iattrs("a", 3.0, "b", 2.0, "s", "y")
+	miss := iattrs("a", 9.0, "s", "x")
+	first := append([]int32(nil), ix.Match(hit)...)
+	if !sameIDs(first, []int32{1, 2, 3, 4}) {
+		t.Fatalf("first match = %v", first)
+	}
+	if got := ix.Match(miss); !sameIDs(got, []int32{3}) {
+		t.Fatalf("miss match = %v", got)
+	}
+	again := ix.Match(hit)
+	if !sameIDs(again, first) {
+		t.Fatalf("repeat match = %v, want %v (deterministic & complete)", again, first)
+	}
+	for i := range again {
+		if again[i] != first[i] {
+			t.Fatalf("repeat order differs: %v vs %v", again, first)
+		}
+	}
+	// iterMap.Each allocates (it sorts a fresh name list), so measure
+	// Match's own allocations with a slice-backed attribute set.
+	flat := sliceAttrs{{"a", Num(3)}, {"b", Num(2)}, {"s", Str("y")}}
+	var it Iterable = &flat
+	allocs := testing.AllocsPerRun(100, func() { ix.Match(it) })
+	if allocs != 0 {
+		t.Errorf("steady-state Match allocates %v objects per run, want 0", allocs)
+	}
+}
+
+// sliceAttrs is an allocation-free Iterable for the reuse test.
+type sliceAttrs []struct {
+	name string
+	v    Value
+}
+
+func (s *sliceAttrs) Attr(name string) (Value, bool) {
+	for _, a := range *s {
+		if a.name == name {
+			return a.v, true
+		}
+	}
+	return Value{}, false
+}
+
+func (s *sliceAttrs) Each(fn func(string, Value)) {
+	for _, a := range *s {
+		fn(a.name, a.v)
+	}
+}
+
+// TestIndexSparseIDs drives the map fallback for ids outside the dense
+// stamp range (negative and huge), which must behave identically.
+func TestIndexSparseIDs(t *testing.T) {
+	ix := NewIndex()
+	ix.Add(-7, MustParse("a < 5"))
+	ix.Add(1<<30, MustParse("a < 9"))
+	ix.Add(-7, MustParse("b < 1")) // duplicate id, second conjunction
+	if ix.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", ix.Len())
+	}
+	got := ix.Match(iattrs("a", 4.0, "b", 0.0))
+	if !sameIDs(got, []int32{-7, 1 << 30}) {
+		t.Fatalf("sparse match = %v", got)
+	}
+	// -7 satisfied by both its conjunctions: emitted once.
+	n := 0
+	for _, id := range got {
+		if id == -7 {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Fatalf("id -7 emitted %d times, want once", n)
+	}
+}

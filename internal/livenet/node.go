@@ -72,6 +72,14 @@ type Node struct {
 	removedSubs map[msg.SubID]bool
 	// statistics
 	stats Stats
+	// reusable receive-path scratch (guarded by mu, like the state
+	// above): match buffer, next-hop grouper and epoch-stamped
+	// subscription dedup, mirroring broker.Broker's zero-allocation
+	// processing path.
+	matchBuf []*routing.Entry
+	grouper  routing.Grouper
+	subEpoch map[msg.SubID]uint64
+	epoch    uint64
 
 	listener net.Listener
 	peers    map[msg.NodeID]*peerConn
@@ -132,6 +140,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		wake:        make(map[msg.NodeID]chan struct{}),
 		estimates:   make(map[msg.NodeID]*stats.WelfordEstimator),
 		locals:      make(map[msg.SubID]*subConn),
+		subEpoch:    make(map[msg.SubID]uint64),
 		seenSubs:    make(map[msg.SubID]bool),
 		removedSubs: make(map[msg.SubID]bool),
 		peers:       make(map[msg.NodeID]*peerConn),
@@ -427,16 +436,17 @@ func (n *Node) receive(m *msg.Message) {
 
 	n.mu.Lock()
 	n.stats.Receptions++
-	matched := n.table.Match(m)
+	n.matchBuf = n.table.MatchAppend(m, n.matchBuf[:0])
+	matched := n.matchBuf
 	var wakes []chan struct{}
 	var deliveries []struct {
 		peer  *peerConn
 		valid bool
 	}
 	if len(matched) > 0 {
-		hops, groups := routing.GroupByNext(matched)
-		for _, hop := range hops {
-			entries := groups[hop]
+		hops, groups := n.grouper.Group(matched)
+		for k, hop := range hops {
+			entries := groups[k]
 			if hop == msg.None {
 				for _, e := range entries {
 					allowed, _ := n.cfg.Scenario.AllowedDelay(m, e.Sub)
@@ -458,12 +468,14 @@ func (n *Node) receive(m *msg.Message) {
 			entry := n.buildEntry(m, entries)
 			if !core.Viable(entry, now, n.cfg.Params) {
 				n.stats.DropsArrival++
+				entry.Release()
 				continue
 			}
 			q := n.queues[hop]
 			if q == nil {
 				// Neighbor not connected (e.g. crashed); drop.
 				n.stats.DropsArrival++
+				entry.Release()
 				continue
 			}
 			q.Enqueue(entry, now)
@@ -486,20 +498,20 @@ func (n *Node) receive(m *msg.Message) {
 	}
 }
 
-// buildEntry mirrors broker.buildEntry for the live path (n.mu held).
+// buildEntry mirrors broker.buildEntry for the live path (n.mu held):
+// pooled entry, epoch-stamped subscription dedup.
 func (n *Node) buildEntry(m *msg.Message, entries []*routing.Entry) *core.Entry {
-	e := &core.Entry{
-		MsgID:     uint64(m.ID),
-		SizeKB:    m.SizeKB,
-		Published: m.Published,
-		Data:      m,
-	}
-	seen := make(map[msg.SubID]bool, len(entries))
+	e := core.GetEntry()
+	e.MsgID = uint64(m.ID)
+	e.SizeKB = m.SizeKB
+	e.Published = m.Published
+	e.Data = m
+	n.epoch++
 	for _, re := range entries {
-		if seen[re.Sub.ID] {
+		if n.subEpoch[re.Sub.ID] == n.epoch {
 			continue
 		}
-		seen[re.Sub.ID] = true
+		n.subEpoch[re.Sub.ID] = n.epoch
 		allowed, price := n.cfg.Scenario.AllowedDelay(m, re.Sub)
 		if allowed <= 0 {
 			continue
@@ -531,6 +543,7 @@ func (n *Node) senderLoop(to msg.NodeID, rate stats.Normal, pc *peerConn, wake c
 			} else {
 				n.stats.DropsHopeless++
 			}
+			d.Entry.Release()
 		}
 		n.mu.Unlock()
 
@@ -542,29 +555,31 @@ func (n *Node) senderLoop(to msg.NodeID, rate stats.Normal, pc *peerConn, wake c
 				return
 			}
 		}
+		m := e.Data.(*msg.Message)
+		sizeKB := e.SizeKB
+		e.Release()
 
 		// Pace the transfer to the sampled rate, measuring the wall time
 		// the transfer actually took — the live equivalent of the
 		// paper's "tools of network measurement".
-		tx := e.SizeKB * sampler.Sample(stream) * n.cfg.TimeScale
+		tx := sizeKB * sampler.Sample(stream) * n.cfg.TimeScale
 		start := time.Now()
 		select {
 		case <-time.After(vtime.ToDuration(tx)):
 		case <-n.stopped:
 			return
 		}
-		m := e.Data.(*msg.Message)
 		body, err := msg.AppendMessage(nil, m)
 		if err != nil {
 			continue
 		}
 		_ = pc.writeFrame(msg.FrameMessage, body) // peer loss handled by queue decay
 
-		if e.SizeKB > 0 {
+		if sizeKB > 0 {
 			elapsed := vtime.FromDuration(time.Since(start)) / n.cfg.TimeScale
 			n.mu.Lock()
 			if est := n.estimates[to]; est != nil {
-				est.Observe(elapsed / e.SizeKB)
+				est.Observe(elapsed / sizeKB)
 			}
 			n.mu.Unlock()
 		}

@@ -107,8 +107,12 @@ func (s AttrSet) String() string {
 	return b.String()
 }
 
-// Interface conformance checks.
+// Interface conformance checks. Hot paths pass *AttrSet: boxing the
+// pointer into the interface is free, where boxing the value copies the
+// set to the heap on every call.
 var (
 	_ filter.Attrs    = AttrSet{}
 	_ filter.Iterable = AttrSet{}
+	_ filter.Attrs    = (*AttrSet)(nil)
+	_ filter.Iterable = (*AttrSet)(nil)
 )

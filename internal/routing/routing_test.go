@@ -2,6 +2,7 @@ package routing
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 
 	"bdps/internal/filter"
@@ -427,5 +428,84 @@ func TestEntryString(t *testing.T) {
 	local := &Entry{Sub: sub(1, 2, "true"), Source: 0, Next: msg.None}
 	if local.String() == "" || !local.Local() {
 		t.Error("local entry string/flag")
+	}
+}
+
+// TestGrouperMatchesGroupByNext proves the reusable Grouper reproduces
+// GroupByNext exactly — sorted hops, buckets in input order — across
+// randomized entry streams and repeated (buffer-reusing) calls.
+func TestGrouperMatchesGroupByNext(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	var g Grouper
+	for trial := 0; trial < 200; trial++ {
+		entries := make([]*Entry, r.Intn(30))
+		for i := range entries {
+			next := msg.NodeID(r.Intn(5))
+			if r.Intn(5) == 0 {
+				next = msg.None
+			}
+			entries[i] = &Entry{
+				Sub:  &msg.Subscription{ID: msg.SubID(i)},
+				Next: next,
+			}
+		}
+		wantHops, wantGroups := GroupByNext(entries)
+		gotHops, gotBuckets := g.Group(entries)
+		if len(gotHops) != len(wantHops) {
+			t.Fatalf("trial %d: %d hops, want %d", trial, len(gotHops), len(wantHops))
+		}
+		for k, hop := range gotHops {
+			if hop != wantHops[k] {
+				t.Fatalf("trial %d: hop[%d] = %v, want %v", trial, k, hop, wantHops[k])
+			}
+			want := wantGroups[hop]
+			if len(gotBuckets[k]) != len(want) {
+				t.Fatalf("trial %d: bucket %v has %d entries, want %d",
+					trial, hop, len(gotBuckets[k]), len(want))
+			}
+			for i := range want {
+				if gotBuckets[k][i] != want[i] {
+					t.Fatalf("trial %d: bucket %v order differs at %d", trial, hop, i)
+				}
+			}
+		}
+	}
+}
+
+// TestMatchAppendReusesBuffer pins the scratch-buffer contract brokers
+// rely on: appending into a recycled buffer yields the same entries as
+// a fresh Match, with no steady-state allocations on the indexed path.
+func TestMatchAppendReusesBuffer(t *testing.T) {
+	sub := func(id msg.SubID, src string) *msg.Subscription {
+		return &msg.Subscription{ID: id, Edge: 9, Filter: filter.MustParse(src)}
+	}
+	tb := NewTable(1)
+	tb.Add(&Entry{Sub: sub(1, "A1 < 5"), Source: 0, Next: 2})
+	tb.Add(&Entry{Sub: sub(2, "A1 < 8"), Source: 0, Next: 3})
+	tb.Add(&Entry{Sub: sub(3, "A1 > 7"), Source: 0, Next: 2})
+	m := &msg.Message{Ingress: 0, Attrs: msg.NumAttrs(map[string]float64{"A1": 4})}
+
+	for _, indexed := range []bool{false, true} {
+		if indexed {
+			tb.EnableIndex()
+		}
+		want := tb.Match(m)
+		var buf []*Entry
+		buf = tb.MatchAppend(m, buf[:0])
+		buf = tb.MatchAppend(m, buf[:0]) // reuse
+		if len(buf) != len(want) {
+			t.Fatalf("indexed=%v: MatchAppend = %d entries, want %d", indexed, len(buf), len(want))
+		}
+		for i := range want {
+			if buf[i] != want[i] {
+				t.Fatalf("indexed=%v: entry %d differs", indexed, i)
+			}
+		}
+		if indexed {
+			allocs := testing.AllocsPerRun(100, func() { buf = tb.MatchAppend(m, buf[:0]) })
+			if allocs != 0 {
+				t.Errorf("indexed MatchAppend allocates %v objects per run, want 0", allocs)
+			}
+		}
 	}
 }

@@ -17,6 +17,7 @@ package routing
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"bdps/internal/filter"
@@ -25,8 +26,13 @@ import (
 )
 
 // Interface conformance: messages' attribute sets satisfy the index's
-// iteration requirement.
-var _ filter.Iterable = msg.AttrSet{}
+// iteration requirement. The pointer form is what the hot path uses —
+// converting *AttrSet to an interface stores the pointer and does not
+// allocate, where converting the value copies it to the heap per call.
+var (
+	_ filter.Iterable = msg.AttrSet{}
+	_ filter.Iterable = (*msg.AttrSet)(nil)
+)
 
 // Entry is one subscription's routing state at one broker for one ingress.
 type Entry struct {
@@ -125,28 +131,30 @@ func (t *Table) EnableIndex() {
 
 // Match returns the entries whose source matches the message's ingress
 // and whose filter matches its attributes, in deterministic order.
-func (t *Table) Match(m *msg.Message) []*Entry {
+func (t *Table) Match(m *msg.Message) []*Entry { return t.MatchAppend(m, nil) }
+
+// MatchAppend is Match appending into buf, so a caller that owns a
+// scratch buffer matches without allocating. The attribute set is passed
+// by pointer throughout to avoid boxing it into an interface per filter
+// evaluation — the dominant allocation of the pre-optimization broker.
+func (t *Table) MatchAppend(m *msg.Message, buf []*Entry) []*Entry {
 	entries := t.bySource[m.Ingress]
 	if ix := t.index[m.Ingress]; ix != nil {
-		ids := ix.Match(m.Attrs)
-		if len(ids) == 0 {
-			return nil
+		ids := ix.Match(&m.Attrs)
+		// The index emits positions in completion order and owns the
+		// slice; sorting it in place restores first-add order.
+		slices.Sort(ids)
+		for _, id := range ids {
+			buf = append(buf, entries[id])
 		}
-		// The index emits positions; restore first-add order.
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-		out := make([]*Entry, len(ids))
-		for i, id := range ids {
-			out[i] = entries[id]
-		}
-		return out
+		return buf
 	}
-	var out []*Entry
 	for _, e := range entries {
-		if e.Sub.Filter.Match(m.Attrs) {
-			out = append(out, e)
+		if e.Sub.Filter.Match(&m.Attrs) {
+			buf = append(buf, e)
 		}
 	}
-	return out
+	return buf
 }
 
 // Entries returns all entries for an ingress, for tests and inspection.

@@ -32,6 +32,14 @@ func (e *Engine) Steps() uint64 { return e.steps }
 // Pending returns the number of scheduled, not-yet-run events.
 func (e *Engine) Pending() int { return len(e.queue) }
 
+// Runner is a pre-built event payload. Models on an allocation-sensitive
+// path schedule a Runner they pool or reuse instead of a fresh closure
+// per event; the engine only stores the interface (a pointer, boxed for
+// free) and calls Run when the event fires.
+type Runner interface {
+	Run()
+}
+
 // At schedules fn at absolute time t. Scheduling in the past panics: it is
 // always a logic error in the embedding model, and silently reordering
 // time would corrupt every metric downstream.
@@ -43,12 +51,29 @@ func (e *Engine) At(t vtime.Millis, fn func()) {
 	e.seq++
 }
 
+// AtRun schedules r.Run at absolute time t, with At's semantics.
+func (e *Engine) AtRun(t vtime.Millis, r Runner) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, e.now))
+	}
+	heap.Push(&e.queue, event{time: t, seq: e.seq, r: r})
+	e.seq++
+}
+
 // After schedules fn d milliseconds from now.
 func (e *Engine) After(d vtime.Millis, fn func()) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
 	e.At(e.now+d, fn)
+}
+
+// AfterRun schedules r.Run d milliseconds from now.
+func (e *Engine) AfterRun(d vtime.Millis, r Runner) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	e.AtRun(e.now+d, r)
 }
 
 // Run executes events until none remain, returning the final time.
@@ -75,13 +100,18 @@ func (e *Engine) step() {
 	ev := heap.Pop(&e.queue).(event)
 	e.now = ev.time
 	e.steps++
-	ev.fn()
+	if ev.r != nil {
+		ev.r.Run()
+	} else {
+		ev.fn()
+	}
 }
 
 type event struct {
 	time vtime.Millis
 	seq  uint64
-	fn   func()
+	fn   func() // exactly one of fn and r is set
+	r    Runner
 }
 
 type eventHeap []event

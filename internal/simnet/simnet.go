@@ -7,6 +7,7 @@ package simnet
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"bdps/internal/broker"
 	"bdps/internal/core"
@@ -181,13 +182,18 @@ func newSampler(model LinkModel, d stats.Normal, minRate float64) rateSampler {
 	}
 }
 
-// link is one directed overlay link at runtime.
+// link is one directed overlay link at runtime. At most one transfer is
+// in flight per link, so the completion event is a single closure built
+// at assembly time and reused for every transfer (inflight carries the
+// message across to it).
 type link struct {
 	from, to msg.NodeID
 	busy     bool
 	down     bool
 	sampler  rateSampler
 	stream   *stats.Stream
+	inflight *msg.Message
+	onDone   func()
 }
 
 // Network is an assembled simulation, stepped by its engine. Most callers
@@ -262,6 +268,7 @@ func New(cfg Config) (*Network, error) {
 			sampler: newSampler(cfg.LinkModel, truth, cfg.MinRate),
 			stream:  stats.DeriveN(cfg.Seed, "simnet/link", i),
 		}
+		l.onDone = func() { n.linkDone(l) }
 		if n.links[from] == nil {
 			n.links[from] = make(map[msg.NodeID]*link)
 		}
@@ -324,7 +331,10 @@ func New(cfg Config) (*Network, error) {
 		n.Brokers[nid] = b
 	}
 
-	// Schedule every publication.
+	// Schedule every publication. Events live in one slab instead of one
+	// closure each; the slab is sized after generation so the element
+	// pointers handed to the engine stay stable.
+	var pubs []*msg.Message
 	for i, ingress := range ov.Ingress {
 		pub := cfg.Workload.NewPublisher(i, ingress)
 		for {
@@ -332,8 +342,13 @@ func New(cfg Config) (*Network, error) {
 			if !ok {
 				break
 			}
-			n.Engine.At(m.Published, func() { n.inject(m) })
+			pubs = append(pubs, m)
 		}
+	}
+	injects := make([]injectEvent, len(pubs))
+	for i, m := range pubs {
+		injects[i] = injectEvent{n: n, m: m}
+		n.Engine.AtRun(m.Published, &injects[i])
 	}
 
 	// Schedule injected faults.
@@ -367,12 +382,40 @@ func New(cfg Config) (*Network, error) {
 // Subscriptions exposes the generated population (for tests and reports).
 func (n *Network) Subscriptions() []*msg.Subscription { return n.subs }
 
+// injectEvent is a pre-scheduled publication (one slab element per
+// message; see New).
+type injectEvent struct {
+	n *Network
+	m *msg.Message
+}
+
+// Run implements sim.Runner.
+func (ev *injectEvent) Run() { ev.n.inject(ev.m) }
+
+// procEvent is a pooled processing event: arrive schedules one after the
+// processing delay, Run recycles it before dispatching.
+type procEvent struct {
+	n  *Network
+	m  *msg.Message
+	at msg.NodeID
+}
+
+var procPool = sync.Pool{New: func() any { return new(procEvent) }}
+
+// Run implements sim.Runner.
+func (ev *procEvent) Run() {
+	n, m, at := ev.n, ev.m, ev.at
+	*ev = procEvent{}
+	procPool.Put(ev)
+	n.process(m, at)
+}
+
 // inject delivers a freshly published message to its ingress broker.
 func (n *Network) inject(m *msg.Message) {
 	if n.cfg.PerSubscriber {
 		var interested []int32
 		for _, s := range n.subs {
-			if s.Filter.Match(m.Attrs) {
+			if s.Filter.Match(&m.Attrs) {
 				interested = append(interested, int32(s.ID))
 			}
 		}
@@ -397,7 +440,9 @@ func (n *Network) arrive(m *msg.Message, at msg.NodeID) {
 	n.Collector.Reception()
 	n.tracer.Emit(trace.Event{T: n.Engine.Now(), Kind: trace.Arrive,
 		MsgID: uint64(m.ID), Broker: int32(at)})
-	n.Engine.After(n.cfg.Params.PD, func() { n.process(m, at) })
+	ev := procPool.Get().(*procEvent)
+	ev.n, ev.m, ev.at = n, m, at
+	n.Engine.AfterRun(n.cfg.Params.PD, ev)
 }
 
 // process runs the broker logic and kicks any links that gained work.
@@ -446,6 +491,7 @@ func (n *Network) kick(from, to msg.NodeID) {
 		case core.DropHopeless:
 			n.Collector.DroppedHopeless(1)
 		}
+		d.Entry.Release()
 	}
 	if e == nil {
 		return
@@ -455,11 +501,19 @@ func (n *Network) kick(from, to msg.NodeID) {
 	n.tracer.Emit(trace.Event{T: n.Engine.Now(), Kind: trace.Send,
 		MsgID: uint64(m.ID), Broker: int32(from), Peer: int32(to)})
 	tx := e.SizeKB * l.sampler.sample(l.stream)
-	n.Engine.After(tx, func() {
-		l.busy = false
-		n.arrive(m, to)
-		n.kick(from, to)
-	})
+	e.Release()
+	l.inflight = m
+	n.Engine.After(tx, l.onDone)
+}
+
+// linkDone completes one transfer: the message arrives at the far end
+// and the link immediately tries to pick up more queued work.
+func (n *Network) linkDone(l *link) {
+	m := l.inflight
+	l.inflight = nil
+	l.busy = false
+	n.arrive(m, l.to)
+	n.kick(l.from, l.to)
 }
 
 // Run assembles a network, runs it to completion (all publications done

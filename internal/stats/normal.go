@@ -16,6 +16,16 @@ func StdNormalCDF(z float64) float64 {
 	return 0.5 * math.Erfc(-z/math.Sqrt2)
 }
 
+// SureSigmas is a z-score beyond which StdNormalCDF returns exactly 1.0
+// in float64 arithmetic, with margin. math.Erfc takes a dedicated branch
+// for |x| ≥ 6 that evaluates erfc(x) for negative x as 2−tiny, which
+// rounds to exactly 2.0, so Φ(z) = erfc(−z/√2)/2 == 1.0 for every
+// z ≥ 6·√2 ≈ 8.486. The margin over that bound absorbs the rounding of
+// any caller-side algebra. Schedulers use it to treat a target whose
+// standardized slack is at least SureSigmas as certain without paying
+// for an Erfc call; TestSureSigmasSaturates verifies the guarantee.
+const SureSigmas = 9.5
+
 // StdNormalPDF returns φ(z), the density of the standard normal.
 func StdNormalPDF(z float64) float64 {
 	return math.Exp(-0.5*z*z) / math.Sqrt(2*math.Pi)

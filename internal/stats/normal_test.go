@@ -173,3 +173,26 @@ func TestTruncatedNormalBiasSmallAtPaperParams(t *testing.T) {
 		t.Errorf("truncated mean = %v, want within 0.5 of 50", w.Mean())
 	}
 }
+
+// TestSureSigmasSaturates proves the SureSigmas guarantee the scheduling
+// core's cached fast paths rely on: Φ(z) is exactly 1.0 (as a float64)
+// for every z ≥ SureSigmas. math.Erfc handles |x| ≥ 6 in a dedicated
+// branch, so one value past the branch boundary covers the whole tail;
+// the dense sweep below guards against implementation drift.
+func TestSureSigmasSaturates(t *testing.T) {
+	for z := SureSigmas; z <= 64; z += 1.0 / 128 {
+		if got := StdNormalCDF(z); got != 1 {
+			t.Fatalf("StdNormalCDF(%v) = %v, want exactly 1", z, got)
+		}
+	}
+	for _, z := range []float64{SureSigmas, 100, 1e6, 1e300, math.Inf(1)} {
+		if got := StdNormalCDF(z); got != 1 {
+			t.Fatalf("StdNormalCDF(%v) = %v, want exactly 1", z, got)
+		}
+	}
+	// The guarantee must also hold through Normal.CDF's standardization.
+	n := Normal{Mean: 70, Sigma: 20}
+	if got := n.CDF(70 + SureSigmas*20); got != 1 {
+		t.Fatalf("Normal.CDF at SureSigmas = %v, want exactly 1", got)
+	}
+}

@@ -223,7 +223,8 @@ func (p *Publisher) Next() (*msg.Message, bool) {
 func Interested(subs []*msg.Subscription, m *msg.Message) int {
 	n := 0
 	for _, s := range subs {
-		if s.Filter.Match(m.Attrs) {
+		// &m.Attrs: interface-box the pointer, not a per-call heap copy.
+		if s.Filter.Match(&m.Attrs) {
 			n++
 		}
 	}
