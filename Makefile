@@ -17,5 +17,5 @@ verify: build vet test
 # fixed, comparable iteration count, with allocation stats, as the JSON
 # stream go test produces with -json.
 bench:
-	$(GO) test -json -run '^$$' -bench . -benchmem -benchtime 100x . > BENCH_pr1.json
-	@grep -o '"Output":"Benchmark[^"]*ns/op[^"]*"' BENCH_pr1.json | head -40 || true
+	$(GO) test -json -run '^$$' -bench . -benchmem -benchtime 100x . > BENCH_pr2.json
+	@grep -o '"Output":"Benchmark[^"]*ns/op[^"]*"' BENCH_pr2.json | head -50 || true

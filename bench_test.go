@@ -33,7 +33,7 @@ func benchOpts() experiments.Options {
 		Duration: 4 * vtime.Minute,
 		Rates:    []float64{6, 15},
 		Weights:  []float64{0, 0.5, 1},
-		Fig4Rate: 10,
+		Fig4Rate: experiments.Float(10),
 	}
 }
 
@@ -130,6 +130,32 @@ func BenchmarkFigure6b(b *testing.B) {
 	b.ReportMetric(fig.Value(last, "EB"), "EB_msgs_k")
 	b.ReportMetric(fig.Value(last, "FIFO"), "FIFO_msgs_k")
 }
+
+// benchAll regenerates every figure panel (4a–6b) in one harness pass.
+func benchAll(b *testing.B, parallelism int) {
+	var figs []*experiments.Figure
+	for i := 0; i < b.N; i++ {
+		opts := benchOpts()
+		opts.Parallelism = parallelism
+		var err error
+		figs, err = experiments.All(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(figs)), "figures")
+}
+
+// BenchmarkFigureAllSequential is the serial baseline: the same grid
+// and run cache on a single worker. (It is not the pre-PR-2 harness —
+// cross-figure dedup applies at every parallelism — so the pair
+// isolates pool scaling, not caching.)
+func BenchmarkFigureAllSequential(b *testing.B) { benchAll(b, 1) }
+
+// BenchmarkFigureAllParallel runs the same grid on all cores; the output
+// is bit-identical (see experiments.TestParallelMatchesSequential), only
+// the wall-clock changes.
+func BenchmarkFigureAllParallel(b *testing.B) { benchAll(b, 0) }
 
 // ---------------------------------------------------------------------
 // Ablation benches: design choices under the congested PSD point.

@@ -2,10 +2,13 @@
 // discrete-event simulator, and runs individual configurations for
 // exploration.
 //
-// Reproduce a figure (text table to stdout, optional CSV files):
+// Reproduce a figure (text table to stdout, optional CSV files; figure
+// cells run concurrently on all cores by default, -parallel N caps it
+// and -parallel 1 forces the sequential harness — output is identical
+// either way):
 //
 //	bdps-sim -figure 6 -duration 2h -seeds 1,2,3
-//	bdps-sim -figure all -csv results/
+//	bdps-sim -figure all -parallel 8 -csv results/
 //
 // Run a single configuration verbosely:
 //
@@ -61,6 +64,8 @@ func run(args []string) error {
 		rates    = fs.String("rates", "", "comma-separated rate sweep (figures 5/6)")
 		weights  = fs.String("weights", "", "comma-separated r sweep (figure 4)")
 		fig4rate = fs.Float64("fig4-rate", 10, "publishing rate for figure 4")
+		ebpcW    = fs.String("ebpc-weight", "", "add an EBPC series with this r to the figure 5/6 rate sweeps")
+		parallel = fs.Int("parallel", 0, "concurrent simulation runs for figures/ablations/claims (0 = all cores)")
 
 		pd        = fs.Float64("pd", 2, "processing delay per broker, ms")
 		epsilon   = fs.Float64("epsilon", core.DefaultEpsilon, "invalid-message threshold for EB/PC/EBPC (0 disables)")
@@ -142,11 +147,19 @@ func run(args []string) error {
 
 	opts := experiments.Options{
 		Duration:       vtime.FromDuration(*duration),
-		Fig4Rate:       *fig4rate,
+		Fig4Rate:       fig4rate,
 		Params:         params,
 		Multipath:      *multipath,
 		MeasureSamples: *measure,
 		LinkModel:      lm,
+		Parallelism:    *parallel,
+	}
+	if *ebpcW != "" {
+		w, err := strconv.ParseFloat(*ebpcW, 64)
+		if err != nil {
+			return fmt.Errorf("-ebpc-weight: %w", err)
+		}
+		opts.EBPCWeight = experiments.Float(w)
 	}
 	if opts.Seeds, err = parseUints(*seeds); err != nil {
 		return fmt.Errorf("-seeds: %w", err)
@@ -184,13 +197,7 @@ func run(args []string) error {
 	var figs []*experiments.Figure
 	switch {
 	case *ablation == "all":
-		for _, id := range experiments.Ablations() {
-			f, err := experiments.RunAblation(id, opts)
-			if err != nil {
-				return err
-			}
-			figs = append(figs, f)
-		}
+		figs, err = experiments.AllAblations(opts)
 	case *ablation != "":
 		f, err := experiments.RunAblation(*ablation, opts)
 		if err != nil {

@@ -16,31 +16,33 @@ import (
 // them uniformly. They run the congested PSD point (rate 12) with the EB
 // strategy unless stated otherwise.
 
-// ablationCell runs one ablation configuration averaged over seeds.
-func (o *Options) ablationCell(mutate func(*simnet.Config)) (metrics.Result, error) {
-	var rs []metrics.Result
-	for _, seed := range o.Seeds {
-		cfg := simnet.Config{
-			Seed:      seed,
-			Scenario:  msg.PSD,
-			Strategy:  core.MaxEB{},
-			Params:    o.Params,
-			Workload:  workload.Config{RatePerMin: 12, Duration: o.Duration},
-			LinkModel: o.LinkModel,
+// ablationSweep runs one ablation grid — one x-point per element of xs,
+// seeds innermost — on the options' worker pool and returns the
+// seed-averaged result per point, in declaration order. mutate edits
+// the congested PSD/EB base config for one x value.
+func ablationSweep[T any](o *Options, xs []T, mutate func(T, *simnet.Config)) ([]metrics.Result, error) {
+	cfgs := make([]simnet.Config, 0, len(xs)*len(o.Seeds))
+	for _, x := range xs {
+		for _, seed := range o.Seeds {
+			cfg := simnet.Config{
+				Seed:      seed,
+				Scenario:  msg.PSD,
+				Strategy:  core.MaxEB{},
+				Params:    o.Params,
+				Workload:  workload.Config{RatePerMin: 12, Duration: o.Duration},
+				LinkModel: o.LinkModel,
+			}
+			if mutate != nil {
+				mutate(x, &cfg)
+			}
+			cfgs = append(cfgs, cfg)
 		}
-		if mutate != nil {
-			mutate(&cfg)
-		}
-		r, err := simnet.Run(cfg)
-		if err != nil {
-			return metrics.Result{}, err
-		}
-		if o.Progress != nil {
-			o.Progress(r.String())
-		}
-		rs = append(rs, r)
 	}
-	return metrics.Mean(rs), nil
+	rs, err := o.exec.runAll(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	return meanBySeed(rs, len(o.Seeds)), nil
 }
 
 // AblationEpsilon sweeps the invalid-message detection threshold ε
@@ -54,13 +56,15 @@ func AblationEpsilon(opts Options) (*Figure, error) {
 		YLabel: "delivery rate (%) / traffic (k)",
 		Series: []string{"delivery %", "traffic k", "hopeless drops k"},
 	}
-	for _, eps := range []float64{0, 0.00005, 0.0005, 0.005, 0.05, 0.2} {
-		res, err := opts.ablationCell(func(c *simnet.Config) {
-			c.Params = core.Params{PD: opts.Params.PD, Epsilon: eps}
-		})
-		if err != nil {
-			return nil, err
-		}
+	epsilons := []float64{0, 0.00005, 0.0005, 0.005, 0.05, 0.2}
+	pts, err := ablationSweep(&opts, epsilons, func(eps float64, c *simnet.Config) {
+		c.Params = core.Params{PD: opts.Params.PD, Epsilon: eps}
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, eps := range epsilons {
+		res := pts[i]
 		fig.Points = append(fig.Points, Point{X: eps, Values: map[string]float64{
 			"delivery %":       100 * res.DeliveryRate(),
 			"traffic k":        res.MessageNumberK(),
@@ -81,13 +85,16 @@ func AblationMeasure(opts Options) (*Figure, error) {
 		YLabel: "delivery rate (%)",
 		Series: []string{"delivery %"},
 	}
-	for _, n := range []int{0, 5, 20, 100, 500} {
-		res, err := opts.ablationCell(func(c *simnet.Config) { c.MeasureSamples = n })
-		if err != nil {
-			return nil, err
-		}
+	samples := []int{0, 5, 20, 100, 500}
+	pts, err := ablationSweep(&opts, samples, func(n int, c *simnet.Config) {
+		c.MeasureSamples = n
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, n := range samples {
 		fig.Points = append(fig.Points, Point{X: float64(n), Values: map[string]float64{
-			"delivery %": 100 * res.DeliveryRate(),
+			"delivery %": 100 * pts[i].DeliveryRate(),
 		}})
 	}
 	return fig, nil
@@ -104,14 +111,17 @@ func AblationMultipath(opts Options) (*Figure, error) {
 		YLabel: "delivery rate (%) / traffic (k)",
 		Series: []string{"delivery %", "traffic k"},
 	}
-	for _, k := range []int{1, 2, 3} {
-		res, err := opts.ablationCell(func(c *simnet.Config) { c.Multipath = k })
-		if err != nil {
-			return nil, err
-		}
+	paths := []int{1, 2, 3}
+	pts, err := ablationSweep(&opts, paths, func(k int, c *simnet.Config) {
+		c.Multipath = k
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, k := range paths {
 		fig.Points = append(fig.Points, Point{X: float64(k), Values: map[string]float64{
-			"delivery %": 100 * res.DeliveryRate(),
-			"traffic k":  res.MessageNumberK(),
+			"delivery %": 100 * pts[i].DeliveryRate(),
+			"traffic k":  pts[i].MessageNumberK(),
 		}})
 	}
 	return fig, nil
@@ -129,13 +139,16 @@ func AblationLinkModel(opts Options) (*Figure, error) {
 		YLabel: "delivery rate (%)",
 		Series: []string{"delivery %"},
 	}
-	for i, model := range []simnet.LinkModel{simnet.LinkNormal, simnet.LinkFixed, simnet.LinkGamma} {
-		res, err := opts.ablationCell(func(c *simnet.Config) { c.LinkModel = model })
-		if err != nil {
-			return nil, err
-		}
+	models := []simnet.LinkModel{simnet.LinkNormal, simnet.LinkFixed, simnet.LinkGamma}
+	pts, err := ablationSweep(&opts, models, func(m simnet.LinkModel, c *simnet.Config) {
+		c.LinkModel = m
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := range models {
 		fig.Points = append(fig.Points, Point{X: float64(i), Values: map[string]float64{
-			"delivery %": 100 * res.DeliveryRate(),
+			"delivery %": 100 * pts[i].DeliveryRate(),
 		}})
 	}
 	return fig, nil
@@ -164,17 +177,23 @@ func AblationTopology(opts Options) (*Figure, error) {
 			return topology.BuildMesh(topology.MeshConfig{Seed: seed})
 		},
 	}
+	overlays := make([]*topology.Overlay, len(builders))
 	for i, build := range builders {
 		ov, err := build(opts.Seeds[0])
 		if err != nil {
 			return nil, err
 		}
-		res, err := opts.ablationCell(func(c *simnet.Config) { c.Overlay = ov })
-		if err != nil {
-			return nil, err
-		}
+		overlays[i] = ov
+	}
+	pts, err := ablationSweep(&opts, overlays, func(ov *topology.Overlay, c *simnet.Config) {
+		c.Overlay = ov
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := range builders {
 		fig.Points = append(fig.Points, Point{X: float64(i), Values: map[string]float64{
-			"delivery %": 100 * res.DeliveryRate(),
+			"delivery %": 100 * pts[i].DeliveryRate(),
 		}})
 	}
 	return fig, nil
@@ -193,19 +212,18 @@ func AblationFairness(opts Options) (*Figure, error) {
 		Series: []string{"jain", "delivery %"},
 	}
 	strategies := []core.Strategy{core.MaxEB{}, core.MaxPC{}, core.FIFO{}, core.RL{}}
-	for i, s := range strategies {
-		s := s
-		res, err := opts.ablationCell(func(c *simnet.Config) {
-			c.Strategy = s
-			c.Params = opts.paramsFor(s)
-			c.PerSubscriber = true
-		})
-		if err != nil {
-			return nil, err
-		}
+	pts, err := ablationSweep(&opts, strategies, func(s core.Strategy, c *simnet.Config) {
+		c.Strategy = s
+		c.Params = opts.paramsFor(s)
+		c.PerSubscriber = true
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := range strategies {
 		fig.Points = append(fig.Points, Point{X: float64(i), Values: map[string]float64{
-			"jain":       res.Fairness,
-			"delivery %": 100 * res.DeliveryRate(),
+			"jain":       pts[i].Fairness,
+			"delivery %": 100 * pts[i].DeliveryRate(),
 		}})
 	}
 	return fig, nil
@@ -223,13 +241,15 @@ func AblationHotspot(opts Options) (*Figure, error) {
 		YLabel: "delivery rate (%) / avg interested subs",
 		Series: []string{"delivery %", "interest/msg"},
 	}
-	for _, h := range []float64{0, 0.25, 0.5, 0.75} {
-		res, err := opts.ablationCell(func(c *simnet.Config) {
-			c.Workload.HotspotFraction = h
-		})
-		if err != nil {
-			return nil, err
-		}
+	fractions := []float64{0, 0.25, 0.5, 0.75}
+	pts, err := ablationSweep(&opts, fractions, func(h float64, c *simnet.Config) {
+		c.Workload.HotspotFraction = h
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, h := range fractions {
+		res := pts[i]
 		interest := 0.0
 		if res.Published > 0 {
 			interest = float64(res.TotalTargets) / float64(res.Published)
@@ -266,4 +286,21 @@ func RunAblation(id string, opts Options) (*Figure, error) {
 // Ablations lists the ablation ids in order.
 func Ablations() []string {
 	return []string{"epsilon", "measure", "multipath", "linkmodel", "topology", "fairness", "hotspot"}
+}
+
+// AllAblations runs every ablation with one shared worker pool and run
+// cache: several sweeps revisit the unmutated base point (ε at its
+// default, 0 measurement samples, the normal link model, hotspot 0), and
+// sharing the cache runs that cell once instead of once per sweep.
+func AllAblations(opts Options) ([]*Figure, error) {
+	opts.setDefaults()
+	var out []*Figure
+	for _, id := range Ablations() {
+		f, err := RunAblation(id, opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
 }

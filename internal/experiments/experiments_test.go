@@ -16,7 +16,7 @@ func tinyOpts() Options {
 		Duration: 4 * vtime.Minute,
 		Rates:    []float64{6, 12},
 		Weights:  []float64{0, 0.5, 1},
-		Fig4Rate: 8,
+		Fig4Rate: Float(8),
 	}
 }
 
@@ -159,6 +159,57 @@ func TestParamsForBaselines(t *testing.T) {
 	}
 	if p := opts.paramsFor(core.MaxEB{}); p.Epsilon != core.DefaultEpsilon {
 		t.Error("EB should keep the configured ε")
+	}
+}
+
+// TestOptionsExplicitZero pins the unset-vs-zero distinction: nil means
+// "use the paper default", Float(0) is a real zero and must be honored
+// rather than silently rewritten to the default.
+func TestOptionsExplicitZero(t *testing.T) {
+	var o Options
+	o.setDefaults()
+	if o.Fig4Rate == nil || *o.Fig4Rate != 10 {
+		t.Errorf("unset Fig4Rate should default to 10, got %v", o.Fig4Rate)
+	}
+	if o.EBPCWeight != nil {
+		t.Errorf("unset EBPCWeight should stay nil (paper series only), got %v", *o.EBPCWeight)
+	}
+	o = Options{Fig4Rate: Float(0), EBPCWeight: Float(0)}
+	o.setDefaults()
+	if *o.Fig4Rate != 0 {
+		t.Errorf("explicit Fig4Rate 0 rewritten to %v", *o.Fig4Rate)
+	}
+	if *o.EBPCWeight != 0 {
+		t.Errorf("explicit EBPCWeight 0 rewritten to %v", *o.EBPCWeight)
+	}
+}
+
+// TestSweepEBPCWeightZero runs the previously unreachable r=0 sweep
+// point: the EBPC series appears and coincides with pure PC (eq. 10).
+func TestSweepEBPCWeightZero(t *testing.T) {
+	opts := tinyOpts()
+	opts.Rates = []float64{6}
+	opts.EBPCWeight = Float(0)
+	fig, _, err := Figure5(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 5 || fig.Series[4] != "EBPC" {
+		t.Fatalf("series = %v, want EBPC appended", fig.Series)
+	}
+	for i := range fig.Points {
+		if fig.Value(i, "EBPC") != fig.Value(i, "PC") {
+			t.Errorf("point %d: EBPC(r=0) %v != PC %v", i, fig.Value(i, "EBPC"), fig.Value(i, "PC"))
+		}
+	}
+	// And without EBPCWeight the paper's four series are untouched.
+	opts.EBPCWeight = nil
+	fig, _, err = Figure5(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 4 {
+		t.Fatalf("default series = %v, want the paper's four", fig.Series)
 	}
 }
 

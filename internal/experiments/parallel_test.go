@@ -1,0 +1,294 @@
+package experiments
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"bdps/internal/core"
+	"bdps/internal/metrics"
+	"bdps/internal/msg"
+	"bdps/internal/simnet"
+	"bdps/internal/vtime"
+	"bdps/internal/workload"
+)
+
+// TestParallelMatchesSequential is the harness's core guarantee: every
+// figure produced with a worker pool is bit-identical — field for field,
+// float for float — to the sequential run.
+func TestParallelMatchesSequential(t *testing.T) {
+	withParallelism := func(p int) Options {
+		opts := tinyOpts()
+		opts.Seeds = []uint64{1, 2}
+		opts.Parallelism = p
+		return opts
+	}
+	type buildFn func(Options) ([]*Figure, error)
+	builders := map[string]buildFn{
+		"4a": func(o Options) ([]*Figure, error) {
+			f, err := Figure4a(o)
+			return []*Figure{f}, err
+		},
+		"5": func(o Options) ([]*Figure, error) {
+			a, b, err := Figure5(o)
+			return []*Figure{a, b}, err
+		},
+		"6": func(o Options) ([]*Figure, error) {
+			a, b, err := Figure6(o)
+			return []*Figure{a, b}, err
+		},
+	}
+	for name, build := range builders {
+		seq, err := build(withParallelism(1))
+		if err != nil {
+			t.Fatalf("%s sequential: %v", name, err)
+		}
+		par, err := build(withParallelism(8))
+		if err != nil {
+			t.Fatalf("%s parallel: %v", name, err)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Errorf("%s: parallel figures differ from sequential:\nseq: %+v\npar: %+v", name, seq, par)
+		}
+	}
+}
+
+// TestAllSharesCacheAcrossFigures: when the rate sweep revisits Figure
+// 4's fixed rate, the identical cells across figures run once.
+func TestAllSharesCacheAcrossFigures(t *testing.T) {
+	opts := tinyOpts()
+	opts.Rates = []float64{8} // == tinyOpts Fig4Rate: 5a shares the SSD EB/PC cells with 4a
+	var mu sync.Mutex
+	runs := 0
+	opts.Progress = func(string) { mu.Lock(); runs++; mu.Unlock() }
+	figs, err := All(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 6 {
+		t.Fatalf("got %d figures", len(figs))
+	}
+	// Unique cells: 4a (SSD): EB, PC, EBPC(0.5) = 3; 4b (PSD): 3;
+	// 5 (SSD, rate 8): FIFO, RL = 2 new (EB, PC cached from 4a);
+	// 6 (PSD, rate 8): 2 new. One seed → 10 runs, not 14.
+	if runs != 10 {
+		t.Errorf("runs = %d, want 10 (cache must dedupe cells across figures)", runs)
+	}
+}
+
+// TestAllAblationsSharedCache: the unmutated base point recurs across
+// sweeps and must run once.
+func TestAllAblationsSharedCache(t *testing.T) {
+	opts := Options{Seeds: []uint64{1}, Duration: 2 * vtime.Minute}
+	var mu sync.Mutex
+	runs := 0
+	opts.Progress = func(string) { mu.Lock(); runs++; mu.Unlock() }
+	figs, err := AllAblations(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != len(Ablations()) {
+		t.Fatalf("got %d ablation figures", len(figs))
+	}
+	// 28 cells declared (6+5+3+3+3+4+4, one seed); the base config
+	// recurs in the ε (default ε), measure (0 samples), link-model
+	// (normal) and hotspot (0) sweeps → 25 unique runs.
+	if runs != 25 {
+		t.Errorf("runs = %d, want 25 (base cell must dedupe across ablations)", runs)
+	}
+}
+
+// TestExecutorSingleFlight: concurrent requests for one config share a
+// single underlying run.
+func TestExecutorSingleFlight(t *testing.T) {
+	var mu sync.Mutex
+	runs := 0
+	ex := newExecutor(4, func(string) { mu.Lock(); runs++; mu.Unlock() })
+	cfg := simnet.Config{
+		Seed:     1,
+		Scenario: msg.PSD,
+		Strategy: core.MaxEB{},
+		Workload: workload.Config{RatePerMin: 10, Duration: 2 * vtime.Minute},
+	}
+	cfgs := make([]simnet.Config, 8)
+	for i := range cfgs {
+		cfgs[i] = cfg
+	}
+	rs, err := ex.runAll(cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(rs); i++ {
+		if !reflect.DeepEqual(rs[0], rs[i]) {
+			t.Fatalf("result %d differs: %+v vs %+v", i, rs[0], rs[i])
+		}
+	}
+	if runs != 1 {
+		t.Errorf("identical configs ran %d times, want 1", runs)
+	}
+}
+
+// TestConcurrentFigures drives two figure builders at once — the shared
+// state they touch (entry/event pools, derived RNG streams) must be
+// race-free. Run with -race for the real assertion.
+func TestConcurrentFigures(t *testing.T) {
+	opts := tinyOpts()
+	opts.Parallelism = 2
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	figs := make([]*Figure, 2)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		figs[0], errs[0] = Figure4a(opts)
+	}()
+	go func() {
+		defer wg.Done()
+		var f *Figure
+		f, _, errs[1] = Figure6(opts)
+		figs[1] = f
+	}()
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("figure %d: %v", i, err)
+		}
+		if figs[i] == nil || len(figs[i].Points) == 0 {
+			t.Fatalf("figure %d empty", i)
+		}
+	}
+}
+
+// TestNormalizeStrategy pins the endpoint degeneration (eq. 10) the run
+// cache exploits.
+func TestNormalizeStrategy(t *testing.T) {
+	if _, ok := normalizeStrategy(core.MaxEBPC{R: 0}).(core.MaxPC); !ok {
+		t.Error("EBPC r=0 should normalize to PC")
+	}
+	if _, ok := normalizeStrategy(core.MaxEBPC{R: 1}).(core.MaxEB); !ok {
+		t.Error("EBPC r=1 should normalize to EB")
+	}
+	if _, ok := normalizeStrategy(core.MaxEBPC{R: 0.4}).(core.MaxEBPC); !ok {
+		t.Error("interior weights must not normalize")
+	}
+	if _, ok := normalizeStrategy(core.FIFO{}).(core.FIFO); !ok {
+		t.Error("FIFO must pass through")
+	}
+}
+
+// TestConfigKey pins keying semantics: distinct configs get distinct
+// keys, equal configs share one, and uncacheable inputs are refused.
+func TestConfigKey(t *testing.T) {
+	base := func() simnet.Config {
+		return simnet.Config{
+			Seed:     1,
+			Scenario: msg.PSD,
+			Strategy: core.MaxEB{},
+			Workload: workload.Config{RatePerMin: 10, Duration: vtime.Minute},
+		}
+	}
+	a, ok := configKey(ptr(base()))
+	if !ok {
+		t.Fatal("plain config must be cacheable")
+	}
+	b, _ := configKey(ptr(base()))
+	if a != b {
+		t.Error("equal configs must share a key")
+	}
+	distinct := []func(*simnet.Config){
+		func(c *simnet.Config) { c.Seed = 2 },
+		func(c *simnet.Config) { c.Scenario = msg.SSD },
+		func(c *simnet.Config) { c.Strategy = core.RL{} },
+		func(c *simnet.Config) { c.Strategy = core.FIFO{} }, // %T distinguishes FIFO{} from RL{}
+		func(c *simnet.Config) { c.Strategy = core.MaxEBPC{R: 0.3} },
+		func(c *simnet.Config) { c.Params = core.Params{PD: 5, Epsilon: 0.1} },
+		func(c *simnet.Config) { c.Workload.RatePerMin = 12 },
+		func(c *simnet.Config) { c.Workload.HotspotFraction = 0.5 },
+		func(c *simnet.Config) { c.Multipath = 2 },
+		func(c *simnet.Config) { c.MeasureSamples = 50 },
+		func(c *simnet.Config) { c.LinkModel = simnet.LinkGamma },
+		func(c *simnet.Config) { c.MinRate = 2 },
+		func(c *simnet.Config) { c.PerSubscriber = true },
+		func(c *simnet.Config) { c.IndexedMatch = true },
+		func(c *simnet.Config) { c.TopologyCfg.Seed = 7 },
+	}
+	seen := map[string]int{a: -1}
+	for i, mutate := range distinct {
+		cfg := base()
+		mutate(&cfg)
+		k, ok := configKey(&cfg)
+		if !ok {
+			t.Errorf("mutation %d unexpectedly uncacheable", i)
+			continue
+		}
+		if prev, dup := seen[k]; dup {
+			t.Errorf("mutation %d collides with %d", i, prev)
+		}
+		seen[k] = i
+	}
+	uncacheable := []func(*simnet.Config){
+		func(c *simnet.Config) { c.Faults = []simnet.Fault{simnet.BrokerCrash{ID: 1, At: 10}} },
+		func(c *simnet.Config) { c.Subscriptions = []*msg.Subscription{} },
+	}
+	for i, mutate := range uncacheable {
+		cfg := base()
+		mutate(&cfg)
+		if _, ok := configKey(&cfg); ok {
+			t.Errorf("uncacheable mutation %d got a key", i)
+		}
+	}
+}
+
+func ptr(c simnet.Config) *simnet.Config { return &c }
+
+// TestConfigKeyCoversAllFields pins the simnet.Config field list so a
+// new field cannot silently escape the cache key (which would let two
+// different runs share one cached result).
+func TestConfigKeyCoversAllFields(t *testing.T) {
+	want := map[string]bool{
+		"Seed": true, "Scenario": true, "Strategy": true, "Params": true,
+		"Workload": true, "Overlay": true, "TopologyCfg": true,
+		"Multipath": true, "MeasureSamples": true, "LinkModel": true,
+		"MinRate": true, "Faults": true, "Tracer": true,
+		"PerSubscriber": true, "IndexedMatch": true, "Subscriptions": true,
+	}
+	rt := reflect.TypeOf(simnet.Config{})
+	for i := 0; i < rt.NumField(); i++ {
+		name := rt.Field(i).Name
+		if !want[name] {
+			t.Errorf("simnet.Config gained field %q: extend configKey (and this list)", name)
+		}
+		delete(want, name)
+	}
+	for name := range want {
+		t.Errorf("simnet.Config lost field %q: prune configKey (and this list)", name)
+	}
+}
+
+// TestRunAllDeterministicError: the first error by batch index wins,
+// regardless of scheduling.
+func TestRunAllDeterministicError(t *testing.T) {
+	ex := newExecutor(4, nil)
+	good := simnet.Config{
+		Seed:     1,
+		Scenario: msg.PSD,
+		Strategy: core.MaxEB{},
+		Workload: workload.Config{RatePerMin: 10, Duration: vtime.Minute},
+	}
+	bad := good
+	bad.Workload.RatePerMin = -1 // workload validation fails
+	if _, err := ex.runAll([]simnet.Config{good, bad, good}); err == nil {
+		t.Fatal("want error from invalid cell")
+	}
+}
+
+// TestMeanBySeed pins the grouping arithmetic: seeds innermost, one
+// averaged result per point.
+func TestMeanBySeed(t *testing.T) {
+	got := meanBySeed([]metrics.Result{
+		{Published: 10}, {Published: 20}, {Published: 30}, {Published: 40},
+	}, 2)
+	if len(got) != 2 || got[0].Published != 15 || got[1].Published != 35 {
+		t.Errorf("meanBySeed = %+v", got)
+	}
+}

@@ -2,13 +2,13 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 
 	"bdps/internal/core"
 	"bdps/internal/metrics"
 	"bdps/internal/msg"
 	"bdps/internal/simnet"
 	"bdps/internal/vtime"
-	"bdps/internal/workload"
 )
 
 // Options scales an experiment. The zero value reproduces the paper's
@@ -23,11 +23,15 @@ type Options struct {
 	Rates []float64
 	// Weights is the EBPC r sweep for Figure 4; default 0, 0.1, …, 1.
 	Weights []float64
-	// Fig4Rate is the fixed publishing rate of Figure 4; default 10.
-	Fig4Rate float64
-	// EBPCWeight is the r used when EBPC appears in rate sweeps; the
-	// paper found r ∈ (0.23, 1) beneficial; default 0.5.
-	EBPCWeight float64
+	// Fig4Rate is the fixed publishing rate of Figure 4; nil means the
+	// paper's 10. Use Float to set it, explicit zero included.
+	Fig4Rate *float64
+	// EBPCWeight, when set, adds an "EBPC" series running with that r to
+	// the Figure 5/6 rate sweeps; the paper found r ∈ (0.23, 1)
+	// beneficial. nil reproduces the paper's four-series panels. The
+	// endpoints are honored: Float(0) runs as pure PC and Float(1) as
+	// pure EB through the run cache.
+	EBPCWeight *float64
 	// Params are the scheduling parameters for the proposed strategies
 	// (EB, PC, EBPC); FIFO and RL always run with ε = 0, as traditional
 	// strategies have no invalid-message detection.
@@ -37,9 +41,27 @@ type Options struct {
 	Multipath      int
 	MeasureSamples int
 	LinkModel      simnet.LinkModel
-	// Progress, when non-nil, receives one line per completed run.
+	// Parallelism caps concurrent simulation runs; 0 or negative means
+	// runtime.GOMAXPROCS(0). 1 reproduces the sequential harness. Figure
+	// output is bit-identical at every setting: cells are deterministic
+	// and results are assembled by cell, never by completion order.
+	Parallelism int
+	// Progress, when non-nil, receives one line per completed run. It
+	// may be called from worker goroutines, but never concurrently:
+	// calls are serialized by the harness. Line order under parallelism
+	// follows completion order; cache hits emit nothing.
 	Progress func(string)
+
+	// exec is the shared worker pool + run cache. setDefaults installs
+	// one, so every figure built from one defaulted Options value (All,
+	// CheckClaims) dedupes cells against the same cache.
+	exec *executor
 }
+
+// Float returns a pointer to v, for the Options fields that distinguish
+// "unset" (nil) from an explicit value — Float(0) is a real zero, not a
+// request for the default.
+func Float(v float64) *float64 { return &v }
 
 func (o *Options) setDefaults() {
 	if len(o.Seeds) == 0 {
@@ -54,14 +76,17 @@ func (o *Options) setDefaults() {
 	if len(o.Weights) == 0 {
 		o.Weights = []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1}
 	}
-	if o.Fig4Rate == 0 {
-		o.Fig4Rate = 10
-	}
-	if o.EBPCWeight == 0 {
-		o.EBPCWeight = 0.5
+	if o.Fig4Rate == nil {
+		o.Fig4Rate = Float(10)
 	}
 	if o.Params == (core.Params{}) {
 		o.Params = core.DefaultParams()
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if o.exec == nil {
+		o.exec = newExecutor(o.Parallelism, o.Progress)
 	}
 }
 
@@ -74,35 +99,6 @@ func (o *Options) paramsFor(s core.Strategy) core.Params {
 	default:
 		return o.Params
 	}
-}
-
-// runOne executes one (scenario, strategy, rate) cell averaged over seeds.
-func (o *Options) runOne(scenario msg.Scenario, strat core.Strategy, rate float64) (metrics.Result, error) {
-	var rs []metrics.Result
-	for _, seed := range o.Seeds {
-		cfg := simnet.Config{
-			Seed:     seed,
-			Scenario: scenario,
-			Strategy: strat,
-			Params:   o.paramsFor(strat),
-			Workload: workload.Config{
-				RatePerMin: rate,
-				Duration:   o.Duration,
-			},
-			Multipath:      o.Multipath,
-			MeasureSamples: o.MeasureSamples,
-			LinkModel:      o.LinkModel,
-		}
-		r, err := simnet.Run(cfg)
-		if err != nil {
-			return metrics.Result{}, err
-		}
-		if o.Progress != nil {
-			o.Progress(r.String())
-		}
-		rs = append(rs, r)
-	}
-	return metrics.Mean(rs), nil
 }
 
 // Figure4a reproduces Figure 4(a): SSD total earning versus the EBPC
@@ -120,42 +116,39 @@ func Figure4b(opts Options) (*Figure, error) {
 		func(r metrics.Result) float64 { return 100 * r.DeliveryRate() })
 }
 
+// figure4Cells declares Figure 4's grid: the flat EB/PC references,
+// then one EBPC cell per weight. The endpoint weights normalize onto
+// the pure strategies in the run cache (eq. 10), so w = 0 and w = 1
+// reuse the reference runs.
+func figure4Cells(opts Options, scenario msg.Scenario) []Cell {
+	var cells []Cell
+	cells = opts.grid(cells, scenario, core.MaxEB{}, *opts.Fig4Rate)
+	cells = opts.grid(cells, scenario, core.MaxPC{}, *opts.Fig4Rate)
+	for _, w := range opts.Weights {
+		cells = opts.grid(cells, scenario, core.MaxEBPC{R: w}, *opts.Fig4Rate)
+	}
+	return cells
+}
+
 func figure4(opts Options, scenario msg.Scenario, id, ylabel string, y func(metrics.Result) float64) (*Figure, error) {
 	fig := &Figure{
 		ID:     id,
-		Title:  fmt.Sprintf("%s: EB vs PC vs EBPC, publishing rate %.0f", scenario, opts.Fig4Rate),
+		Title:  fmt.Sprintf("%s: EB vs PC vs EBPC, publishing rate %.0f", scenario, *opts.Fig4Rate),
 		XLabel: "weight of EB (%)",
 		YLabel: ylabel,
 		Series: []string{"EBPC", "EB", "PC"},
 	}
-	ebRes, err := opts.runOne(scenario, core.MaxEB{}, opts.Fig4Rate)
+	rs, err := opts.runCells(figure4Cells(opts, scenario))
 	if err != nil {
 		return nil, err
 	}
-	pcRes, err := opts.runOne(scenario, core.MaxPC{}, opts.Fig4Rate)
-	if err != nil {
-		return nil, err
-	}
-	for _, w := range opts.Weights {
-		var ebpcRes metrics.Result
-		// The endpoints coincide with the pure strategies by
-		// construction; reuse their runs to keep the figure consistent
-		// and save a third of the sweep.
-		switch w {
-		case 0:
-			ebpcRes = pcRes
-		case 1:
-			ebpcRes = ebRes
-		default:
-			ebpcRes, err = opts.runOne(scenario, core.MaxEBPC{R: w}, opts.Fig4Rate)
-			if err != nil {
-				return nil, err
-			}
-		}
+	pts := meanBySeed(rs, len(opts.Seeds))
+	ebRes, pcRes := pts[0], pts[1]
+	for i, w := range opts.Weights {
 		fig.Points = append(fig.Points, Point{
 			X: 100 * w,
 			Values: map[string]float64{
-				"EBPC": y(ebpcRes),
+				"EBPC": y(pts[2+i]),
 				"EB":   y(ebRes),
 				"PC":   y(pcRes),
 			},
@@ -180,9 +173,33 @@ func Figure6(opts Options) (delivery, traffic *Figure, err error) {
 		"delivery rate (%)", func(r metrics.Result) float64 { return 100 * r.DeliveryRate() })
 }
 
-func rateSweep(opts Options, scenario msg.Scenario, idA, idB, ylabelA string, yA func(metrics.Result) float64) (*Figure, *Figure, error) {
+// sweepStrategies returns the rate-sweep strategy set: the paper's four
+// series, plus EBPC when Options.EBPCWeight asks for it.
+func sweepStrategies(opts Options) ([]core.Strategy, []string) {
 	strategies := []core.Strategy{core.MaxEB{}, core.MaxPC{}, core.FIFO{}, core.RL{}}
 	names := []string{"EB", "PC", "FIFO", "RL"}
+	if opts.EBPCWeight != nil {
+		strategies = append(strategies, core.MaxEBPC{R: *opts.EBPCWeight})
+		names = append(names, "EBPC")
+	}
+	return strategies, names
+}
+
+// rateSweepCells declares the Figure 5/6 grid: every strategy at every
+// rate, seeds innermost.
+func rateSweepCells(opts Options, scenario msg.Scenario) []Cell {
+	strategies, _ := sweepStrategies(opts)
+	var cells []Cell
+	for _, rate := range opts.Rates {
+		for _, strat := range strategies {
+			cells = opts.grid(cells, scenario, strat, rate)
+		}
+	}
+	return cells
+}
+
+func rateSweep(opts Options, scenario msg.Scenario, idA, idB, ylabelA string, yA func(metrics.Result) float64) (*Figure, *Figure, error) {
+	strategies, names := sweepStrategies(opts)
 
 	figA := &Figure{
 		ID:     idA,
@@ -198,14 +215,18 @@ func rateSweep(opts Options, scenario msg.Scenario, idA, idB, ylabelA string, yA
 		YLabel: "msg number (k)",
 		Series: names,
 	}
+	rs, err := opts.runCells(rateSweepCells(opts, scenario))
+	if err != nil {
+		return nil, nil, err
+	}
+	pts := meanBySeed(rs, len(opts.Seeds))
+	k := 0
 	for _, rate := range opts.Rates {
 		pa := Point{X: rate, Values: map[string]float64{}}
 		pb := Point{X: rate, Values: map[string]float64{}}
-		for i, strat := range strategies {
-			res, err := opts.runOne(scenario, strat, rate)
-			if err != nil {
-				return nil, nil, err
-			}
+		for i := range strategies {
+			res := pts[k]
+			k++
 			pa.Values[names[i]] = yA(res)
 			pb.Values[names[i]] = res.MessageNumberK()
 		}
@@ -253,8 +274,23 @@ func Run(id string, opts Options) ([]*Figure, error) {
 	return nil, fmt.Errorf("experiments: unknown figure %q (want 4a, 4b, 5, 5a, 5b, 6, 6a, 6b)", id)
 }
 
-// All runs every figure of the paper's evaluation.
+// All runs every figure of the paper's evaluation. The union of every
+// figure's cells runs as one worker-pool batch — no barrier between
+// figures, so the pool never idles on one sweep's straggler cell while
+// another sweep still has work — and cells duplicated across panels and
+// figures execute once. The builders then assemble from the warm cache.
 func All(opts Options) ([]*Figure, error) {
+	opts.setDefaults()
+	var cells []Cell
+	for _, sc := range []msg.Scenario{msg.SSD, msg.PSD} {
+		cells = append(cells, figure4Cells(opts, sc)...)
+	}
+	for _, sc := range []msg.Scenario{msg.SSD, msg.PSD} {
+		cells = append(cells, rateSweepCells(opts, sc)...)
+	}
+	if _, err := opts.runCells(cells); err != nil {
+		return nil, err
+	}
 	var out []*Figure
 	for _, id := range []string{"4a", "4b", "5", "6"} {
 		figs, err := Run(id, opts)

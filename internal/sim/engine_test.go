@@ -105,6 +105,50 @@ func TestEnginePanicsOnNegativeDelay(t *testing.T) {
 	e.After(-1, func() {})
 }
 
+// TestEventHeapOrder stress-tests the specialized 4-ary heap against the
+// (time, seq) total order with interleaved pushes and pops.
+func TestEventHeapOrder(t *testing.T) {
+	var h eventHeap
+	rng := uint64(0x9e3779b97f4a7c15) // deterministic LCG, no math/rand
+	next := func() uint64 {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return rng >> 33
+	}
+	seq := uint64(0)
+	push := func() {
+		h.push(event{time: vtime.Millis(next() % 1000), seq: seq})
+		seq++
+	}
+	for i := 0; i < 500; i++ {
+		push()
+	}
+	var last event
+	popped := 0
+	checkPop := func() {
+		ev := h.pop()
+		if popped > 0 && !last.less(&ev) {
+			t.Fatalf("pop %d out of order: (%v,%d) after (%v,%d)",
+				popped, ev.time, ev.seq, last.time, last.seq)
+		}
+		last = ev
+		popped++
+	}
+	// Drain halfway, interleave more pushes at later times, drain fully.
+	for i := 0; i < 250; i++ {
+		checkPop()
+	}
+	for i := 0; i < 300; i++ {
+		h.push(event{time: 1000 + vtime.Millis(next()%1000), seq: seq})
+		seq++
+	}
+	for len(h) > 0 {
+		checkPop()
+	}
+	if popped != 800 {
+		t.Fatalf("popped %d events, want 800", popped)
+	}
+}
+
 func TestEngineDeterminism(t *testing.T) {
 	trace := func() []vtime.Millis {
 		e := New()
