@@ -36,8 +36,10 @@ import (
 	"bdps/internal/core"
 	"bdps/internal/experiments"
 	"bdps/internal/filter"
+	"bdps/internal/livenet"
 	"bdps/internal/metrics"
 	"bdps/internal/msg"
+	"bdps/internal/runtime"
 	"bdps/internal/simnet"
 	"bdps/internal/topology"
 	"bdps/internal/vtime"
@@ -85,6 +87,9 @@ type (
 	LayeredConfig = topology.LayeredConfig
 	// LinkModel selects the per-transfer rate distribution shape.
 	LinkModel = simnet.LinkModel
+	// Backend is a runtime transport: a deployment substrate the
+	// scheduling system runs on (simulator or live TCP overlay).
+	Backend = runtime.Transport
 )
 
 // Scenarios.
@@ -144,6 +149,18 @@ func BuildLayeredOverlay(cfg LayeredConfig) (*Overlay, error) {
 // RunSim executes one simulation run to completion and returns its
 // metrics.
 func RunSim(cfg SimConfig) (Result, error) { return simnet.Run(cfg) }
+
+// SimBackend returns the deterministic discrete-event backend.
+func SimBackend() Backend { return simnet.Transport{} }
+
+// LiveBackend returns the live TCP backend: the same deployment plan
+// runs as an in-process loopback broker cluster, paced on a wall clock
+// compressed by SimConfig.TimeScale.
+func LiveBackend() Backend { return livenet.Transport{} }
+
+// RunOn executes one configuration on the chosen backend through the
+// unified runtime layer. RunOn(cfg, SimBackend()) is RunSim.
+func RunOn(cfg SimConfig, b Backend) (Result, error) { return runtime.Run(cfg, b) }
 
 // RunFigure reproduces one paper figure ("4a", "4b", "5", "5a", "5b",
 // "6", "6a", "6b").

@@ -14,6 +14,13 @@
 //
 //	bdps-sim -single -scenario ssd -strategy ebpc:0.5 -rate 12 -seed 7
 //
+// Every mode also runs on the live TCP backend through the unified
+// runtime layer: -backend live deploys the same plan as an in-process
+// loopback broker cluster and paces it at -timescale wall seconds per
+// emulated second (keep the window short):
+//
+//	bdps-sim -single -backend live -timescale 0.002 -duration 2m -rate 6
+//
 // Ablations pass through: -multipath 2, -measure 100, -linkmodel gamma,
 // -epsilon 0 (disable invalid-message detection).
 package main
@@ -29,7 +36,9 @@ import (
 
 	"bdps/internal/core"
 	"bdps/internal/experiments"
+	"bdps/internal/livenet"
 	"bdps/internal/msg"
+	"bdps/internal/runtime"
 	"bdps/internal/simnet"
 	"bdps/internal/topology"
 	"bdps/internal/trace"
@@ -53,6 +62,9 @@ func run(args []string) error {
 		single   = fs.Bool("single", false, "run a single configuration instead of a figure")
 		topoDump = fs.Bool("dump-topology", false, "print the layered overlay as JSON and exit")
 		traceOut = fs.String("trace", "", "write a JSONL event trace (single mode)")
+
+		backend   = fs.String("backend", "sim", "runtime backend: sim (discrete-event) or live (loopback TCP overlay)")
+		timescale = fs.Float64("timescale", 0.001, "live backend: wall seconds per emulated second")
 
 		scenario = fs.String("scenario", "psd", "psd, ssd or both (single mode)")
 		strategy = fs.String("strategy", "eb", "fifo, rl, eb, pc, ebpc[:r] (single mode)")
@@ -83,6 +95,14 @@ func run(args []string) error {
 	lm, err := parseLinkModel(*linkmodel)
 	if err != nil {
 		return err
+	}
+	bk, err := parseBackend(*backend)
+	if err != nil {
+		return err
+	}
+	ts := 0.0
+	if !bk.Deterministic() {
+		ts = *timescale
 	}
 	params := core.Params{PD: vtime.Millis(*pd), Epsilon: *epsilon}
 
@@ -120,6 +140,7 @@ func run(args []string) error {
 			Multipath:      *multipath,
 			MeasureSamples: *measure,
 			LinkModel:      lm,
+			TimeScale:      ts,
 		}
 		var traceFile *os.File
 		if *traceOut != "" {
@@ -130,7 +151,7 @@ func run(args []string) error {
 			defer traceFile.Close()
 			cfg.Tracer = &trace.JSONL{W: traceFile}
 		}
-		res, err := simnet.Run(cfg)
+		res, err := runtime.Run(cfg, bk)
 		if err != nil {
 			return err
 		}
@@ -153,6 +174,8 @@ func run(args []string) error {
 		MeasureSamples: *measure,
 		LinkModel:      lm,
 		Parallelism:    *parallel,
+		Backend:        bk,
+		TimeScale:      ts,
 	}
 	if *ebpcW != "" {
 		w, err := strconv.ParseFloat(*ebpcW, 64)
@@ -256,6 +279,16 @@ func parseScenario(s string) (msg.Scenario, error) {
 		return msg.Both, nil
 	}
 	return 0, fmt.Errorf("unknown scenario %q (want psd, ssd or both)", s)
+}
+
+func parseBackend(s string) (runtime.Transport, error) {
+	switch strings.ToLower(s) {
+	case "sim":
+		return simnet.Transport{}, nil
+	case "live":
+		return livenet.Transport{}, nil
+	}
+	return nil, fmt.Errorf("unknown backend %q (want sim or live)", s)
 }
 
 func parseLinkModel(s string) (simnet.LinkModel, error) {

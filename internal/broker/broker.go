@@ -89,6 +89,10 @@ func (b *Broker) Params() core.Params { return b.params }
 // Strategy returns the scheduling strategy.
 func (b *Broker) Strategy() core.Strategy { return b.strategy }
 
+// Table returns the broker's routing table. The live runtime mutates it
+// under its own lock when subscriptions flood in dynamically.
+func (b *Broker) Table() *routing.Table { return b.table }
+
 // Queue returns (creating on first use) the output queue toward a
 // downstream neighbor.
 func (b *Broker) Queue(next msg.NodeID) *core.Queue {

@@ -38,6 +38,7 @@ func (o *Options) config(c Cell) simnet.Config {
 		Multipath:      o.Multipath,
 		MeasureSamples: o.MeasureSamples,
 		LinkModel:      o.LinkModel,
+		TimeScale:      o.TimeScale,
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"bdps/internal/core"
 	"bdps/internal/metrics"
+	"bdps/internal/runtime"
 	"bdps/internal/simnet"
 	"bdps/internal/topology"
 )
@@ -22,7 +23,10 @@ import (
 // concurrency cannot change any figure value: results are assembled by
 // declaration order, never completion order.
 type executor struct {
-	sem chan struct{} // bounds concurrent simnet.Run calls
+	sem chan struct{} // bounds concurrent runtime.Run calls
+	// backend carries every run. Only deterministic backends (the
+	// simulator) are cached; live runs always execute.
+	backend runtime.Transport
 
 	progressMu sync.Mutex
 	progress   func(string)
@@ -44,12 +48,16 @@ type cacheSlot struct {
 	err  error
 }
 
-func newExecutor(parallelism int, progress func(string)) *executor {
+func newExecutor(parallelism int, progress func(string), backend runtime.Transport) *executor {
 	if parallelism < 1 {
 		parallelism = 1
 	}
+	if backend == nil {
+		backend = simnet.Transport{}
+	}
 	return &executor{
 		sem:      make(chan struct{}, parallelism),
+		backend:  backend,
 		progress: progress,
 		cache:    make(map[string]*cacheSlot),
 	}
@@ -83,6 +91,9 @@ func (ex *executor) run(cfg simnet.Config) (metrics.Result, error) {
 func (ex *executor) runOrDefer(cfg simnet.Config) (metrics.Result, error, *cacheSlot) {
 	cfg.Strategy = normalizeStrategy(cfg.Strategy)
 	key, cacheable := configKey(&cfg)
+	if !ex.backend.Deterministic() {
+		cacheable = false
+	}
 	if !cacheable {
 		res, err := ex.exec(cfg)
 		return res, err, nil
@@ -108,11 +119,11 @@ func (ex *executor) runOrDefer(cfg simnet.Config) (metrics.Result, error, *cache
 	return s.res, s.err, nil
 }
 
-// exec performs the actual simulation under the worker-slot semaphore.
+// exec performs the actual run under the worker-slot semaphore.
 func (ex *executor) exec(cfg simnet.Config) (metrics.Result, error) {
 	ex.sem <- struct{}{}
 	defer func() { <-ex.sem }()
-	r, err := simnet.Run(cfg)
+	r, err := runtime.Run(cfg, ex.backend)
 	if err == nil {
 		ex.emit(r.String())
 	}
@@ -226,11 +237,13 @@ func configKey(cfg *simnet.Config) (string, bool) {
 	// The strategy needs its dynamic type spelled out (%+v alone prints
 	// both FIFO{} and RL{} as "{}"). An adopted overlay is keyed by
 	// identity: experiments reuse one *Overlay across the cells that
-	// share it.
-	return fmt.Sprintf("%d|%d|%T%+v|%+v|%+v|%p|%+v|%d|%d|%d|%g|%t|%t",
+	// share it. TimeScale is keyed even though the simulator ignores it:
+	// cached results are sim-only and the key must stay injective over
+	// the whole config.
+	return fmt.Sprintf("%d|%d|%T%+v|%+v|%+v|%p|%+v|%d|%d|%d|%g|%t|%t|%g",
 		cfg.Seed, cfg.Scenario, cfg.Strategy, cfg.Strategy,
 		cfg.Params, cfg.Workload, cfg.Overlay, cfg.TopologyCfg,
 		cfg.Multipath, cfg.MeasureSamples, cfg.LinkModel, cfg.MinRate,
-		cfg.PerSubscriber, cfg.IndexedMatch,
+		cfg.PerSubscriber, cfg.IndexedMatch, cfg.TimeScale,
 	), true
 }

@@ -103,7 +103,7 @@ func TestAllAblationsSharedCache(t *testing.T) {
 func TestExecutorSingleFlight(t *testing.T) {
 	var mu sync.Mutex
 	runs := 0
-	ex := newExecutor(4, func(string) { mu.Lock(); runs++; mu.Unlock() })
+	ex := newExecutor(4, func(string) { mu.Lock(); runs++; mu.Unlock() }, nil)
 	cfg := simnet.Config{
 		Seed:     1,
 		Scenario: msg.PSD,
@@ -211,6 +211,7 @@ func TestConfigKey(t *testing.T) {
 		func(c *simnet.Config) { c.PerSubscriber = true },
 		func(c *simnet.Config) { c.IndexedMatch = true },
 		func(c *simnet.Config) { c.TopologyCfg.Seed = 7 },
+		func(c *simnet.Config) { c.TimeScale = 0.5 },
 	}
 	seen := map[string]int{a: -1}
 	for i, mutate := range distinct {
@@ -251,6 +252,7 @@ func TestConfigKeyCoversAllFields(t *testing.T) {
 		"Multipath": true, "MeasureSamples": true, "LinkModel": true,
 		"MinRate": true, "Faults": true, "Tracer": true,
 		"PerSubscriber": true, "IndexedMatch": true, "Subscriptions": true,
+		"TimeScale": true,
 	}
 	rt := reflect.TypeOf(simnet.Config{})
 	for i := 0; i < rt.NumField(); i++ {
@@ -268,7 +270,7 @@ func TestConfigKeyCoversAllFields(t *testing.T) {
 // TestRunAllDeterministicError: the first error by batch index wins,
 // regardless of scheduling.
 func TestRunAllDeterministicError(t *testing.T) {
-	ex := newExecutor(4, nil)
+	ex := newExecutor(4, nil, nil)
 	good := simnet.Config{
 		Seed:     1,
 		Scenario: msg.PSD,

@@ -7,6 +7,7 @@ import (
 	"bdps/internal/core"
 	"bdps/internal/metrics"
 	"bdps/internal/msg"
+	bdpsruntime "bdps/internal/runtime"
 	"bdps/internal/simnet"
 	"bdps/internal/vtime"
 )
@@ -46,6 +47,13 @@ type Options struct {
 	// output is bit-identical at every setting: cells are deterministic
 	// and results are assembled by cell, never by completion order.
 	Parallelism int
+	// Backend selects the runtime transport cells run on; nil means the
+	// discrete-event simulator. Non-deterministic backends (the live TCP
+	// overlay) disable the run cache, so every cell actually executes.
+	Backend bdpsruntime.Transport
+	// TimeScale compresses emulated delays on wall-clock backends (see
+	// runtime.Config.TimeScale); ignored by the simulator.
+	TimeScale float64
 	// Progress, when non-nil, receives one line per completed run. It
 	// may be called from worker goroutines, but never concurrently:
 	// calls are serialized by the harness. Line order under parallelism
@@ -86,7 +94,7 @@ func (o *Options) setDefaults() {
 		o.Parallelism = runtime.GOMAXPROCS(0)
 	}
 	if o.exec == nil {
-		o.exec = newExecutor(o.Parallelism, o.Progress)
+		o.exec = newExecutor(o.Parallelism, o.Progress, o.Backend)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"bdps/internal/msg"
+	"bdps/internal/runtime"
 	"bdps/internal/vtime"
 )
 
@@ -16,6 +17,11 @@ type Publisher struct {
 	conn net.Conn
 	mu   sync.Mutex
 	seq  uint32
+
+	// Clock stamps publication times. It defaults to the absolute wall
+	// clock (scale 1); clients of an in-process cluster with a
+	// compressed clock must set it to Cluster.Clock() before publishing.
+	Clock runtime.Clock
 }
 
 // DialPublisher connects publisher `id` to its ingress broker. The id
@@ -32,7 +38,7 @@ func DialPublisher(addr string, id msg.NodeID) (*Publisher, error) {
 		conn.Close()
 		return nil, err
 	}
-	return &Publisher{id: id, conn: conn}, nil
+	return &Publisher{id: id, conn: conn, Clock: runtime.AbsoluteWallClock(1)}, nil
 }
 
 // Publish sends one message. SizeKB is the emulated size that paces the
@@ -45,24 +51,37 @@ func (p *Publisher) Publish(ingress msg.NodeID, attrs msg.AttrSet, sizeKB float6
 		ID:        msg.MakeID(p.id, p.seq),
 		Publisher: p.id,
 		Ingress:   ingress,
-		Published: wallNow(),
+		Published: p.Clock.Now(),
 		Allowed:   allowed,
 		SizeKB:    sizeKB,
 		Attrs:     attrs,
 		Payload:   payload,
 	}
 	p.seq++
-	body, err := msg.AppendMessage(nil, m)
-	if err != nil {
-		return 0, err
-	}
-	if err := p.conn.SetWriteDeadline(time.Now().Add(10 * time.Second)); err != nil {
-		return 0, err
-	}
-	if err := msg.WriteFrame(p.conn, msg.FrameMessage, body); err != nil {
+	if err := p.send(m); err != nil {
 		return 0, err
 	}
 	return m.ID, nil
+}
+
+// Send writes a pre-built message as-is — id, timestamps and ingress
+// untouched. The runtime's live driver uses it to inject a plan's
+// publication schedule verbatim.
+func (p *Publisher) Send(m *msg.Message) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.send(m)
+}
+
+func (p *Publisher) send(m *msg.Message) error {
+	body, err := msg.AppendMessage(nil, m)
+	if err != nil {
+		return err
+	}
+	if err := p.conn.SetWriteDeadline(time.Now().Add(10 * time.Second)); err != nil {
+		return err
+	}
+	return msg.WriteFrame(p.conn, msg.FrameMessage, body)
 }
 
 // Close closes the publisher connection.
@@ -75,6 +94,11 @@ type Subscriber struct {
 	ch   chan *msg.Message
 	done chan struct{}
 	once sync.Once
+
+	// Clock judges delivery validity (see Valid). Defaults to the
+	// absolute wall clock; set to Cluster.Clock() when the cluster runs
+	// on a compressed clock.
+	Clock runtime.Clock
 }
 
 // DialSubscriber connects to the edge broker, registers the subscription
@@ -102,10 +126,11 @@ func DialSubscriber(addr string, sub *msg.Subscription) (*Subscriber, error) {
 		return nil, err
 	}
 	s := &Subscriber{
-		sub:  sub,
-		conn: conn,
-		ch:   make(chan *msg.Message, 256),
-		done: make(chan struct{}),
+		sub:   sub,
+		conn:  conn,
+		ch:    make(chan *msg.Message, 256),
+		done:  make(chan struct{}),
+		Clock: runtime.AbsoluteWallClock(1),
 	}
 	go s.readLoop()
 	return s, nil
@@ -152,10 +177,10 @@ func (s *Subscriber) Receive(timeout time.Duration) (*msg.Message, error) {
 }
 
 // Valid reports whether a received message met this subscriber's bound
-// (or, in PSD, the publisher's), judged against the delivery wall clock.
+// (or, in PSD, the publisher's), judged against the subscriber's clock.
 func (s *Subscriber) Valid(m *msg.Message, scenario msg.Scenario) bool {
 	allowed, _ := scenario.AllowedDelay(m, s.sub)
-	return allowed > 0 && wallNow()-m.Published <= allowed
+	return allowed > 0 && s.Clock.Now()-m.Published <= allowed
 }
 
 // Unsubscribe withdraws the subscription from the overlay: the edge

@@ -5,11 +5,18 @@ import (
 
 	"bdps/internal/core"
 	"bdps/internal/msg"
+	"bdps/internal/runtime"
 	"bdps/internal/topology"
 )
 
 // ClusterConfig starts every broker of an overlay in one process, on
 // loopback TCP — the quickest way to run the live system end to end.
+//
+// Two modes: with Plan set, the cluster is a static deployment of a
+// runtime.Plan (pre-assembled brokers, routing tables, multipath, dedup,
+// plan link pacers) and the remaining fields are derived from the plan.
+// Without a plan, brokers start with empty tables and subscriptions
+// flood dynamically.
 type ClusterConfig struct {
 	Overlay  *topology.Overlay
 	Scenario msg.Scenario
@@ -18,27 +25,77 @@ type ClusterConfig struct {
 	// TimeScale compresses emulated link delays (see NodeConfig).
 	TimeScale float64
 	Seed      uint64
+
+	// Plan deploys a pre-assembled runtime plan (static mode).
+	Plan *runtime.Plan
+	// Clock is the shared time base; nil means the absolute wall clock
+	// at scale 1 (the historical livenet behavior).
+	Clock runtime.Clock
+	// Sink, when non-nil, receives every node's delivery-side metric
+	// events; it must be safe for concurrent use (runtime.Locked).
+	Sink runtime.Sink
+	// Multipath > 1 makes dynamic subscription floods install K paths
+	// (static mode takes multipath from the plan instead).
+	Multipath int
 }
 
 // Cluster is a set of live brokers started together.
 type Cluster struct {
 	Nodes map[msg.NodeID]*Node
 	addrs map[msg.NodeID]string
+	clock runtime.Clock
 }
 
 // StartCluster listens all brokers on ephemeral loopback ports, then
 // connects every overlay link. On error, everything already started is
 // stopped.
 func StartCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.Plan != nil {
+		cfg.Overlay = cfg.Plan.Overlay
+		cfg.Scenario = cfg.Plan.Cfg.Scenario
+		cfg.Params = cfg.Plan.Cfg.Params
+		cfg.Strategy = cfg.Plan.Cfg.Strategy
+		cfg.Seed = cfg.Plan.Cfg.Seed
+		cfg.Multipath = cfg.Plan.Cfg.Multipath
+		if cfg.TimeScale <= 0 {
+			cfg.TimeScale = cfg.Plan.Cfg.TimeScale
+		}
+	}
 	if cfg.Overlay == nil {
 		return nil, fmt.Errorf("livenet: nil overlay")
 	}
 	if cfg.TimeScale <= 0 {
 		cfg.TimeScale = 1
 	}
+	if cfg.Clock == nil {
+		if cfg.Plan != nil {
+			// A plan's publication schedule starts near emulated time 0,
+			// so a plan cluster needs an anchored, compressed clock — the
+			// absolute wall clock would judge every delivery as eons
+			// late.
+			cfg.Clock = runtime.NewWallClock(cfg.TimeScale)
+		} else {
+			cfg.Clock = runtime.AbsoluteWallClock(1)
+		}
+	}
+	// Per-node pacers from the plan's deterministic link enumeration, so
+	// live links draw the same rate sequences the simulator would.
+	pacers := make(map[msg.NodeID]map[msg.NodeID]Pacer)
+	if cfg.Plan != nil {
+		for _, l := range cfg.Plan.Links {
+			if pacers[l.From] == nil {
+				pacers[l.From] = make(map[msg.NodeID]Pacer)
+			}
+			pacers[l.From][l.To] = Pacer{
+				Sampler: cfg.Plan.Sampler(l),
+				Stream:  cfg.Plan.LinkStream(l),
+			}
+		}
+	}
 	c := &Cluster{
 		Nodes: make(map[msg.NodeID]*Node),
 		addrs: make(map[msg.NodeID]string),
+		clock: cfg.Clock,
 	}
 	fail := func(err error) (*Cluster, error) {
 		c.Stop()
@@ -46,7 +103,7 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 	}
 	for id := 0; id < cfg.Overlay.Graph.N(); id++ {
 		nid := msg.NodeID(id)
-		n, err := NewNode(NodeConfig{
+		nc := NodeConfig{
 			ID:        nid,
 			Overlay:   cfg.Overlay,
 			Scenario:  cfg.Scenario,
@@ -54,7 +111,16 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 			Strategy:  cfg.Strategy,
 			TimeScale: cfg.TimeScale,
 			Seed:      cfg.Seed,
-		})
+			Multipath: cfg.Multipath,
+			Clock:     cfg.Clock,
+			Sink:      cfg.Sink,
+			Pacers:    pacers[nid],
+		}
+		if cfg.Plan != nil {
+			nc.Broker = cfg.Plan.Brokers[nid]
+			nc.Preinstalled = cfg.Plan.Subs
+		}
+		n, err := NewNode(nc)
 		if err != nil {
 			return fail(err)
 		}
@@ -75,6 +141,10 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 
 // Addr returns the TCP address of a broker.
 func (c *Cluster) Addr(id msg.NodeID) string { return c.addrs[id] }
+
+// Clock returns the cluster's shared time base. Clients that stamp or
+// judge message times (publishers, subscribers) must use it.
+func (c *Cluster) Clock() runtime.Clock { return c.clock }
 
 // Stop shuts every broker down.
 func (c *Cluster) Stop() {
@@ -97,4 +167,54 @@ func (c *Cluster) TotalStats() Stats {
 		total.Duplicates += s.Duplicates
 	}
 	return total
+}
+
+// PeakQueue returns the largest output-queue occupancy any broker
+// reached.
+func (c *Cluster) PeakQueue() int {
+	peak := 0
+	for _, n := range c.Nodes {
+		if p := n.PeakQueue(); p > peak {
+			peak = p
+		}
+	}
+	return peak
+}
+
+// Quiescent reports whether the cluster has gone idle after `injected`
+// publisher messages: every injected frame accepted, every
+// broker-to-broker frame received, no receive or transfer in progress
+// and every output queue empty. A true result can race a frame sitting
+// in a kernel socket buffer only between a sender's write and the
+// peer's read — the sent/received totals close exactly that window.
+func (c *Cluster) Quiescent(injected int) bool {
+	var sent, recv, pubs int64
+	for _, n := range c.Nodes {
+		s := n.load()
+		if s.busy > 0 || s.inflight > 0 || s.queued > 0 {
+			return false
+		}
+		sent += s.sentPeers
+		recv += s.recvPeers
+		pubs += s.recvPubs
+	}
+	return pubs >= int64(injected) && sent == recv
+}
+
+// Settled reports whether every still-running node is locally idle: no
+// transfer pacing, no receive in progress, no queued work. Unlike
+// Quiescent it ignores the cross-node frame totals (a crashed broker
+// never accounts its inbound frames), so it is the idleness half of the
+// faulty-run drain check.
+func (c *Cluster) Settled() bool {
+	for _, n := range c.Nodes {
+		if n.Stopped() {
+			continue
+		}
+		s := n.load()
+		if s.busy > 0 || s.inflight > 0 || s.queued > 0 {
+			return false
+		}
+	}
+	return true
 }

@@ -1,21 +1,33 @@
-// Package livenet runs the bounded-delay pub/sub system for real: each
-// broker is a Node with goroutines for inbound connections and one sender
-// goroutine per overlay link, talking the binary wire protocol of
-// internal/msg over TCP. The same core scheduler that drives the
-// simulator picks which queued message each link sends next.
+// Package livenet is the live TCP backend of the unified runtime layer
+// (internal/runtime): each broker is a Node with goroutines for inbound
+// connections and one sender goroutine per overlay link, talking the
+// binary wire protocol of internal/msg over TCP. The node's message
+// handling — matching, local delivery, per-hop enqueueing, dedup — is
+// the same broker.Broker the simulator drives; this package only
+// realizes time (wall clock, compressed by TimeScale) and movement
+// (paced TCP frames).
 //
 // Link speeds are emulated by pacing: before writing a message frame the
 // sender sleeps SizeKB × rate × TimeScale milliseconds, with the rate
-// drawn from the link's configured N(μ,σ²) — the paper's delay model on a
-// wall clock. TimeScale < 1 compresses the emulation for demos and tests.
+// drawn from the link's configured distribution — the paper's delay
+// model on a wall clock. TimeScale < 1 compresses the emulation for
+// demos, tests and sim↔live cross-validation.
 //
-// Subscriptions are dynamic: a subscriber client sends its subscription
-// to its edge broker, which floods it across the overlay; every broker
-// independently computes the deterministic single path from each ingress
-// (the same "minimize mean path rate" rule as the simulator) and installs
-// its routing entries. Messages published before a subscription has
-// propagated may miss it — exactly the transient any real pub/sub overlay
-// has.
+// All scheduling-relevant time flows through one runtime.Clock, so
+// deadline math never touches time.Now directly. The default clock is
+// the absolute wall clock (Unix epoch, scale 1) that standalone
+// multi-process deployments share without coordination; in-process
+// clusters inject a shared, compressed clock instead.
+//
+// Nodes run in two modes. A runtime.Plan deployment hands every node a
+// pre-assembled broker (static routing tables, multipath, dedup).
+// Without a plan, subscriptions are dynamic: a subscriber client sends
+// its subscription to its edge broker, which floods it across the
+// overlay; every broker independently computes the deterministic
+// path(s) from each ingress — K paths when Multipath is set — and
+// installs its routing entries. Messages published before a
+// subscription has propagated may miss it — exactly the transient any
+// real pub/sub overlay has.
 package livenet
 
 import (
@@ -23,22 +35,25 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"bdps/internal/broker"
 	"bdps/internal/core"
 	"bdps/internal/msg"
 	"bdps/internal/routing"
+	"bdps/internal/runtime"
 	"bdps/internal/stats"
 	"bdps/internal/topology"
 	"bdps/internal/vtime"
 )
 
-// wallNow returns wall-clock time as virtual milliseconds since the Unix
-// epoch. All participants run on the same clock domain (one machine or a
-// synchronized cluster), matching the paper's assumption that brokers can
-// compute a message's already-incurred delay.
-func wallNow() vtime.Millis {
-	return float64(time.Now().UnixMicro()) / 1000
+// Pacer paces one outgoing link: a per-transfer rate sampler and the
+// random stream feeding it. Plan deployments pass the plan's samplers so
+// live links draw the same rate sequences the simulator would.
+type Pacer struct {
+	Sampler runtime.Sampler
+	Stream  *stats.Stream
 }
 
 // NodeConfig assembles a live broker.
@@ -53,16 +68,44 @@ type NodeConfig struct {
 	TimeScale float64
 	// Seed drives the link-rate samplers.
 	Seed uint64
+
+	// Broker, when non-nil, is a pre-assembled broker from a
+	// runtime.Plan (static tables, multipath, dedup); Scenario, Params
+	// and Strategy above are then ignored. Nil means the node builds its
+	// own broker with an empty table filled by dynamic floods.
+	Broker *broker.Broker
+	// Preinstalled lists subscriptions already present in Broker's table,
+	// so a re-subscribe flood cannot double-install them.
+	Preinstalled []*msg.Subscription
+	// Multipath > 1 makes dynamic subscription floods install K paths per
+	// ingress, with message dedup at every broker.
+	Multipath int
+	// Clock is the shared time base; nil means the absolute wall clock
+	// at scale 1 (multi-process default).
+	Clock runtime.Clock
+	// Sink, when non-nil, receives delivery-side metric events (already
+	// serialized by the caller, e.g. a runtime.LockedSink).
+	Sink runtime.Sink
+	// Pacers overrides per-link pacing; missing links default to the
+	// overlay's truncated-normal rates on a stream derived from Seed.
+	Pacers map[msg.NodeID]Pacer
 }
 
 // Node is one live broker.
 type Node struct {
-	cfg NodeConfig
+	cfg   NodeConfig
+	clock runtime.Clock
+	sink  runtime.Sink
 
-	mu        sync.Mutex
-	table     *routing.Table
-	queues    map[msg.NodeID]*core.Queue
-	wake      map[msg.NodeID]chan struct{}
+	mu sync.Mutex
+	// b holds the routing table, output queues and scheduling logic —
+	// the exact broker the simulator drives. Guarded by mu.
+	b     *broker.Broker
+	table *routing.Table
+	wake  map[msg.NodeID]chan struct{}
+	// linkDown marks outgoing links taken out of service by injected
+	// faults; the sender parks until the link comes back up.
+	linkDown  map[msg.NodeID]bool
 	estimates map[msg.NodeID]*stats.WelfordEstimator
 	// local subscriber connections by subscription id
 	locals map[msg.SubID]*subConn
@@ -72,14 +115,16 @@ type Node struct {
 	removedSubs map[msg.SubID]bool
 	// statistics
 	stats Stats
-	// reusable receive-path scratch (guarded by mu, like the state
-	// above): match buffer, next-hop grouper and epoch-stamped
-	// subscription dedup, mirroring broker.Broker's zero-allocation
-	// processing path.
-	matchBuf []*routing.Entry
-	grouper  routing.Grouper
-	subEpoch map[msg.SubID]uint64
-	epoch    uint64
+
+	// Quiescence counters (atomic): frames sent to / received from peer
+	// brokers, publisher frames accepted, receives in progress, senders
+	// mid-transfer. A cluster is idle when every sent frame has been
+	// received, nothing is queued and nothing is in flight.
+	sentPeers   atomic.Int64
+	recvPeers   atomic.Int64
+	recvPubs    atomic.Int64
+	inflight    atomic.Int32
+	busySenders atomic.Int32
 
 	listener net.Listener
 	peers    map[msg.NodeID]*peerConn
@@ -124,29 +169,59 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	if cfg.Overlay == nil {
 		return nil, errors.New("livenet: nil overlay")
 	}
-	if cfg.Strategy == nil {
-		return nil, errors.New("livenet: nil strategy")
-	}
 	if cfg.TimeScale <= 0 {
 		return nil, fmt.Errorf("livenet: TimeScale %v must be > 0", cfg.TimeScale)
 	}
-	if cfg.Params == (core.Params{}) {
-		cfg.Params = core.DefaultParams()
+	b := cfg.Broker
+	if b == nil {
+		if cfg.Strategy == nil {
+			return nil, errors.New("livenet: nil strategy")
+		}
+		if cfg.Params == (core.Params{}) {
+			cfg.Params = core.DefaultParams()
+		}
+		means := make(map[msg.NodeID]float64)
+		for _, e := range cfg.Overlay.Graph.Neighbors(cfg.ID) {
+			means[e.To] = e.Rate.Mean
+		}
+		var err error
+		b, err = broker.New(broker.Config{
+			ID:        cfg.ID,
+			Scenario:  cfg.Scenario,
+			Params:    cfg.Params,
+			Strategy:  cfg.Strategy,
+			Table:     routing.NewTable(cfg.ID),
+			LinkMeans: means,
+			Dedup:     cfg.Multipath > 1,
+		})
+		if err != nil {
+			return nil, err
+		}
 	}
-	return &Node{
+	clock := cfg.Clock
+	if clock == nil {
+		clock = runtime.AbsoluteWallClock(1)
+	}
+	n := &Node{
 		cfg:         cfg,
-		table:       routing.NewTable(cfg.ID),
-		queues:      make(map[msg.NodeID]*core.Queue),
+		clock:       clock,
+		sink:        cfg.Sink,
+		b:           b,
+		table:       b.Table(),
 		wake:        make(map[msg.NodeID]chan struct{}),
+		linkDown:    make(map[msg.NodeID]bool),
 		estimates:   make(map[msg.NodeID]*stats.WelfordEstimator),
 		locals:      make(map[msg.SubID]*subConn),
-		subEpoch:    make(map[msg.SubID]uint64),
 		seenSubs:    make(map[msg.SubID]bool),
 		removedSubs: make(map[msg.SubID]bool),
 		peers:       make(map[msg.NodeID]*peerConn),
 		inbound:     make(map[net.Conn]struct{}),
 		stopped:     make(chan struct{}),
-	}, nil
+	}
+	for _, s := range cfg.Preinstalled {
+		n.seenSubs[s.ID] = true
+	}
+	return n, nil
 }
 
 // ID returns the broker id.
@@ -183,17 +258,23 @@ func (n *Node) ConnectPeers(addrs map[msg.NodeID]string) error {
 			conn.Close()
 			return err
 		}
+		pacer, ok := n.cfg.Pacers[e.To]
+		if !ok {
+			pacer = Pacer{
+				Sampler: runtime.NewSampler(runtime.LinkNormal, e.Rate, 1),
+				Stream:  stats.DeriveN(n.cfg.Seed, "livenet/link", int(n.cfg.ID)<<16|int(uint16(e.To))),
+			}
+		}
 		pc := &peerConn{conn: conn}
 		n.mu.Lock()
 		n.peers[e.To] = pc
 		wake := make(chan struct{}, 1)
 		n.wake[e.To] = wake
-		n.queues[e.To] = core.NewQueue(e.Rate.Mean)
 		n.estimates[e.To] = &stats.WelfordEstimator{Prior: e.Rate}
 		n.mu.Unlock()
 
 		n.wg.Add(1)
-		go n.senderLoop(e.To, e.Rate, pc, wake)
+		go n.senderLoop(e.To, pc, wake, pacer)
 	}
 	return nil
 }
@@ -239,6 +320,83 @@ func (n *Node) Stats() Stats {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.stats
+}
+
+// Stopped reports whether the node has been shut down.
+func (n *Node) Stopped() bool {
+	select {
+	case <-n.stopped:
+		return true
+	default:
+		return false
+	}
+}
+
+// Crash stops the node as an injected broker failure and accounts
+// everything still sitting in its output queues as crash losses — the
+// live counterpart of the simulator charging arrivals at a dead broker
+// to DroppedCrashed. Messages lost in flight toward a crashed peer are
+// charged by the sender when its write fails.
+func (n *Node) Crash() {
+	n.Stop()
+	lost := 0
+	n.mu.Lock()
+	for _, q := range n.b.Queues() {
+		for q.Len() > 0 {
+			q.RemoveAt(q.Len() - 1).Release()
+			lost++
+		}
+	}
+	n.mu.Unlock()
+	if lost > 0 && n.sink != nil {
+		n.sink.DroppedCrashed(lost)
+	}
+}
+
+// PeakQueue returns the largest occupancy any output queue reached.
+func (n *Node) PeakQueue() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.b.PeakQueue()
+}
+
+// SetLinkDown injects (or lifts) a link outage on the outgoing link to a
+// neighbor: while down, the sender starts no new transfers (an in-flight
+// transfer finishes, as in the simulator's fault model).
+func (n *Node) SetLinkDown(to msg.NodeID, down bool) {
+	n.mu.Lock()
+	n.linkDown[to] = down
+	wake := n.wake[to]
+	n.mu.Unlock()
+	if !down && wake != nil {
+		select {
+		case wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// load is one node's quiescence snapshot (see Cluster.Quiescent).
+type load struct {
+	sentPeers, recvPeers, recvPubs int64
+	queued                         int
+	busy, inflight                 int
+}
+
+func (n *Node) load() load {
+	s := load{
+		sentPeers: n.sentPeers.Load(),
+		recvPeers: n.recvPeers.Load(),
+		recvPubs:  n.recvPubs.Load(),
+		busy:      int(n.busySenders.Load()),
+		inflight:  int(n.inflight.Load()),
+	}
+	n.mu.Lock()
+	for _, q := range n.b.Queues() {
+		s.queued += q.Len()
+	}
+	n.mu.Unlock()
+	return s
 }
 
 // acceptLoop accepts inbound connections (brokers, publishers,
@@ -305,7 +463,18 @@ func (n *Node) readLoop(conn net.Conn) {
 				// Publishers must publish through their ingress broker.
 				continue
 			}
+			// inflight rises before the receive counters so a quiescence
+			// poll can never observe the counters settled while this
+			// message is still about to be processed.
+			n.inflight.Add(1)
+			switch role {
+			case msg.RolePublisher:
+				n.recvPubs.Add(1)
+			case msg.RoleBroker:
+				n.recvPeers.Add(1)
+			}
 			n.receive(m)
+			n.inflight.Add(-1)
 		case msg.FrameSubscribe:
 			s, err := msg.DecodeSubscription(body)
 			if err != nil {
@@ -330,6 +499,7 @@ func (n *Node) readLoop(conn net.Conn) {
 
 // handleSubscribe installs a subscription (local conn non-nil when the
 // subscriber is attached here) and floods it to neighbors once.
+// Pre-installed plan subscriptions only register the local connection.
 func (n *Node) handleSubscribe(s *msg.Subscription, local *peerConn) {
 	n.mu.Lock()
 	if n.removedSubs[s.ID] {
@@ -394,103 +564,99 @@ func (n *Node) handleUnsubscribe(id msg.SubID) {
 }
 
 // installRoutes computes this broker's routing entries for one
-// subscription: for each ingress, the deterministic min-mean path; if this
-// broker lies on it, install the residual-path entry (n.mu held).
+// dynamically flooded subscription: for each ingress, the deterministic
+// min-mean path — or the K shortest paths when Multipath is on — using
+// the same path-entry definition as static routing builds (n.mu held).
 func (n *Node) installRoutes(s *msg.Subscription) {
 	g := n.cfg.Overlay.Graph
+	rates := func(from, to msg.NodeID) stats.Normal {
+		r, _ := g.Rate(from, to)
+		return r
+	}
+	k := n.cfg.Multipath
+	if k < 1 {
+		k = 1
+	}
 	for _, src := range n.cfg.Overlay.Ingress {
-		path, ok := g.Path(src, s.Edge)
-		if !ok {
-			continue
-		}
-		for i, at := range path {
-			if at != n.cfg.ID {
+		var paths [][]msg.NodeID
+		if k == 1 {
+			p, ok := g.Path(src, s.Edge)
+			if !ok {
 				continue
 			}
-			e := &routing.Entry{Sub: s, Source: src}
-			if i == len(path)-1 {
-				e.Next = msg.None
-			} else {
-				e.Next = path[i+1]
-				e.Hops = len(path) - 1 - i
-				var parts []stats.Normal
-				for j := i; j < len(path)-1; j++ {
-					r, _ := g.Rate(path[j], path[j+1])
-					parts = append(parts, r)
+			paths = [][]msg.NodeID{p}
+		} else {
+			paths = g.KShortestPaths(src, s.Edge, k)
+		}
+		for pathID, path := range paths {
+			for i, at := range path {
+				if at != n.cfg.ID {
+					continue
 				}
-				e.Rate = stats.SumNormal(parts...)
+				n.table.Add(routing.EntryAt(path, i, s, src, pathID, rates))
 			}
-			n.table.Add(e)
 		}
 	}
 }
 
-// receive handles one message arrival: processing delay, then match,
-// deliver locally, and enqueue toward next hops.
+// receive handles one message arrival: processing delay, then the shared
+// broker logic — match, deliver locally, enqueue toward next hops — and
+// finally the wire side-effects (subscriber frames, sender wake-ups).
 func (n *Node) receive(m *msg.Message) {
 	// Processing delay, scaled like link delays.
-	if pd := n.cfg.Params.PD * n.cfg.TimeScale; pd > 0 {
+	if pd := n.b.Params().PD * n.cfg.TimeScale; pd > 0 {
 		time.Sleep(vtime.ToDuration(pd))
 	}
-	now := wallNow()
+	now := n.clock.Now()
 
 	n.mu.Lock()
 	n.stats.Receptions++
-	n.matchBuf = n.table.MatchAppend(m, n.matchBuf[:0])
-	matched := n.matchBuf
-	var wakes []chan struct{}
-	var deliveries []struct {
-		peer  *peerConn
-		valid bool
+	if n.sink != nil {
+		n.sink.Reception()
 	}
-	if len(matched) > 0 {
-		hops, groups := n.grouper.Group(matched)
-		for k, hop := range hops {
-			entries := groups[k]
-			if hop == msg.None {
-				for _, e := range entries {
-					allowed, _ := n.cfg.Scenario.AllowedDelay(m, e.Sub)
-					lat := now - m.Published
-					valid := allowed > 0 && lat <= allowed
-					n.stats.Deliveries++
-					if valid {
-						n.stats.ValidDeliver++
-					}
-					if sc, ok := n.locals[e.Sub.ID]; ok {
-						deliveries = append(deliveries, struct {
-							peer  *peerConn
-							valid bool
-						}{sc.peer, valid})
-					}
-				}
-				continue
-			}
-			entry := n.buildEntry(m, entries)
-			if !core.Viable(entry, now, n.cfg.Params) {
-				n.stats.DropsArrival++
-				entry.Release()
-				continue
-			}
-			q := n.queues[hop]
-			if q == nil {
-				// Neighbor not connected (e.g. crashed); drop.
-				n.stats.DropsArrival++
-				entry.Release()
-				continue
-			}
-			q.Enqueue(entry, now)
-			wakes = append(wakes, n.wake[hop])
+	res := n.b.Process(m, now)
+	if res.Duplicate {
+		n.stats.Duplicates++
+		n.mu.Unlock()
+		return
+	}
+	var wakes []chan struct{}
+	var deliveries []*peerConn
+	for _, d := range res.Deliveries {
+		n.stats.Deliveries++
+		if d.Valid {
+			n.stats.ValidDeliver++
 		}
+		if n.sink != nil {
+			n.sink.DeliveredTo(int32(d.SubID), d.Price, d.Latency, d.Valid)
+		}
+		if sc, ok := n.locals[d.SubID]; ok {
+			deliveries = append(deliveries, sc.peer)
+		}
+	}
+	if res.ArrivalDrops > 0 {
+		n.stats.DropsArrival += res.ArrivalDrops
+		if n.sink != nil {
+			n.sink.DroppedOnArrival(res.ArrivalDrops)
+		}
+	}
+	for _, hop := range res.EnqueuedHops {
+		wakes = append(wakes, n.wake[hop])
 	}
 	n.mu.Unlock()
 
-	body, err := msg.AppendMessage(nil, m)
-	if err == nil {
-		for _, d := range deliveries {
-			_ = d.peer.writeFrame(msg.FrameMessage, body)
+	if len(deliveries) > 0 {
+		body, err := msg.AppendMessage(nil, m)
+		if err == nil {
+			for _, pc := range deliveries {
+				_ = pc.writeFrame(msg.FrameMessage, body)
+			}
 		}
 	}
 	for _, w := range wakes {
+		if w == nil {
+			continue
+		}
 		select {
 		case w <- struct{}{}:
 		default:
@@ -498,52 +664,40 @@ func (n *Node) receive(m *msg.Message) {
 	}
 }
 
-// buildEntry mirrors broker.buildEntry for the live path (n.mu held):
-// pooled entry, epoch-stamped subscription dedup.
-func (n *Node) buildEntry(m *msg.Message, entries []*routing.Entry) *core.Entry {
-	e := core.GetEntry()
-	e.MsgID = uint64(m.ID)
-	e.SizeKB = m.SizeKB
-	e.Published = m.Published
-	e.Data = m
-	n.epoch++
-	for _, re := range entries {
-		if n.subEpoch[re.Sub.ID] == n.epoch {
-			continue
-		}
-		n.subEpoch[re.Sub.ID] = n.epoch
-		allowed, price := n.cfg.Scenario.AllowedDelay(m, re.Sub)
-		if allowed <= 0 {
-			continue
-		}
-		e.Targets = append(e.Targets, core.Target{
-			SubID:    int32(re.Sub.ID),
-			Deadline: m.Published + allowed,
-			Price:    price,
-			Hops:     re.Hops,
-			Rate:     re.Rate,
-		})
-	}
-	return e
-}
-
 // senderLoop drains one link's queue: pick by strategy, pace to the
-// emulated link speed, write the frame.
-func (n *Node) senderLoop(to msg.NodeID, rate stats.Normal, pc *peerConn, wake chan struct{}) {
+// emulated link speed, write the frame. Injected link outages park the
+// loop until the link comes back up.
+func (n *Node) senderLoop(to msg.NodeID, pc *peerConn, wake chan struct{}, pacer Pacer) {
 	defer n.wg.Done()
-	sampler := stats.TruncatedNormal{Normal: rate, Min: 1}
-	stream := stats.DeriveN(n.cfg.Seed, "livenet/link", int(n.cfg.ID)<<16|int(uint16(to)))
 	for {
 		n.mu.Lock()
-		q := n.queues[to]
-		e, drops := q.PopNext(n.cfg.Strategy, wallNow(), n.cfg.Params)
+		if n.linkDown[to] {
+			n.mu.Unlock()
+			select {
+			case <-wake:
+				continue
+			case <-n.stopped:
+				return
+			}
+		}
+		q := n.b.Queue(to)
+		e, drops := q.PopNext(n.b.Strategy(), n.clock.Now(), n.b.Params())
 		for _, d := range drops {
 			if d.Reason == core.DropExpired {
 				n.stats.DropsExpired++
+				if n.sink != nil {
+					n.sink.DroppedExpired(1)
+				}
 			} else {
 				n.stats.DropsHopeless++
+				if n.sink != nil {
+					n.sink.DroppedHopeless(1)
+				}
 			}
 			d.Entry.Release()
+		}
+		if e != nil {
+			n.busySenders.Add(1)
 		}
 		n.mu.Unlock()
 
@@ -562,18 +716,24 @@ func (n *Node) senderLoop(to msg.NodeID, rate stats.Normal, pc *peerConn, wake c
 		// Pace the transfer to the sampled rate, measuring the wall time
 		// the transfer actually took — the live equivalent of the
 		// paper's "tools of network measurement".
-		tx := sizeKB * sampler.Sample(stream) * n.cfg.TimeScale
+		tx := sizeKB * pacer.Sampler.Sample(pacer.Stream) * n.cfg.TimeScale
 		start := time.Now()
 		select {
 		case <-time.After(vtime.ToDuration(tx)):
 		case <-n.stopped:
+			n.busySenders.Add(-1)
 			return
 		}
 		body, err := msg.AppendMessage(nil, m)
-		if err != nil {
-			continue
+		if err == nil {
+			if pc.writeFrame(msg.FrameMessage, body) == nil {
+				n.sentPeers.Add(1)
+			} else if n.sink != nil {
+				// A failed peer write means the message died at a dead
+				// (crashed or stopped) neighbor.
+				n.sink.DroppedCrashed(1)
+			}
 		}
-		_ = pc.writeFrame(msg.FrameMessage, body) // peer loss handled by queue decay
 
 		if sizeKB > 0 {
 			elapsed := vtime.FromDuration(time.Since(start)) / n.cfg.TimeScale
@@ -583,6 +743,7 @@ func (n *Node) senderLoop(to msg.NodeID, rate stats.Normal, pc *peerConn, wake c
 			}
 			n.mu.Unlock()
 		}
+		n.busySenders.Add(-1)
 	}
 }
 

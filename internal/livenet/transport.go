@@ -1,0 +1,180 @@
+package livenet
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"bdps/internal/msg"
+	"bdps/internal/runtime"
+	"bdps/internal/vtime"
+)
+
+// Transport is the live TCP backend of the unified runtime layer: it
+// deploys a runtime.Plan as an in-process loopback cluster (one Node per
+// broker, static routing tables, plan link pacers), paces the plan's
+// publication schedule in compressed wall time, and waits for the
+// overlay to quiesce. Wall-clock jitter makes live runs statistically —
+// not bitwise — reproducible, so the experiment cache never caches them.
+type Transport struct{}
+
+// Name implements runtime.Transport.
+func (Transport) Name() string { return "live" }
+
+// Deterministic implements runtime.Transport.
+func (Transport) Deterministic() bool { return false }
+
+// Deploy implements runtime.Transport.
+func (Transport) Deploy(p *runtime.Plan) (runtime.Deployment, error) {
+	ts := p.Cfg.TimeScale
+	if ts <= 0 {
+		ts = 1
+	}
+	clock := runtime.NewWallClock(ts)
+	sink := runtime.Locked(p.Metrics)
+	c, err := StartCluster(ClusterConfig{
+		Plan:      p,
+		TimeScale: ts,
+		Clock:     clock,
+		Sink:      sink,
+	})
+	if err != nil {
+		return nil, err
+	}
+	d := &deployment{plan: p, cluster: c, clock: clock, ts: ts, sink: sink}
+	// One publishing client per ingress, like the workload model: the
+	// plan's publisher index i attaches to Overlay.Ingress[i].
+	for i, ingress := range p.Overlay.Ingress {
+		pub, err := DialPublisher(c.Addr(ingress), msg.NodeID(i))
+		if err != nil {
+			d.Close()
+			return nil, err
+		}
+		pub.Clock = clock
+		d.pubs = append(d.pubs, pub)
+	}
+	return d, nil
+}
+
+// deployment is one live run: a cluster, its publishing clients and the
+// injected-fault timers.
+type deployment struct {
+	plan    *runtime.Plan
+	cluster *Cluster
+	clock   *runtime.WallClock
+	ts      float64
+	sink    runtime.Sink
+
+	pubs     []*Publisher
+	timers   []*time.Timer
+	injected int
+}
+
+// Inject implements runtime.Deployment: re-anchor the clock so emulated
+// time 0 is now, arm the fault timers, then send every publication
+// through its ingress broker at its scheduled emulated instant.
+func (d *deployment) Inject(pubs []*msg.Message) error {
+	d.clock.Restart()
+	d.armFaults()
+
+	order := make([]*msg.Message, len(pubs))
+	copy(order, pubs)
+	sort.SliceStable(order, func(i, j int) bool { return order[i].Published < order[j].Published })
+	for _, m := range order {
+		if wait := m.Published - d.clock.Now(); wait > 0 {
+			time.Sleep(vtime.ToDuration(wait * d.ts))
+		}
+		idx := int(m.Publisher)
+		if idx < 0 || idx >= len(d.pubs) {
+			return fmt.Errorf("livenet: publication %d from unknown publisher %d", m.ID, m.Publisher)
+		}
+		if err := d.pubs[idx].Send(m); err != nil {
+			if len(d.plan.Cfg.Faults) > 0 {
+				// An injected crash can take an ingress broker (and with
+				// it the publisher connection) down mid-run; the
+				// simulator charges such publications to the crash, so
+				// the live run does too instead of aborting.
+				d.sink.DroppedCrashed(1)
+				continue
+			}
+			return fmt.Errorf("livenet: injecting message %d: %w", m.ID, err)
+		}
+		d.injected++
+	}
+	return nil
+}
+
+// armFaults schedules the plan's injected failures on wall timers,
+// relative to the freshly anchored clock.
+func (d *deployment) armFaults() {
+	after := func(at vtime.Millis, fn func()) {
+		d.timers = append(d.timers, time.AfterFunc(vtime.ToDuration(at*d.ts), fn))
+	}
+	for _, f := range d.plan.Cfg.Faults {
+		switch f := f.(type) {
+		case runtime.LinkDown:
+			from, to := f.From, f.To
+			after(f.Start, func() { d.cluster.Nodes[from].SetLinkDown(to, true) })
+			after(f.End, func() { d.cluster.Nodes[from].SetLinkDown(to, false) })
+		case runtime.BrokerCrash:
+			id := f.ID
+			after(f.At, func() { d.cluster.Nodes[id].Crash() })
+		}
+	}
+}
+
+// Drain implements runtime.Deployment: poll until the overlay is
+// provably idle (twice in a row, to close the socket-buffer window), or
+// until activity stalls with a fault in play, or until a hard timeout.
+func (d *deployment) Drain() error {
+	const poll = 5 * time.Millisecond
+	// Generous hard ceiling: the whole publishing window plus the
+	// longest allowed delay, in wall time, plus slack for overheads.
+	window := d.plan.Cfg.Workload.Duration + 2*vtime.Minute
+	deadline := time.Now().Add(time.Duration(float64(vtime.ToDuration(window))*d.ts) + 20*time.Second)
+
+	idleStreak, stableStreak := 0, 0
+	lastStats := d.cluster.TotalStats()
+	for time.Now().Before(deadline) {
+		if d.cluster.Quiescent(d.injected) {
+			idleStreak++
+			if idleStreak >= 2 {
+				return nil
+			}
+		} else {
+			idleStreak = 0
+		}
+		// Fallback for faulty runs (a crashed broker never accounts its
+		// inbound frames, so Quiescent's totals never close): declare
+		// the run over once every surviving node is locally idle AND
+		// nothing has changed for a sustained period. The Settled guard
+		// keeps a long paced transfer — seconds of frozen stats at
+		// TimeScale 1 — from being mistaken for completion.
+		if s := d.cluster.TotalStats(); s == lastStats {
+			stableStreak++
+			if len(d.plan.Cfg.Faults) > 0 && stableStreak >= 100 && d.cluster.Settled() {
+				return nil
+			}
+		} else {
+			lastStats = s
+			stableStreak = 0
+		}
+		time.Sleep(poll)
+	}
+	return fmt.Errorf("livenet: drain timed out with the overlay still active")
+}
+
+// PeakQueue implements runtime.Deployment.
+func (d *deployment) PeakQueue() int { return d.cluster.PeakQueue() }
+
+// Close implements runtime.Deployment.
+func (d *deployment) Close() error {
+	for _, t := range d.timers {
+		t.Stop()
+	}
+	for _, p := range d.pubs {
+		p.Close()
+	}
+	d.cluster.Stop()
+	return nil
+}

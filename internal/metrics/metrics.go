@@ -150,6 +150,7 @@ type Result struct {
 	Seed     uint64
 	Strategy string
 	Scenario string
+	Backend  string // which runtime transport carried the run ("sim", "live")
 
 	Published    int
 	TotalTargets int

@@ -107,29 +107,34 @@ func pathVia(dist []float64, prev []msg.NodeID, src, dst msg.NodeID) ([]msg.Node
 	return rev, true
 }
 
-// installPath writes one entry per broker along the path. For the broker
-// at position i, the residual path is path[i..end]: Hops counts its links
-// (each terminating at a broker that must still process the message,
-// which is the paper's NN_p), and Rate sums the believed link
-// distributions.
+// installPath writes one entry per broker along the path.
 func installPath(tables map[msg.NodeID]*Table, path []msg.NodeID, sub *msg.Subscription, src msg.NodeID, pathID int, rates RateFunc) {
-	l := len(path)
-	for i := 0; i < l; i++ {
-		at := path[i]
-		e := &Entry{Sub: sub, Source: src, PathID: pathID}
-		if i == l-1 {
-			e.Next = msg.None
-			e.Hops = 0
-			e.Rate = stats.Normal{}
-		} else {
-			e.Next = path[i+1]
-			e.Hops = l - 1 - i
-			parts := make([]stats.Normal, 0, l-1-i)
-			for j := i; j < l-1; j++ {
-				parts = append(parts, rates(path[j], path[j+1]))
-			}
-			e.Rate = stats.SumNormal(parts...)
-		}
-		tables[at].Add(e)
+	for i := range path {
+		tables[path[i]].Add(EntryAt(path, i, sub, src, pathID, rates))
 	}
+}
+
+// EntryAt builds the routing entry for the broker at position i of a
+// delivery path. The residual path is path[i..end]: Hops counts its
+// links (each terminating at a broker that must still process the
+// message, which is the paper's NN_p), and Rate sums the believed link
+// distributions. Static table builds and the live overlay's dynamic
+// subscription floods share this one definition.
+func EntryAt(path []msg.NodeID, i int, sub *msg.Subscription, src msg.NodeID, pathID int, rates RateFunc) *Entry {
+	l := len(path)
+	e := &Entry{Sub: sub, Source: src, PathID: pathID}
+	if i == l-1 {
+		e.Next = msg.None
+		e.Hops = 0
+		e.Rate = stats.Normal{}
+	} else {
+		e.Next = path[i+1]
+		e.Hops = l - 1 - i
+		parts := make([]stats.Normal, 0, l-1-i)
+		for j := i; j < l-1; j++ {
+			parts = append(parts, rates(path[j], path[j+1]))
+		}
+		e.Rate = stats.SumNormal(parts...)
+	}
+	return e
 }

@@ -1,0 +1,78 @@
+package runtime
+
+import (
+	"sync/atomic"
+	"time"
+
+	"bdps/internal/vtime"
+)
+
+// Clock is the one time base every runtime component reads. The
+// simulator's engine implements it with virtual time; wall-clock
+// backends use a WallClock. Scheduling logic (queue viability, delivery
+// validity, deadline math) never touches time.Now directly, so tests can
+// substitute any clock.
+type Clock interface {
+	Now() vtime.Millis
+}
+
+// WallClock maps wall time onto emulated milliseconds: elapsed wall time
+// since the epoch, divided by the time-compression scale. With Scale s,
+// one emulated millisecond passes every s wall milliseconds, so emulated
+// latencies computed against a WallClock are directly comparable to the
+// simulator's virtual latencies at any compression.
+//
+// The zero epoch means the Unix epoch, which at Scale 1 makes Now the
+// plain wall clock in milliseconds — the time base standalone live
+// deployments (one process per broker, real time) share without
+// coordination. Anchored clocks (NewWallClock) are for in-process
+// deployments where all participants hold the same *WallClock.
+type WallClock struct {
+	scale float64
+	// epoch is the anchor in Unix nanoseconds; 0 means the Unix epoch.
+	// Atomic so Restart can re-anchor while node goroutines read.
+	epoch atomic.Int64
+}
+
+// NewWallClock returns a wall clock anchored now, compressing emulated
+// time by scale (≤ 0 means 1).
+func NewWallClock(scale float64) *WallClock {
+	c := &WallClock{scale: scale}
+	c.Restart()
+	return c
+}
+
+// AbsoluteWallClock returns a wall clock anchored at the Unix epoch —
+// the shared time base of multi-process live deployments.
+func AbsoluteWallClock(scale float64) *WallClock {
+	return &WallClock{scale: scale}
+}
+
+// Restart re-anchors the clock at the current instant. Deployments call
+// it when injection starts, so emulated time 0 is the first publication
+// opportunity rather than process start.
+func (c *WallClock) Restart() { c.epoch.Store(time.Now().UnixNano()) }
+
+// Now returns the emulated time.
+func (c *WallClock) Now() vtime.Millis {
+	scale := c.scale
+	if scale <= 0 {
+		scale = 1
+	}
+	e := c.epoch.Load()
+	var wall float64
+	if e == 0 {
+		wall = float64(time.Now().UnixMicro()) / 1000
+	} else {
+		wall = float64(time.Now().UnixNano()-e) / float64(time.Millisecond)
+	}
+	return wall / scale
+}
+
+// Scale returns the compression factor (wall ms per emulated ms).
+func (c *WallClock) Scale() float64 {
+	if c.scale <= 0 {
+		return 1
+	}
+	return c.scale
+}

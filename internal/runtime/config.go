@@ -1,0 +1,154 @@
+// Package runtime is the backend-agnostic deployment layer: one Config,
+// one deployment Plan and one Run driver shared by every backend that can
+// carry the bounded-delay scheduling system — today the discrete-event
+// simulator (internal/simnet) and the live TCP overlay (internal/livenet).
+//
+// The split of responsibilities:
+//
+//   - runtime owns everything the backends used to duplicate: deployment
+//     wiring (topology → link-rate beliefs → routing tables → brokers →
+//     per-link queues), workload generation and publication accounting,
+//     scenario features (multipath + dedup, injected faults), clocking
+//     (one Clock interface over virtual and wall time) and per-run
+//     metrics assembly into one runtime.Result.
+//   - a Transport realizes time and message movement: the simulator turns
+//     link transfers into discrete events on a virtual clock; the live
+//     overlay paces real TCP frames against a wall clock.
+//
+// New scenarios are written once against this package and run on every
+// backend; experiments select a backend with Options.Backend and
+// cmd/bdps-sim with -backend={sim,live}.
+package runtime
+
+import (
+	"fmt"
+
+	"bdps/internal/core"
+	"bdps/internal/msg"
+	"bdps/internal/topology"
+	"bdps/internal/trace"
+	"bdps/internal/vtime"
+	"bdps/internal/workload"
+)
+
+// LinkModel selects how per-transfer link rates are drawn.
+type LinkModel uint8
+
+// Link models.
+const (
+	// LinkNormal samples each transfer's per-KB rate from the link's
+	// N(μ,σ²), truncated at MinRate — the paper's model (§3.2).
+	LinkNormal LinkModel = iota
+	// LinkFixed uses the mean deterministically (the fixed-bandwidth
+	// assumption of QRON-style related work, for the ablation).
+	LinkFixed
+	// LinkGamma samples from a shifted gamma matched to the link's mean
+	// and variance (the IP-delay shape of the paper's refs [17,18]).
+	LinkGamma
+)
+
+// String implements fmt.Stringer.
+func (m LinkModel) String() string {
+	switch m {
+	case LinkNormal:
+		return "normal"
+	case LinkFixed:
+		return "fixed"
+	case LinkGamma:
+		return "gamma"
+	}
+	return fmt.Sprintf("LinkModel(%d)", uint8(m))
+}
+
+// Config describes one run, on any backend.
+type Config struct {
+	Seed     uint64
+	Scenario msg.Scenario
+	Strategy core.Strategy
+	Params   core.Params
+
+	Workload workload.Config
+
+	// Overlay, when non-nil, is used as-is; otherwise TopologyCfg builds
+	// the paper's layered mesh with the run's seed.
+	Overlay     *topology.Overlay
+	TopologyCfg topology.LayeredConfig
+
+	// Multipath > 1 enables K-path routing with per-broker deduplication.
+	Multipath int
+
+	// MeasureSamples > 0 makes brokers estimate link-rate parameters from
+	// that many measured transfers instead of knowing them exactly.
+	MeasureSamples int
+
+	LinkModel LinkModel
+	// MinRate truncates sampled rates (ms/KB); default 1.
+	MinRate float64
+
+	// Faults injects failures into the run (link outages, broker
+	// crashes). Empty means a fault-free run.
+	Faults []Fault
+
+	// Tracer receives per-message lifecycle events; nil disables tracing.
+	// Only the simulator backend traces today.
+	Tracer trace.Tracer
+
+	// PerSubscriber enables per-subscriber delivery accounting (Jain
+	// fairness in the Result). Costs one map update per delivery.
+	PerSubscriber bool
+
+	// IndexedMatch builds the counting-index fast path on every broker's
+	// subscription table. Semantically identical to the linear scan.
+	IndexedMatch bool
+
+	// Subscriptions overrides the workload-generated population with an
+	// explicit one (every subscription must attach to an edge broker).
+	Subscriptions []*msg.Subscription
+
+	// TimeScale compresses emulated delays on wall-clock backends: real
+	// sleep = emulated ms × TimeScale. 1.0 is real time; tests use
+	// ~0.002. The simulator ignores it (virtual time costs nothing).
+	TimeScale float64
+}
+
+// Fault is an injected failure. The concrete types are LinkDown and
+// BrokerCrash.
+type Fault interface {
+	isFault()
+}
+
+// LinkDown takes the directed link From→To out of service during
+// [Start, End): no new transmissions start (in-flight transfers finish).
+// Take both directions down with two faults.
+type LinkDown struct {
+	From, To   msg.NodeID
+	Start, End vtime.Millis
+}
+
+func (LinkDown) isFault() {}
+
+// BrokerCrash permanently kills a broker at time At: queued and arriving
+// messages are lost, and its links stop sending.
+type BrokerCrash struct {
+	ID msg.NodeID
+	At vtime.Millis
+}
+
+func (BrokerCrash) isFault() {}
+
+func (c *Config) setDefaults() error {
+	if c.Strategy == nil {
+		c.Strategy = core.MaxEB{}
+	}
+	if c.Params == (core.Params{}) {
+		c.Params = core.DefaultParams()
+	}
+	if c.MinRate == 0 {
+		c.MinRate = 1
+	}
+	c.Workload.Scenario = c.Scenario
+	if c.Workload.Seed == 0 {
+		c.Workload.Seed = c.Seed
+	}
+	return c.Workload.Validate()
+}

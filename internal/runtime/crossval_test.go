@@ -1,0 +1,195 @@
+package runtime_test
+
+import (
+	"math"
+	"testing"
+
+	"bdps/internal/core"
+	"bdps/internal/livenet"
+	"bdps/internal/msg"
+	"bdps/internal/runtime"
+	"bdps/internal/simnet"
+	"bdps/internal/stats"
+	"bdps/internal/topology"
+	"bdps/internal/vtime"
+	"bdps/internal/workload"
+)
+
+// crossValOverlay is a small two-ingress, two-edge overlay: short paths
+// keep the wall-clock overhead of the compressed live run small relative
+// to the emulated link times, so sim and live land in the same band.
+//
+//	0 ─┐          ┌─ 4
+//	   ├─ 2 ── 3 ─┤
+//	1 ─┘          └─ 5
+func crossValOverlay(t testing.TB) *topology.Overlay {
+	t.Helper()
+	g := topology.NewGraph(6)
+	for _, l := range []struct {
+		a, b msg.NodeID
+		mean float64
+	}{{0, 2, 50}, {1, 2, 55}, {2, 3, 45}, {3, 4, 50}, {3, 5, 60}} {
+		if err := g.AddLink(l.a, l.b, stats.Normal{Mean: l.mean, Sigma: 5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return &topology.Overlay{
+		Graph:   g,
+		Ingress: []msg.NodeID{0, 1},
+		Edges:   []msg.NodeID{4, 5},
+	}
+}
+
+func crossValConfig(t testing.TB) runtime.Config {
+	return runtime.Config{
+		Seed:     1,
+		Scenario: msg.PSD,
+		Strategy: core.MaxEB{},
+		Overlay:  crossValOverlay(t),
+		Workload: workload.Config{RatePerMin: 6, Duration: 2 * vtime.Minute},
+		// 1 emulated second per 5 wall ms: the 2-minute window plays out
+		// in ~600 ms, with per-hop wall overheads two orders of magnitude
+		// below the ~2.5 s emulated link times.
+		TimeScale: 0.005,
+	}
+}
+
+// TestCrossValidationSimVsLive is the unified layer's headline check:
+// one runtime.Config, deployed through one runtime.Plan, must produce
+// statistically matching results on the discrete-event simulator and the
+// live TCP overlay.
+func TestCrossValidationSimVsLive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compressed-timescale live cluster run")
+	}
+	cfg := crossValConfig(t)
+
+	sim, err := runtime.Run(cfg, simnet.Transport{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := runtime.Run(cfg, livenet.Transport{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if sim.Backend != "sim" || live.Backend != "live" {
+		t.Errorf("backends = %q / %q, want sim / live", sim.Backend, live.Backend)
+	}
+	if sim.Published != live.Published {
+		t.Errorf("published diverged: sim %d, live %d (same plan must inject the same workload)",
+			sim.Published, live.Published)
+	}
+	if sim.TotalTargets != live.TotalTargets {
+		t.Errorf("targets diverged: sim %d, live %d", sim.TotalTargets, live.TotalTargets)
+	}
+	if live.ValidDeliveries == 0 {
+		t.Fatal("live run delivered nothing")
+	}
+
+	// Delivery rates must agree within a tolerance band: the live run
+	// pays real scheduling and TCP overheads (inflated by the time
+	// compression), so it may lag the simulator slightly, never match it
+	// bit for bit.
+	simRate, liveRate := sim.DeliveryRate(), live.DeliveryRate()
+	if d := math.Abs(simRate - liveRate); d > 0.15 {
+		t.Errorf("delivery rates diverged by %.3f: sim %.3f, live %.3f", d, simRate, liveRate)
+	}
+	// Routing is identical (same plan tables), so traffic volumes agree
+	// up to early drops.
+	rr := float64(live.Receptions) / float64(sim.Receptions)
+	if rr < 0.7 || rr > 1.3 {
+		t.Errorf("receptions diverged: sim %d, live %d (ratio %.2f)",
+			sim.Receptions, live.Receptions, rr)
+	}
+}
+
+// diamondOverlay has two disjoint paths ingress→edge (0-1-3 and 0-2-3),
+// so K=2 multipath routing actually fans out.
+func diamondOverlay(t testing.TB) *topology.Overlay {
+	t.Helper()
+	g := topology.NewGraph(4)
+	for _, l := range []struct {
+		a, b msg.NodeID
+		mean float64
+	}{{0, 1, 50}, {0, 2, 55}, {1, 3, 50}, {2, 3, 55}} {
+		if err := g.AddLink(l.a, l.b, stats.Normal{Mean: l.mean, Sigma: 5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return &topology.Overlay{
+		Graph:   g,
+		Ingress: []msg.NodeID{0},
+		Edges:   []msg.NodeID{3},
+	}
+}
+
+// TestLiveMultipathViaRuntime drives the paper's multipath+dedup mode
+// through the unified layer on the live backend — the mode the old live
+// runtime silently ignored.
+func TestLiveMultipathViaRuntime(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compressed-timescale live cluster run")
+	}
+	single := crossValConfig(t)
+	single.Overlay = diamondOverlay(t)
+	multi := crossValConfig(t)
+	multi.Overlay = diamondOverlay(t) // fresh overlay: plans are per-run
+	multi.Multipath = 2
+
+	base, err := runtime.Run(single, livenet.Transport{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, err := runtime.Run(multi, livenet.Transport{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp.ValidDeliveries == 0 {
+		t.Fatal("multipath live run delivered nothing")
+	}
+	// K-path routing costs more traffic on the redundant segments…
+	if mp.Receptions <= base.Receptions {
+		t.Errorf("multipath should cost more traffic: %d vs %d receptions",
+			mp.Receptions, base.Receptions)
+	}
+	// …but dedup caps deliveries at one per (message, subscriber).
+	if mp.ValidDeliveries > mp.TotalTargets {
+		t.Errorf("deliveries (%d) exceed targets (%d): live dedup broken",
+			mp.ValidDeliveries, mp.TotalTargets)
+	}
+}
+
+// TestLiveBrokerCrashViaRuntime drives an injected broker crash through
+// the unified layer on the live backend: the run must terminate (drain
+// must not hang on the dead broker's unaccounted frames), charge losses
+// to the crash, and lose the deliveries the severed paths would have
+// made.
+func TestLiveBrokerCrashViaRuntime(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compressed-timescale live cluster run")
+	}
+	base := crossValConfig(t)
+	crashed := crossValConfig(t)
+	// Node 2 is the cut vertex: crashing it at 30 s severs every path.
+	crashed.Faults = []runtime.Fault{runtime.BrokerCrash{ID: 2, At: 30 * vtime.Second}}
+
+	healthy, err := runtime.Run(base, livenet.Transport{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	broken, err := runtime.Run(crashed, livenet.Transport{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if broken.DropsCrashed == 0 {
+		t.Error("crash should charge losses to DropsCrashed")
+	}
+	if broken.ValidDeliveries == 0 {
+		t.Error("messages published before the crash should still deliver")
+	}
+	if broken.ValidDeliveries >= healthy.ValidDeliveries {
+		t.Errorf("crash should reduce deliveries: %d vs healthy %d",
+			broken.ValidDeliveries, healthy.ValidDeliveries)
+	}
+}

@@ -1,0 +1,239 @@
+package runtime
+
+import (
+	"fmt"
+	"sort"
+
+	"bdps/internal/broker"
+	"bdps/internal/metrics"
+	"bdps/internal/msg"
+	"bdps/internal/routing"
+	"bdps/internal/stats"
+	"bdps/internal/topology"
+	"bdps/internal/workload"
+)
+
+// Link is one directed overlay link of a plan, in deterministic
+// (sorted-arc) order. Index is the position in Plan.Links and seeds the
+// link's random stream, so the simulator and the live overlay draw the
+// same per-link rate sequences from one config.
+type Link struct {
+	Index    int
+	From, To msg.NodeID
+	Truth    stats.Normal
+}
+
+// Plan is one fully assembled deployment: everything about a run that
+// does not depend on how time and message movement are realized. Either
+// backend deploys a plan built from one config — same overlay, same
+// routing tables, same broker assembly, same publication schedule —
+// which is what makes their results comparable run for run.
+//
+// A plan is single-use: deploying it hands its stateful parts (broker
+// instances, metrics collector) to the deployment. To run one config on
+// several backends, build one plan per run (runtime.Run does).
+type Plan struct {
+	// Cfg is the configuration after defaulting.
+	Cfg Config
+
+	Overlay *topology.Overlay
+	// Subs is the subscription population (workload-generated or adopted
+	// from Cfg.Subscriptions).
+	Subs []*msg.Subscription
+	// Beliefs supplies the link-rate distribution brokers believe a link
+	// has: the true distribution (paper default) or a measured estimate.
+	Beliefs routing.RateFunc
+	// Tables are the per-broker routing tables built from Beliefs.
+	Tables map[msg.NodeID]*routing.Table
+	// Brokers are the assembled broker instances, one per overlay node.
+	// Backends drive them; they never build their own.
+	Brokers map[msg.NodeID]*broker.Broker
+	// Links lists every directed link in deterministic order.
+	Links []Link
+	// Pubs holds every publication of the run in per-publisher generation
+	// order (publishers enumerated in ingress order). Wall-clock backends
+	// pace a time-sorted copy; the simulator schedules each at its
+	// Published instant.
+	Pubs []*msg.Message
+	// Metrics is the run's collector. The Run driver performs the
+	// publication-side accounting; deployments report the delivery side
+	// (directly, or through a LockedSink when concurrent).
+	Metrics *metrics.Collector
+}
+
+// NewPlan assembles a deployment: builds (or adopts) the overlay,
+// generates subscriptions, computes link beliefs and routing tables,
+// instantiates brokers, generates the publication schedule and validates
+// injected faults.
+func NewPlan(cfg Config) (*Plan, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	ov := cfg.Overlay
+	if ov == nil {
+		tc := cfg.TopologyCfg
+		if tc.Seed == 0 {
+			tc.Seed = cfg.Seed
+		}
+		built, err := topology.BuildLayered(tc)
+		if err != nil {
+			return nil, err
+		}
+		ov = built
+	}
+
+	p := &Plan{
+		Cfg:     cfg,
+		Overlay: ov,
+		Brokers: make(map[msg.NodeID]*broker.Broker),
+		Metrics: &metrics.Collector{},
+	}
+	if cfg.Subscriptions != nil {
+		p.Subs = cfg.Subscriptions
+	} else {
+		p.Subs = cfg.Workload.Subscriptions(ov.Edges)
+	}
+
+	// Deterministic link enumeration: sorted arcs.
+	arcs := ov.Graph.Arcs()
+	sort.Slice(arcs, func(i, j int) bool {
+		if arcs[i][0] != arcs[j][0] {
+			return arcs[i][0] < arcs[j][0]
+		}
+		return arcs[i][1] < arcs[j][1]
+	})
+	p.Links = make([]Link, len(arcs))
+	for i, arc := range arcs {
+		truth, _ := ov.Graph.Rate(arc[0], arc[1])
+		p.Links[i] = Link{Index: i, From: arc[0], To: arc[1], Truth: truth}
+	}
+
+	// Link-rate beliefs: exact (paper default) or measured. The stream
+	// labels predate this package and are kept verbatim so seeded runs
+	// reproduce earlier releases bit for bit.
+	p.Beliefs = func(from, to msg.NodeID) stats.Normal {
+		r, _ := ov.Graph.Rate(from, to)
+		return r
+	}
+	if cfg.MeasureSamples > 0 {
+		measured := make(map[[2]msg.NodeID]stats.Normal, len(p.Links))
+		for _, l := range p.Links {
+			sampler := NewSampler(cfg.LinkModel, l.Truth, cfg.MinRate)
+			probe := stats.DeriveN(cfg.Seed, "simnet/measure", l.Index)
+			est := &stats.WelfordEstimator{Prior: l.Truth}
+			for k := 0; k < cfg.MeasureSamples; k++ {
+				est.Observe(sampler.Sample(probe))
+			}
+			measured[[2]msg.NodeID{l.From, l.To}] = est.Estimate()
+		}
+		p.Beliefs = func(from, to msg.NodeID) stats.Normal {
+			return measured[[2]msg.NodeID{from, to}]
+		}
+	}
+
+	tables, err := routing.Build(ov, p.Subs, routing.Options{
+		Rates:     p.Beliefs,
+		Multipath: cfg.Multipath,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if cfg.IndexedMatch {
+		for _, t := range tables {
+			t.EnableIndex()
+		}
+	}
+	p.Tables = tables
+
+	for id := 0; id < ov.Graph.N(); id++ {
+		nid := msg.NodeID(id)
+		means := make(map[msg.NodeID]float64)
+		for _, e := range ov.Graph.Neighbors(nid) {
+			means[e.To] = p.Beliefs(nid, e.To).Mean
+		}
+		b, err := broker.New(broker.Config{
+			ID:        nid,
+			Scenario:  cfg.Scenario,
+			Params:    cfg.Params,
+			Strategy:  cfg.Strategy,
+			Table:     tables[nid],
+			LinkMeans: means,
+			Dedup:     cfg.Multipath > 1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		p.Brokers[nid] = b
+	}
+
+	for i, ingress := range ov.Ingress {
+		pub := cfg.Workload.NewPublisher(i, ingress)
+		for {
+			m, ok := pub.Next()
+			if !ok {
+				break
+			}
+			p.Pubs = append(p.Pubs, m)
+		}
+	}
+
+	if err := p.validateFaults(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// validateFaults rejects faults that reference nonexistent overlay
+// elements or inverted windows, uniformly for every backend.
+func (p *Plan) validateFaults() error {
+	for _, f := range p.Cfg.Faults {
+		switch f := f.(type) {
+		case LinkDown:
+			if _, ok := p.Overlay.Graph.Rate(f.From, f.To); !ok {
+				return fmt.Errorf("runtime: LinkDown on missing arc %d->%d", f.From, f.To)
+			}
+			if f.End < f.Start {
+				return fmt.Errorf("runtime: LinkDown window [%v,%v) inverted", f.Start, f.End)
+			}
+		case BrokerCrash:
+			if _, ok := p.Brokers[f.ID]; !ok {
+				return fmt.Errorf("runtime: BrokerCrash on unknown broker %d", f.ID)
+			}
+		default:
+			return fmt.Errorf("runtime: unknown fault type %T", f)
+		}
+	}
+	return nil
+}
+
+// Sampler builds the plan's rate sampler for one link.
+func (p *Plan) Sampler(l Link) Sampler {
+	return NewSampler(p.Cfg.LinkModel, l.Truth, p.Cfg.MinRate)
+}
+
+// LinkStream derives the random stream feeding one link's sampler. Both
+// backends use it, so a live run draws the same per-link rate sequence
+// the simulator would under the same seed.
+func (p *Plan) LinkStream(l Link) *stats.Stream {
+	return stats.DeriveN(p.Cfg.Seed, "simnet/link", l.Index)
+}
+
+// AccountPublications records the publication side of the run's metrics
+// — Σ tsᵢ over the whole schedule, per-subscriber when configured. It
+// is backend-independent; call it exactly once per plan, before any
+// delivery-side events reach the collector.
+func (p *Plan) AccountPublications() {
+	for _, m := range p.Pubs {
+		if p.Cfg.PerSubscriber {
+			var interested []int32
+			for _, s := range p.Subs {
+				if s.Filter.Match(&m.Attrs) {
+					interested = append(interested, int32(s.ID))
+				}
+			}
+			p.Metrics.PublishedTo(interested)
+		} else {
+			p.Metrics.Published(workload.Interested(p.Subs, m))
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package runtime
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"bdps/internal/core"
+	"bdps/internal/msg"
+	"bdps/internal/stats"
+	"bdps/internal/vtime"
+	"bdps/internal/workload"
+)
+
+func TestSamplerMoments(t *testing.T) {
+	truth := stats.Normal{Mean: 75, Sigma: 20}
+	for _, tc := range []struct {
+		model LinkModel
+		name  string
+	}{{LinkNormal, "normal"}, {LinkGamma, "gamma"}} {
+		s := NewSampler(tc.model, truth, 1)
+		stream := stats.NewStream(5)
+		var w stats.Welford
+		for i := 0; i < 100000; i++ {
+			w.Add(s.Sample(stream))
+		}
+		if math.Abs(w.Mean()-75) > 1.5 {
+			t.Errorf("%s sampler mean = %v, want ≈75", tc.name, w.Mean())
+		}
+		if math.Abs(w.Std()-20) > 2 {
+			t.Errorf("%s sampler std = %v, want ≈20", tc.name, w.Std())
+		}
+	}
+	fixed := NewSampler(LinkFixed, truth, 1)
+	if fixed.Sample(stats.NewStream(1)) != 75 {
+		t.Error("fixed sampler should return the mean")
+	}
+}
+
+func TestWallClockScalesElapsedTime(t *testing.T) {
+	c := NewWallClock(0.01) // 1 emulated second per 10 wall ms
+	start := c.Now()
+	time.Sleep(20 * time.Millisecond)
+	elapsed := c.Now() - start
+	// 20 wall ms at scale 0.01 ≈ 2000 emulated ms; bound loosely for
+	// scheduler jitter.
+	if elapsed < 1500 || elapsed > 20000 {
+		t.Errorf("elapsed = %v emulated ms, want ≈2000", elapsed)
+	}
+}
+
+func TestWallClockRestartRewindsToZero(t *testing.T) {
+	c := NewWallClock(1)
+	time.Sleep(5 * time.Millisecond)
+	c.Restart()
+	if now := c.Now(); now < 0 || now > 1000 {
+		t.Errorf("after Restart, Now = %v, want ≈0", now)
+	}
+}
+
+func TestAbsoluteWallClockMatchesUnixMillis(t *testing.T) {
+	c := AbsoluteWallClock(1)
+	wall := float64(time.Now().UnixMicro()) / 1000
+	if d := math.Abs(c.Now() - wall); d > 1000 {
+		t.Errorf("absolute clock off by %v ms from Unix wall time", d)
+	}
+	if c.Scale() != 1 {
+		t.Errorf("Scale() = %v, want 1", c.Scale())
+	}
+}
+
+func planCfg() Config {
+	return Config{
+		Seed:     1,
+		Scenario: msg.PSD,
+		Strategy: core.MaxEB{},
+		Workload: workload.Config{RatePerMin: 6, Duration: 2 * vtime.Minute},
+	}
+}
+
+func TestNewPlanAssemblesEverything(t *testing.T) {
+	p, err := NewPlan(planCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := p.Overlay.Graph.N()
+	if len(p.Brokers) != n {
+		t.Errorf("brokers = %d, want one per overlay node (%d)", len(p.Brokers), n)
+	}
+	if len(p.Tables) != n {
+		t.Errorf("tables = %d, want %d", len(p.Tables), n)
+	}
+	if len(p.Subs) == 0 || len(p.Links) == 0 || len(p.Pubs) == 0 {
+		t.Fatalf("plan incomplete: %d subs, %d links, %d pubs",
+			len(p.Subs), len(p.Links), len(p.Pubs))
+	}
+	// Deterministic link enumeration: strictly ascending (from, to).
+	for i := 1; i < len(p.Links); i++ {
+		a, b := p.Links[i-1], p.Links[i]
+		if a.From > b.From || (a.From == b.From && a.To >= b.To) {
+			t.Fatalf("links not in sorted arc order at %d: %+v then %+v", i, a, b)
+		}
+		if p.Links[i].Index != i {
+			t.Fatalf("link %d has Index %d", i, p.Links[i].Index)
+		}
+	}
+	// Per-publisher generation order: publications of one publisher are
+	// time-ordered.
+	last := map[msg.NodeID]vtime.Millis{}
+	for _, m := range p.Pubs {
+		if m.Published < last[m.Publisher] {
+			t.Fatalf("publisher %d publications out of order", m.Publisher)
+		}
+		last[m.Publisher] = m.Published
+	}
+}
+
+func TestNewPlanValidatesFaults(t *testing.T) {
+	cfg := planCfg()
+	cfg.Faults = []Fault{BrokerCrash{ID: 999, At: 0}}
+	if _, err := NewPlan(cfg); err == nil {
+		t.Error("crash of unknown broker should fail")
+	}
+	cfg = planCfg()
+	cfg.Faults = []Fault{LinkDown{From: 0, To: 1, Start: 0, End: 1}}
+	if _, err := NewPlan(cfg); err == nil {
+		t.Error("LinkDown on a non-arc should fail")
+	}
+	cfg = planCfg()
+	cfg.Faults = []Fault{LinkDown{From: 0, To: 4, Start: 5, End: 1}}
+	if _, err := NewPlan(cfg); err == nil {
+		t.Error("inverted window should fail")
+	}
+}
+
+func TestPlanMultipathBuildsDedupBrokers(t *testing.T) {
+	cfg := planCfg()
+	cfg.Multipath = 2
+	p, err := NewPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dedup is observable: processing the same message twice must report
+	// the second as a duplicate.
+	b := p.Brokers[0]
+	m := p.Pubs[0]
+	b.Process(m, m.Published)
+	if res := b.Process(m, m.Published); !res.Duplicate {
+		t.Error("multipath plan brokers must dedup repeated arrivals")
+	}
+}
+
+func TestLinkModelStrings(t *testing.T) {
+	if LinkNormal.String() != "normal" || LinkFixed.String() != "fixed" ||
+		LinkGamma.String() != "gamma" {
+		t.Error("LinkModel strings wrong")
+	}
+	if LinkModel(9).String() == "" {
+		t.Error("unknown model should still render")
+	}
+}

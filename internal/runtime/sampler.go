@@ -1,0 +1,49 @@
+package runtime
+
+import "bdps/internal/stats"
+
+// Sampler draws one per-transfer per-KB rate. Both backends pace (or
+// schedule) each transfer with a rate drawn from the same sampler kind,
+// so the link model ablations apply to the live overlay too.
+type Sampler interface {
+	Sample(s *stats.Stream) float64
+}
+
+type normalSampler struct{ d stats.TruncatedNormal }
+
+func (n normalSampler) Sample(s *stats.Stream) float64 { return n.d.Sample(s) }
+
+type fixedSampler struct{ mean float64 }
+
+func (f fixedSampler) Sample(*stats.Stream) float64 { return f.mean }
+
+type gammaSampler struct {
+	d   stats.ShiftedGamma
+	min float64
+}
+
+func (g gammaSampler) Sample(s *stats.Stream) float64 {
+	x := g.d.Sample(s)
+	if x < g.min {
+		return g.min
+	}
+	return x
+}
+
+// NewSampler builds the configured sampler for a link with true
+// distribution d.
+func NewSampler(model LinkModel, d stats.Normal, minRate float64) Sampler {
+	switch model {
+	case LinkFixed:
+		return fixedSampler{mean: d.Mean}
+	case LinkGamma:
+		// Shape 4 gamma matched to (mean, sigma²): θ = σ/2,
+		// shift = μ − 2σ. Same two moments, right-skewed tail.
+		return gammaSampler{
+			d:   stats.ShiftedGamma{K: 4, Theta: d.Sigma / 2, Shift: d.Mean - 2*d.Sigma},
+			min: minRate,
+		}
+	default:
+		return normalSampler{d: stats.TruncatedNormal{Normal: d, Min: minRate}}
+	}
+}

@@ -1,0 +1,68 @@
+package runtime
+
+import (
+	"sync"
+
+	"bdps/internal/vtime"
+)
+
+// Sink receives the delivery-side metric events a deployment produces
+// while running. *metrics.Collector implements it; publication-side
+// accounting (Published, PublishedTo) stays with the Run driver, which
+// performs it once before injection on every backend.
+type Sink interface {
+	Reception()
+	DeliveredTo(subID int32, price float64, latency vtime.Millis, valid bool)
+	DroppedExpired(n int)
+	DroppedHopeless(n int)
+	DroppedOnArrival(n int)
+	DroppedCrashed(n int)
+}
+
+// LockedSink serializes a Sink for concurrent backends. The simulator
+// feeds its collector directly (single-threaded by construction); the
+// live overlay wraps the same collector in a LockedSink shared by every
+// node goroutine.
+type LockedSink struct {
+	mu sync.Mutex
+	s  Sink
+}
+
+// Locked wraps s in a mutex.
+func Locked(s Sink) *LockedSink { return &LockedSink{s: s} }
+
+func (l *LockedSink) Reception() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.s.Reception()
+}
+
+func (l *LockedSink) DeliveredTo(subID int32, price float64, latency vtime.Millis, valid bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.s.DeliveredTo(subID, price, latency, valid)
+}
+
+func (l *LockedSink) DroppedExpired(n int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.s.DroppedExpired(n)
+}
+
+func (l *LockedSink) DroppedHopeless(n int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.s.DroppedHopeless(n)
+}
+
+func (l *LockedSink) DroppedOnArrival(n int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.s.DroppedOnArrival(n)
+}
+
+func (l *LockedSink) DroppedCrashed(n int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.s.DroppedCrashed(n)
+}

@@ -1,186 +1,66 @@
-// Package simnet wires the whole system together on the discrete-event
-// engine: the overlay topology, per-link transmission with sampled rates,
-// brokers running a scheduling strategy, publishers and subscriber
-// accounting. One Run reproduces one data point of the paper's evaluation.
+// Package simnet is the discrete-event backend of the unified runtime
+// layer (internal/runtime): a thin Transport that realizes a
+// runtime.Plan on the deterministic event engine. All deployment wiring
+// — topology, routing tables, brokers, workload, fault validation,
+// metrics — lives in the plan; this package only turns link transfers
+// and processing delays into events on a virtual clock. One Run
+// reproduces one data point of the paper's evaluation.
+//
+// The historical simnet names (Config, LinkModel, Fault, LinkDown,
+// BrokerCrash) are aliases of their runtime equivalents, so existing
+// callers and configs keep working unchanged.
 package simnet
 
 import (
-	"fmt"
-	"sort"
 	"sync"
 
 	"bdps/internal/broker"
 	"bdps/internal/core"
 	"bdps/internal/metrics"
 	"bdps/internal/msg"
-	"bdps/internal/routing"
+	"bdps/internal/runtime"
 	"bdps/internal/sim"
 	"bdps/internal/stats"
 	"bdps/internal/topology"
 	"bdps/internal/trace"
-	"bdps/internal/vtime"
-	"bdps/internal/workload"
 )
 
+// Config describes one simulation run (alias of the unified runtime
+// config; the simulator ignores TimeScale).
+type Config = runtime.Config
+
 // LinkModel selects how per-transfer link rates are drawn.
-type LinkModel uint8
+type LinkModel = runtime.LinkModel
 
 // Link models.
 const (
-	// LinkNormal samples each transfer's per-KB rate from the link's
-	// N(μ,σ²), truncated at MinRate — the paper's model (§3.2).
-	LinkNormal LinkModel = iota
-	// LinkFixed uses the mean deterministically (the fixed-bandwidth
-	// assumption of QRON-style related work, for the ablation).
-	LinkFixed
-	// LinkGamma samples from a shifted gamma matched to the link's mean
-	// and variance (the IP-delay shape of the paper's refs [17,18]).
-	LinkGamma
+	LinkNormal = runtime.LinkNormal
+	LinkFixed  = runtime.LinkFixed
+	LinkGamma  = runtime.LinkGamma
 )
 
-// String implements fmt.Stringer.
-func (m LinkModel) String() string {
-	switch m {
-	case LinkNormal:
-		return "normal"
-	case LinkFixed:
-		return "fixed"
-	case LinkGamma:
-		return "gamma"
-	}
-	return fmt.Sprintf("LinkModel(%d)", uint8(m))
-}
+// Fault is an injected failure; LinkDown and BrokerCrash are the
+// concrete types.
+type (
+	Fault       = runtime.Fault
+	LinkDown    = runtime.LinkDown
+	BrokerCrash = runtime.BrokerCrash
+)
 
-// Config describes one simulation run.
-type Config struct {
-	Seed     uint64
-	Scenario msg.Scenario
-	Strategy core.Strategy
-	Params   core.Params
+// Transport is the discrete-event backend: deterministic, virtual-time,
+// single-threaded.
+type Transport struct{}
 
-	Workload workload.Config
+// Name implements runtime.Transport.
+func (Transport) Name() string { return "sim" }
 
-	// Overlay, when non-nil, is used as-is; otherwise TopologyCfg builds
-	// the paper's layered mesh with the run's seed.
-	Overlay     *topology.Overlay
-	TopologyCfg topology.LayeredConfig
+// Deterministic implements runtime.Transport: simulation runs are exactly
+// reproducible from their config, which is what lets the experiment
+// harness cache them.
+func (Transport) Deterministic() bool { return true }
 
-	// Multipath > 1 enables K-path routing with per-broker deduplication.
-	Multipath int
-
-	// MeasureSamples > 0 makes brokers estimate link-rate parameters from
-	// that many measured transfers instead of knowing them exactly.
-	MeasureSamples int
-
-	LinkModel LinkModel
-	// MinRate truncates sampled rates (ms/KB); default 1.
-	MinRate float64
-
-	// Faults injects failures into the run (link outages, broker
-	// crashes). Empty means a fault-free run.
-	Faults []Fault
-
-	// Tracer receives per-message lifecycle events; nil disables tracing.
-	Tracer trace.Tracer
-
-	// PerSubscriber enables per-subscriber delivery accounting (Jain
-	// fairness in the Result). Costs one map update per delivery.
-	PerSubscriber bool
-
-	// IndexedMatch builds the counting-index fast path on every broker's
-	// subscription table. Semantically identical to the linear scan.
-	IndexedMatch bool
-
-	// Subscriptions overrides the workload-generated population with an
-	// explicit one (every subscription must attach to an edge broker).
-	Subscriptions []*msg.Subscription
-}
-
-// Fault is an injected failure. The concrete types are LinkDown and
-// BrokerCrash.
-type Fault interface {
-	isFault()
-}
-
-// LinkDown takes the directed link From→To out of service during
-// [Start, End): no new transmissions start (in-flight transfers finish).
-// Take both directions down with two faults.
-type LinkDown struct {
-	From, To   msg.NodeID
-	Start, End vtime.Millis
-}
-
-func (LinkDown) isFault() {}
-
-// BrokerCrash permanently kills a broker at time At: queued and arriving
-// messages are lost, and its links stop sending.
-type BrokerCrash struct {
-	ID msg.NodeID
-	At vtime.Millis
-}
-
-func (BrokerCrash) isFault() {}
-
-func (c *Config) setDefaults() error {
-	if c.Strategy == nil {
-		c.Strategy = core.MaxEB{}
-	}
-	if c.Params == (core.Params{}) {
-		c.Params = core.DefaultParams()
-	}
-	if c.MinRate == 0 {
-		c.MinRate = 1
-	}
-	c.Workload.Scenario = c.Scenario
-	if c.Workload.Seed == 0 {
-		c.Workload.Seed = c.Seed
-	}
-	return c.Workload.Validate()
-}
-
-// rateSampler draws one per-transfer per-KB rate.
-type rateSampler interface {
-	sample(s *stats.Stream) float64
-}
-
-type normalSampler struct{ d stats.TruncatedNormal }
-
-func (n normalSampler) sample(s *stats.Stream) float64 { return n.d.Sample(s) }
-
-type fixedSampler struct{ mean float64 }
-
-func (f fixedSampler) sample(*stats.Stream) float64 { return f.mean }
-
-type gammaSampler struct {
-	d   stats.ShiftedGamma
-	min float64
-}
-
-func (g gammaSampler) sample(s *stats.Stream) float64 {
-	x := g.d.Sample(s)
-	if x < g.min {
-		return g.min
-	}
-	return x
-}
-
-// newSampler builds the configured sampler for a link with true
-// distribution d.
-func newSampler(model LinkModel, d stats.Normal, minRate float64) rateSampler {
-	switch model {
-	case LinkFixed:
-		return fixedSampler{mean: d.Mean}
-	case LinkGamma:
-		// Shape 4 gamma matched to (mean, sigma²): θ = σ/2,
-		// shift = μ − 2σ. Same two moments, right-skewed tail.
-		return gammaSampler{
-			d:   stats.ShiftedGamma{K: 4, Theta: d.Sigma / 2, Shift: d.Mean - 2*d.Sigma},
-			min: minRate,
-		}
-	default:
-		return normalSampler{d: stats.TruncatedNormal{Normal: d, Min: minRate}}
-	}
-}
+// Deploy implements runtime.Transport.
+func (Transport) Deploy(p *runtime.Plan) (runtime.Deployment, error) { return deploy(p) }
 
 // link is one directed overlay link at runtime. At most one transfer is
 // in flight per link, so the completion event is a single closure built
@@ -190,14 +70,15 @@ type link struct {
 	from, to msg.NodeID
 	busy     bool
 	down     bool
-	sampler  rateSampler
+	sampler  runtime.Sampler
 	stream   *stats.Stream
 	inflight *msg.Message
 	onDone   func()
 }
 
-// Network is an assembled simulation, stepped by its engine. Most callers
-// use Run; tests use New + Engine for finer control.
+// Network is a deployed simulation, stepped by its engine. Most callers
+// use Run; tests use New + Engine for finer control. It implements
+// runtime.Deployment.
 type Network struct {
 	Engine    *sim.Engine
 	Overlay   *topology.Overlay
@@ -211,170 +92,71 @@ type Network struct {
 	tracer trace.Tracer
 }
 
-// New assembles a network: builds (or adopts) the overlay, generates
-// subscriptions, computes routing tables (from true or measured link
-// beliefs), instantiates brokers and links, and schedules all
-// publications.
-func New(cfg Config) (*Network, error) {
-	if err := cfg.setDefaults(); err != nil {
-		return nil, err
-	}
-	ov := cfg.Overlay
-	if ov == nil {
-		tc := cfg.TopologyCfg
-		if tc.Seed == 0 {
-			tc.Seed = cfg.Seed
-		}
-		built, err := topology.BuildLayered(tc)
-		if err != nil {
-			return nil, err
-		}
-		ov = built
-	}
-
+// deploy realizes a plan on a fresh engine: links with the plan's
+// samplers and streams, the plan's brokers, and the fault schedule as
+// timed events.
+func deploy(p *runtime.Plan) (*Network, error) {
 	n := &Network{
 		Engine:    sim.New(),
-		Overlay:   ov,
-		Brokers:   make(map[msg.NodeID]*broker.Broker),
-		Collector: &metrics.Collector{},
-		cfg:       cfg,
+		Overlay:   p.Overlay,
+		Brokers:   p.Brokers,
+		Collector: p.Metrics,
+		cfg:       p.Cfg,
+		subs:      p.Subs,
 		links:     make(map[msg.NodeID]map[msg.NodeID]*link),
 		dead:      make(map[msg.NodeID]bool),
-		tracer:    cfg.Tracer,
+		tracer:    p.Cfg.Tracer,
 	}
 	if n.tracer == nil {
 		n.tracer = trace.Nop{}
 	}
-	if cfg.Subscriptions != nil {
-		n.subs = cfg.Subscriptions
-	} else {
-		n.subs = cfg.Workload.Subscriptions(ov.Edges)
-	}
-
-	// Deterministic link enumeration: sorted arcs.
-	arcs := ov.Graph.Arcs()
-	sort.Slice(arcs, func(i, j int) bool {
-		if arcs[i][0] != arcs[j][0] {
-			return arcs[i][0] < arcs[j][0]
-		}
-		return arcs[i][1] < arcs[j][1]
-	})
-	for i, arc := range arcs {
-		from, to := arc[0], arc[1]
-		truth, _ := ov.Graph.Rate(from, to)
+	for _, pl := range p.Links {
 		l := &link{
-			from:    from,
-			to:      to,
-			sampler: newSampler(cfg.LinkModel, truth, cfg.MinRate),
-			stream:  stats.DeriveN(cfg.Seed, "simnet/link", i),
+			from:    pl.From,
+			to:      pl.To,
+			sampler: p.Sampler(pl),
+			stream:  p.LinkStream(pl),
 		}
 		l.onDone = func() { n.linkDone(l) }
-		if n.links[from] == nil {
-			n.links[from] = make(map[msg.NodeID]*link)
+		if n.links[pl.From] == nil {
+			n.links[pl.From] = make(map[msg.NodeID]*link)
 		}
-		n.links[from][to] = l
+		n.links[pl.From][pl.To] = l
 	}
 
-	// Link-rate beliefs: exact (paper default) or measured.
-	beliefs := func(from, to msg.NodeID) stats.Normal {
-		r, _ := ov.Graph.Rate(from, to)
-		return r
-	}
-	if cfg.MeasureSamples > 0 {
-		measured := make(map[[2]msg.NodeID]stats.Normal, len(arcs))
-		for i, arc := range arcs {
-			truth, _ := ov.Graph.Rate(arc[0], arc[1])
-			sampler := newSampler(cfg.LinkModel, truth, cfg.MinRate)
-			probe := stats.DeriveN(cfg.Seed, "simnet/measure", i)
-			est := &stats.WelfordEstimator{Prior: truth}
-			for k := 0; k < cfg.MeasureSamples; k++ {
-				est.Observe(sampler.sample(probe))
-			}
-			measured[[2]msg.NodeID{arc[0], arc[1]}] = est.Estimate()
-		}
-		beliefs = func(from, to msg.NodeID) stats.Normal {
-			return measured[[2]msg.NodeID{from, to}]
-		}
-	}
-
-	tables, err := routing.Build(ov, n.subs, routing.Options{
-		Rates:     beliefs,
-		Multipath: cfg.Multipath,
-	})
-	if err != nil {
-		return nil, err
-	}
-	if cfg.IndexedMatch {
-		for _, t := range tables {
-			t.EnableIndex()
-		}
-	}
-
-	for id := 0; id < ov.Graph.N(); id++ {
-		nid := msg.NodeID(id)
-		means := make(map[msg.NodeID]float64)
-		for _, e := range ov.Graph.Neighbors(nid) {
-			means[e.To] = beliefs(nid, e.To).Mean
-		}
-		b, err := broker.New(broker.Config{
-			ID:        nid,
-			Scenario:  cfg.Scenario,
-			Params:    cfg.Params,
-			Strategy:  cfg.Strategy,
-			Table:     tables[nid],
-			LinkMeans: means,
-			Dedup:     cfg.Multipath > 1,
-		})
-		if err != nil {
-			return nil, err
-		}
-		n.Brokers[nid] = b
-	}
-
-	// Schedule every publication. Events live in one slab instead of one
-	// closure each; the slab is sized after generation so the element
-	// pointers handed to the engine stay stable.
-	var pubs []*msg.Message
-	for i, ingress := range ov.Ingress {
-		pub := cfg.Workload.NewPublisher(i, ingress)
-		for {
-			m, ok := pub.Next()
-			if !ok {
-				break
-			}
-			pubs = append(pubs, m)
-		}
-	}
-	injects := make([]injectEvent, len(pubs))
-	for i, m := range pubs {
-		injects[i] = injectEvent{n: n, m: m}
-		n.Engine.AtRun(m.Published, &injects[i])
-	}
-
-	// Schedule injected faults.
-	for _, f := range cfg.Faults {
+	// Faults are validated by the plan; here they only become events.
+	for _, f := range p.Cfg.Faults {
 		switch f := f.(type) {
 		case LinkDown:
 			l := n.links[f.From][f.To]
-			if l == nil {
-				return nil, fmt.Errorf("simnet: LinkDown on missing arc %d->%d", f.From, f.To)
-			}
-			if f.End < f.Start {
-				return nil, fmt.Errorf("simnet: LinkDown window [%v,%v) inverted", f.Start, f.End)
-			}
 			n.Engine.At(f.Start, func() { l.down = true })
 			n.Engine.At(f.End, func() {
 				l.down = false
 				n.kick(f.From, f.To)
 			})
 		case BrokerCrash:
-			if _, ok := n.Brokers[f.ID]; !ok {
-				return nil, fmt.Errorf("simnet: BrokerCrash on unknown broker %d", f.ID)
-			}
 			n.Engine.At(f.At, func() { n.dead[f.ID] = true })
-		default:
-			return nil, fmt.Errorf("simnet: unknown fault type %T", f)
 		}
+	}
+	return n, nil
+}
+
+// New assembles a ready-to-step network from a config: plan, deployment,
+// publication accounting and scheduled publications in one call, so
+// driving the engine directly yields the same Collector contents as Run
+// (compatibility surface for tests and benchmarks).
+func New(cfg Config) (*Network, error) {
+	p, err := runtime.NewPlan(cfg)
+	if err != nil {
+		return nil, err
+	}
+	n, err := deploy(p)
+	if err != nil {
+		return nil, err
+	}
+	p.AccountPublications()
+	if err := n.Inject(p.Pubs); err != nil {
+		return nil, err
 	}
 	return n, nil
 }
@@ -382,8 +164,43 @@ func New(cfg Config) (*Network, error) {
 // Subscriptions exposes the generated population (for tests and reports).
 func (n *Network) Subscriptions() []*msg.Subscription { return n.subs }
 
+// Inject implements runtime.Deployment: every publication becomes one
+// event at its virtual Published instant. Events live in one slab
+// instead of one closure each; the slab is sized up front so the element
+// pointers handed to the engine stay stable.
+func (n *Network) Inject(pubs []*msg.Message) error {
+	injects := make([]injectEvent, len(pubs))
+	for i, m := range pubs {
+		injects[i] = injectEvent{n: n, m: m}
+		n.Engine.AtRun(m.Published, &injects[i])
+	}
+	return nil
+}
+
+// Drain implements runtime.Deployment: run the engine until no events
+// remain (all publications done and all queues drained).
+func (n *Network) Drain() error {
+	n.Engine.Run()
+	return nil
+}
+
+// PeakQueue implements runtime.Deployment.
+func (n *Network) PeakQueue() int {
+	peak := 0
+	for _, b := range n.Brokers {
+		if p := b.PeakQueue(); p > peak {
+			peak = p
+		}
+	}
+	return peak
+}
+
+// Close implements runtime.Deployment. The simulator holds no external
+// resources.
+func (n *Network) Close() error { return nil }
+
 // injectEvent is a pre-scheduled publication (one slab element per
-// message; see New).
+// message; see Inject).
 type injectEvent struct {
 	n *Network
 	m *msg.Message
@@ -411,18 +228,9 @@ func (ev *procEvent) Run() {
 }
 
 // inject delivers a freshly published message to its ingress broker.
+// Publication accounting happened in the runtime driver; here the event
+// only enters the network (and the trace).
 func (n *Network) inject(m *msg.Message) {
-	if n.cfg.PerSubscriber {
-		var interested []int32
-		for _, s := range n.subs {
-			if s.Filter.Match(&m.Attrs) {
-				interested = append(interested, int32(s.ID))
-			}
-		}
-		n.Collector.PublishedTo(interested)
-	} else {
-		n.Collector.Published(workload.Interested(n.subs, m))
-	}
 	n.tracer.Emit(trace.Event{T: n.Engine.Now(), Kind: trace.Publish,
 		MsgID: uint64(m.ID), Broker: int32(m.Ingress)})
 	n.arrive(m, m.Ingress)
@@ -500,7 +308,7 @@ func (n *Network) kick(from, to msg.NodeID) {
 	m := e.Data.(*msg.Message)
 	n.tracer.Emit(trace.Event{T: n.Engine.Now(), Kind: trace.Send,
 		MsgID: uint64(m.ID), Broker: int32(from), Peer: int32(to)})
-	tx := e.SizeKB * l.sampler.sample(l.stream)
+	tx := e.SizeKB * l.sampler.Sample(l.stream)
 	e.Release()
 	l.inflight = m
 	n.Engine.After(tx, l.onDone)
@@ -516,25 +324,8 @@ func (n *Network) linkDone(l *link) {
 	n.kick(l.from, l.to)
 }
 
-// Run assembles a network, runs it to completion (all publications done
-// and all queues drained) and returns the metrics.
+// Run executes one configuration on the discrete-event backend through
+// the unified runtime driver and returns the metrics.
 func Run(cfg Config) (metrics.Result, error) {
-	n, err := New(cfg)
-	if err != nil {
-		return metrics.Result{}, err
-	}
-	n.Engine.Run()
-	r := n.Collector.Result()
-	r.Seed = cfg.Seed
-	r.Strategy = cfg.Strategy.Name()
-	r.Scenario = cfg.Scenario.String()
-	r.Label = fmt.Sprintf("%s/%s rate=%.0f", r.Scenario, r.Strategy, cfg.Workload.RatePerMin)
-	peak := 0
-	for _, b := range n.Brokers {
-		if p := b.PeakQueue(); p > peak {
-			peak = p
-		}
-	}
-	r.PeakQueue = peak
-	return r, nil
+	return runtime.Run(cfg, Transport{})
 }

@@ -1,12 +1,10 @@
 package simnet
 
 import (
-	"math"
 	"testing"
 
 	"bdps/internal/core"
 	"bdps/internal/msg"
-	"bdps/internal/stats"
 	"bdps/internal/topology"
 	"bdps/internal/vtime"
 	"bdps/internal/workload"
@@ -225,31 +223,6 @@ func TestLinkModelString(t *testing.T) {
 	}
 	if LinkModel(9).String() == "" {
 		t.Error("unknown model should still render")
-	}
-}
-
-func TestSamplerMoments(t *testing.T) {
-	truth := stats.Normal{Mean: 75, Sigma: 20}
-	for _, tc := range []struct {
-		model LinkModel
-		name  string
-	}{{LinkNormal, "normal"}, {LinkGamma, "gamma"}} {
-		s := newSampler(tc.model, truth, 1)
-		stream := stats.NewStream(5)
-		var w stats.Welford
-		for i := 0; i < 100000; i++ {
-			w.Add(s.sample(stream))
-		}
-		if math.Abs(w.Mean()-75) > 1.5 {
-			t.Errorf("%s sampler mean = %v, want ≈75", tc.name, w.Mean())
-		}
-		if math.Abs(w.Std()-20) > 2 {
-			t.Errorf("%s sampler std = %v, want ≈20", tc.name, w.Std())
-		}
-	}
-	fixed := newSampler(LinkFixed, truth, 1)
-	if fixed.sample(stats.NewStream(1)) != 75 {
-		t.Error("fixed sampler should return the mean")
 	}
 }
 
