@@ -15,7 +15,11 @@ verify: build vet test
 
 # bench emits the perf-trajectory file for this PR: every benchmark at a
 # fixed, comparable iteration count, with allocation stats, as the JSON
-# stream go test produces with -json.
+# stream go test produces with -json. The live-throughput pair (legacy =
+# the pre-PR-4 single-threaded plane, sharded = the zero-copy batched
+# plane) is re-run at sustained scale, where the before/after contrast
+# is the acceptance number.
 bench:
-	$(GO) test -json -run '^$$' -bench . -benchmem -benchtime 100x . > BENCH_pr2.json
-	@grep -o '"Output":"Benchmark[^"]*ns/op[^"]*"' BENCH_pr2.json | head -50 || true
+	$(GO) test -json -run '^$$' -bench . -benchmem -benchtime 100x . > BENCH_pr4.json
+	$(GO) test -json -run '^$$' -bench BenchmarkLiveThroughput -benchmem -benchtime 20000x . >> BENCH_pr4.json
+	@grep -o '"Output":"Benchmark[^"]*ns/op[^"]*"' BENCH_pr4.json | head -60 || true

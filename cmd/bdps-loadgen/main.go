@@ -1,0 +1,205 @@
+// bdps-loadgen drives an in-process live cluster at maximum rate and
+// reports data-plane throughput: msgs/sec end to end (injection through
+// cluster quiescence) and allocations per message across the whole
+// pipeline. TimeScale ≈ 0 turns the emulated link pacing and processing
+// delay off, so the measurement isolates the transport itself — decode,
+// match, enqueue, schedule, encode, socket writes.
+//
+// With -compare it benchmarks the classic single-threaded plane and the
+// sharded zero-copy plane back to back on the same workload:
+//
+//	bdps-loadgen -compare -n 20000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	grt "runtime"
+	"sync"
+	"time"
+
+	"bdps/internal/core"
+	"bdps/internal/filter"
+	"bdps/internal/livenet"
+	"bdps/internal/msg"
+	"bdps/internal/stats"
+	"bdps/internal/topology"
+	"bdps/internal/vtime"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 20000, "messages to publish")
+		pubs    = flag.Int("pubs", 4, "publishing clients (distinct streams)")
+		subs    = flag.Int("subs", 1, "subscribers at the edge broker")
+		brokers = flag.Int("brokers", 3, "chain length (ingress → … → edge)")
+		shards  = flag.Int("shards", grt.GOMAXPROCS(0), "ingress worker shards per broker; 0 = classic single-threaded plane")
+		burst   = flag.Int("burst", 0, "egress burst cap (0 = default)")
+		sizeKB  = flag.Float64("size", 1, "emulated message size in KB")
+		payload = flag.Int("payload", 0, "payload bytes per message")
+		compare = flag.Bool("compare", false, "run the classic plane, then the sharded plane, and report the speedup")
+	)
+	flag.Parse()
+	cfg := loadCfg{
+		n: *n, pubs: *pubs, subs: *subs, brokers: *brokers,
+		shards: *shards, burst: *burst, sizeKB: *sizeKB, payload: *payload,
+	}
+	if *compare {
+		legacy := cfg
+		legacy.shards = 0
+		before := must(run(legacy))
+		report("classic", legacy, before)
+		after := must(run(cfg))
+		report(fmt.Sprintf("sharded(%d)", cfg.shards), cfg, after)
+		fmt.Printf("speedup: %.2fx msgs/sec, %.1fx fewer allocs/msg\n",
+			after.msgsPerSec/before.msgsPerSec, before.allocsPerMsg/after.allocsPerMsg)
+		return
+	}
+	report(planeName(cfg.shards), cfg, must(run(cfg)))
+}
+
+func planeName(shards int) string {
+	if shards == 0 {
+		return "classic"
+	}
+	return fmt.Sprintf("sharded(%d)", shards)
+}
+
+func must(r result, err error) result {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return r
+}
+
+func report(plane string, cfg loadCfg, r result) {
+	fmt.Printf("%-11s %8d msgs in %8.3fs  %9.0f msgs/sec  %6.1f allocs/msg  %8.1f B/msg  (deliveries %d, receptions %d)\n",
+		plane, cfg.n, r.elapsed.Seconds(), r.msgsPerSec, r.allocsPerMsg, r.bytesPerMsg, r.deliveries, r.receptions)
+}
+
+type loadCfg struct {
+	n, pubs, subs, brokers int
+	shards, burst          int
+	sizeKB                 float64
+	payload                int
+}
+
+type result struct {
+	elapsed      time.Duration
+	msgsPerSec   float64
+	allocsPerMsg float64
+	bytesPerMsg  float64
+	deliveries   int
+	receptions   int
+}
+
+func run(cfg loadCfg) (result, error) {
+	if cfg.brokers < 2 {
+		return result{}, fmt.Errorf("need at least 2 brokers, got %d", cfg.brokers)
+	}
+	g := topology.NewGraph(cfg.brokers)
+	for i := 0; i < cfg.brokers-1; i++ {
+		if err := g.AddLink(msg.NodeID(i), msg.NodeID(i+1), stats.Normal{Mean: 50, Sigma: 5}); err != nil {
+			return result{}, err
+		}
+	}
+	edge := msg.NodeID(cfg.brokers - 1)
+	c, err := livenet.StartCluster(livenet.ClusterConfig{
+		Overlay:   &topology.Overlay{Graph: g, Ingress: []msg.NodeID{0}, Edges: []msg.NodeID{edge}},
+		Scenario:  msg.PSD,
+		Strategy:  core.MaxEB{},
+		TimeScale: 1e-9, // pacing off: emulated sleeps round to 0 wall time
+		Seed:      1,
+		Shards:    cfg.shards,
+		Burst:     cfg.burst,
+	})
+	if err != nil {
+		return result{}, err
+	}
+	defer c.Stop()
+
+	for i := 0; i < cfg.subs; i++ {
+		sub := &msg.Subscription{ID: msg.SubID(i + 1), Edge: edge, Filter: &filter.Filter{}}
+		s, err := livenet.DialSubscriber(c.Addr(edge), sub)
+		if err != nil {
+			return result{}, err
+		}
+		defer s.Close()
+	}
+	time.Sleep(100 * time.Millisecond) // subscription flood
+
+	publishers := make([]*livenet.Publisher, cfg.pubs)
+	for i := range publishers {
+		p, err := livenet.DialPublisher(c.Addr(0), msg.NodeID(i))
+		if err != nil {
+			return result{}, err
+		}
+		defer p.Close()
+		publishers[i] = p
+	}
+	attrs := msg.NumAttrs(map[string]float64{"A1": 1, "A2": 2})
+	var body []byte
+	if cfg.payload > 0 {
+		body = make([]byte, cfg.payload)
+	}
+
+	grt.GC()
+	var before, after grt.MemStats
+	grt.ReadMemStats(&before)
+	start := time.Now()
+
+	var wg sync.WaitGroup
+	var firstErr error
+	var errOnce sync.Once
+	for i, p := range publishers {
+		k := cfg.n / cfg.pubs
+		if i < cfg.n%cfg.pubs {
+			k++
+		}
+		wg.Add(1)
+		go func(p *livenet.Publisher, k int) {
+			defer wg.Done()
+			for j := 0; j < k; j++ {
+				if _, err := p.Publish(0, attrs, cfg.sizeKB, 60*vtime.Second, body); err != nil {
+					errOnce.Do(func() { firstErr = err })
+					return
+				}
+			}
+		}(p, k)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return result{}, firstErr
+	}
+
+	deadline := time.Now().Add(5 * time.Minute)
+	idle := 0
+	for idle < 2 {
+		if time.Now().After(deadline) {
+			return result{}, fmt.Errorf("cluster did not quiesce")
+		}
+		if c.Quiescent(cfg.n) {
+			idle++
+		} else {
+			idle = 0
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	elapsed := time.Since(start)
+	grt.ReadMemStats(&after)
+
+	total := c.TotalStats()
+	if total.Deliveries < cfg.n*cfg.subs {
+		fmt.Fprintf(os.Stderr, "warning: delivered %d of %d expected\n", total.Deliveries, cfg.n*cfg.subs)
+	}
+	return result{
+		elapsed:      elapsed,
+		msgsPerSec:   float64(cfg.n) / elapsed.Seconds(),
+		allocsPerMsg: float64(after.Mallocs-before.Mallocs) / float64(cfg.n),
+		bytesPerMsg:  float64(after.TotalAlloc-before.TotalAlloc) / float64(cfg.n),
+		deliveries:   total.Deliveries,
+		receptions:   total.Receptions,
+	}, nil
+}

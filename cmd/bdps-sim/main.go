@@ -63,8 +63,9 @@ func run(args []string) error {
 		topoDump = fs.Bool("dump-topology", false, "print the layered overlay as JSON and exit")
 		traceOut = fs.String("trace", "", "write a JSONL event trace (single mode)")
 
-		backend   = fs.String("backend", "sim", "runtime backend: sim (discrete-event) or live (loopback TCP overlay)")
-		timescale = fs.Float64("timescale", 0.001, "live backend: wall seconds per emulated second")
+		backend    = fs.String("backend", "sim", "runtime backend: sim (discrete-event) or live (loopback TCP overlay)")
+		timescale  = fs.Float64("timescale", 0.001, "live backend: wall seconds per emulated second")
+		liveShards = fs.Int("live-shards", 0, "live backend: ingress worker shards per broker (0 = single-threaded plane)")
 
 		scenario = fs.String("scenario", "psd", "psd, ssd or both (single mode)")
 		strategy = fs.String("strategy", "eb", "fifo, rl, eb, pc, ebpc[:r] (single mode)")
@@ -141,6 +142,7 @@ func run(args []string) error {
 			MeasureSamples: *measure,
 			LinkModel:      lm,
 			TimeScale:      ts,
+			LiveShards:     *liveShards,
 		}
 		var traceFile *os.File
 		if *traceOut != "" {
@@ -176,6 +178,7 @@ func run(args []string) error {
 		Parallelism:    *parallel,
 		Backend:        bk,
 		TimeScale:      ts,
+		LiveShards:     *liveShards,
 	}
 	if *ebpcW != "" {
 		w, err := strconv.ParseFloat(*ebpcW, 64)

@@ -4,10 +4,19 @@
 // strategy. The broker is runtime-agnostic: the discrete-event simulator
 // and the live TCP runtime both drive the same Process logic and the same
 // queues.
+//
+// Process runs in two regimes. The serial regime — Broker.Process — is
+// what the simulator and the single-threaded live path use: one caller
+// at a time, no locking. The concurrent regime hands each worker its own
+// Processor (per-worker match/grouping scratch); Processors from one
+// broker may run in parallel for independent publication streams,
+// synchronizing only where state is genuinely shared — per-queue locks
+// around enqueues and a striped dedup set.
 package broker
 
 import (
 	"fmt"
+	"sync"
 
 	"bdps/internal/core"
 	"bdps/internal/msg"
@@ -38,21 +47,17 @@ type Broker struct {
 	table    *routing.Table
 
 	linkMeans map[msg.NodeID]float64
-	queues    map[msg.NodeID]*core.Queue
+	// qmu guards the queues map (not the queues themselves: concurrent
+	// owners stripe on each queue's own mutex).
+	qmu    sync.RWMutex
+	queues map[msg.NodeID]*core.Queue
 
 	dedup bool
-	seen  map[msg.ID]struct{}
+	seen  dedupSet
 
-	// Reusable per-Process scratch: the processing hot path is
-	// allocation-free in steady state. matchBuf backs the routing-table
-	// match, grouper the next-hop bucketing, res the returned slices,
-	// and subEpoch deduplicates subscriptions within one target group
-	// (stamped with epoch so it is never cleared).
-	matchBuf []*routing.Entry
-	grouper  routing.Grouper
-	res      Result
-	subEpoch map[msg.SubID]uint64
-	epoch    uint64
+	// proc is the broker-owned scratch behind the serial Process entry
+	// point. Concurrent drivers get their own via NewProcessor.
+	proc Processor
 }
 
 // New builds a broker from its configuration.
@@ -72,11 +77,12 @@ func New(cfg Config) (*Broker, error) {
 		linkMeans: cfg.LinkMeans,
 		queues:    make(map[msg.NodeID]*core.Queue),
 		dedup:     cfg.Dedup,
-		subEpoch:  make(map[msg.SubID]uint64),
 	}
 	if b.dedup {
-		b.seen = make(map[msg.ID]struct{})
+		b.seen.init()
 	}
+	b.proc.b = b
+	b.proc.subEpoch = make(map[msg.SubID]uint64)
 	return b, nil
 }
 
@@ -96,25 +102,45 @@ func (b *Broker) Table() *routing.Table { return b.table }
 // Queue returns (creating on first use) the output queue toward a
 // downstream neighbor.
 func (b *Broker) Queue(next msg.NodeID) *core.Queue {
-	q, ok := b.queues[next]
-	if !ok {
+	b.qmu.RLock()
+	q := b.queues[next]
+	b.qmu.RUnlock()
+	if q != nil {
+		return q
+	}
+	b.qmu.Lock()
+	defer b.qmu.Unlock()
+	if q = b.queues[next]; q == nil {
 		q = core.NewQueue(b.linkMeans[next])
 		b.queues[next] = q
 	}
 	return q
 }
 
-// Queues exposes the instantiated output queues (diagnostics).
+// Queues exposes the instantiated output queues (diagnostics). The map
+// is a snapshot-free view: callers that may race queue creation use
+// EachQueue instead.
 func (b *Broker) Queues() map[msg.NodeID]*core.Queue { return b.queues }
+
+// EachQueue calls fn for every instantiated queue under the map lock,
+// safe against concurrent queue creation. fn must not call back into
+// Queue.
+func (b *Broker) EachQueue(fn func(next msg.NodeID, q *core.Queue)) {
+	b.qmu.RLock()
+	defer b.qmu.RUnlock()
+	for next, q := range b.queues {
+		fn(next, q)
+	}
+}
 
 // PeakQueue returns the largest occupancy any output queue reached.
 func (b *Broker) PeakQueue() int {
 	peak := 0
-	for _, q := range b.queues {
+	b.EachQueue(func(_ msg.NodeID, q *core.Queue) {
 		if q.Peak() > peak {
 			peak = q.Peak()
 		}
-	}
+	})
 	return peak
 }
 
@@ -127,8 +153,8 @@ type Delivery struct {
 }
 
 // Result reports what Process did with a message. The slices are views
-// over broker-owned scratch buffers, valid until the broker's next
-// Process call; runtimes consume them before processing again.
+// over processor-owned scratch buffers, valid until that processor's
+// next Process call; runtimes consume them before processing again.
 type Result struct {
 	// Deliveries to subscribers attached to this broker.
 	Deliveries []Delivery
@@ -142,43 +168,83 @@ type Result struct {
 	Duplicate bool
 }
 
+// Process handles one received message in the serial regime (see the
+// package comment); it must not run concurrently with itself or with
+// Processors of the same broker.
+func (b *Broker) Process(m *msg.Message, now vtime.Millis) Result {
+	return b.proc.process(m, now)
+}
+
+// Processor is one worker's view of a broker: the per-message scratch
+// (match buffer, next-hop grouper, result slices, within-message
+// subscription dedup) that Process needs exclusively, plus a reference
+// to the shared broker state. Processors of one broker may Process
+// concurrently — for distinct messages — as long as the routing table is
+// not mutated underneath them; enqueues take each queue's lock and the
+// arrival dedup set stripes internally.
+type Processor struct {
+	b      *Broker
+	locked bool // take per-queue locks around enqueues
+
+	matchBuf []*routing.Entry
+	grouper  routing.Grouper
+	res      Result
+	subEpoch map[msg.SubID]uint64
+	epoch    uint64
+}
+
+// NewProcessor returns a Processor for concurrent use.
+func (b *Broker) NewProcessor() *Processor {
+	return &Processor{b: b, locked: true, subEpoch: make(map[msg.SubID]uint64)}
+}
+
 // Process handles one received message at the given time: deliver to
 // local subscribers, and enqueue one entry per distinct next hop carrying
 // the targets routed through it (§4.2's table drives both). It implements
 // the early deletion rule of §5.4 at arrival: forwarding intents that are
 // already expired — or hopeless when ε-detection is on — are dropped
 // before consuming queue space.
-func (b *Broker) Process(m *msg.Message, now vtime.Millis) Result {
-	res := &b.res
+func (p *Processor) Process(m *msg.Message, now vtime.Millis) Result {
+	return p.process(m, now)
+}
+
+func (p *Processor) process(m *msg.Message, now vtime.Millis) Result {
+	b := p.b
+	res := &p.res
 	res.Deliveries = res.Deliveries[:0]
 	res.EnqueuedHops = res.EnqueuedHops[:0]
 	res.ArrivalDrops = 0
 	res.Duplicate = false
 	if b.dedup {
-		if _, dup := b.seen[m.ID]; dup {
+		if !b.seen.add(m.ID) {
 			res.Duplicate = true
 			return *res
 		}
-		b.seen[m.ID] = struct{}{}
 	}
 
-	b.matchBuf = b.table.MatchAppend(m, b.matchBuf[:0])
-	matched := b.matchBuf
+	if p.locked {
+		// The counting index keeps match-epoch scratch inside itself;
+		// concurrent matchers take the stateless linear scan.
+		p.matchBuf = b.table.MatchAppendLinear(m, p.matchBuf[:0])
+	} else {
+		p.matchBuf = b.table.MatchAppend(m, p.matchBuf[:0])
+	}
+	matched := p.matchBuf
 	if len(matched) == 0 {
 		return *res
 	}
-	hops, groups := b.grouper.Group(matched)
+	hops, groups := p.grouper.Group(matched)
 	for k, hop := range hops {
 		entries := groups[k]
 		if hop == msg.None {
 			// Multi-path routing installs one local entry per path;
 			// deliver to each subscriber once per message.
-			b.epoch++
+			p.epoch++
 			for _, e := range entries {
-				if b.subEpoch[e.Sub.ID] == b.epoch {
+				if p.subEpoch[e.Sub.ID] == p.epoch {
 					continue
 				}
-				b.subEpoch[e.Sub.ID] = b.epoch
+				p.subEpoch[e.Sub.ID] = p.epoch
 				allowed, price := b.scenario.AllowedDelay(m, e.Sub)
 				latency := now - m.Published
 				res.Deliveries = append(res.Deliveries, Delivery{
@@ -190,13 +256,20 @@ func (b *Broker) Process(m *msg.Message, now vtime.Millis) Result {
 			}
 			continue
 		}
-		entry := b.buildEntry(m, entries)
+		entry := p.buildEntry(m, entries)
 		if !core.Viable(entry, now, b.params) {
 			res.ArrivalDrops++
 			entry.Release()
 			continue
 		}
-		b.Queue(hop).Enqueue(entry, now)
+		q := b.Queue(hop)
+		if p.locked {
+			q.Lock()
+			q.Enqueue(entry, now)
+			q.Unlock()
+		} else {
+			q.Enqueue(entry, now)
+		}
 		res.EnqueuedHops = append(res.EnqueuedHops, hop)
 	}
 	return *res
@@ -206,20 +279,21 @@ func (b *Broker) Process(m *msg.Message, now vtime.Millis) Result {
 // queue entry with per-subscriber targets (§4.2 → §5.1 inputs). The
 // entry is released back to the pool by whoever removes it from the
 // queue (or immediately, if it never gets enqueued).
-func (b *Broker) buildEntry(m *msg.Message, entries []*routing.Entry) *core.Entry {
+func (p *Processor) buildEntry(m *msg.Message, entries []*routing.Entry) *core.Entry {
+	b := p.b
 	e := core.GetEntry()
 	e.MsgID = uint64(m.ID)
 	e.SizeKB = m.SizeKB
 	e.Published = m.Published
 	e.Data = m
-	b.epoch++
+	p.epoch++
 	for _, re := range entries {
 		// Collapse multi-path duplicates of the same subscription within
 		// one next hop so EB does not double-count its benefit.
-		if b.subEpoch[re.Sub.ID] == b.epoch {
+		if p.subEpoch[re.Sub.ID] == p.epoch {
 			continue
 		}
-		b.subEpoch[re.Sub.ID] = b.epoch
+		p.subEpoch[re.Sub.ID] = p.epoch
 		allowed, price := b.scenario.AllowedDelay(m, re.Sub)
 		if allowed <= 0 {
 			// No bound applies (misconfigured subscription); treat as
@@ -235,4 +309,38 @@ func (b *Broker) buildEntry(m *msg.Message, entries []*routing.Entry) *core.Entr
 		})
 	}
 	return e
+}
+
+// dedupStripes is the stripe count of the arrival dedup set; a power of
+// two so the stripe pick is a mask.
+const dedupStripes = 16
+
+// dedupSet is the striped message-id set behind multi-path arrival
+// dedup: concurrent Processors contend only when two copies of messages
+// land on the same stripe at the same instant.
+type dedupSet struct {
+	stripes [dedupStripes]struct {
+		mu sync.Mutex
+		m  map[msg.ID]struct{}
+	}
+}
+
+func (d *dedupSet) init() {
+	for i := range d.stripes {
+		d.stripes[i].m = make(map[msg.ID]struct{})
+	}
+}
+
+// add inserts id and reports whether it was new.
+func (d *dedupSet) add(id msg.ID) bool {
+	// Publisher index lives in the high 32 bits, sequence in the low;
+	// folding both spreads a single hot stream across stripes.
+	s := &d.stripes[(uint64(id)^uint64(id)>>32)&(dedupStripes-1)]
+	s.mu.Lock()
+	_, dup := s.m[id]
+	if !dup {
+		s.m[id] = struct{}{}
+	}
+	s.mu.Unlock()
+	return !dup
 }

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"testing"
+
+	"bdps/internal/stats"
+	"bdps/internal/vtime"
+)
+
+func burstQueue(n int) *Queue {
+	q := NewQueue(70)
+	for i := 0; i < n; i++ {
+		e := GetEntry()
+		e.SizeKB = 50
+		e.Targets = append(e.Targets, Target{
+			Deadline: vtime.Millis(30000 + (i%37)*997),
+			Price:    float64(1 + i%3),
+			Hops:     1 + i%3,
+			Rate:     stats.Normal{Mean: 70 * float64(1+i%3), Sigma: 20},
+		})
+		q.Enqueue(e, vtime.Millis(i))
+	}
+	return q
+}
+
+// TestPopBurstMatchesSequentialPicks pins the heap selection to the
+// semantics it replaces: for every strategy, PopBurst at one instant
+// must remove the same entries as k successive PopNext calls at that
+// instant, in the same order whenever the strategy's scores are
+// distinct. (On ties the two break differently — both deterministically
+// — so the sequence comparison uses FIFO and RL, whose scores here are
+// unique, and the set comparison covers the metric strategies.)
+func TestPopBurstMatchesSequentialPicks(t *testing.T) {
+	p := DefaultParams()
+	now := vtime.Millis(5000)
+	const n, k = 64, 16
+
+	for _, s := range []Strategy{FIFO{}, RL{}, MaxEB{}, MaxPC{}, MaxEBPC{R: 0.5}} {
+		seq := burstQueue(n)
+		var want []*Entry
+		for i := 0; i < k; i++ {
+			e, _ := seq.PopNext(s, now, p)
+			if e == nil {
+				break
+			}
+			want = append(want, e)
+		}
+
+		bur := burstQueue(n)
+		got, _ := bur.PopBurst(s, now, p, k, nil)
+		if len(got) != len(want) {
+			t.Fatalf("%s: PopBurst took %d entries, sequential took %d", s.Name(), len(got), len(want))
+		}
+		if bur.Len() != seq.Len() {
+			t.Fatalf("%s: queue left with %d entries, want %d", s.Name(), bur.Len(), seq.Len())
+		}
+
+		switch s.(type) {
+		case FIFO, RL:
+			// Scores are unique here (distinct Seq / distinct deadline
+			// mixes): the sequences must match exactly.
+			for i := range got {
+				if got[i].Seq != want[i].Seq {
+					t.Fatalf("%s: order diverged at %d: seq %d vs %d",
+						s.Name(), i, got[i].Seq, want[i].Seq)
+				}
+			}
+		default:
+			// Metric strategies tie once targets saturate (EB = Σ price),
+			// and the two tie-breaks legitimately choose different tied
+			// entries; the per-rank scores must still match exactly.
+			ms, ok := s.(MetricStrategy)
+			if !ok {
+				t.Fatalf("%s: expected a MetricStrategy", s.Name())
+			}
+			ctx := Context{Now: now, PD: p.PD, FT: burstQueue(n).FT()}
+			for i := range got {
+				gs, ws := ms.Metric(got[i], ctx), ms.Metric(want[i], ctx)
+				if gs != ws {
+					t.Fatalf("%s: rank-%d score diverged: %g vs %g", s.Name(), i, gs, ws)
+				}
+			}
+		}
+		for _, e := range append(want, got...) {
+			e.Release()
+		}
+	}
+}
+
+// TestPopBurstDrainsEverything checks the k > len path and that a
+// drained queue is empty.
+func TestPopBurstDrainsEverything(t *testing.T) {
+	q := burstQueue(10)
+	out, _ := q.PopBurst(MaxEB{}, 5000, DefaultParams(), 64, nil)
+	if len(out) != 10 || q.Len() != 0 {
+		t.Fatalf("drain took %d entries, queue left %d", len(out), q.Len())
+	}
+	for _, e := range out {
+		e.Release()
+	}
+}
+
+func BenchmarkPopBurst(b *testing.B) {
+	p := DefaultParams()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		q := burstQueue(512)
+		b.StartTimer()
+		out, _ := q.PopBurst(MaxEB{}, 5000, p, 32, nil)
+		b.StopTimer()
+		for _, e := range out {
+			e.Release()
+		}
+		for q.Len() > 0 {
+			q.RemoveAt(0).Release()
+		}
+		b.StartTimer()
+	}
+}

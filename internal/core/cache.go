@@ -32,6 +32,10 @@ type entryCache struct {
 	maxDeadline vtime.Millis // all targets expired iff now > maxDeadline
 	minSure     vtime.Millis // now ≤ minSure ⇒ every target is certain
 	sure        []vtime.Millis
+	// sure0 is the inline backing for sure when the entry has at most
+	// four targets — the overwhelmingly common case — so building the
+	// cache for a fresh (unpooled) entry allocates nothing.
+	sure0 [4]vtime.Millis
 
 	// Memoized metric values, keyed by the evaluation time (and pd via
 	// the cache itself). Pick/Prune sequences at one instant — and the
@@ -59,7 +63,14 @@ func (e *Entry) metrics(pd vtime.Millis) *entryCache {
 	c.priceSum = 0
 	c.maxDeadline = math.Inf(-1)
 	c.minSure = math.Inf(1)
-	c.sure = c.sure[:0]
+	switch {
+	case cap(c.sure) >= len(e.Targets):
+		c.sure = c.sure[:0]
+	case len(e.Targets) <= len(c.sure0):
+		c.sure = c.sure0[:0]
+	default:
+		c.sure = make([]vtime.Millis, 0, len(e.Targets))
+	}
 	if len(e.Targets) == 0 {
 		// No targets: never certain (and AllExpired is vacuously true).
 		c.minSure = math.Inf(-1)

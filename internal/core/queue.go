@@ -1,6 +1,10 @@
 package core
 
-import "bdps/internal/vtime"
+import (
+	"sync"
+
+	"bdps/internal/vtime"
+)
 
 // Queue is one broker output queue, feeding one downstream link (§3.2,
 // Figure 2: "one output queue is created for each downstream neighbor").
@@ -17,6 +21,13 @@ import "bdps/internal/vtime"
 // rate on the link", with the average taken over everything this queue
 // has seen.
 type Queue struct {
+	// Mutex serializes owners that share one queue across goroutines:
+	// the sharded live data plane locks it around Enqueue on the ingress
+	// side and PopNext on the egress side (the per-queue stripe of its
+	// locking scheme). Single-threaded drivers — the simulator — never
+	// touch it.
+	sync.Mutex
+
 	// LinkMean is the believed mean per-KB transmission time of the link
 	// this queue feeds, used for the FT estimate.
 	LinkMean float64
@@ -32,6 +43,9 @@ type Queue struct {
 
 	// drops is the reusable Prune output buffer; see Prune.
 	drops []Drop
+	// burst and taken are PopBurst's reusable selection scratch.
+	burst []burstItem
+	taken []int
 
 	// Prune skip state: after a full scan under parameters wakeP, no
 	// entry can expire or turn hopeless before wakeUntil (the earliest
@@ -156,6 +170,12 @@ func (q *Queue) Prune(now vtime.Millis, p Params) []Drop {
 	if q.wakeOK && p == q.wakeP && now <= q.wakeUntil {
 		return nil
 	}
+	if q.drops == nil && len(q.entries) > 0 {
+		// First prune of this queue: size the reusable drop buffer for
+		// the worst case (everything expired at once) so a mass-expiry
+		// scan does not regrow it allocation by allocation.
+		q.drops = make([]Drop, 0, len(q.entries))
+	}
 	q.drops = q.drops[:0]
 	wake := vtime.Inf
 	for i := 0; i < len(q.entries); {
@@ -195,4 +215,117 @@ func (q *Queue) PopNext(s Strategy, now vtime.Millis, p Params) (*Entry, []Drop)
 		return nil, drops
 	}
 	return q.RemoveAt(i), drops
+}
+
+// burstItem is one scored entry in PopBurst's selection heap.
+type burstItem struct {
+	score float64 // higher first
+	seq   uint64  // tie-break: earlier arrival first
+	idx   int     // position in q.entries at scoring time
+}
+
+// PopBurst prunes once, then removes up to k entries in the order the
+// strategy would send them at one scheduling instant, appending them to
+// out. Every built-in strategy ranks entries by a per-entry score that
+// is independent of the rest of the queue (EB, PC, EBPC maximize a
+// metric; RL minimizes remaining lifetime; FIFO minimizes Seq), so k
+// successive Picks at one instant are top-k selection; PopBurst scores
+// each entry once and heap-selects — O(n + k log n) instead of Pick's
+// O(k·n) — which is what keeps a deep backlog drain linear per message.
+// Ties (common under EB once targets saturate) break toward the earlier
+// arrival, where sequential Pick breaks toward the current slice index;
+// both are deterministic resolutions of equal priorities. A strategy
+// outside the built-in forms falls back to sequential PopNext picks.
+//
+// The drops slice is a queue-owned buffer, valid until the next Prune,
+// PopNext or PopBurst call.
+func (q *Queue) PopBurst(s Strategy, now vtime.Millis, p Params, k int, out []*Entry) ([]*Entry, []Drop) {
+	drops := q.Prune(now, p)
+	if len(q.entries) == 0 || k <= 0 {
+		return out, drops
+	}
+	ctx := q.Context(now, p)
+	var score func(e *Entry) float64
+	switch s := s.(type) {
+	case MetricStrategy:
+		score = func(e *Entry) float64 { return s.Metric(e, ctx) }
+	case FIFO:
+		// Seq asc ≡ score desc; exact while Seq < 2^53 (every run ever).
+		score = func(e *Entry) float64 { return -float64(e.Seq) }
+	case RL:
+		score = func(e *Entry) float64 { return -AvgRemainingLifetime(e, ctx.Now) }
+	default:
+		for ; k > 0 && len(q.entries) > 0; k-- {
+			i := s.Pick(q.entries, ctx)
+			if i < 0 || i >= len(q.entries) {
+				break
+			}
+			out = append(out, q.RemoveAt(i))
+		}
+		return out, drops
+	}
+
+	// Score every entry once, heapify, pop the k best.
+	h := q.burst[:0]
+	for i, e := range q.entries {
+		h = append(h, burstItem{score: score(e), seq: e.Seq, idx: i})
+	}
+	q.burst = h
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		burstSiftDown(h, i)
+	}
+	if k > len(h) {
+		k = len(h)
+	}
+	taken := q.taken[:0]
+	for i := 0; i < k; i++ {
+		top := h[0]
+		out = append(out, q.entries[top.idx])
+		taken = append(taken, top.idx)
+		last := len(h) - 1
+		h[0] = h[last]
+		h = h[:last]
+		if len(h) > 0 {
+			burstSiftDown(h, 0)
+		}
+	}
+	q.taken = taken
+	// Remove the taken slots in descending index order: RemoveAt swaps
+	// the tail in, which only disturbs indices above the one removed —
+	// all already handled. Insertion sort: k is burst-sized and the
+	// stdlib sort would box two interfaces per call.
+	for i := 1; i < len(taken); i++ {
+		for j := i; j > 0 && taken[j] > taken[j-1]; j-- {
+			taken[j], taken[j-1] = taken[j-1], taken[j]
+		}
+	}
+	for _, i := range taken {
+		q.RemoveAt(i)
+	}
+	return out, drops
+}
+
+func burstLess(a, b burstItem) bool {
+	if a.score != b.score {
+		return a.score > b.score
+	}
+	return a.seq < b.seq
+}
+
+func burstSiftDown(h []burstItem, i int) {
+	for {
+		l := 2*i + 1
+		if l >= len(h) {
+			return
+		}
+		best := l
+		if r := l + 1; r < len(h) && burstLess(h[r], h[l]) {
+			best = r
+		}
+		if !burstLess(h[best], h[i]) {
+			return
+		}
+		h[i], h[best] = h[best], h[i]
+		i = best
+	}
 }

@@ -39,6 +39,7 @@ func (o *Options) config(c Cell) simnet.Config {
 		MeasureSamples: o.MeasureSamples,
 		LinkModel:      o.LinkModel,
 		TimeScale:      o.TimeScale,
+		LiveShards:     o.LiveShards,
 	}
 }
 

@@ -252,7 +252,7 @@ func TestConfigKeyCoversAllFields(t *testing.T) {
 		"Multipath": true, "MeasureSamples": true, "LinkModel": true,
 		"MinRate": true, "Faults": true, "Tracer": true,
 		"PerSubscriber": true, "IndexedMatch": true, "Subscriptions": true,
-		"TimeScale": true,
+		"TimeScale": true, "LiveShards": true,
 	}
 	rt := reflect.TypeOf(simnet.Config{})
 	for i := 0; i < rt.NumField(); i++ {

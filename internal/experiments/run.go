@@ -54,6 +54,9 @@ type Options struct {
 	// TimeScale compresses emulated delays on wall-clock backends (see
 	// runtime.Config.TimeScale); ignored by the simulator.
 	TimeScale float64
+	// LiveShards selects the live backend's data plane (see
+	// runtime.Config.LiveShards); ignored by the simulator.
+	LiveShards int
 	// Progress, when non-nil, receives one line per completed run. It
 	// may be called from worker goroutines, but never concurrently:
 	// calls are serialized by the harness. Line order under parallelism

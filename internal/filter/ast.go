@@ -23,6 +23,40 @@ func (n predNode) str(b *strings.Builder, _ byte) { b.WriteString(n.p.String()) 
 
 func (n predNode) dnf() [][]Predicate { return [][]Predicate{{n.p}} }
 
+// conjNode is a flat conjunction of predicates — the overwhelmingly
+// common filter shape ("A1 < x && A2 < y") — backed by one predicate
+// slice instead of one boxed node per term. The parser emits it for any
+// pure-predicate conjunction; semantics, rendering and DNF are
+// identical to the equivalent andNode of predNodes.
+type conjNode struct{ preds []Predicate }
+
+func (n conjNode) match(a Attrs) bool {
+	for i := range n.preds {
+		v, ok := a.Attr(n.preds[i].Attr)
+		if !ok || !n.preds[i].MatchValue(v) {
+			return false
+		}
+	}
+	return true
+}
+
+func (n conjNode) str(b *strings.Builder, parenCtx byte) {
+	if parenCtx == 'p' {
+		b.WriteByte('(')
+	}
+	for i := range n.preds {
+		if i > 0 {
+			b.WriteString(" && ")
+		}
+		b.WriteString(n.preds[i].String())
+	}
+	if parenCtx == 'p' {
+		b.WriteByte(')')
+	}
+}
+
+func (n conjNode) dnf() [][]Predicate { return [][]Predicate{n.preds} }
+
 type andNode struct{ kids []node }
 
 func (n andNode) match(a Attrs) bool {

@@ -249,7 +249,7 @@ func TestIndexMatchReusesOutput(t *testing.T) {
 	ix := NewIndex()
 	ix.Add(1, MustParse("a < 5"))
 	ix.Add(2, MustParse("a < 8 && b > 1"))
-	ix.Add(3, nil) // wildcard
+	ix.Add(3, nil)                   // wildcard
 	ix.Add(4, MustParse("s != 'x'")) // fallback
 
 	hit := iattrs("a", 3.0, "b", 2.0, "s", "y")

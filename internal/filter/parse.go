@@ -21,20 +21,32 @@ import (
 // Strings are single- or double-quoted. "true" (or an empty input) is the
 // wildcard filter.
 func Parse(src string) (*Filter, error) {
-	p := &parser{lex: lexer{src: src}}
+	f, _, err := ParseAppend(src, nil)
+	return f, err
+}
+
+// ParseAppend is Parse with a caller-provided predicate buffer: leaf
+// predicates are appended to preds in a single pass and the returned
+// filter references the appended region directly (no per-predicate node
+// boxing). It returns the grown slice for reuse — but note the filter
+// aliases it, so a caller recycling the buffer across many filters must
+// keep it append-only for as long as those filters live (an arena), or
+// pass nil and let each filter own its predicates.
+func ParseAppend(src string, preds []Predicate) (*Filter, []Predicate, error) {
+	p := &parser{lex: lexer{src: src}, preds: preds}
 	p.next()
 	if p.tok.kind == tokEOF {
-		return &Filter{}, nil
+		return &Filter{}, p.preds, nil
 	}
 	root, err := p.parseOr()
 	if err != nil {
-		return nil, err
+		return nil, p.preds, err
 	}
 	if p.tok.kind != tokEOF {
-		return nil, p.errorf("unexpected %q after expression", p.tok.text)
+		return nil, p.preds, p.errorf("unexpected %q after expression", p.tok.text)
 	}
 	// A nil root is the canonical wildcard.
-	return &Filter{root: root}, nil
+	return &Filter{root: root}, p.preds, nil
 }
 
 type tokKind uint8
@@ -126,19 +138,33 @@ func (l *lexer) lex() token {
 	case c == '\'' || c == '"':
 		quote := c
 		l.pos++
-		var b strings.Builder
+		lit := l.pos
+		escaped := false
 		for l.pos < len(l.src) && l.src[l.pos] != quote {
 			if l.src[l.pos] == '\\' && l.pos+1 < len(l.src) {
+				escaped = true
 				l.pos++
 			}
-			b.WriteByte(l.src[l.pos])
 			l.pos++
 		}
 		if l.pos >= len(l.src) {
 			return token{kind: tokErr, text: "unterminated string", pos: start}
 		}
+		text := l.src[lit:l.pos]
 		l.pos++ // closing quote
-		return token{kind: tokString, text: b.String(), pos: start}
+		if escaped {
+			// Rare path: unescape into a fresh buffer.
+			var b strings.Builder
+			b.Grow(len(text))
+			for i := 0; i < len(text); i++ {
+				if text[i] == '\\' && i+1 < len(text) {
+					i++
+				}
+				b.WriteByte(text[i])
+			}
+			text = b.String()
+		}
+		return token{kind: tokString, text: text, pos: start}
 	case c >= '0' && c <= '9' || c == '-' || c == '+' || c == '.':
 		end := l.pos
 		for end < len(l.src) && strings.ContainsRune("0123456789.eE+-", rune(l.src[end])) {
@@ -180,6 +206,11 @@ func isIdentPart(c byte) bool {
 type parser struct {
 	lex lexer
 	tok token
+	// preds accumulates every leaf predicate in source order, in one
+	// append-only buffer (caller-provided via ParseAppend). Conjunction
+	// nodes alias sub-ranges of it; it is never rewound, so aliased
+	// ranges stay valid even across or-branches and nesting.
+	preds []Predicate
 }
 
 func (p *parser) next() { p.tok = p.lex.lex() }
@@ -220,58 +251,94 @@ func (p *parser) parseOr() (node, error) {
 	return orNode{kids: kids}, nil
 }
 
+// parseAnd parses a conjunction. The common pure-predicate case emits a
+// flat conjNode aliasing the parser's predicate buffer — one node and
+// zero per-term boxing; a conjunction that mixes parenthesized groups
+// falls back to the general andNode, preserving term order.
 func (p *parser) parseAnd() (node, error) {
-	left, err := p.parseTerm()
-	if err != nil {
-		return nil, err
-	}
+	start := len(p.preds)
 	var kids []node
-	if left != nil {
-		kids = append(kids, left)
-	}
-	for p.tok.kind == tokAnd {
-		p.next()
-		right, err := p.parseTerm()
+	mixed := false
+	for {
+		// mark bounds this conjunction's own flat run: a parenthesized
+		// term appends its inner predicates to the shared buffer too,
+		// so the run collected directly by this level is [start, mark).
+		mark := len(p.preds)
+		n, isPred, err := p.parseTerm()
 		if err != nil {
 			return nil, err
 		}
-		if right != nil {
-			kids = append(kids, right) // true ∧ x = x
+		switch {
+		case isPred && mixed:
+			kids = append(kids, predNode{p.preds[len(p.preds)-1]})
+		case !isPred && n != nil:
+			if !mixed {
+				// First non-predicate term: materialize the predicate
+				// run collected so far, in source order.
+				for _, q := range p.preds[start:mark] {
+					kids = append(kids, predNode{q})
+				}
+				mixed = true
+			}
+			kids = append(kids, n)
 		}
+		// isPred && !mixed: stays in the flat run. nil node: wildcard
+		// term, dropped (true ∧ x = x).
+		if p.tok.kind != tokAnd {
+			break
+		}
+		p.next()
 	}
-	switch len(kids) {
+	if mixed {
+		if len(kids) == 1 {
+			return kids[0], nil
+		}
+		return andNode{kids: kids}, nil
+	}
+	run := p.preds[start:len(p.preds):len(p.preds)]
+	switch len(run) {
 	case 0:
 		return nil, nil
 	case 1:
-		return kids[0], nil
+		return predNode{run[0]}, nil
 	}
-	return andNode{kids: kids}, nil
+	return conjNode{preds: run}, nil
 }
 
-func (p *parser) parseTerm() (node, error) {
+// parseTerm parses one term. A bare predicate is appended to p.preds
+// and reported with isPred = true (no node); parenthesized groups come
+// back as nodes; a wildcard ("true") is a nil node with isPred = false.
+func (p *parser) parseTerm() (n node, isPred bool, err error) {
 	switch p.tok.kind {
 	case tokLParen:
+		mark := len(p.preds)
 		p.next()
 		inner, err := p.parseOr()
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		if p.tok.kind != tokRParen {
-			return nil, p.errorf("expected ')', got %q", p.tok.text)
+			return nil, false, p.errorf("expected ')', got %q", p.tok.text)
 		}
 		p.next()
-		return inner, nil
+		if inner == nil {
+			// The group collapsed to a wildcard: every node built inside
+			// it was discarded, so its predicates can be rewound (nothing
+			// aliases them — the group's nodes were the only handles).
+			p.preds = p.preds[:mark]
+		}
+		return inner, false, nil
 	case tokIdent:
 		if p.tok.text == "true" {
 			p.next()
 			// Wildcard term: represented by a nil node, collapsed by the
 			// callers (true ∧ x = x, true ∨ x = true).
-			return nil, nil
+			return nil, false, nil
 		}
 		attr := p.tok.text
 		p.next()
 		if p.tok.kind != tokOp {
-			return nil, p.errorf("expected comparison operator after %q, got %q", attr, p.tok.text)
+			return nil, false, p.errorf("expected comparison operator after %q, got %q", attr, p.tok.text)
 		}
 		op := p.tok.op
 		p.next()
@@ -282,13 +349,14 @@ func (p *parser) parseTerm() (node, error) {
 		case tokString:
 			val = Str(p.tok.text)
 		default:
-			return nil, p.errorf("expected value, got %q", p.tok.text)
+			return nil, false, p.errorf("expected value, got %q", p.tok.text)
 		}
 		p.next()
-		return predNode{Predicate{Attr: attr, Op: op, Val: val}}, nil
+		p.preds = append(p.preds, Predicate{Attr: attr, Op: op, Val: val})
+		return nil, true, nil
 	case tokErr:
-		return nil, p.errorf("bad token %q", p.tok.text)
+		return nil, false, p.errorf("bad token %q", p.tok.text)
 	default:
-		return nil, p.errorf("expected predicate or '(', got %q", p.tok.text)
+		return nil, false, p.errorf("expected predicate or '(', got %q", p.tok.text)
 	}
 }

@@ -1,0 +1,57 @@
+package filter
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestParseAppendArena pins the arena contract: many filters parsed
+// into one append-only predicate buffer stay correct for as long as
+// they live, and match exactly what plain Parse produces.
+func TestParseAppendArena(t *testing.T) {
+	exprs := []string{
+		"A1 < 6.5 && A2 < 3.2",
+		"price > 100 && tag == 'gold' && qty >= 2",
+		"(a < 1 || b > 9) && c == 'on'",
+		"true",
+		"x != 'y'",
+	}
+	var buf []Predicate
+	filters := make([]*Filter, len(exprs))
+	for i, src := range exprs {
+		var err error
+		filters[i], buf, err = ParseAppend(src, buf)
+		if err != nil {
+			t.Fatalf("ParseAppend(%q): %v", src, err)
+		}
+	}
+	// Every earlier filter must still render and match like a freshly
+	// parsed one, even after later parses appended into the shared
+	// buffer (the append-only arena guarantee).
+	for i, src := range exprs {
+		want := MustParse(src)
+		if got, w := filters[i].String(), want.String(); got != w {
+			t.Errorf("filter %d corrupted by later arena appends: %q, want %q", i, got, w)
+		}
+		if fmt.Sprint(filters[i].DNF()) != fmt.Sprint(want.DNF()) {
+			t.Errorf("filter %d DNF diverged from Parse", i)
+		}
+	}
+}
+
+// TestParseAppendAllocs pins the satellite win: parsing the paper's
+// conjunction shape into a warm caller buffer costs 3 allocations
+// (parser, conjunction node box, Filter) — predicates land in the
+// caller's slice.
+func TestParseAppendAllocs(t *testing.T) {
+	buf := make([]Predicate, 0, 64)
+	if avg := testing.AllocsPerRun(200, func() {
+		var err error
+		_, buf, err = ParseAppend("A1 < 6.5 && A2 < 3.2", buf[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+	}); avg > 3 {
+		t.Errorf("arena parse allocates %.1f objects/op, want ≤ 3", avg)
+	}
+}

@@ -13,10 +13,12 @@ import (
 
 // Publisher is a live publishing client attached to an ingress broker.
 type Publisher struct {
-	id   msg.NodeID
-	conn net.Conn
-	mu   sync.Mutex
-	seq  uint32
+	id      msg.NodeID
+	conn    net.Conn
+	mu      sync.Mutex
+	seq     uint32
+	buf     []byte      // reusable frame buffer: one allocation-free write per send
+	scratch msg.Message // reusable Publish message (guarded by mu)
 
 	// Clock stamps publication times. It defaults to the absolute wall
 	// clock (scale 1); clients of an in-process cluster with a
@@ -47,7 +49,10 @@ func DialPublisher(addr string, id msg.NodeID) (*Publisher, error) {
 func (p *Publisher) Publish(ingress msg.NodeID, attrs msg.AttrSet, sizeKB float64, allowed vtime.Millis, payload []byte) (msg.ID, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	m := &msg.Message{
+	// The message only lives for the encode below; build it in the
+	// publisher's scratch so the hot publish path allocates nothing.
+	m := &p.scratch
+	*m = msg.Message{
 		ID:        msg.MakeID(p.id, p.seq),
 		Publisher: p.id,
 		Ingress:   ingress,
@@ -74,14 +79,16 @@ func (p *Publisher) Send(m *msg.Message) error {
 }
 
 func (p *Publisher) send(m *msg.Message) error {
-	body, err := msg.AppendMessage(nil, m)
+	buf, err := msg.AppendMessageFrame(p.buf[:0], m)
 	if err != nil {
 		return err
 	}
+	p.buf = buf
 	if err := p.conn.SetWriteDeadline(time.Now().Add(10 * time.Second)); err != nil {
 		return err
 	}
-	return msg.WriteFrame(p.conn, msg.FrameMessage, body)
+	_, err = p.conn.Write(buf)
+	return err
 }
 
 // Close closes the publisher connection.
@@ -138,16 +145,24 @@ func DialSubscriber(addr string, sub *msg.Subscription) (*Subscriber, error) {
 
 func (s *Subscriber) readLoop() {
 	defer close(s.ch)
+	// Frames read through one pooled buffer and an interning decoder:
+	// the per-delivery cost is the Message handed to the consumer (who
+	// keeps it), not the wire machinery.
+	fr := msg.NewFrameReader(s.conn)
+	var fb msg.FrameBuf
+	var dec msg.Decoder
 	for {
-		ft, body, err := msg.ReadFrame(s.conn)
+		ft, body, err := fr.Next(&fb)
 		if err != nil {
 			return
 		}
 		if ft != msg.FrameMessage {
 			continue
 		}
-		m, err := msg.DecodeMessage(body)
-		if err != nil {
+		m := new(msg.Message)
+		// fb stays owned by this loop (nil frame): payloads are copied
+		// out because the consumer may hold the message indefinitely.
+		if _, err := dec.DecodeMessageInto(m, body, nil); err != nil {
 			continue
 		}
 		select {

@@ -37,6 +37,13 @@ type ClusterConfig struct {
 	// Multipath > 1 makes dynamic subscription floods install K paths
 	// (static mode takes multipath from the plan instead).
 	Multipath int
+
+	// Shards ≥ 1 runs every node on the high-throughput data plane with
+	// that many ingress worker shards (see NodeConfig.Shards); 0 keeps
+	// the classic single-threaded plane.
+	Shards int
+	// Burst caps the egress burst size on the sharded plane (default 32).
+	Burst int
 }
 
 // Cluster is a set of live brokers started together.
@@ -115,6 +122,8 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 			Clock:     cfg.Clock,
 			Sink:      cfg.Sink,
 			Pacers:    pacers[nid],
+			Shards:    cfg.Shards,
+			Burst:     cfg.Burst,
 		}
 		if cfg.Plan != nil {
 			nc.Broker = cfg.Plan.Brokers[nid]

@@ -1,6 +1,7 @@
 package livenet
 
 import (
+	"fmt"
 	grt "runtime"
 	"testing"
 	"time"
@@ -15,9 +16,18 @@ import (
 
 // TestClusterStopNoGoroutineLeak pins the shutdown path: start a
 // cluster, run traffic through it, stop it, and require the goroutine
-// count to return to baseline. A leaked accept loop, reader or sender
-// shows up here as a stuck surplus.
+// count to return to baseline. A leaked accept loop, reader, sender —
+// or, with shards enabled, dispatcher worker — shows up here as a
+// stuck surplus.
 func TestClusterStopNoGoroutineLeak(t *testing.T) {
+	for _, shards := range []int{0, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			testClusterStopNoGoroutineLeak(t, shards)
+		})
+	}
+}
+
+func testClusterStopNoGoroutineLeak(t *testing.T, shards int) {
 	baseline := grt.NumGoroutine()
 
 	c, err := StartCluster(ClusterConfig{
@@ -26,6 +36,7 @@ func TestClusterStopNoGoroutineLeak(t *testing.T) {
 		Strategy:  core.MaxEB{},
 		TimeScale: 0.002,
 		Seed:      1,
+		Shards:    shards,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -89,6 +89,18 @@ type NodeConfig struct {
 	// Pacers overrides per-link pacing; missing links default to the
 	// overlay's truncated-normal rates on a stream derived from Seed.
 	Pacers map[msg.NodeID]Pacer
+
+	// Shards selects the ingress data plane. 0 keeps the classic
+	// single-threaded path: every frame decoded with fresh allocations
+	// and processed inline in its connection's read loop, one write
+	// syscall pair per outbound frame. Any value ≥ 1 enables the
+	// high-throughput plane (shard.go): pooled zero-copy decoding,
+	// per-connection frame batching, that many parallel worker shards
+	// keyed by publication stream, and burst-paced writev egress.
+	Shards int
+	// Burst caps how many messages a sender drains per egress burst in
+	// the sharded plane (default 32). Ignored when Shards == 0.
+	Burst int
 }
 
 // Node is one live broker.
@@ -97,9 +109,14 @@ type Node struct {
 	clock runtime.Clock
 	sink  runtime.Sink
 
-	mu sync.Mutex
+	// mu guards the mutable routing-side state below. The classic data
+	// plane takes it exclusively around every receive; sharded workers
+	// hold it shared while processing (broker.Processor synchronizes the
+	// genuinely shared scheduling state on finer locks) so that
+	// subscription floods — which mutate the table — still exclude them.
+	mu sync.RWMutex
 	// b holds the routing table, output queues and scheduling logic —
-	// the exact broker the simulator drives. Guarded by mu.
+	// the exact broker the simulator drives.
 	b     *broker.Broker
 	table *routing.Table
 	wake  map[msg.NodeID]chan struct{}
@@ -113,8 +130,18 @@ type Node struct {
 	// subscribe flood cannot resurrect them
 	seenSubs    map[msg.SubID]bool
 	removedSubs map[msg.SubID]bool
-	// statistics
-	stats Stats
+	// statistics (atomic: updated by concurrent shard workers)
+	cnt counters
+
+	// Sharded data plane (nil when Shards == 0); see shard.go.
+	shards []*shard
+	burst  int
+	// nlinks is the number of outgoing overlay links — the worst-case
+	// queue fan-out a message is retained for before Process reports
+	// the actual one. Derived from the overlay at construction so it
+	// can never lag the routing fan-out (an under-retain would let a
+	// fast sender release a message a worker is still encoding).
+	nlinks int32
 
 	// Quiescence counters (atomic): frames sent to / received from peer
 	// brokers, publisher frames accepted, receives in progress, senders
@@ -145,6 +172,29 @@ type Stats struct {
 	Duplicates    int
 }
 
+// counters is the atomic backing of Stats.
+type counters struct {
+	receptions    atomic.Int64
+	deliveries    atomic.Int64
+	validDeliver  atomic.Int64
+	dropsExpired  atomic.Int64
+	dropsHopeless atomic.Int64
+	dropsArrival  atomic.Int64
+	duplicates    atomic.Int64
+}
+
+func (c *counters) snapshot() Stats {
+	return Stats{
+		Receptions:    int(c.receptions.Load()),
+		Deliveries:    int(c.deliveries.Load()),
+		ValidDeliver:  int(c.validDeliver.Load()),
+		DropsExpired:  int(c.dropsExpired.Load()),
+		DropsHopeless: int(c.dropsHopeless.Load()),
+		DropsArrival:  int(c.dropsArrival.Load()),
+		Duplicates:    int(c.duplicates.Load()),
+	}
+}
+
 type peerConn struct {
 	mu   sync.Mutex
 	conn net.Conn
@@ -157,6 +207,32 @@ func (p *peerConn) writeFrame(frameType byte, body []byte) error {
 		return err
 	}
 	return msg.WriteFrame(p.conn, frameType, body)
+}
+
+// writeBuf writes one preassembled frame (header + body in one buffer)
+// with a single syscall.
+func (p *peerConn) writeBuf(frame []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.conn.SetWriteDeadline(time.Now().Add(10 * time.Second)); err != nil {
+		return err
+	}
+	_, err := p.conn.Write(frame)
+	return err
+}
+
+// writeBuffers flushes a whole burst of preassembled frames with
+// writev, returning the bytes written (for partial-failure accounting).
+// WriteTo consumes *bufs (the slice header advances and elements are
+// re-sliced); the caller passes a long-lived scratch it rebuilds per
+// burst, so nothing escapes per call.
+func (p *peerConn) writeBuffers(bufs *net.Buffers) (int64, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.conn.SetWriteDeadline(time.Now().Add(10 * time.Second)); err != nil {
+		return 0, err
+	}
+	return bufs.WriteTo(p.conn)
 }
 
 type subConn struct {
@@ -221,8 +297,19 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	for _, s := range cfg.Preinstalled {
 		n.seenSubs[s.ID] = true
 	}
+	n.nlinks = int32(len(cfg.Overlay.Graph.Neighbors(cfg.ID)))
+	if cfg.Shards > 0 {
+		n.burst = cfg.Burst
+		if n.burst <= 0 {
+			n.burst = defaultBurst
+		}
+		n.startShards(cfg.Shards)
+	}
 	return n, nil
 }
+
+// sharded reports whether the high-throughput data plane is on.
+func (n *Node) sharded() bool { return len(n.shards) > 0 }
 
 // ID returns the broker id.
 func (n *Node) ID() msg.NodeID { return n.cfg.ID }
@@ -274,7 +361,11 @@ func (n *Node) ConnectPeers(addrs map[msg.NodeID]string) error {
 		n.mu.Unlock()
 
 		n.wg.Add(1)
-		go n.senderLoop(e.To, pc, wake, pacer)
+		if n.sharded() {
+			go n.senderLoopBatched(e.To, pc, wake, pacer)
+		} else {
+			go n.senderLoop(e.To, pc, wake, pacer)
+		}
 	}
 	return nil
 }
@@ -316,11 +407,7 @@ func (n *Node) Stop() {
 }
 
 // Stats returns a snapshot of the node's counters.
-func (n *Node) Stats() Stats {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.stats
-}
+func (n *Node) Stats() Stats { return n.cnt.snapshot() }
 
 // Stopped reports whether the node has been shut down.
 func (n *Node) Stopped() bool {
@@ -341,20 +428,43 @@ func (n *Node) Crash() {
 	n.Stop()
 	lost := 0
 	n.mu.Lock()
-	for _, q := range n.b.Queues() {
+	n.b.EachQueue(func(_ msg.NodeID, q *core.Queue) {
+		q.Lock()
 		for q.Len() > 0 {
-			q.RemoveAt(q.Len() - 1).Release()
+			e := q.RemoveAt(q.Len() - 1)
+			releaseEntry(e)
 			lost++
 		}
-	}
+		q.Unlock()
+	})
 	n.mu.Unlock()
 	if lost > 0 && n.sink != nil {
 		n.sink.DroppedCrashed(lost)
 	}
 }
 
+// releaseEntry returns a consumed queue entry — and the reference it
+// holds on its (possibly pooled) message — to their pools.
+func releaseEntry(e *core.Entry) {
+	if m, ok := e.Data.(*msg.Message); ok {
+		m.Release()
+	}
+	e.Release()
+}
+
 // PeakQueue returns the largest occupancy any output queue reached.
 func (n *Node) PeakQueue() int {
+	if n.sharded() {
+		peak := 0
+		n.b.EachQueue(func(_ msg.NodeID, q *core.Queue) {
+			q.Lock()
+			if p := q.Peak(); p > peak {
+				peak = p
+			}
+			q.Unlock()
+		})
+		return peak
+	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.b.PeakQueue()
@@ -390,6 +500,14 @@ func (n *Node) load() load {
 		recvPubs:  n.recvPubs.Load(),
 		busy:      int(n.busySenders.Load()),
 		inflight:  int(n.inflight.Load()),
+	}
+	if n.sharded() {
+		n.b.EachQueue(func(_ msg.NodeID, q *core.Queue) {
+			q.Lock()
+			s.queued += q.Len()
+			q.Unlock()
+		})
+		return s
 	}
 	n.mu.Lock()
 	for _, q := range n.b.Queues() {
@@ -447,6 +565,10 @@ func (n *Node) readLoop(conn net.Conn) {
 		return
 	}
 	peer := &peerConn{conn: conn}
+	if n.sharded() {
+		n.readLoopSharded(conn, role, peer)
+		return
+	}
 
 	for {
 		ft, body, err := msg.ReadFrame(conn)
@@ -610,34 +732,24 @@ func (n *Node) receive(m *msg.Message) {
 	now := n.clock.Now()
 
 	n.mu.Lock()
-	n.stats.Receptions++
+	n.cnt.receptions.Add(1)
 	if n.sink != nil {
 		n.sink.Reception()
 	}
 	res := n.b.Process(m, now)
 	if res.Duplicate {
-		n.stats.Duplicates++
+		n.cnt.duplicates.Add(1)
 		n.mu.Unlock()
 		return
 	}
+	// res aliases broker-owned scratch that the next Process overwrites,
+	// so it is consumed in full before releasing the lock.
+	n.accountResult(&res)
 	var wakes []chan struct{}
 	var deliveries []*peerConn
 	for _, d := range res.Deliveries {
-		n.stats.Deliveries++
-		if d.Valid {
-			n.stats.ValidDeliver++
-		}
-		if n.sink != nil {
-			n.sink.DeliveredTo(int32(d.SubID), d.Price, d.Latency, d.Valid)
-		}
 		if sc, ok := n.locals[d.SubID]; ok {
 			deliveries = append(deliveries, sc.peer)
-		}
-	}
-	if res.ArrivalDrops > 0 {
-		n.stats.DropsArrival += res.ArrivalDrops
-		if n.sink != nil {
-			n.sink.DroppedOnArrival(res.ArrivalDrops)
 		}
 	}
 	for _, hop := range res.EnqueuedHops {
@@ -664,6 +776,46 @@ func (n *Node) receive(m *msg.Message) {
 	}
 }
 
+// accountResult charges a Process result's deliveries and arrival
+// drops to the node counters and the metrics sink — shared by both
+// data planes so their accounting cannot drift apart.
+func (n *Node) accountResult(res *broker.Result) {
+	for _, d := range res.Deliveries {
+		n.cnt.deliveries.Add(1)
+		if d.Valid {
+			n.cnt.validDeliver.Add(1)
+		}
+		if n.sink != nil {
+			n.sink.DeliveredTo(int32(d.SubID), d.Price, d.Latency, d.Valid)
+		}
+	}
+	if res.ArrivalDrops > 0 {
+		n.cnt.dropsArrival.Add(int64(res.ArrivalDrops))
+		if n.sink != nil {
+			n.sink.DroppedOnArrival(res.ArrivalDrops)
+		}
+	}
+}
+
+// accountDrops charges pruned entries to the drop counters and releases
+// them (and their message references) back to the pools.
+func (n *Node) accountDrops(drops []core.Drop) {
+	for _, d := range drops {
+		if d.Reason == core.DropExpired {
+			n.cnt.dropsExpired.Add(1)
+			if n.sink != nil {
+				n.sink.DroppedExpired(1)
+			}
+		} else {
+			n.cnt.dropsHopeless.Add(1)
+			if n.sink != nil {
+				n.sink.DroppedHopeless(1)
+			}
+		}
+		releaseEntry(d.Entry)
+	}
+}
+
 // senderLoop drains one link's queue: pick by strategy, pace to the
 // emulated link speed, write the frame. Injected link outages park the
 // loop until the link comes back up.
@@ -682,20 +834,7 @@ func (n *Node) senderLoop(to msg.NodeID, pc *peerConn, wake chan struct{}, pacer
 		}
 		q := n.b.Queue(to)
 		e, drops := q.PopNext(n.b.Strategy(), n.clock.Now(), n.b.Params())
-		for _, d := range drops {
-			if d.Reason == core.DropExpired {
-				n.stats.DropsExpired++
-				if n.sink != nil {
-					n.sink.DroppedExpired(1)
-				}
-			} else {
-				n.stats.DropsHopeless++
-				if n.sink != nil {
-					n.sink.DroppedHopeless(1)
-				}
-			}
-			d.Entry.Release()
-		}
+		n.accountDrops(drops)
 		if e != nil {
 			n.busySenders.Add(1)
 		}

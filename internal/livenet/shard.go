@@ -1,0 +1,452 @@
+package livenet
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bdps/internal/broker"
+	"bdps/internal/core"
+	"bdps/internal/msg"
+	"bdps/internal/vtime"
+)
+
+// This file is the high-throughput live data plane (NodeConfig.Shards
+// ≥ 1). The classic plane (node.go) decodes every frame with fresh
+// allocations, funnels all processing through one node-wide lock, and
+// pays two write syscalls per outbound frame; this one is built to
+// scale with cores and to amortize every per-message cost:
+//
+//   - Ingress: each connection's read loop decodes frames zero-copy
+//     into pooled messages and accumulates them into per-shard batches,
+//     flushing to the shard channels whenever the connection's buffer
+//     runs dry (or a batch cap is hit). A message's shard is keyed by
+//     its publication stream (the publisher id), so one stream is
+//     always processed by one worker, in arrival order — per-stream
+//     delivery order is exactly the single-threaded plane's.
+//   - Processing: each shard worker drives its own broker.Processor;
+//     workers for independent streams run broker matching and
+//     enqueueing in parallel, synchronizing only on the per-queue locks
+//     and the striped dedup set inside the broker. Subscription floods
+//     still take the node lock exclusively, parking all workers.
+//   - Egress: each sender drains its link queue in bursts (PopNext per
+//     message, so per-queue deadline scheduling is untouched), sleeps
+//     one pacing delay for the whole burst — the sum of the sampled
+//     per-message transfer times, honoring the paper's per-KB link
+//     model at burst granularity — and flushes the burst with one
+//     writev.
+type shard struct {
+	ch chan *inBatch
+}
+
+const (
+	// defaultBurst caps the egress burst (NodeConfig.Burst default).
+	defaultBurst = 32
+	// maxIngressBatch caps how many decoded messages a read loop
+	// accumulates before it must flush to the shard channels.
+	maxIngressBatch = 64
+	// shardQueueDepth is the per-shard channel depth, in batches. A full
+	// channel blocks the read loops — TCP backpressure toward senders.
+	shardQueueDepth = 128
+)
+
+// inBatch is one read loop's hand-off to one shard: consecutive
+// messages of the connection whose streams map to that shard. done,
+// when non-nil, is the dispatching connection's outstanding-batch
+// counter, decremented by the worker once the batch is fully processed
+// (the control-frame ordering barrier).
+type inBatch struct {
+	msgs []*msg.Message
+	done *atomic.Int32
+}
+
+var inBatchPool = sync.Pool{New: func() any { return new(inBatch) }}
+
+func getBatch(done *atomic.Int32) *inBatch {
+	b := inBatchPool.Get().(*inBatch)
+	b.done = done
+	return b
+}
+
+func (b *inBatch) release() {
+	if b.done != nil {
+		b.done.Add(-1)
+	}
+	b.msgs = b.msgs[:0]
+	b.done = nil
+	inBatchPool.Put(b)
+}
+
+// startShards launches the k ingress workers (called from NewNode; the
+// workers exit when the node stops).
+func (n *Node) startShards(k int) {
+	n.shards = make([]*shard, k)
+	for i := range n.shards {
+		s := &shard{ch: make(chan *inBatch, shardQueueDepth)}
+		n.shards[i] = s
+		n.wg.Add(1)
+		go n.shardWorker(s)
+	}
+}
+
+// readLoopSharded consumes frames from one inbound connection on the
+// sharded plane. Message frames decode zero-copy into pooled messages
+// and batch toward the shard workers; control frames (subscribe,
+// unsubscribe) flush pending batches first so control never overtakes
+// the data queued behind it, then run inline like the classic plane.
+func (n *Node) readLoopSharded(conn net.Conn, role byte, peer *peerConn) {
+	fr := msg.NewFrameReader(conn)
+	var dec msg.Decoder
+	pend := make([]*inBatch, len(n.shards))
+	pending := 0
+	// outstanding counts this connection's batches dispatched but not
+	// yet fully processed by their workers; control frames wait for it
+	// to reach zero so they cannot overtake the data queued behind them.
+	var outstanding atomic.Int32
+
+	// flush hands every pending batch to its shard, blocking when a
+	// shard is saturated (backpressure). It reports false on shutdown.
+	flush := func() bool {
+		if pending == 0 {
+			return true
+		}
+		for i, b := range pend {
+			if b == nil {
+				continue
+			}
+			pend[i] = nil
+			outstanding.Add(1)
+			select {
+			case n.shards[i].ch <- b:
+			case <-n.stopped:
+				for _, m := range b.msgs {
+					m.Release()
+				}
+				b.release()
+			}
+		}
+		pending = 0
+		return !n.Stopped()
+	}
+	defer flush()
+
+	// drain additionally waits until the workers have processed every
+	// batch this connection dispatched — the per-connection ordering
+	// barrier the classic plane gets for free from inline processing.
+	drain := func() bool {
+		if !flush() {
+			return false
+		}
+		for outstanding.Load() > 0 {
+			select {
+			case <-n.stopped:
+				return false
+			default:
+				time.Sleep(20 * time.Microsecond)
+			}
+		}
+		return true
+	}
+
+	for {
+		fb := msg.GetFrameBuf()
+		ft, body, err := fr.Next(fb)
+		if err != nil {
+			fb.Release()
+			return
+		}
+		switch ft {
+		case msg.FrameMessage:
+			m := msg.GetMessage()
+			took, derr := dec.DecodeMessageInto(m, body, fb)
+			if !took {
+				fb.Release()
+			}
+			if derr != nil {
+				m.Release()
+				continue // tolerate one corrupt frame; connection survives
+			}
+			if role == msg.RolePublisher && m.Ingress != n.cfg.ID {
+				// Publishers must publish through their ingress broker.
+				m.Release()
+				continue
+			}
+			si := int(uint32(m.Publisher)) % len(n.shards)
+			b := pend[si]
+			if b == nil {
+				b = getBatch(&outstanding)
+				pend[si] = b
+			}
+			b.msgs = append(b.msgs, m)
+			pending++
+			// inflight rises before the receive counters so a quiescence
+			// poll can never observe the counters settled while this
+			// message still awaits its worker.
+			n.inflight.Add(1)
+			switch role {
+			case msg.RolePublisher:
+				n.recvPubs.Add(1)
+			case msg.RoleBroker:
+				n.recvPeers.Add(1)
+			}
+			if pending >= maxIngressBatch || fr.Buffered() == 0 {
+				if !flush() {
+					return
+				}
+			}
+		case msg.FrameSubscribe:
+			s, derr := msg.DecodeSubscription(body)
+			fb.Release()
+			if derr != nil {
+				continue
+			}
+			if !drain() {
+				return
+			}
+			var from *peerConn
+			if role == msg.RoleSubscriber {
+				from = peer
+			}
+			n.handleSubscribe(s, from)
+		case msg.FrameUnsubscribe:
+			id, derr := msg.DecodeUnsubscribe(body)
+			fb.Release()
+			if derr != nil {
+				continue
+			}
+			if !drain() {
+				return
+			}
+			n.handleUnsubscribe(id)
+		default:
+			fb.Release() // FrameAck, FrameHello: ignored
+		}
+	}
+}
+
+// shardWorker processes its shard's batches with a private
+// broker.Processor and reusable encode scratch.
+func (n *Node) shardWorker(s *shard) {
+	defer n.wg.Done()
+	proc := n.b.NewProcessor()
+	var (
+		encBuf []byte
+		subs   []*peerConn
+		wakes  []chan struct{}
+	)
+	for {
+		select {
+		case <-n.stopped:
+			return
+		case b := <-s.ch:
+			for _, m := range b.msgs {
+				encBuf, subs, wakes = n.processSharded(proc, m, encBuf, subs, wakes)
+			}
+			b.release()
+		}
+	}
+}
+
+// processSharded is the sharded plane's counterpart of Node.receive:
+// one message through the shared broker logic, then the wire
+// side-effects. The scratch slices are threaded through and returned so
+// the worker reuses them across messages.
+func (n *Node) processSharded(proc *broker.Processor, m *msg.Message,
+	encBuf []byte, subs []*peerConn, wakes []chan struct{}) ([]byte, []*peerConn, []chan struct{}) {
+	// Processing delay, scaled like link delays.
+	if pd := n.b.Params().PD * n.cfg.TimeScale; pd > 0 {
+		if d := vtime.ToDuration(pd); d > 0 {
+			time.Sleep(d)
+		}
+	}
+	now := n.clock.Now()
+	n.cnt.receptions.Add(1)
+	if n.sink != nil {
+		n.sink.Reception()
+	}
+
+	// The message may enter up to nlinks output queues, whose senders
+	// release their references concurrently the moment Process enqueues;
+	// retain the worst case up front and return the unused references
+	// once the actual fan-out is known.
+	links := n.nlinks
+	m.Retain(links)
+
+	subs = subs[:0]
+	wakes = wakes[:0]
+	n.mu.RLock()
+	res := proc.Process(m, now)
+	if !res.Duplicate {
+		for _, d := range res.Deliveries {
+			if sc, ok := n.locals[d.SubID]; ok {
+				subs = append(subs, sc.peer)
+			}
+		}
+		for _, hop := range res.EnqueuedHops {
+			if wk := n.wake[hop]; wk != nil {
+				wakes = append(wakes, wk)
+			}
+		}
+	}
+	n.mu.RUnlock()
+
+	if res.Duplicate {
+		n.cnt.duplicates.Add(1)
+		m.ReleaseN(links + 1)
+		n.inflight.Add(-1)
+		return encBuf, subs, wakes
+	}
+	n.accountResult(&res)
+	if len(subs) > 0 {
+		var err error
+		encBuf, err = msg.AppendMessageFrame(encBuf[:0], m)
+		if err == nil {
+			for _, pc := range subs {
+				_ = pc.writeBuf(encBuf) // dead subscribers are fine
+			}
+		}
+	}
+	// Drop the unused link references and the decode reference; queue
+	// entries keep theirs until their sender (or a drop path) releases.
+	m.ReleaseN(links - int32(len(res.EnqueuedHops)) + 1)
+	for _, wk := range wakes {
+		select {
+		case wk <- struct{}{}:
+		default:
+		}
+	}
+	n.inflight.Add(-1)
+	return encBuf, subs, wakes
+}
+
+// senderLoopBatched drains one link's queue in bursts: pick up to Burst
+// entries by strategy (per-queue scheduling order untouched), sleep one
+// pacing delay for the whole burst, flush it with one writev. Injected
+// link outages park the loop until the link comes back up.
+func (n *Node) senderLoopBatched(to msg.NodeID, pc *peerConn, wake chan struct{}, pacer Pacer) {
+	defer n.wg.Done()
+	q := n.b.Queue(to)
+	burst := n.burst
+	entries := make([]*core.Entry, 0, burst)
+	bufs := make([][]byte, burst) // per-slot reusable frame buffers
+	lens := make([]int, 0, burst)
+	frames := make([][]byte, 0, burst)
+	var wv net.Buffers // reusable writev view over frames (consumed per burst)
+	for {
+		n.mu.RLock()
+		down := n.linkDown[to]
+		n.mu.RUnlock()
+		if down {
+			select {
+			case <-wake:
+				continue
+			case <-n.stopped:
+				return
+			}
+		}
+
+		// One scheduling instant for the whole burst: PopBurst scores
+		// every queued entry once at this now and heap-selects the k
+		// the strategy would send, in send order — O(n + k log n) where
+		// k sequential Picks would rescan the queue per message.
+		strategy, params, now := n.b.Strategy(), n.b.Params(), n.clock.Now()
+		q.Lock()
+		var drops []core.Drop
+		entries, drops = q.PopBurst(strategy, now, params, burst, entries[:0])
+		n.accountDrops(drops)
+		if len(entries) > 0 {
+			// Set inside the pop critical section, like the classic
+			// plane, so a quiescence poll cannot see the queue empty
+			// before the transfer is visible as in-progress.
+			n.busySenders.Add(1)
+		}
+		q.Unlock()
+		if len(entries) == 0 {
+			select {
+			case <-wake:
+				continue
+			case <-n.stopped:
+				return
+			}
+		}
+
+		// One pacing sleep for the burst: Σ size·rate over the sampled
+		// per-message rates — the same total transfer time the classic
+		// plane would sleep across the burst, in one step.
+		var tx, sizeSum float64
+		for _, e := range entries {
+			tx += e.SizeKB * pacer.Sampler.Sample(pacer.Stream)
+			sizeSum += e.SizeKB
+		}
+		tx *= n.cfg.TimeScale
+		start := time.Now()
+		if d := vtime.ToDuration(tx); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-n.stopped:
+				// Stopped mid-transfer: the held burst dies with the
+				// node. A healthy run quiesces before Stop, so this
+				// only fires on crash/abort paths — charge the loss
+				// like the queue drain in Crash does.
+				if n.sink != nil {
+					n.sink.DroppedCrashed(len(entries))
+				}
+				for _, e := range entries {
+					releaseEntry(e)
+				}
+				n.busySenders.Add(-1)
+				return
+			}
+		}
+
+		frames = frames[:0]
+		lens = lens[:0]
+		ok := 0
+		for _, e := range entries {
+			m := e.Data.(*msg.Message)
+			b, err := msg.AppendMessageFrame(bufs[ok][:0], m)
+			if err != nil {
+				continue // oversized re-encode cannot happen for decoded frames
+			}
+			bufs[ok] = b
+			frames = append(frames, b)
+			lens = append(lens, len(b))
+			ok++
+		}
+		wv = net.Buffers(frames)
+		written, err := pc.writeBuffers(&wv)
+		if err == nil {
+			n.sentPeers.Add(int64(ok))
+		} else {
+			// Count the frames that fully left the node; the rest died
+			// at a dead (crashed or stopped) neighbor.
+			sent := 0
+			var cum int64
+			for _, l := range lens {
+				if cum+int64(l) > written {
+					break
+				}
+				cum += int64(l)
+				sent++
+			}
+			n.sentPeers.Add(int64(sent))
+			if failed := ok - sent; failed > 0 && n.sink != nil {
+				n.sink.DroppedCrashed(failed)
+			}
+		}
+		for _, e := range entries {
+			releaseEntry(e)
+		}
+
+		if sizeSum > 0 {
+			elapsed := vtime.FromDuration(time.Since(start)) / n.cfg.TimeScale
+			n.mu.Lock()
+			if est := n.estimates[to]; est != nil {
+				est.Observe(elapsed / sizeSum)
+			}
+			n.mu.Unlock()
+		}
+		n.busySenders.Add(-1)
+	}
+}

@@ -37,6 +37,7 @@ func (Transport) Deploy(p *runtime.Plan) (runtime.Deployment, error) {
 		TimeScale: ts,
 		Clock:     clock,
 		Sink:      sink,
+		Shards:    p.Cfg.LiveShards,
 	})
 	if err != nil {
 		return nil, err

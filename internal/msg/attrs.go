@@ -40,6 +40,19 @@ func NumAttrs(kv map[string]float64) AttrSet {
 	return s
 }
 
+// Reset empties the set, keeping the backing array for reuse.
+func (s *AttrSet) Reset() { s.attrs = s.attrs[:0] }
+
+// Grow ensures capacity for n attributes, so a decoder that knows the
+// count up front pays one backing allocation instead of append growth.
+func (s *AttrSet) Grow(n int) {
+	if cap(s.attrs) < n {
+		grown := make([]Attr, len(s.attrs), n)
+		copy(grown, s.attrs)
+		s.attrs = grown
+	}
+}
+
 // Set inserts or replaces an attribute.
 func (s *AttrSet) Set(name string, v filter.Value) {
 	i := sort.Search(len(s.attrs), func(i int) bool { return s.attrs[i].Name >= name })

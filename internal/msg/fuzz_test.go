@@ -53,6 +53,24 @@ func FuzzCodec(f *testing.F) {
 	f.Add([]byte{0xBD, 0x75, 1, FrameMessage, 0xFF, 0xFF, 0xFF, 0xFF})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
+		// The zero-copy decoder must accept exactly what the allocating
+		// one accepts, and produce the same canonical re-encoding.
+		var d Decoder
+		pm := GetMessage()
+		_, zerr := d.DecodeMessageInto(pm, data, nil)
+		dm0, merr := DecodeMessage(data)
+		if (zerr == nil) != (merr == nil) {
+			t.Fatalf("decoders disagree: DecodeMessageInto=%v DecodeMessage=%v", zerr, merr)
+		}
+		if merr == nil {
+			za, err1 := AppendMessage(nil, pm)
+			ma, err2 := AppendMessage(nil, dm0)
+			if err1 != nil || err2 != nil || !bytes.Equal(za, ma) {
+				t.Fatalf("zero-copy decode re-encodes differently:\n%x\n%x", za, ma)
+			}
+		}
+		pm.Release()
+
 		// Message: decode, and on success require a stable canonical
 		// re-encoding (decode∘encode must be idempotent).
 		if dm, err := DecodeMessage(data); err == nil {
@@ -86,15 +104,26 @@ func FuzzCodec(f *testing.F) {
 		_, _, _ = DecodeHello(data)
 		_, _ = DecodeUnsubscribe(data)
 		// Framing: a reader over hostile bytes must error or terminate,
-		// and a recovered body must itself be safe to decode.
-		if ft, body, err := ReadFrame(bytes.NewReader(data)); err == nil {
-			switch ft {
+		// and a recovered body must itself be safe to decode. The pooled
+		// FrameReader must agree with the allocating ReadFrame.
+		ft0, body0, err0 := ReadFrame(bytes.NewReader(data))
+		fb := GetFrameBuf()
+		ft1, body1, err1 := NewFrameReader(bytes.NewReader(data)).Next(fb)
+		if (err0 == nil) != (err1 == nil) {
+			t.Fatalf("frame readers disagree: ReadFrame=%v FrameReader=%v", err0, err1)
+		}
+		if err0 == nil {
+			if ft0 != ft1 || !bytes.Equal(body0, body1) {
+				t.Fatalf("frame readers decoded different frames")
+			}
+			switch ft0 {
 			case FrameMessage:
-				_, _ = DecodeMessage(body)
+				_, _ = DecodeMessage(body0)
 			case FrameSubscribe:
-				_, _ = DecodeSubscription(body)
+				_, _ = DecodeSubscription(body0)
 			}
 		}
+		fb.Release()
 	})
 }
 

@@ -106,6 +106,12 @@ type Message struct {
 	SizeKB    float64      // message size in kilobytes (propagation = SizeKB · TR)
 	Attrs     AttrSet      // content attributes, matched by filters
 	Payload   []byte       // opaque body; nil in the simulator
+
+	// Pool state of the live data plane (frame.go). Zero for ordinary
+	// messages, for which Retain/Release are no-ops.
+	pooled bool
+	refs   int32     // managed atomically while pooled
+	frame  *FrameBuf // frame buffer the payload aliases, if any
 }
 
 // Age returns how long the message has been in the system at time now —

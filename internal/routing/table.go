@@ -157,6 +157,19 @@ func (t *Table) MatchAppend(m *msg.Message, buf []*Entry) []*Entry {
 	return buf
 }
 
+// MatchAppendLinear is MatchAppend restricted to the stateless linear
+// scan. The counting index mutates match-epoch scratch it owns, so
+// concurrent matchers — the sharded live ingress runs one per worker —
+// must bypass it; the linear scan touches only immutable entry state.
+func (t *Table) MatchAppendLinear(m *msg.Message, buf []*Entry) []*Entry {
+	for _, e := range t.bySource[m.Ingress] {
+		if e.Sub.Filter.Match(&m.Attrs) {
+			buf = append(buf, e)
+		}
+	}
+	return buf
+}
+
 // Entries returns all entries for an ingress, for tests and inspection.
 func (t *Table) Entries(source msg.NodeID) []*Entry { return t.bySource[source] }
 

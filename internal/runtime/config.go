@@ -109,6 +109,12 @@ type Config struct {
 	// sleep = emulated ms × TimeScale. 1.0 is real time; tests use
 	// ~0.002. The simulator ignores it (virtual time costs nothing).
 	TimeScale float64
+
+	// LiveShards ≥ 1 runs every live broker on the sharded
+	// high-throughput data plane with that many ingress workers; 0 keeps
+	// the classic single-threaded plane. The simulator ignores it
+	// (scheduling semantics are identical either way).
+	LiveShards int
 }
 
 // Fault is an injected failure. The concrete types are LinkDown and

@@ -1,6 +1,7 @@
 package runtime_test
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -56,8 +57,11 @@ func crossValConfig(t testing.TB) runtime.Config {
 
 // TestCrossValidationSimVsLive is the unified layer's headline check:
 // one runtime.Config, deployed through one runtime.Plan, must produce
-// statistically matching results on the discrete-event simulator and the
-// live TCP overlay.
+// statistically matching results on the discrete-event simulator and
+// the live TCP overlay — on both live data planes. The sharded plane
+// changes how frames are decoded, processed and flushed, but must not
+// change what is delivered: per-stream delivery ordering and workload
+// accounting stay within the same bands as the classic plane.
 func TestCrossValidationSimVsLive(t *testing.T) {
 	if testing.Short() {
 		t.Skip("compressed-timescale live cluster run")
@@ -68,39 +72,50 @@ func TestCrossValidationSimVsLive(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	live, err := runtime.Run(cfg, livenet.Transport{})
-	if err != nil {
-		t.Fatal(err)
+	if sim.Backend != "sim" {
+		t.Errorf("backend = %q, want sim", sim.Backend)
 	}
 
-	if sim.Backend != "sim" || live.Backend != "live" {
-		t.Errorf("backends = %q / %q, want sim / live", sim.Backend, live.Backend)
-	}
-	if sim.Published != live.Published {
-		t.Errorf("published diverged: sim %d, live %d (same plan must inject the same workload)",
-			sim.Published, live.Published)
-	}
-	if sim.TotalTargets != live.TotalTargets {
-		t.Errorf("targets diverged: sim %d, live %d", sim.TotalTargets, live.TotalTargets)
-	}
-	if live.ValidDeliveries == 0 {
-		t.Fatal("live run delivered nothing")
-	}
+	for _, shards := range []int{0, 4} {
+		t.Run(fmt.Sprintf("liveShards=%d", shards), func(t *testing.T) {
+			lcfg := crossValConfig(t)
+			lcfg.Overlay = cfg.Overlay // plans may share an overlay across runs
+			lcfg.LiveShards = shards
+			live, err := runtime.Run(lcfg, livenet.Transport{})
+			if err != nil {
+				t.Fatal(err)
+			}
 
-	// Delivery rates must agree within a tolerance band: the live run
-	// pays real scheduling and TCP overheads (inflated by the time
-	// compression), so it may lag the simulator slightly, never match it
-	// bit for bit.
-	simRate, liveRate := sim.DeliveryRate(), live.DeliveryRate()
-	if d := math.Abs(simRate - liveRate); d > 0.15 {
-		t.Errorf("delivery rates diverged by %.3f: sim %.3f, live %.3f", d, simRate, liveRate)
-	}
-	// Routing is identical (same plan tables), so traffic volumes agree
-	// up to early drops.
-	rr := float64(live.Receptions) / float64(sim.Receptions)
-	if rr < 0.7 || rr > 1.3 {
-		t.Errorf("receptions diverged: sim %d, live %d (ratio %.2f)",
-			sim.Receptions, live.Receptions, rr)
+			if live.Backend != "live" {
+				t.Errorf("backend = %q, want live", live.Backend)
+			}
+			if sim.Published != live.Published {
+				t.Errorf("published diverged: sim %d, live %d (same plan must inject the same workload)",
+					sim.Published, live.Published)
+			}
+			if sim.TotalTargets != live.TotalTargets {
+				t.Errorf("targets diverged: sim %d, live %d", sim.TotalTargets, live.TotalTargets)
+			}
+			if live.ValidDeliveries == 0 {
+				t.Fatal("live run delivered nothing")
+			}
+
+			// Delivery rates must agree within a tolerance band: the live
+			// run pays real scheduling and TCP overheads (inflated by the
+			// time compression), so it may lag the simulator slightly,
+			// never match it bit for bit.
+			simRate, liveRate := sim.DeliveryRate(), live.DeliveryRate()
+			if d := math.Abs(simRate - liveRate); d > 0.15 {
+				t.Errorf("delivery rates diverged by %.3f: sim %.3f, live %.3f", d, simRate, liveRate)
+			}
+			// Routing is identical (same plan tables), so traffic volumes
+			// agree up to early drops.
+			rr := float64(live.Receptions) / float64(sim.Receptions)
+			if rr < 0.7 || rr > 1.3 {
+				t.Errorf("receptions diverged: sim %d, live %d (ratio %.2f)",
+					sim.Receptions, live.Receptions, rr)
+			}
+		})
 	}
 }
 
