@@ -15,9 +15,11 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
 	grt "runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"bdps/internal/core"
@@ -39,12 +41,14 @@ func main() {
 		burst   = flag.Int("burst", 0, "egress burst cap (0 = default)")
 		sizeKB  = flag.Float64("size", 1, "emulated message size in KB")
 		payload = flag.Int("payload", 0, "payload bytes per message")
+		churn   = flag.Float64("churn", 0, "subscription churn: subscribe+unsubscribe flood pairs per second, sustained while publishing (0 = none)")
 		compare = flag.Bool("compare", false, "run the classic plane, then the sharded plane, and report the speedup")
 	)
 	flag.Parse()
 	cfg := loadCfg{
 		n: *n, pubs: *pubs, subs: *subs, brokers: *brokers,
 		shards: *shards, burst: *burst, sizeKB: *sizeKB, payload: *payload,
+		churn: *churn,
 	}
 	if *compare {
 		legacy := cfg
@@ -75,8 +79,12 @@ func must(r result, err error) result {
 }
 
 func report(plane string, cfg loadCfg, r result) {
-	fmt.Printf("%-11s %8d msgs in %8.3fs  %9.0f msgs/sec  %6.1f allocs/msg  %8.1f B/msg  (deliveries %d, receptions %d)\n",
+	fmt.Printf("%-11s %8d msgs in %8.3fs  %9.0f msgs/sec  %6.1f allocs/msg  %8.1f B/msg  (deliveries %d, receptions %d)",
 		plane, cfg.n, r.elapsed.Seconds(), r.msgsPerSec, r.allocsPerMsg, r.bytesPerMsg, r.deliveries, r.receptions)
+	if cfg.churn > 0 {
+		fmt.Printf("  churn %.0f sub+unsub/sec", r.churnPerSec)
+	}
+	fmt.Println()
 }
 
 type loadCfg struct {
@@ -84,6 +92,7 @@ type loadCfg struct {
 	shards, burst          int
 	sizeKB                 float64
 	payload                int
+	churn                  float64
 }
 
 type result struct {
@@ -93,6 +102,7 @@ type result struct {
 	bytesPerMsg  float64
 	deliveries   int
 	receptions   int
+	churnPerSec  float64
 }
 
 func run(cfg loadCfg) (result, error) {
@@ -145,10 +155,71 @@ func run(cfg loadCfg) (result, error) {
 		body = make([]byte, cfg.payload)
 	}
 
+	// Sustained subscription churn concurrent with the measurement: a
+	// churner floods subscribe/unsubscribe pairs at the edge broker for
+	// the whole run, mutating every broker's routing table in place. The
+	// churn filters never match the published attributes, so delivery
+	// counts are untouched and any throughput delta is pure mutation
+	// contention.
+	churnStop := make(chan struct{})
+	churnDone := make(chan struct{})
+	var churnOps atomic.Int64
+	if cfg.churn > 0 {
+		conn, err := net.Dial("tcp", c.Addr(edge))
+		if err != nil {
+			return result{}, err
+		}
+		defer conn.Close()
+		hello := msg.AppendHello(nil, msg.RoleSubscriber, msg.NodeID(1<<20))
+		if err := msg.WriteFrame(conn, msg.FrameHello, hello); err != nil {
+			return result{}, err
+		}
+		go func() {
+			defer close(churnDone)
+			interval := time.Duration(float64(time.Second) / cfg.churn)
+			// All per-pair state is reused so the churner adds no heap
+			// traffic inside the MemStats measurement window — the
+			// reported allocs/msg stay attributable to the data plane.
+			var subBuf, unsubBuf []byte
+			sub := msg.Subscription{
+				ID:     msg.SubID(1 << 20),
+				Edge:   edge,
+				Filter: filter.MustParse("A1 < 0.5"), // never matches A1 = 1
+			}
+			next := time.Now()
+			for {
+				select {
+				case <-churnStop:
+					return
+				default:
+				}
+				body, err := msg.AppendSubscription(subBuf[:0], &sub)
+				if err != nil {
+					return
+				}
+				subBuf = body
+				if msg.WriteFrame(conn, msg.FrameSubscribe, body) != nil {
+					return
+				}
+				unsubBuf = msg.AppendUnsubscribe(unsubBuf[:0], sub.ID)
+				if msg.WriteFrame(conn, msg.FrameUnsubscribe, unsubBuf) != nil {
+					return
+				}
+				sub.ID++
+				churnOps.Add(1)
+				next = next.Add(interval)
+				if d := time.Until(next); d > 0 {
+					time.Sleep(d)
+				}
+			}
+		}()
+	}
+
 	grt.GC()
 	var before, after grt.MemStats
 	grt.ReadMemStats(&before)
 	start := time.Now()
+	churnStart := churnOps.Load() // count only pairs inside the window
 
 	var wg sync.WaitGroup
 	var firstErr error
@@ -188,7 +259,12 @@ func run(cfg loadCfg) (result, error) {
 		time.Sleep(200 * time.Microsecond)
 	}
 	elapsed := time.Since(start)
+	churned := churnOps.Load() - churnStart
 	grt.ReadMemStats(&after)
+	if cfg.churn > 0 {
+		close(churnStop)
+		<-churnDone
+	}
 
 	total := c.TotalStats()
 	if total.Deliveries < cfg.n*cfg.subs {
@@ -201,5 +277,6 @@ func run(cfg loadCfg) (result, error) {
 		bytesPerMsg:  float64(after.TotalAlloc-before.TotalAlloc) / float64(cfg.n),
 		deliveries:   total.Deliveries,
 		receptions:   total.Receptions,
+		churnPerSec:  float64(churned) / elapsed.Seconds(),
 	}, nil
 }

@@ -80,6 +80,9 @@ func run(args []string) error {
 		ebpcW    = fs.String("ebpc-weight", "", "add an EBPC series with this r to the figure 5/6 rate sweeps")
 		parallel = fs.Int("parallel", 0, "concurrent simulation runs for figures/ablations/claims (0 = all cores)")
 
+		churnRate = fs.Float64("churn", 0, "subscription churn: subscribe arrivals per minute (0 = static population)")
+		churnHalf = fs.Duration("churn-halflife", time.Minute, "subscription churn: lifetime half-life")
+
 		pd        = fs.Float64("pd", 2, "processing delay per broker, ms")
 		epsilon   = fs.Float64("epsilon", core.DefaultEpsilon, "invalid-message threshold for EB/PC/EBPC (0 disables)")
 		multipath = fs.Int("multipath", 0, "K-path routing (0/1 = single path)")
@@ -137,12 +140,17 @@ func run(args []string) error {
 			Workload: workload.Config{
 				RatePerMin: *rate,
 				Duration:   vtime.FromDuration(*duration),
+				Churn: workload.Churn{
+					RatePerMin: *churnRate,
+					HalfLife:   vtime.FromDuration(*churnHalf),
+				},
 			},
 			Multipath:      *multipath,
 			MeasureSamples: *measure,
 			LinkModel:      lm,
 			TimeScale:      ts,
 			LiveShards:     *liveShards,
+			IndexedMatch:   *churnRate > 0,
 		}
 		var traceFile *os.File
 		if *traceOut != "" {
@@ -175,6 +183,10 @@ func run(args []string) error {
 		Multipath:      *multipath,
 		MeasureSamples: *measure,
 		LinkModel:      lm,
+		Churn: workload.Churn{
+			RatePerMin: *churnRate,
+			HalfLife:   vtime.FromDuration(*churnHalf),
+		},
 		Parallelism:    *parallel,
 		Backend:        bk,
 		TimeScale:      ts,

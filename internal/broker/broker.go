@@ -19,6 +19,7 @@ import (
 	"sync"
 
 	"bdps/internal/core"
+	"bdps/internal/filter"
 	"bdps/internal/msg"
 	"bdps/internal/routing"
 	"bdps/internal/vtime"
@@ -187,10 +188,14 @@ type Processor struct {
 	locked bool // take per-queue locks around enqueues
 
 	matchBuf []*routing.Entry
-	grouper  routing.Grouper
-	res      Result
-	subEpoch map[msg.SubID]uint64
-	epoch    uint64
+	// matchScratch is this worker's private counting-index state, so
+	// concurrent Processors share the table's index without sharing any
+	// mutable match state.
+	matchScratch filter.MatchScratch
+	grouper      routing.Grouper
+	res          Result
+	subEpoch     map[msg.SubID]uint64
+	epoch        uint64
 }
 
 // NewProcessor returns a Processor for concurrent use.
@@ -223,9 +228,10 @@ func (p *Processor) process(m *msg.Message, now vtime.Millis) Result {
 	}
 
 	if p.locked {
-		// The counting index keeps match-epoch scratch inside itself;
-		// concurrent matchers take the stateless linear scan.
-		p.matchBuf = b.table.MatchAppendLinear(m, p.matchBuf[:0])
+		// Concurrent matchers share the table's counting index through a
+		// per-worker match scratch; table mutations (subscription floods)
+		// exclude them via the runtime's write lock.
+		p.matchBuf = b.table.MatchAppendWith(&p.matchScratch, m, p.matchBuf[:0])
 	} else {
 		p.matchBuf = b.table.MatchAppend(m, p.matchBuf[:0])
 	}

@@ -8,6 +8,7 @@ import (
 	"bdps/internal/msg"
 	"bdps/internal/simnet"
 	"bdps/internal/topology"
+	"bdps/internal/vtime"
 	"bdps/internal/workload"
 )
 
@@ -25,12 +26,19 @@ func ablationSweep[T any](o *Options, xs []T, mutate func(T, *simnet.Config)) ([
 	for _, x := range xs {
 		for _, seed := range o.Seeds {
 			cfg := simnet.Config{
-				Seed:      seed,
-				Scenario:  msg.PSD,
-				Strategy:  core.MaxEB{},
-				Params:    o.Params,
-				Workload:  workload.Config{RatePerMin: 12, Duration: o.Duration},
+				Seed:     seed,
+				Scenario: msg.PSD,
+				Strategy: core.MaxEB{},
+				Params:   o.Params,
+				Workload: workload.Config{
+					RatePerMin: 12,
+					Duration:   o.Duration,
+					Churn:      o.Churn,
+				},
 				LinkModel: o.LinkModel,
+				// Churning cells force the counting index, matching the
+				// figure cells (Options.config).
+				IndexedMatch: o.Churn.Enabled(),
 			}
 			if mutate != nil {
 				mutate(x, &cfg)
@@ -262,6 +270,45 @@ func AblationHotspot(opts Options) (*Figure, error) {
 	return fig, nil
 }
 
+// AblationChurn sweeps subscription churn: on top of the static
+// population, new subscribers arrive at the swept rate and stay for an
+// exponential lifetime (half-life 1 min). Routing tables mutate in
+// place throughout the run — the scenario the incremental counting
+// index exists for. Delivery is judged against the population active at
+// each publication instant.
+func AblationChurn(opts Options) (*Figure, error) {
+	opts.setDefaults()
+	fig := &Figure{
+		ID:     "A8",
+		Title:  "subscription churn (PSD, EB, rate 12, half-life 1 min)",
+		XLabel: "churn arrivals/min",
+		YLabel: "delivery rate (%) / traffic (k)",
+		Series: []string{"delivery %", "traffic k"},
+	}
+	rates := []float64{0, 20, 60, 180}
+	pts, err := ablationSweep(&opts, rates, func(r float64, c *simnet.Config) {
+		// This sweep owns the churn knob: override whatever global churn
+		// the options carry, so x = 0 is a genuinely static baseline.
+		if r > 0 {
+			c.Workload.Churn = workload.Churn{RatePerMin: r, HalfLife: vtime.Minute}
+			c.IndexedMatch = true // churn-proof fast path on every broker
+		} else {
+			c.Workload.Churn = workload.Churn{}
+			c.IndexedMatch = false
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range rates {
+		fig.Points = append(fig.Points, Point{X: r, Values: map[string]float64{
+			"delivery %": 100 * pts[i].DeliveryRate(),
+			"traffic k":  pts[i].MessageNumberK(),
+		}})
+	}
+	return fig, nil
+}
+
 // RunAblation dispatches an ablation id.
 func RunAblation(id string, opts Options) (*Figure, error) {
 	switch id {
@@ -279,13 +326,15 @@ func RunAblation(id string, opts Options) (*Figure, error) {
 		return AblationFairness(opts)
 	case "hotspot", "A7":
 		return AblationHotspot(opts)
+	case "churn", "A8":
+		return AblationChurn(opts)
 	}
-	return nil, fmt.Errorf("experiments: unknown ablation %q (want epsilon, measure, multipath, linkmodel, topology, fairness, hotspot)", id)
+	return nil, fmt.Errorf("experiments: unknown ablation %q (want epsilon, measure, multipath, linkmodel, topology, fairness, hotspot, churn)", id)
 }
 
 // Ablations lists the ablation ids in order.
 func Ablations() []string {
-	return []string{"epsilon", "measure", "multipath", "linkmodel", "topology", "fairness", "hotspot"}
+	return []string{"epsilon", "measure", "multipath", "linkmodel", "topology", "fairness", "hotspot", "churn"}
 }
 
 // AllAblations runs every ablation with one shared worker pool and run

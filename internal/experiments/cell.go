@@ -34,12 +34,16 @@ func (o *Options) config(c Cell) simnet.Config {
 		Workload: workload.Config{
 			RatePerMin: c.Rate,
 			Duration:   o.Duration,
+			Churn:      o.Churn,
 		},
 		Multipath:      o.Multipath,
 		MeasureSamples: o.MeasureSamples,
 		LinkModel:      o.LinkModel,
 		TimeScale:      o.TimeScale,
 		LiveShards:     o.LiveShards,
+		// Churning cells run the incremental counting index: the fast
+		// path the churn rework exists to keep alive under mutation.
+		IndexedMatch: o.Churn.Enabled(),
 	}
 }
 

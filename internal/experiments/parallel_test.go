@@ -90,11 +90,12 @@ func TestAllAblationsSharedCache(t *testing.T) {
 	if len(figs) != len(Ablations()) {
 		t.Fatalf("got %d ablation figures", len(figs))
 	}
-	// 28 cells declared (6+5+3+3+3+4+4, one seed); the base config
+	// 32 cells declared (6+5+3+3+3+4+4+4, one seed); the base config
 	// recurs in the ε (default ε), measure (0 samples), link-model
-	// (normal) and hotspot (0) sweeps → 25 unique runs.
-	if runs != 25 {
-		t.Errorf("runs = %d, want 25 (base cell must dedupe across ablations)", runs)
+	// (normal), hotspot (0) and churn (0 arrivals/min) sweeps → 28
+	// unique runs.
+	if runs != 28 {
+		t.Errorf("runs = %d, want 28 (base cell must dedupe across ablations)", runs)
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	bdpsruntime "bdps/internal/runtime"
 	"bdps/internal/simnet"
 	"bdps/internal/vtime"
+	"bdps/internal/workload"
 )
 
 // Options scales an experiment. The zero value reproduces the paper's
@@ -42,6 +43,11 @@ type Options struct {
 	Multipath      int
 	MeasureSamples int
 	LinkModel      simnet.LinkModel
+	// Churn adds a dynamic subscriber population to every cell
+	// (subscribe/unsubscribe floods mutating the routing tables mid-run;
+	// see workload.Churn). Cells with churn force the counting-index fast
+	// path so figures exercise the incremental index under mutation.
+	Churn workload.Churn
 	// Parallelism caps concurrent simulation runs; 0 or negative means
 	// runtime.GOMAXPROCS(0). 1 reproduces the sequential harness. Figure
 	// output is bit-identical at every setting: cells are deterministic

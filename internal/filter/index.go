@@ -19,45 +19,72 @@ type Iterable interface {
 //
 // Filters whose DNF contains non-indexable predicates (NE, string
 // inequalities) fall back to a linear list, so Match is always equivalent
-// to evaluating every filter directly. The broker's matching loop is the
-// hot path of a content-based router; this index turns O(filters) into
-// O(log predicates + matches) for the common conjunctive case, and Match
-// is allocation-free in steady state: all per-match state lives in
-// epoch-stamped slices owned by the index, including the output.
+// to evaluating every filter directly.
+//
+// The index is built for churn: the subscription population it serves is
+// expected to mutate continuously, so every mutation is incremental and
+// sublinear.
+//
+//   - Add inserts each predicate into a small unsorted tail behind its
+//     attribute's sorted run; a tail is merged into its run only when it
+//     outgrows √n (amortized o(n) per insert — the previous
+//     implementation re-sorted every bound list of every operator on
+//     every Add, an O(S·P log P) bulk build). Only the lists a predicate
+//     actually lands in are ever touched: an Add on attribute "a" never
+//     re-sorts attribute "b", and wildcard or fallback adds touch no
+//     bound list at all.
+//   - Remove(id) tombstones the id's conjunctions through per-id
+//     back-references (id → conjunction indices) without touching the
+//     predicate lists; the lists are compacted in one O(P) sweep only
+//     when dead conjunctions outnumber live ones.
+//   - AddBatch indexes a whole population sorting each touched list
+//     exactly once (the bulk-build path tables use).
+//
+// Matching never mutates the index itself — sorted runs are searched by
+// binary search and tails (bounded by √n) by linear scan — so concurrent
+// matchers may share one index, each bringing its own MatchScratch,
+// while mutators synchronize externally (readers-writer style: Add /
+// Remove / AddBatch under the write lock, MatchWith under the read
+// lock). The serial Match entry point keeps the historical exclusive-use
+// contract and is allocation-free in steady state.
 type Index struct {
 	conjs []conjState
 	// wild lists the ids of zero-predicate (wildcard) conjunctions in
-	// add order; they match every message.
-	wild []int32
-	// per-attribute predicate lists, sorted by bound
-	lt map[string]boundList // pred: v < bound  (satisfied: bound > v)
-	le map[string]boundList // pred: v <= bound (satisfied: bound >= v)
-	gt map[string]boundList // pred: v > bound  (satisfied: bound < v)
-	ge map[string]boundList // pred: v >= bound (satisfied: bound <= v)
-	eq map[string]map[float64][]int
-	se map[string]map[string][]int // string equality
+	// add order; they match every message. wildDead tombstones removed
+	// slots (the list compacts when dead outnumber live).
+	wild     []int32
+	wildDead []bool
+	deadWild int
+	// per-attribute predicate lists: a sorted run plus an unsorted tail.
+	lt map[string]*boundList // pred: v < bound  (satisfied: bound > v)
+	le map[string]*boundList // pred: v <= bound (satisfied: bound >= v)
+	gt map[string]*boundList // pred: v > bound  (satisfied: bound < v)
+	ge map[string]*boundList // pred: v >= bound (satisfied: bound <= v)
+	eq map[string]map[float64][]int32
+	se map[string]map[string][]int32 // string equality
 
-	fallback []fallbackFilter
+	fallback     []fallbackFilter
+	deadFallback int
 
-	// distinct ids ever added, maintained at Add time so Len is O(1).
-	known map[int32]struct{}
+	// known maps each live id to its index state — the back-references
+	// Remove follows to tombstone conjunctions without rebuilding.
+	known map[int32]*idState
 
-	// Match-epoch state: nothing is cleared between matches — a slot is
-	// live only when its stamp equals the current epoch.
-	epoch  uint64
-	seen   []uint64 // per conjunction: epoch of last predicate hit
-	counts []int    // per conjunction: satisfied predicates this epoch
-	// Output dedup. Ids are usually small and dense (routing tables use
-	// positions), so the stamp lives in a slice indexed by id; an id
-	// outside [0, denseLimit] flips the index to a map permanently.
-	dense      bool
-	maxID      int32
-	emittedAt  []uint64
-	emittedMap map[int32]uint64
-	out        []int32
+	// live/dead accounting drives compaction.
+	liveConjs, deadConjs int
 
-	// visit bound once so Match passes a preallocated callback to Each.
-	visitor func(name string, v Value)
+	// Id-density tracking for the dense emit-stamp fast path. Ids are
+	// usually small and dense (routing tables use positions); an id
+	// outside [0, denseLimit] flips matching to a map permanently.
+	dense bool
+	maxID int32
+
+	// scratch backs the serial Match entry point.
+	scratch MatchScratch
+
+	// merges counts deferred tail merges (diagnostics; tests assert that
+	// only touched lists ever merge).
+	merges int
 }
 
 // denseLimit bounds the id-indexed stamp slice; ids beyond it (or
@@ -66,12 +93,28 @@ const denseLimit = 1 << 20
 
 type conjState struct {
 	id     int32 // caller's id for the owning filter
-	needed int
+	needed int32
+	dead   bool
 }
 
+// idState is one id's back-references into the index structures, so
+// Remove touches only its own entries in each of them.
+type idState struct {
+	conjs     []int32 // indices into Index.conjs
+	wilds     []int32 // indices into Index.wild
+	fallbacks []int32 // indices into Index.fallback
+}
+
+// boundList is one (attribute, operator) predicate list: a run sorted by
+// bound plus an unsorted insertion tail. The tail is merged into the run
+// when it outgrows √(run length), so inserts stay cheap and lookups stay
+// logarithmic plus a bounded linear scan.
 type boundList struct {
 	bounds []float64
-	conj   []int
+	conj   []int32
+	// unsorted tail of recent inserts
+	tailBounds []float64
+	tailConj   []int32
 }
 
 type fallbackFilter struct {
@@ -81,91 +124,364 @@ type fallbackFilter struct {
 
 // NewIndex returns an empty index.
 func NewIndex() *Index {
-	ix := &Index{
-		lt:         make(map[string]boundList),
-		le:         make(map[string]boundList),
-		gt:         make(map[string]boundList),
-		ge:         make(map[string]boundList),
-		eq:         make(map[string]map[float64][]int),
-		se:         make(map[string]map[string][]int),
-		known:      make(map[int32]struct{}),
-		emittedMap: make(map[int32]uint64),
-		dense:      true,
+	return &Index{
+		lt:    make(map[string]*boundList),
+		le:    make(map[string]*boundList),
+		gt:    make(map[string]*boundList),
+		ge:    make(map[string]*boundList),
+		eq:    make(map[string]map[float64][]int32),
+		se:    make(map[string]map[string][]int32),
+		known: make(map[int32]*idState),
+		dense: true,
 	}
-	ix.visitor = ix.visit
-	return ix
 }
 
-// Len returns the number of distinct added filter ids (indexed +
-// fallback), tracked at Add time.
+// Len returns the number of distinct live filter ids (indexed +
+// wildcard + fallback).
 func (ix *Index) Len() int { return len(ix.known) }
 
-// Add registers a filter under the caller's id. Ids may repeat (a
-// subscription re-added is matched once per Match call regardless).
-// Add must not be interleaved with Match.
-func (ix *Index) Add(id int32, f *Filter) {
-	ix.known[id] = struct{}{}
+// state returns (creating) the id's back-reference record and keeps the
+// dense-id tracking current.
+func (ix *Index) state(id int32) *idState {
+	st := ix.known[id]
+	if st == nil {
+		st = &idState{}
+		ix.known[id] = st
+	}
 	if id < 0 || id > denseLimit {
 		ix.dense = false
 	} else if id > ix.maxID {
 		ix.maxID = id
 	}
+	return st
+}
+
+// Add registers a filter under the caller's id. Ids may repeat (a
+// subscription re-added is matched once per Match call regardless).
+// Amortized cost is sublinear: each predicate lands in its list's
+// unsorted tail, and a tail is merged only when it outgrows √n — no
+// other list is touched, where the previous implementation re-sorted
+// every bound list of every operator on every Add (including wildcard
+// and fallback adds, which touch no bound list at all).
+//
+// Mutations (Add, AddBatch, Remove) must be serialized with each other
+// and exclude concurrent matchers.
+func (ix *Index) Add(id int32, f *Filter) {
+	ix.addOne(id, f, false)
+}
+
+// AddBatch registers many filters at once, deferring every run merge so
+// each touched list is sorted exactly once at the end — the bulk-build
+// path. ids and filters are parallel slices.
+func (ix *Index) AddBatch(ids []int32, filters []*Filter) {
+	if len(ids) != len(filters) {
+		panic("filter: AddBatch slice lengths differ")
+	}
+	for i := range ids {
+		ix.addOne(ids[i], filters[i], true)
+	}
+	ix.Flush()
+}
+
+func (ix *Index) addOne(id int32, f *Filter, batch bool) {
+	st := ix.state(id)
 	if f == nil || f.root == nil {
 		// Wildcard: a conjunction with zero predicates always matches.
+		// No bound list is touched.
+		st.wilds = append(st.wilds, int32(len(ix.wild)))
 		ix.wild = append(ix.wild, id)
-		ix.dirty()
+		ix.wildDead = append(ix.wildDead, false)
 		return
 	}
-	for _, conj := range f.DNF() {
+	dnf := f.DNF()
+	for _, conj := range dnf {
 		if !indexable(conj) {
+			// Linear fallback evaluates the whole filter once; again no
+			// bound list is touched.
+			st.fallbacks = append(st.fallbacks, int32(len(ix.fallback)))
 			ix.fallback = append(ix.fallback, fallbackFilter{id: id, f: f})
-			ix.dirty()
-			return // linear fallback evaluates the whole filter once
+			return
 		}
 	}
-	for _, conj := range f.DNF() {
-		ci := len(ix.conjs)
-		ix.conjs = append(ix.conjs, conjState{id: id, needed: len(conj)})
+	for _, conj := range dnf {
+		ci := int32(len(ix.conjs))
+		ix.conjs = append(ix.conjs, conjState{id: id, needed: int32(len(conj))})
+		st.conjs = append(st.conjs, ci)
+		ix.liveConjs++
 		for _, p := range conj {
 			switch {
 			case p.Val.Kind == String:
 				m := ix.se[p.Attr]
 				if m == nil {
-					m = make(map[string][]int)
+					m = make(map[string][]int32)
 					ix.se[p.Attr] = m
 				}
 				m[p.Val.Str] = append(m[p.Val.Str], ci)
-			case p.Op == LT:
-				bl := ix.lt[p.Attr]
-				bl.bounds = append(bl.bounds, p.Val.Num)
-				bl.conj = append(bl.conj, ci)
-				ix.lt[p.Attr] = bl
-			case p.Op == LE:
-				bl := ix.le[p.Attr]
-				bl.bounds = append(bl.bounds, p.Val.Num)
-				bl.conj = append(bl.conj, ci)
-				ix.le[p.Attr] = bl
-			case p.Op == GT:
-				bl := ix.gt[p.Attr]
-				bl.bounds = append(bl.bounds, p.Val.Num)
-				bl.conj = append(bl.conj, ci)
-				ix.gt[p.Attr] = bl
-			case p.Op == GE:
-				bl := ix.ge[p.Attr]
-				bl.bounds = append(bl.bounds, p.Val.Num)
-				bl.conj = append(bl.conj, ci)
-				ix.ge[p.Attr] = bl
 			case p.Op == EQ:
 				m := ix.eq[p.Attr]
 				if m == nil {
-					m = make(map[float64][]int)
+					m = make(map[float64][]int32)
 					ix.eq[p.Attr] = m
 				}
 				m[p.Val.Num] = append(m[p.Val.Num], ci)
+			default:
+				ix.insert(ix.opMap(p.Op), p.Attr, p.Val.Num, ci, batch)
 			}
 		}
 	}
-	ix.dirty()
+}
+
+// opMap returns the bound-list map for an inequality operator.
+func (ix *Index) opMap(op Op) map[string]*boundList {
+	switch op {
+	case LT:
+		return ix.lt
+	case LE:
+		return ix.le
+	case GT:
+		return ix.gt
+	case GE:
+		return ix.ge
+	}
+	panic("filter: not an indexable inequality op")
+}
+
+// insert appends one predicate to the list's tail, merging when the tail
+// outgrows √(run length) — unless the caller batches, in which case the
+// merge is deferred to Flush.
+func (ix *Index) insert(m map[string]*boundList, attr string, bound float64, ci int32, batch bool) {
+	bl := m[attr]
+	if bl == nil {
+		bl = &boundList{}
+		m[attr] = bl
+	}
+	bl.tailBounds = append(bl.tailBounds, bound)
+	bl.tailConj = append(bl.tailConj, ci)
+	if !batch && bl.tailOverflow() {
+		bl.merge(ix)
+	}
+}
+
+// tailOverflow reports whether the tail has outgrown √(run length).
+// Small lists merge eagerly past a constant floor so lookups on young
+// attributes stay mostly-sorted.
+func (bl *boundList) tailOverflow() bool {
+	t := len(bl.tailBounds)
+	if t < 16 {
+		return false
+	}
+	return t*t > len(bl.bounds)
+}
+
+// merge folds the unsorted tail into the sorted run: sort the tail, then
+// one backward in-place merge — O(n + t log t), the single sort this
+// list pays for the last t inserts.
+func (bl *boundList) merge(ix *Index) {
+	t := len(bl.tailBounds)
+	if t == 0 {
+		return
+	}
+	ix.merges++
+	sort.Sort(byBound{bl.tailBounds, bl.tailConj})
+	n := len(bl.bounds)
+	bl.bounds = append(bl.bounds, bl.tailBounds...)
+	bl.conj = append(bl.conj, bl.tailConj...)
+	// Backward merge: dest k always sits at or beyond read index i, so
+	// writing into the same array is safe.
+	i, j := n-1, t-1
+	for k := n + t - 1; j >= 0; k-- {
+		if i >= 0 && bl.bounds[i] > bl.tailBounds[j] {
+			bl.bounds[k] = bl.bounds[i]
+			bl.conj[k] = bl.conj[i]
+			i--
+		} else {
+			bl.bounds[k] = bl.tailBounds[j]
+			bl.conj[k] = bl.tailConj[j]
+			j--
+		}
+	}
+	bl.tailBounds = bl.tailBounds[:0]
+	bl.tailConj = bl.tailConj[:0]
+}
+
+// Flush merges every pending tail into its sorted run (each touched
+// list sorted once). AddBatch calls it; callers that interleave Add
+// bursts with latency-critical matching may call it at a quiet moment.
+func (ix *Index) Flush() {
+	for _, m := range []map[string]*boundList{ix.lt, ix.le, ix.gt, ix.ge} {
+		for _, bl := range m {
+			bl.merge(ix)
+		}
+	}
+}
+
+// Remove deletes every registration of an id — indexed conjunctions,
+// wildcards and fallbacks — and reports whether the id was present.
+// Conjunctions are tombstoned through the id's back-references without
+// touching the predicate lists; lists are compacted in one sweep only
+// when dead conjunctions outnumber live ones.
+func (ix *Index) Remove(id int32) bool {
+	st := ix.known[id]
+	if st == nil {
+		return false
+	}
+	delete(ix.known, id)
+	for _, ci := range st.conjs {
+		ix.conjs[ci].dead = true
+		ix.liveConjs--
+		ix.deadConjs++
+	}
+	for _, wi := range st.wilds {
+		if !ix.wildDead[wi] {
+			ix.wildDead[wi] = true
+			ix.deadWild++
+		}
+	}
+	if ix.deadWild*2 > len(ix.wild) {
+		ix.compactWild()
+	}
+	for _, fi := range st.fallbacks {
+		if ix.fallback[fi].f != nil {
+			ix.fallback[fi].f = nil
+			ix.deadFallback++
+		}
+	}
+	if ix.deadFallback*2 > len(ix.fallback) {
+		ix.compactFallback()
+	}
+	if ix.deadConjs > 64 && ix.deadConjs > ix.liveConjs {
+		ix.compact()
+	}
+	return true
+}
+
+// compactWild squeezes tombstoned wildcard slots out, rebuilding the
+// surviving ids' back-references (add order preserved).
+func (ix *Index) compactWild() {
+	for i, dead := range ix.wildDead {
+		if !dead {
+			if st := ix.known[ix.wild[i]]; st != nil {
+				st.wilds = st.wilds[:0]
+			}
+		}
+	}
+	k := int32(0)
+	for i, id := range ix.wild {
+		if ix.wildDead[i] {
+			continue
+		}
+		if st := ix.known[id]; st != nil {
+			st.wilds = append(st.wilds, k)
+		}
+		ix.wild[k] = id
+		ix.wildDead[k] = false
+		k++
+	}
+	ix.wild = ix.wild[:k]
+	ix.wildDead = ix.wildDead[:k]
+	ix.deadWild = 0
+}
+
+// compactFallback squeezes tombstoned fallback slots out, rebuilding
+// the surviving ids' back-references (add order preserved).
+func (ix *Index) compactFallback() {
+	for i := range ix.fallback {
+		if ix.fallback[i].f != nil {
+			if st := ix.known[ix.fallback[i].id]; st != nil {
+				st.fallbacks = st.fallbacks[:0]
+			}
+		}
+	}
+	kept := ix.fallback[:0]
+	for _, fb := range ix.fallback {
+		if fb.f == nil {
+			continue
+		}
+		if st := ix.known[fb.id]; st != nil {
+			st.fallbacks = append(st.fallbacks, int32(len(kept)))
+		}
+		kept = append(kept, fb)
+	}
+	ix.fallback = kept
+	ix.deadFallback = 0
+}
+
+// compact squeezes tombstoned conjunctions out of every structure in one
+// O(conjs + predicates) sweep, restoring the memory and match cost of a
+// fresh build. Amortized across the removals that triggered it, the
+// sweep is O(predicates per removal).
+func (ix *Index) compact() {
+	remap := make([]int32, len(ix.conjs))
+	live := int32(0)
+	for i := range ix.conjs {
+		if ix.conjs[i].dead {
+			remap[i] = -1
+			continue
+		}
+		remap[i] = live
+		ix.conjs[live] = ix.conjs[i]
+		live++
+	}
+	ix.conjs = ix.conjs[:live]
+
+	for _, m := range []map[string]*boundList{ix.lt, ix.le, ix.gt, ix.ge} {
+		for attr, bl := range m {
+			if len(bl.tailBounds) > 0 {
+				bl.merge(ix) // fold the tail first so one filtered run remains
+				ix.merges--  // bookkeeping merge, not an insert-driven one
+			}
+			k := 0
+			for i := range bl.bounds {
+				if nc := remap[bl.conj[i]]; nc >= 0 {
+					bl.bounds[k] = bl.bounds[i]
+					bl.conj[k] = nc
+					k++
+				}
+			}
+			bl.bounds = bl.bounds[:k]
+			bl.conj = bl.conj[:k]
+			if k == 0 {
+				delete(m, attr)
+			}
+		}
+	}
+	compactConjMap(ix.eq, remap)
+	compactConjMap(ix.se, remap)
+	for _, st := range ix.known {
+		k := 0
+		for _, ci := range st.conjs {
+			if nc := remap[ci]; nc >= 0 {
+				st.conjs[k] = nc
+				k++
+			}
+		}
+		st.conjs = st.conjs[:k]
+	}
+	ix.deadConjs = 0
+}
+
+// compactConjMap filters and remaps the conjunction lists of an equality
+// map (eq or se).
+func compactConjMap[K comparable](m map[string]map[K][]int32, remap []int32) {
+	for attr, vals := range m {
+		for v, cis := range vals {
+			k := 0
+			for _, ci := range cis {
+				if nc := remap[ci]; nc >= 0 {
+					cis[k] = nc
+					k++
+				}
+			}
+			if k == 0 {
+				delete(vals, v)
+			} else {
+				vals[v] = cis[:k]
+			}
+		}
+		if len(vals) == 0 {
+			delete(m, attr)
+		}
+	}
 }
 
 // indexable reports whether a conjunction can live in the counting index.
@@ -181,41 +497,50 @@ func indexable(conj []Predicate) bool {
 	return true
 }
 
-// dirty re-sorts bound lists and resizes the epoch-stamped counters
-// after an Add. Existing stamps stay valid: a zero stamp is simply an
-// epoch no live match uses.
-func (ix *Index) dirty() {
-	for _, m := range []map[string]boundList{ix.lt, ix.le, ix.gt, ix.ge} {
-		for attr, bl := range m {
-			sort.Sort(byBound{&bl})
-			m[attr] = bl
-		}
-	}
-	ix.seen = growU64(ix.seen, len(ix.conjs))
-	for len(ix.counts) < len(ix.conjs) {
-		ix.counts = append(ix.counts, 0)
-	}
-	if ix.dense {
-		ix.emittedAt = growU64(ix.emittedAt, int(ix.maxID)+1)
-	}
-}
-
 func growU64(s []uint64, n int) []uint64 {
-	for len(s) < n {
-		s = append(s, 0)
+	if cap(s) < n {
+		s = append(s[:cap(s)], make([]uint64, n-cap(s))...)
 	}
-	return s
+	return s[:n]
 }
 
-type byBound struct{ bl *boundList }
-
-func (s byBound) Len() int { return len(s.bl.bounds) }
-func (s byBound) Less(i, j int) bool {
-	return s.bl.bounds[i] < s.bl.bounds[j]
+func growI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		s = append(s[:cap(s)], make([]int32, n-cap(s))...)
+	}
+	return s[:n]
 }
+
+// byBound sorts parallel bound/conjunction slices by bound.
+type byBound struct {
+	bounds []float64
+	conj   []int32
+}
+
+func (s byBound) Len() int           { return len(s.bounds) }
+func (s byBound) Less(i, j int) bool { return s.bounds[i] < s.bounds[j] }
 func (s byBound) Swap(i, j int) {
-	s.bl.bounds[i], s.bl.bounds[j] = s.bl.bounds[j], s.bl.bounds[i]
-	s.bl.conj[i], s.bl.conj[j] = s.bl.conj[j], s.bl.conj[i]
+	s.bounds[i], s.bounds[j] = s.bounds[j], s.bounds[i]
+	s.conj[i], s.conj[j] = s.conj[j], s.conj[i]
+}
+
+// MatchScratch is one matcher's private epoch-stamped state: nothing is
+// cleared between matches — a slot is live only when its stamp equals
+// the scratch's current epoch. Concurrent matchers share one Index by
+// bringing one MatchScratch each (the zero value is ready to use); the
+// index itself is never written by a match.
+type MatchScratch struct {
+	ix    *Index
+	epoch uint64
+	seen  []uint64 // per conjunction: epoch of last predicate hit
+	count []int32  // per conjunction: satisfied predicates this epoch
+	// Output dedup: dense ids stamp a slice, sparse ids a map.
+	emittedAt  []uint64
+	emittedMap map[int32]uint64
+	out        []int32
+
+	// visit bound once so Match passes a preallocated callback to Each.
+	visitor func(name string, v Value)
 }
 
 // Match returns the ids whose filters match the attributes, each at most
@@ -224,101 +549,145 @@ func (s byBound) Swap(i, j int) {
 //
 // The returned slice is a buffer owned by the index, valid until the
 // next Match call. Callers may reorder it in place but must not append
-// to it or retain it across matches.
-func (ix *Index) Match(a Iterable) []int32 {
-	ix.epoch++
-	ix.out = ix.out[:0]
-	a.Each(ix.visitor)
+// to it or retain it across matches. Match requires exclusive use of the
+// index (it shares the index-owned scratch); concurrent matchers use
+// MatchWith instead.
+func (ix *Index) Match(a Iterable) []int32 { return ix.MatchWith(&ix.scratch, a) }
+
+// MatchWith is Match through a caller-owned scratch: any number of
+// matchers may run concurrently against one index, each with its own
+// scratch, as long as no mutation (Add / AddBatch / Remove) is in
+// flight. The returned slice is owned by the scratch.
+func (ix *Index) MatchWith(s *MatchScratch, a Iterable) []int32 {
+	s.ix = ix
+	if s.visitor == nil {
+		s.visitor = s.visit
+	}
+	s.epoch++
+	s.seen = growU64(s.seen, len(ix.conjs))
+	s.count = growI32(s.count, len(ix.conjs))
+	if ix.dense {
+		s.emittedAt = growU64(s.emittedAt, int(ix.maxID)+1)
+	} else if s.emittedMap == nil {
+		s.emittedMap = make(map[int32]uint64)
+	}
+	s.out = s.out[:0]
+	a.Each(s.visitor)
 
 	// Zero-predicate conjunctions (wildcards) match everything.
-	for _, id := range ix.wild {
-		ix.emit(id)
-	}
-
-	// Fallback filters evaluate directly.
-	for i := range ix.fallback {
-		if ix.fallback[i].f.Match(a) {
-			ix.emit(ix.fallback[i].id)
+	for i, id := range ix.wild {
+		if !ix.wildDead[i] {
+			s.emit(id)
 		}
 	}
-	return ix.out
+
+	// Fallback filters evaluate directly (nil = tombstoned by Remove).
+	for i := range ix.fallback {
+		if ix.fallback[i].f != nil && ix.fallback[i].f.Match(a) {
+			s.emit(ix.fallback[i].id)
+		}
+	}
+	return s.out
 }
 
 // visit processes one message attribute, bumping every satisfied
-// predicate's conjunction.
-func (ix *Index) visit(name string, v Value) {
+// predicate's conjunction: binary search over each sorted run, linear
+// scan over its √n-bounded tail.
+func (s *MatchScratch) visit(name string, v Value) {
+	ix := s.ix
 	if v.Kind == Number {
 		x := v.Num
-		if bl, ok := ix.lt[name]; ok {
+		if bl := ix.lt[name]; bl != nil {
 			// Satisfied: bound > x → suffix starting at first bound > x.
 			i := sort.SearchFloat64s(bl.bounds, x)
 			for ; i < len(bl.bounds) && bl.bounds[i] <= x; i++ {
 			}
 			for ; i < len(bl.bounds); i++ {
-				ix.bump(bl.conj[i])
+				s.bump(bl.conj[i])
+			}
+			for i, b := range bl.tailBounds {
+				if b > x {
+					s.bump(bl.tailConj[i])
+				}
 			}
 		}
-		if bl, ok := ix.le[name]; ok {
+		if bl := ix.le[name]; bl != nil {
 			// Satisfied: bound >= x.
-			i := sort.SearchFloat64s(bl.bounds, x)
-			for ; i < len(bl.bounds); i++ {
-				ix.bump(bl.conj[i])
+			for i := sort.SearchFloat64s(bl.bounds, x); i < len(bl.bounds); i++ {
+				s.bump(bl.conj[i])
+			}
+			for i, b := range bl.tailBounds {
+				if b >= x {
+					s.bump(bl.tailConj[i])
+				}
 			}
 		}
-		if bl, ok := ix.gt[name]; ok {
+		if bl := ix.gt[name]; bl != nil {
 			// Satisfied: bound < x → prefix below x.
 			hi := sort.SearchFloat64s(bl.bounds, x)
 			for i := 0; i < hi; i++ {
-				ix.bump(bl.conj[i])
+				s.bump(bl.conj[i])
+			}
+			for i, b := range bl.tailBounds {
+				if b < x {
+					s.bump(bl.tailConj[i])
+				}
 			}
 		}
-		if bl, ok := ix.ge[name]; ok {
+		if bl := ix.ge[name]; bl != nil {
 			// Satisfied: bound <= x → prefix through x.
 			hi := sort.SearchFloat64s(bl.bounds, x)
 			for ; hi < len(bl.bounds) && bl.bounds[hi] == x; hi++ {
 			}
 			for i := 0; i < hi; i++ {
-				ix.bump(bl.conj[i])
+				s.bump(bl.conj[i])
+			}
+			for i, b := range bl.tailBounds {
+				if b <= x {
+					s.bump(bl.tailConj[i])
+				}
 			}
 		}
-		if m, ok := ix.eq[name]; ok {
+		if m := ix.eq[name]; m != nil {
 			for _, ci := range m[x] {
-				ix.bump(ci)
+				s.bump(ci)
 			}
 		}
-	} else if m, ok := ix.se[name]; ok {
+	} else if m := ix.se[name]; m != nil {
 		for _, ci := range m[v.Str] {
-			ix.bump(ci)
+			s.bump(ci)
 		}
 	}
 }
 
 // bump credits one satisfied predicate to a conjunction, emitting its id
-// when the count completes.
-func (ix *Index) bump(ci int) {
-	if ix.seen[ci] != ix.epoch {
-		ix.seen[ci] = ix.epoch
-		ix.counts[ci] = 0
+// when the count completes (tombstoned conjunctions keep counting but
+// never emit).
+func (s *MatchScratch) bump(ci int32) {
+	if s.seen[ci] != s.epoch {
+		s.seen[ci] = s.epoch
+		s.count[ci] = 0
 	}
-	ix.counts[ci]++
-	if ix.counts[ci] == ix.conjs[ci].needed {
-		ix.emit(ix.conjs[ci].id)
+	s.count[ci]++
+	c := &s.ix.conjs[ci]
+	if s.count[ci] == c.needed && !c.dead {
+		s.emit(c.id)
 	}
 }
 
 // emit appends an id to the output unless it was already emitted this
 // epoch.
-func (ix *Index) emit(id int32) {
-	if ix.dense {
-		if ix.emittedAt[id] == ix.epoch {
+func (s *MatchScratch) emit(id int32) {
+	if s.ix.dense {
+		if s.emittedAt[id] == s.epoch {
 			return
 		}
-		ix.emittedAt[id] = ix.epoch
+		s.emittedAt[id] = s.epoch
 	} else {
-		if ix.emittedMap[id] == ix.epoch {
+		if s.emittedMap[id] == s.epoch {
 			return
 		}
-		ix.emittedMap[id] = ix.epoch
+		s.emittedMap[id] = s.epoch
 	}
-	ix.out = append(ix.out, id)
+	s.out = append(s.out, id)
 }

@@ -119,6 +119,11 @@ type Node struct {
 	// the exact broker the simulator drives.
 	b     *broker.Broker
 	table *routing.Table
+	// installer computes this node's routing entries for dynamically
+	// flooded subscriptions, caching one Dijkstra per ingress across the
+	// whole flood stream (the overlay is immutable). Accessed only with
+	// mu held exclusively.
+	installer *routing.Installer
 	wake  map[msg.NodeID]chan struct{}
 	// linkDown marks outgoing links taken out of service by injected
 	// faults; the sender parks until the link comes back up.
@@ -127,9 +132,12 @@ type Node struct {
 	// local subscriber connections by subscription id
 	locals map[msg.SubID]*subConn
 	// flood dedup; removed subscriptions leave a tombstone so a late
-	// subscribe flood cannot resurrect them
+	// subscribe flood cannot resurrect them. The tombstone set is
+	// generation-bounded (see tombstones) so sustained churn cannot leak
+	// memory; seenSubs entries are deleted on unsubscribe for the same
+	// reason.
 	seenSubs    map[msg.SubID]bool
-	removedSubs map[msg.SubID]bool
+	removedSubs tombstones
 	// statistics (atomic: updated by concurrent shard workers)
 	cnt counters
 
@@ -240,6 +248,47 @@ type subConn struct {
 	peer *peerConn
 }
 
+// tombstoneLimit bounds each tombstone generation. Total tombstone
+// memory is at most two generations; a subscribe flood older than the
+// last ~2·tombstoneLimit unsubscribes can in principle resurrect a
+// subscription — the same eventual-consistency window any bounded
+// anti-entropy state has — instead of the set growing without limit
+// under a million-user churn soak.
+const tombstoneLimit = 1 << 16
+
+// tombstones is a generation-bounded set of unsubscribed ids: inserts go
+// to the current generation; when it fills, the previous generation is
+// dropped. Membership checks consult both.
+type tombstones struct {
+	limit     int // generation capacity; defaults to tombstoneLimit
+	cur, prev map[msg.SubID]struct{}
+}
+
+func (t *tombstones) add(id msg.SubID) {
+	if t.limit == 0 {
+		t.limit = tombstoneLimit
+	}
+	if t.cur == nil {
+		t.cur = make(map[msg.SubID]struct{})
+	}
+	if len(t.cur) >= t.limit {
+		t.prev = t.cur
+		t.cur = make(map[msg.SubID]struct{}, t.limit)
+	}
+	t.cur[id] = struct{}{}
+}
+
+func (t *tombstones) has(id msg.SubID) bool {
+	if _, ok := t.cur[id]; ok {
+		return true
+	}
+	_, ok := t.prev[id]
+	return ok
+}
+
+// len reports the retained tombstone count (both generations).
+func (t *tombstones) len() int { return len(t.cur) + len(t.prev) }
+
 // NewNode validates the configuration and builds a node.
 func NewNode(cfg NodeConfig) (*Node, error) {
 	if cfg.Overlay == nil {
@@ -260,13 +309,18 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		for _, e := range cfg.Overlay.Graph.Neighbors(cfg.ID) {
 			means[e.To] = e.Rate.Mean
 		}
+		// Dynamic tables churn by construction (every subscribe or
+		// unsubscribe flood mutates them), so arm the counting-index fast
+		// path up front: mutations keep it current in place.
+		table := routing.NewTable(cfg.ID)
+		table.EnableIndex()
 		var err error
 		b, err = broker.New(broker.Config{
 			ID:        cfg.ID,
 			Scenario:  cfg.Scenario,
 			Params:    cfg.Params,
 			Strategy:  cfg.Strategy,
-			Table:     routing.NewTable(cfg.ID),
+			Table:     table,
 			LinkMeans: means,
 			Dedup:     cfg.Multipath > 1,
 		})
@@ -287,13 +341,13 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		wake:        make(map[msg.NodeID]chan struct{}),
 		linkDown:    make(map[msg.NodeID]bool),
 		estimates:   make(map[msg.NodeID]*stats.WelfordEstimator),
-		locals:      make(map[msg.SubID]*subConn),
-		seenSubs:    make(map[msg.SubID]bool),
-		removedSubs: make(map[msg.SubID]bool),
-		peers:       make(map[msg.NodeID]*peerConn),
+		locals:   make(map[msg.SubID]*subConn),
+		seenSubs: make(map[msg.SubID]bool),
+		peers:    make(map[msg.NodeID]*peerConn),
 		inbound:     make(map[net.Conn]struct{}),
 		stopped:     make(chan struct{}),
 	}
+	n.installer = routing.NewInstaller(cfg.Overlay, routing.Options{Multipath: cfg.Multipath})
 	for _, s := range cfg.Preinstalled {
 		n.seenSubs[s.ID] = true
 	}
@@ -624,7 +678,7 @@ func (n *Node) readLoop(conn net.Conn) {
 // Pre-installed plan subscriptions only register the local connection.
 func (n *Node) handleSubscribe(s *msg.Subscription, local *peerConn) {
 	n.mu.Lock()
-	if n.removedSubs[s.ID] {
+	if n.removedSubs.has(s.ID) {
 		// Tombstoned: a subscribe flood racing its own unsubscribe.
 		n.mu.Unlock()
 		return
@@ -666,11 +720,14 @@ func (n *Node) handleSubscribe(s *msg.Subscription, local *peerConn) {
 // late subscribe floods.
 func (n *Node) handleUnsubscribe(id msg.SubID) {
 	n.mu.Lock()
-	if n.removedSubs[id] {
+	if n.removedSubs.has(id) {
 		n.mu.Unlock()
 		return
 	}
-	n.removedSubs[id] = true
+	n.removedSubs.add(id)
+	// Forget the flood-dedup entry too: under sustained churn seenSubs
+	// would otherwise grow one entry per subscription ever seen.
+	delete(n.seenSubs, id)
 	delete(n.locals, id)
 	n.table.RemoveSub(id)
 	peers := make([]*peerConn, 0, len(n.peers))
@@ -685,40 +742,26 @@ func (n *Node) handleUnsubscribe(id msg.SubID) {
 	}
 }
 
+// Subscribe injects a subscription at this broker exactly as if a
+// subscriber client had sent it — routing entries install here and the
+// subscription floods across the overlay. The runtime's live churn
+// driver uses it to realize a plan's subscribe events at the
+// subscription's edge broker.
+func (n *Node) Subscribe(s *msg.Subscription) { n.handleSubscribe(s, nil) }
+
+// Unsubscribe injects a subscription withdrawal at this broker: routing
+// state is removed, a bounded tombstone guards against late subscribe
+// floods, and the removal floods across the overlay.
+func (n *Node) Unsubscribe(id msg.SubID) { n.handleUnsubscribe(id) }
+
 // installRoutes computes this broker's routing entries for one
 // dynamically flooded subscription: for each ingress, the deterministic
 // min-mean path — or the K shortest paths when Multipath is on — using
 // the same path-entry definition as static routing builds (n.mu held).
+// The installer's per-ingress Dijkstra cache makes each flood cost path
+// reconstruction, not a shortest-path computation under the write lock.
 func (n *Node) installRoutes(s *msg.Subscription) {
-	g := n.cfg.Overlay.Graph
-	rates := func(from, to msg.NodeID) stats.Normal {
-		r, _ := g.Rate(from, to)
-		return r
-	}
-	k := n.cfg.Multipath
-	if k < 1 {
-		k = 1
-	}
-	for _, src := range n.cfg.Overlay.Ingress {
-		var paths [][]msg.NodeID
-		if k == 1 {
-			p, ok := g.Path(src, s.Edge)
-			if !ok {
-				continue
-			}
-			paths = [][]msg.NodeID{p}
-		} else {
-			paths = g.KShortestPaths(src, s.Edge, k)
-		}
-		for pathID, path := range paths {
-			for i, at := range path {
-				if at != n.cfg.ID {
-					continue
-				}
-				n.table.Add(routing.EntryAt(path, i, s, src, pathID, rates))
-			}
-		}
-	}
+	n.installer.InstallAt(n.cfg.ID, n.table, s)
 }
 
 // receive handles one message arrival: processing delay, then the shared

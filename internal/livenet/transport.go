@@ -69,6 +69,10 @@ type deployment struct {
 	pubs     []*Publisher
 	timers   []*time.Timer
 	injected int
+
+	// churn driver lifecycle (nil when the plan has no churn).
+	churnStop chan struct{}
+	churnDone chan struct{}
 }
 
 // Inject implements runtime.Deployment: re-anchor the clock so emulated
@@ -77,6 +81,7 @@ type deployment struct {
 func (d *deployment) Inject(pubs []*msg.Message) error {
 	d.clock.Restart()
 	d.armFaults()
+	d.armChurn()
 
 	order := make([]*msg.Message, len(pubs))
 	copy(order, pubs)
@@ -122,6 +127,46 @@ func (d *deployment) armFaults() {
 			after(f.At, func() { d.cluster.Nodes[id].Crash() })
 		}
 	}
+}
+
+// armChurn starts one pacing goroutine that walks the plan's
+// time-sorted churn schedule, injecting each event at the
+// subscription's edge broker at its scaled instant (it floods across
+// the overlay like any dynamic subscription) — the live counterpart of
+// the simulator's timed table mutations. A single sequential driver,
+// like Inject's publication pacing, guarantees a subscription's
+// unsubscribe can never overtake its subscribe, which independent
+// per-event timers would allow for lifetimes inside the
+// scheduling-jitter window (the unsubscribe would tombstone the id and
+// the late subscribe would be dropped for good).
+func (d *deployment) armChurn() {
+	if len(d.plan.SubEvents) == 0 {
+		return
+	}
+	d.churnStop = make(chan struct{})
+	d.churnDone = make(chan struct{})
+	go func() {
+		defer close(d.churnDone)
+		for i := range d.plan.SubEvents {
+			ev := d.plan.SubEvents[i]
+			if wait := ev.At - d.clock.Now(); wait > 0 {
+				select {
+				case <-time.After(vtime.ToDuration(wait * d.ts)):
+				case <-d.churnStop:
+					return
+				}
+			}
+			node := d.cluster.Nodes[ev.Sub.Edge]
+			if node == nil {
+				continue
+			}
+			if ev.Unsub {
+				node.Unsubscribe(ev.Sub.ID)
+			} else {
+				node.Subscribe(ev.Sub)
+			}
+		}
+	}()
 }
 
 // Drain implements runtime.Deployment: poll until the overlay is
@@ -170,6 +215,10 @@ func (d *deployment) PeakQueue() int { return d.cluster.PeakQueue() }
 
 // Close implements runtime.Deployment.
 func (d *deployment) Close() error {
+	if d.churnStop != nil {
+		close(d.churnStop)
+		<-d.churnDone
+	}
 	for _, t := range d.timers {
 		t.Stop()
 	}

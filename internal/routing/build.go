@@ -85,6 +85,122 @@ func Build(ov *topology.Overlay, subs []*msg.Subscription, opts Options) (map[ms
 	return tables, nil
 }
 
+// Installer installs subscriptions into a table set after the bulk
+// build — the churn path. It amortizes one Dijkstra per ingress across
+// every Install call on the (static) overlay, exactly as the bulk Build
+// amortizes it across the whole population, so a churn event stream
+// costs path reconstruction, not a shortest-path computation per event.
+type Installer struct {
+	ov    *topology.Overlay
+	rates RateFunc
+	k     int
+	// cached single-path Dijkstra state per ingress, computed lazily
+	dist map[msg.NodeID][]float64
+	prev map[msg.NodeID][]msg.NodeID
+}
+
+// NewInstaller prepares a churn installer for one overlay and build
+// options.
+func NewInstaller(ov *topology.Overlay, opts Options) *Installer {
+	rates := opts.Rates
+	if rates == nil {
+		rates = func(from, to msg.NodeID) stats.Normal {
+			r, _ := ov.Graph.Rate(from, to)
+			return r
+		}
+	}
+	k := opts.Multipath
+	if k < 1 {
+		k = 1
+	}
+	return &Installer{
+		ov:    ov,
+		rates: rates,
+		k:     k,
+		dist:  make(map[msg.NodeID][]float64),
+		prev:  make(map[msg.NodeID][]msg.NodeID),
+	}
+}
+
+// ingress returns (computing once) the Dijkstra state rooted at one
+// ingress broker.
+func (ins *Installer) ingress(src msg.NodeID) ([]float64, []msg.NodeID) {
+	dist, ok := ins.dist[src]
+	if !ok {
+		dist, ins.prev[src] = ins.ov.Graph.ShortestPaths(src)
+		ins.dist[src] = dist
+	}
+	return dist, ins.prev[src]
+}
+
+// paths returns the delivery path set from one ingress to an edge (one
+// cached-Dijkstra path, or K shortest paths in multipath mode); nil when
+// unreachable.
+func (ins *Installer) paths(src, edge msg.NodeID) [][]msg.NodeID {
+	if ins.k == 1 {
+		dist, prev := ins.ingress(src)
+		p, ok := pathVia(dist, prev, src, edge)
+		if !ok {
+			return nil
+		}
+		return [][]msg.NodeID{p}
+	}
+	return ins.ov.Graph.KShortestPaths(src, edge, ins.k)
+}
+
+// Install adds one subscription's entries at every broker along its
+// delivery paths: for each ingress the same deterministic min-mean path
+// (or K shortest paths) the bulk build would have chosen. Tables with
+// an enabled counting index absorb the additions incrementally.
+// Unreachable (ingress, edge) pairs are skipped, mirroring the live
+// overlay's dynamic flood behavior. Returns the entries installed.
+func (ins *Installer) Install(tables map[msg.NodeID]*Table, sub *msg.Subscription) int {
+	installed := 0
+	for _, src := range ins.ov.Ingress {
+		for pathID, path := range ins.paths(src, sub.Edge) {
+			installPath(tables, path, sub, src, pathID, ins.rates)
+			installed += len(path)
+		}
+	}
+	return installed
+}
+
+// InstallAt adds only the entries belonging to one broker along the
+// subscription's paths — the live overlay's per-node flood handler,
+// where every broker independently computes its own slice of the route.
+// Returns the entries installed.
+func (ins *Installer) InstallAt(id msg.NodeID, table *Table, sub *msg.Subscription) int {
+	installed := 0
+	for _, src := range ins.ov.Ingress {
+		for pathID, path := range ins.paths(src, sub.Edge) {
+			for i, at := range path {
+				if at != id {
+					continue
+				}
+				table.Add(EntryAt(path, i, sub, src, pathID, ins.rates))
+				installed++
+			}
+		}
+	}
+	return installed
+}
+
+// InstallSub is the one-shot form of Installer.Install, for callers
+// installing a single subscription.
+func InstallSub(tables map[msg.NodeID]*Table, ov *topology.Overlay, sub *msg.Subscription, opts Options) int {
+	return NewInstaller(ov, opts).Install(tables, sub)
+}
+
+// RemoveSubAll removes a subscription from every table — the churn
+// counterpart of InstallSub — returning the total entries removed.
+func RemoveSubAll(tables map[msg.NodeID]*Table, id msg.SubID) int {
+	removed := 0
+	for _, t := range tables {
+		removed += t.RemoveSub(id)
+	}
+	return removed
+}
+
 // pathVia reconstructs the shortest path from precomputed Dijkstra state.
 func pathVia(dist []float64, prev []msg.NodeID, src, dst msg.NodeID) ([]msg.NodeID, bool) {
 	const unreachable = 1.7e308

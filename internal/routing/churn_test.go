@@ -1,0 +1,225 @@
+package routing
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"bdps/internal/filter"
+	"bdps/internal/msg"
+	"bdps/internal/topology"
+)
+
+// Churn-oriented table tests: Add and RemoveSub must keep the counting
+// index alive and correct — the pre-rework table nil-ed the index on
+// every mutation, knocking matching back to a linear scan.
+
+func churnSub(id msg.SubID, edge msg.NodeID, src string) *msg.Subscription {
+	return &msg.Subscription{ID: id, Edge: edge, Filter: filter.MustParse(src)}
+}
+
+// TestIndexSurvivesMutation is the acceptance assertion: neither Add nor
+// RemoveSub discards the index, and matching through it stays correct
+// after both.
+func TestIndexSurvivesMutation(t *testing.T) {
+	tb := NewTable(1)
+	tb.Add(&Entry{Sub: churnSub(1, 2, "A1 < 5"), Source: 0, Next: 2})
+	tb.EnableIndex()
+	if !tb.Indexed() {
+		t.Fatal("EnableIndex did not arm the index")
+	}
+
+	tb.Add(&Entry{Sub: churnSub(2, 2, "A1 < 9"), Source: 0, Next: 2})
+	if !tb.Indexed() || tb.bySource[0].ix == nil {
+		t.Fatal("Add discarded the counting index")
+	}
+	m := &msg.Message{Ingress: 0, Attrs: msg.NumAttrs(map[string]float64{"A1": 7})}
+	if got := tb.Match(m); len(got) != 1 || got[0].Sub.ID != 2 {
+		t.Fatalf("match after post-index Add = %v", got)
+	}
+
+	tb.RemoveSub(2)
+	if !tb.Indexed() || tb.bySource[0].ix == nil {
+		t.Fatal("RemoveSub discarded the counting index")
+	}
+	m2 := &msg.Message{Ingress: 0, Attrs: msg.NumAttrs(map[string]float64{"A1": 3})}
+	if got := tb.Match(m2); len(got) != 1 || got[0].Sub.ID != 1 {
+		t.Fatalf("match after indexed RemoveSub = %v", got)
+	}
+}
+
+// TestTableChurnEquivalence churns one table through random installs and
+// removals and checks, at every step boundary, that the incremental
+// indexed table matches a freshly built linear table.
+func TestTableChurnEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	tb := NewTable(0)
+	tb.EnableIndex()
+	live := map[msg.SubID]*msg.Subscription{}
+	nextID := msg.SubID(0)
+	sources := []msg.NodeID{0, 1}
+
+	check := func(step int) {
+		ref := NewTable(0)
+		for _, s := range live {
+			for _, src := range sources {
+				ref.Add(&Entry{Sub: s, Source: src, Next: 5})
+			}
+		}
+		for trial := 0; trial < 5; trial++ {
+			m := &msg.Message{
+				Ingress: sources[r.Intn(len(sources))],
+				Attrs: msg.NumAttrs(map[string]float64{
+					"A1": 10 * r.Float64(), "A2": 10 * r.Float64(),
+				}),
+			}
+			got := tb.Match(m)
+			want := ref.Match(m)
+			if len(got) != len(want) {
+				t.Fatalf("step %d: indexed churned table matched %d, linear rebuild %d",
+					step, len(got), len(want))
+			}
+			seen := map[msg.SubID]bool{}
+			for _, e := range got {
+				seen[e.Sub.ID] = true
+			}
+			for _, e := range want {
+				if !seen[e.Sub.ID] {
+					t.Fatalf("step %d: sub %d missing from churned table", step, e.Sub.ID)
+				}
+			}
+		}
+	}
+
+	for step := 0; step < 2000; step++ {
+		if r.Intn(3) > 0 || len(live) == 0 {
+			s := churnSub(nextID, 5, fmt.Sprintf("A1 < %.2f && A2 < %.2f", 10*r.Float64(), 10*r.Float64()))
+			nextID++
+			live[s.ID] = s
+			for _, src := range sources {
+				tb.Add(&Entry{Sub: s, Source: src, Next: 5})
+			}
+		} else {
+			for id := range live {
+				if n := tb.RemoveSub(id); n != len(sources) {
+					t.Fatalf("step %d: RemoveSub(%d) removed %d entries, want %d", step, id, n, len(sources))
+				}
+				delete(live, id)
+				break
+			}
+		}
+		if step%250 == 0 {
+			check(step)
+		}
+	}
+	check(2000)
+	if tb.Len() != len(live)*len(sources) {
+		t.Fatalf("Len = %d, want %d", tb.Len(), len(live)*len(sources))
+	}
+}
+
+// TestInstallRemoveSubAll drives the churn helpers over a built overlay:
+// InstallSub must add exactly the entries the bulk build would have, and
+// RemoveSubAll must undo them.
+func TestInstallRemoveSubAll(t *testing.T) {
+	ov, err := topology.BuildLayered(topology.LayeredConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	static := churnSub(0, ov.Edges[0], "A1 < 5")
+	tables, err := Build(ov, []*msg.Subscription{static}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tb := range tables {
+		tb.EnableIndex()
+	}
+	before := Stats(tables).TotalEntries
+
+	churner := churnSub(7, ov.Edges[1], "A1 < 8")
+	installed := InstallSub(tables, ov, churner, Options{})
+	if installed == 0 {
+		t.Fatal("InstallSub installed nothing")
+	}
+	if got := Stats(tables).TotalEntries; got != before+installed {
+		t.Fatalf("entries = %d, want %d", got, before+installed)
+	}
+	// The churned-in subscription must now match at its edge broker.
+	m := &msg.Message{Ingress: ov.Ingress[0], Attrs: msg.NumAttrs(map[string]float64{"A1": 6, "A2": 1})}
+	found := false
+	for _, e := range tables[churner.Edge].Match(m) {
+		if e.Sub.ID == churner.ID && e.Local() {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("installed subscription not matched at its edge broker")
+	}
+
+	if removed := RemoveSubAll(tables, churner.ID); removed != installed {
+		t.Fatalf("RemoveSubAll removed %d, want %d", removed, installed)
+	}
+	if got := Stats(tables).TotalEntries; got != before {
+		t.Fatalf("entries = %d after removal, want %d", got, before)
+	}
+}
+
+// TestMatchAppendWithConcurrentMutation is the readers-writer contract
+// under -race: matchers holding the read lock (each with private
+// scratch, as sharded live workers do) run concurrently with a mutator
+// that takes the write lock to churn subscriptions. Every match must
+// return a consistent result for the population it observed.
+func TestMatchAppendWithConcurrentMutation(t *testing.T) {
+	var mu sync.RWMutex
+	tb := NewTable(0)
+	tb.EnableIndex()
+	// Static population that must always match.
+	static := churnSub(0, 5, "A1 < 100")
+	tb.Add(&Entry{Sub: static, Source: 0, Next: 5})
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var scratch filter.MatchScratch
+			var buf []*Entry
+			m := &msg.Message{Ingress: 0, Attrs: msg.NumAttrs(map[string]float64{"A1": 50, "A2": 1})}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				mu.RLock()
+				buf = tb.MatchAppendWith(&scratch, m, buf[:0])
+				ok := false
+				for _, e := range buf {
+					if e.Sub.ID == static.ID {
+						ok = true
+					}
+				}
+				mu.RUnlock()
+				if !ok {
+					t.Error("static subscription vanished from a concurrent match")
+					return
+				}
+			}
+		}()
+	}
+
+	// Mutator: churn 5000 subscribe/unsubscribe pairs through the table.
+	for i := 0; i < 5000; i++ {
+		id := msg.SubID(1 + i%37)
+		s := churnSub(id, 5, fmt.Sprintf("A1 < %d", i%100))
+		mu.Lock()
+		if tb.RemoveSub(id) == 0 {
+			tb.Add(&Entry{Sub: s, Source: 0, Next: 5})
+		}
+		mu.Unlock()
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -394,12 +394,15 @@ func TestRemoveSub(t *testing.T) {
 	}
 }
 
-func TestRemoveSubInvalidatesIndex(t *testing.T) {
+func TestRemoveSubUpdatesIndex(t *testing.T) {
 	tb := NewTable(1)
 	tb.Add(&Entry{Sub: sub(1, 2, "A1 < 5"), Source: 0, Next: 2})
 	tb.Add(&Entry{Sub: sub(2, 2, "A1 < 5"), Source: 0, Next: 2})
 	tb.EnableIndex()
 	tb.RemoveSub(1)
+	if !tb.Indexed() {
+		t.Fatal("RemoveSub disarmed the index")
+	}
 	m := &msg.Message{Ingress: 0, Attrs: msg.NumAttrs(map[string]float64{"A1": 1})}
 	got := tb.Match(m)
 	if len(got) != 1 || got[0].Sub.ID != 2 {
@@ -407,13 +410,13 @@ func TestRemoveSubInvalidatesIndex(t *testing.T) {
 	}
 }
 
-func TestEnableIndexInvalidatedByAdd(t *testing.T) {
+func TestEnableIndexFollowedByAdd(t *testing.T) {
 	tb := NewTable(1)
 	tb.Add(&Entry{Sub: sub(1, 2, "A1 < 5"), Source: 0, Next: 2})
 	tb.EnableIndex()
 	tb.Add(&Entry{Sub: sub(2, 2, "A1 < 9"), Source: 0, Next: 2})
 	m := &msg.Message{Ingress: 0, Attrs: msg.NumAttrs(map[string]float64{"A1": 7})}
-	// After Add, the stale index must not be consulted.
+	// The index absorbs the Add in place and must see the new entry.
 	if got := tb.Match(m); len(got) != 1 || got[0].Sub.ID != 2 {
 		t.Fatalf("match after post-index Add = %v", got)
 	}

@@ -58,76 +58,199 @@ func (e *Entry) String() string {
 		e.Sub.ID, e.Source, next, e.Hops, e.Rate)
 }
 
-// Table is one broker's subscription table.
+// Table is one broker's subscription table, built for churn: Add and
+// RemoveSub are sublinear and keep any counting index current in place,
+// so a live subscribe/unsubscribe flood never knocks matching back to a
+// linear filter scan.
+//
+// Concurrency contract (what the sharded live plane relies on): any
+// number of matchers may run concurrently through MatchAppendWith, each
+// with its own scratch, while mutators (Add, RemoveSub, EnableIndex)
+// synchronize externally readers-writer style — mutation under the write
+// lock, matching under the read lock.
 type Table struct {
 	broker   msg.NodeID
-	bySource map[msg.NodeID][]*Entry
+	bySource map[msg.NodeID]*sourceState
 	size     int
 
-	// Optional counting-index fast path, built by EnableIndex.
-	index map[msg.NodeID]*filter.Index
+	// bySub maps each subscription to its entry slots — the
+	// back-references RemoveSub follows instead of scanning the table.
+	bySub map[msg.SubID][]entryRef
+
+	// indexed is set by EnableIndex: every source keeps a counting index
+	// that mutations update incrementally.
+	indexed bool
+}
+
+// sourceState is one ingress's entry list. Slots are positional — the
+// counting index emits positions — so RemoveSub tombstones a slot to nil
+// instead of shifting; the list is compacted (and its index rebuilt in
+// one batch) only when tombstones outnumber live entries.
+type sourceState struct {
+	entries []*Entry
+	live    int
+	ix      *filter.Index
+}
+
+// entryRef locates one entry slot of a subscription.
+type entryRef struct {
+	src msg.NodeID
+	pos int32
 }
 
 // NewTable returns an empty table for the given broker.
 func NewTable(broker msg.NodeID) *Table {
-	return &Table{broker: broker, bySource: make(map[msg.NodeID][]*Entry)}
+	return &Table{
+		broker:   broker,
+		bySource: make(map[msg.NodeID]*sourceState),
+		bySub:    make(map[msg.SubID][]entryRef),
+	}
 }
 
 // Broker returns the owning broker id.
 func (t *Table) Broker() msg.NodeID { return t.broker }
 
-// Add installs an entry. Adding after EnableIndex discards the index;
-// call EnableIndex again once the table is complete.
+// Add installs an entry, updating the source's counting index in place
+// when one is enabled (amortized sublinear; see filter.Index.Add).
 func (t *Table) Add(e *Entry) {
-	t.bySource[e.Source] = append(t.bySource[e.Source], e)
+	st := t.bySource[e.Source]
+	if st == nil {
+		st = &sourceState{}
+		if t.indexed {
+			st.ix = filter.NewIndex()
+		}
+		t.bySource[e.Source] = st
+	}
+	pos := int32(len(st.entries))
+	st.entries = append(st.entries, e)
+	st.live++
 	t.size++
-	t.index = nil
+	t.bySub[e.Sub.ID] = append(t.bySub[e.Sub.ID], entryRef{src: e.Source, pos: pos})
+	if st.ix != nil {
+		st.ix.Add(pos, e.Sub.Filter)
+	}
 }
 
-// Len returns the number of entries.
+// Len returns the number of live entries.
 func (t *Table) Len() int { return t.size }
 
 // RemoveSub deletes every entry of a subscription (all ingresses, all
-// paths), returning how many entries were removed. Any counting index is
-// discarded.
+// paths), returning how many entries were removed. The removal is
+// sublinear — slots are found through per-subscription back-references
+// and tombstoned, and any counting index tombstones the matching
+// conjunctions in place (no rebuild, no lost fast path).
 func (t *Table) RemoveSub(id msg.SubID) int {
+	refs := t.bySub[id]
+	if len(refs) == 0 {
+		return 0
+	}
+	delete(t.bySub, id)
 	removed := 0
-	for src, entries := range t.bySource {
-		kept := entries[:0]
-		for _, e := range entries {
-			if e.Sub.ID == id {
-				removed++
-				continue
-			}
-			kept = append(kept, e)
+	for _, r := range refs {
+		st := t.bySource[r.src]
+		if st == nil || st.entries[r.pos] == nil {
+			continue
 		}
-		if len(kept) == 0 {
-			delete(t.bySource, src)
-		} else {
-			t.bySource[src] = kept
+		st.entries[r.pos] = nil
+		st.live--
+		removed++
+		if st.ix != nil {
+			st.ix.Remove(r.pos)
 		}
 	}
 	t.size -= removed
-	if removed > 0 {
-		t.index = nil
+	for _, r := range refs {
+		st := t.bySource[r.src]
+		if st == nil {
+			continue
+		}
+		if st.live == 0 {
+			delete(t.bySource, r.src)
+			continue
+		}
+		if dead := len(st.entries) - st.live; dead > 32 && dead > st.live {
+			t.compactSource(r.src, st)
+		}
 	}
 	return removed
 }
 
-// EnableIndex builds a per-ingress predicate-counting index over the
-// entry filters, turning Match from a linear filter scan into the
-// counting algorithm. Matching semantics are identical (the filter
-// package's index falls back for non-indexable filters).
-func (t *Table) EnableIndex() {
-	t.index = make(map[msg.NodeID]*filter.Index, len(t.bySource))
-	for src, entries := range t.bySource {
-		ix := filter.NewIndex()
-		for i, e := range entries {
-			ix.Add(int32(i), e.Sub.Filter)
+// compactSource squeezes tombstoned slots out of one source list,
+// rewrites the affected back-references and rebuilds the source's index
+// in one batch (each touched predicate list sorted exactly once).
+// Amortized over the removals that forced it, compaction is O(1) per
+// removed entry plus the batch index build.
+func (t *Table) compactSource(src msg.NodeID, st *sourceState) {
+	// Drop every back-reference into this source, then re-derive them
+	// from the compacted slot list below. Removed subscriptions lost
+	// their refs wholesale in RemoveSub, so every ref into this source
+	// belongs to a surviving entry — visiting only those keeps the
+	// sweep O(source size), not O(table size).
+	for _, e := range st.entries {
+		if e == nil {
+			continue
 		}
-		t.index[src] = ix
+		refs := t.bySub[e.Sub.ID]
+		n := 0
+		for _, r := range refs {
+			if r.src != src {
+				refs[n] = r
+				n++
+			}
+		}
+		if n != len(refs) {
+			t.bySub[e.Sub.ID] = refs[:n]
+		}
+	}
+	k := int32(0)
+	for _, e := range st.entries {
+		if e == nil {
+			continue
+		}
+		st.entries[k] = e
+		k++
+	}
+	st.entries = st.entries[:k]
+	ids := make([]int32, len(st.entries))
+	filters := make([]*filter.Filter, len(st.entries))
+	for i, e := range st.entries {
+		ids[i] = int32(i)
+		filters[i] = e.Sub.Filter
+		t.bySub[e.Sub.ID] = append(t.bySub[e.Sub.ID], entryRef{src: src, pos: int32(i)})
+	}
+	if st.ix != nil {
+		st.ix = filter.NewIndex()
+		st.ix.AddBatch(ids, filters)
 	}
 }
+
+// EnableIndex builds a per-ingress predicate-counting index over the
+// entry filters, turning Match from a linear filter scan into the
+// counting algorithm, and arms incremental maintenance: subsequent Add
+// and RemoveSub calls update the indexes in place. Matching semantics
+// are identical (the filter package's index falls back for non-indexable
+// filters).
+func (t *Table) EnableIndex() {
+	t.indexed = true
+	for src, st := range t.bySource {
+		if len(st.entries) != st.live {
+			t.compactSource(src, st)
+		}
+		ids := make([]int32, len(st.entries))
+		filters := make([]*filter.Filter, len(st.entries))
+		for i, e := range st.entries {
+			ids[i] = int32(i)
+			filters[i] = e.Sub.Filter
+		}
+		st.ix = filter.NewIndex()
+		st.ix.AddBatch(ids, filters)
+	}
+}
+
+// Indexed reports whether the counting-index fast path is armed (it
+// stays armed across mutations; tests assert the fast path survives
+// churn).
+func (t *Table) Indexed() bool { return t.indexed }
 
 // Match returns the entries whose source matches the message's ingress
 // and whose filter matches its attributes, in deterministic order.
@@ -137,20 +260,51 @@ func (t *Table) Match(m *msg.Message) []*Entry { return t.MatchAppend(m, nil) }
 // scratch buffer matches without allocating. The attribute set is passed
 // by pointer throughout to avoid boxing it into an interface per filter
 // evaluation — the dominant allocation of the pre-optimization broker.
+// It requires exclusive use of the table (the index-owned match scratch);
+// concurrent matchers use MatchAppendWith.
 func (t *Table) MatchAppend(m *msg.Message, buf []*Entry) []*Entry {
-	entries := t.bySource[m.Ingress]
-	if ix := t.index[m.Ingress]; ix != nil {
-		ids := ix.Match(&m.Attrs)
-		// The index emits positions in completion order and owns the
-		// slice; sorting it in place restores first-add order.
-		slices.Sort(ids)
-		for _, id := range ids {
-			buf = append(buf, entries[id])
-		}
+	st := t.bySource[m.Ingress]
+	if st == nil {
 		return buf
 	}
-	for _, e := range entries {
-		if e.Sub.Filter.Match(&m.Attrs) {
+	if st.ix != nil {
+		return appendIndexed(st, st.ix.Match(&m.Attrs), buf)
+	}
+	return appendLinear(st, m, buf)
+}
+
+// MatchAppendWith is MatchAppend through a caller-owned match scratch:
+// any number of matchers may run concurrently against one table — the
+// sharded live plane runs one per ingress worker under the node's read
+// lock — as long as mutations hold the write lock. Falls back to the
+// linear scan when the index is off.
+func (t *Table) MatchAppendWith(s *filter.MatchScratch, m *msg.Message, buf []*Entry) []*Entry {
+	st := t.bySource[m.Ingress]
+	if st == nil {
+		return buf
+	}
+	if st.ix != nil {
+		return appendIndexed(st, st.ix.MatchWith(s, &m.Attrs), buf)
+	}
+	return appendLinear(st, m, buf)
+}
+
+// appendIndexed resolves index positions to entries in first-add order.
+func appendIndexed(st *sourceState, ids []int32, buf []*Entry) []*Entry {
+	// The index emits positions in completion order and the caller owns
+	// the slice; sorting it in place restores first-add order.
+	slices.Sort(ids)
+	for _, id := range ids {
+		if e := st.entries[id]; e != nil {
+			buf = append(buf, e)
+		}
+	}
+	return buf
+}
+
+func appendLinear(st *sourceState, m *msg.Message, buf []*Entry) []*Entry {
+	for _, e := range st.entries {
+		if e != nil && e.Sub.Filter.Match(&m.Attrs) {
 			buf = append(buf, e)
 		}
 	}
@@ -158,20 +312,35 @@ func (t *Table) MatchAppend(m *msg.Message, buf []*Entry) []*Entry {
 }
 
 // MatchAppendLinear is MatchAppend restricted to the stateless linear
-// scan. The counting index mutates match-epoch scratch it owns, so
-// concurrent matchers — the sharded live ingress runs one per worker —
-// must bypass it; the linear scan touches only immutable entry state.
+// scan, which touches only immutable entry state. Retained for
+// baselines and benchmarks; the concurrent fast path is MatchAppendWith.
 func (t *Table) MatchAppendLinear(m *msg.Message, buf []*Entry) []*Entry {
-	for _, e := range t.bySource[m.Ingress] {
-		if e.Sub.Filter.Match(&m.Attrs) {
-			buf = append(buf, e)
-		}
+	st := t.bySource[m.Ingress]
+	if st == nil {
+		return buf
 	}
-	return buf
+	return appendLinear(st, m, buf)
 }
 
-// Entries returns all entries for an ingress, for tests and inspection.
-func (t *Table) Entries(source msg.NodeID) []*Entry { return t.bySource[source] }
+// Entries returns all live entries for an ingress, for tests and
+// inspection. When the slot list carries no tombstones the backing
+// array is returned directly; otherwise a compacted copy is built.
+func (t *Table) Entries(source msg.NodeID) []*Entry {
+	st := t.bySource[source]
+	if st == nil {
+		return nil
+	}
+	if st.live == len(st.entries) {
+		return st.entries
+	}
+	out := make([]*Entry, 0, st.live)
+	for _, e := range st.entries {
+		if e != nil {
+			out = append(out, e)
+		}
+	}
+	return out
+}
 
 // Sources returns the ingress ids present in the table, sorted.
 func (t *Table) Sources() []msg.NodeID {

@@ -55,6 +55,11 @@ type Plan struct {
 	// pace a time-sorted copy; the simulator schedules each at its
 	// Published instant.
 	Pubs []*msg.Message
+	// SubEvents is the churn schedule (time-sorted subscribe/unsubscribe
+	// events; empty when Workload.Churn is off). The simulator applies
+	// each event to the routing tables at its virtual instant; the live
+	// overlay floods it through the overlay at the scaled wall instant.
+	SubEvents []workload.SubEvent
 	// Metrics is the run's collector. The Run driver performs the
 	// publication-side accounting; deployments report the delivery side
 	// (directly, or through a LockedSink when concurrent).
@@ -177,6 +182,18 @@ func NewPlan(cfg Config) (*Plan, error) {
 		}
 	}
 
+	if cfg.Workload.Churn.Enabled() {
+		// Churn ids start above the whole static population so the two
+		// id spaces never collide.
+		first := msg.SubID(0)
+		for _, s := range p.Subs {
+			if s.ID >= first {
+				first = s.ID + 1
+			}
+		}
+		p.SubEvents = cfg.Workload.ChurnEvents(ov.Edges, first)
+	}
+
 	if err := p.validateFaults(); err != nil {
 		return nil, err
 	}
@@ -222,18 +239,64 @@ func (p *Plan) LinkStream(l Link) *stats.Stream {
 // — Σ tsᵢ over the whole schedule, per-subscriber when configured. It
 // is backend-independent; call it exactly once per plan, before any
 // delivery-side events reach the collector.
+//
+// Under churn the interested count of each publication is taken against
+// the population active at its publication instant: the static
+// subscribers plus every churn subscriber that has subscribed and not
+// yet unsubscribed. (A message in flight when its subscriber leaves —
+// or a subscriber arriving mid-flight — is the transient any dynamic
+// pub/sub system has; publish-time accounting is the deterministic
+// ground truth both backends share.)
 func (p *Plan) AccountPublications() {
-	for _, m := range p.Pubs {
-		if p.Cfg.PerSubscriber {
-			var interested []int32
-			for _, s := range p.Subs {
-				if s.Filter.Match(&m.Attrs) {
-					interested = append(interested, int32(s.ID))
-				}
+	if len(p.SubEvents) == 0 {
+		for _, m := range p.Pubs {
+			p.accountOne(m, nil)
+		}
+		return
+	}
+	// Sweep publications in time order against the churn schedule.
+	order := make([]*msg.Message, len(p.Pubs))
+	copy(order, p.Pubs)
+	sort.SliceStable(order, func(i, j int) bool { return order[i].Published < order[j].Published })
+	active := make(map[msg.SubID]*msg.Subscription)
+	ei := 0
+	for _, m := range order {
+		for ei < len(p.SubEvents) && p.SubEvents[ei].At <= m.Published {
+			ev := p.SubEvents[ei]
+			if ev.Unsub {
+				delete(active, ev.Sub.ID)
+			} else {
+				active[ev.Sub.ID] = ev.Sub
 			}
-			p.Metrics.PublishedTo(interested)
-		} else {
-			p.Metrics.Published(workload.Interested(p.Subs, m))
+			ei++
+		}
+		p.accountOne(m, active)
+	}
+}
+
+// accountOne records one publication's interested count over the static
+// population plus the currently active churn subscribers.
+func (p *Plan) accountOne(m *msg.Message, churners map[msg.SubID]*msg.Subscription) {
+	if p.Cfg.PerSubscriber {
+		var interested []int32
+		for _, s := range p.Subs {
+			if s.Filter.Match(&m.Attrs) {
+				interested = append(interested, int32(s.ID))
+			}
+		}
+		for _, s := range churners {
+			if s.Filter.Match(&m.Attrs) {
+				interested = append(interested, int32(s.ID))
+			}
+		}
+		p.Metrics.PublishedTo(interested)
+		return
+	}
+	n := workload.Interested(p.Subs, m)
+	for _, s := range churners {
+		if s.Filter.Match(&m.Attrs) {
+			n++
 		}
 	}
+	p.Metrics.Published(n)
 }

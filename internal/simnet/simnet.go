@@ -18,6 +18,7 @@ import (
 	"bdps/internal/core"
 	"bdps/internal/metrics"
 	"bdps/internal/msg"
+	"bdps/internal/routing"
 	"bdps/internal/runtime"
 	"bdps/internal/sim"
 	"bdps/internal/stats"
@@ -122,6 +123,31 @@ func deploy(p *runtime.Plan) (*Network, error) {
 			n.links[pl.From] = make(map[msg.NodeID]*link)
 		}
 		n.links[pl.From][pl.To] = l
+	}
+
+	// Subscription churn becomes timed events mutating the routing
+	// tables in place — tables with an enabled counting index absorb the
+	// mutations incrementally (no rebuild, no lost fast path).
+	if len(p.SubEvents) > 0 {
+		tables := make(map[msg.NodeID]*routing.Table, len(p.Brokers))
+		for id, b := range p.Brokers {
+			tables[id] = b.Table()
+		}
+		// One installer for the whole schedule: Dijkstra runs once per
+		// ingress, not once per churn event.
+		ins := routing.NewInstaller(p.Overlay, routing.Options{
+			Rates: p.Beliefs, Multipath: p.Cfg.Multipath,
+		})
+		for i := range p.SubEvents {
+			ev := p.SubEvents[i]
+			n.Engine.At(ev.At, func() {
+				if ev.Unsub {
+					routing.RemoveSubAll(tables, ev.Sub.ID)
+				} else {
+					ins.Install(tables, ev.Sub)
+				}
+			})
+		}
 	}
 
 	// Faults are validated by the plan; here they only become events.

@@ -1,0 +1,99 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"bdps/internal/filter"
+	"bdps/internal/msg"
+	"bdps/internal/stats"
+	"bdps/internal/vtime"
+)
+
+// Churn parameterizes subscription churn: a Poisson stream of new
+// subscribers arriving across the overlay's edge brokers, each staying
+// for an exponentially distributed lifetime before unsubscribing. The
+// zero value disables churn (the paper's static population).
+type Churn struct {
+	// RatePerMin is the subscribe-arrival rate over the whole overlay,
+	// new subscriptions per minute. 0 disables churn.
+	RatePerMin float64
+	// HalfLife is the subscription-lifetime half-life: half of the churn
+	// population has unsubscribed after this long (lifetimes are
+	// exponential with median HalfLife, mean HalfLife/ln 2).
+	// Defaults to 1 minute when churn is on.
+	HalfLife vtime.Millis
+}
+
+// Enabled reports whether churn is configured.
+func (c Churn) Enabled() bool { return c.RatePerMin > 0 }
+
+func (c *Churn) setDefaults() {
+	if c.RatePerMin > 0 && c.HalfLife == 0 {
+		c.HalfLife = vtime.Minute
+	}
+}
+
+func (c Churn) validate() error {
+	if c.RatePerMin < 0 {
+		return fmt.Errorf("workload: negative churn rate %v", c.RatePerMin)
+	}
+	if c.HalfLife < 0 {
+		return fmt.Errorf("workload: negative churn half-life %v", c.HalfLife)
+	}
+	return nil
+}
+
+// SubEvent is one churn event: a subscription arriving at (or departing
+// from) its edge broker at virtual time At.
+type SubEvent struct {
+	At    vtime.Millis
+	Sub   *msg.Subscription
+	Unsub bool
+}
+
+// ChurnEvents generates the churn schedule: subscribe/unsubscribe event
+// pairs over the publishing window, sorted by time. Churn subscribers
+// draw the same paper-style filters (and SSD tiers) as the static
+// population and attach to a uniformly random edge broker. Ids are
+// allocated from firstID upward so they never collide with the static
+// population. Deterministic in (Seed, edges, firstID).
+func (c Config) ChurnEvents(edges []msg.NodeID, firstID msg.SubID) []SubEvent {
+	c.setDefaults()
+	ch := c.Churn
+	ch.setDefaults()
+	if !ch.Enabled() || len(edges) == 0 {
+		return nil
+	}
+	s := stats.Derive(c.Seed, "workload/churn")
+	gap := vtime.Minute / vtime.Millis(ch.RatePerMin)
+	meanLife := float64(ch.HalfLife) / math.Ln2
+	var events []SubEvent
+	id := firstID
+	for t := s.Exponential(gap); t <= c.Duration; t += s.Exponential(gap) {
+		sub := &msg.Subscription{
+			ID:   id,
+			Edge: edges[s.IntN(len(edges))],
+			Filter: filter.And(
+				filter.Lt("A1", s.Uniform(c.AttrLo, c.AttrHi)),
+				filter.Lt("A2", s.Uniform(c.AttrLo, c.AttrHi)),
+			),
+		}
+		if c.Scenario == msg.SSD || c.Scenario == msg.Both {
+			tier := s.IntN(len(c.SSDDeadlines))
+			sub.Deadline = c.SSDDeadlines[tier]
+			sub.Price = c.SSDPrices[tier]
+		}
+		id++
+		events = append(events, SubEvent{At: t, Sub: sub})
+		if leave := t + s.Exponential(meanLife); leave <= c.Duration {
+			events = append(events, SubEvent{At: leave, Sub: sub, Unsub: true})
+		}
+	}
+	// Subscribes are generated in time order but unsubscribes interleave;
+	// one stable sort restores global order (a subscribe always precedes
+	// its own unsubscribe because lifetimes are positive).
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
+	return events
+}

@@ -1,0 +1,101 @@
+package workload
+
+import (
+	"testing"
+
+	"bdps/internal/msg"
+	"bdps/internal/vtime"
+)
+
+func TestChurnEventsDeterministic(t *testing.T) {
+	cfg := Config{
+		Seed:     7,
+		Scenario: msg.SSD,
+		Duration: 30 * vtime.Minute,
+		Churn:    Churn{RatePerMin: 20, HalfLife: 2 * vtime.Minute},
+	}
+	edges := []msg.NodeID{5, 6, 7}
+	a := cfg.ChurnEvents(edges, 1000)
+	b := cfg.ChurnEvents(edges, 1000)
+	if len(a) == 0 {
+		t.Fatal("no churn events generated")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic event count: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].At != b[i].At || a[i].Unsub != b[i].Unsub || a[i].Sub.ID != b[i].Sub.ID {
+			t.Fatalf("event %d differs between identical configs", i)
+		}
+	}
+}
+
+func TestChurnEventsShape(t *testing.T) {
+	cfg := Config{
+		Seed:     3,
+		Scenario: msg.SSD,
+		Duration: vtime.Hour,
+		Churn:    Churn{RatePerMin: 30, HalfLife: vtime.Minute},
+	}
+	edges := []msg.NodeID{5, 6}
+	first := msg.SubID(160)
+	events := cfg.ChurnEvents(edges, first)
+
+	subAt := map[msg.SubID]vtime.Millis{}
+	arrivals, departures := 0, 0
+	last := vtime.Millis(0)
+	for _, ev := range events {
+		if ev.At < last {
+			t.Fatalf("events out of order: %v after %v", ev.At, last)
+		}
+		last = ev.At
+		if ev.At > cfg.Duration {
+			t.Fatalf("event at %v beyond window %v", ev.At, cfg.Duration)
+		}
+		if ev.Unsub {
+			departures++
+			at, ok := subAt[ev.Sub.ID]
+			if !ok {
+				t.Fatalf("unsubscribe for %d without prior subscribe", ev.Sub.ID)
+			}
+			if ev.At < at {
+				t.Fatalf("sub %d leaves at %v before arriving at %v", ev.Sub.ID, ev.At, at)
+			}
+		} else {
+			arrivals++
+			if ev.Sub.ID < first {
+				t.Fatalf("churn id %d collides with static population (< %d)", ev.Sub.ID, first)
+			}
+			if ev.Sub.Edge != 5 && ev.Sub.Edge != 6 {
+				t.Fatalf("churn sub attached to non-edge broker %d", ev.Sub.Edge)
+			}
+			if ev.Sub.Deadline == 0 || ev.Sub.Price == 0 {
+				t.Fatalf("SSD churn sub %d missing tier", ev.Sub.ID)
+			}
+			subAt[ev.Sub.ID] = ev.At
+		}
+	}
+	// Poisson(30/min × 60 min) = 1800 expected arrivals; allow wide slack.
+	if arrivals < 1500 || arrivals > 2100 {
+		t.Fatalf("arrivals = %d, want ≈1800", arrivals)
+	}
+	// Half-life 1 min over a 60 min window: nearly every subscriber
+	// departs inside the window.
+	if departures < arrivals*8/10 {
+		t.Fatalf("departures = %d of %d arrivals, want most inside the window", departures, arrivals)
+	}
+}
+
+func TestChurnValidation(t *testing.T) {
+	bad := Config{Churn: Churn{RatePerMin: -1}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative churn rate must fail validation")
+	}
+	ok := Config{Churn: Churn{RatePerMin: 5}}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ok.Churn.HalfLife != vtime.Minute {
+		t.Fatalf("half-life default = %v, want 1 min", ok.Churn.HalfLife)
+	}
+}

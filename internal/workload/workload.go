@@ -56,6 +56,11 @@ type Config struct {
 	// HotspotWidth is the hot region's share of the attribute range;
 	// default 0.2.
 	HotspotWidth float64
+
+	// Churn adds a dynamic subscriber population on top of the static
+	// one: Poisson subscribe arrivals with exponentially distributed
+	// lifetimes (see Churn and ChurnEvents). Zero disables churn.
+	Churn Churn
 }
 
 // setDefaults fills the paper's values into unset fields.
@@ -85,6 +90,7 @@ func (c *Config) setDefaults() {
 	if c.HotspotWidth == 0 {
 		c.HotspotWidth = 0.2
 	}
+	c.Churn.setDefaults()
 }
 
 // Validate checks cross-field consistency after defaulting.
@@ -111,6 +117,9 @@ func (c *Config) Validate() error {
 	}
 	if c.HotspotWidth <= 0 || c.HotspotWidth > 1 {
 		return fmt.Errorf("workload: hotspot width %v outside (0,1]", c.HotspotWidth)
+	}
+	if err := c.Churn.validate(); err != nil {
+		return err
 	}
 	return nil
 }
