@@ -15,17 +15,20 @@ verify: build vet test
 
 # bench emits the perf-trajectory file for this PR: every benchmark at a
 # fixed, comparable iteration count, with allocation stats, as the JSON
-# stream go test produces with -json. Four passes:
+# stream go test produces with -json. Five passes:
 #   1. the steady families at 100x (figures, ablations, micro-benches);
 #   2. the live-throughput pair at sustained scale (legacy vs sharded);
 #   3. the index-build sweep at 1x — one full build per size is the
 #      measurement, and the quadratic re-sort baseline at 100k is the
 #      before number the churn rework is judged against;
 #   4. the churn benches on a clock budget, so the churn-while-matching
-#      run sustains its background flood long enough to mean something.
+#      run sustains its background flood long enough to mean something;
+#   5. the recovery benches: time from confirmed-dead arc to repaired
+#      routing (detour reroute, and a full layered-topology repair).
 bench:
-	$(GO) test -json -run '^$$' -bench '^Benchmark(Figure|Ablation|Filter|Normal|Pick|Queue|Table|Routing|Topology|Dijkstra|Codec|Sim)' -benchmem -benchtime 100x . > BENCH_pr5.json
-	$(GO) test -json -run '^$$' -bench BenchmarkLiveThroughput -benchmem -benchtime 20000x . >> BENCH_pr5.json
-	$(GO) test -json -run '^$$' -bench '^BenchmarkIndexBuild$$' -benchmem -benchtime 1x . >> BENCH_pr5.json
-	$(GO) test -json -run '^$$' -bench '^BenchmarkChurn' -benchmem -benchtime 2s . >> BENCH_pr5.json
-	@grep -o '"Output":"Benchmark[^"]*ns/op[^"]*"' BENCH_pr5.json | head -80 || true
+	$(GO) test -json -run '^$$' -bench '^Benchmark(Figure|Ablation|Filter|Normal|Pick|Queue|Table|Routing|Topology|Dijkstra|Codec|Sim)' -benchmem -benchtime 100x . > BENCH_pr6.json
+	$(GO) test -json -run '^$$' -bench BenchmarkLiveThroughput -benchmem -benchtime 20000x . >> BENCH_pr6.json
+	$(GO) test -json -run '^$$' -bench '^BenchmarkIndexBuild$$' -benchmem -benchtime 1x . >> BENCH_pr6.json
+	$(GO) test -json -run '^$$' -bench '^BenchmarkChurn' -benchmem -benchtime 2s . >> BENCH_pr6.json
+	$(GO) test -json -run '^$$' -bench '^BenchmarkRecovery' -benchmem -benchtime 100x ./internal/runtime/ >> BENCH_pr6.json
+	@grep -o '"Output":"Benchmark[^"]*ns/op[^"]*"' BENCH_pr6.json | head -80 || true

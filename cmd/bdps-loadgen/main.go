@@ -9,6 +9,14 @@
 // sharded zero-copy plane back to back on the same workload:
 //
 //	bdps-loadgen -compare -n 20000
+//
+// Fault flags turn the run into a robustness smoke at full rate: crash
+// a broker or take a link down mid-measurement (offsets are wall time
+// from the first publish) with heartbeat failure detection on, and the
+// pipeline must drain and report instead of wedging:
+//
+//	bdps-loadgen -n 50000 -kill-broker 1 -kill-at 200ms -heartbeat-interval 50ms
+//	bdps-loadgen -n 50000 -link-down 1:2:200ms:400ms -heartbeat-interval 50ms
 package main
 
 import (
@@ -18,6 +26,8 @@ import (
 	"net"
 	"os"
 	grt "runtime"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -43,12 +53,20 @@ func main() {
 		payload = flag.Int("payload", 0, "payload bytes per message")
 		churn   = flag.Float64("churn", 0, "subscription churn: subscribe+unsubscribe flood pairs per second, sustained while publishing (0 = none)")
 		compare = flag.Bool("compare", false, "run the classic plane, then the sharded plane, and report the speedup")
+
+		killBroker = flag.Int("kill-broker", -1, "crash this broker mid-measurement (-1 = no fault)")
+		killAt     = flag.Duration("kill-at", 200*time.Millisecond, "wall time after the first publish at which -kill-broker strikes")
+		linkDown   = flag.String("link-down", "", "transient link outage from:to:start:end in wall time, e.g. 1:2:200ms:400ms")
+		hbInterval = flag.Duration("heartbeat-interval", 0, "wall-time heartbeat period for failure detection (0 = off unless a fault is injected, then 100ms)")
+		hbTimeout  = flag.Duration("heartbeat-timeout", 0, "wall-time silence before a link is declared dead (0 = 4x interval)")
 	)
 	flag.Parse()
 	cfg := loadCfg{
 		n: *n, pubs: *pubs, subs: *subs, brokers: *brokers,
 		shards: *shards, burst: *burst, sizeKB: *sizeKB, payload: *payload,
-		churn: *churn,
+		churn:      *churn,
+		killBroker: *killBroker, killAt: *killAt, linkDown: *linkDown,
+		hbInterval: *hbInterval, hbTimeout: *hbTimeout,
 	}
 	if *compare {
 		legacy := cfg
@@ -84,6 +102,15 @@ func report(plane string, cfg loadCfg, r result) {
 	if cfg.churn > 0 {
 		fmt.Printf("  churn %.0f sub+unsub/sec", r.churnPerSec)
 	}
+	if cfg.faulty() || r.detections > 0 {
+		fmt.Printf("  detections %d", r.detections)
+		if r.restorations > 0 {
+			fmt.Printf(" (%d restored)", r.restorations)
+		}
+		if r.sendFailed > 0 {
+			fmt.Printf("  %d sends lost to crash", r.sendFailed)
+		}
+	}
 	fmt.Println()
 }
 
@@ -93,7 +120,15 @@ type loadCfg struct {
 	sizeKB                 float64
 	payload                int
 	churn                  float64
+
+	killBroker            int
+	killAt                time.Duration
+	linkDown              string
+	hbInterval, hbTimeout time.Duration
 }
+
+// faulty reports whether the run injects a failure mid-measurement.
+func (c loadCfg) faulty() bool { return c.killBroker >= 0 || c.linkDown != "" }
 
 type result struct {
 	elapsed      time.Duration
@@ -103,6 +138,9 @@ type result struct {
 	deliveries   int
 	receptions   int
 	churnPerSec  float64
+	detections   int64
+	restorations int64
+	sendFailed   int64
 }
 
 func run(cfg loadCfg) (result, error) {
@@ -115,16 +153,50 @@ func run(cfg loadCfg) (result, error) {
 			return result{}, err
 		}
 	}
+	var out outage
+	if cfg.linkDown != "" {
+		o, err := parseOutage(cfg.linkDown)
+		if err != nil {
+			return result{}, fmt.Errorf("-link-down: %w", err)
+		}
+		out = o
+	}
+	if cfg.killBroker >= cfg.brokers {
+		return result{}, fmt.Errorf("-kill-broker %d: chain has brokers 0..%d", cfg.killBroker, cfg.brokers-1)
+	}
+
+	const timeScale = 1e-9 // pacing off: emulated sleeps round to 0 wall time
 	edge := msg.NodeID(cfg.brokers - 1)
-	c, err := livenet.StartCluster(livenet.ClusterConfig{
+	ccfg := livenet.ClusterConfig{
 		Overlay:   &topology.Overlay{Graph: g, Ingress: []msg.NodeID{0}, Edges: []msg.NodeID{edge}},
 		Scenario:  msg.PSD,
 		Strategy:  core.MaxEB{},
-		TimeScale: 1e-9, // pacing off: emulated sleeps round to 0 wall time
+		TimeScale: timeScale,
 		Seed:      1,
 		Shards:    cfg.shards,
 		Burst:     cfg.burst,
-	})
+	}
+	// The default cluster clock is the wall clock at scale 1, so the
+	// heartbeat durations pass through as plain wall time.
+	var detections, restorations atomic.Int64
+	hb := cfg.hbInterval
+	if hb == 0 && cfg.faulty() {
+		hb = 100 * time.Millisecond
+	}
+	if hb > 0 {
+		ccfg.Heartbeat = livenet.HeartbeatConfig{
+			Interval: vtime.FromDuration(hb),
+			Timeout:  vtime.FromDuration(cfg.hbTimeout),
+		}
+		ccfg.OnPeerEvent = func(ev livenet.PeerEvent) {
+			if ev.Restored {
+				restorations.Add(1)
+			} else {
+				detections.Add(1)
+			}
+		}
+	}
+	c, err := livenet.StartCluster(ccfg)
 	if err != nil {
 		return result{}, err
 	}
@@ -221,9 +293,28 @@ func run(cfg loadCfg) (result, error) {
 	start := time.Now()
 	churnStart := churnOps.Load() // count only pairs inside the window
 
+	// Injected faults are armed on wall timers relative to the first
+	// publish, mirroring the runtime transport's fault schedule.
+	var faultTimers []*time.Timer
+	if cfg.killBroker >= 0 {
+		id := msg.NodeID(cfg.killBroker)
+		faultTimers = append(faultTimers, time.AfterFunc(cfg.killAt, func() { c.Nodes[id].Crash() }))
+	}
+	if cfg.linkDown != "" {
+		faultTimers = append(faultTimers,
+			time.AfterFunc(out.start, func() { c.Nodes[out.from].SetLinkDown(out.to, true) }),
+			time.AfterFunc(out.end, func() { c.Nodes[out.from].SetLinkDown(out.to, false) }))
+	}
+	defer func() {
+		for _, t := range faultTimers {
+			t.Stop()
+		}
+	}()
+
 	var wg sync.WaitGroup
 	var firstErr error
 	var errOnce sync.Once
+	var sendFailed atomic.Int64
 	for i, p := range publishers {
 		k := cfg.n / cfg.pubs
 		if i < cfg.n%cfg.pubs {
@@ -234,6 +325,13 @@ func run(cfg loadCfg) (result, error) {
 			defer wg.Done()
 			for j := 0; j < k; j++ {
 				if _, err := p.Publish(0, attrs, cfg.sizeKB, 60*vtime.Second, body); err != nil {
+					if cfg.faulty() {
+						// A crashed ingress takes its publisher connections
+						// with it; charge the rest of the stream to the
+						// fault instead of aborting the measurement.
+						sendFailed.Add(int64(k - j))
+						return
+					}
 					errOnce.Do(func() { firstErr = err })
 					return
 				}
@@ -245,18 +343,43 @@ func run(cfg loadCfg) (result, error) {
 		return result{}, firstErr
 	}
 
+	// A crashed broker never accounts its inbound frames, so faulty runs
+	// drain on sustained local idleness (Settled) instead of the exact
+	// cross-node frame accounting (Quiescent). Settled can blink true
+	// between hops, hence the longer consecutive-idle requirement. The
+	// measurement also stays open through the fault schedule plus the
+	// detection deadline, so the monitors confirm the silence before the
+	// cluster shuts down.
+	needIdle, pause := 2, 200*time.Microsecond
+	var detectBy time.Time
+	if cfg.faulty() {
+		needIdle, pause = 25, 2*time.Millisecond
+		tmo := cfg.hbTimeout
+		if tmo == 0 {
+			tmo = 4 * hb
+		}
+		last := out.end
+		if cfg.killBroker >= 0 && cfg.killAt > last {
+			last = cfg.killAt
+		}
+		detectBy = start.Add(last + tmo + 2*hb)
+	}
 	deadline := time.Now().Add(5 * time.Minute)
 	idle := 0
-	for idle < 2 {
+	for idle < needIdle {
 		if time.Now().After(deadline) {
-			return result{}, fmt.Errorf("cluster did not quiesce")
+			return result{}, fmt.Errorf("cluster did not quiesce:\n%s", c.LoadReport())
 		}
-		if c.Quiescent(cfg.n) {
+		quiet := c.Quiescent(cfg.n)
+		if cfg.faulty() {
+			quiet = c.Settled() && time.Now().After(detectBy)
+		}
+		if quiet {
 			idle++
 		} else {
 			idle = 0
 		}
-		time.Sleep(200 * time.Microsecond)
+		time.Sleep(pause)
 	}
 	elapsed := time.Since(start)
 	churned := churnOps.Load() - churnStart
@@ -267,7 +390,7 @@ func run(cfg loadCfg) (result, error) {
 	}
 
 	total := c.TotalStats()
-	if total.Deliveries < cfg.n*cfg.subs {
+	if !cfg.faulty() && total.Deliveries < cfg.n*cfg.subs {
 		fmt.Fprintf(os.Stderr, "warning: delivered %d of %d expected\n", total.Deliveries, cfg.n*cfg.subs)
 	}
 	return result{
@@ -278,5 +401,42 @@ func run(cfg loadCfg) (result, error) {
 		deliveries:   total.Deliveries,
 		receptions:   total.Receptions,
 		churnPerSec:  float64(churned) / elapsed.Seconds(),
+		detections:   detections.Load(),
+		restorations: restorations.Load(),
+		sendFailed:   sendFailed.Load(),
 	}, nil
+}
+
+// outage is a parsed -link-down spec; offsets are wall time from the
+// first publish.
+type outage struct {
+	from, to   msg.NodeID
+	start, end time.Duration
+}
+
+func parseOutage(s string) (outage, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 4 {
+		return outage{}, fmt.Errorf("want from:to:start:end (e.g. 1:2:200ms:400ms), got %q", s)
+	}
+	from, err := strconv.ParseUint(strings.TrimSpace(parts[0]), 10, 32)
+	if err != nil {
+		return outage{}, fmt.Errorf("from: %w", err)
+	}
+	to, err := strconv.ParseUint(strings.TrimSpace(parts[1]), 10, 32)
+	if err != nil {
+		return outage{}, fmt.Errorf("to: %w", err)
+	}
+	start, err := time.ParseDuration(strings.TrimSpace(parts[2]))
+	if err != nil {
+		return outage{}, fmt.Errorf("start: %w", err)
+	}
+	end, err := time.ParseDuration(strings.TrimSpace(parts[3]))
+	if err != nil {
+		return outage{}, fmt.Errorf("end: %w", err)
+	}
+	if end <= start {
+		return outage{}, fmt.Errorf("end %v must follow start %v", end, start)
+	}
+	return outage{from: msg.NodeID(from), to: msg.NodeID(to), start: start, end: end}, nil
 }

@@ -23,6 +23,20 @@
 //
 // Ablations pass through: -multipath 2, -measure 100, -linkmodel gamma,
 // -epsilon 0 (disable invalid-message detection).
+//
+// Fault injection and self-healing (single mode, both backends): crash
+// brokers or take a link down mid-run, then let the control plane
+// detect the failure, repair the topology and renegotiate delay bounds:
+//
+//	bdps-sim -single -rate 6 -duration 2m -kill-broker 4 -kill-at 30s -recover -renegotiate -timeline 30s
+//	bdps-sim -single -link-down 2:6:30s:80s -recover
+//
+// On the live backend keep heartbeat-timeout × timescale well above
+// scheduler jitter (tens of milliseconds of wall time), or every link
+// looks dead:
+//
+//	bdps-sim -single -backend live -timescale 0.01 -duration 2m -rate 6 \
+//	    -kill-broker 4 -kill-at 30s -recover -heartbeat-timeout 8s
 package main
 
 import (
@@ -57,7 +71,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("bdps-sim", flag.ContinueOnError)
 	var (
 		figure   = fs.String("figure", "", "figure to reproduce: 4a, 4b, 5, 5a, 5b, 6, 6a, 6b, all")
-		ablation = fs.String("ablation", "", "ablation to run: epsilon, measure, multipath, linkmodel, topology, fairness, all")
+		ablation = fs.String("ablation", "", "ablation to run: epsilon, measure, multipath, linkmodel, topology, fairness, hotspot, churn, recovery, all")
 		claims   = fs.Bool("claims", false, "re-run the evaluation and check the paper's claims")
 		single   = fs.Bool("single", false, "run a single configuration instead of a figure")
 		topoDump = fs.Bool("dump-topology", false, "print the layered overlay as JSON and exit")
@@ -82,6 +96,15 @@ func run(args []string) error {
 
 		churnRate = fs.Float64("churn", 0, "subscription churn: subscribe arrivals per minute (0 = static population)")
 		churnHalf = fs.Duration("churn-halflife", time.Minute, "subscription churn: lifetime half-life")
+
+		killBroker = fs.String("kill-broker", "", "crash these brokers mid-run, comma-separated ids (single mode)")
+		killAt     = fs.Duration("kill-at", 30*time.Second, "emulated instant at which -kill-broker crashes strike")
+		linkDown   = fs.String("link-down", "", "transient link outage from:to:start:end, e.g. 2:6:30s:80s (single mode)")
+		recov      = fs.Bool("recover", false, "detect failures and repair the routing topology (single mode)")
+		renege     = fs.Bool("renegotiate", false, "renegotiate delay bounds on repaired paths (implies -recover)")
+		hbInterval = fs.Duration("heartbeat-interval", 500*time.Millisecond, "failure detection: emulated heartbeat period")
+		hbTimeout  = fs.Duration("heartbeat-timeout", 0, "failure detection: silence before a link is declared dead (0 = 4x interval)")
+		timeline   = fs.Duration("timeline", 0, "report delivery-over-time in buckets of this emulated width (single mode)")
 
 		pd        = fs.Float64("pd", 2, "processing delay per broker, ms")
 		epsilon   = fs.Float64("epsilon", core.DefaultEpsilon, "invalid-message threshold for EB/PC/EBPC (0 disables)")
@@ -151,6 +174,16 @@ func run(args []string) error {
 			TimeScale:      ts,
 			LiveShards:     *liveShards,
 			IndexedMatch:   *churnRate > 0,
+			TimelineBucket: vtime.FromDuration(*timeline),
+			Recovery: runtime.Recovery{
+				Detect:            *recov || *renege,
+				Renegotiate:       *renege,
+				HeartbeatInterval: vtime.FromDuration(*hbInterval),
+				HeartbeatTimeout:  vtime.FromDuration(*hbTimeout),
+			},
+		}
+		if cfg.Faults, err = parseFaults(*killBroker, *killAt, *linkDown); err != nil {
+			return err
 		}
 		var traceFile *os.File
 		if *traceOut != "" {
@@ -166,6 +199,7 @@ func run(args []string) error {
 			return err
 		}
 		printSingle(res)
+		printTimeline(res)
 		if j, ok := cfg.Tracer.(*trace.JSONL); ok && j.Err() != nil {
 			return fmt.Errorf("writing trace: %w", j.Err())
 		}
@@ -187,10 +221,10 @@ func run(args []string) error {
 			RatePerMin: *churnRate,
 			HalfLife:   vtime.FromDuration(*churnHalf),
 		},
-		Parallelism:    *parallel,
-		Backend:        bk,
-		TimeScale:      ts,
-		LiveShards:     *liveShards,
+		Parallelism: *parallel,
+		Backend:     bk,
+		TimeScale:   ts,
+		LiveShards:  *liveShards,
 	}
 	if *ebpcW != "" {
 		w, err := strconv.ParseFloat(*ebpcW, 64)
@@ -282,6 +316,71 @@ func run(args []string) error {
 
 func printSingle(res interface{ String() string }) {
 	fmt.Println(res.String())
+}
+
+func printTimeline(res runtime.Result) {
+	if len(res.Timeline) == 0 {
+		return
+	}
+	fmt.Println("timeline:")
+	for _, b := range res.Timeline {
+		fmt.Printf("  t=%5.0fs  delivery %5.1f%%  (%d/%d)\n",
+			float64(b.Start)/1000, 100*b.Rate(), b.Valid, b.Targets)
+	}
+}
+
+// parseFaults assembles the -kill-broker / -link-down fault schedule.
+func parseFaults(kill string, killAt time.Duration, linkDown string) ([]runtime.Fault, error) {
+	var faults []runtime.Fault
+	if kill != "" {
+		ids, err := parseUints(kill)
+		if err != nil {
+			return nil, fmt.Errorf("-kill-broker: %w", err)
+		}
+		for _, id := range ids {
+			faults = append(faults, runtime.BrokerCrash{ID: msg.NodeID(id), At: vtime.FromDuration(killAt)})
+		}
+	}
+	if linkDown != "" {
+		ld, err := parseLinkDown(linkDown)
+		if err != nil {
+			return nil, fmt.Errorf("-link-down: %w", err)
+		}
+		faults = append(faults, ld)
+	}
+	return faults, nil
+}
+
+// parseLinkDown reads a transient outage spec "from:to:start:end" where
+// from/to are broker ids and start/end are emulated offsets into the
+// run, e.g. "2:6:30s:80s".
+func parseLinkDown(s string) (runtime.LinkDown, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 4 {
+		return runtime.LinkDown{}, fmt.Errorf("want from:to:start:end (e.g. 2:6:30s:80s), got %q", s)
+	}
+	from, err := strconv.ParseUint(strings.TrimSpace(parts[0]), 10, 32)
+	if err != nil {
+		return runtime.LinkDown{}, fmt.Errorf("from: %w", err)
+	}
+	to, err := strconv.ParseUint(strings.TrimSpace(parts[1]), 10, 32)
+	if err != nil {
+		return runtime.LinkDown{}, fmt.Errorf("to: %w", err)
+	}
+	start, err := time.ParseDuration(strings.TrimSpace(parts[2]))
+	if err != nil {
+		return runtime.LinkDown{}, fmt.Errorf("start: %w", err)
+	}
+	end, err := time.ParseDuration(strings.TrimSpace(parts[3]))
+	if err != nil {
+		return runtime.LinkDown{}, fmt.Errorf("end: %w", err)
+	}
+	return runtime.LinkDown{
+		From:  msg.NodeID(from),
+		To:    msg.NodeID(to),
+		Start: vtime.FromDuration(start),
+		End:   vtime.FromDuration(end),
+	}, nil
 }
 
 func parseScenario(s string) (msg.Scenario, error) {

@@ -147,10 +147,11 @@ func (b *Broker) PeakQueue() int {
 
 // Delivery is one local hand-off to a subscriber.
 type Delivery struct {
-	SubID   msg.SubID
-	Price   float64
-	Latency vtime.Millis
-	Valid   bool // delivered within the applicable bound
+	SubID     msg.SubID
+	Price     float64
+	Published vtime.Millis // the message's publication instant
+	Latency   vtime.Millis
+	Valid     bool // delivered within the applicable bound
 }
 
 // Result reports what Process did with a message. The slices are views
@@ -252,12 +253,18 @@ func (p *Processor) process(m *msg.Message, now vtime.Millis) Result {
 				}
 				p.subEpoch[e.Sub.ID] = p.epoch
 				allowed, price := b.scenario.AllowedDelay(m, e.Sub)
+				if e.Relaxed > allowed {
+					// Topology repair renegotiated this route's bound up to
+					// the cheapest feasible value; judge against the floor.
+					allowed = e.Relaxed
+				}
 				latency := now - m.Published
 				res.Deliveries = append(res.Deliveries, Delivery{
-					SubID:   e.Sub.ID,
-					Price:   price,
-					Latency: latency,
-					Valid:   allowed > 0 && latency <= allowed,
+					SubID:     e.Sub.ID,
+					Price:     price,
+					Published: m.Published,
+					Latency:   latency,
+					Valid:     allowed > 0 && latency <= allowed,
 				})
 			}
 			continue
@@ -301,6 +308,9 @@ func (p *Processor) buildEntry(m *msg.Message, entries []*routing.Entry) *core.E
 		}
 		p.subEpoch[re.Sub.ID] = p.epoch
 		allowed, price := b.scenario.AllowedDelay(m, re.Sub)
+		if re.Relaxed > allowed {
+			allowed = re.Relaxed
+		}
 		if allowed <= 0 {
 			// No bound applies (misconfigured subscription); treat as
 			// undeliverable rather than infinitely patient.

@@ -6,7 +6,9 @@ import (
 	"bdps/internal/core"
 	"bdps/internal/metrics"
 	"bdps/internal/msg"
+	"bdps/internal/runtime"
 	"bdps/internal/simnet"
+	"bdps/internal/stats"
 	"bdps/internal/topology"
 	"bdps/internal/vtime"
 	"bdps/internal/workload"
@@ -309,6 +311,102 @@ func AblationChurn(opts Options) (*Figure, error) {
 	return fig, nil
 }
 
+// recoveryAblationOverlay is the kill-half topology of the recovery
+// ablation: two ingress (0, 1), four middles (2–5), two edges (6, 7),
+// fully bipartite between layers, with one mean per middle's links.
+// Middle 2 is strictly fastest, so every initial path routes through
+// it; killing middles 2 and 4 severs every route in use and leaves
+// middle 3 — deliberately slow enough (110 ms/KB per hop ≈ 11 s per
+// 50 KB message) to violate the tightest publisher bounds — as the
+// repair target, so the renegotiation series visibly separates from
+// plain repair.
+func recoveryAblationOverlay() (*topology.Overlay, error) {
+	g := topology.NewGraph(8)
+	for _, mid := range []struct {
+		id   msg.NodeID
+		mean float64
+	}{{2, 40}, {3, 110}, {4, 80}, {5, 130}} {
+		for _, peer := range []msg.NodeID{0, 1, 6, 7} {
+			if err := g.AddLink(peer, mid.id, stats.Normal{Mean: mid.mean, Sigma: 5}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return &topology.Overlay{
+		Graph:   g,
+		Ingress: []msg.NodeID{0, 1},
+		Edges:   []msg.NodeID{6, 7},
+	}, nil
+}
+
+// AblationRecovery charts the self-healing control plane: half the
+// relay layer is killed at T/4 and delivery rate is tracked over
+// publication time for four runs — no faults, faults with the plane
+// off, detection + repair, and detection + repair + delay-bound
+// renegotiation. All four share one publication schedule, so the
+// timeline buckets align column for column; with detection off the
+// post-crash buckets flatline, with repair they return to the quiet
+// baseline, and renegotiation rescues the bounds the slower repair
+// path cannot honor as-is.
+func AblationRecovery(opts Options) (*Figure, error) {
+	opts.setDefaults()
+	fig := &Figure{
+		ID:     "A9",
+		Title:  "kill-half self-healing: delivery over time (PSD, EB, crash at T/4)",
+		XLabel: "publication time (s)",
+		YLabel: "delivery rate (%)",
+		Series: []string{"no faults", "no recovery", "repair", "repair+renegotiate"},
+	}
+	ov, err := recoveryAblationOverlay()
+	if err != nil {
+		return nil, err
+	}
+	crashAt := opts.Duration / 4
+	type variant struct{ faults, detect, renegotiate bool }
+	variants := []variant{
+		{false, false, false},
+		{true, false, false},
+		{true, true, false},
+		{true, true, true},
+	}
+	pts, err := ablationSweep(&opts, variants, func(v variant, c *simnet.Config) {
+		c.Overlay = ov
+		// The repair path costs 11 s per hop-pair: keep its links below
+		// saturation (the base rate 12 would melt them and drown the
+		// renegotiation signal in queueing).
+		c.Workload.RatePerMin = 3
+		c.TimelineBucket = opts.Duration / 8
+		if v.faults {
+			c.Faults = []simnet.Fault{
+				simnet.BrokerCrash{ID: 2, At: crashAt},
+				simnet.BrokerCrash{ID: 4, At: crashAt},
+			}
+		}
+		// A demanding success target separates the series: plain repair
+		// keeps the original bounds and loses the deliveries the slow
+		// detour misses; renegotiation relaxes them to what the detour
+		// can actually meet 95% of the time.
+		c.Recovery = runtime.Recovery{
+			Detect:        v.detect,
+			Renegotiate:   v.renegotiate,
+			SuccessTarget: 0.95,
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range pts[0].Timeline {
+		p := Point{X: float64(b.Start) / 1000, Values: map[string]float64{}}
+		for j, name := range fig.Series {
+			if tl := pts[j].Timeline; i < len(tl) {
+				p.Values[name] = 100 * tl[i].Rate()
+			}
+		}
+		fig.Points = append(fig.Points, p)
+	}
+	return fig, nil
+}
+
 // RunAblation dispatches an ablation id.
 func RunAblation(id string, opts Options) (*Figure, error) {
 	switch id {
@@ -328,13 +426,15 @@ func RunAblation(id string, opts Options) (*Figure, error) {
 		return AblationHotspot(opts)
 	case "churn", "A8":
 		return AblationChurn(opts)
+	case "recovery", "A9":
+		return AblationRecovery(opts)
 	}
-	return nil, fmt.Errorf("experiments: unknown ablation %q (want epsilon, measure, multipath, linkmodel, topology, fairness, hotspot, churn)", id)
+	return nil, fmt.Errorf("experiments: unknown ablation %q (want epsilon, measure, multipath, linkmodel, topology, fairness, hotspot, churn, recovery)", id)
 }
 
 // Ablations lists the ablation ids in order.
 func Ablations() []string {
-	return []string{"epsilon", "measure", "multipath", "linkmodel", "topology", "fairness", "hotspot", "churn"}
+	return []string{"epsilon", "measure", "multipath", "linkmodel", "topology", "fairness", "hotspot", "churn", "recovery"}
 }
 
 // AllAblations runs every ablation with one shared worker pool and run

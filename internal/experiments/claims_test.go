@@ -2,6 +2,8 @@ package experiments
 
 import (
 	"bytes"
+	"math"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -121,6 +123,45 @@ func TestAblationFairnessProducesIndex(t *testing.T) {
 	for _, p := range fig.Points {
 		if j := p.Values["jain"]; j <= 0 || j > 1 {
 			t.Errorf("jain index %v out of (0,1]", j)
+		}
+	}
+}
+
+// TestAblationRecoveryShape pins the recovery ablation's story: after
+// the kill-half crash, the unhealed run flatlines while the repaired
+// runs return to the quiet baseline, renegotiation doing at least as
+// well as plain repair — and the whole figure is deterministic (the
+// kill-half cells go through the run cache like any other).
+func TestAblationRecoveryShape(t *testing.T) {
+	opts := Options{Seeds: []uint64{1}, Duration: 8 * vtime.Minute}
+	fig, err := AblationRecovery(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Points) != 8 {
+		t.Fatalf("got %d timeline points, want 8 (duration/8 buckets)", len(fig.Points))
+	}
+	again, err := AblationRecovery(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fig, again) {
+		t.Error("recovery ablation not deterministic across runs")
+	}
+	// The crash lands at T/4 = bucket 2; detection is near-immediate at
+	// this scale, so buckets 4+ are fully post-recovery.
+	for _, p := range fig.Points[4:] {
+		if p.Values["no recovery"] != 0 {
+			t.Errorf("x=%v: unhealed run delivered %.1f%%, want 0 (all paths severed)",
+				p.X, p.Values["no recovery"])
+		}
+		if d := math.Abs(p.Values["repair"] - p.Values["no faults"]); d > 15 {
+			t.Errorf("x=%v: repaired rate %.1f%% vs quiet %.1f%% (Δ %.1f > 15)",
+				p.X, p.Values["repair"], p.Values["no faults"], d)
+		}
+		if p.Values["repair+renegotiate"] < p.Values["repair"] {
+			t.Errorf("x=%v: renegotiation (%.1f%%) must not trail plain repair (%.1f%%)",
+				p.X, p.Values["repair+renegotiate"], p.Values["repair"])
 		}
 	}
 }

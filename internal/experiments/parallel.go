@@ -224,15 +224,22 @@ func normalizeStrategy(s core.Strategy) core.Strategy {
 }
 
 // configKey renders a config into a cache key covering every
-// behavior-affecting field, or reports it uncacheable. Faulty, traced or
+// behavior-affecting field, or reports it uncacheable. Traced or
 // explicitly-subscribed runs are never cached: their extra inputs have
-// no cheap canonical form and no experiment repeats them.
+// no cheap canonical form and no experiment repeats them. Faults are
+// cacheable — each fault renders with its dynamic type, and the plan
+// validates and orders them deterministically — which is what lets the
+// recovery ablation's kill-half cells hit the run cache.
 //
 // TestConfigKeyCoversAllFields pins the simnet.Config field list; extend
 // this key when adding fields there.
 func configKey(cfg *simnet.Config) (string, bool) {
-	if cfg.Tracer != nil || cfg.Faults != nil || cfg.Subscriptions != nil {
+	if cfg.Tracer != nil || cfg.Subscriptions != nil {
 		return "", false
+	}
+	faults := ""
+	for _, f := range cfg.Faults {
+		faults += fmt.Sprintf("%T%+v;", f, f)
 	}
 	// The strategy needs its dynamic type spelled out (%+v alone prints
 	// both FIFO{} and RL{} as "{}"). An adopted overlay is keyed by
@@ -240,10 +247,11 @@ func configKey(cfg *simnet.Config) (string, bool) {
 	// share it. TimeScale is keyed even though the simulator ignores it:
 	// cached results are sim-only and the key must stay injective over
 	// the whole config.
-	return fmt.Sprintf("%d|%d|%T%+v|%+v|%+v|%p|%+v|%d|%d|%d|%g|%t|%t|%g|%d",
+	return fmt.Sprintf("%d|%d|%T%+v|%+v|%+v|%p|%+v|%d|%d|%d|%g|%s|%t|%t|%g|%d|%+v|%g",
 		cfg.Seed, cfg.Scenario, cfg.Strategy, cfg.Strategy,
 		cfg.Params, cfg.Workload, cfg.Overlay, cfg.TopologyCfg,
 		cfg.Multipath, cfg.MeasureSamples, cfg.LinkModel, cfg.MinRate,
-		cfg.PerSubscriber, cfg.IndexedMatch, cfg.TimeScale, cfg.LiveShards,
+		faults, cfg.PerSubscriber, cfg.IndexedMatch, cfg.TimeScale,
+		cfg.LiveShards, cfg.Recovery, cfg.TimelineBucket,
 	), true
 }

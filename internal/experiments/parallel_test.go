@@ -8,6 +8,7 @@ import (
 	"bdps/internal/core"
 	"bdps/internal/metrics"
 	"bdps/internal/msg"
+	"bdps/internal/runtime"
 	"bdps/internal/simnet"
 	"bdps/internal/vtime"
 	"bdps/internal/workload"
@@ -90,12 +91,13 @@ func TestAllAblationsSharedCache(t *testing.T) {
 	if len(figs) != len(Ablations()) {
 		t.Fatalf("got %d ablation figures", len(figs))
 	}
-	// 32 cells declared (6+5+3+3+3+4+4+4, one seed); the base config
+	// 36 cells declared (6+5+3+3+3+4+4+4+4, one seed); the base config
 	// recurs in the ε (default ε), measure (0 samples), link-model
-	// (normal), hotspot (0) and churn (0 arrivals/min) sweeps → 28
-	// unique runs.
-	if runs != 28 {
-		t.Errorf("runs = %d, want 28 (base cell must dedupe across ablations)", runs)
+	// (normal), hotspot (0) and churn (0 arrivals/min) sweeps → 32
+	// unique runs (the recovery sweep's cells run on their own overlay
+	// and timeline, so none of its 4 dedupe).
+	if runs != 32 {
+		t.Errorf("runs = %d, want 32 (base cell must dedupe across ablations)", runs)
 	}
 }
 
@@ -213,6 +215,11 @@ func TestConfigKey(t *testing.T) {
 		func(c *simnet.Config) { c.IndexedMatch = true },
 		func(c *simnet.Config) { c.TopologyCfg.Seed = 7 },
 		func(c *simnet.Config) { c.TimeScale = 0.5 },
+		func(c *simnet.Config) { c.Faults = []simnet.Fault{simnet.BrokerCrash{ID: 1, At: 10}} },
+		func(c *simnet.Config) { c.Faults = []simnet.Fault{simnet.LinkDown{From: 0, To: 1, Start: 10, End: 20}} },
+		func(c *simnet.Config) { c.Recovery = runtime.Recovery{Detect: true} },
+		func(c *simnet.Config) { c.Recovery = runtime.Recovery{Detect: true, Renegotiate: true} },
+		func(c *simnet.Config) { c.TimelineBucket = 30 * vtime.Second },
 	}
 	seen := map[string]int{a: -1}
 	for i, mutate := range distinct {
@@ -229,7 +236,6 @@ func TestConfigKey(t *testing.T) {
 		seen[k] = i
 	}
 	uncacheable := []func(*simnet.Config){
-		func(c *simnet.Config) { c.Faults = []simnet.Fault{simnet.BrokerCrash{ID: 1, At: 10}} },
 		func(c *simnet.Config) { c.Subscriptions = []*msg.Subscription{} },
 	}
 	for i, mutate := range uncacheable {
@@ -253,7 +259,8 @@ func TestConfigKeyCoversAllFields(t *testing.T) {
 		"Multipath": true, "MeasureSamples": true, "LinkModel": true,
 		"MinRate": true, "Faults": true, "Tracer": true,
 		"PerSubscriber": true, "IndexedMatch": true, "Subscriptions": true,
-		"TimeScale": true, "LiveShards": true,
+		"TimeScale": true, "LiveShards": true, "Recovery": true,
+		"TimelineBucket": true,
 	}
 	rt := reflect.TypeOf(simnet.Config{})
 	for i := 0; i < rt.NumField(); i++ {

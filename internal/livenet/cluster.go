@@ -2,6 +2,7 @@ package livenet
 
 import (
 	"fmt"
+	"strings"
 
 	"bdps/internal/core"
 	"bdps/internal/msg"
@@ -44,6 +45,13 @@ type ClusterConfig struct {
 	Shards int
 	// Burst caps the egress burst size on the sharded plane (default 32).
 	Burst int
+
+	// Heartbeat enables per-link failure detection on every node.
+	Heartbeat HeartbeatConfig
+	// OnPeerEvent receives every node's liveness transitions (the
+	// transport's repair loop consumes them). Called from monitor
+	// goroutines; must be safe for concurrent use.
+	OnPeerEvent func(PeerEvent)
 }
 
 // Cluster is a set of live brokers started together.
@@ -111,19 +119,21 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 	for id := 0; id < cfg.Overlay.Graph.N(); id++ {
 		nid := msg.NodeID(id)
 		nc := NodeConfig{
-			ID:        nid,
-			Overlay:   cfg.Overlay,
-			Scenario:  cfg.Scenario,
-			Params:    cfg.Params,
-			Strategy:  cfg.Strategy,
-			TimeScale: cfg.TimeScale,
-			Seed:      cfg.Seed,
-			Multipath: cfg.Multipath,
-			Clock:     cfg.Clock,
-			Sink:      cfg.Sink,
-			Pacers:    pacers[nid],
-			Shards:    cfg.Shards,
-			Burst:     cfg.Burst,
+			ID:          nid,
+			Overlay:     cfg.Overlay,
+			Scenario:    cfg.Scenario,
+			Params:      cfg.Params,
+			Strategy:    cfg.Strategy,
+			TimeScale:   cfg.TimeScale,
+			Seed:        cfg.Seed,
+			Multipath:   cfg.Multipath,
+			Clock:       cfg.Clock,
+			Sink:        cfg.Sink,
+			Pacers:      pacers[nid],
+			Shards:      cfg.Shards,
+			Burst:       cfg.Burst,
+			Heartbeat:   cfg.Heartbeat,
+			OnPeerEvent: cfg.OnPeerEvent,
 		}
 		if cfg.Plan != nil {
 			nc.Broker = cfg.Plan.Brokers[nid]
@@ -226,4 +236,17 @@ func (c *Cluster) Settled() bool {
 		}
 	}
 	return true
+}
+
+// LoadReport renders every node's quiescence counters — the evidence to
+// attach when a drain loop times out waiting for Quiescent or Settled.
+func (c *Cluster) LoadReport() string {
+	var b strings.Builder
+	for _, n := range c.Nodes {
+		s := n.load()
+		fmt.Fprintf(&b, "broker %d%s: busy=%d inflight=%d queued=%d sent=%d recvPeers=%d recvPubs=%d\n",
+			n.ID(), map[bool]string{true: " (stopped)"}[n.Stopped()],
+			s.busy, s.inflight, s.queued, s.sentPeers, s.recvPeers, s.recvPubs)
+	}
+	return b.String()
 }

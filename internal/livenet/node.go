@@ -90,6 +90,14 @@ type NodeConfig struct {
 	// overlay's truncated-normal rates on a stream derived from Seed.
 	Pacers map[msg.NodeID]Pacer
 
+	// Heartbeat enables per-link failure detection (heartbeat.go); the
+	// zero value disables it.
+	Heartbeat HeartbeatConfig
+	// OnPeerEvent receives liveness transitions from the heartbeat
+	// monitor (confirmed-dead and restored links). Called from the
+	// monitor goroutine; must not block for long.
+	OnPeerEvent func(PeerEvent)
+
 	// Shards selects the ingress data plane. 0 keeps the classic
 	// single-threaded path: every frame decoded with fresh allocations
 	// and processed inline in its connection's read loop, one write
@@ -124,7 +132,7 @@ type Node struct {
 	// whole flood stream (the overlay is immutable). Accessed only with
 	// mu held exclusively.
 	installer *routing.Installer
-	wake  map[msg.NodeID]chan struct{}
+	wake      map[msg.NodeID]chan struct{}
 	// linkDown marks outgoing links taken out of service by injected
 	// faults; the sender parks until the link comes back up.
 	linkDown  map[msg.NodeID]bool
@@ -140,6 +148,12 @@ type Node struct {
 	removedSubs tombstones
 	// statistics (atomic: updated by concurrent shard workers)
 	cnt counters
+
+	// Heartbeat liveness state (heartbeat.go), under its own lock so
+	// probe bookkeeping never contends with the data plane.
+	hbMu      sync.Mutex
+	lastHeard map[msg.NodeID]vtime.Millis
+	peerState map[msg.NodeID]int
 
 	// Sharded data plane (nil when Shards == 0); see shard.go.
 	shards []*shard
@@ -333,19 +347,21 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		clock = runtime.AbsoluteWallClock(1)
 	}
 	n := &Node{
-		cfg:         cfg,
-		clock:       clock,
-		sink:        cfg.Sink,
-		b:           b,
-		table:       b.Table(),
-		wake:        make(map[msg.NodeID]chan struct{}),
-		linkDown:    make(map[msg.NodeID]bool),
-		estimates:   make(map[msg.NodeID]*stats.WelfordEstimator),
-		locals:   make(map[msg.SubID]*subConn),
-		seenSubs: make(map[msg.SubID]bool),
-		peers:    make(map[msg.NodeID]*peerConn),
-		inbound:     make(map[net.Conn]struct{}),
-		stopped:     make(chan struct{}),
+		cfg:       cfg,
+		clock:     clock,
+		sink:      cfg.Sink,
+		b:         b,
+		table:     b.Table(),
+		wake:      make(map[msg.NodeID]chan struct{}),
+		linkDown:  make(map[msg.NodeID]bool),
+		estimates: make(map[msg.NodeID]*stats.WelfordEstimator),
+		locals:    make(map[msg.SubID]*subConn),
+		seenSubs:  make(map[msg.SubID]bool),
+		peers:     make(map[msg.NodeID]*peerConn),
+		inbound:   make(map[net.Conn]struct{}),
+		stopped:   make(chan struct{}),
+		lastHeard: make(map[msg.NodeID]vtime.Millis),
+		peerState: make(map[msg.NodeID]int),
 	}
 	n.installer = routing.NewInstaller(cfg.Overlay, routing.Options{Multipath: cfg.Multipath})
 	for _, s := range cfg.Preinstalled {
@@ -421,6 +437,7 @@ func (n *Node) ConnectPeers(addrs map[msg.NodeID]string) error {
 			go n.senderLoop(e.To, pc, wake, pacer)
 		}
 	}
+	n.startHeartbeats()
 	return nil
 }
 
@@ -667,6 +684,10 @@ func (n *Node) readLoop(conn net.Conn) {
 				continue
 			}
 			n.handleUnsubscribe(id)
+		case msg.FrameHeartbeat:
+			if from, err := msg.DecodeHeartbeat(body); err == nil {
+				n.heartbeatReceived(from)
+			}
 		case msg.FrameAck, msg.FrameHello:
 			// Ignored.
 		}
@@ -829,7 +850,7 @@ func (n *Node) accountResult(res *broker.Result) {
 			n.cnt.validDeliver.Add(1)
 		}
 		if n.sink != nil {
-			n.sink.DeliveredTo(int32(d.SubID), d.Price, d.Latency, d.Valid)
+			n.sink.DeliveredAt(int32(d.SubID), d.Price, d.Published, d.Latency, d.Valid)
 		}
 	}
 	if res.ArrivalDrops > 0 {

@@ -120,6 +120,7 @@ func (n *Node) readLoopSharded(conn net.Conn, role byte, peer *peerConn) {
 			select {
 			case n.shards[i].ch <- b:
 			case <-n.stopped:
+				n.inflight.Add(-int32(len(b.msgs)))
 				for _, m := range b.msgs {
 					m.Release()
 				}
@@ -219,8 +220,27 @@ func (n *Node) readLoopSharded(conn net.Conn, role byte, peer *peerConn) {
 				return
 			}
 			n.handleUnsubscribe(id)
+		case msg.FrameHeartbeat:
+			from, derr := msg.DecodeHeartbeat(body)
+			fb.Release()
+			// A heartbeat behind the last data frame defeats the
+			// Buffered()==0 idle-flush heuristic above: without this flush
+			// the tail batch parks in pend until the next data frame,
+			// which after a crash upstream may never come.
+			if !flush() {
+				return
+			}
+			if derr == nil {
+				// Liveness bookkeeping only — no quiescence counters, no
+				// ordering barrier: heartbeats are control-plane noise the
+				// data plane must not feel.
+				n.heartbeatReceived(from)
+			}
 		default:
 			fb.Release() // FrameAck, FrameHello: ignored
+			if !flush() {
+				return
+			}
 		}
 	}
 }

@@ -1,0 +1,88 @@
+package livenet
+
+import (
+	grt "runtime"
+	"testing"
+	"time"
+
+	"bdps/internal/core"
+	"bdps/internal/msg"
+	"bdps/internal/runtime"
+	"bdps/internal/stats"
+	"bdps/internal/topology"
+	"bdps/internal/vtime"
+	"bdps/internal/workload"
+)
+
+// soakOverlay is a minimal overlay with a repair option: primary path
+// 0-1-3, detour 0-2-3.
+func soakOverlay(t testing.TB) *topology.Overlay {
+	t.Helper()
+	g := topology.NewGraph(4)
+	for _, l := range []struct {
+		a, b msg.NodeID
+		mean float64
+	}{{0, 1, 50}, {1, 3, 50}, {0, 2, 90}, {2, 3, 90}} {
+		if err := g.AddLink(l.a, l.b, stats.Normal{Mean: l.mean, Sigma: 5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return &topology.Overlay{Graph: g, Ingress: []msg.NodeID{0}, Edges: []msg.NodeID{3}}
+}
+
+// TestRecoverySoakNoGoroutineLeak cycles whole self-healing runs — a
+// cluster with heartbeats, a mid-run broker crash, detection, repair,
+// drain, shutdown — and requires the goroutine count to return to
+// baseline after every cycle: heartbeat senders, monitors and the
+// repair goroutine must all be reaped with the cluster. Run under
+// -race in CI, this is the recovery plane's concurrency soak.
+func TestRecoverySoakNoGoroutineLeak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repeated compressed-timescale live cluster runs")
+	}
+	baseline := grt.NumGoroutine()
+	for cycle := 0; cycle < 5; cycle++ {
+		cfg := runtime.Config{
+			Seed:     uint64(cycle + 1),
+			Scenario: msg.PSD,
+			Strategy: core.MaxEB{},
+			Overlay:  soakOverlay(t),
+			Workload: workload.Config{RatePerMin: 12, Duration: 40 * vtime.Second, SubsPerEdge: 8},
+			Faults:   []runtime.Fault{runtime.BrokerCrash{ID: 1, At: 10 * vtime.Second}},
+			Recovery: runtime.Recovery{
+				Detect:            true,
+				Renegotiate:       true,
+				HeartbeatInterval: vtime.Second,
+				HeartbeatTimeout:  6 * vtime.Second,
+			},
+			// 1 emulated second per 10 wall ms: the 6 s timeout spans 60 ms
+			// of wall silence, so concurrent test packages cannot starve a
+			// monitor into a false positive.
+			TimeScale: 0.01,
+		}
+		r, err := runtime.Run(cfg, Transport{})
+		if err != nil {
+			t.Fatalf("cycle %d: %v", cycle, err)
+		}
+		// Middle 1 has two outgoing arcs; both surviving neighbors must
+		// report, and the repair must land deliveries on the detour.
+		if r.Detections < 2 {
+			t.Errorf("cycle %d: detections = %d, want ≥ 2", cycle, r.Detections)
+		}
+		if r.ReroutedPaths == 0 || r.ValidDeliveries == 0 {
+			t.Errorf("cycle %d: rerouted %d, valid %d — repair did not take",
+				cycle, r.ReroutedPaths, r.ValidDeliveries)
+		}
+
+		deadline := time.Now().Add(5 * time.Second)
+		for grt.NumGoroutine() > baseline+2 {
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<16)
+				n := grt.Stack(buf, true)
+				t.Fatalf("cycle %d: goroutines leaked: %d > baseline %d\n%s",
+					cycle, grt.NumGoroutine(), baseline, buf[:n])
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+}

@@ -32,17 +32,39 @@ func (Transport) Deploy(p *runtime.Plan) (runtime.Deployment, error) {
 	}
 	clock := runtime.NewWallClock(ts)
 	sink := runtime.Locked(p.Metrics)
-	c, err := StartCluster(ClusterConfig{
+	cc := ClusterConfig{
 		Plan:      p,
 		TimeScale: ts,
 		Clock:     clock,
 		Sink:      sink,
 		Shards:    p.Cfg.LiveShards,
-	})
+	}
+	// With recovery on, every node heartbeats its links and the monitors'
+	// liveness events funnel into one repair goroutine that owns the
+	// failure detector (started below, once the cluster exists).
+	var events chan PeerEvent
+	if p.Cfg.Recovery.Detect {
+		events = make(chan PeerEvent, 256)
+		cc.Heartbeat = HeartbeatConfig{
+			Interval: p.Cfg.Recovery.HeartbeatInterval,
+			Timeout:  p.Cfg.Recovery.HeartbeatTimeout,
+		}
+		cc.OnPeerEvent = func(ev PeerEvent) { events <- ev }
+	}
+	c, err := StartCluster(cc)
 	if err != nil {
 		return nil, err
 	}
 	d := &deployment{plan: p, cluster: c, clock: clock, ts: ts, sink: sink}
+	if events != nil {
+		d.events = events
+		d.repairDone = make(chan struct{})
+		d.faultAt = faultInstants(p)
+		det := runtime.NewFailureDetector(p, sink, func(id msg.NodeID, fn func()) {
+			c.Nodes[id].MutateTable(fn)
+		})
+		go d.repairLoop(det)
+	}
 	// One publishing client per ingress, like the workload model: the
 	// plan's publisher index i attaches to Overlay.Ingress[i].
 	for i, ingress := range p.Overlay.Ingress {
@@ -73,6 +95,61 @@ type deployment struct {
 	// churn driver lifecycle (nil when the plan has no churn).
 	churnStop chan struct{}
 	churnDone chan struct{}
+
+	// recovery lifecycle (nil when recovery is off): the liveness-event
+	// channel feeding the repair goroutine, its completion signal, and
+	// the injected-fault onsets detection latency is measured against.
+	events     chan PeerEvent
+	repairDone chan struct{}
+	faultAt    map[[2]msg.NodeID]vtime.Millis
+}
+
+// faultInstants maps each directed arc an injected fault silences to the
+// fault's onset: a broker crash silences every arc out of the dead
+// broker; a link outage silences the arc itself. Detection latency is
+// the gap between this instant and the monitor's confirmation.
+func faultInstants(p *runtime.Plan) map[[2]msg.NodeID]vtime.Millis {
+	at := make(map[[2]msg.NodeID]vtime.Millis)
+	for _, f := range p.Cfg.Faults {
+		switch f := f.(type) {
+		case runtime.BrokerCrash:
+			for _, e := range p.Overlay.Graph.Neighbors(f.ID) {
+				arc := [2]msg.NodeID{f.ID, e.To}
+				if _, ok := at[arc]; !ok {
+					at[arc] = f.At
+				}
+			}
+		case runtime.LinkDown:
+			arc := [2]msg.NodeID{f.From, f.To}
+			if _, ok := at[arc]; !ok {
+				at[arc] = f.Start
+			}
+		}
+	}
+	return at
+}
+
+// repairLoop consumes liveness events and drives the failure detector:
+// each confirmed-dead arc becomes a detection plus a topology repair,
+// each restoration moves the affected routes back. One goroutine owns
+// the detector, so repairs are serialized even when many monitors
+// confirm at once.
+func (d *deployment) repairLoop(det *runtime.FailureDetector) {
+	defer close(d.repairDone)
+	for ev := range d.events {
+		if ev.Restored {
+			det.ArcRestored(ev.Peer, ev.Observer)
+			continue
+		}
+		arc := [2]msg.NodeID{ev.Peer, ev.Observer}
+		faultAt, known := d.faultAt[arc]
+		if !known {
+			// Not an injected fault (organic silence): measure from the
+			// last probe actually heard.
+			faultAt = ev.LastHeard
+		}
+		det.ArcsDead([][2]msg.NodeID{arc}, faultAt, ev.At)
+	}
 }
 
 // Inject implements runtime.Deployment: re-anchor the clock so emulated
@@ -225,6 +302,12 @@ func (d *deployment) Close() error {
 	for _, p := range d.pubs {
 		p.Close()
 	}
+	// Stop the cluster before closing the event channel: Stop waits for
+	// every heartbeat monitor, so no OnPeerEvent send can race the close.
 	d.cluster.Stop()
+	if d.events != nil {
+		close(d.events)
+		<-d.repairDone
+	}
 	return nil
 }

@@ -30,9 +30,48 @@ type Collector struct {
 
 	latency stats.Summary // valid deliveries only, ms
 
+	// Recovery counters (self-healing control plane).
+	detections       int           // confirmed failure detections (per dead arc)
+	detectionLatency stats.Summary // fault → confirmed detection, ms
+	reroutedPaths    int           // (ingress, subscription) pairs moved to a new path
+	boundsKept       int           // renegotiation: old bound still feasible
+	boundsRelaxed    int           // renegotiation: relaxed to cheapest feasible bound
+	boundsRejected   int           // renegotiation: no feasible bound on any surviving path
+	refloodedSubs    int           // subscriptions re-flooded onto surviving routes
+
+	// Delivery timeline: targets and valid deliveries bucketed by the
+	// message's publication instant (enabled by EnableTimeline).
+	timelineBucket vtime.Millis
+	tlTargets      []int
+	tlValid        []int
+
 	// Per-subscriber accounting for fairness analysis.
 	subExpected map[int32]int
 	subValid    map[int32]int
+}
+
+// EnableTimeline arms publication-time bucketing of targets and valid
+// deliveries with the given bucket width — the delivery-rate-over-time
+// view the recovery experiments plot. Call before any accounting.
+func (c *Collector) EnableTimeline(bucket vtime.Millis) {
+	if bucket > 0 {
+		c.timelineBucket = bucket
+	}
+}
+
+// bucketAt grows (if needed) and returns the bucket index for a
+// publication instant, or -1 when the timeline is off or the instant is
+// invalid.
+func (c *Collector) bucketAt(published vtime.Millis) int {
+	if c.timelineBucket <= 0 || published < 0 {
+		return -1
+	}
+	i := int(published / c.timelineBucket)
+	for len(c.tlTargets) <= i {
+		c.tlTargets = append(c.tlTargets, 0)
+		c.tlValid = append(c.tlValid, 0)
+	}
+	return i
 }
 
 // Published records a published message and its interested-subscriber
@@ -40,6 +79,15 @@ type Collector struct {
 func (c *Collector) Published(interested int) {
 	c.published++
 	c.totalTargets += interested
+}
+
+// PublishedAt is Published with the publication instant, feeding the
+// delivery timeline when one is enabled.
+func (c *Collector) PublishedAt(interested int, at vtime.Millis) {
+	c.Published(interested)
+	if i := c.bucketAt(at); i >= 0 {
+		c.tlTargets[i] += interested
+	}
 }
 
 // PublishedTo additionally attributes the expectation to each interested
@@ -55,6 +103,15 @@ func (c *Collector) PublishedTo(interested []int32) {
 	}
 }
 
+// PublishedToAt is PublishedTo with the publication instant for the
+// delivery timeline.
+func (c *Collector) PublishedToAt(interested []int32, at vtime.Millis) {
+	c.PublishedTo(interested)
+	if i := c.bucketAt(at); i >= 0 {
+		c.tlTargets[i] += len(interested)
+	}
+}
+
 // Reception records one message received by a broker.
 func (c *Collector) Reception() { c.receptions++ }
 
@@ -67,6 +124,13 @@ func (c *Collector) Delivered(price float64, latency vtime.Millis, valid bool) {
 // DeliveredTo is Delivered with subscriber attribution (id < 0 skips the
 // per-subscriber accounting).
 func (c *Collector) DeliveredTo(subID int32, price float64, latency vtime.Millis, valid bool) {
+	c.DeliveredAt(subID, price, -1, latency, valid)
+}
+
+// DeliveredAt is DeliveredTo with the message's publication instant, so
+// valid deliveries land in the delivery timeline (published < 0 skips
+// the bucketing).
+func (c *Collector) DeliveredAt(subID int32, price float64, published, latency vtime.Millis, valid bool) {
 	if !valid {
 		c.lateDeliveries++
 		return
@@ -74,6 +138,9 @@ func (c *Collector) DeliveredTo(subID int32, price float64, latency vtime.Millis
 	c.validDeliveries++
 	c.earning += price
 	c.latency.Add(latency)
+	if i := c.bucketAt(published); i >= 0 {
+		c.tlValid[i]++
+	}
 	if subID >= 0 {
 		if c.subValid == nil {
 			c.subValid = make(map[int32]int)
@@ -95,6 +162,30 @@ func (c *Collector) DroppedOnArrival(n int) { c.dropsArrival += n }
 // DroppedCrashed counts messages lost to injected broker crashes.
 func (c *Collector) DroppedCrashed(n int) { c.dropsCrashed += n }
 
+// Detection records one confirmed failure detection (one dead directed
+// arc) and its detection latency: fault instant → confirmed-dead.
+func (c *Collector) Detection(latency vtime.Millis) {
+	c.detections++
+	c.detectionLatency.Add(latency)
+}
+
+// Rerouted counts (ingress, subscription) pairs topology repair moved
+// onto a new surviving path.
+func (c *Collector) Rerouted(n int) { c.reroutedPaths += n }
+
+// Renegotiated records the outcome counts of one repair pass's online
+// admission replay: bounds kept as-is, relaxed to the cheapest feasible
+// value, and rejected outright.
+func (c *Collector) Renegotiated(kept, relaxed, rejected int) {
+	c.boundsKept += kept
+	c.boundsRelaxed += relaxed
+	c.boundsRejected += rejected
+}
+
+// Reflooded counts subscriptions re-flooded onto surviving routes after
+// a repair.
+func (c *Collector) Reflooded(n int) { c.refloodedSubs += n }
+
 // Result freezes a collector into the run summary.
 func (c *Collector) Result() Result {
 	r := Result{
@@ -109,12 +200,31 @@ func (c *Collector) Result() Result {
 		DropsArrival:    c.dropsArrival,
 		DropsCrashed:    c.dropsCrashed,
 		Fairness:        c.fairness(),
+		Detections:      c.detections,
+		ReroutedPaths:   c.reroutedPaths,
+		BoundsKept:      c.boundsKept,
+		BoundsRelaxed:   c.boundsRelaxed,
+		BoundsRejected:  c.boundsRejected,
+		RefloodedSubs:   c.refloodedSubs,
 	}
 	if c.latency.Count() > 0 {
 		r.LatencyMeanMs = c.latency.Mean()
 		r.LatencyP50Ms = c.latency.Quantile(0.5)
 		r.LatencyP95Ms = c.latency.Quantile(0.95)
 		r.LatencyMaxMs = c.latency.Max()
+	}
+	if c.detectionLatency.Count() > 0 {
+		r.DetectionLatencyMs = c.detectionLatency.Mean()
+	}
+	if c.timelineBucket > 0 {
+		r.Timeline = make([]TimeBucket, len(c.tlTargets))
+		for i := range c.tlTargets {
+			r.Timeline[i] = TimeBucket{
+				Start:   vtime.Millis(i) * c.timelineBucket,
+				Targets: c.tlTargets[i],
+				Valid:   c.tlValid[i],
+			}
+		}
 	}
 	return r
 }
@@ -175,6 +285,35 @@ type Result struct {
 	LatencyMaxMs  float64
 
 	PeakQueue int
+
+	// Recovery counters (self-healing control plane); all zero on runs
+	// without failure detection.
+	Detections         int
+	DetectionLatencyMs float64
+	ReroutedPaths      int
+	BoundsKept         int
+	BoundsRelaxed      int
+	BoundsRejected     int
+	RefloodedSubs      int
+
+	// Timeline is the delivery-over-time histogram (publication-time
+	// buckets); nil unless the run enabled one.
+	Timeline []TimeBucket
+}
+
+// TimeBucket is one publication-time bucket of the delivery timeline.
+type TimeBucket struct {
+	Start   vtime.Millis
+	Targets int
+	Valid   int
+}
+
+// Rate is the bucket's delivery rate (0 when nothing was targeted).
+func (b TimeBucket) Rate() float64 {
+	if b.Targets == 0 {
+		return 0
+	}
+	return float64(b.Valid) / float64(b.Targets)
 }
 
 // DeliveryRate is eq. (1): Σ dsᵢ / Σ tsᵢ (0 when nothing was published).
@@ -191,11 +330,19 @@ func (r Result) MessageNumberK() float64 { return float64(r.Receptions) / 1000 }
 // EarningK is the total earning in thousands.
 func (r Result) EarningK() float64 { return r.Earning / 1000 }
 
-// String implements fmt.Stringer with the headline numbers.
+// String implements fmt.Stringer with the headline numbers. Runs that
+// detected failures append the recovery counters next to the drop
+// causes.
 func (r Result) String() string {
-	return fmt.Sprintf("%s: delivery %.1f%% earning %.1fk traffic %.1fk (drops exp=%d hopeless=%d arrival=%d)",
+	s := fmt.Sprintf("%s: delivery %.1f%% earning %.1fk traffic %.1fk (drops exp=%d hopeless=%d arrival=%d)",
 		r.Label, 100*r.DeliveryRate(), r.EarningK(), r.MessageNumberK(),
 		r.DropsExpired, r.DropsHopeless, r.DropsArrival)
+	if r.Detections > 0 {
+		s += fmt.Sprintf(" (recovery det=%d lat=%.0fms reroutes=%d kept=%d relaxed=%d rejected=%d reflood=%d)",
+			r.Detections, r.DetectionLatencyMs, r.ReroutedPaths,
+			r.BoundsKept, r.BoundsRelaxed, r.BoundsRejected, r.RefloodedSubs)
+	}
+	return s
 }
 
 // Mean averages a set of results (for multi-seed aggregation). Counts are
@@ -209,7 +356,15 @@ func Mean(rs []Result) Result {
 	n := float64(len(rs))
 	var pub, tgt, rec, valid, late, de, dh, da, dc, peak float64
 	var earn, lm, l50, l95, lmax, fair float64
+	var det, detLat, rerouted, kept, relaxed, rejected, reflooded float64
 	for _, r := range rs {
+		det += float64(r.Detections)
+		detLat += r.DetectionLatencyMs
+		rerouted += float64(r.ReroutedPaths)
+		kept += float64(r.BoundsKept)
+		relaxed += float64(r.BoundsRelaxed)
+		rejected += float64(r.BoundsRejected)
+		reflooded += float64(r.RefloodedSubs)
 		pub += float64(r.Published)
 		tgt += float64(r.TotalTargets)
 		rec += float64(r.Receptions)
@@ -244,5 +399,51 @@ func Mean(rs []Result) Result {
 	out.LatencyP50Ms = l50 / n
 	out.LatencyP95Ms = l95 / n
 	out.LatencyMaxMs = lmax / n
+	out.Detections = round(det)
+	out.DetectionLatencyMs = detLat / n
+	out.ReroutedPaths = round(rerouted)
+	out.BoundsKept = round(kept)
+	out.BoundsRelaxed = round(relaxed)
+	out.BoundsRejected = round(rejected)
+	out.RefloodedSubs = round(reflooded)
+	out.Timeline = meanTimeline(rs)
+	return out
+}
+
+// meanTimeline averages the delivery timelines of a result set bucket by
+// bucket (over the results sharing the first result's bucket count; runs
+// without a timeline contribute nothing).
+func meanTimeline(rs []Result) []TimeBucket {
+	if len(rs[0].Timeline) == 0 {
+		return nil
+	}
+	width := len(rs[0].Timeline)
+	out := make([]TimeBucket, width)
+	copy(out, rs[0].Timeline)
+	matched := 0.0
+	for i := range out {
+		out[i].Targets = 0
+		out[i].Valid = 0
+	}
+	var tgt, val []float64
+	tgt = make([]float64, width)
+	val = make([]float64, width)
+	for _, r := range rs {
+		if len(r.Timeline) != width {
+			continue
+		}
+		matched++
+		for i, b := range r.Timeline {
+			tgt[i] += float64(b.Targets)
+			val[i] += float64(b.Valid)
+		}
+	}
+	if matched == 0 {
+		return nil
+	}
+	for i := range out {
+		out[i].Targets = int(tgt[i]/matched + 0.5)
+		out[i].Valid = int(val[i]/matched + 0.5)
+	}
 	return out
 }

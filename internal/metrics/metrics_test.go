@@ -86,7 +86,8 @@ func TestMean(t *testing.T) {
 }
 
 func TestMeanEmpty(t *testing.T) {
-	if m := Mean(nil); m != (Result{}) {
+	m := Mean(nil)
+	if m.Published != 0 || m.ValidDeliveries != 0 || m.Timeline != nil || m.Label != "" {
 		t.Error("Mean(nil) should be zero Result")
 	}
 }

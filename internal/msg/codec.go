@@ -28,6 +28,7 @@ const (
 	FrameAck         = 0x03
 	FrameHello       = 0x04
 	FrameUnsubscribe = 0x05
+	FrameHeartbeat   = 0x06
 )
 
 // Hello roles: the first frame on every live-runtime connection declares
@@ -50,6 +51,22 @@ func DecodeHello(body []byte) (role byte, id NodeID, err error) {
 		return 0, 0, fmt.Errorf("%w: hello body %d bytes", ErrCorrupt, len(body))
 	}
 	return body[0], NodeID(binary.BigEndian.Uint32(body[1:])), nil
+}
+
+// AppendHeartbeat appends a heartbeat body: the sending broker's id.
+// Heartbeats are per-link liveness probes; the receiver tracks the last
+// time it heard each neighbor and declares the link dead after a
+// configurable silence.
+func AppendHeartbeat(dst []byte, id NodeID) []byte {
+	return binary.BigEndian.AppendUint32(dst, uint32(id))
+}
+
+// DecodeHeartbeat parses a heartbeat body.
+func DecodeHeartbeat(body []byte) (NodeID, error) {
+	if len(body) != 4 {
+		return 0, fmt.Errorf("%w: heartbeat body %d bytes", ErrCorrupt, len(body))
+	}
+	return NodeID(binary.BigEndian.Uint32(body)), nil
 }
 
 // AppendUnsubscribe appends an unsubscribe body: the subscription id.

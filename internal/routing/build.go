@@ -133,6 +133,14 @@ func (ins *Installer) ingress(src msg.NodeID) ([]float64, []msg.NodeID) {
 	return dist, ins.prev[src]
 }
 
+// Paths exposes the delivery path set the installer uses from one
+// ingress to an edge broker (nil when unreachable). The topology-repair
+// layer diffs these across graph mutations to find the routes a failure
+// actually moved.
+func (ins *Installer) Paths(src, edge msg.NodeID) [][]msg.NodeID {
+	return ins.paths(src, edge)
+}
+
 // paths returns the delivery path set from one ingress to an edge (one
 // cached-Dijkstra path, or K shortest paths in multipath mode); nil when
 // unreachable.

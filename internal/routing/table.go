@@ -23,6 +23,7 @@ import (
 	"bdps/internal/filter"
 	"bdps/internal/msg"
 	"bdps/internal/stats"
+	"bdps/internal/vtime"
 )
 
 // Interface conformance: messages' attribute sets satisfy the index's
@@ -42,6 +43,12 @@ type Entry struct {
 	Hops   int          // NN_p: links (= downstream brokers) remaining
 	Rate   stats.Normal // residual path per-KB time TR_p ~ N(μ_p, σ_p²)
 	PathID int          // 0 for single-path; 0..K-1 in multi-path mode
+	// Relaxed, when > 0, is a renegotiated delay-bound floor (ms)
+	// installed by topology repair: on a rerouted path where the original
+	// bound is no longer feasible, the admission math relaxes it to the
+	// cheapest feasible value, and brokers raise any applicable bound
+	// below this floor to it.
+	Relaxed vtime.Millis
 }
 
 // Local reports whether the entry delivers to a subscriber attached to

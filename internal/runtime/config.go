@@ -115,6 +115,65 @@ type Config struct {
 	// the classic single-threaded plane. The simulator ignores it
 	// (scheduling semantics are identical either way).
 	LiveShards int
+
+	// Recovery configures the self-healing control plane: failure
+	// detection, topology repair, and delay-bound renegotiation.
+	Recovery Recovery
+
+	// TimelineBucket > 0 records a delivery-rate timeline bucketed by
+	// publication instant (emulated ms per bucket) into Result.Timeline —
+	// the instrument behind the recovery ablation figures.
+	TimelineBucket vtime.Millis
+}
+
+// Recovery configures the self-healing control plane. Detection and
+// repair are one switch: a confirmed failure always triggers topology
+// repair (pruning the dead arcs, rerouting the moved subscriptions
+// through the surviving graph). Renegotiate additionally replays the
+// admission math on every rerouted path, relaxing or rejecting bounds
+// the new route cannot honor.
+type Recovery struct {
+	// Detect enables failure detection + topology repair. On the live
+	// overlay each broker probes its neighbors with heartbeat frames; the
+	// simulator schedules the equivalent detection events on virtual time.
+	Detect bool
+
+	// HeartbeatInterval is the per-link probe period in emulated ms
+	// (default 500). The live overlay scales it by TimeScale.
+	HeartbeatInterval vtime.Millis
+
+	// HeartbeatTimeout is the silence after which a link is declared dead
+	// (default 4× the interval).
+	HeartbeatTimeout vtime.Millis
+
+	// Renegotiate enables online delay-bound renegotiation on rerouted
+	// paths (requires Detect).
+	Renegotiate bool
+
+	// SuccessTarget is the delivery probability a kept bound must retain
+	// on the new path (default 0.5 — the mean-rate feasibility of the
+	// paper's admission rule).
+	SuccessTarget float64
+
+	// MaxRelaxFactor caps how far a bound may be relaxed: a renegotiated
+	// bound above MaxRelaxFactor × the original is rejected instead
+	// (default 3).
+	MaxRelaxFactor float64
+}
+
+func (r *Recovery) setDefaults() {
+	if r.HeartbeatInterval <= 0 {
+		r.HeartbeatInterval = 500
+	}
+	if r.HeartbeatTimeout <= 0 {
+		r.HeartbeatTimeout = 4 * r.HeartbeatInterval
+	}
+	if r.SuccessTarget <= 0 {
+		r.SuccessTarget = 0.5
+	}
+	if r.MaxRelaxFactor <= 0 {
+		r.MaxRelaxFactor = 3
+	}
 }
 
 // Fault is an injected failure. The concrete types are LinkDown and
@@ -152,6 +211,9 @@ func (c *Config) setDefaults() error {
 	if c.MinRate == 0 {
 		c.MinRate = 1
 	}
+	// Recovery defaults are filled unconditionally so a Config's cache
+	// identity is stable whether or not recovery is enabled.
+	c.Recovery.setDefaults()
 	c.Workload.Scenario = c.Scenario
 	if c.Workload.Seed == 0 {
 		c.Workload.Seed = c.Seed

@@ -10,6 +10,7 @@ import (
 	"bdps/internal/routing"
 	"bdps/internal/stats"
 	"bdps/internal/topology"
+	"bdps/internal/vtime"
 	"bdps/internal/workload"
 )
 
@@ -92,6 +93,9 @@ func NewPlan(cfg Config) (*Plan, error) {
 		Overlay: ov,
 		Brokers: make(map[msg.NodeID]*broker.Broker),
 		Metrics: &metrics.Collector{},
+	}
+	if cfg.TimelineBucket > 0 {
+		p.Metrics.EnableTimeline(cfg.TimelineBucket)
 	}
 	if cfg.Subscriptions != nil {
 		p.Subs = cfg.Subscriptions
@@ -201,26 +205,86 @@ func NewPlan(cfg Config) (*Plan, error) {
 }
 
 // validateFaults rejects faults that reference nonexistent overlay
-// elements or inverted windows, uniformly for every backend.
+// elements, have degenerate windows, fall past the run horizon, or
+// overlap on the same link — uniformly for every backend — and then
+// sorts the fault list into a deterministic order (by time, then kind,
+// then ids) so backends arm faults identically regardless of how the
+// caller listed them.
 func (p *Plan) validateFaults() error {
+	// The run horizon: the last instant any publication can still matter.
+	horizon := p.Cfg.Workload.Duration + p.Cfg.Workload.PSDDelayHi
+	for _, dl := range p.Cfg.Workload.SSDDeadlines {
+		if p.Cfg.Workload.Duration+dl > horizon {
+			horizon = p.Cfg.Workload.Duration + dl
+		}
+	}
+	type window struct{ start, end vtime.Millis }
+	outages := make(map[[2]msg.NodeID][]window)
 	for _, f := range p.Cfg.Faults {
 		switch f := f.(type) {
 		case LinkDown:
 			if _, ok := p.Overlay.Graph.Rate(f.From, f.To); !ok {
 				return fmt.Errorf("runtime: LinkDown on missing arc %d->%d", f.From, f.To)
 			}
-			if f.End < f.Start {
-				return fmt.Errorf("runtime: LinkDown window [%v,%v) inverted", f.Start, f.End)
+			if f.End <= f.Start {
+				return fmt.Errorf("runtime: LinkDown window [%v,%v) has non-positive duration", f.Start, f.End)
 			}
+			if f.Start > horizon {
+				return fmt.Errorf("runtime: LinkDown at %v starts past the run horizon %v", f.Start, horizon)
+			}
+			outages[[2]msg.NodeID{f.From, f.To}] = append(outages[[2]msg.NodeID{f.From, f.To}], window{f.Start, f.End})
 		case BrokerCrash:
 			if _, ok := p.Brokers[f.ID]; !ok {
 				return fmt.Errorf("runtime: BrokerCrash on unknown broker %d", f.ID)
+			}
+			if f.At > horizon {
+				return fmt.Errorf("runtime: BrokerCrash at %v falls past the run horizon %v", f.At, horizon)
 			}
 		default:
 			return fmt.Errorf("runtime: unknown fault type %T", f)
 		}
 	}
+	for arc, ws := range outages {
+		sort.Slice(ws, func(i, j int) bool { return ws[i].start < ws[j].start })
+		for i := 1; i < len(ws); i++ {
+			if ws[i].start < ws[i-1].end {
+				return fmt.Errorf("runtime: overlapping LinkDown windows on arc %d->%d ([%v,%v) and [%v,%v))",
+					arc[0], arc[1], ws[i-1].start, ws[i-1].end, ws[i].start, ws[i].end)
+			}
+		}
+	}
+	sort.SliceStable(p.Cfg.Faults, func(i, j int) bool {
+		return faultLess(p.Cfg.Faults[i], p.Cfg.Faults[j])
+	})
 	return nil
+}
+
+// faultKey flattens a fault into sortable fields: onset time, kind
+// (crashes before link outages at the same instant), then ids.
+func faultKey(f Fault) (at vtime.Millis, kind int, a, b msg.NodeID) {
+	switch f := f.(type) {
+	case BrokerCrash:
+		return f.At, 0, f.ID, 0
+	case LinkDown:
+		return f.Start, 1, f.From, f.To
+	}
+	return 0, 2, 0, 0
+}
+
+// faultLess is the deterministic fault order shared by both backends.
+func faultLess(x, y Fault) bool {
+	xa, xk, x1, x2 := faultKey(x)
+	ya, yk, y1, y2 := faultKey(y)
+	if xa != ya {
+		return xa < ya
+	}
+	if xk != yk {
+		return xk < yk
+	}
+	if x1 != y1 {
+		return x1 < y1
+	}
+	return x2 < y2
 }
 
 // Sampler builds the plan's rate sampler for one link.
@@ -289,7 +353,7 @@ func (p *Plan) accountOne(m *msg.Message, churners map[msg.SubID]*msg.Subscripti
 				interested = append(interested, int32(s.ID))
 			}
 		}
-		p.Metrics.PublishedTo(interested)
+		p.Metrics.PublishedToAt(interested, m.Published)
 		return
 	}
 	n := workload.Interested(p.Subs, m)
@@ -298,5 +362,5 @@ func (p *Plan) accountOne(m *msg.Message, churners map[msg.SubID]*msg.Subscripti
 			n++
 		}
 	}
-	p.Metrics.Published(n)
+	p.Metrics.PublishedAt(n, m.Published)
 }

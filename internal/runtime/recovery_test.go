@@ -1,0 +1,344 @@
+package runtime_test
+
+import (
+	"math"
+	"testing"
+
+	"bdps/internal/core"
+	"bdps/internal/livenet"
+	"bdps/internal/msg"
+	"bdps/internal/runtime"
+	"bdps/internal/simnet"
+	"bdps/internal/stats"
+	"bdps/internal/topology"
+	"bdps/internal/vtime"
+	"bdps/internal/workload"
+)
+
+// recoveryOverlay is the kill-half topology: two ingress brokers, four
+// middle brokers, two edge brokers, fully bipartite between layers. The
+// two links of middle m share one mean, and middle 2 is strictly
+// fastest, so every initial delivery path runs through it — killing
+// middles 2 and 4 (half the relay layer) both severs every route in use
+// and leaves middle 3 as the unambiguous repair target.
+//
+//	0 ─┬─ 2(40) ─┬─ 6
+//	   ├─ 3(60) ─┤
+//	   ├─ 4(80) ─┤
+//	1 ─┴─ 5(100)─┴─ 7
+func recoveryOverlay(t testing.TB) *topology.Overlay {
+	t.Helper()
+	g := topology.NewGraph(8)
+	for _, mid := range []struct {
+		id   msg.NodeID
+		mean float64
+	}{{2, 40}, {3, 60}, {4, 80}, {5, 100}} {
+		for _, peer := range []msg.NodeID{0, 1, 6, 7} {
+			if err := g.AddLink(peer, mid.id, stats.Normal{Mean: mid.mean, Sigma: 5}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return &topology.Overlay{
+		Graph:   g,
+		Ingress: []msg.NodeID{0, 1},
+		Edges:   []msg.NodeID{6, 7},
+	}
+}
+
+// recoveryConfig is the shared kill-half run: a 2-minute window with a
+// 30 s delivery timeline, and the self-healing control plane fully on.
+// The 6 s heartbeat timeout is generous so a compressed live run never
+// false-positives under scheduler jitter; live runs additionally raise
+// TimeScale to liveRecoveryTimeScale so the timeout spans 120 ms of
+// wall silence even when other test packages saturate the machine.
+func recoveryConfig(t testing.TB) runtime.Config {
+	return runtime.Config{
+		Seed:     1,
+		Scenario: msg.PSD,
+		Strategy: core.MaxEB{},
+		Overlay:  recoveryOverlay(t),
+		Workload: workload.Config{RatePerMin: 6, Duration: 2 * vtime.Minute},
+		Recovery: runtime.Recovery{
+			Detect:            true,
+			Renegotiate:       true,
+			HeartbeatInterval: vtime.Second,
+			HeartbeatTimeout:  6 * vtime.Second,
+		},
+		TimelineBucket: 30 * vtime.Second,
+		TimeScale:      0.005,
+	}
+}
+
+// liveRecoveryTimeScale slows live recovery runs to 1 emulated second
+// per 20 wall ms: a monitor only false-positives if its node is starved
+// for 120 ms straight, which even a fully loaded test machine does not
+// do. The sim ignores TimeScale, so the cross-validated counters are
+// unaffected.
+const liveRecoveryTimeScale = 0.02
+
+// killHalf crashes middles 2 and 4 at 30 s.
+func killHalf() []runtime.Fault {
+	return []runtime.Fault{
+		runtime.BrokerCrash{ID: 2, At: 30 * vtime.Second},
+		runtime.BrokerCrash{ID: 4, At: 30 * vtime.Second},
+	}
+}
+
+// postRecoveryBuckets returns the timeline indices whose publications
+// all route after detection has fired and repair has settled (the crash
+// is at 30 s, detection at 36 s: buckets 2 and 3 of a 30 s timeline).
+func postRecoveryBuckets(t *testing.T, r *runtime.Result) []int {
+	t.Helper()
+	if len(r.Timeline) < 4 {
+		t.Fatalf("timeline has %d buckets, want ≥ 4 over the 2-minute window", len(r.Timeline))
+	}
+	return []int{2, 3}
+}
+
+// TestSimKillHalfRecovery is the deterministic half of the tentpole
+// proof: on the simulator, killing half the relay layer with the
+// self-healing plane on must detect every severed arc, reroute every
+// subscription, and bring post-recovery delivery back to within ε of
+// the quiet baseline — while the same crashes with the plane off
+// flatline delivery.
+func TestSimKillHalfRecovery(t *testing.T) {
+	quietCfg := recoveryConfig(t)
+	quiet, err := runtime.Run(quietCfg, simnet.Transport{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	downCfg := recoveryConfig(t)
+	downCfg.Faults = killHalf()
+	downCfg.Recovery = runtime.Recovery{} // detection off: faults stay wounds
+	down, err := runtime.Run(downCfg, simnet.Transport{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	recCfg := recoveryConfig(t)
+	recCfg.Faults = killHalf()
+	rec, err := runtime.Run(recCfg, simnet.Transport{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Each dead middle has 4 outgoing arcs; detection is arc-granular on
+	// both backends, so the count is exact, and on virtual time the
+	// latency is exactly the heartbeat timeout.
+	if rec.Detections != 8 {
+		t.Errorf("detections = %d, want 8 (4 arcs per killed middle)", rec.Detections)
+	}
+	if rec.DetectionLatencyMs != 6000 {
+		t.Errorf("detection latency = %.0f ms, want exactly the 6000 ms timeout", rec.DetectionLatencyMs)
+	}
+	const subs = 2 * 10 // two edges × the workload default SubsPerEdge
+	// Every subscription reroutes once per ingress (middle 2 carried all
+	// paths); the repaired path via middle 3 (≈6 s for 50 KB) honors the
+	// 10 s PSD floor, so every bound is kept.
+	if rec.ReroutedPaths != 2*subs {
+		t.Errorf("rerouted paths = %d, want %d (every sub × every ingress)", rec.ReroutedPaths, 2*subs)
+	}
+	if rec.BoundsKept != 2*subs || rec.BoundsRelaxed != 0 || rec.BoundsRejected != 0 {
+		t.Errorf("renegotiation = %d/%d/%d kept/relaxed/rejected, want %d/0/0",
+			rec.BoundsKept, rec.BoundsRelaxed, rec.BoundsRejected, 2*subs)
+	}
+	if rec.RefloodedSubs != subs {
+		t.Errorf("reflooded subs = %d, want %d", rec.RefloodedSubs, subs)
+	}
+	if down.Detections != 0 || down.ReroutedPaths != 0 {
+		t.Errorf("recovery-off run healed itself: %d detections, %d reroutes",
+			down.Detections, down.ReroutedPaths)
+	}
+	if rec.ValidDeliveries <= down.ValidDeliveries {
+		t.Errorf("recovery should restore deliveries: %d with vs %d without",
+			rec.ValidDeliveries, down.ValidDeliveries)
+	}
+
+	// The timeline buckets publications by publish instant, so bucket
+	// boundaries and targets are identical across the three runs.
+	if len(rec.Timeline) != len(quiet.Timeline) || len(down.Timeline) != len(quiet.Timeline) {
+		t.Fatalf("timeline lengths diverged: quiet %d, down %d, rec %d",
+			len(quiet.Timeline), len(down.Timeline), len(rec.Timeline))
+	}
+	for _, i := range postRecoveryBuckets(t, &rec) {
+		q, d, r := quiet.Timeline[i].Rate(), down.Timeline[i].Rate(), rec.Timeline[i].Rate()
+		// Without repair every route runs through dead middle 2: nothing
+		// published after the crash can deliver.
+		if d != 0 {
+			t.Errorf("bucket %d: recovery-off delivery = %.3f, want 0 (all paths severed)", i, d)
+		}
+		// With repair, post-recovery delivery is within ε of the healthy run.
+		if diff := math.Abs(r - q); diff > 0.15 {
+			t.Errorf("bucket %d: recovered rate %.3f vs quiet %.3f (|Δ| = %.3f > 0.15)", i, r, q, diff)
+		}
+	}
+}
+
+// TestRecoveryCrossValidationKillHalf is the backend-agnostic half of
+// the proof: the same kill-half config on the live TCP overlay — real
+// heartbeat frames, real monitor timeouts, repairs racing live traffic —
+// must agree with the simulator on what was detected, what was
+// rerouted, how renegotiation ruled, and where delivery lands after
+// recovery.
+func TestRecoveryCrossValidationKillHalf(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compressed-timescale live cluster run")
+	}
+	quietCfg := recoveryConfig(t)
+	quiet, err := runtime.Run(quietCfg, simnet.Transport{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	simCfg := recoveryConfig(t)
+	simCfg.Overlay = quietCfg.Overlay
+	simCfg.Faults = killHalf()
+	sim, err := runtime.Run(simCfg, simnet.Transport{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	liveCfg := recoveryConfig(t)
+	liveCfg.Overlay = quietCfg.Overlay
+	liveCfg.Faults = killHalf()
+	liveCfg.TimeScale = liveRecoveryTimeScale
+	live, err := runtime.Run(liveCfg, livenet.Transport{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Detection is arc-granular on both backends: the simulator schedules
+	// the batch, the live overlay collects one report per surviving
+	// monitor — the counts must agree exactly.
+	if sim.Detections != 8 || live.Detections != 8 {
+		t.Errorf("detections diverged: sim %d, live %d, want 8 each", sim.Detections, live.Detections)
+	}
+	// Live detection latency is measured against the injected fault
+	// instant; it can only exceed the emulated timeout (by jitter ×
+	// 1/TimeScale), never undercut it.
+	if live.DetectionLatencyMs < 5000 || live.DetectionLatencyMs > 60000 {
+		t.Errorf("live detection latency = %.0f ms, want ≈ the 6000 ms timeout", live.DetectionLatencyMs)
+	}
+	// Repair and renegotiation walk the same plan state on both backends;
+	// the live overlay repairs arc by arc but each route still moves
+	// exactly once, so the totals match.
+	if sim.ReroutedPaths != live.ReroutedPaths {
+		t.Errorf("rerouted paths diverged: sim %d, live %d", sim.ReroutedPaths, live.ReroutedPaths)
+	}
+	if sim.BoundsKept != live.BoundsKept || sim.BoundsRelaxed != live.BoundsRelaxed ||
+		sim.BoundsRejected != live.BoundsRejected {
+		t.Errorf("renegotiation diverged: sim %d/%d/%d, live %d/%d/%d (kept/relaxed/rejected)",
+			sim.BoundsKept, sim.BoundsRelaxed, sim.BoundsRejected,
+			live.BoundsKept, live.BoundsRelaxed, live.BoundsRejected)
+	}
+	if sim.RefloodedSubs != live.RefloodedSubs {
+		t.Errorf("reflooded subs diverged: sim %d, live %d", sim.RefloodedSubs, live.RefloodedSubs)
+	}
+
+	// Workload identity: same plan, same publications, same targets.
+	if sim.Published != live.Published || sim.TotalTargets != live.TotalTargets {
+		t.Errorf("workload diverged: sim %d/%d, live %d/%d (published/targets)",
+			sim.Published, sim.TotalTargets, live.Published, live.TotalTargets)
+	}
+	if d := math.Abs(sim.DeliveryRate() - live.DeliveryRate()); d > 0.15 {
+		t.Errorf("delivery rates diverged by %.3f: sim %.3f, live %.3f",
+			d, sim.DeliveryRate(), live.DeliveryRate())
+	}
+
+	// Post-recovery delivery returns to within ε of the quiet baseline on
+	// BOTH backends. Timeline buckets key on publication instants, so the
+	// same buckets (and targets) exist everywhere.
+	if len(live.Timeline) != len(quiet.Timeline) {
+		t.Fatalf("timeline lengths diverged: quiet %d, live %d", len(quiet.Timeline), len(live.Timeline))
+	}
+	for _, i := range postRecoveryBuckets(t, &sim) {
+		if quiet.Timeline[i].Targets != live.Timeline[i].Targets {
+			t.Errorf("bucket %d targets diverged: quiet %d, live %d",
+				i, quiet.Timeline[i].Targets, live.Timeline[i].Targets)
+		}
+		q := quiet.Timeline[i].Rate()
+		for name, r := range map[string]float64{
+			"sim": sim.Timeline[i].Rate(), "live": live.Timeline[i].Rate(),
+		} {
+			if diff := math.Abs(r - q); diff > 0.15 {
+				t.Errorf("bucket %d: %s recovered rate %.3f vs quiet %.3f (|Δ| = %.3f > 0.15)",
+					i, name, r, q, diff)
+			}
+		}
+	}
+}
+
+// TestLiveLinkDownRecoveryViaRuntime is the transient-fault symmetric of
+// TestLiveBrokerCrashViaRuntime: a 50 s one-way outage on the busiest
+// link must be detected by the downstream monitor, rerouted around, and
+// — once heartbeats flow again — routed back, with the recovered run
+// delivering strictly more than the same outage without recovery.
+func TestLiveLinkDownRecoveryViaRuntime(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compressed-timescale live cluster run")
+	}
+	outage := []runtime.Fault{
+		runtime.LinkDown{From: 2, To: 6, Start: 30 * vtime.Second, End: 80 * vtime.Second},
+	}
+
+	// Reference counters from the simulator: one detection; the edge-6
+	// subscriptions reroute out (via middle 3) and back (restore), so
+	// every counter tallies both repairs.
+	simCfg := recoveryConfig(t)
+	simCfg.Faults = outage
+	sim, err := runtime.Run(simCfg, simnet.Transport{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	subsPerEdge := 10 // workload default
+	if sim.Detections != 1 {
+		t.Errorf("sim detections = %d, want 1 (one silenced arc)", sim.Detections)
+	}
+	if sim.ReroutedPaths != 2*2*subsPerEdge {
+		t.Errorf("sim rerouted = %d, want %d (out and back, per ingress, per edge-6 sub)",
+			sim.ReroutedPaths, 2*2*subsPerEdge)
+	}
+	if sim.RefloodedSubs != 2*subsPerEdge {
+		t.Errorf("sim reflooded = %d, want %d", sim.RefloodedSubs, 2*subsPerEdge)
+	}
+
+	norecCfg := recoveryConfig(t)
+	norecCfg.Overlay = simCfg.Overlay
+	norecCfg.Faults = outage
+	norecCfg.Recovery = runtime.Recovery{}
+	norecCfg.TimeScale = liveRecoveryTimeScale // same compression as the recovered run below
+	norec, err := runtime.Run(norecCfg, livenet.Transport{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	recCfg := recoveryConfig(t)
+	recCfg.Overlay = simCfg.Overlay
+	recCfg.Faults = outage
+	recCfg.TimeScale = liveRecoveryTimeScale
+	rec, err := runtime.Run(recCfg, livenet.Transport{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if rec.Detections != sim.Detections {
+		t.Errorf("live detections = %d, sim %d", rec.Detections, sim.Detections)
+	}
+	// The out-and-back repair totals match the simulator's.
+	if rec.ReroutedPaths != sim.ReroutedPaths || rec.RefloodedSubs != sim.RefloodedSubs {
+		t.Errorf("live repair diverged: rerouted %d reflooded %d, sim %d and %d",
+			rec.ReroutedPaths, rec.RefloodedSubs, sim.ReroutedPaths, sim.RefloodedSubs)
+	}
+	if rec.ValidDeliveries == 0 {
+		t.Fatal("recovered live run delivered nothing")
+	}
+	// Without recovery, everything published for edge 6 during the outage
+	// queues behind the dead link and arrives tens of seconds late —
+	// far past every PSD bound. With recovery it detours and stays valid.
+	if rec.ValidDeliveries <= norec.ValidDeliveries {
+		t.Errorf("recovery should rescue outage-window deliveries: %d with vs %d without",
+			rec.ValidDeliveries, norec.ValidDeliveries)
+	}
+}

@@ -1,0 +1,70 @@
+package runtime
+
+import (
+	"bdps/internal/msg"
+	"bdps/internal/stats"
+	"bdps/internal/vtime"
+)
+
+// Renegotiation outcome for one rerouted delivery path.
+type renegotiation uint8
+
+const (
+	boundKept renegotiation = iota
+	boundRelaxed
+	boundRejected
+)
+
+// renegotiateBound replays the paper's admission math for one delay
+// bound on a rerouted path. The path delivers in links·PD + SizeKB·TR
+// where TR ~ rate is the summed per-KB distribution of the new path's
+// links; the bound is feasible if the delivery-time distribution meets
+// it with probability ≥ successTarget.
+//
+//   - feasible: keep the bound (relaxed floor 0);
+//   - infeasible but the cheapest feasible bound is within
+//     maxRelaxFactor × the original: relax to it (returned as the floor
+//     the brokers install);
+//   - otherwise: reject the path.
+//
+// A non-positive bound means no bound applies and is trivially kept.
+func renegotiateBound(bound vtime.Millis, links int, rate stats.Normal, sizeKB float64, pd vtime.Millis, successTarget, maxRelaxFactor float64) (vtime.Millis, renegotiation) {
+	if bound <= 0 || sizeKB <= 0 {
+		return 0, boundKept
+	}
+	slack := (float64(bound) - float64(links)*float64(pd)) / sizeKB
+	if rate.CDF(slack) >= successTarget {
+		return 0, boundKept
+	}
+	q := rate.Quantile(successTarget)
+	relaxed := vtime.Millis(float64(links)*float64(pd) + q*sizeKB)
+	if float64(relaxed) <= maxRelaxFactor*float64(bound) {
+		return relaxed, boundRelaxed
+	}
+	return 0, boundRejected
+}
+
+// applicableBound returns the strictest delay bound renegotiation must
+// honor for one subscription under the run's scenario: the tightest
+// publisher-specifiable bound in PSD, the subscriber's deadline in SSD,
+// and the stricter of the two when both apply. 0 means unbounded.
+func (p *Plan) applicableBound(sub *msg.Subscription) vtime.Millis {
+	pub := p.Cfg.Workload.PSDDelayLo
+	switch p.Cfg.Scenario {
+	case msg.PSD:
+		return pub
+	case msg.SSD:
+		return sub.Deadline
+	default:
+		switch {
+		case pub <= 0:
+			return sub.Deadline
+		case sub.Deadline <= 0:
+			return pub
+		case pub < sub.Deadline:
+			return pub
+		default:
+			return sub.Deadline
+		}
+	}
+}

@@ -13,10 +13,20 @@ import (
 type Sink interface {
 	Reception()
 	DeliveredTo(subID int32, price float64, latency vtime.Millis, valid bool)
+	// DeliveredAt is DeliveredTo with the message's publication instant,
+	// feeding the delivery-rate timeline; published < 0 skips the timeline.
+	DeliveredAt(subID int32, price float64, published, latency vtime.Millis, valid bool)
 	DroppedExpired(n int)
 	DroppedHopeless(n int)
 	DroppedOnArrival(n int)
 	DroppedCrashed(n int)
+
+	// Recovery accounting, fed by the failure detector and topology
+	// repairer on both backends.
+	Detection(latency vtime.Millis)
+	Rerouted(n int)
+	Renegotiated(kept, relaxed, rejected int)
+	Reflooded(n int)
 }
 
 // LockedSink serializes a Sink for concurrent backends. The simulator
@@ -65,4 +75,34 @@ func (l *LockedSink) DroppedCrashed(n int) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.s.DroppedCrashed(n)
+}
+
+func (l *LockedSink) DeliveredAt(subID int32, price float64, published, latency vtime.Millis, valid bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.s.DeliveredAt(subID, price, published, latency, valid)
+}
+
+func (l *LockedSink) Detection(latency vtime.Millis) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.s.Detection(latency)
+}
+
+func (l *LockedSink) Rerouted(n int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.s.Rerouted(n)
+}
+
+func (l *LockedSink) Renegotiated(kept, relaxed, rejected int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.s.Renegotiated(kept, relaxed, rejected)
+}
+
+func (l *LockedSink) Reflooded(n int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.s.Reflooded(n)
 }

@@ -151,6 +151,16 @@ func deploy(p *runtime.Plan) (*Network, error) {
 	}
 
 	// Faults are validated by the plan; here they only become events.
+	// With recovery enabled, each fault also schedules the detection
+	// event a live heartbeat monitor would produce: confirmation exactly
+	// HeartbeatTimeout after the fault struck, one detection per directed
+	// arc silenced — which is what the per-neighbor monitors of the live
+	// overlay observe, so the two backends account detections identically.
+	var det *runtime.FailureDetector
+	if p.Cfg.Recovery.Detect {
+		det = runtime.NewFailureDetector(p, n.Collector, nil)
+	}
+	rec := p.Cfg.Recovery
 	for _, f := range p.Cfg.Faults {
 		switch f := f.(type) {
 		case LinkDown:
@@ -160,8 +170,28 @@ func deploy(p *runtime.Plan) (*Network, error) {
 				l.down = false
 				n.kick(f.From, f.To)
 			})
+			if det != nil && f.End > f.Start+rec.HeartbeatTimeout {
+				// Outages shorter than the timeout never reach the dead
+				// state — the monitor sees a heartbeat again in time.
+				arc := [2]msg.NodeID{f.From, f.To}
+				n.Engine.At(f.Start+rec.HeartbeatTimeout, func() {
+					det.ArcsDead([][2]msg.NodeID{arc}, f.Start, f.Start+rec.HeartbeatTimeout)
+				})
+				n.Engine.At(f.End+rec.HeartbeatInterval, func() {
+					det.ArcRestored(f.From, f.To)
+				})
+			}
 		case BrokerCrash:
 			n.Engine.At(f.At, func() { n.dead[f.ID] = true })
+			if det != nil {
+				arcs := make([][2]msg.NodeID, 0, len(p.Overlay.Graph.Neighbors(f.ID)))
+				for _, e := range p.Overlay.Graph.Neighbors(f.ID) {
+					arcs = append(arcs, [2]msg.NodeID{f.ID, e.To})
+				}
+				n.Engine.At(f.At+rec.HeartbeatTimeout, func() {
+					det.ArcsDead(arcs, f.At, f.At+rec.HeartbeatTimeout)
+				})
+			}
 		}
 	}
 	return n, nil
@@ -288,7 +318,7 @@ func (n *Network) process(m *msg.Message, at msg.NodeID) {
 	b := n.Brokers[at]
 	res := b.Process(m, n.Engine.Now())
 	for _, d := range res.Deliveries {
-		n.Collector.DeliveredTo(int32(d.SubID), d.Price, d.Latency, d.Valid)
+		n.Collector.DeliveredAt(int32(d.SubID), d.Price, d.Published, d.Latency, d.Valid)
 		n.tracer.Emit(trace.Event{T: n.Engine.Now(), Kind: trace.Deliver,
 			MsgID: uint64(m.ID), Broker: int32(at), Peer: int32(d.SubID)})
 	}

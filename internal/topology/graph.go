@@ -68,6 +68,36 @@ func (g *Graph) AddLink(a, b msg.NodeID, rate stats.Normal) error {
 	return g.AddArc(b, a, rate)
 }
 
+// RemoveArc deletes the directed link a→b, reporting whether it existed.
+// The topology-repair layer prunes confirmed-dead arcs with it; removing
+// a missing arc is a no-op so repair events stay idempotent.
+func (g *Graph) RemoveArc(a, b msg.NodeID) bool {
+	if !g.valid(a) {
+		return false
+	}
+	for i := range g.adj[a] {
+		if g.adj[a][i].To == b {
+			g.adj[a] = append(g.adj[a][:i], g.adj[a][i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy of the graph. Repair works on a clone so the
+// original deployment topology stays intact as the ground truth to
+// restore recovered links from.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{adj: make([][]Edge, len(g.adj))}
+	for i, edges := range g.adj {
+		if len(edges) == 0 {
+			continue
+		}
+		c.adj[i] = append(make([]Edge, 0, len(edges)), edges...)
+	}
+	return c
+}
+
 // Neighbors returns the outgoing edges of a in insertion order. The slice
 // is shared; callers must not mutate it.
 func (g *Graph) Neighbors(a msg.NodeID) []Edge {
