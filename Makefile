@@ -24,11 +24,14 @@ verify: build vet test
 #   4. the churn benches on a clock budget, so the churn-while-matching
 #      run sustains its background flood long enough to mean something;
 #   5. the recovery benches: time from confirmed-dead arc to repaired
-#      routing (detour reroute, and a full layered-topology repair).
+#      routing (detour reroute, and a full layered-topology repair);
+#   6. the reliable-channel benches: retransmit-buffer cycle/eviction and
+#      receiver dedup/reorder healing — the per-frame tax a lossy link pays.
 bench:
-	$(GO) test -json -run '^$$' -bench '^Benchmark(Figure|Ablation|Filter|Normal|Pick|Queue|Table|Routing|Topology|Dijkstra|Codec|Sim)' -benchmem -benchtime 100x . > BENCH_pr6.json
-	$(GO) test -json -run '^$$' -bench BenchmarkLiveThroughput -benchmem -benchtime 20000x . >> BENCH_pr6.json
-	$(GO) test -json -run '^$$' -bench '^BenchmarkIndexBuild$$' -benchmem -benchtime 1x . >> BENCH_pr6.json
-	$(GO) test -json -run '^$$' -bench '^BenchmarkChurn' -benchmem -benchtime 2s . >> BENCH_pr6.json
-	$(GO) test -json -run '^$$' -bench '^BenchmarkRecovery' -benchmem -benchtime 100x ./internal/runtime/ >> BENCH_pr6.json
-	@grep -o '"Output":"Benchmark[^"]*ns/op[^"]*"' BENCH_pr6.json | head -80 || true
+	$(GO) test -json -run '^$$' -bench '^Benchmark(Figure|Ablation|Filter|Normal|Pick|Queue|Table|Routing|Topology|Dijkstra|Codec|Sim)' -benchmem -benchtime 100x . > BENCH_pr7.json
+	$(GO) test -json -run '^$$' -bench BenchmarkLiveThroughput -benchmem -benchtime 20000x . >> BENCH_pr7.json
+	$(GO) test -json -run '^$$' -bench '^BenchmarkIndexBuild$$' -benchmem -benchtime 1x . >> BENCH_pr7.json
+	$(GO) test -json -run '^$$' -bench '^BenchmarkChurn' -benchmem -benchtime 2s . >> BENCH_pr7.json
+	$(GO) test -json -run '^$$' -bench '^BenchmarkRecovery' -benchmem -benchtime 100x ./internal/runtime/ >> BENCH_pr7.json
+	$(GO) test -json -run '^$$' -bench '^BenchmarkRetransmit$$' -benchmem -benchtime 10000x ./internal/livenet/ >> BENCH_pr7.json
+	@grep -o '"Output":"Benchmark[^"]*ns/op[^"]*"' BENCH_pr7.json | head -80 || true

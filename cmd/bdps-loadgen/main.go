@@ -17,6 +17,16 @@
 //
 //	bdps-loadgen -n 50000 -kill-broker 1 -kill-at 200ms -heartbeat-interval 50ms
 //	bdps-loadgen -n 50000 -link-down 1:2:200ms:400ms -heartbeat-interval 50ms
+//
+// Loss flags arm the per-link adversary on every arc — the same
+// deterministic loss/dup/reorder model the simulator and the crossval
+// tests use — so the reliable channel (retransmission, dedup, FIFO
+// healing) is exercised at full data-plane rate:
+//
+//	bdps-loadgen -n 50000 -link-loss 0.1 -link-dup 0.02 -link-reorder 0.05
+//
+// All fault offsets must land inside -duration, the wall-time horizon by
+// which the run must quiesce; conflicting flags fail fast at parse time.
 package main
 
 import (
@@ -36,6 +46,7 @@ import (
 	"bdps/internal/filter"
 	"bdps/internal/livenet"
 	"bdps/internal/msg"
+	"bdps/internal/runtime"
 	"bdps/internal/stats"
 	"bdps/internal/topology"
 	"bdps/internal/vtime"
@@ -59,6 +70,11 @@ func main() {
 		linkDown   = flag.String("link-down", "", "transient link outage from:to:start:end in wall time, e.g. 1:2:200ms:400ms")
 		hbInterval = flag.Duration("heartbeat-interval", 0, "wall-time heartbeat period for failure detection (0 = off unless a fault is injected, then 100ms)")
 		hbTimeout  = flag.Duration("heartbeat-timeout", 0, "wall-time silence before a link is declared dead (0 = 4x interval)")
+
+		linkLoss    = flag.Float64("link-loss", 0, "per-frame loss probability on every link (deterministic adversary)")
+		linkDup     = flag.Float64("link-dup", 0, "per-frame duplication probability on every link")
+		linkReorder = flag.Float64("link-reorder", 0, "per-frame reorder (adjacent swap) probability on every link")
+		duration    = flag.Duration("duration", 5*time.Minute, "run horizon: the cluster must drain within this wall time, and every fault offset must land inside it")
 	)
 	flag.Parse()
 	cfg := loadCfg{
@@ -67,6 +83,16 @@ func main() {
 		churn:      *churn,
 		killBroker: *killBroker, killAt: *killAt, linkDown: *linkDown,
 		hbInterval: *hbInterval, hbTimeout: *hbTimeout,
+		linkLoss: *linkLoss, linkDup: *linkDup, linkReorder: *linkReorder,
+		duration: *duration,
+	}
+	// Horizon conflicts are flag errors, not drain timeouts: a fault
+	// scheduled beyond -duration could never strike before the drain
+	// deadline declared the run wedged, so refuse it up front.
+	if err := cfg.validateHorizon(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		flag.Usage()
+		os.Exit(2)
 	}
 	if *compare {
 		legacy := cfg
@@ -111,6 +137,11 @@ func report(plane string, cfg loadCfg, r result) {
 			fmt.Printf("  %d sends lost to crash", r.sendFailed)
 		}
 	}
+	if cfg.lossy() || r.link.FramesLost > 0 {
+		fmt.Printf("  lost %d  retx %d  dup-suppressed %d  reorder-healed %d  abandoned %d",
+			r.link.FramesLost, r.link.Retransmits, r.link.DupsSuppressed,
+			r.link.ReorderedHealed, r.link.DroppedDeadline)
+	}
 	fmt.Println()
 }
 
@@ -125,10 +156,45 @@ type loadCfg struct {
 	killAt                time.Duration
 	linkDown              string
 	hbInterval, hbTimeout time.Duration
+
+	linkLoss, linkDup, linkReorder float64
+	duration                       time.Duration
 }
 
 // faulty reports whether the run injects a failure mid-measurement.
 func (c loadCfg) faulty() bool { return c.killBroker >= 0 || c.linkDown != "" }
+
+// lossy reports whether the per-link adversary is armed.
+func (c loadCfg) lossy() bool { return c.linkLoss > 0 || c.linkDup > 0 || c.linkReorder > 0 }
+
+// validateHorizon rejects fault schedules that cannot complete inside
+// the -duration drain horizon, and loss probabilities outside [0,1).
+func (c loadCfg) validateHorizon() error {
+	if c.duration <= 0 {
+		return fmt.Errorf("-duration %v: horizon must be positive", c.duration)
+	}
+	if c.killBroker >= 0 && c.killAt >= c.duration {
+		return fmt.Errorf("-kill-at %v lands beyond the -duration %v horizon", c.killAt, c.duration)
+	}
+	if c.linkDown != "" {
+		o, err := parseOutage(c.linkDown)
+		if err != nil {
+			return fmt.Errorf("-link-down: %w", err)
+		}
+		if o.end >= c.duration {
+			return fmt.Errorf("-link-down window ends at %v, beyond the -duration %v horizon", o.end, c.duration)
+		}
+	}
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{{"-link-loss", c.linkLoss}, {"-link-dup", c.linkDup}, {"-link-reorder", c.linkReorder}} {
+		if p.v < 0 || p.v >= 1 {
+			return fmt.Errorf("%s %v: probability must be in [0,1)", p.name, p.v)
+		}
+	}
+	return nil
+}
 
 type result struct {
 	elapsed      time.Duration
@@ -141,6 +207,7 @@ type result struct {
 	detections   int64
 	restorations int64
 	sendFailed   int64
+	link         livenet.Stats // reliable-channel counters (loss accounting)
 }
 
 func run(cfg loadCfg) (result, error) {
@@ -175,6 +242,15 @@ func run(cfg loadCfg) (result, error) {
 		Seed:      1,
 		Shards:    cfg.shards,
 		Burst:     cfg.burst,
+	}
+	if cfg.lossy() {
+		// One wildcard adversary spec; StartCluster arms an independent,
+		// seed-deterministic stream on every arc, exactly as the simulator
+		// does for the same config.
+		ccfg.LinkLoss = &runtime.LinkLoss{
+			From: msg.None, To: msg.None,
+			Rate: cfg.linkLoss, Dup: cfg.linkDup, Reorder: cfg.linkReorder,
+		}
 	}
 	// The default cluster clock is the wall clock at scale 1, so the
 	// heartbeat durations pass through as plain wall time.
@@ -364,7 +440,7 @@ func run(cfg loadCfg) (result, error) {
 		}
 		detectBy = start.Add(last + tmo + 2*hb)
 	}
-	deadline := time.Now().Add(5 * time.Minute)
+	deadline := time.Now().Add(cfg.duration)
 	idle := 0
 	for idle < needIdle {
 		if time.Now().After(deadline) {
@@ -404,6 +480,7 @@ func run(cfg loadCfg) (result, error) {
 		detections:   detections.Load(),
 		restorations: restorations.Load(),
 		sendFailed:   sendFailed.Load(),
+		link:         total,
 	}, nil
 }
 

@@ -71,7 +71,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("bdps-sim", flag.ContinueOnError)
 	var (
 		figure   = fs.String("figure", "", "figure to reproduce: 4a, 4b, 5, 5a, 5b, 6, 6a, 6b, all")
-		ablation = fs.String("ablation", "", "ablation to run: epsilon, measure, multipath, linkmodel, topology, fairness, hotspot, churn, recovery, all")
+		ablation = fs.String("ablation", "", "ablation to run: epsilon, measure, multipath, linkmodel, topology, fairness, hotspot, churn, recovery, loss, all")
 		claims   = fs.Bool("claims", false, "re-run the evaluation and check the paper's claims")
 		single   = fs.Bool("single", false, "run a single configuration instead of a figure")
 		topoDump = fs.Bool("dump-topology", false, "print the layered overlay as JSON and exit")
@@ -96,6 +96,11 @@ func run(args []string) error {
 
 		churnRate = fs.Float64("churn", 0, "subscription churn: subscribe arrivals per minute (0 = static population)")
 		churnHalf = fs.Duration("churn-halflife", time.Minute, "subscription churn: lifetime half-life")
+
+		linkLoss    = fs.Float64("link-loss", 0, "per-frame loss probability on every link (single mode, both backends)")
+		linkDup     = fs.Float64("link-dup", 0, "per-frame duplication probability on every link (single mode)")
+		linkReorder = fs.Float64("link-reorder", 0, "per-frame reorder probability on every link (single mode)")
+		retry       = fs.String("retry", "aware", "retransmission policy under loss: aware (deadline-aware), blind, off")
 
 		killBroker = fs.String("kill-broker", "", "crash these brokers mid-run, comma-separated ids (single mode)")
 		killAt     = fs.Duration("kill-at", 30*time.Second, "emulated instant at which -kill-broker crashes strike")
@@ -183,6 +188,15 @@ func run(args []string) error {
 			},
 		}
 		if cfg.Faults, err = parseFaults(*killBroker, *killAt, *linkDown); err != nil {
+			return err
+		}
+		if *linkLoss > 0 || *linkDup > 0 || *linkReorder > 0 {
+			cfg.Faults = append(cfg.Faults, runtime.LinkLoss{
+				From: msg.None, To: msg.None,
+				Rate: *linkLoss, Dup: *linkDup, Reorder: *linkReorder,
+			})
+		}
+		if cfg.Reliability, err = parseRetry(*retry); err != nil {
 			return err
 		}
 		var traceFile *os.File
@@ -327,6 +341,22 @@ func printTimeline(res runtime.Result) {
 		fmt.Printf("  t=%5.0fs  delivery %5.1f%%  (%d/%d)\n",
 			float64(b.Start)/1000, 100*b.Rate(), b.Valid, b.Targets)
 	}
+}
+
+// parseRetry maps the -retry flag to a reliable-channel policy: "aware"
+// (the default) gates every retransmission on the remaining slack of the
+// message's downstream path, "blind" retries every loss unconditionally,
+// "off" sends each frame exactly once.
+func parseRetry(s string) (runtime.Reliability, error) {
+	switch strings.ToLower(s) {
+	case "aware", "":
+		return runtime.Reliability{}, nil
+	case "blind":
+		return runtime.Reliability{BlindRetry: true}, nil
+	case "off", "none":
+		return runtime.Reliability{NoRetry: true}, nil
+	}
+	return runtime.Reliability{}, fmt.Errorf("unknown retry policy %q (want aware, blind or off)", s)
 }
 
 // parseFaults assembles the -kill-broker / -link-down fault schedule.

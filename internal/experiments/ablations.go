@@ -407,6 +407,70 @@ func AblationRecovery(opts Options) (*Figure, error) {
 	return fig, nil
 }
 
+// AblationLoss charts lossy-network resilience: the congested PSD point
+// under a wildcard per-arc loss adversary (5% duplication throughout),
+// swept over the per-transmission loss rate for four reliability arms —
+// no loss injected, loss with retransmission off, blind retransmission,
+// and deadline-aware retransmission (retries admitted only while the
+// remaining slack still meets the success target; hopeless retries are
+// abandoned instead of burning link time). Deadline-aware retry must
+// dominate the no-retry arm on delivery rate at every loss level, and by
+// construction never delivers outside a bound it already gave up on.
+func AblationLoss(opts Options) (*Figure, error) {
+	opts.setDefaults()
+	fig := &Figure{
+		ID:     "A10",
+		Title:  "lossy links: delivery vs loss rate (PSD, EB, rate 12, dup 5%)",
+		XLabel: "per-transmission loss rate",
+		YLabel: "delivery rate (%)",
+		Series: []string{"no loss", "no retry", "blind retry", "deadline-aware"},
+	}
+	type arm struct {
+		loss bool
+		rel  runtime.Reliability
+	}
+	arms := []arm{
+		{loss: false},
+		{loss: true, rel: runtime.Reliability{NoRetry: true}},
+		{loss: true, rel: runtime.Reliability{BlindRetry: true}},
+		{loss: true},
+	}
+	rates := []float64{0.05, 0.10, 0.15, 0.20}
+	type cell struct {
+		rate float64
+		arm  int
+	}
+	var cells []cell
+	for _, r := range rates {
+		for a := range arms {
+			cells = append(cells, cell{r, a})
+		}
+	}
+	pts, err := ablationSweep(&opts, cells, func(c cell, cfg *simnet.Config) {
+		a := arms[c.arm]
+		cfg.Reliability = a.rel
+		if a.loss {
+			cfg.Faults = []simnet.Fault{simnet.LinkLoss{
+				From: msg.None, To: msg.None,
+				Rate: c.rate, Dup: 0.05,
+			}}
+		}
+		// The no-loss arm is rate-independent: leaving its config identical
+		// across rates lets the shared run cache evaluate it once.
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range rates {
+		p := Point{X: r, Values: map[string]float64{}}
+		for j, name := range fig.Series {
+			p.Values[name] = 100 * pts[i*len(arms)+j].DeliveryRate()
+		}
+		fig.Points = append(fig.Points, p)
+	}
+	return fig, nil
+}
+
 // RunAblation dispatches an ablation id.
 func RunAblation(id string, opts Options) (*Figure, error) {
 	switch id {
@@ -428,13 +492,15 @@ func RunAblation(id string, opts Options) (*Figure, error) {
 		return AblationChurn(opts)
 	case "recovery", "A9":
 		return AblationRecovery(opts)
+	case "loss", "A10":
+		return AblationLoss(opts)
 	}
-	return nil, fmt.Errorf("experiments: unknown ablation %q (want epsilon, measure, multipath, linkmodel, topology, fairness, hotspot, churn, recovery)", id)
+	return nil, fmt.Errorf("experiments: unknown ablation %q (want epsilon, measure, multipath, linkmodel, topology, fairness, hotspot, churn, recovery, loss)", id)
 }
 
 // Ablations lists the ablation ids in order.
 func Ablations() []string {
-	return []string{"epsilon", "measure", "multipath", "linkmodel", "topology", "fairness", "hotspot", "churn", "recovery"}
+	return []string{"epsilon", "measure", "multipath", "linkmodel", "topology", "fairness", "hotspot", "churn", "recovery", "loss"}
 }
 
 // AllAblations runs every ablation with one shared worker pool and run

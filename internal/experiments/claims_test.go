@@ -7,7 +7,14 @@ import (
 	"strings"
 	"testing"
 
+	"bdps/internal/core"
+	"bdps/internal/msg"
+	"bdps/internal/runtime"
+	"bdps/internal/simnet"
+	"bdps/internal/stats"
+	"bdps/internal/topology"
 	"bdps/internal/vtime"
+	"bdps/internal/workload"
 )
 
 // TestPaperClaims is the executable reproduction check: all qualitative
@@ -163,5 +170,123 @@ func TestAblationRecoveryShape(t *testing.T) {
 			t.Errorf("x=%v: renegotiation (%.1f%%) must not trail plain repair (%.1f%%)",
 				p.X, p.Values["repair+renegotiate"], p.Values["repair"])
 		}
+	}
+}
+
+// TestAblationLossShape pins the lossy-network ablation's story: loss
+// without retransmission bleeds deliveries, retransmission wins them
+// back, and the deadline-aware arm strictly dominates the no-retry arm
+// at every loss level while never delivering outside a bound — the slack
+// check abandons exactly the retries that could only arrive late.
+func TestAblationLossShape(t *testing.T) {
+	opts := Options{Seeds: []uint64{1}, Duration: 4 * vtime.Minute}
+	fig, err := AblationLoss(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Points) != 4 {
+		t.Fatalf("got %d loss-rate points, want 4", len(fig.Points))
+	}
+	again, err := AblationLoss(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fig, again) {
+		t.Error("loss ablation not deterministic across runs")
+	}
+	for _, p := range fig.Points {
+		if p.Values["no retry"] >= p.Values["no loss"] {
+			t.Errorf("x=%v: unhealed loss (%.1f%%) should trail the clean run (%.1f%%)",
+				p.X, p.Values["no retry"], p.Values["no loss"])
+		}
+		if p.Values["deadline-aware"] <= p.Values["no retry"] {
+			t.Errorf("x=%v: deadline-aware retry (%.1f%%) must strictly beat no retry (%.1f%%)",
+				p.X, p.Values["deadline-aware"], p.Values["no retry"])
+		}
+	}
+}
+
+// TestDeadlineAwareRetryNeverLate drives the deadline-aware arm directly
+// on an uncongested pipeline where every on-time path is comfortably
+// feasible, so the ONLY way a delivery can run late is a retransmission
+// burning more slack than the path had to spare. The path-aware gate
+// (RetryPolicy.EffectiveDeadline: each retry must leave the downstream
+// hops their SuccessTarget quantile) must then abandon some
+// retransmissions (DroppedDeadline > 0) and violate no bound at all
+// (LateDeliveries stays 0) — while blind retry on the identical adversary
+// does deliver late, and no-retry bleeds deliveries the gate wins back.
+func TestDeadlineAwareRetryNeverLate(t *testing.T) {
+	mk := func(rel runtime.Reliability) simnet.Config {
+		g := topology.NewGraph(6)
+		for _, l := range []struct {
+			a, b msg.NodeID
+			mean float64
+		}{{0, 2, 50}, {1, 2, 55}, {2, 3, 45}, {3, 4, 50}, {3, 5, 60}} {
+			if err := g.AddLink(l.a, l.b, stats.Normal{Mean: l.mean, Sigma: 5}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return simnet.Config{
+			Seed:     1,
+			Scenario: msg.PSD,
+			Strategy: core.MaxEB{},
+			Overlay: &topology.Overlay{
+				Graph:   g,
+				Ingress: []msg.NodeID{0, 1},
+				Edges:   []msg.NodeID{4, 5},
+			},
+			Workload: workload.Config{
+				RatePerMin: 4,
+				Duration:   20 * vtime.Minute,
+				// ~7.5 s of path time against a 20–23 s bound: on-time
+				// without loss, but without slack for unbounded re-sending.
+				PSDDelayLo: 20 * vtime.Second,
+				PSDDelayHi: 23 * vtime.Second,
+			},
+			Faults: []simnet.Fault{simnet.LinkLoss{
+				From: msg.None, To: msg.None,
+				Rate: 0.25, Dup: 0.05,
+			}},
+			Reliability: rel,
+		}
+	}
+	r, err := simnet.Run(mk(runtime.Reliability{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FramesLost == 0 {
+		t.Fatal("adversary lost nothing")
+	}
+	if r.DroppedDeadline == 0 {
+		t.Error("25% loss should exhaust some frames' slack")
+	}
+	if r.LateDeliveries != 0 {
+		t.Errorf("deadline-aware retry delivered %d messages late, want 0", r.LateDeliveries)
+	}
+	if r.Retransmits >= r.FramesLost {
+		t.Errorf("abandoning retries must leave retransmits (%d) below losses (%d)",
+			r.Retransmits, r.FramesLost)
+	}
+	blind, err := simnet.Run(mk(runtime.Reliability{BlindRetry: true}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blind.DroppedDeadline != 0 {
+		t.Errorf("blind retry abandoned %d frames, want 0", blind.DroppedDeadline)
+	}
+	if blind.Retransmits != blind.FramesLost {
+		t.Errorf("blind retry must retry every loss: retransmits %d, losses %d",
+			blind.Retransmits, blind.FramesLost)
+	}
+	if blind.LateDeliveries == 0 {
+		t.Error("blind retry under 25% loss should deliver something late — else the gate proves nothing")
+	}
+	noretry, err := simnet.Run(mk(runtime.Reliability{NoRetry: true}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.DeliveryRate() <= noretry.DeliveryRate() {
+		t.Errorf("deadline-aware retry (%.3f) must strictly beat no retry (%.3f)",
+			r.DeliveryRate(), noretry.DeliveryRate())
 	}
 }

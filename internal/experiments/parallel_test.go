@@ -91,13 +91,14 @@ func TestAllAblationsSharedCache(t *testing.T) {
 	if len(figs) != len(Ablations()) {
 		t.Fatalf("got %d ablation figures", len(figs))
 	}
-	// 36 cells declared (6+5+3+3+3+4+4+4+4, one seed); the base config
+	// 52 cells declared (6+5+3+3+3+4+4+4+4+16, one seed); the base config
 	// recurs in the ε (default ε), measure (0 samples), link-model
-	// (normal), hotspot (0) and churn (0 arrivals/min) sweeps → 32
-	// unique runs (the recovery sweep's cells run on their own overlay
-	// and timeline, so none of its 4 dedupe).
-	if runs != 32 {
-		t.Errorf("runs = %d, want 32 (base cell must dedupe across ablations)", runs)
+	// (normal), hotspot (0) and churn (0 arrivals/min) sweeps, and the
+	// loss sweep's no-loss arm is rate-independent (4 cells collapse into
+	// the same shared base) → 44 unique runs (the recovery sweep's cells
+	// run on their own overlay and timeline, so none of its 4 dedupe).
+	if runs != 44 {
+		t.Errorf("runs = %d, want 44 (base cell must dedupe across ablations)", runs)
 	}
 }
 
@@ -219,6 +220,9 @@ func TestConfigKey(t *testing.T) {
 		func(c *simnet.Config) { c.Faults = []simnet.Fault{simnet.LinkDown{From: 0, To: 1, Start: 10, End: 20}} },
 		func(c *simnet.Config) { c.Recovery = runtime.Recovery{Detect: true} },
 		func(c *simnet.Config) { c.Recovery = runtime.Recovery{Detect: true, Renegotiate: true} },
+		func(c *simnet.Config) { c.Faults = []simnet.Fault{simnet.LinkLoss{From: msg.None, To: msg.None, Rate: 0.1}} },
+		func(c *simnet.Config) { c.Reliability = runtime.Reliability{NoRetry: true} },
+		func(c *simnet.Config) { c.Reliability = runtime.Reliability{BlindRetry: true} },
 		func(c *simnet.Config) { c.TimelineBucket = 30 * vtime.Second },
 	}
 	seen := map[string]int{a: -1}
@@ -260,7 +264,7 @@ func TestConfigKeyCoversAllFields(t *testing.T) {
 		"MinRate": true, "Faults": true, "Tracer": true,
 		"PerSubscriber": true, "IndexedMatch": true, "Subscriptions": true,
 		"TimeScale": true, "LiveShards": true, "Recovery": true,
-		"TimelineBucket": true,
+		"Reliability": true, "TimelineBucket": true,
 	}
 	rt := reflect.TypeOf(simnet.Config{})
 	for i := 0; i < rt.NumField(); i++ {

@@ -2,6 +2,7 @@ package livenet
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"bdps/internal/core"
@@ -45,6 +46,15 @@ type ClusterConfig struct {
 	Shards int
 	// Burst caps the egress burst size on the sharded plane (default 32).
 	Burst int
+
+	// LinkLoss, in standalone (no-plan) mode, injects one loss adversary
+	// spec on every overlay arc — the loadgen's way of driving the same
+	// fault model at full rate. Plan deployments derive per-arc
+	// adversaries from the plan's LinkLoss faults instead and ignore it.
+	LinkLoss *runtime.LinkLoss
+	// Reliability tunes the reliable channel in standalone mode (plan
+	// mode takes it from the plan's config).
+	Reliability runtime.Reliability
 
 	// Heartbeat enables per-link failure detection on every node.
 	Heartbeat HeartbeatConfig
@@ -94,9 +104,23 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 		}
 	}
 	// Per-node pacers from the plan's deterministic link enumeration, so
-	// live links draw the same rate sequences the simulator would.
+	// live links draw the same rate sequences the simulator would — and,
+	// from the same enumeration, each arc's loss adversary and retry
+	// policy, so live links face the simulator's exact fault decisions.
 	pacers := make(map[msg.NodeID]map[msg.NodeID]Pacer)
+	loss := make(map[msg.NodeID]map[msg.NodeID]*runtime.LossModel)
+	retry := make(map[msg.NodeID]map[msg.NodeID]runtime.RetryPolicy)
+	armLoss := func(from, to msg.NodeID, lm *runtime.LossModel, rp runtime.RetryPolicy) {
+		if loss[from] == nil {
+			loss[from] = make(map[msg.NodeID]*runtime.LossModel)
+			retry[from] = make(map[msg.NodeID]runtime.RetryPolicy)
+		}
+		loss[from][to] = lm
+		retry[from][to] = rp
+	}
+	rel := cfg.Reliability.Defaulted()
 	if cfg.Plan != nil {
+		rel = cfg.Plan.Cfg.Reliability
 		for _, l := range cfg.Plan.Links {
 			if pacers[l.From] == nil {
 				pacers[l.From] = make(map[msg.NodeID]Pacer)
@@ -105,6 +129,32 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 				Sampler: cfg.Plan.Sampler(l),
 				Stream:  cfg.Plan.LinkStream(l),
 			}
+			if lm := cfg.Plan.LossModel(l); lm != nil {
+				armLoss(l.From, l.To, lm, cfg.Plan.RetryPolicy(l))
+			}
+		}
+	} else if cfg.LinkLoss != nil {
+		// Standalone wildcard adversary: enumerate arcs exactly like the
+		// plan (sorted) so the per-link decision streams are seed-stable.
+		arcs := cfg.Overlay.Graph.Arcs()
+		sort.Slice(arcs, func(i, j int) bool {
+			if arcs[i][0] != arcs[j][0] {
+				return arcs[i][0] < arcs[j][0]
+			}
+			return arcs[i][1] < arcs[j][1]
+		})
+		for i, arc := range arcs {
+			belief, _ := cfg.Overlay.Graph.Rate(arc[0], arc[1])
+			armLoss(arc[0], arc[1],
+				runtime.NewLossModel(cfg.Seed, i, *cfg.LinkLoss),
+				runtime.RetryPolicy{
+					Enabled:       !rel.NoRetry,
+					DeadlineAware: !rel.BlindRetry,
+					MaxAttempts:   rel.MaxAttempts,
+					SuccessTarget: rel.SuccessTarget,
+					Belief:        belief,
+					PD:            cfg.Params.PD,
+				})
 		}
 	}
 	c := &Cluster{
@@ -130,6 +180,10 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 			Clock:       cfg.Clock,
 			Sink:        cfg.Sink,
 			Pacers:      pacers[nid],
+			Loss:        loss[nid],
+			Retry:       retry[nid],
+			AckEvery:    rel.AckEvery,
+			RetxWindow:  rel.Window,
 			Shards:      cfg.Shards,
 			Burst:       cfg.Burst,
 			Heartbeat:   cfg.Heartbeat,
@@ -184,6 +238,11 @@ func (c *Cluster) TotalStats() Stats {
 		total.DropsHopeless += s.DropsHopeless
 		total.DropsArrival += s.DropsArrival
 		total.Duplicates += s.Duplicates
+		total.FramesLost += s.FramesLost
+		total.Retransmits += s.Retransmits
+		total.DupsSuppressed += s.DupsSuppressed
+		total.ReorderedHealed += s.ReorderedHealed
+		total.DroppedDeadline += s.DroppedDeadline
 	}
 	return total
 }

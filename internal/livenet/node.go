@@ -90,6 +90,19 @@ type NodeConfig struct {
 	// overlay's truncated-normal rates on a stream derived from Seed.
 	Pacers map[msg.NodeID]Pacer
 
+	// Loss maps outgoing links to the injected LinkLoss adversary each
+	// faces; links without an entry (or a nil map) stay on the plain
+	// message path. Retry supplies each lossy link's retransmission
+	// policy. Both are derived from the plan's deterministic link
+	// enumeration so live links face the simulator's exact adversary.
+	Loss  map[msg.NodeID]*runtime.LossModel
+	Retry map[msg.NodeID]runtime.RetryPolicy
+	// AckEvery is the cumulative-ack cadence of reliable inbound links
+	// (data frames per ack); RetxWindow bounds the per-link retransmit
+	// buffer and the reorder-heal buffer. Reliability defaults when ≤ 0.
+	AckEvery   int
+	RetxWindow int
+
 	// Heartbeat enables per-link failure detection (heartbeat.go); the
 	// zero value disables it.
 	Heartbeat HeartbeatConfig
@@ -192,6 +205,16 @@ type Stats struct {
 	DropsHopeless int
 	DropsArrival  int
 	Duplicates    int
+
+	// Reliable-channel counters (zero on clean links): wire frames the
+	// injected adversary dropped, retransmissions the policy admitted,
+	// duplicates and reorderings the receiving ends healed, and messages
+	// abandoned because no retry could still meet their bound.
+	FramesLost      int
+	Retransmits     int
+	DupsSuppressed  int
+	ReorderedHealed int
+	DroppedDeadline int
 }
 
 // counters is the atomic backing of Stats.
@@ -203,6 +226,12 @@ type counters struct {
 	dropsHopeless atomic.Int64
 	dropsArrival  atomic.Int64
 	duplicates    atomic.Int64
+
+	framesLost      atomic.Int64
+	retransmits     atomic.Int64
+	dupsSuppressed  atomic.Int64
+	reorderedHealed atomic.Int64
+	droppedDeadline atomic.Int64
 }
 
 func (c *counters) snapshot() Stats {
@@ -214,6 +243,12 @@ func (c *counters) snapshot() Stats {
 		DropsHopeless: int(c.dropsHopeless.Load()),
 		DropsArrival:  int(c.dropsArrival.Load()),
 		Duplicates:    int(c.duplicates.Load()),
+
+		FramesLost:      int(c.framesLost.Load()),
+		Retransmits:     int(c.retransmits.Load()),
+		DupsSuppressed:  int(c.dupsSuppressed.Load()),
+		ReorderedHealed: int(c.reorderedHealed.Load()),
+		DroppedDeadline: int(c.droppedDeadline.Load()),
 	}
 }
 
@@ -430,11 +465,22 @@ func (n *Node) ConnectPeers(addrs map[msg.NodeID]string) error {
 		n.estimates[e.To] = &stats.WelfordEstimator{Prior: e.Rate}
 		n.mu.Unlock()
 
+		// A link facing an injected loss adversary runs the reliable
+		// channel: sequence numbers, a bounded retransmit buffer, and an
+		// ack loop reading the cumulative acks the peer sends back on
+		// this connection (nothing else ever reads a dialed link).
+		var ls *linkSender
+		if lm := n.cfg.Loss[e.To]; lm != nil {
+			ls = newLinkSender(lm, n.cfg.Retry[e.To], n.cfg.RetxWindow)
+			n.wg.Add(1)
+			go n.ackLoop(conn, ls.retx)
+		}
+
 		n.wg.Add(1)
 		if n.sharded() {
-			go n.senderLoopBatched(e.To, pc, wake, pacer)
+			go n.senderLoopBatched(e.To, pc, wake, pacer, ls)
 		} else {
-			go n.senderLoop(e.To, pc, wake, pacer)
+			go n.senderLoop(e.To, pc, wake, pacer, ls)
 		}
 	}
 	n.startHeartbeats()
@@ -641,6 +687,9 @@ func (n *Node) readLoop(conn net.Conn) {
 		return
 	}
 
+	// rl is the reliable-channel receiving state of this link, created
+	// lazily on the first data frame (clean links never pay for it).
+	var rl *recvLink
 	for {
 		ft, body, err := msg.ReadFrame(conn)
 		if err != nil {
@@ -668,6 +717,33 @@ func (n *Node) readLoop(conn net.Conn) {
 			}
 			n.receive(m)
 			n.inflight.Add(-1)
+		case msg.FrameData:
+			if role != msg.RoleBroker {
+				continue
+			}
+			seq, base, mb, derr := msg.DecodeDataHeader(body)
+			if derr != nil {
+				continue
+			}
+			m, derr := msg.DecodeMessage(mb)
+			if derr != nil {
+				continue
+			}
+			n.inflight.Add(1)
+			n.recvPeers.Add(1)
+			if rl == nil {
+				rl = n.newRecvLink(peer)
+			}
+			for _, dm := range rl.accept(n, seq, base, m) {
+				n.receive(dm)
+				n.inflight.Add(-1)
+			}
+		case msg.FrameDataDrop:
+			// The loss shim's mangled write: counted so the wire totals
+			// balance, never processed.
+			if role == msg.RoleBroker {
+				n.recvPeers.Add(1)
+			}
 		case msg.FrameSubscribe:
 			s, err := msg.DecodeSubscription(body)
 			if err != nil {
@@ -882,8 +958,10 @@ func (n *Node) accountDrops(drops []core.Drop) {
 
 // senderLoop drains one link's queue: pick by strategy, pace to the
 // emulated link speed, write the frame. Injected link outages park the
-// loop until the link comes back up.
-func (n *Node) senderLoop(to msg.NodeID, pc *peerConn, wake chan struct{}, pacer Pacer) {
+// loop until the link comes back up. A non-nil linkSender routes the
+// message through the reliable channel (sendReliable) instead of the
+// plain single-frame write.
+func (n *Node) senderLoop(to msg.NodeID, pc *peerConn, wake chan struct{}, pacer Pacer, ls *linkSender) {
 	defer n.wg.Done()
 	for {
 		n.mu.Lock()
@@ -914,7 +992,20 @@ func (n *Node) senderLoop(to msg.NodeID, pc *peerConn, wake chan struct{}, pacer
 		}
 		m := e.Data.(*msg.Message)
 		sizeKB := e.SizeKB
+		var dl vtime.Millis
+		if ls != nil {
+			dl = ls.rp.EffectiveDeadline(e.Targets, sizeKB)
+		}
 		e.Release()
+
+		if ls != nil {
+			ok := n.sendReliable(to, pc, pacer, ls, m, sizeKB, dl)
+			n.busySenders.Add(-1)
+			if !ok {
+				return
+			}
+			continue
+		}
 
 		// Pace the transfer to the sampled rate, measuring the wall time
 		// the transfer actually took — the live equivalent of the

@@ -1,0 +1,490 @@
+package livenet
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"bdps/internal/core"
+	"bdps/internal/msg"
+	"bdps/internal/runtime"
+	"bdps/internal/vtime"
+)
+
+// This file is the live half of the reliable per-link channel that heals
+// the LinkLoss adversary (internal/runtime/loss.go). The adversary's
+// decisions are resolved at the sender, synchronously, against the same
+// (seed, link, seq, attempt) hash the simulator keys — but unlike the
+// simulator, every attempt actually travels: a lost transmission goes out
+// with its frame-type byte mangled to FrameDataDrop (the frame-mangling
+// shim — the receiver counts the arrival for the wire totals and discards
+// it), a retransmission is a real re-write of the buffered frame, and the
+// delivering attempt goes out as FrameData carrying the link sequence
+// numbers the receiving end's dedup/reorder state consumes. Cumulative
+// acks flow back on the same connection and trim the bounded retransmit
+// buffer.
+
+// linkSender is one outgoing link's reliable-channel sender state: the
+// adversary and retry policy the plan resolved for this arc, the link
+// sequence counter (owned by the sender goroutine), the bounded
+// retransmit buffer (shared with the link's ack loop), and reusable
+// encode scratch.
+type linkSender struct {
+	lm   *runtime.LossModel
+	rp   runtime.RetryPolicy
+	seq  uint64
+	retx *retxBuf
+	enc  []byte
+
+	// Sharded-plane burst scratch (owned by the sender goroutine).
+	chains []burstChain
+	order  []int
+	metas  []wireMeta
+	burst  []byte
+}
+
+func newLinkSender(lm *runtime.LossModel, rp runtime.RetryPolicy, window int) *linkSender {
+	return &linkSender{lm: lm, rp: rp, retx: newRetxBuf(window)}
+}
+
+// next allocates the next link sequence number (first frame is 1, the
+// receiver cursor's initial expectation).
+func (ls *linkSender) next() uint64 {
+	ls.seq++
+	return ls.seq
+}
+
+// retxBuf is the bounded per-link retransmit buffer: encoded FrameData
+// frames by sequence, trimmed by the peer's cumulative acks, oldest
+// evicted when the window fills. With head-of-line retries a frame is
+// only retransmitted while it is the newest entry, so eviction can only
+// ever touch frames already delivered and merely awaiting their ack.
+type retxBuf struct {
+	mu     sync.Mutex
+	frames map[uint64][]byte
+	limit  int
+}
+
+func newRetxBuf(limit int) *retxBuf {
+	if limit <= 0 {
+		limit = 64
+	}
+	return &retxBuf{frames: make(map[uint64][]byte, limit), limit: limit}
+}
+
+// add stores one encoded frame (copied: callers reuse their encode
+// scratch), evicting the lowest sequence when the buffer is full.
+func (b *retxBuf) add(seq uint64, frame []byte) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.frames) >= b.limit {
+		low := seq
+		for s := range b.frames {
+			if s < low {
+				low = s
+			}
+		}
+		delete(b.frames, low)
+	}
+	b.frames[seq] = append(b.frames[seq][:0], frame...)
+}
+
+// get returns the buffered frame for a sequence (nil once acked or
+// evicted). The returned slice is the buffer's own storage: valid until
+// the next add of the same sequence.
+func (b *retxBuf) get(seq uint64) []byte {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.frames[seq]
+}
+
+// ack trims every frame at or below the cumulative sequence.
+func (b *retxBuf) ack(cum uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for s := range b.frames {
+		if s <= cum {
+			delete(b.frames, s)
+		}
+	}
+}
+
+// len reports the buffered frame count.
+func (b *retxBuf) len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.frames)
+}
+
+// ackLoop reads the dialing side of one reliable broker link: the only
+// frames the peer sends back on it are cumulative acks, which trim the
+// retransmit buffer. It exits when the connection closes — Stop closes
+// every peer connection, so pending per-link state dies with the node.
+func (n *Node) ackLoop(conn net.Conn, rb *retxBuf) {
+	defer n.wg.Done()
+	fr := msg.NewFrameReader(conn)
+	fb := msg.GetFrameBuf()
+	defer fb.Release()
+	for {
+		ft, body, err := fr.Next(fb)
+		if err != nil {
+			return
+		}
+		if ft != msg.FrameAck {
+			continue
+		}
+		if cum, aerr := msg.DecodeAck(body); aerr == nil {
+			rb.ack(cum)
+		}
+	}
+}
+
+// accountChain charges one resolved send chain to the node counters and
+// the metrics sink — the sender-side half of the loss accounting both
+// backends must agree on exactly.
+func (n *Node) accountChain(out *runtime.SendOutcome) {
+	if out.Losses > 0 {
+		n.cnt.framesLost.Add(int64(out.Losses))
+		if n.sink != nil {
+			n.sink.FrameLost(out.Losses)
+		}
+	}
+	if out.Retransmits > 0 {
+		n.cnt.retransmits.Add(int64(out.Retransmits))
+		if n.sink != nil {
+			n.sink.Retransmit(out.Retransmits)
+		}
+	}
+	if !out.Deliver {
+		n.cnt.droppedDeadline.Add(1)
+		if n.sink != nil {
+			n.sink.DroppedDeadline(1)
+		}
+	}
+}
+
+// chainTime charges one chain's link time: one rate sample per attempt,
+// then one for the duplicated copy — the simulator's draw order, on the
+// same per-link stream, so both backends consume identical sequences.
+func chainTime(out *runtime.SendOutcome, sizeKB float64, pacer Pacer) float64 {
+	var tx float64
+	for i := 0; i < out.Attempts; i++ {
+		tx += sizeKB * pacer.Sampler.Sample(pacer.Stream)
+	}
+	if out.Dup {
+		tx += sizeKB * pacer.Sampler.Sample(pacer.Stream)
+	}
+	return tx
+}
+
+// wireFrames is how many frames a chain puts on the wire: every lost
+// attempt travels as a mangled drop, the delivering attempt as data, and
+// a duplicated delivery twice.
+func wireFrames(out *runtime.SendOutcome) int {
+	k := out.Attempts
+	if out.Dup {
+		k++
+	}
+	return k
+}
+
+// writeChain realizes one resolved chain on the classic plane: encode
+// once, buffer for retransmission, then write every attempt — lost ones
+// with the type byte mangled to FrameDataDrop, retransmissions re-read
+// from the buffer, the delivering attempt as FrameData, the duplicated
+// copy once more. Every successful write counts toward the quiescence
+// totals (the receiver counts drops too); only a failed delivering write
+// kills the message (charged to the dead neighbor, like the plain path).
+func (n *Node) writeChain(pc *peerConn, ls *linkSender, seq, base uint64, m *msg.Message, out *runtime.SendOutcome) {
+	frame, err := msg.AppendDataFrame(ls.enc[:0], seq, base, m)
+	ls.enc = frame[:0]
+	if err != nil {
+		return // oversized re-encode cannot happen for decoded frames
+	}
+	ls.retx.add(seq, frame)
+	wire := ls.retx.get(seq)
+	if wire == nil {
+		wire = frame // evicted already (window 1): send the scratch copy
+	}
+	ty := msg.DataFrameType(0)
+	drops := out.Attempts - 1
+	if !out.Deliver {
+		drops = out.Attempts
+	}
+	for i := 0; i < drops; i++ {
+		wire[ty] = msg.FrameDataDrop
+		if pc.writeBuf(wire) == nil {
+			n.sentPeers.Add(1)
+		}
+	}
+	if !out.Deliver {
+		return
+	}
+	wire[ty] = msg.FrameData
+	if pc.writeBuf(wire) != nil {
+		// The message died at a dead (crashed or stopped) neighbor.
+		if n.sink != nil {
+			n.sink.DroppedCrashed(1)
+		}
+		return
+	}
+	n.sentPeers.Add(1)
+	if out.Dup && pc.writeBuf(wire) == nil {
+		n.sentPeers.Add(1)
+	}
+}
+
+// sendReliable plays one popped message — and, on a reorder decision, its
+// immediate queued successor — against the link adversary and realizes
+// the resolved chains on the wire: the classic plane's counterpart of the
+// simulator's kick. It reports false when the node stopped mid-pacing.
+func (n *Node) sendReliable(to msg.NodeID, pc *peerConn, pacer Pacer, ls *linkSender, m *msg.Message, sizeKB float64, dl vtime.Millis) bool {
+	now := n.clock.Now()
+	seq := ls.next()
+	out := runtime.ResolveSend(ls.lm, ls.rp, seq, sizeKB, dl, now)
+
+	// Reorder: the delivered head swaps behind its immediate successor
+	// when one is queued — the simulator's pair granularity.
+	var (
+		m2    *msg.Message
+		size2 float64
+		seq2  uint64
+		out2  runtime.SendOutcome
+	)
+	if out.Deliver && ls.lm.Swap(seq, now) {
+		n.mu.Lock()
+		e2, drops := n.b.Queue(to).PopNext(n.b.Strategy(), now, n.b.Params())
+		n.accountDrops(drops)
+		n.mu.Unlock()
+		if e2 != nil {
+			m2 = e2.Data.(*msg.Message)
+			size2 = e2.SizeKB
+			dl2 := ls.rp.EffectiveDeadline(e2.Targets, size2)
+			e2.Release()
+			seq2 = ls.next()
+			out2 = runtime.ResolveSend(ls.lm, ls.rp, seq2, size2, dl2, now)
+		}
+	}
+
+	// One pacing sleep for the whole exchange: every attempt and every
+	// duplicated copy charges a fresh rate sample.
+	tx := chainTime(&out, sizeKB, pacer)
+	totalKB := sizeKB * float64(wireFrames(&out))
+	if m2 != nil {
+		tx += chainTime(&out2, size2, pacer)
+		totalKB += size2 * float64(wireFrames(&out2))
+	}
+	start := time.Now()
+	if d := vtime.ToDuration(tx * n.cfg.TimeScale); d > 0 {
+		select {
+		case <-time.After(d):
+		case <-n.stopped:
+			return false
+		}
+	}
+	n.accountChain(&out)
+	if m2 != nil {
+		n.accountChain(&out2)
+	}
+	// Delivery order: the swapped-in successor's frames travel first.
+	// base is the lowest still-live sequence at each write (the suffix
+	// minimum over the delivery order), so the receiver never waits for
+	// an abandoned frame.
+	if m2 != nil {
+		n.writeChain(pc, ls, seq2, seq, m2, &out2)
+	}
+	n.writeChain(pc, ls, seq, seq, m, &out)
+
+	if totalKB > 0 {
+		elapsed := vtime.FromDuration(time.Since(start)) / n.cfg.TimeScale
+		n.mu.Lock()
+		if est := n.estimates[to]; est != nil {
+			est.Observe(elapsed / totalKB)
+		}
+		n.mu.Unlock()
+	}
+	return true
+}
+
+// burstChain is one burst entry's resolved chain on the sharded plane.
+type burstChain struct {
+	m    *msg.Message
+	size float64
+	seq  uint64
+	base uint64
+	out  runtime.SendOutcome
+}
+
+// wireMeta locates one chain's frames inside the assembled burst buffer,
+// for frame-granular accounting after a partial write.
+type wireMeta struct {
+	off, flen, frames, drops int
+	deliver                  bool
+}
+
+// resolveBurst assigns link sequence numbers and resolves every burst
+// entry's send chain at one scheduling instant, charging one rate sample
+// per attempt (and per duplicated copy) — the pacing cost of the whole
+// exchange. It returns the summed link time and the wire volume in KB.
+func (n *Node) resolveBurst(ls *linkSender, entries []*core.Entry, pacer Pacer, now vtime.Millis) (tx, totalKB float64) {
+	ls.chains = ls.chains[:0]
+	for _, e := range entries {
+		m := e.Data.(*msg.Message)
+		seq := ls.next()
+		out := runtime.ResolveSend(ls.lm, ls.rp, seq, e.SizeKB, ls.rp.EffectiveDeadline(e.Targets, e.SizeKB), now)
+		tx += chainTime(&out, e.SizeKB, pacer)
+		totalKB += e.SizeKB * float64(wireFrames(&out))
+		ls.chains = append(ls.chains, burstChain{m: m, size: e.SizeKB, seq: seq, out: out})
+	}
+	return tx, totalKB
+}
+
+// orderBurst computes the burst's wire delivery order — a delivered chain
+// swaps behind its immediate successor on the adversary's reorder
+// decision, the simulator's pair granularity — and stamps each chain's
+// base: the suffix-minimum of still-live sequences over that order, so
+// the receiver never waits for an abandoned frame.
+func orderBurst(ls *linkSender, now vtime.Millis) {
+	ls.order = ls.order[:0]
+	for i := 0; i < len(ls.chains); {
+		c := &ls.chains[i]
+		if c.out.Deliver && i+1 < len(ls.chains) && ls.lm.Swap(c.seq, now) {
+			ls.order = append(ls.order, i+1, i)
+			i += 2
+		} else {
+			ls.order = append(ls.order, i)
+			i++
+		}
+	}
+	low := ^uint64(0)
+	for k := len(ls.order) - 1; k >= 0; k-- {
+		c := &ls.chains[ls.order[k]]
+		if c.out.Deliver && c.seq < low {
+			low = c.seq
+		}
+		c.base = low
+		if c.base > c.seq {
+			c.base = c.seq // all-abandoned suffix: keep the header valid
+		}
+	}
+}
+
+// writeBurstReliable assembles every chain's wire frames — drops mangled,
+// the delivering copy and its duplicate clean — into one contiguous
+// buffer, in delivery order, and flushes it with a single syscall. On a
+// partial write it counts the frames that fully left the node and charges
+// each chain whose delivering frame died to the dead neighbor.
+func (n *Node) writeBurstReliable(pc *peerConn, ls *linkSender) {
+	ty := msg.DataFrameType(0)
+	buf := ls.burst[:0]
+	metas := ls.metas[:0]
+	for _, idx := range ls.order {
+		c := &ls.chains[idx]
+		start := len(buf)
+		frame, err := msg.AppendDataFrame(buf, c.seq, c.base, c.m)
+		if err != nil {
+			buf = frame // == buf[:start]; oversized re-encode cannot happen
+			continue
+		}
+		flen := len(frame) - start
+		ls.retx.add(c.seq, frame[start:]) // buffer the clean copy
+		drops := c.out.Attempts - 1
+		if !c.out.Deliver {
+			drops = c.out.Attempts
+		}
+		total := wireFrames(&c.out)
+		for k := 1; k < total; k++ {
+			frame = append(frame, frame[start:start+flen]...)
+		}
+		for d := 0; d < drops; d++ {
+			frame[start+d*flen+ty] = msg.FrameDataDrop
+		}
+		buf = frame
+		metas = append(metas, wireMeta{off: start, flen: flen, frames: total, drops: drops, deliver: c.out.Deliver})
+	}
+	ls.burst, ls.metas = buf, metas
+	if len(buf) == 0 {
+		return
+	}
+	wv := net.Buffers{buf}
+	written, err := pc.writeBuffers(&wv)
+	if err == nil {
+		total := 0
+		for _, mt := range metas {
+			total += mt.frames
+		}
+		n.sentPeers.Add(int64(total))
+		return
+	}
+	var sent int64
+	lost := 0
+	for _, mt := range metas {
+		gotBytes := written - int64(mt.off)
+		if gotBytes < 0 {
+			gotBytes = 0
+		}
+		got := int(gotBytes) / mt.flen
+		if got > mt.frames {
+			got = mt.frames
+		}
+		sent += int64(got)
+		if mt.deliver && got <= mt.drops {
+			lost++
+		}
+	}
+	n.sentPeers.Add(sent)
+	if lost > 0 && n.sink != nil {
+		n.sink.DroppedCrashed(lost)
+	}
+}
+
+// recvLink is the receiving end of one reliable inbound link: the shared
+// dedup/reorder state both backends run, plus the cumulative-ack cadence
+// back toward the sender.
+type recvLink struct {
+	rs      *runtime.RecvState
+	peer    *peerConn
+	every   int
+	since   int
+	ackBuf  []byte
+	deliver []*msg.Message
+}
+
+func (n *Node) newRecvLink(peer *peerConn) *recvLink {
+	every := n.cfg.AckEvery
+	if every <= 0 {
+		every = 16
+	}
+	return &recvLink{rs: runtime.NewRecvState(n.cfg.RetxWindow), peer: peer, every: every}
+}
+
+// accept runs one arriving data frame through the link state and returns
+// the messages now deliverable in order. A suppressed duplicate is
+// released here (and its inflight hold dropped); a buffered out-of-order
+// frame keeps its hold until it drains. Every AckEvery frames a
+// cumulative ack flows back so the sender can trim its retransmit buffer.
+func (rl *recvLink) accept(n *Node, seq, base uint64, m *msg.Message) []*msg.Message {
+	out, dup, healed := rl.rs.Accept(seq, base, m, rl.deliver[:0])
+	rl.deliver = out
+	if dup {
+		n.cnt.dupsSuppressed.Add(1)
+		if n.sink != nil {
+			n.sink.DupSuppressed(1)
+		}
+		m.Release()
+		n.inflight.Add(-1)
+	}
+	if healed > 0 {
+		n.cnt.reorderedHealed.Add(int64(healed))
+		if n.sink != nil {
+			n.sink.ReorderHealed(healed)
+		}
+	}
+	rl.since++
+	if rl.since >= rl.every {
+		rl.since = 0
+		rl.ackBuf = msg.AppendAck(rl.ackBuf[:0], rl.rs.CumAck())
+		_ = rl.peer.writeFrame(msg.FrameAck, rl.ackBuf) // dead dialers are fine
+	}
+	return rl.deliver
+}

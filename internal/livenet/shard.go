@@ -100,6 +100,9 @@ func (n *Node) readLoopSharded(conn net.Conn, role byte, peer *peerConn) {
 	var dec msg.Decoder
 	pend := make([]*inBatch, len(n.shards))
 	pending := 0
+	// rl is the reliable-channel receiving state of this link, created
+	// lazily on the first data frame (clean links never pay for it).
+	var rl *recvLink
 	// outstanding counts this connection's batches dispatched but not
 	// yet fully processed by their workers; control frames wait for it
 	// to reach zero so they cannot overtake the data queued behind them.
@@ -195,6 +198,62 @@ func (n *Node) readLoopSharded(conn net.Conn, role byte, peer *peerConn) {
 				if !flush() {
 					return
 				}
+			}
+		case msg.FrameData:
+			if role != msg.RoleBroker {
+				fb.Release()
+				continue
+			}
+			seq, base, mb, derr := msg.DecodeDataHeader(body)
+			if derr != nil {
+				fb.Release()
+				continue
+			}
+			m := msg.GetMessage()
+			took, derr := dec.DecodeMessageInto(m, mb, fb)
+			if !took {
+				fb.Release()
+			}
+			if derr != nil {
+				m.Release()
+				continue
+			}
+			// inflight covers the frame from here until its worker (or the
+			// dedup/reorder state) consumes it — a frame parked in the
+			// reorder buffer keeps its hold, so quiescence cannot blink
+			// true while a gap is still being healed.
+			n.inflight.Add(1)
+			n.recvPeers.Add(1)
+			if rl == nil {
+				rl = n.newRecvLink(peer)
+			}
+			// Messages come back in restored FIFO order and batch toward
+			// the shard workers in that order, preserving the per-stream
+			// delivery ordering the sharded plane guarantees.
+			for _, dm := range rl.accept(n, seq, base, m) {
+				si := int(uint32(dm.Publisher)) % len(n.shards)
+				b := pend[si]
+				if b == nil {
+					b = getBatch(&outstanding)
+					pend[si] = b
+				}
+				b.msgs = append(b.msgs, dm)
+				pending++
+			}
+			if pending >= maxIngressBatch || fr.Buffered() == 0 {
+				if !flush() {
+					return
+				}
+			}
+		case msg.FrameDataDrop:
+			// The loss shim's mangled write: counted so the wire totals
+			// balance, never processed.
+			fb.Release()
+			if role == msg.RoleBroker {
+				n.recvPeers.Add(1)
+			}
+			if fr.Buffered() == 0 && !flush() {
+				return
 			}
 		case msg.FrameSubscribe:
 			s, derr := msg.DecodeSubscription(body)
@@ -343,8 +402,11 @@ func (n *Node) processSharded(proc *broker.Processor, m *msg.Message,
 // senderLoopBatched drains one link's queue in bursts: pick up to Burst
 // entries by strategy (per-queue scheduling order untouched), sleep one
 // pacing delay for the whole burst, flush it with one writev. Injected
-// link outages park the loop until the link comes back up.
-func (n *Node) senderLoopBatched(to msg.NodeID, pc *peerConn, wake chan struct{}, pacer Pacer) {
+// link outages park the loop until the link comes back up. A non-nil
+// linkSender routes each burst through the reliable channel: chains
+// resolved against the adversary, every attempt paced and written (lost
+// ones mangled), the whole burst still leaving in one syscall.
+func (n *Node) senderLoopBatched(to msg.NodeID, pc *peerConn, wake chan struct{}, pacer Pacer, ls *linkSender) {
 	defer n.wg.Done()
 	q := n.b.Queue(to)
 	burst := n.burst
@@ -393,11 +455,17 @@ func (n *Node) senderLoopBatched(to msg.NodeID, pc *peerConn, wake chan struct{}
 
 		// One pacing sleep for the burst: Σ size·rate over the sampled
 		// per-message rates — the same total transfer time the classic
-		// plane would sleep across the burst, in one step.
+		// plane would sleep across the burst, in one step. On a lossy
+		// link every resolved attempt (and duplicated copy) charges its
+		// own sample instead.
 		var tx, sizeSum float64
-		for _, e := range entries {
-			tx += e.SizeKB * pacer.Sampler.Sample(pacer.Stream)
-			sizeSum += e.SizeKB
+		if ls != nil {
+			tx, sizeSum = n.resolveBurst(ls, entries, pacer, now)
+		} else {
+			for _, e := range entries {
+				tx += e.SizeKB * pacer.Sampler.Sample(pacer.Stream)
+				sizeSum += e.SizeKB
+			}
 		}
 		tx *= n.cfg.TimeScale
 		start := time.Now()
@@ -418,6 +486,27 @@ func (n *Node) senderLoopBatched(to msg.NodeID, pc *peerConn, wake chan struct{}
 				n.busySenders.Add(-1)
 				return
 			}
+		}
+
+		if ls != nil {
+			orderBurst(ls, now)
+			for i := range ls.chains {
+				n.accountChain(&ls.chains[i].out)
+			}
+			n.writeBurstReliable(pc, ls)
+			for _, e := range entries {
+				releaseEntry(e)
+			}
+			if sizeSum > 0 {
+				elapsed := vtime.FromDuration(time.Since(start)) / n.cfg.TimeScale
+				n.mu.Lock()
+				if est := n.estimates[to]; est != nil {
+					est.Observe(elapsed / sizeSum)
+				}
+				n.mu.Unlock()
+			}
+			n.busySenders.Add(-1)
+			continue
 		}
 
 		frames = frames[:0]

@@ -86,3 +86,64 @@ func TestRecoverySoakNoGoroutineLeak(t *testing.T) {
 		}
 	}
 }
+
+// TestStopCancelsLinkTimers pins the reliable channel's shutdown story:
+// a lossy cluster mid-retransmission holds no timer that outlives Stop.
+// The channel resolves whole send chains synchronously — its only
+// "timers" are pacing sleeps selecting on the node's stop channel and
+// per-link ack readers unblocked by the closing connections — so Stop
+// must return promptly and reap every goroutine even with deep queues of
+// pending retransmissions. Run under -race in CI, this is the loss
+// plane's concurrency soak.
+func TestStopCancelsLinkTimers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compressed-timescale live cluster run")
+	}
+	baseline := grt.NumGoroutine()
+	c, err := StartCluster(ClusterConfig{
+		Overlay:  soakOverlay(t),
+		Scenario: msg.PSD,
+		Strategy: core.MaxEB{},
+		// 2.5 s emulated hop → 25 ms real per attempt: with the backlog
+		// below, senders are pacing retransmission chains for several
+		// wall seconds when Stop lands.
+		TimeScale: 0.01,
+		Seed:      1,
+		LinkLoss:  &runtime.LinkLoss{Rate: 0.3, Dup: 0.1, Reorder: 0.1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := DialPublisher(c.Addr(0), 0)
+	if err != nil {
+		c.Stop()
+		t.Fatal(err)
+	}
+	attrs := msg.NumAttrs(map[string]float64{"A1": 3, "A2": 1})
+	for i := 0; i < 50; i++ {
+		if _, err := p.Publish(0, attrs, 50, 5*vtime.Minute, nil); err != nil {
+			c.Stop()
+			t.Fatal(err)
+		}
+	}
+	// Let the ingress accept the backlog so the link senders are actually
+	// mid-chain, then stop with the queues still deep.
+	time.Sleep(200 * time.Millisecond)
+	p.Close()
+
+	start := time.Now()
+	c.Stop()
+	if d := time.Since(start); d > 3*time.Second {
+		t.Errorf("Stop took %v with pending retransmissions, want prompt return", d)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for grt.NumGoroutine() > baseline+2 {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := grt.Stack(buf, true)
+			t.Fatalf("goroutines leaked after lossy Stop: %d > baseline %d\n%s",
+				grt.NumGoroutine(), baseline, buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

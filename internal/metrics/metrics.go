@@ -39,6 +39,13 @@ type Collector struct {
 	boundsRejected   int           // renegotiation: no feasible bound on any surviving path
 	refloodedSubs    int           // subscriptions re-flooded onto surviving routes
 
+	// Reliable-channel counters (lossy-network resilience).
+	framesLost      int // transmissions the link adversary dropped
+	retransmits     int // re-sends scheduled after a loss
+	dupsSuppressed  int // duplicate frames discarded by per-link dedup
+	reorderedHealed int // out-of-order frames restored to FIFO order
+	droppedDeadline int // retransmissions abandoned: remaining slack too small
+
 	// Delivery timeline: targets and valid deliveries bucketed by the
 	// message's publication instant (enabled by EnableTimeline).
 	timelineBucket vtime.Millis
@@ -186,6 +193,23 @@ func (c *Collector) Renegotiated(kept, relaxed, rejected int) {
 // a repair.
 func (c *Collector) Reflooded(n int) { c.refloodedSubs += n }
 
+// FrameLost counts transmissions dropped by the injected link adversary.
+func (c *Collector) FrameLost(n int) { c.framesLost += n }
+
+// Retransmit counts re-sends the reliable channel scheduled after losses.
+func (c *Collector) Retransmit(n int) { c.retransmits += n }
+
+// DupSuppressed counts duplicate frames per-link dedup discarded.
+func (c *Collector) DupSuppressed(n int) { c.dupsSuppressed += n }
+
+// ReorderHealed counts out-of-order frames buffered and later released in
+// FIFO order.
+func (c *Collector) ReorderHealed(n int) { c.reorderedHealed += n }
+
+// DroppedDeadline counts retransmissions abandoned because the entry's
+// remaining slack no longer admitted the extra transmission.
+func (c *Collector) DroppedDeadline(n int) { c.droppedDeadline += n }
+
 // Result freezes a collector into the run summary.
 func (c *Collector) Result() Result {
 	r := Result{
@@ -206,6 +230,11 @@ func (c *Collector) Result() Result {
 		BoundsRelaxed:   c.boundsRelaxed,
 		BoundsRejected:  c.boundsRejected,
 		RefloodedSubs:   c.refloodedSubs,
+		FramesLost:      c.framesLost,
+		Retransmits:     c.retransmits,
+		DupsSuppressed:  c.dupsSuppressed,
+		ReorderedHealed: c.reorderedHealed,
+		DroppedDeadline: c.droppedDeadline,
 	}
 	if c.latency.Count() > 0 {
 		r.LatencyMeanMs = c.latency.Mean()
@@ -296,6 +325,14 @@ type Result struct {
 	BoundsRejected     int
 	RefloodedSubs      int
 
+	// Reliable-channel counters (lossy-network resilience); all zero on
+	// runs without an injected link adversary.
+	FramesLost      int
+	Retransmits     int
+	DupsSuppressed  int
+	ReorderedHealed int
+	DroppedDeadline int
+
 	// Timeline is the delivery-over-time histogram (publication-time
 	// buckets); nil unless the run enabled one.
 	Timeline []TimeBucket
@@ -342,6 +379,10 @@ func (r Result) String() string {
 			r.Detections, r.DetectionLatencyMs, r.ReroutedPaths,
 			r.BoundsKept, r.BoundsRelaxed, r.BoundsRejected, r.RefloodedSubs)
 	}
+	if r.FramesLost > 0 || r.DupsSuppressed > 0 || r.ReorderedHealed > 0 || r.DroppedDeadline > 0 {
+		s += fmt.Sprintf(" (loss lost=%d retx=%d dup=%d reorder=%d deadline=%d)",
+			r.FramesLost, r.Retransmits, r.DupsSuppressed, r.ReorderedHealed, r.DroppedDeadline)
+	}
 	return s
 }
 
@@ -357,7 +398,13 @@ func Mean(rs []Result) Result {
 	var pub, tgt, rec, valid, late, de, dh, da, dc, peak float64
 	var earn, lm, l50, l95, lmax, fair float64
 	var det, detLat, rerouted, kept, relaxed, rejected, reflooded float64
+	var lost, retx, dups, reord, ddl float64
 	for _, r := range rs {
+		lost += float64(r.FramesLost)
+		retx += float64(r.Retransmits)
+		dups += float64(r.DupsSuppressed)
+		reord += float64(r.ReorderedHealed)
+		ddl += float64(r.DroppedDeadline)
 		det += float64(r.Detections)
 		detLat += r.DetectionLatencyMs
 		rerouted += float64(r.ReroutedPaths)
@@ -406,6 +453,11 @@ func Mean(rs []Result) Result {
 	out.BoundsRelaxed = round(relaxed)
 	out.BoundsRejected = round(rejected)
 	out.RefloodedSubs = round(reflooded)
+	out.FramesLost = round(lost)
+	out.Retransmits = round(retx)
+	out.DupsSuppressed = round(dups)
+	out.ReorderedHealed = round(reord)
+	out.DroppedDeadline = round(ddl)
 	out.Timeline = meanTimeline(rs)
 	return out
 }

@@ -29,6 +29,15 @@ const (
 	FrameHello       = 0x04
 	FrameUnsubscribe = 0x05
 	FrameHeartbeat   = 0x06
+	// FrameData carries a message on a reliable broker-to-broker link:
+	// seq(8) base(8) message. seq is the link-local sequence number; base
+	// is the sender's lowest still-live sequence (the receiver must not
+	// wait for anything below it).
+	FrameData = 0x07
+	// FrameDataDrop is a FrameData the injected loss shim mangled in
+	// flight: same body, delivered only so the wire totals balance, then
+	// discarded — the receiver treats it as a vanished transmission.
+	FrameDataDrop = 0x08
 )
 
 // Hello roles: the first frame on every live-runtime connection declares
@@ -80,6 +89,45 @@ func DecodeUnsubscribe(body []byte) (SubID, error) {
 		return 0, fmt.Errorf("%w: unsubscribe body %d bytes", ErrCorrupt, len(body))
 	}
 	return SubID(binary.BigEndian.Uint32(body)), nil
+}
+
+// DataHdrLen is the fixed prefix a FrameData body carries before the
+// message encoding: seq(8) base(8).
+const DataHdrLen = 16
+
+// AppendDataHeader appends the reliable-link data prefix: seq(8) base(8).
+// The message body encoding (AppendMessage) follows it.
+func AppendDataHeader(dst []byte, seq, base uint64) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, seq)
+	return binary.BigEndian.AppendUint64(dst, base)
+}
+
+// DecodeDataHeader splits a FrameData body into its sequence numbers and
+// the message body that follows (aliasing body, not copying).
+func DecodeDataHeader(body []byte) (seq, base uint64, msgBody []byte, err error) {
+	if len(body) < DataHdrLen {
+		return 0, 0, nil, fmt.Errorf("%w: data body %d bytes", ErrCorrupt, len(body))
+	}
+	seq = binary.BigEndian.Uint64(body)
+	base = binary.BigEndian.Uint64(body[8:])
+	if base > seq {
+		return 0, 0, nil, fmt.Errorf("%w: data base %d above seq %d", ErrCorrupt, base, seq)
+	}
+	return seq, base, body[DataHdrLen:], nil
+}
+
+// AppendAck appends a cumulative-ack body: every sequence ≤ cum has been
+// accepted by the receiver, so the sender may trim its retransmit buffer.
+func AppendAck(dst []byte, cum uint64) []byte {
+	return binary.BigEndian.AppendUint64(dst, cum)
+}
+
+// DecodeAck parses a cumulative-ack body.
+func DecodeAck(body []byte) (uint64, error) {
+	if len(body) != 8 {
+		return 0, fmt.Errorf("%w: ack body %d bytes", ErrCorrupt, len(body))
+	}
+	return binary.BigEndian.Uint64(body), nil
 }
 
 // Codec limits.

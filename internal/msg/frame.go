@@ -152,6 +152,28 @@ func AppendMessageFrame(dst []byte, m *Message) ([]byte, error) {
 	return dst, nil
 }
 
+// AppendDataFrame assembles one complete reliable-link data frame
+// (header + seq/base prefix + message body) into dst — the FrameData
+// counterpart of AppendMessageFrame for the batched egress path.
+func AppendDataFrame(dst []byte, seq, base uint64, m *Message) ([]byte, error) {
+	start := len(dst)
+	dst = BeginFrame(dst, FrameData)
+	dst = AppendDataHeader(dst, seq, base)
+	dst, err := AppendMessage(dst, m)
+	if err != nil {
+		return dst[:start], err
+	}
+	if err := EndFrame(dst, start); err != nil {
+		return dst[:start], err
+	}
+	return dst, nil
+}
+
+// DataFrameType returns the offset of the frame-type byte within a frame
+// assembled at `start` — the byte the loss shim mangles to turn a
+// FrameData into a FrameDataDrop without reassembling the burst.
+func DataFrameType(start int) int { return start + 3 }
+
 // ---------------------------------------------------------------------
 // Pooled messages.
 

@@ -49,6 +49,18 @@ func FuzzCodec(f *testing.F) {
 	f.Add(framed.Bytes())
 	f.Add(AppendHello(nil, RoleBroker, 4))
 	f.Add(AppendUnsubscribe(nil, 9))
+	// Reliable-channel frames: a full data frame (seq/base header wrapping
+	// a message body), a bare data header, a cumulative ack, and two
+	// malformed variants — base above seq, and a truncated header.
+	df, err := AppendDataFrame(nil, 7, 5, m)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(df)
+	f.Add(append(AppendDataHeader(nil, 7, 5), mBody...))
+	f.Add(AppendAck(nil, 42))
+	f.Add(AppendDataHeader(nil, 3, 9))
+	f.Add(AppendDataHeader(nil, 7, 5)[:DataHdrLen-1])
 	// A header claiming a huge body: must be refused, not allocated.
 	f.Add([]byte{0xBD, 0x75, 1, FrameMessage, 0xFF, 0xFF, 0xFF, 0xFF})
 
@@ -103,6 +115,25 @@ func FuzzCodec(f *testing.F) {
 		// The small decoders must simply never panic.
 		_, _, _ = DecodeHello(data)
 		_, _ = DecodeUnsubscribe(data)
+		// Data frame body: the header must round-trip bit for bit and obey
+		// its invariant (base never above seq); the wrapped message body is
+		// itself decoder-safe input.
+		if seq, base, msgBody, err := DecodeDataHeader(data); err == nil {
+			if base > seq {
+				t.Fatalf("decoder accepted base %d > seq %d", base, seq)
+			}
+			enc := append(AppendDataHeader(nil, seq, base), msgBody...)
+			if !bytes.Equal(enc, data) {
+				t.Fatalf("data header re-encodes differently:\n%x\n%x", enc, data)
+			}
+			_, _ = DecodeMessage(msgBody)
+		}
+		// Cumulative ack: exact-size body, stable round-trip.
+		if cum, err := DecodeAck(data); err == nil {
+			if !bytes.Equal(AppendAck(nil, cum), data) {
+				t.Fatalf("ack re-encodes differently")
+			}
+		}
 		// Framing: a reader over hostile bytes must error or terminate,
 		// and a recovered body must itself be safe to decode. The pooled
 		// FrameReader must agree with the allocating ReadFrame.

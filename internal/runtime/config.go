@@ -120,6 +120,11 @@ type Config struct {
 	// detection, topology repair, and delay-bound renegotiation.
 	Recovery Recovery
 
+	// Reliability configures the per-link reliable channel that heals the
+	// LinkLoss adversary: retransmission, deadline-aware retry admission,
+	// dedup/reorder windows and the live ack cadence.
+	Reliability Reliability
+
 	// TimelineBucket > 0 records a delivery-rate timeline bucketed by
 	// publication instant (emulated ms per bucket) into Result.Timeline —
 	// the instrument behind the recovery ablation figures.
@@ -176,8 +181,63 @@ func (r *Recovery) setDefaults() {
 	}
 }
 
-// Fault is an injected failure. The concrete types are LinkDown and
-// BrokerCrash.
+// Reliability configures the reliable per-link channel. The zero value
+// (after defaults) retries lost frames with deadline-aware admission.
+type Reliability struct {
+	// NoRetry disables retransmission: lost frames stay lost (the
+	// loss-no-retry ablation arm).
+	NoRetry bool
+
+	// BlindRetry disables the deadline-aware admission gate: every loss is
+	// retransmitted until MaxAttempts, even when the message can no longer
+	// meet its bound.
+	BlindRetry bool
+
+	// MaxAttempts caps total transmissions per frame, retries included
+	// (default 16 — a runaway backstop, not a tuning knob).
+	MaxAttempts int
+
+	// SuccessTarget is the delivery probability the remaining slack must
+	// retain for a retransmission to be admitted (deadline-aware mode);
+	// default 0.99, deliberately stricter than Recovery.SuccessTarget
+	// because a retry burns slack the original admission already budgeted.
+	SuccessTarget float64
+
+	// AckEvery is the live receiver's cumulative-ack cadence in data
+	// frames (default 16). The simulator does not model acks: they only
+	// trim the retransmit buffer and carry no accounting.
+	AckEvery int
+
+	// Window bounds the per-link retransmit buffer (sender) and the
+	// reorder-heal buffer (receiver), in frames (default 64).
+	Window int
+}
+
+// Defaulted returns the config with zero fields replaced by their
+// defaults — for callers outside the plan pipeline (standalone live
+// clusters), whose configs never pass through Config.setDefaults.
+func (r Reliability) Defaulted() Reliability {
+	(&r).setDefaults()
+	return r
+}
+
+func (r *Reliability) setDefaults() {
+	if r.MaxAttempts <= 0 {
+		r.MaxAttempts = 16
+	}
+	if r.SuccessTarget <= 0 {
+		r.SuccessTarget = 0.99
+	}
+	if r.AckEvery <= 0 {
+		r.AckEvery = 16
+	}
+	if r.Window <= 0 {
+		r.Window = 64
+	}
+}
+
+// Fault is an injected failure. The concrete types are LinkDown,
+// BrokerCrash and LinkLoss.
 type Fault interface {
 	isFault()
 }
@@ -201,6 +261,24 @@ type BrokerCrash struct {
 
 func (BrokerCrash) isFault() {}
 
+// LinkLoss subjects the directed link From→To to a lossy-network
+// adversary during [Start, End): each transmission is independently
+// dropped with probability Rate, each delivered frame duplicated with
+// probability Dup and swapped with its successor with probability
+// Reorder. From = To = msg.None (-1) applies the adversary to every arc.
+// End ≤ 0 keeps it active for the whole run. Decisions are drawn from a
+// deterministic per-(link, seq, attempt) hash of the run seed, so the
+// simulator and the live overlay face the identical adversary.
+type LinkLoss struct {
+	From, To   msg.NodeID
+	Rate       float64 // per-transmission drop probability, [0,1)
+	Dup        float64 // per-delivery duplication probability, [0,1)
+	Reorder    float64 // per-delivery swap-with-successor probability, [0,1)
+	Start, End vtime.Millis
+}
+
+func (LinkLoss) isFault() {}
+
 func (c *Config) setDefaults() error {
 	if c.Strategy == nil {
 		c.Strategy = core.MaxEB{}
@@ -214,6 +292,7 @@ func (c *Config) setDefaults() error {
 	// Recovery defaults are filled unconditionally so a Config's cache
 	// identity is stable whether or not recovery is enabled.
 	c.Recovery.setDefaults()
+	c.Reliability.setDefaults()
 	c.Workload.Scenario = c.Scenario
 	if c.Workload.Seed == 0 {
 		c.Workload.Seed = c.Seed

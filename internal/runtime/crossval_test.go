@@ -119,6 +119,114 @@ func TestCrossValidationSimVsLive(t *testing.T) {
 	}
 }
 
+// TestCrossValidationLossExact is the lossy-network headline check: under
+// a seeded per-arc loss/dup adversary, the simulator and the live overlay
+// must agree EXACTLY — not statistically — on the reliable-channel
+// counters. Both backends resolve every transmission chain from the same
+// per-(link, seq, attempt) hash of the run seed, so FramesLost,
+// Retransmits, DupsSuppressed and DroppedDeadline are deterministic
+// functions of the plan, independent of wall-clock jitter.
+//
+// Preconditions for exactness: BlindRetry removes the wall-clock
+// dependence of the deadline-aware admission gate, and the generous
+// default bounds keep DroppedDeadline at zero on both backends (asserted,
+// so the equality is 0 == 0 by proof rather than accident). Reorder stays
+// 0 here: swap decisions depend on queue adjacency, which wall-clock
+// scheduling perturbs — ReorderedHealed is validated statistically in the
+// livenet soak instead.
+func TestCrossValidationLossExact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compressed-timescale live cluster run")
+	}
+	for _, rate := range []float64{0.05, 0.10, 0.20} {
+		t.Run(fmt.Sprintf("loss=%.2f", rate), func(t *testing.T) {
+			mk := func() runtime.Config {
+				cfg := crossValConfig(t)
+				cfg.Faults = []runtime.Fault{runtime.LinkLoss{
+					From: msg.None, To: msg.None,
+					Rate: rate, Dup: 0.05,
+				}}
+				cfg.Reliability = runtime.Reliability{BlindRetry: true}
+				cfg.TimelineBucket = 30 * vtime.Second
+				// Generous bounds: a message dropped as hopeless mid-path
+				// sends nothing downstream, which would shift every later
+				// seq on that link — and live pays overheads sim does not.
+				// Exactness needs the same frame set on every link, so no
+				// message may die of lateness on either backend.
+				cfg.Workload.PSDDelayLo = 2 * vtime.Minute
+				cfg.Workload.PSDDelayHi = 3 * vtime.Minute
+				return cfg
+			}
+			sim, err := runtime.Run(mk(), simnet.Transport{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sim.FramesLost == 0 {
+				t.Fatalf("adversary at rate %.2f lost nothing in sim", rate)
+			}
+			// Blind retry never abandons a frame, so every loss is retried.
+			if sim.Retransmits != sim.FramesLost {
+				t.Errorf("sim retransmits %d != losses %d under blind retry",
+					sim.Retransmits, sim.FramesLost)
+			}
+			if sim.DroppedDeadline != 0 {
+				t.Errorf("sim dropped %d frames on deadline under blind retry", sim.DroppedDeadline)
+			}
+
+			for _, shards := range []int{0, 4} {
+				t.Run(fmt.Sprintf("liveShards=%d", shards), func(t *testing.T) {
+					lcfg := mk()
+					lcfg.LiveShards = shards
+					live, err := runtime.Run(lcfg, livenet.Transport{})
+					if err != nil {
+						t.Fatal(err)
+					}
+					// The exact-agreement set: counters that are pure
+					// functions of (seed, link index, seq, attempt).
+					if sim.FramesLost != live.FramesLost {
+						t.Errorf("FramesLost diverged: sim %d, live %d", sim.FramesLost, live.FramesLost)
+					}
+					if sim.Retransmits != live.Retransmits {
+						t.Errorf("Retransmits diverged: sim %d, live %d", sim.Retransmits, live.Retransmits)
+					}
+					if sim.DupsSuppressed != live.DupsSuppressed {
+						t.Errorf("DupsSuppressed diverged: sim %d, live %d", sim.DupsSuppressed, live.DupsSuppressed)
+					}
+					if sim.DroppedDeadline != live.DroppedDeadline {
+						t.Errorf("DroppedDeadline diverged: sim %d, live %d", sim.DroppedDeadline, live.DroppedDeadline)
+					}
+					// Retransmission heals the loss: the delivery-side story
+					// stays statistically aligned, as in the lossless check.
+					if sim.Published != live.Published {
+						t.Errorf("published diverged: sim %d, live %d", sim.Published, live.Published)
+					}
+					if live.ValidDeliveries == 0 {
+						t.Fatal("live run delivered nothing under loss")
+					}
+					if d := math.Abs(sim.DeliveryRate() - live.DeliveryRate()); d > 0.15 {
+						t.Errorf("delivery rates diverged by %.3f: sim %.3f, live %.3f",
+							d, sim.DeliveryRate(), live.DeliveryRate())
+					}
+					// Per-bucket delivery timelines stay within the same band.
+					if len(sim.Timeline) == 0 || len(live.Timeline) == 0 {
+						t.Fatalf("timelines missing: sim %d buckets, live %d", len(sim.Timeline), len(live.Timeline))
+					}
+					n := len(sim.Timeline)
+					if len(live.Timeline) < n {
+						n = len(live.Timeline)
+					}
+					for i := 0; i < n; i++ {
+						if d := math.Abs(sim.Timeline[i].Rate() - live.Timeline[i].Rate()); d > 0.15 {
+							t.Errorf("timeline bucket %d diverged by %.3f: sim %.3f, live %.3f",
+								i, d, sim.Timeline[i].Rate(), live.Timeline[i].Rate())
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
 // diamondOverlay has two disjoint paths ingress→edge (0-1-3 and 0-2-3),
 // so K=2 multipath routing actually fans out.
 func diamondOverlay(t testing.TB) *topology.Overlay {

@@ -220,6 +220,8 @@ func (p *Plan) validateFaults() error {
 	}
 	type window struct{ start, end vtime.Millis }
 	outages := make(map[[2]msg.NodeID][]window)
+	lossArcs := make(map[[2]msg.NodeID]bool)
+	lossWild := false
 	for _, f := range p.Cfg.Faults {
 		switch f := f.(type) {
 		case LinkDown:
@@ -239,6 +241,38 @@ func (p *Plan) validateFaults() error {
 			}
 			if f.At > horizon {
 				return fmt.Errorf("runtime: BrokerCrash at %v falls past the run horizon %v", f.At, horizon)
+			}
+		case LinkLoss:
+			wild := f.From == msg.None && f.To == msg.None
+			if !wild {
+				if _, ok := p.Overlay.Graph.Rate(f.From, f.To); !ok {
+					return fmt.Errorf("runtime: LinkLoss on missing arc %d->%d", f.From, f.To)
+				}
+			}
+			for name, rate := range map[string]float64{"Rate": f.Rate, "Dup": f.Dup, "Reorder": f.Reorder} {
+				if rate < 0 || rate >= 1 {
+					return fmt.Errorf("runtime: LinkLoss %s %v outside [0,1)", name, rate)
+				}
+			}
+			if f.Start < 0 || (f.End > 0 && f.End <= f.Start) {
+				return fmt.Errorf("runtime: LinkLoss window [%v,%v) has non-positive duration", f.Start, f.End)
+			}
+			if f.Start > horizon {
+				return fmt.Errorf("runtime: LinkLoss at %v starts past the run horizon %v", f.Start, horizon)
+			}
+			// One adversary per arc: overlapping loss models would make the
+			// deterministic per-(link, seq, attempt) decision hash ambiguous.
+			if wild {
+				if lossWild || len(lossArcs) > 0 {
+					return fmt.Errorf("runtime: wildcard LinkLoss conflicts with another LinkLoss fault")
+				}
+				lossWild = true
+			} else {
+				arc := [2]msg.NodeID{f.From, f.To}
+				if lossWild || lossArcs[arc] {
+					return fmt.Errorf("runtime: duplicate LinkLoss on arc %d->%d", f.From, f.To)
+				}
+				lossArcs[arc] = true
 			}
 		default:
 			return fmt.Errorf("runtime: unknown fault type %T", f)
@@ -267,8 +301,10 @@ func faultKey(f Fault) (at vtime.Millis, kind int, a, b msg.NodeID) {
 		return f.At, 0, f.ID, 0
 	case LinkDown:
 		return f.Start, 1, f.From, f.To
+	case LinkLoss:
+		return f.Start, 2, f.From, f.To
 	}
-	return 0, 2, 0, 0
+	return 0, 3, 0, 0
 }
 
 // faultLess is the deterministic fault order shared by both backends.

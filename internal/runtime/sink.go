@@ -27,6 +27,14 @@ type Sink interface {
 	Rerouted(n int)
 	Renegotiated(kept, relaxed, rejected int)
 	Reflooded(n int)
+
+	// Reliable-channel accounting, fed by the per-link loss adversary and
+	// the retransmission/dedup machinery on both backends.
+	FrameLost(n int)
+	Retransmit(n int)
+	DupSuppressed(n int)
+	ReorderHealed(n int)
+	DroppedDeadline(n int)
 }
 
 // LockedSink serializes a Sink for concurrent backends. The simulator
@@ -105,4 +113,34 @@ func (l *LockedSink) Reflooded(n int) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.s.Reflooded(n)
+}
+
+func (l *LockedSink) FrameLost(n int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.s.FrameLost(n)
+}
+
+func (l *LockedSink) Retransmit(n int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.s.Retransmit(n)
+}
+
+func (l *LockedSink) DupSuppressed(n int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.s.DupSuppressed(n)
+}
+
+func (l *LockedSink) ReorderHealed(n int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.s.ReorderHealed(n)
+}
+
+func (l *LockedSink) DroppedDeadline(n int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.s.DroppedDeadline(n)
 }

@@ -24,6 +24,7 @@ import (
 	"bdps/internal/stats"
 	"bdps/internal/topology"
 	"bdps/internal/trace"
+	"bdps/internal/vtime"
 )
 
 // Config describes one simulation run (alias of the unified runtime
@@ -40,12 +41,13 @@ const (
 	LinkGamma  = runtime.LinkGamma
 )
 
-// Fault is an injected failure; LinkDown and BrokerCrash are the
-// concrete types.
+// Fault is an injected failure; LinkDown, BrokerCrash and LinkLoss are
+// the concrete types.
 type (
 	Fault       = runtime.Fault
 	LinkDown    = runtime.LinkDown
 	BrokerCrash = runtime.BrokerCrash
+	LinkLoss    = runtime.LinkLoss
 )
 
 // Transport is the discrete-event backend: deterministic, virtual-time,
@@ -65,16 +67,33 @@ func (Transport) Deploy(p *runtime.Plan) (runtime.Deployment, error) { return de
 
 // link is one directed overlay link at runtime. At most one transfer is
 // in flight per link, so the completion event is a single closure built
-// at assembly time and reused for every transfer (inflight carries the
-// message across to it).
+// at assembly time and reused for every transfer (frames carries the
+// surviving wire frames across to it, in delivery order).
 type link struct {
 	from, to msg.NodeID
 	busy     bool
 	down     bool
 	sampler  runtime.Sampler
 	stream   *stats.Stream
-	inflight *msg.Message
 	onDone   func()
+
+	// Reliable-channel state: the per-link sequence counter, the loss
+	// adversary (nil on clean links), the retransmission policy and the
+	// receiving end's dedup/reorder cursor — the exact state the live
+	// overlay keeps per peer connection.
+	seq     uint64
+	lm      *runtime.LossModel
+	retry   runtime.RetryPolicy
+	recv    *runtime.RecvState
+	frames  []simFrame
+	scratch []*msg.Message
+}
+
+// simFrame is one surviving wire frame of an in-flight transfer (lost
+// transmissions charge link time but never appear here).
+type simFrame struct {
+	m         *msg.Message
+	seq, base uint64
 }
 
 // Network is a deployed simulation, stepped by its engine. Most callers
@@ -117,6 +136,9 @@ func deploy(p *runtime.Plan) (*Network, error) {
 			to:      pl.To,
 			sampler: p.Sampler(pl),
 			stream:  p.LinkStream(pl),
+			lm:      p.LossModel(pl),
+			retry:   p.RetryPolicy(pl),
+			recv:    runtime.NewRecvState(p.Cfg.Reliability.Window),
 		}
 		l.onDone = func() { n.linkDone(l) }
 		if n.links[pl.From] == nil {
@@ -181,6 +203,9 @@ func deploy(p *runtime.Plan) (*Network, error) {
 					det.ArcRestored(f.From, f.To)
 				})
 			}
+		case LinkLoss:
+			// Nothing to arm: the adversary is consulted inline on every
+			// transmission (kick), gated by its own [Start, End) window.
 		case BrokerCrash:
 			n.Engine.At(f.At, func() { n.dead[f.ID] = true })
 			if det != nil {
@@ -334,49 +359,133 @@ func (n *Network) process(m *msg.Message, at msg.NodeID) {
 
 // kick starts a transmission on the (from → to) link if it is idle, up,
 // and work is queued. Each completion re-kicks, draining the queue.
+//
+// One kick plays one transfer against the link's loss adversary: the
+// head frame's whole send chain (losses retried head-of-line, each
+// attempt charging link time again) plus, on a reorder decision, the
+// next queued frame swapped in front of it. Only surviving frames travel;
+// lost attempts consume time and nothing else — exactly what the live
+// shim does with mangled FrameDataDrop writes.
 func (n *Network) kick(from, to msg.NodeID) {
 	l := n.links[from][to]
 	if l == nil || l.busy || l.down || n.dead[from] {
 		return
 	}
 	b := n.Brokers[from]
-	q := b.Queue(to)
-	e, drops := q.PopNext(b.Strategy(), n.Engine.Now(), b.Params())
-	for _, d := range drops {
-		reason := "expired"
-		if d.Reason == core.DropHopeless {
-			reason = "hopeless"
+	now := n.Engine.Now()
+	pop := func() (*msg.Message, float64, vtime.Millis, bool) {
+		e, drops := b.Queue(to).PopNext(b.Strategy(), now, b.Params())
+		for _, d := range drops {
+			reason := "expired"
+			if d.Reason == core.DropHopeless {
+				reason = "hopeless"
+			}
+			n.tracer.Emit(trace.Event{T: now, Kind: trace.Drop,
+				MsgID: d.Entry.MsgID, Broker: int32(from), Note: reason})
+			switch d.Reason {
+			case core.DropExpired:
+				n.Collector.DroppedExpired(1)
+			case core.DropHopeless:
+				n.Collector.DroppedHopeless(1)
+			}
+			d.Entry.Release()
 		}
-		n.tracer.Emit(trace.Event{T: n.Engine.Now(), Kind: trace.Drop,
-			MsgID: d.Entry.MsgID, Broker: int32(from), Note: reason})
-		switch d.Reason {
-		case core.DropExpired:
-			n.Collector.DroppedExpired(1)
-		case core.DropHopeless:
-			n.Collector.DroppedHopeless(1)
+		if e == nil {
+			return nil, 0, 0, false
 		}
-		d.Entry.Release()
+		m := e.Data.(*msg.Message)
+		size := e.SizeKB
+		dl := l.retry.EffectiveDeadline(e.Targets, size)
+		e.Release()
+		return m, size, dl, true
 	}
-	if e == nil {
+	var tx float64
+	frames := l.frames[:0]
+	// addChain resolves one message's send chain, charges its link time
+	// and appends its surviving frames. Sample order (one draw per
+	// attempt, then one for a duplicate) is the cross-backend contract.
+	addChain := func(m *msg.Message, size float64, dl vtime.Millis) bool {
+		l.seq++
+		n.tracer.Emit(trace.Event{T: now, Kind: trace.Send,
+			MsgID: uint64(m.ID), Broker: int32(from), Peer: int32(to)})
+		out := runtime.ResolveSend(l.lm, l.retry, l.seq, size, dl, now)
+		for i := 0; i < out.Attempts; i++ {
+			tx += size * l.sampler.Sample(l.stream)
+		}
+		if out.Losses > 0 {
+			n.Collector.FrameLost(out.Losses)
+		}
+		if out.Retransmits > 0 {
+			n.Collector.Retransmit(out.Retransmits)
+		}
+		if !out.Deliver {
+			n.Collector.DroppedDeadline(1)
+			n.tracer.Emit(trace.Event{T: now, Kind: trace.Drop,
+				MsgID: uint64(m.ID), Broker: int32(from), Note: "deadline-retx"})
+			return false
+		}
+		frames = append(frames, simFrame{m: m, seq: l.seq})
+		if out.Dup {
+			tx += size * l.sampler.Sample(l.stream)
+			frames = append(frames, simFrame{m: m, seq: l.seq})
+		}
+		return true
+	}
+	m, size, dl, ok := pop()
+	if !ok {
 		return
 	}
+	headSeq := l.seq + 1
+	if addChain(m, size, dl) && l.lm.Swap(headSeq, now) {
+		// Reorder: the delivered head frame swaps behind its successor.
+		if m2, size2, dl2, ok2 := pop(); ok2 {
+			split := len(frames)
+			if addChain(m2, size2, dl2) {
+				rotated := make([]simFrame, 0, len(frames))
+				rotated = append(rotated, frames[split:]...)
+				rotated = append(rotated, frames[:split]...)
+				frames = rotated
+			}
+		}
+	}
+	// base = the lowest still-live sequence when each frame hits the wire:
+	// the suffix-minimum over the delivery order. The receiver must never
+	// wait for anything below it (abandoned frames leave gaps).
+	low := ^uint64(0)
+	for i := len(frames) - 1; i >= 0; i-- {
+		if frames[i].seq < low {
+			low = frames[i].seq
+		}
+		frames[i].base = low
+	}
 	l.busy = true
-	m := e.Data.(*msg.Message)
-	n.tracer.Emit(trace.Event{T: n.Engine.Now(), Kind: trace.Send,
-		MsgID: uint64(m.ID), Broker: int32(from), Peer: int32(to)})
-	tx := e.SizeKB * l.sampler.Sample(l.stream)
-	e.Release()
-	l.inflight = m
+	l.frames = frames
 	n.Engine.After(tx, l.onDone)
 }
 
-// linkDone completes one transfer: the message arrives at the far end
-// and the link immediately tries to pick up more queued work.
+// linkDone completes one transfer: the surviving frames run through the
+// receiving end's dedup/reorder state in delivery order, in-order
+// messages arrive at the far end, and the link immediately tries to pick
+// up more queued work.
 func (n *Network) linkDone(l *link) {
-	m := l.inflight
-	l.inflight = nil
 	l.busy = false
-	n.arrive(m, l.to)
+	deliver := l.scratch[:0]
+	for _, f := range l.frames {
+		var dup bool
+		var healed int
+		deliver, dup, healed = l.recv.Accept(f.seq, f.base, f.m, deliver[:0])
+		if dup {
+			n.Collector.DupSuppressed(1)
+		}
+		if healed > 0 {
+			n.Collector.ReorderHealed(healed)
+		}
+		for _, m := range deliver {
+			n.arrive(m, l.to)
+		}
+	}
+	l.scratch = deliver[:0]
+	l.frames = l.frames[:0]
 	n.kick(l.from, l.to)
 }
 
