@@ -26,12 +26,16 @@ verify: build vet test
 #   5. the recovery benches: time from confirmed-dead arc to repaired
 #      routing (detour reroute, and a full layered-topology repair);
 #   6. the reliable-channel benches: retransmit-buffer cycle/eviction and
-#      receiver dedup/reorder healing — the per-frame tax a lossy link pays.
+#      receiver dedup/reorder healing — the per-frame tax a lossy link pays;
+#   7. the aggregation tentpole at 1x — one flat and one aggregated
+#      million-subscription build per iteration IS the measurement, and
+#      the bench itself asserts the 5x entry/flood shrink.
 bench:
-	$(GO) test -json -run '^$$' -bench '^Benchmark(Figure|Ablation|Filter|Normal|Pick|Queue|Table|Routing|Topology|Dijkstra|Codec|Sim)' -benchmem -benchtime 100x . > BENCH_pr7.json
-	$(GO) test -json -run '^$$' -bench BenchmarkLiveThroughput -benchmem -benchtime 20000x . >> BENCH_pr7.json
-	$(GO) test -json -run '^$$' -bench '^BenchmarkIndexBuild$$' -benchmem -benchtime 1x . >> BENCH_pr7.json
-	$(GO) test -json -run '^$$' -bench '^BenchmarkChurn' -benchmem -benchtime 2s . >> BENCH_pr7.json
-	$(GO) test -json -run '^$$' -bench '^BenchmarkRecovery' -benchmem -benchtime 100x ./internal/runtime/ >> BENCH_pr7.json
-	$(GO) test -json -run '^$$' -bench '^BenchmarkRetransmit$$' -benchmem -benchtime 10000x ./internal/livenet/ >> BENCH_pr7.json
-	@grep -o '"Output":"Benchmark[^"]*ns/op[^"]*"' BENCH_pr7.json | head -80 || true
+	$(GO) test -json -run '^$$' -bench '^Benchmark(Figure|Ablation|Filter|Normal|Pick|Queue|Table|Routing|Topology|Dijkstra|Codec|Sim|Covers)' -benchmem -benchtime 100x . > BENCH_pr8.json
+	$(GO) test -json -run '^$$' -bench BenchmarkLiveThroughput -benchmem -benchtime 20000x . >> BENCH_pr8.json
+	$(GO) test -json -run '^$$' -bench '^BenchmarkIndexBuild$$' -benchmem -benchtime 1x . >> BENCH_pr8.json
+	$(GO) test -json -run '^$$' -bench '^BenchmarkChurn' -benchmem -benchtime 2s . >> BENCH_pr8.json
+	$(GO) test -json -run '^$$' -bench '^BenchmarkRecovery' -benchmem -benchtime 100x ./internal/runtime/ >> BENCH_pr8.json
+	$(GO) test -json -run '^$$' -bench '^BenchmarkRetransmit$$' -benchmem -benchtime 10000x ./internal/livenet/ >> BENCH_pr8.json
+	$(GO) test -json -run '^$$' -bench '^BenchmarkAggregation1M$$' -benchmem -benchtime 1x . >> BENCH_pr8.json
+	@grep -o '"Output":"Benchmark[^"]*ns/op[^"]*"' BENCH_pr8.json | head -80 || true

@@ -63,6 +63,7 @@ func main() {
 		sizeKB  = flag.Float64("size", 1, "emulated message size in KB")
 		payload = flag.Int("payload", 0, "payload bytes per message")
 		churn   = flag.Float64("churn", 0, "subscription churn: subscribe+unsubscribe flood pairs per second, sustained while publishing (0 = none)")
+		agg     = flag.Bool("aggregate", false, "covering-based subscription aggregation: churn subscriptions covered by a resident filter stop flooding the overlay")
 		compare = flag.Bool("compare", false, "run the classic plane, then the sharded plane, and report the speedup")
 
 		killBroker = flag.Int("kill-broker", -1, "crash this broker mid-measurement (-1 = no fault)")
@@ -80,7 +81,7 @@ func main() {
 	cfg := loadCfg{
 		n: *n, pubs: *pubs, subs: *subs, brokers: *brokers,
 		shards: *shards, burst: *burst, sizeKB: *sizeKB, payload: *payload,
-		churn:      *churn,
+		churn: *churn, aggregate: *agg,
 		killBroker: *killBroker, killAt: *killAt, linkDown: *linkDown,
 		hbInterval: *hbInterval, hbTimeout: *hbTimeout,
 		linkLoss: *linkLoss, linkDup: *linkDup, linkReorder: *linkReorder,
@@ -142,6 +143,9 @@ func report(plane string, cfg loadCfg, r result) {
 			r.link.FramesLost, r.link.Retransmits, r.link.DupsSuppressed,
 			r.link.ReorderedHealed, r.link.DroppedDeadline)
 	}
+	if cfg.aggregate {
+		fmt.Printf("  floods-suppressed %d  agg-entries %d", r.floodsSuppressed, r.aggEntries)
+	}
 	fmt.Println()
 }
 
@@ -151,6 +155,7 @@ type loadCfg struct {
 	sizeKB                 float64
 	payload                int
 	churn                  float64
+	aggregate              bool
 
 	killBroker            int
 	killAt                time.Duration
@@ -208,6 +213,9 @@ type result struct {
 	restorations int64
 	sendFailed   int64
 	link         livenet.Stats // reliable-channel counters (loss accounting)
+
+	floodsSuppressed int // subscribe floods aggregation avoided
+	aggEntries       int // live entries standing for >1 subscription
 }
 
 func run(cfg loadCfg) (result, error) {
@@ -242,6 +250,7 @@ func run(cfg loadCfg) (result, error) {
 		Seed:      1,
 		Shards:    cfg.shards,
 		Burst:     cfg.burst,
+		Aggregate: cfg.aggregate,
 	}
 	if cfg.lossy() {
 		// One wildcard adversary spec; StartCluster arms an independent,
@@ -333,6 +342,18 @@ func run(cfg loadCfg) (result, error) {
 				ID:     msg.SubID(1 << 20),
 				Edge:   edge,
 				Filter: filter.MustParse("A1 < 0.5"), // never matches A1 = 1
+			}
+			if cfg.aggregate {
+				// Park a resident coverer at the edge, then churn strictly
+				// narrower filters under it: every subsequent pair is a
+				// local-table mutation at the edge broker, zero flood
+				// frames across the chain.
+				cover, err := msg.AppendSubscription(nil, &sub)
+				if err != nil || msg.WriteFrame(conn, msg.FrameSubscribe, cover) != nil {
+					return
+				}
+				sub.ID++
+				sub.Filter = filter.MustParse("A1 < 0.25")
 			}
 			next := time.Now()
 			for {
@@ -481,6 +502,9 @@ func run(cfg loadCfg) (result, error) {
 		restorations: restorations.Load(),
 		sendFailed:   sendFailed.Load(),
 		link:         total,
+
+		floodsSuppressed: total.FloodsSuppressed,
+		aggEntries:       c.AggregatedEntries(),
 	}, nil
 }
 

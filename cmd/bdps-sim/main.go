@@ -97,6 +97,10 @@ func run(args []string) error {
 		churnRate = fs.Float64("churn", 0, "subscription churn: subscribe arrivals per minute (0 = static population)")
 		churnHalf = fs.Duration("churn-halflife", time.Minute, "subscription churn: lifetime half-life")
 
+		aggregate = fs.Bool("aggregate", false, "covering-based subscription aggregation: forward a subscription only when no resident filter covers it (single mode, both backends)")
+		zipfU     = fs.Int("zipf", 0, "draw subscription filters from a Zipf-popular template universe of this size (0 = paper's continuous filters)")
+		zipfS     = fs.Float64("zipf-s", 1, "Zipf exponent for -zipf")
+
 		linkLoss    = fs.Float64("link-loss", 0, "per-frame loss probability on every link (single mode, both backends)")
 		linkDup     = fs.Float64("link-dup", 0, "per-frame duplication probability on every link (single mode)")
 		linkReorder = fs.Float64("link-reorder", 0, "per-frame reorder probability on every link (single mode)")
@@ -172,7 +176,12 @@ func run(args []string) error {
 					RatePerMin: *churnRate,
 					HalfLife:   vtime.FromDuration(*churnHalf),
 				},
+				Zipf: workload.Zipf{
+					Universe: *zipfU,
+					Exponent: *zipfS,
+				},
 			},
+			Aggregate:      *aggregate,
 			Multipath:      *multipath,
 			MeasureSamples: *measure,
 			LinkModel:      lm,

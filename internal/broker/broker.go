@@ -248,24 +248,17 @@ func (p *Processor) process(m *msg.Message, now vtime.Millis) Result {
 			// deliver to each subscriber once per message.
 			p.epoch++
 			for _, e := range entries {
-				if p.subEpoch[e.Sub.ID] == p.epoch {
+				p.deliverLocal(m, e, e.Sub, now, res)
+				if e.Agg == nil {
 					continue
 				}
-				p.subEpoch[e.Sub.ID] = p.epoch
-				allowed, price := b.scenario.AllowedDelay(m, e.Sub)
-				if e.Relaxed > allowed {
-					// Topology repair renegotiated this route's bound up to
-					// the cheapest feasible value; judge against the floor.
-					allowed = e.Relaxed
+				// Aggregated entry: fan delivery out to the exact-duplicate
+				// members folded into this representative. Members share the
+				// representative's filter and delivery terms, so the match
+				// and the bound judgment above apply to each verbatim.
+				for _, member := range e.Agg.Members {
+					p.deliverLocal(m, e, member, now, res)
 				}
-				latency := now - m.Published
-				res.Deliveries = append(res.Deliveries, Delivery{
-					SubID:     e.Sub.ID,
-					Price:     price,
-					Published: m.Published,
-					Latency:   latency,
-					Valid:     allowed > 0 && latency <= allowed,
-				})
 			}
 			continue
 		}
@@ -286,6 +279,30 @@ func (p *Processor) process(m *msg.Message, now vtime.Millis) Result {
 		res.EnqueuedHops = append(res.EnqueuedHops, hop)
 	}
 	return *res
+}
+
+// deliverLocal appends one local delivery for a subscription matched
+// through entry e (the subscription itself, or a group member folded
+// into it), once per message across multi-path duplicates.
+func (p *Processor) deliverLocal(m *msg.Message, e *routing.Entry, sub *msg.Subscription, now vtime.Millis, res *Result) {
+	if p.subEpoch[sub.ID] == p.epoch {
+		return
+	}
+	p.subEpoch[sub.ID] = p.epoch
+	allowed, price := p.b.scenario.AllowedDelay(m, sub)
+	if e.Relaxed > allowed {
+		// Topology repair renegotiated this route's bound up to the
+		// cheapest feasible value; judge against the floor.
+		allowed = e.Relaxed
+	}
+	latency := now - m.Published
+	res.Deliveries = append(res.Deliveries, Delivery{
+		SubID:     sub.ID,
+		Price:     price,
+		Published: m.Published,
+		Latency:   latency,
+		Valid:     allowed > 0 && latency <= allowed,
+	})
 }
 
 // buildEntry converts routing entries for one next hop into a pooled

@@ -324,3 +324,54 @@ func TestProcessSteadyStateAllocs(t *testing.T) {
 		t.Errorf("steady-state Process allocates %v objects per run, want ~0", allocs)
 	}
 }
+
+// TestProcessAggregatedMemberFanout: a local aggregated entry delivers
+// to its representative and to every exact-duplicate member folded into
+// it — once each per message, even when multipath installs duplicate
+// local entries sharing the group.
+func TestProcessAggregatedMemberFanout(t *testing.T) {
+	mk := func(id msg.SubID) *msg.Subscription {
+		return &msg.Subscription{ID: id, Edge: 1, Filter: filter.MustParse("A1 < 5"),
+			Deadline: 10 * vtime.Second, Price: 3}
+	}
+	tb := routing.NewTable(1)
+	rep := mk(1)
+	// Two local entries for the rep, as multipath routing would install.
+	tb.Add(&routing.Entry{Sub: rep, Source: 0, Next: msg.None})
+	tb.Add(&routing.Entry{Sub: rep, Source: 0, Next: msg.None})
+	if !tb.Attach(rep.ID, mk(5)) || !tb.Attach(rep.ID, mk(6)) {
+		t.Fatal("Attach failed")
+	}
+	b, err := New(Config{
+		ID: 1, Scenario: msg.SSD, Params: core.DefaultParams(),
+		Strategy: core.MaxEB{}, Table: tb,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res := b.Process(message(3, 0), 1000)
+	got := make(map[msg.SubID]int)
+	for _, d := range res.Deliveries {
+		got[d.SubID]++
+		if !d.Valid || d.Price != 3 {
+			t.Errorf("delivery %+v, want valid at price 3", d)
+		}
+	}
+	for _, id := range []msg.SubID{1, 5, 6} {
+		if got[id] != 1 {
+			t.Fatalf("deliveries per sub = %v, want exactly one each for 1, 5, 6", got)
+		}
+	}
+
+	// Detach one member: the next message no longer fans out to it.
+	tb.Detach(rep.ID, 5)
+	res = b.Process(message(3, 0), 2000)
+	got = make(map[msg.SubID]int)
+	for _, d := range res.Deliveries {
+		got[d.SubID]++
+	}
+	if got[5] != 0 || got[1] != 1 || got[6] != 1 {
+		t.Fatalf("deliveries after detach = %v, want 1 and 6 only", got)
+	}
+}

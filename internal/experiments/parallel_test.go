@@ -224,6 +224,7 @@ func TestConfigKey(t *testing.T) {
 		func(c *simnet.Config) { c.Reliability = runtime.Reliability{NoRetry: true} },
 		func(c *simnet.Config) { c.Reliability = runtime.Reliability{BlindRetry: true} },
 		func(c *simnet.Config) { c.TimelineBucket = 30 * vtime.Second },
+		func(c *simnet.Config) { c.Aggregate = true },
 	}
 	seen := map[string]int{a: -1}
 	for i, mutate := range distinct {
@@ -264,7 +265,7 @@ func TestConfigKeyCoversAllFields(t *testing.T) {
 		"MinRate": true, "Faults": true, "Tracer": true,
 		"PerSubscriber": true, "IndexedMatch": true, "Subscriptions": true,
 		"TimeScale": true, "LiveShards": true, "Recovery": true,
-		"Reliability": true, "TimelineBucket": true,
+		"Reliability": true, "TimelineBucket": true, "Aggregate": true,
 	}
 	rt := reflect.TypeOf(simnet.Config{})
 	for i := 0; i < rt.NumField(); i++ {

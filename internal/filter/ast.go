@@ -177,9 +177,14 @@ func NewPred(attr string, op Op, val Value) *Filter {
 }
 
 // And combines filters conjunctively. Nil or wildcard operands are
-// dropped; And() with no effective operands is a wildcard.
+// dropped; And() with no effective operands is a wildcard. A combination
+// of pure predicates and flat conjunctions collapses into one conjNode —
+// the parser's representation for the same expression — so the
+// workload's constructed filters share the parsed filters' flat,
+// DNF-without-allocation shape.
 func And(fs ...*Filter) *Filter {
 	var kids []node
+	flat := true
 	for _, f := range fs {
 		if f == nil || f.root == nil {
 			continue
@@ -190,11 +195,34 @@ func And(fs ...*Filter) *Filter {
 			kids = append(kids, f.root)
 		}
 	}
+	nPreds := 0
+	for _, k := range kids {
+		switch k := k.(type) {
+		case predNode:
+			nPreds++
+		case conjNode:
+			nPreds += len(k.preds)
+		default:
+			flat = false
+		}
+	}
 	switch len(kids) {
 	case 0:
 		return &Filter{}
 	case 1:
 		return &Filter{root: kids[0]}
+	}
+	if flat {
+		preds := make([]Predicate, 0, nPreds)
+		for _, k := range kids {
+			switch k := k.(type) {
+			case predNode:
+				preds = append(preds, k.p)
+			case conjNode:
+				preds = append(preds, k.preds...)
+			}
+		}
+		return &Filter{root: conjNode{preds: preds}}
 	}
 	return &Filter{root: andNode{kids: kids}}
 }

@@ -9,6 +9,23 @@ import "math"
 // optimization (aggregating subscription entries), so a false negative
 // costs a little table space, never correctness.
 func Covers(f, g *Filter) bool {
+	var s CoverScratch
+	return s.Covers(f, g)
+}
+
+// CoverScratch holds the reusable buffers of the covering hot path. A
+// broker checking one incoming subscription against many resident
+// filters reuses one scratch across every check, so the steady state
+// allocates nothing. The zero value is ready to use. Not safe for
+// concurrent use.
+type CoverScratch struct {
+	fdnf, gdnf [][]Predicate
+	preds      []Predicate
+	fr, gr     []attrInterval
+}
+
+// Covers is the allocation-free form of the package-level Covers.
+func (s *CoverScratch) Covers(f, g *Filter) bool {
 	if f == nil || f.root == nil {
 		return true // wildcard covers everything
 	}
@@ -17,12 +34,25 @@ func Covers(f, g *Filter) bool {
 		// check above, f has constraints, so be conservative.
 		return false
 	}
+	s.preds = s.preds[:0]
+	s.fdnf = s.appendDNF(f.root, s.fdnf[:0])
+	s.gdnf = s.appendDNF(g.root, s.gdnf[:0])
 	// f covers g iff every disjunct of g is covered by some disjunct of f
 	// (sufficient condition).
-	for _, gc := range g.DNF() {
+	for _, gc := range s.gdnf {
+		gr, ok := conjRangesAppend(gc, s.gr[:0])
+		s.gr = gr[:0]
+		if !ok {
+			return false
+		}
 		covered := false
-		for _, fc := range f.DNF() {
-			if conjCovers(fc, gc) {
+		for _, fc := range s.fdnf {
+			fr, okf := conjRangesAppend(fc, s.fr[:0])
+			s.fr = fr[:0]
+			if !okf {
+				continue
+			}
+			if rangesCover(fr, gr) {
 				covered = true
 				break
 			}
@@ -34,32 +64,34 @@ func Covers(f, g *Filter) bool {
 	return true
 }
 
-// conjCovers reports whether conjunction fc covers conjunction gc.
-func conjCovers(fc, gc []Predicate) bool {
-	fr, ok := conjRanges(fc)
-	if !ok {
-		return false
-	}
-	gr, ok := conjRanges(gc)
-	if !ok {
-		return false
-	}
-	// Every constraint in f must be implied by g's constraints. If g has
-	// no constraint on an attribute f constrains, f cannot cover g.
-	for attr, fi := range fr {
-		gi, exists := gr[attr]
-		if !exists {
-			return false
+// appendDNF expands a node into disjuncts without allocating for the
+// common shapes (single predicates, flat conjunctions, disjunctions of
+// those). Predicates lifted out of predNodes live in s.preds; slices
+// handed out before a growth keep pointing at the old backing, whose
+// values never change, so they stay valid.
+func (s *CoverScratch) appendDNF(n node, out [][]Predicate) [][]Predicate {
+	switch n := n.(type) {
+	case predNode:
+		s.preds = append(s.preds, n.p)
+		return append(out, s.preds[len(s.preds)-1:len(s.preds):len(s.preds)])
+	case conjNode:
+		return append(out, n.preds)
+	case orNode:
+		for _, kid := range n.kids {
+			out = s.appendDNF(kid, out)
 		}
-		if gi.empty() {
-			// g's disjunct matches nothing; vacuously covered.
-			return true
-		}
-		if !fi.contains(gi) {
-			return false
-		}
+		return out
+	default:
+		// andNode of non-trivial children (or future node kinds): fall
+		// back to the allocating Cartesian expansion.
+		return append(out, n.dnf()...)
 	}
-	return true
+}
+
+// attrInterval is one attribute's interval within a folded conjunction.
+type attrInterval struct {
+	attr string
+	iv   interval
 }
 
 // interval is a numeric constraint lo < / <= x < / <= hi with optional
@@ -109,31 +141,75 @@ func (iv interval) contains(other interval) bool {
 	return true
 }
 
-// conjRanges folds a conjunction into per-attribute intervals. It returns
+// rangesCover reports whether the conjunction folded into fr covers the
+// one folded into gr. An unsatisfiable g-conjunction (any empty
+// interval) is vacuously covered; otherwise every constraint in f must
+// be implied by g's constraint on the same attribute — if g leaves an
+// attribute f constrains unconstrained, f cannot cover g.
+func rangesCover(fr, gr []attrInterval) bool {
+	for i := range gr {
+		if gr[i].iv.empty() {
+			return true
+		}
+	}
+	for i := range fr {
+		gi, ok := findAttr(gr, fr[i].attr)
+		if !ok {
+			return false
+		}
+		if !fr[i].iv.contains(gi) {
+			return false
+		}
+	}
+	return true
+}
+
+// findAttr looks an attribute up in a folded conjunction. Conjunctions
+// are a handful of predicates, so a linear scan beats any map.
+func findAttr(rs []attrInterval, attr string) (interval, bool) {
+	for i := range rs {
+		if rs[i].attr == attr {
+			return rs[i].iv, true
+		}
+	}
+	return interval{}, false
+}
+
+// conjRangesAppend folds a conjunction into per-attribute intervals,
+// appending to buf (first-occurrence attribute order). It returns
 // ok=false when a predicate cannot be represented (NE, or mixed
 // string/number constraints on one attribute) — the caller then falls
 // back to "not provably covered".
-func conjRanges(conj []Predicate) (map[string]interval, bool) {
-	out := make(map[string]interval, len(conj))
-	for _, p := range conj {
-		iv, exists := out[p.Attr]
-		if !exists {
-			iv = newInterval()
+func conjRangesAppend(conj []Predicate, buf []attrInterval) ([]attrInterval, bool) {
+	for pi := range conj {
+		p := &conj[pi]
+		at := -1
+		for i := range buf {
+			if buf[i].attr == p.Attr {
+				at = i
+				break
+			}
 		}
+		exists := at >= 0
+		if !exists {
+			buf = append(buf, attrInterval{attr: p.Attr, iv: newInterval()})
+			at = len(buf) - 1
+		}
+		iv := buf[at].iv
 		switch {
 		case p.Val.Kind == String:
 			if p.Op != EQ {
-				return nil, false
+				return buf, false
 			}
 			if exists && (!iv.isStr || iv.strVal != p.Val.Str) {
-				return nil, false
+				return buf, false
 			}
 			iv = interval{isStr: true, strVal: p.Val.Str}
 		case p.Op == NE:
-			return nil, false
+			return buf, false
 		default:
 			if iv.isStr {
-				return nil, false
+				return buf, false
 			}
 			x := p.Val.Num
 			switch p.Op {
@@ -162,9 +238,9 @@ func conjRanges(conj []Predicate) (map[string]interval, bool) {
 				}
 			}
 		}
-		out[p.Attr] = iv
+		buf[at].iv = iv
 	}
-	return out, true
+	return buf, true
 }
 
 // Overlaps reports whether f and g can both match some message, using the
@@ -174,13 +250,16 @@ func Overlaps(f, g *Filter) bool {
 	if f == nil || f.root == nil || g == nil || g.root == nil {
 		return true
 	}
-	for _, fc := range f.DNF() {
-		fr, ok := conjRanges(fc)
+	var s CoverScratch
+	s.fdnf = s.appendDNF(f.root, s.fdnf[:0])
+	s.gdnf = s.appendDNF(g.root, s.gdnf[:0])
+	for _, fc := range s.fdnf {
+		fr, ok := conjRangesAppend(fc, nil)
 		if !ok {
 			return true
 		}
-		for _, gc := range g.DNF() {
-			gr, ok := conjRanges(gc)
+		for _, gc := range s.gdnf {
+			gr, ok := conjRangesAppend(gc, nil)
 			if !ok {
 				return true
 			}
@@ -192,9 +271,10 @@ func Overlaps(f, g *Filter) bool {
 	return false
 }
 
-func rangesOverlap(a, b map[string]interval) bool {
-	for attr, ia := range a {
-		ib, exists := b[attr]
+func rangesOverlap(a, b []attrInterval) bool {
+	for i := range a {
+		ia := a[i].iv
+		ib, exists := findAttr(b, a[i].attr)
 		if !exists {
 			continue
 		}

@@ -1,0 +1,295 @@
+package filter
+
+import (
+	"math"
+	"sort"
+	"strings"
+)
+
+// CoverIndex holds the filters a broker has already forwarded (the
+// covering representatives) and answers two queries about an incoming
+// filter g: is an identical filter already resident (FindExact), and
+// does any resident filter provably cover g (FindCoverer)? Both are the
+// subscribe-time hot path of covering-based aggregation, so the index is
+// organized to avoid the O(N·Covers) scan:
+//
+//   - an exact map keyed on the canonical rendering answers FindExact in
+//     one lookup;
+//   - interval-representable single-disjunct filters are bucketed by
+//     their attribute signature. A coverer can only constrain a subset
+//     of the probe's attributes, so a probe enumerates the subsets of
+//     its own attribute set (≤ 2^k buckets for k attributes) instead of
+//     every resident filter;
+//   - within a bucket, candidates are sorted by descending upper bound
+//     of the signature's first attribute. A candidate whose bound falls
+//     below the probe's cannot contain it, so a miss stops at the first
+//     such candidate rather than scanning the bucket.
+//
+// Filters outside that shape (multi-disjunct, NE, mixed-type) go to a
+// small general list checked with the full Covers relation. Every query
+// path — bucket enumeration, in-bucket order, the general fallback — is
+// deterministic in the sequence of Add/Remove calls, which the
+// seed-reproducible simulator requires.
+//
+// Not safe for concurrent use; callers serialize as they do table
+// mutation.
+type CoverIndex struct {
+	exact   map[string]int32
+	buckets map[string]*coverBucket
+	general []coverEnt
+	byID    map[int32]string // id → bucket signature ("\xffg" for general)
+	// keys memoizes canonical renderings by filter pointer: filters are
+	// immutable, and template-skewed workloads share *Filter across many
+	// subscriptions, so the fmt-heavy String is paid once per template,
+	// not once per admission. Bounded (cleared when full) so arbitrary
+	// one-shot filters cannot grow it without limit.
+	keys    map[*Filter]string
+	scratch CoverScratch
+	attrs   []string
+	n       int
+}
+
+// keyMemoLimit bounds the rendering memo.
+const keyMemoLimit = 1 << 16
+
+const generalSig = "\xffgeneral"
+
+// coverBucket holds the interval forms of one attribute signature,
+// sorted by descending primary upper bound (ties by ascending id).
+type coverBucket struct {
+	ents []coverEnt
+}
+
+// coverEnt is one resident filter: its id, the filter itself, and — for
+// bucket entries — the folded single-disjunct interval form plus the
+// primary-attribute sort key.
+type coverEnt struct {
+	id     int32
+	f      *Filter
+	fr     []attrInterval
+	primHi float64 // +Inf for string-pinned primaries
+}
+
+// NewCoverIndex returns an empty index.
+func NewCoverIndex() *CoverIndex {
+	return &CoverIndex{
+		exact:   make(map[string]int32),
+		buckets: make(map[string]*coverBucket),
+		byID:    make(map[int32]string),
+		keys:    make(map[*Filter]string),
+	}
+}
+
+// Len reports the number of resident filters.
+func (ci *CoverIndex) Len() int { return ci.n }
+
+// Key returns the canonical exact-match key for a filter.
+func (ci *CoverIndex) Key(f *Filter) string {
+	if k, ok := ci.keys[f]; ok {
+		return k
+	}
+	k := f.String()
+	if len(ci.keys) >= keyMemoLimit {
+		clear(ci.keys)
+	}
+	ci.keys[f] = k
+	return k
+}
+
+// FindExact reports the resident filter rendered identically to g, if
+// any.
+func (ci *CoverIndex) FindExact(g *Filter) (int32, bool) {
+	id, ok := ci.exact[ci.Key(g)]
+	return id, ok
+}
+
+// FindCoverer reports a resident filter provably covering g, if any. The
+// choice among several coverers is deterministic (bucket enumeration
+// order, then in-bucket order). g itself must not be resident.
+func (ci *CoverIndex) FindCoverer(g *Filter) (int32, bool) {
+	gr, simple := ci.simpleRanges(g)
+	if !simple {
+		return ci.findCovererGeneral(g)
+	}
+	// Deterministic subset enumeration over g's sorted attribute set.
+	attrs := ci.attrs[:0]
+	for i := range gr {
+		attrs = append(attrs, gr[i].attr)
+	}
+	sort.Strings(attrs)
+	ci.attrs = attrs
+	if len(attrs) > 8 {
+		return ci.findCovererGeneral(g)
+	}
+	var sig strings.Builder
+	for mask := 0; mask < 1<<len(attrs); mask++ {
+		sig.Reset()
+		for i, a := range attrs {
+			if mask&(1<<i) == 0 {
+				continue
+			}
+			if sig.Len() > 0 {
+				sig.WriteByte('\x00')
+			}
+			sig.WriteString(a)
+		}
+		b := ci.buckets[sig.String()]
+		if b == nil {
+			continue
+		}
+		// The probe's interval on the bucket's primary attribute bounds
+		// the in-bucket scan.
+		probeHi := math.Inf(1)
+		if mask != 0 {
+			prim := attrs[lowestBit(mask)]
+			if iv, ok := findAttr(gr, prim); ok && !iv.isStr {
+				probeHi = iv.hi
+			}
+		}
+		for i := range b.ents {
+			e := &b.ents[i]
+			if e.primHi < probeHi {
+				break
+			}
+			if rangesCover(e.fr, gr) {
+				return e.id, true
+			}
+		}
+	}
+	for i := range ci.general {
+		if ci.scratch.Covers(ci.general[i].f, g) {
+			return ci.general[i].id, true
+		}
+	}
+	return 0, false
+}
+
+// findCovererGeneral is the fallback for probes outside the bucket
+// shape: scan every bucket in sorted-signature order with the full
+// Covers relation, then the general list.
+func (ci *CoverIndex) findCovererGeneral(g *Filter) (int32, bool) {
+	sigs := make([]string, 0, len(ci.buckets))
+	for s := range ci.buckets {
+		sigs = append(sigs, s)
+	}
+	sort.Strings(sigs)
+	for _, s := range sigs {
+		for i := range ci.buckets[s].ents {
+			e := &ci.buckets[s].ents[i]
+			if ci.scratch.Covers(e.f, g) {
+				return e.id, true
+			}
+		}
+	}
+	for i := range ci.general {
+		if ci.scratch.Covers(ci.general[i].f, g) {
+			return ci.general[i].id, true
+		}
+	}
+	return 0, false
+}
+
+// Add makes a filter resident under id. The caller guarantees no
+// resident filter renders identically (FindExact first).
+func (ci *CoverIndex) Add(id int32, f *Filter) {
+	ci.exact[ci.Key(f)] = id
+	ci.n++
+	gr, simple := ci.simpleRanges(f)
+	if !simple {
+		ci.general = append(ci.general, coverEnt{id: id, f: f})
+		ci.byID[id] = generalSig
+		return
+	}
+	fr := make([]attrInterval, len(gr))
+	copy(fr, gr)
+	attrs := make([]string, len(fr))
+	for i := range fr {
+		attrs[i] = fr[i].attr
+	}
+	sort.Strings(attrs)
+	sig := strings.Join(attrs, "\x00")
+	primHi := math.Inf(1)
+	if len(attrs) > 0 {
+		if iv, ok := findAttr(fr, attrs[0]); ok && !iv.isStr {
+			primHi = iv.hi
+		}
+	}
+	b := ci.buckets[sig]
+	if b == nil {
+		b = &coverBucket{}
+		ci.buckets[sig] = b
+	}
+	ent := coverEnt{id: id, f: f, fr: fr, primHi: primHi}
+	at := sort.Search(len(b.ents), func(i int) bool {
+		if b.ents[i].primHi != ent.primHi {
+			return b.ents[i].primHi < ent.primHi
+		}
+		return b.ents[i].id >= ent.id
+	})
+	b.ents = append(b.ents, coverEnt{})
+	copy(b.ents[at+1:], b.ents[at:])
+	b.ents[at] = ent
+	ci.byID[id] = sig
+}
+
+// Remove withdraws a resident filter. Unknown ids are ignored.
+func (ci *CoverIndex) Remove(id int32) {
+	sig, ok := ci.byID[id]
+	if !ok {
+		return
+	}
+	delete(ci.byID, id)
+	ci.n--
+	if sig == generalSig {
+		for i := range ci.general {
+			if ci.general[i].id == id {
+				delete(ci.exact, ci.Key(ci.general[i].f))
+				ci.general = append(ci.general[:i], ci.general[i+1:]...)
+				return
+			}
+		}
+		return
+	}
+	b := ci.buckets[sig]
+	if b == nil {
+		return
+	}
+	for i := range b.ents {
+		if b.ents[i].id == id {
+			delete(ci.exact, ci.Key(b.ents[i].f))
+			b.ents = append(b.ents[:i], b.ents[i+1:]...)
+			break
+		}
+	}
+	if len(b.ents) == 0 {
+		delete(ci.buckets, sig)
+	}
+}
+
+// simpleRanges folds f into the single-disjunct interval form when it
+// has exactly that shape; the result aliases the index's scratch and is
+// only valid until the next call.
+func (ci *CoverIndex) simpleRanges(f *Filter) ([]attrInterval, bool) {
+	if f == nil || f.root == nil {
+		return nil, true // wildcard: empty signature bucket
+	}
+	s := &ci.scratch
+	s.preds = s.preds[:0]
+	s.fdnf = s.appendDNF(f.root, s.fdnf[:0])
+	if len(s.fdnf) != 1 {
+		return nil, false
+	}
+	fr, ok := conjRangesAppend(s.fdnf[0], s.fr[:0])
+	s.fr = fr[:0]
+	return fr, ok
+}
+
+// lowestBit returns the index of the lowest set bit of a nonzero mask.
+func lowestBit(mask int) int {
+	i := 0
+	for mask&1 == 0 {
+		mask >>= 1
+		i++
+	}
+	return i
+}

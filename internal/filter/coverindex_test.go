@@ -1,0 +1,134 @@
+package filter
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// randCoverFilter draws from a quantized family rigged so exact
+// duplicates, proper covering, disjointness, empty conjunctions, string
+// pins, and disjunctions (the general path) all occur.
+func randCoverFilter(rng *rand.Rand) *Filter {
+	conj := func() *Filter {
+		attrs := []string{"A1", "A2", "A3"}
+		rng.Shuffle(len(attrs), func(i, j int) { attrs[i], attrs[j] = attrs[j], attrs[i] })
+		n := 1 + rng.Intn(3)
+		var preds []*Filter
+		for i := 0; i < n; i++ {
+			v := float64(1 + rng.Intn(8))
+			if rng.Intn(2) == 0 {
+				preds = append(preds, Lt(attrs[i], v))
+			} else {
+				preds = append(preds, Gt(attrs[i], v))
+			}
+		}
+		if rng.Intn(8) == 0 {
+			preds = append(preds, Eq("S", Str(fmt.Sprintf("s%d", rng.Intn(2)))))
+		}
+		return And(preds...)
+	}
+	if rng.Intn(6) == 0 {
+		return Or(conj(), conj())
+	}
+	return conj()
+}
+
+// TestCoverScratchMatchesPackageCovers: the allocation-free scratch path
+// must agree with the package-level relation on every pair, and be
+// deterministic across repeated evaluations of the same pair.
+func TestCoverScratchMatchesPackageCovers(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var scratch CoverScratch
+	for i := 0; i < 4000; i++ {
+		f, g := randCoverFilter(rng), randCoverFilter(rng)
+		want := Covers(f, g)
+		if got := scratch.Covers(f, g); got != want {
+			t.Fatalf("scratch.Covers(%s, %s) = %v, package Covers = %v", f, g, got, want)
+		}
+		if got := scratch.Covers(f, g); got != want {
+			t.Fatalf("scratch.Covers(%s, %s) unstable across calls", f, g)
+		}
+	}
+}
+
+// TestCoverIndexRandomized: under random add/remove churn, FindExact and
+// FindCoverer must agree exactly with a brute-force scan of the resident
+// population using the Covers oracle — found answers must be genuine
+// coverers, and a miss must mean no resident coverer exists.
+func TestCoverIndexRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	ci := NewCoverIndex()
+	resident := make(map[int32]*Filter)
+	var ids []int32
+	nextID := int32(1)
+
+	probe := func() {
+		t.Helper()
+		g := randCoverFilter(rng)
+		gotID, gotOK := ci.FindExact(g)
+		wantOK := false
+		for id, f := range resident {
+			if f.String() == g.String() {
+				wantOK = true
+				_ = id
+			}
+		}
+		if gotOK != wantOK {
+			t.Fatalf("FindExact(%s) = %v, brute force = %v", g, gotOK, wantOK)
+		}
+		if gotOK && resident[gotID].String() != g.String() {
+			t.Fatalf("FindExact(%s) returned id %d rendering %s", g, gotID, resident[gotID])
+		}
+		if wantOK {
+			return // FindCoverer contract: the probe must not be resident
+		}
+		coverID, found := ci.FindCoverer(g)
+		anyCoverer := false
+		for _, f := range resident {
+			if Covers(f, g) {
+				anyCoverer = true
+			}
+		}
+		if found != anyCoverer {
+			t.Fatalf("FindCoverer(%s) found=%v, brute force says coverer exists=%v (resident %d)",
+				g, found, anyCoverer, len(resident))
+		}
+		if found && !Covers(resident[coverID], g) {
+			t.Fatalf("FindCoverer(%s) returned %s which does not cover it", g, resident[coverID])
+		}
+	}
+
+	for step := 0; step < 3000; step++ {
+		if len(ids) > 0 && rng.Intn(10) < 4 {
+			i := rng.Intn(len(ids))
+			id := ids[i]
+			ids[i] = ids[len(ids)-1]
+			ids = ids[:len(ids)-1]
+			ci.Remove(id)
+			delete(resident, id)
+		} else {
+			f := randCoverFilter(rng)
+			if _, dup := ci.FindExact(f); dup {
+				continue // aggregator contract: FindExact gates Add
+			}
+			ci.Add(nextID, f)
+			resident[nextID] = f
+			ids = append(ids, nextID)
+			nextID++
+		}
+		if ci.Len() != len(resident) {
+			t.Fatalf("Len = %d, want %d", ci.Len(), len(resident))
+		}
+		if step%7 == 0 {
+			probe()
+		}
+	}
+	for _, id := range ids {
+		ci.Remove(id)
+		delete(resident, id)
+	}
+	if ci.Len() != 0 {
+		t.Fatalf("Len = %d after full drain, want 0", ci.Len())
+	}
+}

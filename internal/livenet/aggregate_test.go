@@ -1,0 +1,224 @@
+package livenet
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"bdps/internal/core"
+	"bdps/internal/filter"
+	"bdps/internal/msg"
+	"bdps/internal/vtime"
+)
+
+// aggScenario drives one fixed overlay through the full aggregation
+// lifecycle — rep + covered + exact duplicate, then unsubscribe of the
+// coverer (promotion) and of the promoted rep (re-exposure) — and
+// returns the message IDs each subscriber received in each phase, plus
+// the cluster stats observed while all three were live.
+func aggScenario(t *testing.T, aggregate bool) (received map[string][]msg.ID, suppressed int, aggEntries int) {
+	t.Helper()
+	c, err := StartCluster(ClusterConfig{
+		Overlay:   tinyOverlay(t),
+		Scenario:  msg.PSD,
+		Strategy:  core.MaxEB{},
+		TimeScale: 0.002,
+		Seed:      1,
+		Aggregate: aggregate,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Stop)
+
+	settle := func() { time.Sleep(150 * time.Millisecond) }
+	broad := &msg.Subscription{ID: 1, Edge: 2, Filter: filter.MustParse("A1 < 8")}
+	narrow := &msg.Subscription{ID: 2, Edge: 2, Filter: filter.MustParse("A1 < 5")}
+	dup := &msg.Subscription{ID: 3, Edge: 2, Filter: filter.MustParse("A1 < 8")}
+
+	subs := make(map[msg.SubID]*Subscriber)
+	for _, s := range []*msg.Subscription{broad, narrow, dup} {
+		cl, err := DialSubscriber(c.Addr(2), s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { cl.Close() })
+		subs[s.ID] = cl
+		settle()
+	}
+
+	p, err := DialPublisher(c.Addr(0), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+
+	received = make(map[string][]msg.ID)
+	publishPhase := func(phase int, live []msg.SubID) {
+		t.Helper()
+		for _, a1 := range []float64{3, 6, 9} {
+			id, err := p.Publish(0, msg.NumAttrs(map[string]float64{"A1": a1, "A2": 1}),
+				50, 20*vtime.Second, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_ = id
+		}
+		for _, sid := range live {
+			key := fmt.Sprintf("p%d/s%d", phase, sid)
+			cl := subs[sid]
+			for {
+				m, err := cl.Receive(500 * time.Millisecond)
+				if err != nil {
+					break
+				}
+				received[key] = append(received[key], m.ID)
+			}
+			sort.Slice(received[key], func(i, j int) bool { return received[key][i] < received[key][j] })
+		}
+	}
+
+	publishPhase(1, []msg.SubID{1, 2, 3})
+	total := c.TotalStats()
+	suppressed = total.FloodsSuppressed
+	aggEntries = c.AggregatedEntries()
+
+	// Coverer departs: the exact duplicate must be promoted into its
+	// routes and the covered subscription must keep delivering.
+	if err := subs[1].Unsubscribe(); err != nil {
+		t.Fatal(err)
+	}
+	settle()
+	publishPhase(2, []msg.SubID{2, 3})
+
+	// Promoted rep departs: the covered subscription is re-exposed and
+	// must still deliver on its own upstream routes.
+	if err := subs[3].Unsubscribe(); err != nil {
+		t.Fatal(err)
+	}
+	settle()
+	publishPhase(3, []msg.SubID{2})
+	return received, suppressed, aggEntries
+}
+
+// TestLiveAggregatedEquivalence: the aggregated overlay must deliver
+// bit-identical message sets to a flat overlay through subscription,
+// covering suppression, promotion, and re-exposure — while actually
+// suppressing floods and aggregating table entries.
+func TestLiveAggregatedEquivalence(t *testing.T) {
+	flat, flatSup, _ := aggScenario(t, false)
+	agg, aggSup, aggEntries := aggScenario(t, true)
+
+	// Phase 1: A1=3 reaches all, A1=6 reaches the two broad subs, A1=9
+	// none. Phase 2 (coverer gone): narrow and promoted dup. Phase 3
+	// (dup gone): narrow only. Count expectations double as ground truth
+	// for the flat baseline.
+	wantCounts := map[string]int{
+		"p1/s1": 2, "p1/s2": 1, "p1/s3": 2,
+		"p2/s2": 1, "p2/s3": 2,
+		"p3/s2": 1,
+	}
+	for key, want := range wantCounts {
+		if got := len(flat[key]); got != want {
+			t.Errorf("flat %s: %d deliveries, want %d", key, got, want)
+		}
+	}
+	for key := range wantCounts {
+		f, a := flat[key], agg[key]
+		if len(f) != len(a) {
+			t.Fatalf("%s: flat received %d messages, aggregated %d", key, len(f), len(a))
+		}
+		// Message IDs are allocated per publisher connection in publish
+		// order, and both runs publish the identical schedule — the sets
+		// must match element for element.
+		for i := range f {
+			if f[i] != a[i] {
+				t.Fatalf("%s: delivery sets diverge: flat %v aggregated %v", key, f, a)
+			}
+		}
+	}
+
+	if flatSup != 0 {
+		t.Errorf("flat run suppressed %d floods, want 0", flatSup)
+	}
+	if aggSup != 2 {
+		t.Errorf("aggregated run suppressed %d floods, want 2 (covered + duplicate)", aggSup)
+	}
+	if aggEntries == 0 {
+		t.Error("aggregated run reports no aggregated entries while a 3-strong group was live")
+	}
+}
+
+// TestLiveAggregatedChurnDuringPublish runs covered-subscription churn
+// against a live publish stream on an aggregated overlay: the resident
+// broad subscriber must receive every message throughout, and the run
+// must be clean under -race (matching shares tables with owner-side
+// aggregation mutations).
+func TestLiveAggregatedChurnDuringPublish(t *testing.T) {
+	c, err := StartCluster(ClusterConfig{
+		Overlay:   tinyOverlay(t),
+		Scenario:  msg.PSD,
+		Strategy:  core.MaxEB{},
+		TimeScale: 0.002,
+		Seed:      1,
+		Aggregate: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Stop)
+
+	resident := &msg.Subscription{ID: 1, Edge: 2, Filter: filter.MustParse("A1 < 100")}
+	rs, err := DialSubscriber(c.Addr(2), resident)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	time.Sleep(150 * time.Millisecond)
+
+	p, err := DialPublisher(c.Addr(0), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 30; i++ {
+			s := &msg.Subscription{ID: msg.SubID(100 + i), Edge: 2,
+				Filter: filter.MustParse("A1 < 5")}
+			cl, err := DialSubscriber(c.Addr(2), s)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := cl.Unsubscribe(); err != nil {
+				t.Error(err)
+				return
+			}
+			cl.Close()
+		}
+	}()
+
+	want := make(map[msg.ID]bool)
+	for i := 0; i < 20; i++ {
+		id, err := p.Publish(0, msg.NumAttrs(map[string]float64{"A1": 50, "A2": 1}),
+			50, 20*vtime.Second, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[id] = true
+		time.Sleep(5 * time.Millisecond)
+	}
+	<-done
+
+	for len(want) > 0 {
+		m, err := rs.Receive(3 * time.Second)
+		if err != nil {
+			t.Fatalf("resident subscriber missing %d messages: %v", len(want), err)
+		}
+		delete(want, m.ID)
+	}
+}

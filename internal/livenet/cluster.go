@@ -39,6 +39,9 @@ type ClusterConfig struct {
 	// Multipath > 1 makes dynamic subscription floods install K paths
 	// (static mode takes multipath from the plan instead).
 	Multipath int
+	// Aggregate enables covering-based subscription aggregation on every
+	// node (static mode takes it from the plan's config instead).
+	Aggregate bool
 
 	// Shards ≥ 1 runs every node on the high-throughput data plane with
 	// that many ingress worker shards (see NodeConfig.Shards); 0 keeps
@@ -82,6 +85,7 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 		cfg.Strategy = cfg.Plan.Cfg.Strategy
 		cfg.Seed = cfg.Plan.Cfg.Seed
 		cfg.Multipath = cfg.Plan.Cfg.Multipath
+		cfg.Aggregate = cfg.Plan.Cfg.Aggregate
 		if cfg.TimeScale <= 0 {
 			cfg.TimeScale = cfg.Plan.Cfg.TimeScale
 		}
@@ -177,6 +181,7 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 			TimeScale:   cfg.TimeScale,
 			Seed:        cfg.Seed,
 			Multipath:   cfg.Multipath,
+			Aggregate:   cfg.Aggregate,
 			Clock:       cfg.Clock,
 			Sink:        cfg.Sink,
 			Pacers:      pacers[nid],
@@ -243,6 +248,17 @@ func (c *Cluster) TotalStats() Stats {
 		total.DupsSuppressed += s.DupsSuppressed
 		total.ReorderedHealed += s.ReorderedHealed
 		total.DroppedDeadline += s.DroppedDeadline
+		total.FloodsSuppressed += s.FloodsSuppressed
+	}
+	return total
+}
+
+// AggregatedEntries sums the per-node aggregated-entry counts (live
+// routing entries standing for more than one concrete subscription).
+func (c *Cluster) AggregatedEntries() int {
+	total := 0
+	for _, n := range c.Nodes {
+		total += n.AggregatedEntries()
 	}
 	return total
 }

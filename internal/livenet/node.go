@@ -80,6 +80,11 @@ type NodeConfig struct {
 	// Multipath > 1 makes dynamic subscription floods install K paths per
 	// ingress, with message dedup at every broker.
 	Multipath int
+	// Aggregate enables covering-based subscription aggregation: this
+	// node makes the owner-side covering decision for subscriptions whose
+	// edge broker it is, suppressing the subscribe flood when a resident
+	// filter with identical delivery terms already covers the newcomer.
+	Aggregate bool
 	// Clock is the shared time base; nil means the absolute wall clock
 	// at scale 1 (multi-process default).
 	Clock runtime.Clock
@@ -145,7 +150,10 @@ type Node struct {
 	// whole flood stream (the overlay is immutable). Accessed only with
 	// mu held exclusively.
 	installer *routing.Installer
-	wake      map[msg.NodeID]chan struct{}
+	// agg makes the owner-side covering decisions when aggregation is on
+	// (nil otherwise). Accessed only with mu held exclusively.
+	agg  *routing.Aggregator
+	wake map[msg.NodeID]chan struct{}
 	// linkDown marks outgoing links taken out of service by injected
 	// faults; the sender parks until the link comes back up.
 	linkDown  map[msg.NodeID]bool
@@ -215,6 +223,10 @@ type Stats struct {
 	DupsSuppressed  int
 	ReorderedHealed int
 	DroppedDeadline int
+
+	// FloodsSuppressed counts subscribe floods this node avoided because
+	// a resident covering filter already carried the newcomer's traffic.
+	FloodsSuppressed int
 }
 
 // counters is the atomic backing of Stats.
@@ -232,6 +244,8 @@ type counters struct {
 	dupsSuppressed  atomic.Int64
 	reorderedHealed atomic.Int64
 	droppedDeadline atomic.Int64
+
+	floodsSuppressed atomic.Int64
 }
 
 func (c *counters) snapshot() Stats {
@@ -249,6 +263,8 @@ func (c *counters) snapshot() Stats {
 		DupsSuppressed:  int(c.dupsSuppressed.Load()),
 		ReorderedHealed: int(c.reorderedHealed.Load()),
 		DroppedDeadline: int(c.droppedDeadline.Load()),
+
+		FloodsSuppressed: int(c.floodsSuppressed.Load()),
 	}
 }
 
@@ -402,6 +418,20 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	for _, s := range cfg.Preinstalled {
 		n.seenSubs[s.ID] = true
 	}
+	if cfg.Aggregate {
+		n.agg = routing.NewAggregator()
+		// Replay the owned slice of the preinstalled population in order.
+		// Covering decisions are per-edge (the delivery-terms key includes
+		// the edge broker), so this reconstructs exactly the central
+		// aggregated build's decision state for this node's subscriptions;
+		// the preinstalled tables already realize it, hence the silent
+		// Readmit instead of Admit.
+		for _, s := range cfg.Preinstalled {
+			if s.Edge == cfg.ID {
+				n.agg.Readmit(s)
+			}
+		}
+	}
 	n.nlinks = int32(len(cfg.Overlay.Graph.Neighbors(cfg.ID)))
 	if cfg.Shards > 0 {
 		n.burst = cfg.Burst
@@ -525,6 +555,15 @@ func (n *Node) Stop() {
 
 // Stats returns a snapshot of the node's counters.
 func (n *Node) Stats() Stats { return n.cnt.snapshot() }
+
+// AggregatedEntries reports how many of this node's live routing entries
+// currently stand for more than one concrete subscription (the
+// table-size side of covering aggregation).
+func (n *Node) AggregatedEntries() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.table.AggregatedEntries()
+}
 
 // Stopped reports whether the node has been shut down.
 func (n *Node) Stopped() bool {
@@ -773,6 +812,11 @@ func (n *Node) readLoop(conn net.Conn) {
 // handleSubscribe installs a subscription (local conn non-nil when the
 // subscriber is attached here) and floods it to neighbors once.
 // Pre-installed plan subscriptions only register the local connection.
+// With aggregation on, the subscription's edge broker — the one place
+// that sees the concrete subscription first — classifies it against the
+// resident canonical filters and suppresses the flood when one with
+// identical delivery terms already covers it (the covering chain's
+// forwarded root carries the upstream traffic).
 func (n *Node) handleSubscribe(s *msg.Subscription, local *peerConn) {
 	n.mu.Lock()
 	if n.removedSubs.has(s.ID) {
@@ -789,18 +833,44 @@ func (n *Node) handleSubscribe(s *msg.Subscription, local *peerConn) {
 	if local != nil && s.Edge == n.cfg.ID {
 		n.locals[s.ID] = &subConn{sub: s, peer: local}
 	}
+	flood := first
 	if first {
-		n.installRoutes(s)
+		if n.agg != nil && s.Edge == n.cfg.ID {
+			switch kind, rep := n.agg.Admit(s); kind {
+			case routing.AdmitForward:
+				n.installRoutes(s)
+			case routing.AdmitMember:
+				// Exact duplicate: fold into the representative's local
+				// entries; delivery fans out to the group's members.
+				n.table.Attach(rep.ID, s)
+				flood = false
+			case routing.AdmitCovered:
+				// Properly covered: local delivery entries only (the edge
+				// is terminal on every path to it), upstream traffic rides
+				// the covering chain's forwarded root.
+				n.installRoutes(s)
+				n.table.AddRef(rep.ID)
+				flood = false
+			}
+			if !flood {
+				n.cnt.floodsSuppressed.Add(1)
+				if n.sink != nil {
+					n.sink.FloodSuppressed(1)
+				}
+			}
+		} else {
+			n.installRoutes(s)
+		}
 	}
 	peers := make([]*peerConn, 0, len(n.peers))
-	if first {
+	if flood {
 		for _, p := range n.peers {
 			peers = append(peers, p)
 		}
 	}
 	n.mu.Unlock()
 
-	if !first {
+	if !flood {
 		return
 	}
 	body, err := msg.AppendSubscription(nil, s)
@@ -814,7 +884,13 @@ func (n *Node) handleSubscribe(s *msg.Subscription, local *peerConn) {
 
 // handleUnsubscribe removes a subscription's routing state and floods the
 // removal across the overlay once. A tombstone prevents resurrection by
-// late subscribe floods.
+// late subscribe floods. With aggregation on, the owning edge broker
+// realizes the retraction instead: member/covered departures never
+// flooded so they never unsubscribe remotely, and a departing
+// representative first floods whatever re-exposes its coverage
+// (promotion hand-off or re-exposed representatives) so the peers'
+// coverage stays gapless — subscribe frames precede the unsubscribe on
+// every per-peer TCP stream.
 func (n *Node) handleUnsubscribe(id msg.SubID) {
 	n.mu.Lock()
 	if n.removedSubs.has(id) {
@@ -826,17 +902,101 @@ func (n *Node) handleUnsubscribe(id msg.SubID) {
 	// would otherwise grow one entry per subscription ever seen.
 	delete(n.seenSubs, id)
 	delete(n.locals, id)
-	n.table.RemoveSub(id)
-	peers := make([]*peerConn, 0, len(n.peers))
-	for _, p := range n.peers {
-		peers = append(peers, p)
+
+	var types []byte
+	var frames [][]byte
+	unsubscribe := true
+	if n.agg != nil {
+		if ret, ok := n.agg.Remove(id); ok {
+			unsubscribe = n.retractOwned(id, ret, &types, &frames)
+		} else {
+			// Not ours: a remote copy of a forwarded subscription.
+			n.table.RemoveSub(id)
+		}
+	} else {
+		n.table.RemoveSub(id)
+	}
+	if unsubscribe {
+		types = append(types, msg.FrameUnsubscribe)
+		frames = append(frames, msg.AppendUnsubscribe(nil, id))
+	}
+	var peers []*peerConn
+	if len(frames) > 0 {
+		peers = make([]*peerConn, 0, len(n.peers))
+		for _, p := range n.peers {
+			peers = append(peers, p)
+		}
 	}
 	n.mu.Unlock()
 
-	body := msg.AppendUnsubscribe(nil, id)
-	for _, p := range peers {
-		_ = p.writeFrame(msg.FrameUnsubscribe, body)
+	for i, body := range frames {
+		for _, p := range peers {
+			_ = p.writeFrame(types[i], body)
+		}
 	}
+}
+
+// retractOwned realizes an owner-side retraction on the local table and
+// appends the subscribe floods it requires (promotion hand-off,
+// re-exposed representatives) to types/frames. It reports whether the
+// unsubscribe itself must still flood: only representatives ever
+// installed remote state, so member and covered departures stay local.
+// Called with n.mu held.
+func (n *Node) retractOwned(id msg.SubID, ret routing.Retraction, types *[]byte, frames *[][]byte) bool {
+	push := func(s *msg.Subscription) {
+		body, err := msg.AppendSubscription(nil, s)
+		if err != nil {
+			return
+		}
+		*types = append(*types, msg.FrameSubscribe)
+		*frames = append(*frames, body)
+	}
+	reexpose := func(s *msg.Subscription) {
+		switch kind, rep := n.agg.Reexpose(s); kind {
+		case routing.AdmitForward:
+			// Its local entries survived under the departing coverer;
+			// only the peers must install theirs now.
+			push(s)
+		case routing.AdmitCovered:
+			n.table.AddRef(rep.ID)
+		}
+	}
+	switch ret.Kind {
+	case routing.RetractMember:
+		n.table.Detach(ret.Rep.ID, id)
+		return false
+	case routing.RetractCovered:
+		// Covered canonicals never flooded, so their departure is a
+		// purely local affair whatever shape it takes.
+		if ret.Promoted != nil {
+			// The last exact duplicate inherits the local entries in
+			// place (the filter is identical).
+			n.table.Promote(id)
+			return false
+		}
+		n.table.RemoveSub(id)
+		n.table.DropRef(ret.Rep.ID)
+		for _, s := range ret.Reexposed {
+			// By transitivity the departing filter's own coverer covers
+			// them too, so these normally re-cover without flooding; the
+			// cycle guard can still force one to forward.
+			reexpose(s)
+		}
+		return false
+	}
+	if ret.Promoted != nil {
+		// The last exact duplicate inherits the entries in place (the
+		// filter is identical); peers swap the entries' identity via the
+		// subscribe-then-unsubscribe flood pair.
+		n.table.Promote(id)
+		push(ret.Promoted)
+		return true
+	}
+	n.table.RemoveSub(id)
+	for _, s := range ret.Reexposed {
+		reexpose(s)
+	}
+	return true
 }
 
 // Subscribe injects a subscription at this broker exactly as if a

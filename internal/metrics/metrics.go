@@ -46,6 +46,10 @@ type Collector struct {
 	reorderedHealed int // out-of-order frames restored to FIFO order
 	droppedDeadline int // retransmissions abandoned: remaining slack too small
 
+	// Covering-aggregation counters.
+	floodsSuppressed  int // subscribe floods avoided by a covering filter
+	aggregatedEntries int // live entries standing for >1 subscription (end-of-run)
+
 	// Delivery timeline: targets and valid deliveries bucketed by the
 	// message's publication instant (enabled by EnableTimeline).
 	timelineBucket vtime.Millis
@@ -210,6 +214,15 @@ func (c *Collector) ReorderHealed(n int) { c.reorderedHealed += n }
 // remaining slack no longer admitted the extra transmission.
 func (c *Collector) DroppedDeadline(n int) { c.droppedDeadline += n }
 
+// FloodSuppressed counts subscribe floods a covering filter made
+// unnecessary.
+func (c *Collector) FloodSuppressed(n int) { c.floodsSuppressed += n }
+
+// AggregatedEntries records the end-of-run count of live routing entries
+// standing for more than one subscription (stamped by the run driver
+// from a table scan).
+func (c *Collector) AggregatedEntries(n int) { c.aggregatedEntries = n }
+
 // Result freezes a collector into the run summary.
 func (c *Collector) Result() Result {
 	r := Result{
@@ -235,6 +248,9 @@ func (c *Collector) Result() Result {
 		DupsSuppressed:  c.dupsSuppressed,
 		ReorderedHealed: c.reorderedHealed,
 		DroppedDeadline: c.droppedDeadline,
+
+		FloodsSuppressed:  c.floodsSuppressed,
+		AggregatedEntries: c.aggregatedEntries,
 	}
 	if c.latency.Count() > 0 {
 		r.LatencyMeanMs = c.latency.Mean()
@@ -333,6 +349,11 @@ type Result struct {
 	ReorderedHealed int
 	DroppedDeadline int
 
+	// Covering-aggregation counters; all zero on runs without
+	// aggregation.
+	FloodsSuppressed  int
+	AggregatedEntries int
+
 	// Timeline is the delivery-over-time histogram (publication-time
 	// buckets); nil unless the run enabled one.
 	Timeline []TimeBucket
@@ -383,6 +404,10 @@ func (r Result) String() string {
 		s += fmt.Sprintf(" (loss lost=%d retx=%d dup=%d reorder=%d deadline=%d)",
 			r.FramesLost, r.Retransmits, r.DupsSuppressed, r.ReorderedHealed, r.DroppedDeadline)
 	}
+	if r.FloodsSuppressed > 0 || r.AggregatedEntries > 0 {
+		s += fmt.Sprintf(" (agg floods-suppressed=%d agg-entries=%d)",
+			r.FloodsSuppressed, r.AggregatedEntries)
+	}
 	return s
 }
 
@@ -399,7 +424,10 @@ func Mean(rs []Result) Result {
 	var earn, lm, l50, l95, lmax, fair float64
 	var det, detLat, rerouted, kept, relaxed, rejected, reflooded float64
 	var lost, retx, dups, reord, ddl float64
+	var floodSup, aggEnt float64
 	for _, r := range rs {
+		floodSup += float64(r.FloodsSuppressed)
+		aggEnt += float64(r.AggregatedEntries)
 		lost += float64(r.FramesLost)
 		retx += float64(r.Retransmits)
 		dups += float64(r.DupsSuppressed)
@@ -458,6 +486,8 @@ func Mean(rs []Result) Result {
 	out.DupsSuppressed = round(dups)
 	out.ReorderedHealed = round(reord)
 	out.DroppedDeadline = round(ddl)
+	out.FloodsSuppressed = round(floodSup)
+	out.AggregatedEntries = round(aggEnt)
 	out.Timeline = meanTimeline(rs)
 	return out
 }

@@ -1,0 +1,498 @@
+// Covering-based subscription aggregation: the layer that turns an
+// O(subscriptions) broker into an O(distinct covering sets) broker.
+//
+// The soundness model: subscriptions are grouped by identical delivery
+// terms (edge broker, deadline, price). Within such a group, delivery
+// paths are identical (one deterministic path per ingress to the shared
+// edge) and every viability/delay-bound decision a broker makes is
+// identical, so a subscription whose filter is covered by an
+// already-admitted filter of the same group needs no entries of its
+// own upstream: anything it would match, some forwarded ancestor's
+// entries already carry to the same edge under the same admission
+// math. The forwarding decision is made only at the subscription's
+// edge (owner) broker — the one place that sees the concrete
+// subscription first — which is what keeps the live overlay's per-node
+// decisions and the simulator's central build bit-identical.
+//
+// Every non-duplicate subscription is a canonical: resident in the
+// covering index whether it forwards or not. Two tiers hang off the
+// canonicals:
+//
+//   - exact duplicates (identical filter rendering) fold into their
+//     canonical's entries as Group.Members: zero entries anywhere, the
+//     edge broker fans local delivery out to members. Duplicates of a
+//     covered canonical fold exactly the same way — this is what keeps
+//     edge-table size O(distinct renderings), not O(subscriptions);
+//   - properly-covered canonicals keep local-delivery entries at the
+//     edge (their filter is narrower, so they must match for
+//     themselves) but forward nothing: upstream, the covering chain's
+//     forwarded root carries their traffic, counted via Group.Refs.
+//     Covering is transitive, so chains of masked canonicals are fine:
+//     the root of every chain is forwarded.
+//
+// Unsubscription re-exposes what a departing filter was hiding: a
+// canonical with members hands its entries to the last member
+// (Table.Promote — the filter is identical, so no table mutation);
+// a canonical with only masked subscriptions re-exposes them in
+// a deterministic order (Reexpose), and those that no remaining canonical
+// covers flood late (subscribe-before-unsubscribe ordering keeps
+// remote coverage gapless).
+package routing
+
+import (
+	"fmt"
+
+	"bdps/internal/filter"
+	"bdps/internal/msg"
+	"bdps/internal/topology"
+	"bdps/internal/vtime"
+)
+
+// Admission classifies an incoming subscription against the resident
+// canonicals of its delivery-terms group.
+type Admission int
+
+const (
+	// AdmitForward: no resident filter covers it — it becomes a
+	// forwarded canonical and must flood/install normally.
+	AdmitForward Admission = iota
+	// AdmitMember: an identical filter is resident — fold into its
+	// canonical's entries, suppress the flood.
+	AdmitMember
+	// AdmitCovered: a broader filter is resident — install local
+	// delivery only, suppress the flood.
+	AdmitCovered
+)
+
+// RetractKind classifies an unsubscription.
+type RetractKind int
+
+const (
+	// RetractForwarded: a forwarded canonical leaves; Promoted or
+	// Reexposed says what takes over its coverage.
+	RetractForwarded RetractKind = iota
+	// RetractMember: an exact duplicate leaves; detach it from its
+	// canonical.
+	RetractMember
+	// RetractCovered: a masked canonical leaves; Promoted inherits its
+	// local entries, or they are dropped and its own masked set
+	// re-exposes (purely local bookkeeping — nothing was forwarded).
+	RetractCovered
+)
+
+// Retraction is what an unsubscription requires of the table layer.
+type Retraction struct {
+	Kind RetractKind
+	// Rep, for a member or covered retraction, is the canonical the
+	// departing subscription rode (the direct coverer).
+	Rep *msg.Subscription
+	// Promoted, for a canonical retraction with members, is the member
+	// that takes over the entries (Table.Promote must agree).
+	Promoted *msg.Subscription
+	// Reexposed, for a canonical retraction without members, are the
+	// masked canonicals to re-evaluate (Reexpose), in a deterministic order.
+	Reexposed []*msg.Subscription
+}
+
+// aggKey is the delivery-terms group: only subscriptions with identical
+// terms may aggregate (identical paths, identical admission decisions).
+type aggKey struct {
+	edge     msg.NodeID
+	deadline vtime.Millis
+	price    float64
+}
+
+// repInfo is one canonical's covering set from the aggregator's point
+// of view: members mirrors the table Group's member list (same
+// same append/swap-remove discipline — promotion pops the same element from both), masked
+// lists the canonicals directly covered by this one, forwarded says
+// whether this canonical has upstream entries of its own.
+type repInfo struct {
+	sub       *msg.Subscription
+	forwarded bool
+	members   []*msg.Subscription
+	masked    []*msg.Subscription
+}
+
+// Aggregator makes the covering decisions for one decision point: the
+// simulator's central build/churn driver, or one live node deciding for
+// the subscriptions it owns. It is pure bookkeeping — realizing the
+// decisions on routing tables is the caller's half — so the simulator
+// and the live overlay share identical decision sequences. Deterministic
+// in the order of Admit/Remove calls. Not safe for concurrent use.
+type Aggregator struct {
+	cover     map[aggKey]*filter.CoverIndex
+	reps      map[msg.SubID]*repInfo
+	keys      map[msg.SubID]aggKey
+	memberOf  map[msg.SubID]msg.SubID
+	coveredBy map[msg.SubID]msg.SubID
+	// suppressed counts subscribe floods avoided (member + covered
+	// admissions; re-exposure re-evaluations do not count).
+	suppressed int
+}
+
+// NewAggregator returns an empty aggregator.
+func NewAggregator() *Aggregator {
+	return &Aggregator{
+		cover:     make(map[aggKey]*filter.CoverIndex),
+		reps:      make(map[msg.SubID]*repInfo),
+		keys:      make(map[msg.SubID]aggKey),
+		memberOf:  make(map[msg.SubID]msg.SubID),
+		coveredBy: make(map[msg.SubID]msg.SubID),
+	}
+}
+
+// Admit classifies a fresh subscription, recording the decision. For
+// AdmitMember/AdmitCovered the returned canonical is the one to
+// Attach/AddRef on; for AdmitForward it is nil.
+func (a *Aggregator) Admit(s *msg.Subscription) (Admission, *msg.Subscription) {
+	kind, rep := a.admit(s)
+	if kind != AdmitForward {
+		a.suppressed++
+	}
+	return kind, rep
+}
+
+// Readmit is Admit without the suppression accounting: the silent
+// replay path a live node uses to reconstruct the central build's
+// decision state from its preinstalled subscriptions.
+func (a *Aggregator) Readmit(s *msg.Subscription) (Admission, *msg.Subscription) {
+	return a.admit(s)
+}
+
+func (a *Aggregator) admit(s *msg.Subscription) (Admission, *msg.Subscription) {
+	k := aggKey{edge: s.Edge, deadline: s.Deadline, price: s.Price}
+	a.keys[s.ID] = k
+	ci := a.cover[k]
+	if ci == nil {
+		ci = filter.NewCoverIndex()
+		a.cover[k] = ci
+	}
+	if rid, ok := ci.FindExact(s.Filter); ok {
+		rep := a.reps[msg.SubID(rid)]
+		rep.members = append(rep.members, s)
+		a.memberOf[s.ID] = rep.sub.ID
+		return AdmitMember, rep.sub
+	}
+	// Probe before becoming index-resident: Covers is reflexive, so a
+	// resident probe would find itself.
+	rid, covered := ci.FindCoverer(s.Filter)
+	ci.Add(int32(s.ID), s.Filter)
+	if covered {
+		rep := a.reps[msg.SubID(rid)]
+		rep.masked = append(rep.masked, s)
+		a.coveredBy[s.ID] = rep.sub.ID
+		a.reps[s.ID] = &repInfo{sub: s}
+		return AdmitCovered, rep.sub
+	}
+	a.reps[s.ID] = &repInfo{sub: s, forwarded: true}
+	return AdmitForward, nil
+}
+
+// Reexpose re-evaluates a resident canonical whose direct coverer just
+// departed: it either finds a new coverer (stays local) or starts
+// forwarding. The chain guard rejects a candidate whose own covering
+// chain runs through s — two differently-rendered but mutually-covering
+// filters could otherwise mask each other with no forwarded root.
+func (a *Aggregator) Reexpose(s *msg.Subscription) (Admission, *msg.Subscription) {
+	k := a.keys[s.ID]
+	ci := a.cover[k]
+	ci.Remove(int32(s.ID))
+	rid, ok := ci.FindCoverer(s.Filter)
+	ci.Add(int32(s.ID), s.Filter)
+	if ok && !a.chainContains(msg.SubID(rid), s.ID) {
+		rep := a.reps[msg.SubID(rid)]
+		rep.masked = append(rep.masked, s)
+		a.coveredBy[s.ID] = rep.sub.ID
+		return AdmitCovered, rep.sub
+	}
+	a.reps[s.ID].forwarded = true
+	return AdmitForward, nil
+}
+
+// chainContains walks the covering chain upward from id and reports
+// whether it passes through target.
+func (a *Aggregator) chainContains(id, target msg.SubID) bool {
+	for {
+		if id == target {
+			return true
+		}
+		next, ok := a.coveredBy[id]
+		if !ok {
+			return false
+		}
+		id = next
+	}
+}
+
+// Remove retracts a subscription, returning what the table layer must
+// do. ok is false for unknown ids.
+func (a *Aggregator) Remove(id msg.SubID) (Retraction, bool) {
+	k, known := a.keys[id]
+	if !known {
+		return Retraction{}, false
+	}
+	delete(a.keys, id)
+
+	if rid, ok := a.memberOf[id]; ok {
+		delete(a.memberOf, id)
+		rep := a.reps[rid]
+		rep.members = removeSubFrom(rep.members, id)
+		return Retraction{Kind: RetractMember, Rep: rep.sub}, true
+	}
+
+	rep := a.reps[id]
+	delete(a.reps, id)
+	ci := a.cover[k]
+	ci.Remove(int32(id))
+
+	kind := RetractForwarded
+	var coverer *repInfo
+	if rid, ok := a.coveredBy[id]; ok {
+		delete(a.coveredBy, id)
+		kind = RetractCovered
+		coverer = a.reps[rid]
+	}
+
+	if n := len(rep.members); n > 0 {
+		// Promotion: the last member inherits the entries, the members
+		// list, the masked set and the forwarded flag — the filter is
+		// identical, so every coverage relation is preserved as-is.
+		next := rep.members[n-1]
+		rep.members = rep.members[:n-1]
+		promoted := &repInfo{sub: next, forwarded: rep.forwarded,
+			members: rep.members, masked: rep.masked}
+		a.reps[next.ID] = promoted
+		delete(a.memberOf, next.ID)
+		for _, m := range promoted.members {
+			a.memberOf[m.ID] = next.ID
+		}
+		for _, m := range promoted.masked {
+			a.coveredBy[m.ID] = next.ID
+		}
+		ci.Add(int32(next.ID), next.Filter)
+		ret := Retraction{Kind: kind, Promoted: next}
+		if coverer != nil {
+			// The coverer keeps masking the rendering under its new
+			// identity.
+			for i, m := range coverer.masked {
+				if m.ID == id {
+					coverer.masked[i] = next
+				}
+			}
+			a.coveredBy[next.ID] = coverer.sub.ID
+			ret.Rep = coverer.sub
+		}
+		return ret, true
+	}
+
+	// No members: the masked canonicals lose their direct cover. Hand
+	// them back in a deterministic order; the caller re-evaluates each
+	// (Reexpose) and realizes the outcome. Their keys and index
+	// residency stay — only the coverer edge is severed.
+	reexposed := rep.masked
+	for _, m := range reexposed {
+		delete(a.coveredBy, m.ID)
+	}
+	ret := Retraction{Kind: kind, Reexposed: reexposed}
+	if coverer != nil {
+		coverer.masked = removeSubFrom(coverer.masked, id)
+		ret.Rep = coverer.sub
+	}
+	return ret, true
+}
+
+// IsForwarded reports whether a subscription currently has upstream
+// entries of its own. Topology repair re-floods only these: members and
+// masked canonicals ride their forwarded root's re-flood, and local
+// delivery entries are path-independent.
+func (a *Aggregator) IsForwarded(id msg.SubID) bool {
+	rep, ok := a.reps[id]
+	return ok && rep.forwarded
+}
+
+// RefCount returns the number of concrete subscriptions directly riding
+// a canonical's entries (itself + members + directly-masked), or 0 for
+// members and unknown ids.
+func (a *Aggregator) RefCount(id msg.SubID) int32 {
+	rep, ok := a.reps[id]
+	if !ok {
+		return 0
+	}
+	return int32(1 + len(rep.members) + len(rep.masked))
+}
+
+// Suppressed returns the number of subscribe floods avoided so far.
+func (a *Aggregator) Suppressed() int { return a.suppressed }
+
+// removeSubFrom deletes one subscription from a slice by swap-remove —
+// deterministic (what re-exposure ordering needs) without the
+// order-preserving memmove that windowed churn on a hot group would pay
+// per departure. Table.Detach uses the same rule so the table group's
+// member list and the aggregator's mirror stay in lockstep.
+func removeSubFrom(subs []*msg.Subscription, id msg.SubID) []*msg.Subscription {
+	for i, s := range subs {
+		if s.ID == id {
+			last := len(subs) - 1
+			subs[i] = subs[last]
+			return subs[:last]
+		}
+	}
+	return subs
+}
+
+// AggTables drives a full table set (the simulator's central view)
+// through the aggregator: one Subscribe/Unsubscribe call makes the
+// covering decision AND realizes it on every broker's table. The live
+// overlay does not use this — each node realizes its own slice of the
+// decision from the flood protocol — but the decisions themselves are
+// the same code.
+type AggTables struct {
+	Agg    *Aggregator
+	ins    *Installer
+	tables map[msg.NodeID]*Table
+	// OnSuppressed, when set, observes every suppressed flood (the
+	// simulator wires it to the metrics collector).
+	OnSuppressed func(int)
+}
+
+// NewAggTables wraps existing tables in an aggregated churn driver.
+func NewAggTables(ov *topology.Overlay, tables map[msg.NodeID]*Table, opts Options) *AggTables {
+	return &AggTables{
+		Agg:    NewAggregator(),
+		ins:    NewInstaller(ov, opts),
+		tables: tables,
+	}
+}
+
+// Tables returns the driven table set.
+func (at *AggTables) Tables() map[msg.NodeID]*Table { return at.tables }
+
+// Installer returns the underlying path installer.
+func (at *AggTables) Installer() *Installer { return at.ins }
+
+// Subscribe admits one subscription and realizes the decision on the
+// tables: install everywhere (forwarded canonical), fold into a
+// canonical's entries (member), or install local delivery only and ref
+// the coverer (covered canonical).
+func (at *AggTables) Subscribe(s *msg.Subscription) {
+	kind, rep := at.Agg.Admit(s)
+	at.realize(kind, rep, s, true)
+	if kind != AdmitForward && at.OnSuppressed != nil {
+		at.OnSuppressed(1)
+	}
+}
+
+// realize applies one admission decision to the tables. fresh
+// distinguishes a first admission from a re-exposure (a re-exposed
+// canonical already owns local entries at its edge).
+func (at *AggTables) realize(kind Admission, rep, s *msg.Subscription, fresh bool) {
+	switch kind {
+	case AdmitForward:
+		if fresh {
+			at.ins.Install(at.tables, s)
+		} else {
+			// Local entries survived under the old coverer; only the
+			// forwarding entries must materialize.
+			at.ins.InstallExcept(at.tables, s, s.Edge)
+		}
+	case AdmitMember:
+		// Membership is an edge-local affair: delivery fans out through
+		// the canonical's group there; upstream state is untouched
+		// whether the canonical forwards or not.
+		at.tables[s.Edge].Attach(rep.ID, s)
+	case AdmitCovered:
+		if fresh {
+			at.ins.InstallAt(s.Edge, at.tables[s.Edge], s)
+		}
+		for _, t := range at.tables {
+			t.AddRef(rep.ID)
+		}
+	}
+}
+
+// Unsubscribe retracts one subscription, realizing promotion or
+// re-exposure as needed.
+func (at *AggTables) Unsubscribe(id msg.SubID) {
+	ret, ok := at.Agg.Remove(id)
+	if !ok {
+		return
+	}
+	switch ret.Kind {
+	case RetractMember:
+		at.tables[ret.Rep.Edge].Detach(ret.Rep.ID, id)
+	case RetractCovered:
+		if ret.Promoted != nil {
+			// Local entries swap identity in place; nothing upstream
+			// ever existed.
+			at.tables[ret.Promoted.Edge].Promote(id)
+			return
+		}
+		at.tables[ret.Rep.Edge].RemoveSub(id)
+		for _, t := range at.tables {
+			t.DropRef(ret.Rep.ID)
+		}
+		for _, s := range ret.Reexposed {
+			kind, rep := at.Agg.Reexpose(s)
+			at.realize(kind, rep, s, false)
+		}
+	case RetractForwarded:
+		if ret.Promoted != nil {
+			// The edge table promotes in place (identical filter); the
+			// forwarding tables swap the entries' identity by
+			// removal + reinstall, then restore the refcount.
+			edge := ret.Promoted.Edge
+			at.tables[edge].Promote(id)
+			refs := at.Agg.RefCount(ret.Promoted.ID)
+			for nid, t := range at.tables {
+				if nid == edge {
+					continue
+				}
+				t.RemoveSub(id)
+			}
+			at.ins.InstallExcept(at.tables, ret.Promoted, edge)
+			if refs > 1 {
+				for nid, t := range at.tables {
+					if nid != edge {
+						t.SetGroup(ret.Promoted.ID, &Group{Refs: refs})
+					}
+				}
+			}
+			return
+		}
+		for _, t := range at.tables {
+			t.RemoveSub(id)
+		}
+		for _, s := range ret.Reexposed {
+			kind, rep := at.Agg.Reexpose(s)
+			at.realize(kind, rep, s, false)
+		}
+	}
+}
+
+// BuildAggregated is the aggregated counterpart of Build: same overlay,
+// same subscription population, but each subscription is admitted
+// through a covering aggregator in order, so the resulting tables hold
+// one entry set per covering canonical instead of one per
+// subscription. Returns the tables and the bound driver (for subsequent
+// churn). onSuppressed, when non-nil, observes each suppressed flood
+// during the build.
+func BuildAggregated(ov *topology.Overlay, subs []*msg.Subscription, opts Options, onSuppressed func(int)) (map[msg.NodeID]*Table, *AggTables, error) {
+	tables := make(map[msg.NodeID]*Table, ov.Graph.N())
+	for id := 0; id < ov.Graph.N(); id++ {
+		tables[msg.NodeID(id)] = NewTable(msg.NodeID(id))
+	}
+	edgeSet := make(map[msg.NodeID]bool, len(ov.Edges))
+	for _, e := range ov.Edges {
+		edgeSet[e] = true
+	}
+	at := NewAggTables(ov, tables, opts)
+	at.OnSuppressed = onSuppressed
+	for _, sub := range subs {
+		if !edgeSet[sub.Edge] {
+			return nil, nil, fmt.Errorf("routing: subscription %d attaches to non-edge broker %d", sub.ID, sub.Edge)
+		}
+		at.Subscribe(sub)
+	}
+	return tables, at, nil
+}

@@ -193,6 +193,26 @@ func (ins *Installer) InstallAt(id msg.NodeID, table *Table, sub *msg.Subscripti
 	return installed
 }
 
+// InstallExcept is Install skipping one broker — the aggregation layer's
+// re-exposure path, where a subscription already holds its local entries
+// at its edge broker and only the forwarding entries elsewhere must
+// materialize. Returns the entries installed.
+func (ins *Installer) InstallExcept(tables map[msg.NodeID]*Table, sub *msg.Subscription, skip msg.NodeID) int {
+	installed := 0
+	for _, src := range ins.ov.Ingress {
+		for pathID, path := range ins.paths(src, sub.Edge) {
+			for i, at := range path {
+				if at == skip {
+					continue
+				}
+				tables[at].Add(EntryAt(path, i, sub, src, pathID, ins.rates))
+				installed++
+			}
+		}
+	}
+	return installed
+}
+
 // InstallSub is the one-shot form of Installer.Install, for callers
 // installing a single subscription.
 func InstallSub(tables map[msg.NodeID]*Table, ov *topology.Overlay, sub *msg.Subscription, opts Options) int {

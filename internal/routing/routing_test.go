@@ -280,19 +280,6 @@ func TestMultipathInstallsAlternates(t *testing.T) {
 	}
 }
 
-func TestAggregateDropsCoveredEntries(t *testing.T) {
-	broad := &Entry{Source: 0, Next: 1, Sub: sub(1, 2, "A1 < 10")}
-	narrow := &Entry{Source: 0, Next: 1, Sub: sub(2, 2, "A1 < 5")}
-	otherHop := &Entry{Source: 0, Next: 3, Sub: sub(3, 2, "A1 < 5")}
-	got := Aggregate([]*Entry{broad, narrow, otherHop})
-	if len(got) != 2 {
-		t.Fatalf("aggregated to %d entries, want 2", len(got))
-	}
-	if got[0] != broad || got[1] != otherHop {
-		t.Error("aggregation should keep the broad filter and the other hop")
-	}
-}
-
 func TestBuildWithRateOverride(t *testing.T) {
 	ov := chainOverlay(t)
 	s := sub(1, 2, "true")

@@ -49,6 +49,28 @@ type Entry struct {
 	// cheapest feasible value, and brokers raise any applicable bound
 	// below this floor to it.
 	Relaxed vtime.Millis
+	// Agg, when non-nil, marks this entry as a covering representative:
+	// it stands for Agg.Refs concrete subscriptions (itself plus the
+	// exact-duplicate members folded into it and the properly-covered
+	// subscriptions masked behind it). All of one subscription's entries
+	// in one table share the same Group. Nil on non-aggregated tables.
+	Agg *Group
+}
+
+// Group is the shared covering-set record of one representative
+// subscription in one table. Matching and the delay-bound accounting see
+// the representative's entries only; at the edge broker, delivery fans
+// out to Members as well (exact duplicates share the representative's
+// delivery terms by construction, so one admission decision covers the
+// set). Mutated only under the table's write lock.
+type Group struct {
+	// Refs counts the concrete subscriptions this entry stands for: the
+	// representative, its Members, and the covered subscriptions whose
+	// forwarding rides it.
+	Refs int32
+	// Members are the exact-duplicate subscriptions delivered alongside
+	// the representative (populated on edge tables only).
+	Members []*msg.Subscription
 }
 
 // Local reports whether the entry delivers to a subscriber attached to
@@ -394,26 +416,167 @@ func Stats(tables map[msg.NodeID]*Table) CoverageStats {
 	return cs
 }
 
-// Aggregate drops entries provably covered by another entry with the same
-// (source, next hop, subscriber-independent delivery terms). This is the
-// covering optimization enabled by filter.Covers; the default build does
-// not use it because per-subscriber accounting (deadlines, prices, success
-// probabilities) requires individual entries, but the live runtime uses it
-// for its forwarding-only tables.
-func Aggregate(entries []*Entry) []*Entry {
-	var out []*Entry
-	for _, e := range entries {
-		covered := false
-		for _, f := range out {
-			if f.Source == e.Source && f.Next == e.Next &&
-				filter.Covers(f.Sub.Filter, e.Sub.Filter) {
-				covered = true
-				break
-			}
+// group returns the shared Group of a subscription's entries in this
+// table, creating (and stamping on every live slot) one when create is
+// set. Returns nil when the subscription has no live entries here.
+func (t *Table) group(id msg.SubID, create bool) *Group {
+	refs := t.bySub[id]
+	var g *Group
+	for _, r := range refs {
+		st := t.bySource[r.src]
+		if st == nil || st.entries[r.pos] == nil {
+			continue
 		}
-		if !covered {
-			out = append(out, e)
+		if a := st.entries[r.pos].Agg; a != nil {
+			g = a
+			break
 		}
 	}
-	return out
+	if g == nil {
+		if !create {
+			return nil
+		}
+		g = &Group{Refs: 1}
+	}
+	stamped := 0
+	for _, r := range refs {
+		st := t.bySource[r.src]
+		if st == nil || st.entries[r.pos] == nil {
+			continue
+		}
+		st.entries[r.pos].Agg = g
+		stamped++
+	}
+	if stamped == 0 {
+		return nil
+	}
+	return g
+}
+
+// Attach folds an exact-duplicate subscription into a representative's
+// entries: member is delivered wherever rep's entries deliver locally,
+// and every entry's refcount grows by one. Member order is insertion
+// order (the aggregation layer's promotion policy depends on it).
+// Reports whether the representative was found.
+func (t *Table) Attach(rep msg.SubID, member *msg.Subscription) bool {
+	g := t.group(rep, true)
+	if g == nil {
+		return false
+	}
+	g.Members = append(g.Members, member)
+	g.Refs++
+	return true
+}
+
+// Detach removes a member previously folded in with Attach, dropping the
+// refcount. Reports whether the member was found.
+func (t *Table) Detach(rep msg.SubID, member msg.SubID) bool {
+	g := t.group(rep, false)
+	if g == nil {
+		return false
+	}
+	for i, m := range g.Members {
+		if m.ID == member {
+			// Swap-remove: hot groups hold thousands of members and the
+			// oldest depart first under windowed churn, so an
+			// order-preserving delete would move almost the whole list.
+			// The aggregator's mirror list uses the same rule, keeping
+			// the two in lockstep for promotion.
+			last := len(g.Members) - 1
+			g.Members[i] = g.Members[last]
+			g.Members = g.Members[:last]
+			g.Refs--
+			return true
+		}
+	}
+	return false
+}
+
+// AddRef records one more concrete subscription riding a
+// representative's entries (a properly-covered subscription whose
+// forwarding was suppressed). Reports whether the representative was
+// found.
+func (t *Table) AddRef(rep msg.SubID) bool {
+	g := t.group(rep, true)
+	if g == nil {
+		return false
+	}
+	g.Refs++
+	return true
+}
+
+// DropRef is the inverse of AddRef.
+func (t *Table) DropRef(rep msg.SubID) bool {
+	g := t.group(rep, false)
+	if g == nil {
+		return false
+	}
+	g.Refs--
+	return true
+}
+
+// Promote retires a representative whose group still has members by
+// renaming its entries to the last-attached member: the filter is
+// identical, so every slot, back-reference position and index posting
+// stays valid — no table mutation beyond the identity swap. The group
+// (minus the promoted member, minus the departing representative's ref)
+// survives on the entries. Returns the new representative, or nil when
+// the subscription has no live entries or no members to promote.
+func (t *Table) Promote(rep msg.SubID) *msg.Subscription {
+	refs := t.bySub[rep]
+	if len(refs) == 0 {
+		return nil
+	}
+	g := t.group(rep, false)
+	if g == nil || len(g.Members) == 0 {
+		return nil
+	}
+	next := g.Members[len(g.Members)-1]
+	g.Members = g.Members[:len(g.Members)-1]
+	g.Refs--
+	for _, r := range refs {
+		st := t.bySource[r.src]
+		if st == nil || st.entries[r.pos] == nil {
+			continue
+		}
+		st.entries[r.pos].Sub = next
+	}
+	t.bySub[next.ID] = refs
+	delete(t.bySub, rep)
+	return next
+}
+
+// TakeGroup reads a subscription's group (nil when it has none) so a
+// caller about to RemoveSub-and-reinstall the same subscription —
+// topology repair re-flooding a representative — can carry the covering
+// set across the move with SetGroup.
+func (t *Table) TakeGroup(id msg.SubID) *Group { return t.group(id, false) }
+
+// SetGroup stamps a group onto every live entry of a subscription (the
+// reinstall half of TakeGroup). A nil group is a no-op.
+func (t *Table) SetGroup(id msg.SubID, g *Group) {
+	if g == nil {
+		return
+	}
+	for _, r := range t.bySub[id] {
+		st := t.bySource[r.src]
+		if st == nil || st.entries[r.pos] == nil {
+			continue
+		}
+		st.entries[r.pos].Agg = g
+	}
+}
+
+// AggregatedEntries counts live entries standing for more than one
+// concrete subscription — the table-size side of the aggregation win.
+func (t *Table) AggregatedEntries() int {
+	n := 0
+	for _, st := range t.bySource {
+		for _, e := range st.entries {
+			if e != nil && e.Agg != nil && e.Agg.Refs > 1 {
+				n++
+			}
+		}
+	}
+	return n
 }

@@ -1,0 +1,175 @@
+package runtime_test
+
+import (
+	"math"
+	"testing"
+
+	"bdps/internal/core"
+	"bdps/internal/livenet"
+	"bdps/internal/msg"
+	"bdps/internal/runtime"
+	"bdps/internal/simnet"
+	"bdps/internal/vtime"
+	"bdps/internal/workload"
+)
+
+// aggCrossValConfig: a Zipf-skewed population (heavy template reuse, so
+// covering and duplication actually occur) with churn, light enough to
+// stay uncongested — the regime where aggregation must be invisible to
+// delivery accounting.
+func aggCrossValConfig(t testing.TB) runtime.Config {
+	return runtime.Config{
+		Seed:     1,
+		Scenario: msg.SSD,
+		Strategy: core.MaxEB{},
+		Overlay:  crossValOverlay(t),
+		Workload: workload.Config{
+			RatePerMin: 6,
+			Duration:   2 * vtime.Minute,
+			Zipf:       workload.Zipf{Universe: 12},
+			Churn:      workload.Churn{RatePerMin: 8, HalfLife: 30 * vtime.Second},
+		},
+		TimeScale: 0.005,
+	}
+}
+
+// TestAggregatedSimEquivalence: on the simulator, the aggregated build
+// must reproduce the flat build's workload accounting EXACTLY — same
+// publications, same interested-subscriber totals, same valid
+// deliveries, same earning — while actually suppressing floods and
+// aggregating entries. This is the runtime-level half of the
+// equivalence argument (the routing-level half is randomized in
+// internal/routing).
+func TestAggregatedSimEquivalence(t *testing.T) {
+	flat, err := runtime.Run(aggCrossValConfig(t), simnet.Transport{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acfg := aggCrossValConfig(t)
+	acfg.Aggregate = true
+	agg, err := runtime.Run(acfg, simnet.Transport{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if flat.Published != agg.Published {
+		t.Errorf("published diverged: flat %d, aggregated %d", flat.Published, agg.Published)
+	}
+	if flat.TotalTargets != agg.TotalTargets {
+		t.Errorf("targets diverged: flat %d, aggregated %d", flat.TotalTargets, agg.TotalTargets)
+	}
+	if flat.ValidDeliveries != agg.ValidDeliveries {
+		t.Errorf("valid deliveries diverged: flat %d, aggregated %d",
+			flat.ValidDeliveries, agg.ValidDeliveries)
+	}
+	if flat.LateDeliveries != agg.LateDeliveries {
+		t.Errorf("late deliveries diverged: flat %d, aggregated %d",
+			flat.LateDeliveries, agg.LateDeliveries)
+	}
+	if math.Abs(flat.Earning-agg.Earning) > 1e-9 {
+		t.Errorf("earning diverged: flat %v, aggregated %v", flat.Earning, agg.Earning)
+	}
+	if flat.ValidDeliveries == 0 {
+		t.Fatal("workload delivered nothing; the equivalence is vacuous")
+	}
+
+	if flat.FloodsSuppressed != 0 || flat.AggregatedEntries != 0 {
+		t.Errorf("flat run reports aggregation activity: %d floods, %d entries",
+			flat.FloodsSuppressed, flat.AggregatedEntries)
+	}
+	if agg.FloodsSuppressed == 0 {
+		t.Error("aggregated run suppressed no floods on a Zipf workload")
+	}
+	if agg.AggregatedEntries == 0 {
+		t.Error("aggregated run reports no aggregated entries on a Zipf workload")
+	}
+}
+
+// TestAggregatedCrossValidationSimVsLive: the aggregated plan deployed
+// on the live TCP overlay (owner-side admission, suppressed floods,
+// promotion/re-exposure on churn departures) must match the aggregated
+// simulator run the same way the flat backends match each other.
+func TestAggregatedCrossValidationSimVsLive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compressed-timescale live cluster run")
+	}
+	scfg := aggCrossValConfig(t)
+	scfg.Aggregate = true
+	sim, err := runtime.Run(scfg, simnet.Transport{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lcfg := aggCrossValConfig(t)
+	lcfg.Overlay = scfg.Overlay
+	lcfg.Aggregate = true
+	// A churning SSD workload leaves the live run less slack than the
+	// flat crossval's: give it 4× the wall headroom per emulated ms so
+	// the whole-suite parallel load cannot starve deadlines.
+	lcfg.TimeScale = 0.02
+	live, err := runtime.Run(lcfg, livenet.Transport{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if sim.Published != live.Published {
+		t.Errorf("published diverged: sim %d, live %d", sim.Published, live.Published)
+	}
+	if sim.TotalTargets != live.TotalTargets {
+		t.Errorf("targets diverged: sim %d, live %d", sim.TotalTargets, live.TotalTargets)
+	}
+	if live.ValidDeliveries == 0 {
+		t.Fatal("live aggregated run delivered nothing")
+	}
+	simRate, liveRate := sim.DeliveryRate(), live.DeliveryRate()
+	if d := math.Abs(simRate - liveRate); d > 0.15 {
+		t.Errorf("delivery rates diverged by %.3f: sim %.3f, live %.3f", d, simRate, liveRate)
+	}
+}
+
+// TestAggregatedSimRecovery composes aggregation with the self-healing
+// control plane: killing half the relay layer on a Zipf population must
+// detect and repair identically, deliver identically — and re-flood
+// strictly fewer subscriptions, because covered subscriptions ride
+// their representative's re-flood instead of flooding themselves.
+func TestAggregatedSimRecovery(t *testing.T) {
+	base := recoveryConfig(t)
+	base.Workload.Zipf = workload.Zipf{Universe: 12}
+	base.Faults = killHalf()
+	flat, err := runtime.Run(base, simnet.Transport{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	acfg := recoveryConfig(t)
+	acfg.Overlay = base.Overlay
+	acfg.Workload.Zipf = workload.Zipf{Universe: 12}
+	acfg.Faults = killHalf()
+	acfg.Aggregate = true
+	agg, err := runtime.Run(acfg, simnet.Transport{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if flat.Published != agg.Published || flat.TotalTargets != agg.TotalTargets {
+		t.Errorf("workload diverged: flat %d/%d, aggregated %d/%d",
+			flat.Published, flat.TotalTargets, agg.Published, agg.TotalTargets)
+	}
+	if flat.ValidDeliveries != agg.ValidDeliveries {
+		t.Errorf("valid deliveries diverged under repair: flat %d, aggregated %d",
+			flat.ValidDeliveries, agg.ValidDeliveries)
+	}
+	if flat.Detections != agg.Detections {
+		t.Errorf("detections diverged: flat %d, aggregated %d", flat.Detections, agg.Detections)
+	}
+	if agg.FloodsSuppressed == 0 {
+		t.Fatal("Zipf population aggregated nothing; the re-flood claim is vacuous")
+	}
+	if agg.RefloodedSubs >= flat.RefloodedSubs {
+		t.Errorf("re-flooded subs: aggregated %d, flat %d — suppression must shrink repair traffic",
+			agg.RefloodedSubs, flat.RefloodedSubs)
+	}
+	if agg.ValidDeliveries == 0 {
+		t.Fatal("aggregated recovery run delivered nothing")
+	}
+}

@@ -101,6 +101,13 @@ type Config struct {
 	// subscription table. Semantically identical to the linear scan.
 	IndexedMatch bool
 
+	// Aggregate enables covering-based subscription aggregation: a
+	// subscription is forwarded (and holds routing entries upstream) only
+	// if no already-forwarded filter with identical delivery terms covers
+	// it; covered subscriptions ride the coverer's entries, refcounted.
+	// Delivery semantics are identical to the flat build.
+	Aggregate bool
+
 	// Subscriptions overrides the workload-generated population with an
 	// explicit one (every subscription must attach to an edge broker).
 	Subscriptions []*msg.Subscription

@@ -65,6 +65,12 @@ type Plan struct {
 	// publication-side accounting; deployments report the delivery side
 	// (directly, or through a LockedSink when concurrent).
 	Metrics *metrics.Collector
+
+	// Agg is the covering-aggregation driver bound to Tables when
+	// Cfg.Aggregate is on (nil otherwise). The simulator routes churn
+	// events through it; the live overlay makes the same decisions
+	// node-locally instead.
+	Agg *routing.AggTables
 }
 
 // NewPlan assembles a deployment: builds (or adopts) the overlay,
@@ -140,10 +146,19 @@ func NewPlan(cfg Config) (*Plan, error) {
 		}
 	}
 
-	tables, err := routing.Build(ov, p.Subs, routing.Options{
-		Rates:     p.Beliefs,
-		Multipath: cfg.Multipath,
-	})
+	var tables map[msg.NodeID]*routing.Table
+	var err error
+	if cfg.Aggregate {
+		tables, p.Agg, err = routing.BuildAggregated(ov, p.Subs, routing.Options{
+			Rates:     p.Beliefs,
+			Multipath: cfg.Multipath,
+		}, p.Metrics.FloodSuppressed)
+	} else {
+		tables, err = routing.Build(ov, p.Subs, routing.Options{
+			Rates:     p.Beliefs,
+			Multipath: cfg.Multipath,
+		})
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -156,6 +156,14 @@ func (d *FailureDetector) repair() {
 
 	rerouted, kept, relaxed, rejected, reflooded := 0, 0, 0, 0, 0
 	for _, sub := range p.Subs {
+		if p.Agg != nil && !p.Agg.Agg.IsForwarded(sub.ID) {
+			// Covering aggregation: members and masked subscriptions hold
+			// no forwarding entries of their own — their representative's
+			// re-flood carries them, and their local delivery entries at
+			// the edge are terminal (path-independent), so repair leaves
+			// them untouched.
+			continue
+		}
 		// Diff this subscription's delivery paths per ingress.
 		changedPairs := make(map[msg.NodeID]bool)
 		for _, src := range p.Overlay.Ingress {
@@ -169,7 +177,12 @@ func (d *FailureDetector) repair() {
 
 		// Re-flood: drop the subscription everywhere, reinstall every
 		// ingress route on the surviving graph (unchanged routes come back
-		// verbatim; changed ones carry the renegotiated floor).
+		// verbatim; changed ones carry the renegotiated floor). A
+		// representative's covering group rides across the move.
+		var groups map[msg.NodeID]*routing.Group
+		if p.Agg != nil {
+			groups = d.takeGroups(sub.ID)
+		}
 		d.removeSub(sub.ID)
 		installed := 0
 		for _, src := range p.Overlay.Ingress {
@@ -203,6 +216,9 @@ func (d *FailureDetector) repair() {
 		if installed > 0 {
 			reflooded++
 		}
+		if groups != nil {
+			d.restoreGroups(sub.ID, groups)
+		}
 	}
 
 	d.prev = next
@@ -228,6 +244,40 @@ func (d *FailureDetector) renegotiatePath(sub *msg.Subscription, path []msg.Node
 	rate := stats.SumNormal(parts...)
 	return renegotiateBound(p.applicableBound(sub), links, rate, p.Cfg.Workload.SizeKB,
 		p.Cfg.Params.PD, p.Cfg.Recovery.SuccessTarget, p.Cfg.Recovery.MaxRelaxFactor)
+}
+
+// takeGroups snapshots a representative's covering group per table
+// before a remove-and-reinstall (tables where it holds no live entries
+// are omitted).
+func (d *FailureDetector) takeGroups(id msg.SubID) map[msg.NodeID]*routing.Group {
+	groups := make(map[msg.NodeID]*routing.Group)
+	for nid, t := range d.p.Tables {
+		get := func() {
+			if g := t.TakeGroup(id); g != nil {
+				groups[nid] = g
+			}
+		}
+		if d.lock != nil {
+			d.lock(nid, get)
+		} else {
+			get()
+		}
+	}
+	return groups
+}
+
+// restoreGroups stamps the snapshotted groups back onto the reinstalled
+// entries. A representative whose table lost every route simply drops
+// its group there — the covered subscriptions share the coverer's fate.
+func (d *FailureDetector) restoreGroups(id msg.SubID, groups map[msg.NodeID]*routing.Group) {
+	for nid, g := range groups {
+		t := d.p.Tables[nid]
+		if d.lock != nil {
+			d.lock(nid, func() { t.SetGroup(id, g) })
+		} else {
+			t.SetGroup(id, g)
+		}
+	}
 }
 
 // removeSub drops one subscription from every table, excluding each

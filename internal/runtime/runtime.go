@@ -72,6 +72,17 @@ func Run(cfg Config, t Transport) (Result, error) {
 		return Result{}, err
 	}
 
+	if p.Cfg.Aggregate {
+		// End-of-run table census: live entries whose refcount stands for
+		// more than one concrete subscription. (Live-backend deployments
+		// mutate the same plan tables, so one scan serves both.)
+		n := 0
+		for _, t := range p.Tables {
+			n += t.AggregatedEntries()
+		}
+		p.Metrics.AggregatedEntries(n)
+	}
+
 	r := p.Metrics.Result()
 	r.Seed = p.Cfg.Seed
 	r.Strategy = p.Cfg.Strategy.Name()

@@ -35,6 +35,11 @@ type Sink interface {
 	DupSuppressed(n int)
 	ReorderHealed(n int)
 	DroppedDeadline(n int)
+
+	// Covering-aggregation accounting: subscribe floods a resident
+	// covering filter made unnecessary (the simulator's aggregation
+	// driver and the live owner nodes both feed it).
+	FloodSuppressed(n int)
 }
 
 // LockedSink serializes a Sink for concurrent backends. The simulator
@@ -143,4 +148,10 @@ func (l *LockedSink) DroppedDeadline(n int) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.s.DroppedDeadline(n)
+}
+
+func (l *LockedSink) FloodSuppressed(n int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.s.FloodSuppressed(n)
 }

@@ -151,24 +151,42 @@ func deploy(p *runtime.Plan) (*Network, error) {
 	// tables in place — tables with an enabled counting index absorb the
 	// mutations incrementally (no rebuild, no lost fast path).
 	if len(p.SubEvents) > 0 {
-		tables := make(map[msg.NodeID]*routing.Table, len(p.Brokers))
-		for id, b := range p.Brokers {
-			tables[id] = b.Table()
-		}
-		// One installer for the whole schedule: Dijkstra runs once per
-		// ingress, not once per churn event.
-		ins := routing.NewInstaller(p.Overlay, routing.Options{
-			Rates: p.Beliefs, Multipath: p.Cfg.Multipath,
-		})
-		for i := range p.SubEvents {
-			ev := p.SubEvents[i]
-			n.Engine.At(ev.At, func() {
-				if ev.Unsub {
-					routing.RemoveSubAll(tables, ev.Sub.ID)
-				} else {
-					ins.Install(tables, ev.Sub)
-				}
+		if p.Agg != nil {
+			// Aggregated churn: every event goes through the plan's
+			// covering driver, so a subscribe covered by a resident
+			// representative mutates one edge table instead of flooding
+			// entries everywhere, and an unsubscribe re-exposes whatever
+			// the departing filter was masking.
+			for i := range p.SubEvents {
+				ev := p.SubEvents[i]
+				n.Engine.At(ev.At, func() {
+					if ev.Unsub {
+						p.Agg.Unsubscribe(ev.Sub.ID)
+					} else {
+						p.Agg.Subscribe(ev.Sub)
+					}
+				})
+			}
+		} else {
+			tables := make(map[msg.NodeID]*routing.Table, len(p.Brokers))
+			for id, b := range p.Brokers {
+				tables[id] = b.Table()
+			}
+			// One installer for the whole schedule: Dijkstra runs once per
+			// ingress, not once per churn event.
+			ins := routing.NewInstaller(p.Overlay, routing.Options{
+				Rates: p.Beliefs, Multipath: p.Cfg.Multipath,
 			})
+			for i := range p.SubEvents {
+				ev := p.SubEvents[i]
+				n.Engine.At(ev.At, func() {
+					if ev.Unsub {
+						routing.RemoveSubAll(tables, ev.Sub.ID)
+					} else {
+						ins.Install(tables, ev.Sub)
+					}
+				})
+			}
 		}
 	}
 

@@ -67,18 +67,31 @@ func (c Config) ChurnEvents(edges []msg.NodeID, firstID msg.SubID) []SubEvent {
 		return nil
 	}
 	s := stats.Derive(c.Seed, "workload/churn")
+	var zt *zipfTemplates
+	if c.Zipf.Enabled() {
+		zt = c.zipfTemplates()
+	}
 	gap := vtime.Minute / vtime.Millis(ch.RatePerMin)
 	meanLife := float64(ch.HalfLife) / math.Ln2
 	var events []SubEvent
 	id := firstID
 	for t := s.Exponential(gap); t <= c.Duration; t += s.Exponential(gap) {
-		sub := &msg.Subscription{
-			ID:   id,
-			Edge: edges[s.IntN(len(edges))],
-			Filter: filter.And(
+		// Draw order (edge, then filter) matches the historical literal
+		// evaluation order, so non-Zipf schedules reproduce bit for bit.
+		edge := edges[s.IntN(len(edges))]
+		var f *filter.Filter
+		if zt != nil {
+			f = zt.pick(s)
+		} else {
+			f = filter.And(
 				filter.Lt("A1", s.Uniform(c.AttrLo, c.AttrHi)),
 				filter.Lt("A2", s.Uniform(c.AttrLo, c.AttrHi)),
-			),
+			)
+		}
+		sub := &msg.Subscription{
+			ID:     id,
+			Edge:   edge,
+			Filter: f,
 		}
 		if c.Scenario == msg.SSD || c.Scenario == msg.Both {
 			tier := s.IntN(len(c.SSDDeadlines))

@@ -61,6 +61,11 @@ type Config struct {
 	// one: Poisson subscribe arrivals with exponentially distributed
 	// lifetimes (see Churn and ChurnEvents). Zero disables churn.
 	Churn Churn
+
+	// Zipf replaces the independent continuous filters with draws from a
+	// finite Zipf-popular template universe (see Zipf). Zero keeps the
+	// paper's continuous workload.
+	Zipf Zipf
 }
 
 // setDefaults fills the paper's values into unset fields.
@@ -91,6 +96,7 @@ func (c *Config) setDefaults() {
 		c.HotspotWidth = 0.2
 	}
 	c.Churn.setDefaults()
+	c.Zipf.setDefaults()
 }
 
 // Validate checks cross-field consistency after defaulting.
@@ -121,6 +127,9 @@ func (c *Config) Validate() error {
 	if err := c.Churn.validate(); err != nil {
 		return err
 	}
+	if err := c.Zipf.validate(); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -131,16 +140,26 @@ func (c *Config) Validate() error {
 func (c Config) Subscriptions(edges []msg.NodeID) []*msg.Subscription {
 	c.setDefaults()
 	s := stats.Derive(c.Seed, "workload/subs")
+	var zt *zipfTemplates
+	if c.Zipf.Enabled() {
+		zt = c.zipfTemplates()
+	}
 	var out []*msg.Subscription
 	id := msg.SubID(0)
 	for _, edge := range edges {
 		for j := 0; j < c.SubsPerEdge; j++ {
-			x1 := s.Uniform(c.AttrLo, c.AttrHi)
-			x2 := s.Uniform(c.AttrLo, c.AttrHi)
+			var f *filter.Filter
+			if zt != nil {
+				f = zt.pick(s)
+			} else {
+				x1 := s.Uniform(c.AttrLo, c.AttrHi)
+				x2 := s.Uniform(c.AttrLo, c.AttrHi)
+				f = filter.And(filter.Lt("A1", x1), filter.Lt("A2", x2))
+			}
 			sub := &msg.Subscription{
 				ID:     id,
 				Edge:   edge,
-				Filter: filter.And(filter.Lt("A1", x1), filter.Lt("A2", x2)),
+				Filter: f,
 			}
 			if c.Scenario == msg.SSD || c.Scenario == msg.Both {
 				tier := s.IntN(len(c.SSDDeadlines))

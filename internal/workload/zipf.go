@@ -1,0 +1,95 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"bdps/internal/filter"
+	"bdps/internal/stats"
+)
+
+// Zipf parameterizes a Zipf-skewed filter popularity: instead of every
+// subscriber drawing an independent continuous filter (the paper's
+// workload, where no two filters ever coincide), subscribers draw from
+// a finite universe of filter templates with rank-r popularity ∝ 1/rˢ.
+// This is the interest skew real pub/sub populations show — a few
+// popular topics, a long tail — and the regime where covering-based
+// aggregation pays: popular templates repeat as exact duplicates and
+// narrow templates fall under broad ones. The zero value disables the
+// skew (the paper's continuous workload).
+type Zipf struct {
+	// Universe is the number of distinct filter templates. 0 disables
+	// Zipf sampling.
+	Universe int
+	// Exponent is the Zipf law's s (weight of rank r ∝ 1/rˢ); defaults
+	// to 1 when the universe is set.
+	Exponent float64
+}
+
+// Enabled reports whether Zipf sampling is configured.
+func (z Zipf) Enabled() bool { return z.Universe > 0 }
+
+func (z *Zipf) setDefaults() {
+	if z.Universe > 0 && z.Exponent == 0 {
+		z.Exponent = 1
+	}
+}
+
+func (z Zipf) validate() error {
+	if z.Universe < 0 {
+		return fmt.Errorf("workload: negative zipf universe %d", z.Universe)
+	}
+	if z.Universe > 0 && z.Exponent < 0 {
+		return fmt.Errorf("workload: negative zipf exponent %v", z.Exponent)
+	}
+	return nil
+}
+
+// zipfGrid quantizes template cut points to this many levels per
+// attribute. Quantization makes distinct ranks alias to identical or
+// covering filters, so the covering structure exists in the template
+// universe itself, not just in rank collisions.
+const zipfGrid = 16
+
+// zipfTemplates is the rank-indexed template table plus the cumulative
+// Zipf weights for sampling. Built deterministically from the workload
+// seed, so the static population and the churn stream share one
+// universe.
+type zipfTemplates struct {
+	filters []*filter.Filter
+	cum     []float64
+}
+
+// zipfTemplates materializes the template universe: rank r draws its
+// two quantized cut points from a dedicated derived stream (one stream,
+// ranks in order — deterministic in the seed alone).
+func (c Config) zipfTemplates() *zipfTemplates {
+	z := c.Zipf
+	s := stats.Derive(c.Seed, "workload/zipf")
+	zt := &zipfTemplates{
+		filters: make([]*filter.Filter, z.Universe),
+		cum:     make([]float64, z.Universe),
+	}
+	total := 0.0
+	span := c.AttrHi - c.AttrLo
+	for r := 0; r < z.Universe; r++ {
+		x1 := c.AttrLo + span*float64(s.IntN(zipfGrid)+1)/zipfGrid
+		x2 := c.AttrLo + span*float64(s.IntN(zipfGrid)+1)/zipfGrid
+		zt.filters[r] = filter.And(filter.Lt("A1", x1), filter.Lt("A2", x2))
+		total += math.Pow(float64(r+1), -z.Exponent)
+		zt.cum[r] = total
+	}
+	return zt
+}
+
+// pick samples one template by Zipf rank, consuming a single uniform
+// draw from the caller's stream.
+func (zt *zipfTemplates) pick(s *stats.Stream) *filter.Filter {
+	u := s.Float64() * zt.cum[len(zt.cum)-1]
+	i := sort.SearchFloat64s(zt.cum, u)
+	if i >= len(zt.filters) {
+		i = len(zt.filters) - 1
+	}
+	return zt.filters[i]
+}
