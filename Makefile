@@ -29,13 +29,20 @@ verify: build vet test
 #      receiver dedup/reorder healing — the per-frame tax a lossy link pays;
 #   7. the aggregation tentpole at 1x — one flat and one aggregated
 #      million-subscription build per iteration IS the measurement, and
-#      the bench itself asserts the 5x entry/flood shrink.
+#      the bench itself asserts the 5x entry/flood shrink;
+#   8. the overload benches: the plan-side admission sweep, steady-state
+#      worst-first shedding, and the flash-crowd throughput pair
+#      (unprotected vs admission+shed+backpressure, with the rejected
+#      share and bounded peak queue reported alongside msgs/sec).
 bench:
-	$(GO) test -json -run '^$$' -bench '^Benchmark(Figure|Ablation|Filter|Normal|Pick|Queue|Table|Routing|Topology|Dijkstra|Codec|Sim|Covers)' -benchmem -benchtime 100x . > BENCH_pr8.json
-	$(GO) test -json -run '^$$' -bench BenchmarkLiveThroughput -benchmem -benchtime 20000x . >> BENCH_pr8.json
-	$(GO) test -json -run '^$$' -bench '^BenchmarkIndexBuild$$' -benchmem -benchtime 1x . >> BENCH_pr8.json
-	$(GO) test -json -run '^$$' -bench '^BenchmarkChurn' -benchmem -benchtime 2s . >> BENCH_pr8.json
-	$(GO) test -json -run '^$$' -bench '^BenchmarkRecovery' -benchmem -benchtime 100x ./internal/runtime/ >> BENCH_pr8.json
-	$(GO) test -json -run '^$$' -bench '^BenchmarkRetransmit$$' -benchmem -benchtime 10000x ./internal/livenet/ >> BENCH_pr8.json
-	$(GO) test -json -run '^$$' -bench '^BenchmarkAggregation1M$$' -benchmem -benchtime 1x . >> BENCH_pr8.json
-	@grep -o '"Output":"Benchmark[^"]*ns/op[^"]*"' BENCH_pr8.json | head -80 || true
+	$(GO) test -json -run '^$$' -bench '^Benchmark(Figure|Ablation|Filter|Normal|Pick|Queue|Table|Routing|Topology|Dijkstra|Codec|Sim|Covers)' -benchmem -benchtime 100x . > BENCH_pr9.json
+	$(GO) test -json -run '^$$' -bench BenchmarkLiveThroughput -benchmem -benchtime 20000x . >> BENCH_pr9.json
+	$(GO) test -json -run '^$$' -bench '^BenchmarkIndexBuild$$' -benchmem -benchtime 1x . >> BENCH_pr9.json
+	$(GO) test -json -run '^$$' -bench '^BenchmarkChurn' -benchmem -benchtime 2s . >> BENCH_pr9.json
+	$(GO) test -json -run '^$$' -bench '^BenchmarkRecovery' -benchmem -benchtime 100x ./internal/runtime/ >> BENCH_pr9.json
+	$(GO) test -json -run '^$$' -bench '^BenchmarkRetransmit$$' -benchmem -benchtime 10000x ./internal/livenet/ >> BENCH_pr9.json
+	$(GO) test -json -run '^$$' -bench '^BenchmarkAggregation1M$$' -benchmem -benchtime 1x . >> BENCH_pr9.json
+	$(GO) test -json -run '^$$' -bench '^BenchmarkAdmission$$' -benchmem -benchtime 100x ./internal/runtime/ >> BENCH_pr9.json
+	$(GO) test -json -run '^$$' -bench '^BenchmarkShedWorst$$' -benchmem -benchtime 1000x ./internal/core/ >> BENCH_pr9.json
+	$(GO) test -json -run '^$$' -bench '^BenchmarkFlashCrowdThroughput' -benchmem -benchtime 20000x . >> BENCH_pr9.json
+	@grep -o '"Output":"Benchmark[^"]*ns/op[^"]*"' BENCH_pr9.json | head -80 || true

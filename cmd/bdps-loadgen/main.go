@@ -76,6 +76,18 @@ func main() {
 		linkDup     = flag.Float64("link-dup", 0, "per-frame duplication probability on every link")
 		linkReorder = flag.Float64("link-reorder", 0, "per-frame reorder (adjacent swap) probability on every link")
 		duration    = flag.Duration("duration", 5*time.Minute, "run horizon: the cluster must drain within this wall time, and every fault offset must land inside it")
+
+		flashAt    = flag.Duration("flash-at", 200*time.Millisecond, "flash crowd: wall time after the first publish at which the crowd arrives")
+		flashWidth = flag.Duration("flash-width", 500*time.Millisecond, "flash crowd: how long the crowd stays")
+		flashPubs  = flag.Int("flash-pubs", 0, "flash crowd: extra publishers blasting at maximum rate for the window (0 = no flash crowd)")
+		flashSubs  = flag.Int("flash-subs", 0, "flash crowd: burst subscribers joining at onset and leaving at window end")
+
+		admission = flag.Bool("admission", false, "node-local admission control: the ingress turns publisher frames away while its output queues sit at or above -max-queue")
+		shed      = flag.Bool("shed", false, "graceful degradation: brokers shed their worst-scored queue entries above the pressure threshold")
+		maxQueue  = flag.Int("max-queue", 0, "admission / pressure threshold in queue entries (0 = default 256)")
+		maxEgress = flag.Int("max-egress", 0, "end-to-end backpressure: stall ingress reads while total output-queue occupancy is at or above this (0 = unbounded)")
+
+		metricsAddr = flag.String("metrics", "", "serve GET /metrics (Prometheus text) on this address for the run, e.g. 127.0.0.1:9090")
 	)
 	flag.Parse()
 	cfg := loadCfg{
@@ -86,6 +98,11 @@ func main() {
 		hbInterval: *hbInterval, hbTimeout: *hbTimeout,
 		linkLoss: *linkLoss, linkDup: *linkDup, linkReorder: *linkReorder,
 		duration: *duration,
+		flashAt: *flashAt, flashWidth: *flashWidth,
+		flashPubs: *flashPubs, flashSubs: *flashSubs,
+		admission: *admission, shed: *shed,
+		maxQueue: *maxQueue, maxEgress: *maxEgress,
+		metricsAddr: *metricsAddr,
 	}
 	// Horizon conflicts are flag errors, not drain timeouts: a fault
 	// scheduled beyond -duration could never strike before the drain
@@ -146,7 +163,38 @@ func report(plane string, cfg loadCfg, r result) {
 	if cfg.aggregate {
 		fmt.Printf("  floods-suppressed %d  agg-entries %d", r.floodsSuppressed, r.aggEntries)
 	}
+	if cfg.flashy() {
+		fmt.Printf("  flash +%d msgs", r.flashN)
+	}
 	fmt.Println()
+	if cfg.flashy() || cfg.protected() {
+		overloadReport(r)
+	}
+}
+
+// overloadReport prints the drop-cause breakdown and the per-broker SLO
+// attainment table an overload or flash-crowd run is judged by.
+func overloadReport(r result) {
+	t := r.link
+	fmt.Printf("drop causes: expired %d  hopeless %d  arrival %d  shed %d  admission-rejected %d\n",
+		t.DropsExpired, t.DropsHopeless, t.DropsArrival, t.DropsShed, t.PubsRejected)
+	fmt.Println("SLO attainment by broker:")
+	fmt.Printf("  %-6s %11s %10s %8s %7s %6s %9s\n",
+		"broker", "deliveries", "valid", "attain", "peak-q", "shed", "rejected")
+	for _, b := range r.brokers {
+		att := 100.0
+		if b.stats.Deliveries > 0 {
+			att = 100 * float64(b.stats.ValidDeliver) / float64(b.stats.Deliveries)
+		}
+		fmt.Printf("  %-6d %11d %10d %7.1f%% %7d %6d %9d\n",
+			b.id, b.stats.Deliveries, b.stats.ValidDeliver, att,
+			b.peak, b.stats.DropsShed, b.stats.PubsRejected)
+	}
+	att := 100.0
+	if t.Deliveries > 0 {
+		att = 100 * float64(t.ValidDeliver) / float64(t.Deliveries)
+	}
+	fmt.Printf("  %-6s %11d %10d %7.1f%%\n", "total", t.Deliveries, t.ValidDeliver, att)
 }
 
 type loadCfg struct {
@@ -164,6 +212,12 @@ type loadCfg struct {
 
 	linkLoss, linkDup, linkReorder float64
 	duration                       time.Duration
+
+	flashAt, flashWidth  time.Duration
+	flashPubs, flashSubs int
+	admission, shed      bool
+	maxQueue, maxEgress  int
+	metricsAddr          string
 }
 
 // faulty reports whether the run injects a failure mid-measurement.
@@ -171,6 +225,12 @@ func (c loadCfg) faulty() bool { return c.killBroker >= 0 || c.linkDown != "" }
 
 // lossy reports whether the per-link adversary is armed.
 func (c loadCfg) lossy() bool { return c.linkLoss > 0 || c.linkDup > 0 || c.linkReorder > 0 }
+
+// flashy reports whether a flash crowd strikes mid-measurement.
+func (c loadCfg) flashy() bool { return c.flashPubs > 0 || c.flashSubs > 0 }
+
+// protected reports whether any overload defense is armed.
+func (c loadCfg) protected() bool { return c.admission || c.shed || c.maxEgress > 0 }
 
 // validateHorizon rejects fault schedules that cannot complete inside
 // the -duration drain horizon, and loss probabilities outside [0,1).
@@ -198,6 +258,20 @@ func (c loadCfg) validateHorizon() error {
 			return fmt.Errorf("%s %v: probability must be in [0,1)", p.name, p.v)
 		}
 	}
+	if c.flashPubs < 0 || c.flashSubs < 0 {
+		return fmt.Errorf("-flash-pubs %d / -flash-subs %d: crowd sizes must be non-negative", c.flashPubs, c.flashSubs)
+	}
+	if c.flashy() {
+		if c.flashAt < 0 || c.flashWidth <= 0 {
+			return fmt.Errorf("-flash-at %v / -flash-width %v: the flash window must sit at a non-negative offset with positive width", c.flashAt, c.flashWidth)
+		}
+		if c.flashAt+c.flashWidth >= c.duration {
+			return fmt.Errorf("flash window ends at %v, beyond the -duration %v horizon", c.flashAt+c.flashWidth, c.duration)
+		}
+	}
+	if c.maxQueue < 0 || c.maxEgress < 0 {
+		return fmt.Errorf("-max-queue %d / -max-egress %d: thresholds must be non-negative", c.maxQueue, c.maxEgress)
+	}
 	return nil
 }
 
@@ -213,9 +287,18 @@ type result struct {
 	restorations int64
 	sendFailed   int64
 	link         livenet.Stats // reliable-channel counters (loss accounting)
+	flashN       int           // extra publications the flash crowd injected
+	brokers      []brokerStat  // per-broker rows for the SLO table
 
 	floodsSuppressed int // subscribe floods aggregation avoided
 	aggEntries       int // live entries standing for >1 subscription
+}
+
+// brokerStat is one row of the per-broker SLO attainment table.
+type brokerStat struct {
+	id    msg.NodeID
+	stats livenet.Stats
+	peak  int
 }
 
 func run(cfg loadCfg) (result, error) {
@@ -251,6 +334,12 @@ func run(cfg loadCfg) (result, error) {
 		Shards:    cfg.shards,
 		Burst:     cfg.burst,
 		Aggregate: cfg.aggregate,
+		MaxEgress: cfg.maxEgress,
+		Admission: runtime.Admission{
+			Enabled:  cfg.admission,
+			Shed:     cfg.shed,
+			MaxQueue: cfg.maxQueue,
+		},
 	}
 	if cfg.lossy() {
 		// One wildcard adversary spec; StartCluster arms an independent,
@@ -286,6 +375,15 @@ func run(cfg loadCfg) (result, error) {
 		return result{}, err
 	}
 	defer c.Stop()
+
+	if cfg.metricsAddr != "" {
+		ms, err := c.ServeMetrics(cfg.metricsAddr)
+		if err != nil {
+			return result{}, fmt.Errorf("-metrics: %w", err)
+		}
+		defer ms.Close()
+		fmt.Printf("metrics: http://%s/metrics\n", ms.Addr())
+	}
 
 	for i := 0; i < cfg.subs; i++ {
 		sub := &msg.Subscription{ID: msg.SubID(i + 1), Edge: edge, Filter: &filter.Filter{}}
@@ -408,6 +506,57 @@ func run(cfg loadCfg) (result, error) {
 		}
 	}()
 
+	// The flash crowd arrives mid-measurement: burst subscribers join at
+	// the edge (widening every publication's fan), extra publishers
+	// blast at maximum rate for the window, then the crowd leaves. The
+	// extra publications count toward the quiescence target; with
+	// admission on, the ingress refuses them while its queues sit above
+	// the threshold, and a refused frame still counts as received.
+	var flashN atomic.Int64
+	flashDone := make(chan struct{})
+	if cfg.flashy() {
+		faultTimers = append(faultTimers, time.AfterFunc(cfg.flashAt, func() {
+			defer close(flashDone)
+			var crowd []interface{ Close() error }
+			for i := 0; i < cfg.flashSubs; i++ {
+				sub := &msg.Subscription{
+					ID:       msg.SubID(8<<20 + i),
+					Edge:     edge,
+					Filter:   &filter.Filter{},
+					Deadline: 60 * vtime.Second,
+				}
+				if s, err := livenet.DialSubscriber(c.Addr(edge), sub); err == nil {
+					crowd = append(crowd, s)
+				}
+			}
+			stopAt := time.Now().Add(cfg.flashWidth)
+			var fwg sync.WaitGroup
+			for i := 0; i < cfg.flashPubs; i++ {
+				p, err := livenet.DialPublisher(c.Addr(0), msg.NodeID(1000+i))
+				if err != nil {
+					continue
+				}
+				crowd = append(crowd, p)
+				fwg.Add(1)
+				go func(p *livenet.Publisher) {
+					defer fwg.Done()
+					for time.Now().Before(stopAt) {
+						if _, err := p.Publish(0, attrs, cfg.sizeKB, 60*vtime.Second, body); err != nil {
+							return
+						}
+						flashN.Add(1)
+					}
+				}(p)
+			}
+			fwg.Wait()
+			for _, cl := range crowd {
+				cl.Close()
+			}
+		}))
+	} else {
+		close(flashDone)
+	}
+
 	var wg sync.WaitGroup
 	var firstErr error
 	var errOnce sync.Once
@@ -439,6 +588,8 @@ func run(cfg loadCfg) (result, error) {
 	if firstErr != nil {
 		return result{}, firstErr
 	}
+	<-flashDone
+	injected := cfg.n + int(flashN.Load())
 
 	// A crashed broker never accounts its inbound frames, so faulty runs
 	// drain on sustained local idleness (Settled) instead of the exact
@@ -467,7 +618,7 @@ func run(cfg loadCfg) (result, error) {
 		if time.Now().After(deadline) {
 			return result{}, fmt.Errorf("cluster did not quiesce:\n%s", c.LoadReport())
 		}
-		quiet := c.Quiescent(cfg.n)
+		quiet := c.Quiescent(injected)
 		if cfg.faulty() {
 			quiet = c.Settled() && time.Now().After(detectBy)
 		}
@@ -487,8 +638,17 @@ func run(cfg loadCfg) (result, error) {
 	}
 
 	total := c.TotalStats()
-	if !cfg.faulty() && total.Deliveries < cfg.n*cfg.subs {
+	if !cfg.faulty() && !cfg.protected() && total.Deliveries < cfg.n*cfg.subs {
 		fmt.Fprintf(os.Stderr, "warning: delivered %d of %d expected\n", total.Deliveries, cfg.n*cfg.subs)
+	}
+	brokerRows := make([]brokerStat, cfg.brokers)
+	for i := range brokerRows {
+		node := c.Nodes[msg.NodeID(i)]
+		brokerRows[i] = brokerStat{
+			id:    msg.NodeID(i),
+			stats: node.Stats(),
+			peak:  node.PeakQueue(),
+		}
 	}
 	return result{
 		elapsed:      elapsed,
@@ -502,6 +662,8 @@ func run(cfg loadCfg) (result, error) {
 		restorations: restorations.Load(),
 		sendFailed:   sendFailed.Load(),
 		link:         total,
+		flashN:       int(flashN.Load()),
+		brokers:      brokerRows,
 
 		floodsSuppressed: total.FloodsSuppressed,
 		aggEntries:       c.AggregatedEntries(),

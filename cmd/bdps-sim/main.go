@@ -71,7 +71,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("bdps-sim", flag.ContinueOnError)
 	var (
 		figure   = fs.String("figure", "", "figure to reproduce: 4a, 4b, 5, 5a, 5b, 6, 6a, 6b, all")
-		ablation = fs.String("ablation", "", "ablation to run: epsilon, measure, multipath, linkmodel, topology, fairness, hotspot, churn, recovery, loss, all")
+		ablation = fs.String("ablation", "", "ablation to run: epsilon, measure, multipath, linkmodel, topology, fairness, hotspot, churn, recovery, loss, overload, all")
 		claims   = fs.Bool("claims", false, "re-run the evaluation and check the paper's claims")
 		single   = fs.Bool("single", false, "run a single configuration instead of a figure")
 		topoDump = fs.Bool("dump-topology", false, "print the layered overlay as JSON and exit")
@@ -98,6 +98,17 @@ func run(args []string) error {
 		churnHalf = fs.Duration("churn-halflife", time.Minute, "subscription churn: lifetime half-life")
 
 		aggregate = fs.Bool("aggregate", false, "covering-based subscription aggregation: forward a subscription only when no resident filter covers it (single mode, both backends)")
+
+		flashAt    = fs.Duration("flash-at", 0, "flash crowd: burst onset within the publishing window (single mode)")
+		flashWidth = fs.Duration("flash-width", time.Minute, "flash crowd: burst plateau width")
+		flashRamp  = fs.Duration("flash-ramp", 0, "flash crowd: linear ramp up/down around the plateau")
+		flashBoost = fs.Float64("flash-boost", 0, "flash crowd: publish-rate multiplier at the peak (0 = no flash crowd)")
+		flashSubs  = fs.Int("flash-subs", 0, "flash crowd: burst subscribers arriving per edge broker at onset")
+		diurnal    = fs.Float64("diurnal", 0, "sinusoidal diurnal rate modulation amplitude in [0,1)")
+
+		admission = fs.Bool("admission", false, "online admission control: gate publications through the paper's admission test against modeled ingress load (single mode)")
+		shed      = fs.Bool("shed", false, "graceful degradation: shed the worst-scored queue entries above the pressure threshold (single mode)")
+		maxQueue  = fs.Int("max-queue", 0, "overload protection: per-queue pressure / saturation threshold (0 = default 256)")
 		zipfU     = fs.Int("zipf", 0, "draw subscription filters from a Zipf-popular template universe of this size (0 = paper's continuous filters)")
 		zipfS     = fs.Float64("zipf-s", 1, "Zipf exponent for -zipf")
 
@@ -180,6 +191,19 @@ func run(args []string) error {
 					Universe: *zipfU,
 					Exponent: *zipfS,
 				},
+				FlashCrowd: workload.FlashCrowd{
+					At:       vtime.FromDuration(*flashAt),
+					Width:    vtime.FromDuration(*flashWidth),
+					Ramp:     vtime.FromDuration(*flashRamp),
+					Boost:    *flashBoost,
+					SubBurst: *flashSubs,
+					Diurnal:  *diurnal,
+				},
+			},
+			Admission: runtime.Admission{
+				Enabled:  *admission,
+				Shed:     *shed,
+				MaxQueue: *maxQueue,
 			},
 			Aggregate:      *aggregate,
 			Multipath:      *multipath,
@@ -187,7 +211,7 @@ func run(args []string) error {
 			LinkModel:      lm,
 			TimeScale:      ts,
 			LiveShards:     *liveShards,
-			IndexedMatch:   *churnRate > 0,
+			IndexedMatch:   *churnRate > 0 || *flashSubs > 0,
 			TimelineBucket: vtime.FromDuration(*timeline),
 			Recovery: runtime.Recovery{
 				Detect:            *recov || *renege,

@@ -37,6 +37,10 @@ type Config struct {
 	LinkMeans map[msg.NodeID]float64
 	// Dedup drops duplicate message arrivals (multi-path routing mode).
 	Dedup bool
+	// Pressure is the per-output-queue occupancy threshold beyond which
+	// Process sheds the lowest-scored entries (graceful degradation; see
+	// core.Queue.ShedWorst). 0 disables shedding.
+	Pressure int
 }
 
 // Broker is one overlay node.
@@ -53,8 +57,9 @@ type Broker struct {
 	qmu    sync.RWMutex
 	queues map[msg.NodeID]*core.Queue
 
-	dedup bool
-	seen  dedupSet
+	dedup    bool
+	seen     dedupSet
+	pressure int
 
 	// proc is the broker-owned scratch behind the serial Process entry
 	// point. Concurrent drivers get their own via NewProcessor.
@@ -78,6 +83,7 @@ func New(cfg Config) (*Broker, error) {
 		linkMeans: cfg.LinkMeans,
 		queues:    make(map[msg.NodeID]*core.Queue),
 		dedup:     cfg.Dedup,
+		pressure:  cfg.Pressure,
 	}
 	if b.dedup {
 		b.seen.init()
@@ -166,6 +172,11 @@ type Result struct {
 	// ArrivalDrops counts forwarding intents discarded immediately
 	// (expired or hopeless before queueing).
 	ArrivalDrops int
+	// Shed lists entries evicted by pressure shedding (Config.Pressure):
+	// when an enqueue pushed a queue past its threshold, the
+	// lowest-scored entries under the active strategy. The runtime
+	// accounts and releases them.
+	Shed []*core.Entry
 	// Duplicate is true when dedup suppressed the whole message.
 	Duplicate bool
 }
@@ -220,6 +231,7 @@ func (p *Processor) process(m *msg.Message, now vtime.Millis) Result {
 	res.Deliveries = res.Deliveries[:0]
 	res.EnqueuedHops = res.EnqueuedHops[:0]
 	res.ArrivalDrops = 0
+	res.Shed = res.Shed[:0]
 	res.Duplicate = false
 	if b.dedup {
 		if !b.seen.add(m.ID) {
@@ -272,9 +284,15 @@ func (p *Processor) process(m *msg.Message, now vtime.Millis) Result {
 		if p.locked {
 			q.Lock()
 			q.Enqueue(entry, now)
+			if b.pressure > 0 && q.Len() > b.pressure {
+				res.Shed = q.ShedWorst(b.strategy, now, b.params, q.Len()-b.pressure, res.Shed)
+			}
 			q.Unlock()
 		} else {
 			q.Enqueue(entry, now)
+			if b.pressure > 0 && q.Len() > b.pressure {
+				res.Shed = q.ShedWorst(b.strategy, now, b.params, q.Len()-b.pressure, res.Shed)
+			}
 		}
 		res.EnqueuedHops = append(res.EnqueuedHops, hop)
 	}

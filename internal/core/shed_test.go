@@ -1,0 +1,120 @@
+package core
+
+import (
+	"testing"
+
+	"bdps/internal/vtime"
+)
+
+// TestShedWorstRemovesLowestScored pins graceful degradation's core
+// promise: under a metric strategy the shed set is the bottom-k by
+// scheduling score — every shed entry scores no better than every
+// survivor — so an overloaded queue gives up its worst prospects, not
+// whatever happened to arrive last.
+func TestShedWorstRemovesLowestScored(t *testing.T) {
+	p := DefaultParams()
+	now := vtime.Millis(5000)
+	const n, k = 64, 16
+
+	for _, s := range []Strategy{MaxEB{}, MaxPC{}, MaxEBPC{R: 0.5}} {
+		ms := s.(MetricStrategy)
+		q := burstQueue(n)
+		ctx := q.Context(now, p)
+		shed := q.ShedWorst(s, now, p, k, nil)
+		if len(shed) != k {
+			t.Fatalf("%s: shed %d entries, want %d", s.Name(), len(shed), k)
+		}
+		if q.Len() != n-k {
+			t.Fatalf("%s: queue left with %d entries, want %d", s.Name(), q.Len(), n-k)
+		}
+		worstKept := q.entries[0]
+		for _, e := range q.entries[1:] {
+			if ms.Metric(e, ctx) < ms.Metric(worstKept, ctx) {
+				worstKept = e
+			}
+		}
+		for _, e := range shed {
+			if ms.Metric(e, ctx) > ms.Metric(worstKept, ctx) {
+				t.Errorf("%s: shed entry scores %g, better than kept %g",
+					s.Name(), ms.Metric(e, ctx), ms.Metric(worstKept, ctx))
+			}
+			e.Release()
+		}
+	}
+}
+
+// TestShedWorstComplementsPopBurst pins the two selections as exact
+// complements when scores are unique: shedding the k worst and popping
+// the n-k best from identical queues must partition the entry set.
+func TestShedWorstComplementsPopBurst(t *testing.T) {
+	p := DefaultParams()
+	now := vtime.Millis(5000)
+	const n, k = 64, 16
+
+	sq := burstQueue(n)
+	shed := sq.ShedWorst(FIFO{}, now, p, k, nil)
+
+	pq := burstQueue(n)
+	popped, _ := pq.PopBurst(FIFO{}, now, p, n-k, nil)
+
+	seen := make(map[uint64]bool, n)
+	for _, e := range popped {
+		seen[e.Seq] = true
+		e.Release()
+	}
+	for _, e := range shed {
+		if seen[e.Seq] {
+			t.Errorf("entry seq %d both popped as best and shed as worst", e.Seq)
+		}
+		// FIFO's shed fallback gives up the newest arrivals first.
+		if e.Seq < uint64(n-k) {
+			t.Errorf("FIFO shed took seq %d, an oldest-%d entry", e.Seq, n-k)
+		}
+		e.Release()
+	}
+	if len(shed)+len(popped) != n {
+		t.Errorf("shed %d + popped %d != %d", len(shed), len(popped), n)
+	}
+}
+
+// TestShedWorstEdgeCases: empty queues, zero budgets and over-budget
+// requests must neither panic nor leak.
+func TestShedWorstEdgeCases(t *testing.T) {
+	p := DefaultParams()
+	q := NewQueue(70)
+	if out := q.ShedWorst(MaxEB{}, 0, p, 8, nil); len(out) != 0 {
+		t.Errorf("empty queue shed %d entries", len(out))
+	}
+	q = burstQueue(4)
+	if out := q.ShedWorst(MaxEB{}, 0, p, 0, nil); len(out) != 0 {
+		t.Errorf("k=0 shed %d entries", len(out))
+	}
+	out := q.ShedWorst(MaxEB{}, 0, p, 100, nil)
+	if len(out) != 4 || q.Len() != 0 {
+		t.Errorf("over-budget shed took %d, left %d; want 4 and 0", len(out), q.Len())
+	}
+	for _, e := range out {
+		e.Release()
+	}
+}
+
+// BenchmarkShedWorst measures steady-state shedding on a standing
+// queue: each iteration refills what the previous shed, so the queue
+// holds ~n entries throughout — the regime the pressure threshold
+// actually operates in.
+func BenchmarkShedWorst(b *testing.B) {
+	p := DefaultParams()
+	now := vtime.Millis(5000)
+	const n, k = 1024, 64
+	q := burstQueue(n)
+	out := make([]*Entry, 0, k)
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out = q.ShedWorst(MaxEB{}, now, p, k, out[:0])
+		for _, e := range out {
+			q.Enqueue(e, now)
+		}
+	}
+}

@@ -91,14 +91,16 @@ func TestAllAblationsSharedCache(t *testing.T) {
 	if len(figs) != len(Ablations()) {
 		t.Fatalf("got %d ablation figures", len(figs))
 	}
-	// 52 cells declared (6+5+3+3+3+4+4+4+4+16, one seed); the base config
-	// recurs in the ε (default ε), measure (0 samples), link-model
+	// 64 cells declared (6+5+3+3+3+4+4+4+4+16+12, one seed); the base
+	// config recurs in the ε (default ε), measure (0 samples), link-model
 	// (normal), hotspot (0) and churn (0 arrivals/min) sweeps, and the
 	// loss sweep's no-loss arm is rate-independent (4 cells collapse into
-	// the same shared base) → 44 unique runs (the recovery sweep's cells
-	// run on their own overlay and timeline, so none of its 4 dedupe).
-	if runs != 44 {
-		t.Errorf("runs = %d, want 44 (base cell must dedupe across ablations)", runs)
+	// the same shared base) → 56 unique runs (the recovery sweep's cells
+	// run on their own overlay and timeline, and the overload sweep's
+	// flash-crowd cells vary rate × protection arm, so none of theirs
+	// dedupe).
+	if runs != 56 {
+		t.Errorf("runs = %d, want 56 (base cell must dedupe across ablations)", runs)
 	}
 }
 
@@ -225,6 +227,9 @@ func TestConfigKey(t *testing.T) {
 		func(c *simnet.Config) { c.Reliability = runtime.Reliability{BlindRetry: true} },
 		func(c *simnet.Config) { c.TimelineBucket = 30 * vtime.Second },
 		func(c *simnet.Config) { c.Aggregate = true },
+		func(c *simnet.Config) { c.Admission = runtime.Admission{Enabled: true} },
+		func(c *simnet.Config) { c.Admission = runtime.Admission{Enabled: true, Shed: true} },
+		func(c *simnet.Config) { c.Workload.FlashCrowd = workload.FlashCrowd{Boost: 8, At: 10 * vtime.Second} },
 	}
 	seen := map[string]int{a: -1}
 	for i, mutate := range distinct {
@@ -266,6 +271,7 @@ func TestConfigKeyCoversAllFields(t *testing.T) {
 		"PerSubscriber": true, "IndexedMatch": true, "Subscriptions": true,
 		"TimeScale": true, "LiveShards": true, "Recovery": true,
 		"Reliability": true, "TimelineBucket": true, "Aggregate": true,
+		"Admission": true,
 	}
 	rt := reflect.TypeOf(simnet.Config{})
 	for i := 0; i < rt.NumField(); i++ {

@@ -59,6 +59,14 @@ type ClusterConfig struct {
 	// mode takes it from the plan's config).
 	Reliability runtime.Reliability
 
+	// MaxEgress bounds every node's total output-queue occupancy on the
+	// sharded plane (see NodeConfig.MaxEgress); 0 disables backpressure.
+	MaxEgress int
+	// Admission enables node-local online admission control on every
+	// node in standalone mode (see NodeConfig.Admission). Plan
+	// deployments gate admission in the plan instead and ignore it.
+	Admission runtime.Admission
+
 	// Heartbeat enables per-link failure detection on every node.
 	Heartbeat HeartbeatConfig
 	// OnPeerEvent receives every node's liveness transitions (the
@@ -191,12 +199,15 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 			RetxWindow:  rel.Window,
 			Shards:      cfg.Shards,
 			Burst:       cfg.Burst,
+			MaxEgress:   cfg.MaxEgress,
 			Heartbeat:   cfg.Heartbeat,
 			OnPeerEvent: cfg.OnPeerEvent,
 		}
 		if cfg.Plan != nil {
 			nc.Broker = cfg.Plan.Brokers[nid]
 			nc.Preinstalled = cfg.Plan.Subs
+		} else {
+			nc.Admission = cfg.Admission
 		}
 		n, err := NewNode(nc)
 		if err != nil {
@@ -249,6 +260,8 @@ func (c *Cluster) TotalStats() Stats {
 		total.ReorderedHealed += s.ReorderedHealed
 		total.DroppedDeadline += s.DroppedDeadline
 		total.FloodsSuppressed += s.FloodsSuppressed
+		total.DropsShed += s.DropsShed
+		total.PubsRejected += s.PubsRejected
 	}
 	return total
 }

@@ -1,0 +1,100 @@
+package livenet
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"bdps/internal/msg"
+)
+
+// SLO observability: a hand-rolled text /metrics endpoint over the
+// cluster's counters, in the Prometheus exposition format (name,
+// optional labels, value per line) — scrapable by anything without
+// pulling an instrumentation dependency into the tree.
+
+// MetricsServer serves a cluster's counters over HTTP.
+type MetricsServer struct {
+	srv  *http.Server
+	addr string
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *MetricsServer) Addr() string { return s.addr }
+
+// Close shuts the metrics listener down.
+func (s *MetricsServer) Close() error { return s.srv.Close() }
+
+// ServeMetrics binds addr and serves GET /metrics with the cluster's
+// aggregate and per-node counters as plain text. The server runs until
+// Close; scrape errors never touch the data plane.
+func (c *Cluster) ServeMetrics(addr string) (*MetricsServer, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		w.Write([]byte(c.RenderMetrics()))
+	})
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	ms := &MetricsServer{srv: srv, addr: l.Addr().String()}
+	go srv.Serve(l)
+	return ms, nil
+}
+
+// RenderMetrics renders the exposition text: cluster-wide totals, then
+// per-broker gauges for the load signals an operator watches during an
+// overload (queue occupancy, peak queue, shed and rejection counts).
+func (c *Cluster) RenderMetrics() string {
+	var b strings.Builder
+	t := c.TotalStats()
+	counter := func(name, help string, v int) {
+		fmt.Fprintf(&b, "# HELP bdps_%s %s\n# TYPE bdps_%s counter\nbdps_%s %d\n",
+			name, help, name, name, v)
+	}
+	counter("receptions_total", "Messages received by brokers.", t.Receptions)
+	counter("deliveries_total", "Messages delivered to subscribers.", t.Deliveries)
+	counter("deliveries_valid_total", "Deliveries within their delay bound.", t.ValidDeliver)
+	counter("drops_expired_total", "Queue entries dropped past their deadline.", t.DropsExpired)
+	counter("drops_hopeless_total", "Queue entries dropped as unmeetable.", t.DropsHopeless)
+	counter("drops_arrival_total", "Messages dropped on arrival.", t.DropsArrival)
+	counter("drops_shed_total", "Queue entries shed under pressure (worst first).", t.DropsShed)
+	counter("pubs_rejected_total", "Publications rejected by admission control.", t.PubsRejected)
+	counter("duplicates_total", "Duplicate receptions suppressed.", t.Duplicates)
+	counter("frames_lost_total", "Wire frames lost to the injected adversary.", t.FramesLost)
+	counter("retransmits_total", "Frames retransmitted by the reliable channel.", t.Retransmits)
+	counter("floods_suppressed_total", "Subscribe floods covered by aggregation.", t.FloodsSuppressed)
+
+	fmt.Fprintf(&b, "# HELP bdps_queue_depth Current output-queue occupancy per broker.\n# TYPE bdps_queue_depth gauge\n")
+	for _, id := range c.nodeIDs() {
+		fmt.Fprintf(&b, "bdps_queue_depth{broker=\"%d\"} %d\n", id, c.Nodes[id].egress.Load())
+	}
+	fmt.Fprintf(&b, "# HELP bdps_queue_peak Largest output-queue occupancy per broker.\n# TYPE bdps_queue_peak gauge\n")
+	for _, id := range c.nodeIDs() {
+		fmt.Fprintf(&b, "bdps_queue_peak{broker=\"%d\"} %d\n", id, c.Nodes[id].PeakQueue())
+	}
+	fmt.Fprintf(&b, "# HELP bdps_broker_up Whether the broker is running.\n# TYPE bdps_broker_up gauge\n")
+	for _, id := range c.nodeIDs() {
+		up := 1
+		if c.Nodes[id].Stopped() {
+			up = 0
+		}
+		fmt.Fprintf(&b, "bdps_broker_up{broker=\"%d\"} %d\n", id, up)
+	}
+	return b.String()
+}
+
+// nodeIDs returns the broker ids in ascending order (stable scrapes).
+func (c *Cluster) nodeIDs() []msg.NodeID {
+	ids := make([]msg.NodeID, 0, len(c.Nodes))
+	for id := range c.Nodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

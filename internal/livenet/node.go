@@ -116,6 +116,23 @@ type NodeConfig struct {
 	// monitor goroutine; must not block for long.
 	OnPeerEvent func(PeerEvent)
 
+	// MaxEgress bounds the node's total output-queue occupancy (entries
+	// across all links) on the sharded plane: when reached, connection
+	// read loops stop dispatching message batches until senders drain the
+	// backlog, which fills the kernel socket buffers and pushes back on
+	// the TCP senders — end-to-end backpressure instead of unbounded
+	// queue growth behind a slow link. 0 disables the gate.
+	MaxEgress int
+
+	// Admission enables node-local online admission control for
+	// standalone (plan-less) deployments: publisher messages arriving
+	// while the node's total output backlog is at least
+	// Admission.MaxQueue entries are rejected at the door and counted in
+	// Stats.PubsRejected. Plan deployments gate admission centrally in
+	// the plan instead (runtime.Plan admission sweep); enabling both
+	// would double-gate.
+	Admission runtime.Admission
+
 	// Shards selects the ingress data plane. 0 keeps the classic
 	// single-threaded path: every frame decoded with fresh allocations
 	// and processed inline in its connection's read loop, one write
@@ -186,6 +203,13 @@ type Node struct {
 	// fast sender release a message a worker is still encoding).
 	nlinks int32
 
+	// egress tracks the node's total output-queue occupancy (entries
+	// across all link queues): raised when Process enqueues, lowered
+	// when a sender pops or a drop/shed/crash path consumes an entry.
+	// The sharded read loops gate on it (MaxEgress) and standalone
+	// admission consults it as the node's load signal.
+	egress atomic.Int64
+
 	// Quiescence counters (atomic): frames sent to / received from peer
 	// brokers, publisher frames accepted, receives in progress, senders
 	// mid-transfer. A cluster is idle when every sent frame has been
@@ -195,6 +219,14 @@ type Node struct {
 	recvPubs    atomic.Int64
 	inflight    atomic.Int32
 	busySenders atomic.Int32
+
+	// dispatched counts messages handed to the shard workers but not yet
+	// processed — the subset of inflight that is guaranteed to drain on
+	// its own. The MaxEgress gate uses egress+dispatched: gating on full
+	// inflight would deadlock, because inflight also counts messages
+	// still parked in *other* read loops' pending buffers, which only
+	// move once *their* gates open.
+	dispatched atomic.Int32
 
 	listener net.Listener
 	peers    map[msg.NodeID]*peerConn
@@ -227,6 +259,12 @@ type Stats struct {
 	// FloodsSuppressed counts subscribe floods this node avoided because
 	// a resident covering filter already carried the newcomer's traffic.
 	FloodsSuppressed int
+
+	// Overload-protection counters: queue entries evicted by
+	// pressure-triggered worst-first shedding, and publisher messages
+	// turned away by node-local admission control (standalone mode).
+	DropsShed    int
+	PubsRejected int
 }
 
 // counters is the atomic backing of Stats.
@@ -246,6 +284,9 @@ type counters struct {
 	droppedDeadline atomic.Int64
 
 	floodsSuppressed atomic.Int64
+
+	dropsShed    atomic.Int64
+	pubsRejected atomic.Int64
 }
 
 func (c *counters) snapshot() Stats {
@@ -265,6 +306,9 @@ func (c *counters) snapshot() Stats {
 		DroppedDeadline: int(c.droppedDeadline.Load()),
 
 		FloodsSuppressed: int(c.floodsSuppressed.Load()),
+
+		DropsShed:    int(c.dropsShed.Load()),
+		PubsRejected: int(c.pubsRejected.Load()),
 	}
 }
 
@@ -362,6 +406,9 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	if cfg.TimeScale <= 0 {
 		return nil, fmt.Errorf("livenet: TimeScale %v must be > 0", cfg.TimeScale)
 	}
+	if cfg.Admission.Enabled || cfg.Admission.Shed {
+		cfg.Admission = cfg.Admission.Defaulted()
+	}
 	b := cfg.Broker
 	if b == nil {
 		if cfg.Strategy == nil {
@@ -379,6 +426,10 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		// path up front: mutations keep it current in place.
 		table := routing.NewTable(cfg.ID)
 		table.EnableIndex()
+		pressure := 0
+		if cfg.Admission.Shed {
+			pressure = cfg.Admission.MaxQueue
+		}
 		var err error
 		b, err = broker.New(broker.Config{
 			ID:        cfg.ID,
@@ -388,6 +439,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 			Table:     table,
 			LinkMeans: means,
 			Dedup:     cfg.Multipath > 1,
+			Pressure:  pressure,
 		})
 		if err != nil {
 			return nil, err
@@ -594,9 +646,30 @@ func (n *Node) Crash() {
 		q.Unlock()
 	})
 	n.mu.Unlock()
-	if lost > 0 && n.sink != nil {
-		n.sink.DroppedCrashed(lost)
+	if lost > 0 {
+		n.egress.Add(-int64(lost))
+		if n.sink != nil {
+			n.sink.DroppedCrashed(lost)
+		}
 	}
+}
+
+// admitPub is the node-local admission gate for standalone (plan-less)
+// deployments: a publisher message is turned away while the node's
+// total output backlog — queued entries plus messages still in flight
+// toward the shard workers, which would otherwise hide a channel's
+// worth of backlog from the door — sits at or beyond the configured
+// queue threshold. The live analogue of the plan-side saturation
+// rejection; always true when node-local admission is off.
+func (n *Node) admitPub() bool {
+	if !n.cfg.Admission.Enabled {
+		return true
+	}
+	if n.egress.Load()+int64(n.inflight.Load()) >= int64(n.cfg.Admission.MaxQueue) {
+		n.cnt.pubsRejected.Add(1)
+		return false
+	}
+	return true
 }
 
 // releaseEntry returns a consumed queue entry — and the reference it
@@ -742,6 +815,12 @@ func (n *Node) readLoop(conn net.Conn) {
 			}
 			if role == msg.RolePublisher && m.Ingress != n.cfg.ID {
 				// Publishers must publish through their ingress broker.
+				continue
+			}
+			if role == msg.RolePublisher && !n.admitPub() {
+				// Rejected at the door: the frame still counts as accepted
+				// (quiescence compares recvPubs against injected frames).
+				n.recvPubs.Add(1)
 				continue
 			}
 			// inflight rises before the receive counters so a quiescence
@@ -1095,11 +1174,28 @@ func (n *Node) accountResult(res *broker.Result) {
 			n.sink.DroppedOnArrival(res.ArrivalDrops)
 		}
 	}
+	// Net occupancy change of this Process call: entries enqueued minus
+	// entries the pressure threshold shed back out.
+	if d := len(res.EnqueuedHops) - len(res.Shed); d != 0 {
+		n.egress.Add(int64(d))
+	}
+	if len(res.Shed) > 0 {
+		n.cnt.dropsShed.Add(int64(len(res.Shed)))
+		if n.sink != nil {
+			n.sink.DroppedShed(len(res.Shed))
+		}
+		for _, e := range res.Shed {
+			releaseEntry(e)
+		}
+	}
 }
 
 // accountDrops charges pruned entries to the drop counters and releases
 // them (and their message references) back to the pools.
 func (n *Node) accountDrops(drops []core.Drop) {
+	if len(drops) > 0 {
+		n.egress.Add(-int64(len(drops)))
+	}
 	for _, d := range drops {
 		if d.Reason == core.DropExpired {
 			n.cnt.dropsExpired.Add(1)
@@ -1138,6 +1234,7 @@ func (n *Node) senderLoop(to msg.NodeID, pc *peerConn, wake chan struct{}, pacer
 		e, drops := q.PopNext(n.b.Strategy(), n.clock.Now(), n.b.Params())
 		n.accountDrops(drops)
 		if e != nil {
+			n.egress.Add(-1)
 			n.busySenders.Add(1)
 		}
 		n.mu.Unlock()

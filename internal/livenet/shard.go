@@ -114,15 +114,40 @@ func (n *Node) readLoopSharded(conn net.Conn, role byte, peer *peerConn) {
 		if pending == 0 {
 			return true
 		}
+		// End-to-end backpressure: while the node's total output backlog
+		// exceeds MaxEgress, hold the batches here instead of feeding the
+		// workers. The paused read loop stops draining its socket, the
+		// kernel buffers fill, and TCP pushes back on the upstream sender
+		// — so a slow subscriber bounds queue growth at every hop on the
+		// path instead of ballooning this node's queues. The pressure
+		// signal is queued + dispatched work: dispatched covers messages
+		// parked in the shard channels, which would otherwise hide up to
+		// shardQueueDepth batches from the gate, yet counts only work
+		// that drains without our help — gating on inflight would let
+		// concurrent read loops deadlock on each other's undispatched
+		// pending. Occupancy is bounded by MaxEgress plus one batch per
+		// concurrently-reading connection.
+		if max := int64(n.cfg.MaxEgress); max > 0 {
+			for n.egress.Load()+int64(n.dispatched.Load()) >= max {
+				select {
+				case <-n.stopped:
+					return false
+				default:
+					time.Sleep(50 * time.Microsecond)
+				}
+			}
+		}
 		for i, b := range pend {
 			if b == nil {
 				continue
 			}
 			pend[i] = nil
 			outstanding.Add(1)
+			n.dispatched.Add(int32(len(b.msgs)))
 			select {
 			case n.shards[i].ch <- b:
 			case <-n.stopped:
+				n.dispatched.Add(-int32(len(b.msgs)))
 				n.inflight.Add(-int32(len(b.msgs)))
 				for _, m := range b.msgs {
 					m.Release()
@@ -167,13 +192,33 @@ func (n *Node) readLoopSharded(conn net.Conn, role byte, peer *peerConn) {
 			if !took {
 				fb.Release()
 			}
+			// Every skip path below must still honor the idle-flush: if the
+			// connection's trailing frames are all skipped, earlier accepted
+			// messages would otherwise park in pend until the connection
+			// closes.
 			if derr != nil {
-				m.Release()
-				continue // tolerate one corrupt frame; connection survives
+				m.Release() // tolerate one corrupt frame; connection survives
+				if fr.Buffered() == 0 && !flush() {
+					return
+				}
+				continue
 			}
 			if role == msg.RolePublisher && m.Ingress != n.cfg.ID {
 				// Publishers must publish through their ingress broker.
 				m.Release()
+				if fr.Buffered() == 0 && !flush() {
+					return
+				}
+				continue
+			}
+			if role == msg.RolePublisher && !n.admitPub() {
+				// Rejected at the door: the frame still counts as accepted
+				// (quiescence compares recvPubs against injected frames).
+				n.recvPubs.Add(1)
+				m.Release()
+				if fr.Buffered() == 0 && !flush() {
+					return
+				}
 				continue
 			}
 			si := int(uint32(m.Publisher)) % len(n.shards)
@@ -373,6 +418,7 @@ func (n *Node) processSharded(proc *broker.Processor, m *msg.Message,
 	if res.Duplicate {
 		n.cnt.duplicates.Add(1)
 		m.ReleaseN(links + 1)
+		n.dispatched.Add(-1)
 		n.inflight.Add(-1)
 		return encBuf, subs, wakes
 	}
@@ -395,6 +441,7 @@ func (n *Node) processSharded(proc *broker.Processor, m *msg.Message,
 		default:
 		}
 	}
+	n.dispatched.Add(-1)
 	n.inflight.Add(-1)
 	return encBuf, subs, wakes
 }
@@ -438,6 +485,7 @@ func (n *Node) senderLoopBatched(to msg.NodeID, pc *peerConn, wake chan struct{}
 		entries, drops = q.PopBurst(strategy, now, params, burst, entries[:0])
 		n.accountDrops(drops)
 		if len(entries) > 0 {
+			n.egress.Add(-int64(len(entries)))
 			// Set inside the pop critical section, like the classic
 			// plane, so a quiescence poll cannot see the queue empty
 			// before the transfer is visible as in-progress.

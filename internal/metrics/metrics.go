@@ -6,6 +6,7 @@ package metrics
 
 import (
 	"fmt"
+	"sort"
 
 	"bdps/internal/stats"
 	"bdps/internal/vtime"
@@ -49,6 +50,14 @@ type Collector struct {
 	// Covering-aggregation counters.
 	floodsSuppressed  int // subscribe floods avoided by a covering filter
 	aggregatedEntries int // live entries standing for >1 subscription (end-of-run)
+
+	// Overload-protection counters (online admission control + shedding).
+	pubsAdmitted int // publications admitted with their bound intact
+	pubsRelaxed  int // publications admitted under a relaxed bound
+	pubsRejected int // publications refused at the ingress
+	subsRejected int // subscription floods refused (bound unmeetable)
+	dropsShed    int // queue entries evicted by pressure shedding
+	boundLedger  map[int]*boundCounts
 
 	// Delivery timeline: targets and valid deliveries bucketed by the
 	// message's publication instant (enabled by EnableTimeline).
@@ -218,6 +227,55 @@ func (c *Collector) DroppedDeadline(n int) { c.droppedDeadline += n }
 // unnecessary.
 func (c *Collector) FloodSuppressed(n int) { c.floodsSuppressed += n }
 
+// boundCounts is one bucket of the per-bound admission ledger.
+type boundCounts struct{ admitted, relaxed, rejected int }
+
+// boundBucket quantizes an applicable bound into a ledger bucket key
+// (whole seconds): PSD bounds are continuous, so per-exact-bound
+// counting would make the ledger one entry per publication.
+func boundBucket(bound vtime.Millis) int {
+	return int(bound/vtime.Second + 0.5)
+}
+
+func (c *Collector) boundAt(bound vtime.Millis) *boundCounts {
+	if c.boundLedger == nil {
+		c.boundLedger = make(map[int]*boundCounts)
+	}
+	b := c.boundLedger[boundBucket(bound)]
+	if b == nil {
+		b = &boundCounts{}
+		c.boundLedger[boundBucket(bound)] = b
+	}
+	return b
+}
+
+// PubAdmitted records a publication that passed admission with its
+// bound intact.
+func (c *Collector) PubAdmitted(bound vtime.Millis) {
+	c.pubsAdmitted++
+	c.boundAt(bound).admitted++
+}
+
+// PubRelaxed records a publication admitted under a relaxed bound.
+func (c *Collector) PubRelaxed(bound vtime.Millis) {
+	c.pubsRelaxed++
+	c.boundAt(bound).relaxed++
+}
+
+// PubRejected records a publication refused at the ingress: no
+// admissible bound within the relax cap under the current load.
+func (c *Collector) PubRejected(bound vtime.Millis) {
+	c.pubsRejected++
+	c.boundAt(bound).rejected++
+}
+
+// SubRejected counts subscription floods refused by admission control.
+func (c *Collector) SubRejected(n int) { c.subsRejected += n }
+
+// DroppedShed counts queue entries evicted by pressure-triggered
+// worst-first shedding.
+func (c *Collector) DroppedShed(n int) { c.dropsShed += n }
+
 // AggregatedEntries records the end-of-run count of live routing entries
 // standing for more than one subscription (stamped by the run driver
 // from a table scan).
@@ -251,6 +309,26 @@ func (c *Collector) Result() Result {
 
 		FloodsSuppressed:  c.floodsSuppressed,
 		AggregatedEntries: c.aggregatedEntries,
+
+		PubsAdmitted: c.pubsAdmitted,
+		PubsRelaxed:  c.pubsRelaxed,
+		PubsRejected: c.pubsRejected,
+		SubsRejected: c.subsRejected,
+		DropsShed:    c.dropsShed,
+	}
+	if len(c.boundLedger) > 0 {
+		r.BoundLedger = make([]BoundAdmissions, 0, len(c.boundLedger))
+		for sec, b := range c.boundLedger {
+			r.BoundLedger = append(r.BoundLedger, BoundAdmissions{
+				BoundSec: sec,
+				Admitted: b.admitted,
+				Relaxed:  b.relaxed,
+				Rejected: b.rejected,
+			})
+		}
+		sort.Slice(r.BoundLedger, func(i, j int) bool {
+			return r.BoundLedger[i].BoundSec < r.BoundLedger[j].BoundSec
+		})
 	}
 	if c.latency.Count() > 0 {
 		r.LatencyMeanMs = c.latency.Mean()
@@ -354,9 +432,30 @@ type Result struct {
 	FloodsSuppressed  int
 	AggregatedEntries int
 
+	// SLO ledger (overload protection); all zero on runs without
+	// admission control or shedding. Published and TotalTargets count
+	// only admitted traffic: offered load = Published + PubsRejected.
+	PubsAdmitted int
+	PubsRelaxed  int
+	PubsRejected int
+	SubsRejected int
+	DropsShed    int
+	// BoundLedger breaks the admission decisions down by applicable
+	// bound (bucketed to whole seconds), sorted by bound.
+	BoundLedger []BoundAdmissions
+
 	// Timeline is the delivery-over-time histogram (publication-time
 	// buckets); nil unless the run enabled one.
 	Timeline []TimeBucket
+}
+
+// BoundAdmissions is the admission ledger for one applicable-bound
+// bucket (bounds rounded to the nearest second).
+type BoundAdmissions struct {
+	BoundSec int
+	Admitted int
+	Relaxed  int
+	Rejected int
 }
 
 // TimeBucket is one publication-time bucket of the delivery timeline.
@@ -388,6 +487,21 @@ func (r Result) MessageNumberK() float64 { return float64(r.Receptions) / 1000 }
 // EarningK is the total earning in thousands.
 func (r Result) EarningK() float64 { return r.Earning / 1000 }
 
+// SLOAttainment is the delay-SLO attainment of admitted traffic: valid
+// deliveries over the targets of publications that passed admission.
+// With admission off every publication is admitted and this equals
+// DeliveryRate.
+func (r Result) SLOAttainment() float64 { return r.DeliveryRate() }
+
+// RejectRate is the share of offered publications admission refused.
+func (r Result) RejectRate() float64 {
+	offered := r.Published + r.PubsRejected
+	if offered == 0 {
+		return 0
+	}
+	return float64(r.PubsRejected) / float64(offered)
+}
+
 // String implements fmt.Stringer with the headline numbers. Runs that
 // detected failures append the recovery counters next to the drop
 // causes.
@@ -408,6 +522,11 @@ func (r Result) String() string {
 		s += fmt.Sprintf(" (agg floods-suppressed=%d agg-entries=%d)",
 			r.FloodsSuppressed, r.AggregatedEntries)
 	}
+	if r.PubsAdmitted > 0 || r.PubsRejected > 0 || r.SubsRejected > 0 || r.DropsShed > 0 {
+		s += fmt.Sprintf(" (slo admitted=%d relaxed=%d rejected=%d subs-rejected=%d shed=%d attain=%.1f%%)",
+			r.PubsAdmitted, r.PubsRelaxed, r.PubsRejected, r.SubsRejected, r.DropsShed,
+			100*r.SLOAttainment())
+	}
 	return s
 }
 
@@ -425,7 +544,13 @@ func Mean(rs []Result) Result {
 	var det, detLat, rerouted, kept, relaxed, rejected, reflooded float64
 	var lost, retx, dups, reord, ddl float64
 	var floodSup, aggEnt float64
+	var padm, prel, prej, srej, shed float64
 	for _, r := range rs {
+		padm += float64(r.PubsAdmitted)
+		prel += float64(r.PubsRelaxed)
+		prej += float64(r.PubsRejected)
+		srej += float64(r.SubsRejected)
+		shed += float64(r.DropsShed)
 		floodSup += float64(r.FloodsSuppressed)
 		aggEnt += float64(r.AggregatedEntries)
 		lost += float64(r.FramesLost)
@@ -488,7 +613,47 @@ func Mean(rs []Result) Result {
 	out.DroppedDeadline = round(ddl)
 	out.FloodsSuppressed = round(floodSup)
 	out.AggregatedEntries = round(aggEnt)
+	out.PubsAdmitted = round(padm)
+	out.PubsRelaxed = round(prel)
+	out.PubsRejected = round(prej)
+	out.SubsRejected = round(srej)
+	out.DropsShed = round(shed)
+	out.BoundLedger = meanBoundLedger(rs)
 	out.Timeline = meanTimeline(rs)
+	return out
+}
+
+// meanBoundLedger merges the per-bound admission ledgers of a result
+// set, averaging each bucket over all results (absent buckets count as
+// zero), sorted by bound.
+func meanBoundLedger(rs []Result) []BoundAdmissions {
+	sums := make(map[int]*[3]float64)
+	for _, r := range rs {
+		for _, b := range r.BoundLedger {
+			s := sums[b.BoundSec]
+			if s == nil {
+				s = &[3]float64{}
+				sums[b.BoundSec] = s
+			}
+			s[0] += float64(b.Admitted)
+			s[1] += float64(b.Relaxed)
+			s[2] += float64(b.Rejected)
+		}
+	}
+	if len(sums) == 0 {
+		return nil
+	}
+	n := float64(len(rs))
+	out := make([]BoundAdmissions, 0, len(sums))
+	for sec, s := range sums {
+		out = append(out, BoundAdmissions{
+			BoundSec: sec,
+			Admitted: int(s[0]/n + 0.5),
+			Relaxed:  int(s[1]/n + 0.5),
+			Rejected: int(s[2]/n + 0.5),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].BoundSec < out[j].BoundSec })
 	return out
 }
 

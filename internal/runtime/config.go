@@ -136,6 +136,72 @@ type Config struct {
 	// publication instant (emulated ms per bucket) into Result.Timeline —
 	// the instrument behind the recovery ablation figures.
 	TimelineBucket vtime.Millis
+
+	// Admission configures overload protection: online publication
+	// admission control and pressure-triggered queue shedding.
+	Admission Admission
+}
+
+// Admission configures the overload-protection layer. Two independently
+// armable defenses:
+//
+//   - Enabled gates every publication (and flash-crowd subscription
+//     flood) through the paper's admission test, replayed online against
+//     the ingress broker's modeled load: the publication is admitted as
+//     published, admitted under a relaxed bound, or rejected before
+//     injection. Decisions are deterministic functions of the plan, so
+//     both backends agree on the admission ledger exactly.
+//   - Shed arms graceful degradation: when an output queue exceeds
+//     MaxQueue entries, the broker sheds the lowest-scored entries
+//     (worst success probability first — core.Queue.ShedWorst) instead
+//     of letting the backlog starve everything.
+type Admission struct {
+	// Enabled turns on online publication admission control.
+	Enabled bool
+
+	// Shed arms pressure-triggered worst-first queue shedding.
+	Shed bool
+
+	// MaxQueue is the per-output-queue occupancy threshold: the shed
+	// trigger, and the backlog the admission model treats as saturation
+	// (default 256).
+	MaxQueue int
+
+	// SuccessTarget is the delivery probability an admitted bound must
+	// retain under the modeled load (default 0.9).
+	SuccessTarget float64
+
+	// MaxRelaxFactor caps bound relaxation: a publication whose cheapest
+	// feasible bound exceeds MaxRelaxFactor × the requested bound is
+	// rejected instead of relaxed (default 2).
+	MaxRelaxFactor float64
+
+	// RateHalfLife is the half-life of the per-ingress arrival-rate EWMA
+	// in emulated ms (default 10 s).
+	RateHalfLife vtime.Millis
+}
+
+// Defaulted returns the config with zero fields replaced by their
+// defaults — for callers outside the plan pipeline (standalone live
+// clusters).
+func (a Admission) Defaulted() Admission {
+	(&a).setDefaults()
+	return a
+}
+
+func (a *Admission) setDefaults() {
+	if a.MaxQueue <= 0 {
+		a.MaxQueue = 256
+	}
+	if a.SuccessTarget <= 0 {
+		a.SuccessTarget = 0.9
+	}
+	if a.MaxRelaxFactor <= 0 {
+		a.MaxRelaxFactor = 2
+	}
+	if a.RateHalfLife <= 0 {
+		a.RateHalfLife = 10 * vtime.Second
+	}
 }
 
 // Recovery configures the self-healing control plane. Detection and
@@ -300,6 +366,7 @@ func (c *Config) setDefaults() error {
 	// identity is stable whether or not recovery is enabled.
 	c.Recovery.setDefaults()
 	c.Reliability.setDefaults()
+	c.Admission.setDefaults()
 	c.Workload.Scenario = c.Scenario
 	if c.Workload.Seed == 0 {
 		c.Workload.Seed = c.Seed

@@ -175,6 +175,10 @@ func NewPlan(cfg Config) (*Plan, error) {
 		for _, e := range ov.Graph.Neighbors(nid) {
 			means[e.To] = p.Beliefs(nid, e.To).Mean
 		}
+		pressure := 0
+		if cfg.Admission.Shed {
+			pressure = cfg.Admission.MaxQueue
+		}
 		b, err := broker.New(broker.Config{
 			ID:        nid,
 			Scenario:  cfg.Scenario,
@@ -183,6 +187,7 @@ func NewPlan(cfg Config) (*Plan, error) {
 			Table:     tables[nid],
 			LinkMeans: means,
 			Dedup:     cfg.Multipath > 1,
+			Pressure:  pressure,
 		})
 		if err != nil {
 			return nil, err
@@ -201,21 +206,37 @@ func NewPlan(cfg Config) (*Plan, error) {
 		}
 	}
 
+	// Dynamic-population ids start above the whole static population so
+	// the id spaces never collide; flash-crowd burst subscribers allocate
+	// above the churn population in turn.
+	first := msg.SubID(0)
+	for _, s := range p.Subs {
+		if s.ID >= first {
+			first = s.ID + 1
+		}
+	}
 	if cfg.Workload.Churn.Enabled() {
-		// Churn ids start above the whole static population so the two
-		// id spaces never collide.
-		first := msg.SubID(0)
-		for _, s := range p.Subs {
-			if s.ID >= first {
-				first = s.ID + 1
+		p.SubEvents = cfg.Workload.ChurnEvents(ov.Edges, first)
+		for _, ev := range p.SubEvents {
+			if !ev.Unsub && ev.Sub.ID >= first {
+				first = ev.Sub.ID + 1
 			}
 		}
-		p.SubEvents = cfg.Workload.ChurnEvents(ov.Edges, first)
+	}
+	if cfg.Workload.FlashCrowd.SubBurst > 0 {
+		p.SubEvents = workload.MergeSubEvents(p.SubEvents,
+			cfg.Workload.FlashSubEvents(ov.Edges, first))
 	}
 
 	if err := p.validateFaults(); err != nil {
 		return nil, err
 	}
+
+	// Overload protection last: the admission sweep filters rejected
+	// publications and subscription events out of the finished schedules,
+	// so every backend deploys the already-admitted plan and the SLO
+	// ledger agrees across them exactly.
+	p.admitWorkload()
 	return p, nil
 }
 

@@ -40,6 +40,10 @@ type Sink interface {
 	// covering filter made unnecessary (the simulator's aggregation
 	// driver and the live owner nodes both feed it).
 	FloodSuppressed(n int)
+
+	// Overload-protection accounting: queue entries evicted by
+	// pressure-triggered worst-first shedding (see core.Queue.ShedWorst).
+	DroppedShed(n int)
 }
 
 // LockedSink serializes a Sink for concurrent backends. The simulator
@@ -154,4 +158,10 @@ func (l *LockedSink) FloodSuppressed(n int) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.s.FloodSuppressed(n)
+}
+
+func (l *LockedSink) DroppedShed(n int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.s.DroppedShed(n)
 }

@@ -368,6 +368,17 @@ func (n *Network) process(m *msg.Message, at msg.NodeID) {
 	if res.ArrivalDrops > 0 {
 		n.Collector.DroppedOnArrival(res.ArrivalDrops)
 	}
+	if len(res.Shed) > 0 {
+		// Pressure shedding: the broker evicted its worst-scored entries
+		// while enqueuing; account and release them here (entry ownership
+		// stays with the network, as with queue-drop accounting in kick).
+		n.Collector.DroppedShed(len(res.Shed))
+		for _, e := range res.Shed {
+			n.tracer.Emit(trace.Event{T: n.Engine.Now(), Kind: trace.Drop,
+				MsgID: e.MsgID, Broker: int32(at), Note: "shed"})
+			e.Release()
+		}
+	}
 	for _, hop := range res.EnqueuedHops {
 		n.tracer.Emit(trace.Event{T: n.Engine.Now(), Kind: trace.Enqueue,
 			MsgID: uint64(m.ID), Broker: int32(at), Peer: int32(hop)})

@@ -1,0 +1,229 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"bdps/internal/filter"
+	"bdps/internal/msg"
+	"bdps/internal/stats"
+	"bdps/internal/vtime"
+)
+
+// FlashCrowd overlays a production-shaped load spike on the paper's
+// uniform workload: a correlated subscribe burst joining just as the
+// publish rate spikes on the hot attribute region, optionally riding a
+// slow diurnal modulation of the background rate. The zero value
+// disables it (bit-identical schedules to a run without the feature).
+//
+// Publish-rate modulation is realized by thinning: publishers draw
+// candidate instants at the peak rate and accept each with probability
+// rate(t)/peak, which keeps every publisher's schedule a pure function
+// of (Seed, index) — two runs of the same config produce byte-identical
+// schedules.
+type FlashCrowd struct {
+	// At is the burst onset (emulated offset into the run).
+	At vtime.Millis
+	// Width is the burst plateau length; default 1 minute when a burst
+	// is configured.
+	Width vtime.Millis
+	// Ramp is the linear rise/fall length on each side of the plateau
+	// (the flash crowd arrives fast but not instantaneously); default 0.
+	Ramp vtime.Millis
+	// Boost multiplies every publisher's rate during the plateau; 0 or 1
+	// means no publish spike.
+	Boost float64
+	// HotFraction is the share of plateau publications drawn from the
+	// hot attribute region (the low HotspotWidth share of the range, the
+	// region the burst subscribers watch); default 0.8 during a boosted
+	// burst.
+	HotFraction float64
+
+	// SubBurst is the number of extra subscribers per edge broker that
+	// join during the burst onset; 0 disables the subscribe burst.
+	SubBurst int
+	// SubHalfLife is the burst subscribers' lifetime half-life
+	// (exponential lifetimes, like churn); default Width.
+	SubHalfLife vtime.Millis
+
+	// Diurnal is the amplitude of a sinusoidal background-rate
+	// modulation, in [0,1): rate(t) scales by 1 + Diurnal·sin(2πt/P).
+	Diurnal float64
+	// DiurnalPeriod is the modulation period P; default Duration.
+	DiurnalPeriod vtime.Millis
+}
+
+// Enabled reports whether any flash-crowd feature is configured.
+func (f FlashCrowd) Enabled() bool {
+	return f.Boost > 1 || f.SubBurst > 0 || f.Diurnal != 0
+}
+
+// modulates reports whether the publish rate is time-varying (the
+// thinning path in Publisher.advance).
+func (f FlashCrowd) modulates() bool { return f.Boost > 1 || f.Diurnal != 0 }
+
+// setDefaults fills derived fields; duration is the publishing window
+// (for the diurnal period default).
+func (f *FlashCrowd) setDefaults(duration vtime.Millis) {
+	if !f.Enabled() {
+		return
+	}
+	if f.Boost == 0 {
+		f.Boost = 1
+	}
+	if f.Boost > 1 || f.SubBurst > 0 {
+		if f.Width == 0 {
+			f.Width = vtime.Minute
+		}
+		if f.SubHalfLife == 0 {
+			f.SubHalfLife = f.Width
+		}
+	}
+	if f.Boost > 1 && f.HotFraction == 0 {
+		f.HotFraction = 0.8
+	}
+	if f.Diurnal != 0 && f.DiurnalPeriod == 0 {
+		f.DiurnalPeriod = duration
+	}
+}
+
+// validate rejects degenerate flash-crowd specs against the publishing
+// window, mirroring Plan.validateFaults' horizon discipline: a burst
+// must fit inside the window and every ramp must be non-negative.
+func (f FlashCrowd) validate(duration vtime.Millis) error {
+	if !f.Enabled() {
+		return nil
+	}
+	if f.Boost < 1 {
+		return fmt.Errorf("workload: flash-crowd boost %v below 1", f.Boost)
+	}
+	if f.Ramp < 0 {
+		return fmt.Errorf("workload: negative flash-crowd ramp %v", f.Ramp)
+	}
+	if f.At < 0 || f.Width < 0 {
+		return fmt.Errorf("workload: negative flash-crowd window [%v,+%v)", f.At, f.Width)
+	}
+	if f.Boost > 1 || f.SubBurst > 0 {
+		if f.At+f.Width > duration {
+			return fmt.Errorf("workload: flash crowd [%v,%v) extends past the publishing window %v",
+				f.At, f.At+f.Width, duration)
+		}
+	}
+	if f.HotFraction < 0 || f.HotFraction > 1 {
+		return fmt.Errorf("workload: flash-crowd hot fraction %v outside [0,1]", f.HotFraction)
+	}
+	if f.SubBurst < 0 {
+		return fmt.Errorf("workload: negative flash-crowd subscriber burst %d", f.SubBurst)
+	}
+	if f.SubHalfLife < 0 {
+		return fmt.Errorf("workload: negative flash-crowd subscriber half-life %v", f.SubHalfLife)
+	}
+	if f.Diurnal < 0 || f.Diurnal >= 1 {
+		return fmt.Errorf("workload: flash-crowd diurnal amplitude %v outside [0,1)", f.Diurnal)
+	}
+	if f.DiurnalPeriod < 0 {
+		return fmt.Errorf("workload: negative diurnal period %v", f.DiurnalPeriod)
+	}
+	return nil
+}
+
+// peak is the maximum rate multiplier over the run — the thinning
+// envelope publishers draw candidates at.
+func (f FlashCrowd) peak() float64 {
+	p := 1.0
+	if f.Boost > 1 {
+		p = f.Boost
+	}
+	return p * (1 + f.Diurnal)
+}
+
+// multiplier is the instantaneous rate multiplier at t: the burst
+// trapezoid (1 outside, Boost on the plateau, linear on the ramps)
+// times the diurnal sinusoid.
+func (f FlashCrowd) multiplier(t vtime.Millis) float64 {
+	m := 1.0
+	if f.Boost > 1 {
+		switch {
+		case t >= f.At && t <= f.At+f.Width:
+			m = f.Boost
+		case f.Ramp > 0 && t >= f.At-f.Ramp && t < f.At:
+			m = 1 + (f.Boost-1)*(t-(f.At-f.Ramp))/f.Ramp
+		case f.Ramp > 0 && t > f.At+f.Width && t <= f.At+f.Width+f.Ramp:
+			m = f.Boost - (f.Boost-1)*(t-(f.At+f.Width))/f.Ramp
+		}
+	}
+	if f.Diurnal != 0 {
+		m *= 1 + f.Diurnal*math.Sin(2*math.Pi*t/f.DiurnalPeriod)
+	}
+	return m
+}
+
+// inBurst reports whether t falls in the burst plateau (the window hot
+// publications and burst subscribers correlate on).
+func (f FlashCrowd) inBurst(t vtime.Millis) bool {
+	return f.Boost > 1 && t >= f.At && t <= f.At+f.Width
+}
+
+// FlashSubEvents generates the correlated subscribe burst: SubBurst
+// subscribers per edge broker arriving within the burst onset (jittered
+// uniformly over the first quarter of the plateau), each watching the
+// hot attribute region — filters "A1<x, A2<x" with x drawn above the
+// hot region's upper edge, so every hot publication matches — and
+// leaving after an exponential lifetime. Ids are allocated from firstID
+// upward. Deterministic in (Seed, edges, firstID).
+func (c Config) FlashSubEvents(edges []msg.NodeID, firstID msg.SubID) []SubEvent {
+	c.setDefaults()
+	fc := c.FlashCrowd
+	if fc.SubBurst <= 0 || len(edges) == 0 {
+		return nil
+	}
+	s := stats.Derive(c.Seed, "workload/flash")
+	hotHi := c.AttrLo + c.HotspotWidth*(c.AttrHi-c.AttrLo)
+	jitter := fc.Width / 4
+	meanLife := float64(fc.SubHalfLife) / math.Ln2
+	var events []SubEvent
+	id := firstID
+	for _, edge := range edges {
+		for j := 0; j < fc.SubBurst; j++ {
+			at := fc.At + s.Uniform(0, float64(jitter))
+			sub := &msg.Subscription{
+				ID:   id,
+				Edge: edge,
+				Filter: filter.And(
+					filter.Lt("A1", s.Uniform(hotHi, c.AttrHi)),
+					filter.Lt("A2", s.Uniform(hotHi, c.AttrHi)),
+				),
+			}
+			if c.Scenario == msg.SSD || c.Scenario == msg.Both {
+				tier := s.IntN(len(c.SSDDeadlines))
+				sub.Deadline = c.SSDDeadlines[tier]
+				sub.Price = c.SSDPrices[tier]
+			}
+			id++
+			events = append(events, SubEvent{At: at, Sub: sub})
+			if leave := at + s.Exponential(meanLife); leave <= c.Duration {
+				events = append(events, SubEvent{At: leave, Sub: sub, Unsub: true})
+			}
+		}
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
+	return events
+}
+
+// MergeSubEvents interleaves two time-sorted subscription-event
+// schedules into one (stable: ties keep the first schedule's events
+// first).
+func MergeSubEvents(a, b []SubEvent) []SubEvent {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]SubEvent, 0, len(a)+len(b))
+	out = append(out, a...)
+	out = append(out, b...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}

@@ -1,0 +1,137 @@
+package workload
+
+import (
+	"fmt"
+	"testing"
+
+	"bdps/internal/msg"
+	"bdps/internal/vtime"
+)
+
+func flashTestCfg() Config {
+	return Config{
+		Seed:       7,
+		Scenario:   msg.PSD,
+		RatePerMin: 12,
+		Duration:   10 * vtime.Minute,
+		FlashCrowd: FlashCrowd{
+			At:       2 * vtime.Minute,
+			Width:    2 * vtime.Minute,
+			Boost:    4,
+			SubBurst: 5,
+		},
+	}
+}
+
+// pubSchedule renders one publisher's full schedule into a comparable
+// string — every field that feeds the run — so determinism checks catch
+// any divergence, not just count drift.
+func pubSchedule(c Config, index int) string {
+	p := c.NewPublisher(index, 0)
+	out := ""
+	for {
+		m, ok := p.Next()
+		if !ok {
+			break
+		}
+		out += fmt.Sprintf("%v|%v|%v|%v;", m.Published, m.Allowed, m.SizeKB, m.Attrs.String())
+	}
+	return out
+}
+
+// subSchedule renders a flash subscribe-burst schedule the same way.
+func subSchedule(c Config) string {
+	out := ""
+	for _, ev := range c.FlashSubEvents([]msg.NodeID{4, 5}, 1000) {
+		out += fmt.Sprintf("%v|%v|%v|%v|%v;", ev.At, ev.Unsub, ev.Sub.ID, ev.Sub.Edge, ev.Sub.Filter)
+	}
+	return out
+}
+
+// TestFlashCrowdScheduleDeterministic pins the property the experiment
+// run cache and the sim/live crossval both depend on: identical configs
+// produce byte-identical flash-crowd schedules — publications and the
+// subscribe burst alike.
+func TestFlashCrowdScheduleDeterministic(t *testing.T) {
+	a, b := flashTestCfg(), flashTestCfg()
+	for idx := 0; idx < 3; idx++ {
+		if pubSchedule(a, idx) != pubSchedule(b, idx) {
+			t.Fatalf("publisher %d schedule diverged between identical configs", idx)
+		}
+	}
+	sa, sb := subSchedule(a), subSchedule(b)
+	if sa != sb {
+		t.Fatal("flash subscribe-burst schedule diverged between identical configs")
+	}
+	if sa == "" {
+		t.Fatal("flash subscribe burst generated no events")
+	}
+
+	// The burst is load: the boosted window must carry more publications
+	// than the same window without the crowd.
+	base := flashTestCfg()
+	base.FlashCrowd = FlashCrowd{}
+	if bs := pubSchedule(base, 0); bs == pubSchedule(a, 0) {
+		t.Fatal("flash crowd left the publication schedule untouched")
+	}
+	count := func(s string) int {
+		n := 0
+		for _, ch := range s {
+			if ch == ';' {
+				n++
+			}
+		}
+		return n
+	}
+	if count(pubSchedule(a, 0)) <= count(pubSchedule(base, 0)) {
+		t.Fatal("boosted schedule no denser than baseline")
+	}
+
+	// A zero FlashCrowd is inert: exactly the baseline schedule, no
+	// subscribe burst.
+	base2 := flashTestCfg()
+	base2.FlashCrowd = FlashCrowd{}
+	if pubSchedule(base, 0) != pubSchedule(base2, 0) {
+		t.Fatal("disabled flash crowd is not deterministic")
+	}
+	if ev := base.FlashSubEvents([]msg.NodeID{4, 5}, 1000); len(ev) != 0 {
+		t.Fatalf("disabled flash crowd generated %d subscribe events", len(ev))
+	}
+}
+
+// TestFlashCrowdValidation hardens the workload spec against degenerate
+// flash-crowd parameters: bursts that overrun the publishing horizon,
+// negative ramps, and out-of-range shapes must be rejected up front —
+// not discovered as a hung or silently-truncated run.
+func TestFlashCrowdValidation(t *testing.T) {
+	mk := func(mut func(*Config)) Config {
+		c := flashTestCfg()
+		mut(&c)
+		return c
+	}
+	bad := []Config{
+		// Burst extends past the publishing window.
+		mk(func(c *Config) { c.FlashCrowd.At = 9 * vtime.Minute }),
+		mk(func(c *Config) { c.FlashCrowd.Width = 20 * vtime.Minute }),
+		// Negative window geometry.
+		mk(func(c *Config) { c.FlashCrowd.At = -vtime.Second }),
+		mk(func(c *Config) { c.FlashCrowd.Width = -vtime.Second }),
+		mk(func(c *Config) { c.FlashCrowd.Ramp = -vtime.Second }),
+		// Degenerate shapes.
+		mk(func(c *Config) { c.FlashCrowd.Boost = 0.5 }),
+		mk(func(c *Config) { c.FlashCrowd.SubBurst = -1 }),
+		mk(func(c *Config) { c.FlashCrowd.SubHalfLife = -vtime.Second }),
+		mk(func(c *Config) { c.FlashCrowd.HotFraction = 1.5 }),
+		mk(func(c *Config) { c.FlashCrowd.Diurnal = 1 }),
+		mk(func(c *Config) { c.FlashCrowd.DiurnalPeriod = -vtime.Minute }),
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d should fail validation: %+v", i, c.FlashCrowd)
+		}
+	}
+	good := flashTestCfg()
+	if err := good.Validate(); err != nil {
+		t.Errorf("well-formed flash crowd rejected: %v", err)
+	}
+}

@@ -66,6 +66,11 @@ type Config struct {
 	// finite Zipf-popular template universe (see Zipf). Zero keeps the
 	// paper's continuous workload.
 	Zipf Zipf
+
+	// FlashCrowd overlays a correlated load spike (publish-rate burst on
+	// the hot region + subscribe burst + diurnal ramp) on the base
+	// workload (see FlashCrowd). Zero disables it.
+	FlashCrowd FlashCrowd
 }
 
 // setDefaults fills the paper's values into unset fields.
@@ -97,6 +102,7 @@ func (c *Config) setDefaults() {
 	}
 	c.Churn.setDefaults()
 	c.Zipf.setDefaults()
+	c.FlashCrowd.setDefaults(c.Duration)
 }
 
 // Validate checks cross-field consistency after defaulting.
@@ -128,6 +134,9 @@ func (c *Config) Validate() error {
 		return err
 	}
 	if err := c.Zipf.validate(); err != nil {
+		return err
+	}
+	if err := c.FlashCrowd.validate(c.Duration); err != nil {
 		return err
 	}
 	return nil
@@ -214,7 +223,25 @@ func (p *Publisher) advance() {
 		p.next += p.period
 		return
 	}
-	p.next += p.stream.Exponential(p.period)
+	fc := p.cfg.FlashCrowd
+	if !fc.modulates() {
+		p.next += p.stream.Exponential(p.period)
+		return
+	}
+	// Time-varying rate (flash crowd / diurnal): a non-homogeneous
+	// Poisson process via thinning — candidates drawn at the peak rate,
+	// each accepted with probability rate(t)/peak. Gated on modulation so
+	// unmodulated schedules reproduce the historical draws bit for bit.
+	peak := fc.peak()
+	for {
+		p.next += p.stream.Exponential(p.period / peak)
+		if p.next > p.cfg.Duration {
+			return
+		}
+		if p.stream.Float64()*peak <= fc.multiplier(p.next) {
+			return
+		}
+	}
 }
 
 // Next returns the next message, or ok=false when the publishing window
@@ -225,6 +252,12 @@ func (p *Publisher) Next() (*msg.Message, bool) {
 	}
 	attrHi := p.cfg.AttrHi
 	if p.cfg.HotspotFraction > 0 && p.stream.Float64() < p.cfg.HotspotFraction {
+		attrHi = p.cfg.AttrLo + p.cfg.HotspotWidth*(p.cfg.AttrHi-p.cfg.AttrLo)
+	}
+	if fc := p.cfg.FlashCrowd; fc.HotFraction > 0 && fc.inBurst(p.next) &&
+		p.stream.Float64() < fc.HotFraction {
+		// Burst publications concentrate on the hot region — the content
+		// the flash-crowd subscribers came for.
 		attrHi = p.cfg.AttrLo + p.cfg.HotspotWidth*(p.cfg.AttrHi-p.cfg.AttrLo)
 	}
 	m := &msg.Message{
