@@ -33,16 +33,21 @@ verify: build vet test
 #   8. the overload benches: the plan-side admission sweep, steady-state
 #      worst-first shedding, and the flash-crowd throughput pair
 #      (unprotected vs admission+shed+backpressure, with the rejected
-#      share and bounded peak queue reported alongside msgs/sec).
+#      share and bounded peak queue reported alongside msgs/sec);
+#   9. the durability benches: WAL append on the admission path, full
+#      log replay at restart, and the broker-side session-resume cycle
+#      (ring scan + deadline gate + frame assembly for a full ring).
 bench:
-	$(GO) test -json -run '^$$' -bench '^Benchmark(Figure|Ablation|Filter|Normal|Pick|Queue|Table|Routing|Topology|Dijkstra|Codec|Sim|Covers)' -benchmem -benchtime 100x . > BENCH_pr9.json
-	$(GO) test -json -run '^$$' -bench BenchmarkLiveThroughput -benchmem -benchtime 20000x . >> BENCH_pr9.json
-	$(GO) test -json -run '^$$' -bench '^BenchmarkIndexBuild$$' -benchmem -benchtime 1x . >> BENCH_pr9.json
-	$(GO) test -json -run '^$$' -bench '^BenchmarkChurn' -benchmem -benchtime 2s . >> BENCH_pr9.json
-	$(GO) test -json -run '^$$' -bench '^BenchmarkRecovery' -benchmem -benchtime 100x ./internal/runtime/ >> BENCH_pr9.json
-	$(GO) test -json -run '^$$' -bench '^BenchmarkRetransmit$$' -benchmem -benchtime 10000x ./internal/livenet/ >> BENCH_pr9.json
-	$(GO) test -json -run '^$$' -bench '^BenchmarkAggregation1M$$' -benchmem -benchtime 1x . >> BENCH_pr9.json
-	$(GO) test -json -run '^$$' -bench '^BenchmarkAdmission$$' -benchmem -benchtime 100x ./internal/runtime/ >> BENCH_pr9.json
-	$(GO) test -json -run '^$$' -bench '^BenchmarkShedWorst$$' -benchmem -benchtime 1000x ./internal/core/ >> BENCH_pr9.json
-	$(GO) test -json -run '^$$' -bench '^BenchmarkFlashCrowdThroughput' -benchmem -benchtime 20000x . >> BENCH_pr9.json
-	@grep -o '"Output":"Benchmark[^"]*ns/op[^"]*"' BENCH_pr9.json | head -80 || true
+	$(GO) test -json -run '^$$' -bench '^Benchmark(Figure|Ablation|Filter|Normal|Pick|Queue|Table|Routing|Topology|Dijkstra|Codec|Sim|Covers)' -benchmem -benchtime 100x . > BENCH_pr10.json
+	$(GO) test -json -run '^$$' -bench BenchmarkLiveThroughput -benchmem -benchtime 20000x . >> BENCH_pr10.json
+	$(GO) test -json -run '^$$' -bench '^BenchmarkIndexBuild$$' -benchmem -benchtime 1x . >> BENCH_pr10.json
+	$(GO) test -json -run '^$$' -bench '^BenchmarkChurn' -benchmem -benchtime 2s . >> BENCH_pr10.json
+	$(GO) test -json -run '^$$' -bench '^BenchmarkRecovery' -benchmem -benchtime 100x ./internal/runtime/ >> BENCH_pr10.json
+	$(GO) test -json -run '^$$' -bench '^BenchmarkRetransmit$$' -benchmem -benchtime 10000x ./internal/livenet/ >> BENCH_pr10.json
+	$(GO) test -json -run '^$$' -bench '^BenchmarkAggregation1M$$' -benchmem -benchtime 1x . >> BENCH_pr10.json
+	$(GO) test -json -run '^$$' -bench '^BenchmarkAdmission$$' -benchmem -benchtime 100x ./internal/runtime/ >> BENCH_pr10.json
+	$(GO) test -json -run '^$$' -bench '^BenchmarkShedWorst$$' -benchmem -benchtime 1000x ./internal/core/ >> BENCH_pr10.json
+	$(GO) test -json -run '^$$' -bench '^BenchmarkFlashCrowdThroughput' -benchmem -benchtime 20000x . >> BENCH_pr10.json
+	$(GO) test -json -run '^$$' -bench '^Benchmark(WALAppend|LogReplay)$$' -benchmem -benchtime 1000x ./internal/durable/ >> BENCH_pr10.json
+	$(GO) test -json -run '^$$' -bench '^BenchmarkSessionResume$$' -benchmem -benchtime 1000x ./internal/livenet/ >> BENCH_pr10.json
+	@grep -o '"Output":"Benchmark[^"]*ns/op[^"]*"' BENCH_pr10.json | head -80 || true

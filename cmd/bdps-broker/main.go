@@ -13,7 +13,11 @@
 // peers.json: {"0": "127.0.0.1:7000", "1": "127.0.0.1:7001", ...}
 //
 // The broker schedules its output queues with the selected strategy
-// (default EBPC with r = 0.5) and prints its counters on SIGINT.
+// (default EBPC with r = 0.5) and prints its counters on exit. With
+// -state-dir it keeps a WAL + snapshot of its subscription admissions
+// and per-link watermarks: SIGTERM drains gracefully (checkpoint, then
+// stop), SIGINT stops hard, and a successor started with the same
+// directory rejoins warm under a fresh incarnation epoch.
 package main
 
 import (
@@ -52,6 +56,7 @@ func run(args []string) error {
 		epsilon   = fs.Float64("epsilon", core.DefaultEpsilon, "invalid-message threshold")
 		timescale = fs.Float64("timescale", 1, "link-delay compression factor")
 		seed      = fs.Uint64("seed", 1, "link sampler seed")
+		stateDir  = fs.String("state-dir", "", "durable state directory: WAL + snapshot of admissions and watermarks; restarting with the same directory rejoins warm")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -109,9 +114,14 @@ func run(args []string) error {
 		Strategy:  st,
 		TimeScale: *timescale,
 		Seed:      *seed,
+		StateDir:  *stateDir,
 	})
 	if err != nil {
 		return err
+	}
+	if st, ok := node.Restarted(); ok {
+		fmt.Printf("broker %d recovered %d durable entries, rejoining as epoch %d\n",
+			*id, len(st.Entries), node.Epoch())
 	}
 
 	bind := *listen
@@ -134,9 +144,18 @@ func run(args []string) error {
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
+	got := <-sig
 
-	node.Stop()
+	// SIGTERM drains gracefully: checkpoint the durable state (so a
+	// successor with the same -state-dir rejoins warm) before stopping.
+	// SIGINT models a crash: stop hard, leaving only what the WAL already
+	// holds.
+	if got == syscall.SIGTERM {
+		fmt.Printf("broker %d draining (SIGTERM)\n", *id)
+		node.Drain()
+	} else {
+		node.Stop()
+	}
 	s := node.Stats()
 	fmt.Printf("broker %d: receptions=%d deliveries=%d valid=%d drops(exp=%d hopeless=%d arrival=%d)\n",
 		*id, s.Receptions, s.Deliveries, s.ValidDeliver,

@@ -18,6 +18,13 @@
 //	bdps-loadgen -n 50000 -kill-broker 1 -kill-at 200ms -heartbeat-interval 50ms
 //	bdps-loadgen -n 50000 -link-down 1:2:200ms:400ms -heartbeat-interval 50ms
 //
+// With -restart-at the killed broker rejoins warm mid-measurement: the
+// cluster runs on WAL-backed state, the reborn incarnation replays its
+// logged subscription admissions, bumps its epoch, and the surviving
+// neighbors re-dial it:
+//
+//	bdps-loadgen -n 50000 -kill-broker 1 -kill-at 200ms -restart-at 600ms -heartbeat-interval 50ms
+//
 // Loss flags arm the per-link adversary on every arc — the same
 // deterministic loss/dup/reorder model the simulator and the crossval
 // tests use — so the reliable channel (retransmission, dedup, FIFO
@@ -68,6 +75,7 @@ func main() {
 
 		killBroker = flag.Int("kill-broker", -1, "crash this broker mid-measurement (-1 = no fault)")
 		killAt     = flag.Duration("kill-at", 200*time.Millisecond, "wall time after the first publish at which -kill-broker strikes")
+		restartAt  = flag.Duration("restart-at", 0, "wall time after the first publish at which the killed broker rejoins warm from its WAL (0 = stays down; requires -kill-broker)")
 		linkDown   = flag.String("link-down", "", "transient link outage from:to:start:end in wall time, e.g. 1:2:200ms:400ms")
 		hbInterval = flag.Duration("heartbeat-interval", 0, "wall-time heartbeat period for failure detection (0 = off unless a fault is injected, then 100ms)")
 		hbTimeout  = flag.Duration("heartbeat-timeout", 0, "wall-time silence before a link is declared dead (0 = 4x interval)")
@@ -94,11 +102,11 @@ func main() {
 		n: *n, pubs: *pubs, subs: *subs, brokers: *brokers,
 		shards: *shards, burst: *burst, sizeKB: *sizeKB, payload: *payload,
 		churn: *churn, aggregate: *agg,
-		killBroker: *killBroker, killAt: *killAt, linkDown: *linkDown,
+		killBroker: *killBroker, killAt: *killAt, restartAt: *restartAt, linkDown: *linkDown,
 		hbInterval: *hbInterval, hbTimeout: *hbTimeout,
 		linkLoss: *linkLoss, linkDup: *linkDup, linkReorder: *linkReorder,
 		duration: *duration,
-		flashAt: *flashAt, flashWidth: *flashWidth,
+		flashAt:  *flashAt, flashWidth: *flashWidth,
 		flashPubs: *flashPubs, flashSubs: *flashSubs,
 		admission: *admission, shed: *shed,
 		maxQueue: *maxQueue, maxEgress: *maxEgress,
@@ -155,6 +163,9 @@ func report(plane string, cfg loadCfg, r result) {
 			fmt.Printf("  %d sends lost to crash", r.sendFailed)
 		}
 	}
+	if cfg.restartAt > 0 {
+		fmt.Printf("  restart replayed-subs %d  stale-epoch %d", r.replayedSubs, r.link.StaleEpochFrames)
+	}
 	if cfg.lossy() || r.link.FramesLost > 0 {
 		fmt.Printf("  lost %d  retx %d  dup-suppressed %d  reorder-healed %d  abandoned %d",
 			r.link.FramesLost, r.link.Retransmits, r.link.DupsSuppressed,
@@ -207,6 +218,7 @@ type loadCfg struct {
 
 	killBroker            int
 	killAt                time.Duration
+	restartAt             time.Duration
 	linkDown              string
 	hbInterval, hbTimeout time.Duration
 
@@ -240,6 +252,17 @@ func (c loadCfg) validateHorizon() error {
 	}
 	if c.killBroker >= 0 && c.killAt >= c.duration {
 		return fmt.Errorf("-kill-at %v lands beyond the -duration %v horizon", c.killAt, c.duration)
+	}
+	if c.restartAt > 0 {
+		if c.killBroker < 0 {
+			return fmt.Errorf("-restart-at needs a crashed broker to restart: pass -kill-broker")
+		}
+		if c.restartAt <= c.killAt {
+			return fmt.Errorf("-restart-at %v must follow -kill-at %v", c.restartAt, c.killAt)
+		}
+		if c.restartAt >= c.duration {
+			return fmt.Errorf("-restart-at %v lands beyond the -duration %v horizon", c.restartAt, c.duration)
+		}
 	}
 	if c.linkDown != "" {
 		o, err := parseOutage(c.linkDown)
@@ -286,6 +309,7 @@ type result struct {
 	detections   int64
 	restorations int64
 	sendFailed   int64
+	replayedSubs int64         // distinct subscriptions a restarted broker replayed from its WAL
 	link         livenet.Stats // reliable-channel counters (loss accounting)
 	flashN       int           // extra publications the flash crowd injected
 	brokers      []brokerStat  // per-broker rows for the SLO table
@@ -340,6 +364,16 @@ func run(cfg loadCfg) (result, error) {
 			Shed:     cfg.shed,
 			MaxQueue: cfg.maxQueue,
 		},
+	}
+	if cfg.restartAt > 0 {
+		// A restart needs durable state to come back from: give every
+		// broker a WAL under a run-scoped directory.
+		stateRoot, err := os.MkdirTemp("", "bdps-loadgen-state-")
+		if err != nil {
+			return result{}, err
+		}
+		defer os.RemoveAll(stateRoot)
+		ccfg.StateRoot = stateRoot
 	}
 	if cfg.lossy() {
 		// One wildcard adversary spec; StartCluster arms an independent,
@@ -425,7 +459,7 @@ func run(cfg loadCfg) (result, error) {
 			return result{}, err
 		}
 		defer conn.Close()
-		hello := msg.AppendHello(nil, msg.RoleSubscriber, msg.NodeID(1<<20))
+		hello := msg.AppendHello(nil, msg.RoleSubscriber, msg.NodeID(1<<20), 0)
 		if err := msg.WriteFrame(conn, msg.FrameHello, hello); err != nil {
 			return result{}, err
 		}
@@ -491,9 +525,26 @@ func run(cfg loadCfg) (result, error) {
 	// Injected faults are armed on wall timers relative to the first
 	// publish, mirroring the runtime transport's fault schedule.
 	var faultTimers []*time.Timer
+	var replayedSubs atomic.Int64
 	if cfg.killBroker >= 0 {
 		id := msg.NodeID(cfg.killBroker)
-		faultTimers = append(faultTimers, time.AfterFunc(cfg.killAt, func() { c.Nodes[id].Crash() }))
+		faultTimers = append(faultTimers, time.AfterFunc(cfg.killAt, func() { c.Node(id).Crash() }))
+		if cfg.restartAt > 0 {
+			faultTimers = append(faultTimers, time.AfterFunc(cfg.restartAt, func() {
+				n, err := c.RestartNode(id, nil)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "warning: restart of broker %d failed: %v\n", id, err)
+					return
+				}
+				if st, ok := n.Restarted(); ok {
+					seen := make(map[msg.SubID]bool, len(st.Entries))
+					for _, e := range st.Entries {
+						seen[e.Sub.ID] = true
+					}
+					replayedSubs.Store(int64(len(seen)))
+				}
+			}))
+		}
 	}
 	if cfg.linkDown != "" {
 		faultTimers = append(faultTimers,
@@ -610,6 +661,9 @@ func run(cfg loadCfg) (result, error) {
 		if cfg.killBroker >= 0 && cfg.killAt > last {
 			last = cfg.killAt
 		}
+		if cfg.restartAt > last {
+			last = cfg.restartAt
+		}
 		detectBy = start.Add(last + tmo + 2*hb)
 	}
 	deadline := time.Now().Add(cfg.duration)
@@ -643,7 +697,7 @@ func run(cfg loadCfg) (result, error) {
 	}
 	brokerRows := make([]brokerStat, cfg.brokers)
 	for i := range brokerRows {
-		node := c.Nodes[msg.NodeID(i)]
+		node := c.Node(msg.NodeID(i)) // locked: a restart swaps the node map mid-run
 		brokerRows[i] = brokerStat{
 			id:    msg.NodeID(i),
 			stats: node.Stats(),
@@ -661,6 +715,7 @@ func run(cfg loadCfg) (result, error) {
 		detections:   detections.Load(),
 		restorations: restorations.Load(),
 		sendFailed:   sendFailed.Load(),
+		replayedSubs: replayedSubs.Load(),
 		link:         total,
 		flashN:       int(flashN.Load()),
 		brokers:      brokerRows,

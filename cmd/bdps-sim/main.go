@@ -31,6 +31,15 @@
 //	bdps-sim -single -rate 6 -duration 2m -kill-broker 4 -kill-at 30s -recover -renegotiate -timeline 30s
 //	bdps-sim -single -link-down 2:6:30s:80s -recover
 //
+// A crashed broker can rejoin warm from its durable state: -restart-broker
+// replays the routing entries it logged before the crash, bumps its
+// incarnation epoch and lets the repair engine route back through it.
+// The report then carries the recovery ledger (replayed subscriptions,
+// resumed sessions, replayed messages, stale-epoch rejections):
+//
+//	bdps-sim -single -rate 6 -duration 2m -kill-broker 4 -kill-at 30s \
+//	    -restart-broker 4 -restart-at 60s -recover -renegotiate -timeline 30s
+//
 // On the live backend keep heartbeat-timeout × timescale well above
 // scheduler jitter (tens of milliseconds of wall time), or every link
 // looks dead:
@@ -71,7 +80,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("bdps-sim", flag.ContinueOnError)
 	var (
 		figure   = fs.String("figure", "", "figure to reproduce: 4a, 4b, 5, 5a, 5b, 6, 6a, 6b, all")
-		ablation = fs.String("ablation", "", "ablation to run: epsilon, measure, multipath, linkmodel, topology, fairness, hotspot, churn, recovery, loss, overload, all")
+		ablation = fs.String("ablation", "", "ablation to run: epsilon, measure, multipath, linkmodel, topology, fairness, hotspot, churn, recovery, loss, overload, restart, all")
 		claims   = fs.Bool("claims", false, "re-run the evaluation and check the paper's claims")
 		single   = fs.Bool("single", false, "run a single configuration instead of a figure")
 		topoDump = fs.Bool("dump-topology", false, "print the layered overlay as JSON and exit")
@@ -117,14 +126,16 @@ func run(args []string) error {
 		linkReorder = fs.Float64("link-reorder", 0, "per-frame reorder probability on every link (single mode)")
 		retry       = fs.String("retry", "aware", "retransmission policy under loss: aware (deadline-aware), blind, off")
 
-		killBroker = fs.String("kill-broker", "", "crash these brokers mid-run, comma-separated ids (single mode)")
-		killAt     = fs.Duration("kill-at", 30*time.Second, "emulated instant at which -kill-broker crashes strike")
-		linkDown   = fs.String("link-down", "", "transient link outage from:to:start:end, e.g. 2:6:30s:80s (single mode)")
-		recov      = fs.Bool("recover", false, "detect failures and repair the routing topology (single mode)")
-		renege     = fs.Bool("renegotiate", false, "renegotiate delay bounds on repaired paths (implies -recover)")
-		hbInterval = fs.Duration("heartbeat-interval", 500*time.Millisecond, "failure detection: emulated heartbeat period")
-		hbTimeout  = fs.Duration("heartbeat-timeout", 0, "failure detection: silence before a link is declared dead (0 = 4x interval)")
-		timeline   = fs.Duration("timeline", 0, "report delivery-over-time in buckets of this emulated width (single mode)")
+		killBroker    = fs.String("kill-broker", "", "crash these brokers mid-run, comma-separated ids (single mode)")
+		killAt        = fs.Duration("kill-at", 30*time.Second, "emulated instant at which -kill-broker crashes strike")
+		restartBroker = fs.String("restart-broker", "", "restart these crashed brokers from durable state, comma-separated ids (each must also appear in -kill-broker)")
+		restartAt     = fs.Duration("restart-at", 60*time.Second, "emulated instant at which -restart-broker rejoins (must be after -kill-at)")
+		linkDown      = fs.String("link-down", "", "transient link outage from:to:start:end, e.g. 2:6:30s:80s (single mode)")
+		recov         = fs.Bool("recover", false, "detect failures and repair the routing topology (single mode)")
+		renege        = fs.Bool("renegotiate", false, "renegotiate delay bounds on repaired paths (implies -recover)")
+		hbInterval    = fs.Duration("heartbeat-interval", 500*time.Millisecond, "failure detection: emulated heartbeat period")
+		hbTimeout     = fs.Duration("heartbeat-timeout", 0, "failure detection: silence before a link is declared dead (0 = 4x interval)")
+		timeline      = fs.Duration("timeline", 0, "report delivery-over-time in buckets of this emulated width (single mode)")
 
 		pd        = fs.Float64("pd", 2, "processing delay per broker, ms")
 		epsilon   = fs.Float64("epsilon", core.DefaultEpsilon, "invalid-message threshold for EB/PC/EBPC (0 disables)")
@@ -220,7 +231,7 @@ func run(args []string) error {
 				HeartbeatTimeout:  vtime.FromDuration(*hbTimeout),
 			},
 		}
-		if cfg.Faults, err = parseFaults(*killBroker, *killAt, *linkDown); err != nil {
+		if cfg.Faults, err = parseFaults(*killBroker, *killAt, *restartBroker, *restartAt, *linkDown); err != nil {
 			return err
 		}
 		if *linkLoss > 0 || *linkDup > 0 || *linkReorder > 0 {
@@ -392,9 +403,11 @@ func parseRetry(s string) (runtime.Reliability, error) {
 	return runtime.Reliability{}, fmt.Errorf("unknown retry policy %q (want aware, blind or off)", s)
 }
 
-// parseFaults assembles the -kill-broker / -link-down fault schedule.
-func parseFaults(kill string, killAt time.Duration, linkDown string) ([]runtime.Fault, error) {
+// parseFaults assembles the -kill-broker / -restart-broker / -link-down
+// fault schedule.
+func parseFaults(kill string, killAt time.Duration, restart string, restartAt time.Duration, linkDown string) ([]runtime.Fault, error) {
 	var faults []runtime.Fault
+	killed := make(map[uint64]bool)
 	if kill != "" {
 		ids, err := parseUints(kill)
 		if err != nil {
@@ -402,6 +415,22 @@ func parseFaults(kill string, killAt time.Duration, linkDown string) ([]runtime.
 		}
 		for _, id := range ids {
 			faults = append(faults, runtime.BrokerCrash{ID: msg.NodeID(id), At: vtime.FromDuration(killAt)})
+			killed[id] = true
+		}
+	}
+	if restart != "" {
+		ids, err := parseUints(restart)
+		if err != nil {
+			return nil, fmt.Errorf("-restart-broker: %w", err)
+		}
+		if restartAt <= killAt {
+			return nil, fmt.Errorf("-restart-at %v must be after -kill-at %v", restartAt, killAt)
+		}
+		for _, id := range ids {
+			if !killed[id] {
+				return nil, fmt.Errorf("-restart-broker %d: only crashed brokers restart (add it to -kill-broker)", id)
+			}
+			faults = append(faults, runtime.BrokerRestart{ID: msg.NodeID(id), At: vtime.FromDuration(restartAt)})
 		}
 	}
 	if linkDown != "" {

@@ -156,6 +156,7 @@ type Delivery struct {
 	SubID     msg.SubID
 	Price     float64
 	Published vtime.Millis // the message's publication instant
+	Allowed   vtime.Millis // applicable bound (after any relaxed floor)
 	Latency   vtime.Millis
 	Valid     bool // delivered within the applicable bound
 }
@@ -318,6 +319,7 @@ func (p *Processor) deliverLocal(m *msg.Message, e *routing.Entry, sub *msg.Subs
 		SubID:     sub.ID,
 		Price:     price,
 		Published: m.Published,
+		Allowed:   allowed,
 		Latency:   latency,
 		Valid:     allowed > 0 && latency <= allowed,
 	})

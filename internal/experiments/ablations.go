@@ -543,6 +543,86 @@ func AblationOverload(opts Options) (*Figure, error) {
 	return fig, nil
 }
 
+// restartAblationOverlay is the cut-vertex topology of the restart
+// ablation: two ingress (0, 1) feed middle 2, which alone reaches
+// middle 3 and the two edges (4, 5). Broker 2 is a cut vertex — when it
+// crashes there is nothing to reroute through, so the self-healing
+// plane of A9 is powerless and only a warm restart from durable state
+// can bring delivery back.
+func restartAblationOverlay() (*topology.Overlay, error) {
+	g := topology.NewGraph(6)
+	link := stats.Normal{Mean: 50, Sigma: 5}
+	for _, arc := range [][2]msg.NodeID{{0, 2}, {1, 2}, {2, 3}, {3, 4}, {3, 5}} {
+		if err := g.AddLink(arc[0], arc[1], link); err != nil {
+			return nil, err
+		}
+	}
+	return &topology.Overlay{
+		Graph:   g,
+		Ingress: []msg.NodeID{0, 1},
+		Edges:   []msg.NodeID{4, 5},
+	}, nil
+}
+
+// AblationRestart charts crash-restart durability: a cut-vertex broker
+// crashes at T/4 and delivery rate is tracked over publication time for
+// three runs sharing one publication schedule — no faults, crash with
+// no restart, and crash followed at T/2 by a warm restart from the
+// WAL (plus one subscriber session dropping and resuming on the
+// rejoined incarnation). Repair cannot help here: every path routes
+// through the dead broker, so the crash-only series flatlines for the
+// rest of the run, while the restart series returns to the quiet
+// baseline once the recovered routing table is back on the wire.
+func AblationRestart(opts Options) (*Figure, error) {
+	opts.setDefaults()
+	fig := &Figure{
+		ID:     "A12",
+		Title:  "cut-vertex crash: delivery over time, restart vs none (PSD, EB)",
+		XLabel: "publication time (s)",
+		YLabel: "delivery rate (%)",
+		Series: []string{"no faults", "crash only", "crash + restart + resume"},
+	}
+	ov, err := restartAblationOverlay()
+	if err != nil {
+		return nil, err
+	}
+	crashAt := opts.Duration / 4
+	restartAt := opts.Duration / 2
+	sessionAt := opts.Duration * 5 / 8
+	type variant struct{ crash, restart bool }
+	variants := []variant{{false, false}, {true, false}, {true, true}}
+	pts, err := ablationSweep(&opts, variants, func(v variant, c *simnet.Config) {
+		c.Overlay = ov
+		// The single spine saturates quickly: keep the rate low enough
+		// that the quiet baseline is queueing-free.
+		c.Workload.RatePerMin = 3
+		c.TimelineBucket = opts.Duration / 8
+		c.Recovery = runtime.Recovery{Detect: true, Renegotiate: true}
+		if v.crash {
+			c.Faults = []simnet.Fault{simnet.BrokerCrash{ID: 2, At: crashAt}}
+		}
+		if v.restart {
+			c.Faults = append(c.Faults,
+				simnet.BrokerRestart{ID: 2, At: restartAt},
+				simnet.SessionDown{Sub: 3, Start: sessionAt, End: sessionAt + 30*vtime.Second},
+			)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range pts[0].Timeline {
+		p := Point{X: float64(b.Start) / 1000, Values: map[string]float64{}}
+		for j, name := range fig.Series {
+			if tl := pts[j].Timeline; i < len(tl) {
+				p.Values[name] = 100 * tl[i].Rate()
+			}
+		}
+		fig.Points = append(fig.Points, p)
+	}
+	return fig, nil
+}
+
 // RunAblation dispatches an ablation id.
 func RunAblation(id string, opts Options) (*Figure, error) {
 	switch id {
@@ -568,13 +648,15 @@ func RunAblation(id string, opts Options) (*Figure, error) {
 		return AblationLoss(opts)
 	case "overload", "A11":
 		return AblationOverload(opts)
+	case "restart", "A12":
+		return AblationRestart(opts)
 	}
-	return nil, fmt.Errorf("experiments: unknown ablation %q (want epsilon, measure, multipath, linkmodel, topology, fairness, hotspot, churn, recovery, loss, overload)", id)
+	return nil, fmt.Errorf("experiments: unknown ablation %q (want epsilon, measure, multipath, linkmodel, topology, fairness, hotspot, churn, recovery, loss, overload, restart)", id)
 }
 
 // Ablations lists the ablation ids in order.
 func Ablations() []string {
-	return []string{"epsilon", "measure", "multipath", "linkmodel", "topology", "fairness", "hotspot", "churn", "recovery", "loss", "overload"}
+	return []string{"epsilon", "measure", "multipath", "linkmodel", "topology", "fairness", "hotspot", "churn", "recovery", "loss", "overload", "restart"}
 }
 
 // AllAblations runs every ablation with one shared worker pool and run

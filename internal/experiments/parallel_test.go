@@ -91,16 +91,16 @@ func TestAllAblationsSharedCache(t *testing.T) {
 	if len(figs) != len(Ablations()) {
 		t.Fatalf("got %d ablation figures", len(figs))
 	}
-	// 64 cells declared (6+5+3+3+3+4+4+4+4+16+12, one seed); the base
+	// 67 cells declared (6+5+3+3+3+4+4+4+4+16+12+3, one seed); the base
 	// config recurs in the ε (default ε), measure (0 samples), link-model
 	// (normal), hotspot (0) and churn (0 arrivals/min) sweeps, and the
 	// loss sweep's no-loss arm is rate-independent (4 cells collapse into
-	// the same shared base) → 56 unique runs (the recovery sweep's cells
-	// run on their own overlay and timeline, and the overload sweep's
-	// flash-crowd cells vary rate × protection arm, so none of theirs
-	// dedupe).
-	if runs != 56 {
-		t.Errorf("runs = %d, want 56 (base cell must dedupe across ablations)", runs)
+	// the same shared base) → 59 unique runs (the recovery and restart
+	// sweeps' cells run on their own overlays and timelines, and the
+	// overload sweep's flash-crowd cells vary rate × protection arm, so
+	// none of theirs dedupe).
+	if runs != 59 {
+		t.Errorf("runs = %d, want 59 (base cell must dedupe across ablations)", runs)
 	}
 }
 
@@ -222,7 +222,9 @@ func TestConfigKey(t *testing.T) {
 		func(c *simnet.Config) { c.Faults = []simnet.Fault{simnet.LinkDown{From: 0, To: 1, Start: 10, End: 20}} },
 		func(c *simnet.Config) { c.Recovery = runtime.Recovery{Detect: true} },
 		func(c *simnet.Config) { c.Recovery = runtime.Recovery{Detect: true, Renegotiate: true} },
-		func(c *simnet.Config) { c.Faults = []simnet.Fault{simnet.LinkLoss{From: msg.None, To: msg.None, Rate: 0.1}} },
+		func(c *simnet.Config) {
+			c.Faults = []simnet.Fault{simnet.LinkLoss{From: msg.None, To: msg.None, Rate: 0.1}}
+		},
 		func(c *simnet.Config) { c.Reliability = runtime.Reliability{NoRetry: true} },
 		func(c *simnet.Config) { c.Reliability = runtime.Reliability{BlindRetry: true} },
 		func(c *simnet.Config) { c.TimelineBucket = 30 * vtime.Second },

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"bdps/internal/msg"
@@ -35,7 +36,7 @@ func DialPublisher(addr string, id msg.NodeID) (*Publisher, error) {
 	if err != nil {
 		return nil, err
 	}
-	hello := msg.AppendHello(nil, msg.RolePublisher, id)
+	hello := msg.AppendHello(nil, msg.RolePublisher, id, 0)
 	if err := msg.WriteFrame(conn, msg.FrameHello, hello); err != nil {
 		conn.Close()
 		return nil, err
@@ -102,10 +103,24 @@ type Subscriber struct {
 	done chan struct{}
 	once sync.Once
 
+	// lastSeq is the session's resume cursor: the highest per-session
+	// delivery sequence received. Deliveries at or below it are
+	// duplicates (a replay overlapping frames that did arrive before
+	// the disconnect) and are suppressed — exactly-once across resume.
+	lastSeq atomic.Uint64
+
 	// Clock judges delivery validity (see Valid). Defaults to the
 	// absolute wall clock; set to Cluster.Clock() when the cluster runs
 	// on a compressed clock.
 	Clock runtime.Clock
+}
+
+// ResumeToken identifies a subscriber session for resumption after a
+// disconnect: the subscription id plus the last delivery sequence the
+// client actually received.
+type ResumeToken struct {
+	Sub     msg.SubID
+	LastSeq uint64
 }
 
 // DialSubscriber connects to the edge broker, registers the subscription
@@ -114,33 +129,75 @@ func DialSubscriber(addr string, sub *msg.Subscription) (*Subscriber, error) {
 	if sub == nil || sub.Filter == nil {
 		return nil, fmt.Errorf("livenet: nil subscription or filter")
 	}
-	conn, err := dialRetry(addr, 40, 50*time.Millisecond)
+	s, err := dialSubscriber(addr, sub)
 	if err != nil {
-		return nil, err
-	}
-	hello := msg.AppendHello(nil, msg.RoleSubscriber, msg.NodeID(sub.ID))
-	if err := msg.WriteFrame(conn, msg.FrameHello, hello); err != nil {
-		conn.Close()
 		return nil, err
 	}
 	body, err := msg.AppendSubscription(nil, sub)
 	if err != nil {
+		s.conn.Close()
+		return nil, err
+	}
+	if err := msg.WriteFrame(s.conn, msg.FrameSubscribe, body); err != nil {
+		s.conn.Close()
+		return nil, err
+	}
+	go s.readLoop()
+	return s, nil
+}
+
+// ResumeSubscriber reattaches a previously registered subscription
+// after a lost connection: instead of re-subscribing (the broker-side
+// subscription survived the client), it presents the resume token and
+// the edge broker replays the missed deliveries whose bounds still
+// hold. The returned subscriber continues the session: its cursor
+// starts at the token, so overlapping replays dedup to exactly-once.
+func ResumeSubscriber(addr string, sub *msg.Subscription, tok ResumeToken) (*Subscriber, error) {
+	if sub == nil || sub.Filter == nil {
+		return nil, fmt.Errorf("livenet: nil subscription or filter")
+	}
+	if tok.Sub != sub.ID {
+		return nil, fmt.Errorf("livenet: resume token for sub %d, dialing sub %d", tok.Sub, sub.ID)
+	}
+	s, err := dialSubscriber(addr, sub)
+	if err != nil {
+		return nil, err
+	}
+	s.lastSeq.Store(tok.LastSeq)
+	body := msg.AppendResume(nil, tok.Sub, tok.LastSeq)
+	if err := msg.WriteFrame(s.conn, msg.FrameResume, body); err != nil {
+		s.conn.Close()
+		return nil, err
+	}
+	go s.readLoop()
+	return s, nil
+}
+
+// dialSubscriber dials the edge broker and performs the hello handshake
+// (shared by fresh subscribes and session resumes).
+func dialSubscriber(addr string, sub *msg.Subscription) (*Subscriber, error) {
+	conn, err := dialRetry(addr, 40, 50*time.Millisecond)
+	if err != nil {
+		return nil, err
+	}
+	hello := msg.AppendHello(nil, msg.RoleSubscriber, msg.NodeID(sub.ID), 0)
+	if err := msg.WriteFrame(conn, msg.FrameHello, hello); err != nil {
 		conn.Close()
 		return nil, err
 	}
-	if err := msg.WriteFrame(conn, msg.FrameSubscribe, body); err != nil {
-		conn.Close()
-		return nil, err
-	}
-	s := &Subscriber{
+	return &Subscriber{
 		sub:   sub,
 		conn:  conn,
 		ch:    make(chan *msg.Message, 256),
 		done:  make(chan struct{}),
 		Clock: runtime.AbsoluteWallClock(1),
-	}
-	go s.readLoop()
-	return s, nil
+	}, nil
+}
+
+// Token returns the session's current resume token. Valid to call at
+// any point, including after the connection died — that is its purpose.
+func (s *Subscriber) Token() ResumeToken {
+	return ResumeToken{Sub: s.sub.ID, LastSeq: s.lastSeq.Load()}
 }
 
 func (s *Subscriber) readLoop() {
@@ -156,7 +213,23 @@ func (s *Subscriber) readLoop() {
 		if err != nil {
 			return
 		}
-		if ft != msg.FrameMessage {
+		// Sessionful deliveries arrive as FrameData carrying the
+		// session sequence; the cursor suppresses anything already
+		// received (replays overlapping the pre-disconnect tail).
+		// Plain FrameMessage deliveries (sharded plane) pass through
+		// unsequenced.
+		var seq uint64
+		switch ft {
+		case msg.FrameMessage:
+		case msg.FrameData:
+			var derr error
+			var mb []byte
+			seq, _, _, mb, derr = msg.DecodeDataHeader(body)
+			if derr != nil || seq <= s.lastSeq.Load() {
+				continue
+			}
+			body = mb
+		default:
 			continue
 		}
 		m := new(msg.Message)
@@ -164,6 +237,9 @@ func (s *Subscriber) readLoop() {
 		// out because the consumer may hold the message indefinitely.
 		if _, err := dec.DecodeMessageInto(m, body, nil); err != nil {
 			continue
+		}
+		if seq > 0 {
+			s.lastSeq.Store(seq)
 		}
 		select {
 		case s.ch <- m:

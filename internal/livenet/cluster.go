@@ -2,8 +2,10 @@ package livenet
 
 import (
 	"fmt"
+	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 
 	"bdps/internal/core"
 	"bdps/internal/msg"
@@ -67,6 +69,12 @@ type ClusterConfig struct {
 	// deployments gate admission in the plan instead and ignore it.
 	Admission runtime.Admission
 
+	// StateRoot, when set, gives every broker a durable state directory
+	// (StateRoot/broker-<id>) — the write-ahead log and snapshots that
+	// let a crashed broker warm-rejoin via RestartNode. Plan deployments
+	// checkpoint each broker's deployed routing table into it at start.
+	StateRoot string
+
 	// Heartbeat enables per-link failure detection on every node.
 	Heartbeat HeartbeatConfig
 	// OnPeerEvent receives every node's liveness transitions (the
@@ -75,11 +83,21 @@ type ClusterConfig struct {
 	OnPeerEvent func(PeerEvent)
 }
 
-// Cluster is a set of live brokers started together.
+// Cluster is a set of live brokers started together. The Nodes map is
+// stable for read-only use from tests; concurrent access while broker
+// restarts are in play goes through Node(), which takes the cluster
+// lock.
 type Cluster struct {
 	Nodes map[msg.NodeID]*Node
 	addrs map[msg.NodeID]string
 	clock runtime.Clock
+
+	// mu guards Nodes and addrs against RestartNode swapping entries
+	// while drain polls and fault timers read them.
+	mu sync.RWMutex
+	// nodeCfgs retains each broker's construction config so RestartNode
+	// can rebuild a fresh incarnation.
+	nodeCfgs map[msg.NodeID]NodeConfig
 }
 
 // StartCluster listens all brokers on ephemeral loopback ports, then
@@ -170,9 +188,10 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 		}
 	}
 	c := &Cluster{
-		Nodes: make(map[msg.NodeID]*Node),
-		addrs: make(map[msg.NodeID]string),
-		clock: cfg.Clock,
+		Nodes:    make(map[msg.NodeID]*Node),
+		addrs:    make(map[msg.NodeID]string),
+		clock:    cfg.Clock,
+		nodeCfgs: make(map[msg.NodeID]NodeConfig),
 	}
 	fail := func(err error) (*Cluster, error) {
 		c.Stop()
@@ -203,12 +222,16 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 			Heartbeat:   cfg.Heartbeat,
 			OnPeerEvent: cfg.OnPeerEvent,
 		}
+		if cfg.StateRoot != "" {
+			nc.StateDir = filepath.Join(cfg.StateRoot, fmt.Sprintf("broker-%d", id))
+		}
 		if cfg.Plan != nil {
 			nc.Broker = cfg.Plan.Brokers[nid]
 			nc.Preinstalled = cfg.Plan.Subs
 		} else {
 			nc.Admission = cfg.Admission
 		}
+		c.nodeCfgs[nid] = nc
 		n, err := NewNode(nc)
 		if err != nil {
 			return fail(err)
@@ -225,19 +248,119 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 			return fail(err)
 		}
 	}
+	if cfg.StateRoot != "" {
+		// Deploy-time checkpoint: the WAL a crashed broker recovers is the
+		// deployed routing state plus its reliable-link send watermarks
+		// (registered by ConnectPeers just above).
+		for _, n := range c.Nodes {
+			if err := n.CheckpointTable(); err != nil {
+				return fail(err)
+			}
+		}
+	}
 	return c, nil
 }
 
+// Node returns one broker under the cluster lock — the accessor to use
+// while RestartNode may be swapping incarnations concurrently.
+func (c *Cluster) Node(id msg.NodeID) *Node {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.Nodes[id]
+}
+
+// RestartNode replaces a crashed broker with a fresh incarnation
+// recovered from its durable state directory: a new node (new listener,
+// new epoch, routing table and send watermarks replayed from the WAL),
+// swapped into the cluster, connected out to its neighbors, and
+// re-dialed by them at its new address. onReady, when non-nil, runs
+// after the new node is swapped in but before any connection exists —
+// the transport hooks its plan-map swap and repair-engine notification
+// there, so by the time frames flow the whole control plane already
+// addresses the new incarnation. Requires a StateRoot-configured
+// cluster.
+func (c *Cluster) RestartNode(id msg.NodeID, onReady func(*Node)) (*Node, error) {
+	c.mu.Lock()
+	nc, ok := c.nodeCfgs[id]
+	old := c.Nodes[id]
+	c.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("livenet: no retained config for broker %d", id)
+	}
+	if nc.StateDir == "" {
+		return nil, fmt.Errorf("livenet: broker %d has no state directory to recover from", id)
+	}
+	if old != nil && !old.Stopped() {
+		// A restart without a preceding crash fault: take the broker down
+		// the hard way first (no checkpoint — recovery works from the log).
+		old.Crash()
+	}
+	// A fresh incarnation builds its own broker and reinstalls the
+	// recovered entries itself (NewNode's dynamic path); the plan's
+	// original broker object died with the old process.
+	nc.Broker = nil
+	n, err := NewNode(nc)
+	if err != nil {
+		return nil, err
+	}
+	addr, err := n.Listen("127.0.0.1:0")
+	if err != nil {
+		n.Stop()
+		return nil, err
+	}
+	c.mu.Lock()
+	c.Nodes[id] = n
+	c.addrs[id] = addr
+	addrs := make(map[msg.NodeID]string, len(c.addrs))
+	for k, v := range c.addrs {
+		addrs[k] = v
+	}
+	c.mu.Unlock()
+	if onReady != nil {
+		onReady(n)
+	}
+	if err := n.ConnectPeers(addrs); err != nil {
+		n.Stop()
+		return n, err
+	}
+	// Surviving neighbors swap their connections to the reborn broker's
+	// new address; their heartbeat monitors then see it alive again.
+	for _, e := range nc.Overlay.Graph.Neighbors(id) {
+		if nb := c.Node(e.To); nb != nil && !nb.Stopped() {
+			if err := nb.ReconnectPeer(id, addr); err != nil {
+				return n, err
+			}
+		}
+	}
+	return n, nil
+}
+
 // Addr returns the TCP address of a broker.
-func (c *Cluster) Addr(id msg.NodeID) string { return c.addrs[id] }
+func (c *Cluster) Addr(id msg.NodeID) string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.addrs[id]
+}
 
 // Clock returns the cluster's shared time base. Clients that stamp or
 // judge message times (publishers, subscribers) must use it.
 func (c *Cluster) Clock() runtime.Clock { return c.clock }
 
+// snapshotNodes copies the current node set under the cluster lock so
+// iterating methods never race a concurrent restart's map swap.
+func (c *Cluster) snapshotNodes() []*Node {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	nodes := make([]*Node, 0, len(c.Nodes))
+	for _, n := range c.Nodes {
+		nodes = append(nodes, n)
+	}
+	return nodes
+}
+
 // Stop shuts every broker down.
 func (c *Cluster) Stop() {
-	for _, n := range c.Nodes {
+	for _, n := range c.snapshotNodes() {
 		n.Stop()
 	}
 }
@@ -245,7 +368,7 @@ func (c *Cluster) Stop() {
 // TotalStats sums the per-node counters.
 func (c *Cluster) TotalStats() Stats {
 	var total Stats
-	for _, n := range c.Nodes {
+	for _, n := range c.snapshotNodes() {
 		s := n.Stats()
 		total.Receptions += s.Receptions
 		total.Deliveries += s.Deliveries
@@ -262,6 +385,9 @@ func (c *Cluster) TotalStats() Stats {
 		total.FloodsSuppressed += s.FloodsSuppressed
 		total.DropsShed += s.DropsShed
 		total.PubsRejected += s.PubsRejected
+		total.StaleEpochFrames += s.StaleEpochFrames
+		total.SessionsResumed += s.SessionsResumed
+		total.MsgsReplayed += s.MsgsReplayed
 	}
 	return total
 }
@@ -270,7 +396,7 @@ func (c *Cluster) TotalStats() Stats {
 // routing entries standing for more than one concrete subscription).
 func (c *Cluster) AggregatedEntries() int {
 	total := 0
-	for _, n := range c.Nodes {
+	for _, n := range c.snapshotNodes() {
 		total += n.AggregatedEntries()
 	}
 	return total
@@ -280,7 +406,7 @@ func (c *Cluster) AggregatedEntries() int {
 // reached.
 func (c *Cluster) PeakQueue() int {
 	peak := 0
-	for _, n := range c.Nodes {
+	for _, n := range c.snapshotNodes() {
 		if p := n.PeakQueue(); p > peak {
 			peak = p
 		}
@@ -296,7 +422,7 @@ func (c *Cluster) PeakQueue() int {
 // peer's read — the sent/received totals close exactly that window.
 func (c *Cluster) Quiescent(injected int) bool {
 	var sent, recv, pubs int64
-	for _, n := range c.Nodes {
+	for _, n := range c.snapshotNodes() {
 		s := n.load()
 		if s.busy > 0 || s.inflight > 0 || s.queued > 0 {
 			return false
@@ -314,7 +440,7 @@ func (c *Cluster) Quiescent(injected int) bool {
 // never accounts its inbound frames), so it is the idleness half of the
 // faulty-run drain check.
 func (c *Cluster) Settled() bool {
-	for _, n := range c.Nodes {
+	for _, n := range c.snapshotNodes() {
 		if n.Stopped() {
 			continue
 		}
@@ -330,7 +456,7 @@ func (c *Cluster) Settled() bool {
 // attach when a drain loop times out waiting for Quiescent or Settled.
 func (c *Cluster) LoadReport() string {
 	var b strings.Builder
-	for _, n := range c.Nodes {
+	for _, n := range c.snapshotNodes() {
 		s := n.load()
 		fmt.Fprintf(&b, "broker %d%s: busy=%d inflight=%d queued=%d sent=%d recvPeers=%d recvPubs=%d\n",
 			n.ID(), map[bool]string{true: " (stopped)"}[n.Stopped()],

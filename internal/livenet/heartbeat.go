@@ -98,7 +98,7 @@ func (n *Node) heartbeatLoop(to msg.NodeID, pc *peerConn) {
 	period := vtime.ToDuration(n.cfg.Heartbeat.Interval * n.probeScale())
 	ticker := time.NewTicker(period)
 	defer ticker.Stop()
-	body := msg.AppendHeartbeat(nil, n.cfg.ID)
+	body := msg.AppendHeartbeat(nil, n.cfg.ID, n.epoch.Load())
 	for {
 		select {
 		case <-n.stopped:

@@ -40,6 +40,7 @@ import (
 
 	"bdps/internal/broker"
 	"bdps/internal/core"
+	"bdps/internal/durable"
 	"bdps/internal/msg"
 	"bdps/internal/routing"
 	"bdps/internal/runtime"
@@ -133,6 +134,19 @@ type NodeConfig struct {
 	// would double-gate.
 	Admission runtime.Admission
 
+	// StateDir, when non-empty, makes the node durable: subscription
+	// admissions/retractions and per-link send watermarks are recorded
+	// in an append-only log under this directory (internal/durable),
+	// and a node opening a non-empty directory starts as a restarted
+	// incarnation — epoch bumped, routing table reinstalled from the
+	// log. Plan deployments replay recovered state through the plan's
+	// repair engine instead of trusting it blindly.
+	StateDir string
+
+	// Epoch overrides the node's starting incarnation number. Ignored
+	// when StateDir recovery supplies one (recovered epoch + 1 wins).
+	Epoch uint32
+
 	// Shards selects the ingress data plane. 0 keeps the classic
 	// single-threaded path: every frame decoded with fresh allocations
 	// and processed inline in its connection's read loop, one write
@@ -151,6 +165,36 @@ type Node struct {
 	cfg   NodeConfig
 	clock runtime.Clock
 	sink  runtime.Sink
+
+	// epoch is this broker incarnation's number, stamped into every
+	// Hello, heartbeat and reliable data frame the node sends. A
+	// restarted broker runs at stored epoch + 1, so receivers can tell
+	// frames of the dead incarnation — still sitting in kernel buffers
+	// or mid-flight — from the live one's.
+	epoch atomic.Uint32
+
+	// peerEpochs tracks, per neighbor broker, the highest incarnation
+	// epoch seen on any Hello or heartbeat. A data frame carrying an
+	// older epoch was sent by a dead incarnation and is discarded
+	// (counted in StaleEpochFrames).
+	epochMu    sync.Mutex
+	peerEpochs map[msg.NodeID]uint32
+
+	// Durable state (nil without a StateDir): the WAL-backed store, the
+	// state recovered from it at start, and whether this incarnation is
+	// a restart (the store was non-empty).
+	store     *durable.Store
+	storeOnce sync.Once
+	recovered durable.State
+	restarted bool
+	// linkSenders indexes each reliable outgoing link's sender state so
+	// checkpoints can snapshot the send watermarks (guarded by mu).
+	linkSenders map[msg.NodeID]*linkSender
+
+	// sessions holds per-subscriber resumable delivery state: the
+	// session's delivery sequence numbers and a bounded replay ring
+	// (guarded by mu; see session.go).
+	sessions map[msg.SubID]*session
 
 	// mu guards the mutable routing-side state below. The classic data
 	// plane takes it exclusively around every receive; sharded workers
@@ -265,6 +309,14 @@ type Stats struct {
 	// turned away by node-local admission control (standalone mode).
 	DropsShed    int
 	PubsRejected int
+
+	// Crash-restart counters: data frames rejected because a newer
+	// incarnation of the sending broker announced itself, subscriber
+	// sessions resumed after a reattach, and messages replayed to
+	// resumed sessions through the deadline gate.
+	StaleEpochFrames int
+	SessionsResumed  int
+	MsgsReplayed     int
 }
 
 // counters is the atomic backing of Stats.
@@ -287,6 +339,10 @@ type counters struct {
 
 	dropsShed    atomic.Int64
 	pubsRejected atomic.Int64
+
+	staleEpoch      atomic.Int64
+	sessionsResumed atomic.Int64
+	msgsReplayed    atomic.Int64
 }
 
 func (c *counters) snapshot() Stats {
@@ -309,6 +365,10 @@ func (c *counters) snapshot() Stats {
 
 		DropsShed:    int(c.dropsShed.Load()),
 		PubsRejected: int(c.pubsRejected.Load()),
+
+		StaleEpochFrames: int(c.staleEpoch.Load()),
+		SessionsResumed:  int(c.sessionsResumed.Load()),
+		MsgsReplayed:     int(c.msgsReplayed.Load()),
 	}
 }
 
@@ -450,21 +510,30 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		clock = runtime.AbsoluteWallClock(1)
 	}
 	n := &Node{
-		cfg:       cfg,
-		clock:     clock,
-		sink:      cfg.Sink,
-		b:         b,
-		table:     b.Table(),
-		wake:      make(map[msg.NodeID]chan struct{}),
-		linkDown:  make(map[msg.NodeID]bool),
-		estimates: make(map[msg.NodeID]*stats.WelfordEstimator),
-		locals:    make(map[msg.SubID]*subConn),
-		seenSubs:  make(map[msg.SubID]bool),
-		peers:     make(map[msg.NodeID]*peerConn),
-		inbound:   make(map[net.Conn]struct{}),
-		stopped:   make(chan struct{}),
-		lastHeard: make(map[msg.NodeID]vtime.Millis),
-		peerState: make(map[msg.NodeID]int),
+		cfg:         cfg,
+		clock:       clock,
+		sink:        cfg.Sink,
+		b:           b,
+		table:       b.Table(),
+		wake:        make(map[msg.NodeID]chan struct{}),
+		linkDown:    make(map[msg.NodeID]bool),
+		estimates:   make(map[msg.NodeID]*stats.WelfordEstimator),
+		locals:      make(map[msg.SubID]*subConn),
+		seenSubs:    make(map[msg.SubID]bool),
+		peers:       make(map[msg.NodeID]*peerConn),
+		inbound:     make(map[net.Conn]struct{}),
+		stopped:     make(chan struct{}),
+		lastHeard:   make(map[msg.NodeID]vtime.Millis),
+		peerState:   make(map[msg.NodeID]int),
+		peerEpochs:  make(map[msg.NodeID]uint32),
+		linkSenders: make(map[msg.NodeID]*linkSender),
+		sessions:    make(map[msg.SubID]*session),
+	}
+	n.epoch.Store(cfg.Epoch)
+	if cfg.StateDir != "" {
+		if err := n.openStore(); err != nil {
+			return nil, err
+		}
 	}
 	n.installer = routing.NewInstaller(cfg.Overlay, routing.Options{Multipath: cfg.Multipath})
 	for _, s := range cfg.Preinstalled {
@@ -501,6 +570,137 @@ func (n *Node) sharded() bool { return len(n.shards) > 0 }
 // ID returns the broker id.
 func (n *Node) ID() msg.NodeID { return n.cfg.ID }
 
+// Epoch returns this incarnation's epoch number.
+func (n *Node) Epoch() uint32 { return n.epoch.Load() }
+
+// Restarted reports whether this incarnation recovered non-empty
+// durable state, and returns that state (zero otherwise).
+func (n *Node) Restarted() (durable.State, bool) { return n.recovered, n.restarted }
+
+// openStore opens the durable store under cfg.StateDir and, when it
+// holds recorded state, turns this node into a restarted incarnation:
+// epoch = recorded + 1. Dynamic (plan-less) nodes reinstall the
+// recovered routing entries immediately; plan deployments replay them
+// through the transport's repair engine instead (Restarted).
+func (n *Node) openStore() error {
+	st, err := durable.Open(n.cfg.StateDir)
+	if err != nil {
+		return err
+	}
+	n.store = st
+	if st.Empty() {
+		return st.SetEpoch(n.cfg.Epoch)
+	}
+	n.recovered = st.State()
+	n.restarted = true
+	n.epoch.Store(n.recovered.Epoch + 1)
+	if err := st.SetEpoch(n.epoch.Load()); err != nil {
+		return err
+	}
+	if n.cfg.Broker == nil {
+		for _, e := range n.recovered.Entries {
+			n.table.Add(&routing.Entry{
+				Sub: e.Sub, Source: e.Source, Next: e.Next,
+				Hops: e.Hops, PathID: e.PathID,
+				Rate:    stats.Normal{Mean: e.RateMean, Sigma: e.RateSigma},
+				Relaxed: e.Relaxed,
+			})
+			n.seenSubs[e.Sub.ID] = true
+		}
+	}
+	return nil
+}
+
+// logSub appends every routing entry the table currently holds for one
+// subscription to the WAL (n.mu held). The scan is linear in the table
+// — dynamic admissions are control-plane rare next to data traffic.
+func (n *Node) logSub(id msg.SubID) {
+	if n.store == nil {
+		return
+	}
+	for _, src := range n.table.Sources() {
+		for _, e := range n.table.Entries(src) {
+			if e.Sub.ID != id {
+				continue
+			}
+			_ = n.store.AppendEntry(durable.Entry{
+				Sub: e.Sub, Source: e.Source, Next: e.Next,
+				Hops: e.Hops, PathID: e.PathID,
+				RateMean: e.Rate.Mean, RateSigma: e.Rate.Sigma,
+				Relaxed: e.Relaxed,
+			})
+		}
+	}
+}
+
+// CheckpointTable snapshots the node's full durable state — epoch,
+// every live routing entry and the reliable links' send watermarks —
+// into the store, truncating the incremental log. No-op without a
+// StateDir.
+func (n *Node) CheckpointTable() error {
+	if n.store == nil {
+		return nil
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	st := durable.State{Epoch: n.epoch.Load(), Marks: make(map[msg.NodeID]uint64)}
+	for _, src := range n.table.Sources() {
+		for _, e := range n.table.Entries(src) {
+			st.Entries = append(st.Entries, durable.Entry{
+				Sub: e.Sub, Source: e.Source, Next: e.Next,
+				Hops: e.Hops, PathID: e.PathID,
+				RateMean: e.Rate.Mean, RateSigma: e.Rate.Sigma,
+				Relaxed: e.Relaxed,
+			})
+		}
+	}
+	for to, ls := range n.linkSenders {
+		st.Marks[to] = ls.seq.Load()
+	}
+	return n.store.Reset(st)
+}
+
+// Drain shuts the node down gracefully for a planned restart: the
+// routing table and send watermarks are checkpointed first, so the next
+// incarnation warm-rejoins from an exact snapshot instead of the
+// incremental log. (Crash skips the checkpoint — that is the point.)
+func (n *Node) Drain() {
+	_ = n.CheckpointTable()
+	n.Stop()
+}
+
+// observeEpoch raises the recorded incarnation epoch of a neighbor
+// broker (Hello and heartbeat frames announce it).
+func (n *Node) observeEpoch(peer msg.NodeID, e uint32) {
+	if peer == msg.None {
+		return
+	}
+	n.epochMu.Lock()
+	if e > n.peerEpochs[peer] {
+		n.peerEpochs[peer] = e
+	}
+	n.epochMu.Unlock()
+}
+
+// rejectStale reports whether a data frame from a neighbor carries an
+// epoch older than the newest that neighbor announced — a frame sent by
+// a dead incarnation, counted and discarded by the caller.
+func (n *Node) rejectStale(peer msg.NodeID, e uint32) bool {
+	if peer == msg.None {
+		return false
+	}
+	n.epochMu.Lock()
+	stale := e < n.peerEpochs[peer]
+	n.epochMu.Unlock()
+	if stale {
+		n.cnt.staleEpoch.Add(1)
+		if n.sink != nil {
+			n.sink.StaleEpoch(1)
+		}
+	}
+	return stale
+}
+
 // Listen binds the node's TCP listener and starts accepting connections.
 // It returns the bound address (useful with ":0").
 func (n *Node) Listen(addr string) (string, error) {
@@ -527,7 +727,7 @@ func (n *Node) ConnectPeers(addrs map[msg.NodeID]string) error {
 		if err != nil {
 			return fmt.Errorf("livenet: broker %d dialing %d: %w", n.cfg.ID, e.To, err)
 		}
-		hello := msg.AppendHello(nil, msg.RoleBroker, n.cfg.ID)
+		hello := msg.AppendHello(nil, msg.RoleBroker, n.cfg.ID, n.epoch.Load())
 		if err := msg.WriteFrame(conn, msg.FrameHello, hello); err != nil {
 			conn.Close()
 			return err
@@ -554,6 +754,15 @@ func (n *Node) ConnectPeers(addrs map[msg.NodeID]string) error {
 		var ls *linkSender
 		if lm := n.cfg.Loss[e.To]; lm != nil {
 			ls = newLinkSender(lm, n.cfg.Retry[e.To], n.cfg.RetxWindow)
+			// A restarted incarnation resumes the link sequence from the
+			// checkpointed watermark so the receiver's dedup window never
+			// sees a replayed sequence number as fresh.
+			if mark, ok := n.recovered.Marks[e.To]; ok {
+				ls.seq.Store(mark)
+			}
+			n.mu.Lock()
+			n.linkSenders[e.To] = ls
+			n.mu.Unlock()
 			n.wg.Add(1)
 			go n.ackLoop(conn, ls.retx)
 		}
@@ -566,6 +775,42 @@ func (n *Node) ConnectPeers(addrs map[msg.NodeID]string) error {
 		}
 	}
 	n.startHeartbeats()
+	return nil
+}
+
+// ReconnectPeer re-dials one overlay neighbor at a new address — a
+// crashed peer reborn on a fresh port — and swaps the link's connection
+// in place: the sender goroutine, pacer, reliable-channel state and
+// per-link counters all survive, only the wire underneath changes. The
+// old connection is closed (its ack reader exits on the dead socket)
+// and, on a reliable link, a new ack reader is started for the new one.
+func (n *Node) ReconnectPeer(to msg.NodeID, addr string) error {
+	conn, err := dialRetry(addr, 40, 50*time.Millisecond)
+	if err != nil {
+		return fmt.Errorf("livenet: broker %d re-dialing %d: %w", n.cfg.ID, to, err)
+	}
+	hello := msg.AppendHello(nil, msg.RoleBroker, n.cfg.ID, n.epoch.Load())
+	if err := msg.WriteFrame(conn, msg.FrameHello, hello); err != nil {
+		conn.Close()
+		return err
+	}
+	n.mu.Lock()
+	pc := n.peers[to]
+	ls := n.linkSenders[to]
+	n.mu.Unlock()
+	if pc == nil {
+		conn.Close()
+		return fmt.Errorf("livenet: broker %d has no link to %d", n.cfg.ID, to)
+	}
+	pc.mu.Lock()
+	old := pc.conn
+	pc.conn = conn
+	pc.mu.Unlock()
+	old.Close()
+	if ls != nil {
+		n.wg.Add(1)
+		go n.ackLoop(conn, ls.retx)
+	}
 	return nil
 }
 
@@ -603,6 +848,9 @@ func (n *Node) Stop() {
 		n.mu.Unlock()
 	})
 	n.wg.Wait()
+	if n.store != nil {
+		n.storeOnce.Do(func() { _ = n.store.Close() })
+	}
 }
 
 // Stats returns a snapshot of the node's counters.
@@ -789,13 +1037,18 @@ func (n *Node) readLoop(conn net.Conn) {
 	if err != nil || ft != msg.FrameHello {
 		return
 	}
-	role, _, err := msg.DecodeHello(body)
+	role, peerID, peerEpoch, err := msg.DecodeHello(body)
 	if err != nil {
 		return
 	}
+	if role != msg.RoleBroker {
+		peerID = msg.None // client hellos carry a client id, not a broker's
+	} else {
+		n.observeEpoch(peerID, peerEpoch)
+	}
 	peer := &peerConn{conn: conn}
 	if n.sharded() {
-		n.readLoopSharded(conn, role, peer)
+		n.readLoopSharded(conn, role, peerID, peer)
 		return
 	}
 
@@ -839,8 +1092,14 @@ func (n *Node) readLoop(conn net.Conn) {
 			if role != msg.RoleBroker {
 				continue
 			}
-			seq, base, mb, derr := msg.DecodeDataHeader(body)
+			seq, base, fepoch, mb, derr := msg.DecodeDataHeader(body)
 			if derr != nil {
+				continue
+			}
+			if n.rejectStale(peerID, fepoch) {
+				// Sent by a dead incarnation: counted toward the wire
+				// totals (like a mangled drop), never processed.
+				n.recvPeers.Add(1)
 				continue
 			}
 			m, derr := msg.DecodeMessage(mb)
@@ -879,8 +1138,15 @@ func (n *Node) readLoop(conn net.Conn) {
 			}
 			n.handleUnsubscribe(id)
 		case msg.FrameHeartbeat:
-			if from, err := msg.DecodeHeartbeat(body); err == nil {
+			if from, e, err := msg.DecodeHeartbeat(body); err == nil {
+				n.observeEpoch(from, e)
 				n.heartbeatReceived(from)
+			}
+		case msg.FrameResume:
+			if role == msg.RoleSubscriber {
+				if sub, lastSeq, derr := msg.DecodeResume(body); derr == nil {
+					n.handleResume(sub, lastSeq, peer)
+				}
 			}
 		case msg.FrameAck, msg.FrameHello:
 			// Ignored.
@@ -940,6 +1206,7 @@ func (n *Node) handleSubscribe(s *msg.Subscription, local *peerConn) {
 		} else {
 			n.installRoutes(s)
 		}
+		n.logSub(s.ID) // durable admission record (no-op without a store)
 	}
 	peers := make([]*peerConn, 0, len(n.peers))
 	if flood {
@@ -981,6 +1248,10 @@ func (n *Node) handleUnsubscribe(id msg.SubID) {
 	// would otherwise grow one entry per subscription ever seen.
 	delete(n.seenSubs, id)
 	delete(n.locals, id)
+	delete(n.sessions, id)
+	if n.store != nil {
+		_ = n.store.RemoveSub(id)
+	}
 
 	var types []byte
 	var frames [][]byte
@@ -1125,10 +1396,40 @@ func (n *Node) receive(m *msg.Message) {
 	// so it is consumed in full before releasing the lock.
 	n.accountResult(&res)
 	var wakes []chan struct{}
-	var deliveries []*peerConn
+	// Local deliveries travel as per-session FrameData frames (sequence
+	// numbers + bounded replay ring) so a disconnected subscriber can
+	// resume exactly-once; the frames are assembled under the lock (the
+	// session state lives there) and written after it.
+	type localOut struct {
+		pc    *peerConn
+		frame []byte
+	}
+	var outs []localOut
+	var body []byte
+	epoch := n.epoch.Load()
 	for _, d := range res.Deliveries {
-		if sc, ok := n.locals[d.SubID]; ok {
-			deliveries = append(deliveries, sc.peer)
+		sc, attached := n.locals[d.SubID]
+		sess, tracked := n.sessions[d.SubID]
+		if !attached && !tracked {
+			continue
+		}
+		if !attached {
+			// Plan-mode suspended session: retain sequence and deadline
+			// data for the resume accounting; there is no wire to frame
+			// the delivery for.
+			sess.record(epoch, nil, m.Published, d.Allowed)
+			continue
+		}
+		if body == nil {
+			b, err := msg.AppendMessage(nil, m)
+			if err != nil {
+				break
+			}
+			body = b
+		}
+		sess = n.session(sc.sub)
+		if f := sess.record(epoch, body, m.Published, d.Allowed); f != nil {
+			outs = append(outs, localOut{pc: sc.peer, frame: f})
 		}
 	}
 	for _, hop := range res.EnqueuedHops {
@@ -1136,13 +1437,8 @@ func (n *Node) receive(m *msg.Message) {
 	}
 	n.mu.Unlock()
 
-	if len(deliveries) > 0 {
-		body, err := msg.AppendMessage(nil, m)
-		if err == nil {
-			for _, pc := range deliveries {
-				_ = pc.writeFrame(msg.FrameMessage, body)
-			}
-		}
+	for _, o := range outs {
+		_ = o.pc.writeBuf(o.frame)
 	}
 	for _, w := range wakes {
 		if w == nil {

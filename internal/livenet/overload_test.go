@@ -266,7 +266,7 @@ func TestOverloadSoakDuringChurnAndFaults(t *testing.T) {
 			return
 		}
 		defer conn.Close()
-		hello := msg.AppendHello(nil, msg.RoleSubscriber, msg.NodeID(1<<20))
+		hello := msg.AppendHello(nil, msg.RoleSubscriber, msg.NodeID(1<<20), 0)
 		if err := msg.WriteFrame(conn, msg.FrameHello, hello); err != nil {
 			return
 		}

@@ -3,6 +3,7 @@ package livenet
 import (
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"bdps/internal/core"
@@ -30,9 +31,12 @@ import (
 // retransmit buffer (shared with the link's ack loop), and reusable
 // encode scratch.
 type linkSender struct {
-	lm   *runtime.LossModel
-	rp   runtime.RetryPolicy
-	seq  uint64
+	lm *runtime.LossModel
+	rp runtime.RetryPolicy
+	// seq is the link sequence counter. Incremented only by the sender
+	// goroutine; atomic so durable checkpoints can snapshot it as the
+	// link's send watermark without stopping the sender.
+	seq  atomic.Uint64
 	retx *retxBuf
 	enc  []byte
 
@@ -50,8 +54,7 @@ func newLinkSender(lm *runtime.LossModel, rp runtime.RetryPolicy, window int) *l
 // next allocates the next link sequence number (first frame is 1, the
 // receiver cursor's initial expectation).
 func (ls *linkSender) next() uint64 {
-	ls.seq++
-	return ls.seq
+	return ls.seq.Add(1)
 }
 
 // retxBuf is the bounded per-link retransmit buffer: encoded FrameData
@@ -196,7 +199,7 @@ func wireFrames(out *runtime.SendOutcome) int {
 // totals (the receiver counts drops too); only a failed delivering write
 // kills the message (charged to the dead neighbor, like the plain path).
 func (n *Node) writeChain(pc *peerConn, ls *linkSender, seq, base uint64, m *msg.Message, out *runtime.SendOutcome) {
-	frame, err := msg.AppendDataFrame(ls.enc[:0], seq, base, m)
+	frame, err := msg.AppendDataFrame(ls.enc[:0], seq, base, n.epoch.Load(), m)
 	ls.enc = frame[:0]
 	if err != nil {
 		return // oversized re-encode cannot happen for decoded frames
@@ -378,10 +381,11 @@ func (n *Node) writeBurstReliable(pc *peerConn, ls *linkSender) {
 	ty := msg.DataFrameType(0)
 	buf := ls.burst[:0]
 	metas := ls.metas[:0]
+	epoch := n.epoch.Load()
 	for _, idx := range ls.order {
 		c := &ls.chains[idx]
 		start := len(buf)
-		frame, err := msg.AppendDataFrame(buf, c.seq, c.base, c.m)
+		frame, err := msg.AppendDataFrame(buf, c.seq, c.base, epoch, c.m)
 		if err != nil {
 			buf = frame // == buf[:start]; oversized re-encode cannot happen
 			continue

@@ -1,0 +1,227 @@
+package livenet
+
+import (
+	"bdps/internal/msg"
+	"bdps/internal/runtime"
+	"bdps/internal/vtime"
+)
+
+// This file is the broker side of resumable client sessions. Every
+// local delivery on the classic data plane travels to the subscriber as
+// a FrameData frame carrying a per-session delivery sequence number,
+// and is retained — encoded — in a bounded replay ring. A subscriber
+// that loses its connection (client crash, edge network blip) redials
+// and sends a FrameResume with its resume token (subscription id + last
+// delivered sequence); the broker reattaches the connection and replays
+// the ring entries past the token through the deadline gate: a retained
+// delivery whose bound has already expired is dropped as
+// DroppedDeadline — a resumed subscriber never receives a late message,
+// and the sequence numbers make redelivery exactly-once.
+
+// sessionRingDefault bounds the per-session replay ring (shared with
+// the simulator's session model so the resume ledgers agree).
+const sessionRingDefault = runtime.SessionRingLimit
+
+// tableSub returns the subscription one of this broker's routing
+// entries names, or nil if no entry routes it. Caller holds n.mu; the
+// scan is linear in the table — resumes are control-plane rare.
+func (n *Node) tableSub(id msg.SubID) *msg.Subscription {
+	for _, src := range n.table.Sources() {
+		for _, e := range n.table.Entries(src) {
+			if e.Sub.ID == id {
+				return e.Sub
+			}
+		}
+	}
+	return nil
+}
+
+// sessDelivery is one retained delivery: its session sequence, the
+// deadline data the resume gate needs, and the encoded message body.
+type sessDelivery struct {
+	seq       uint64
+	published vtime.Millis
+	allowed   vtime.Millis
+	body      []byte
+}
+
+// session is one subscriber's resumable delivery state (guarded by the
+// node's mu). lastAck is the plan-mode resume token: the sequence last
+// delivered before a scheduled suspension (real clients carry their
+// token themselves).
+type session struct {
+	sub     *msg.Subscription
+	seq     uint64 // last assigned delivery sequence
+	lastAck uint64
+	ring    []sessDelivery
+	limit   int
+}
+
+// session returns (creating on first use) the resumable session of one
+// locally attached subscription. Caller holds n.mu.
+func (n *Node) session(sub *msg.Subscription) *session {
+	s, ok := n.sessions[sub.ID]
+	if !ok {
+		s = &session{sub: sub, limit: sessionRingDefault}
+		n.sessions[sub.ID] = s
+	}
+	return s
+}
+
+// frame assembles the FrameData wire frame of one retained delivery
+// (nil for body-less plan-mode entries).
+func (s *sessDelivery) frame(epoch uint32) []byte {
+	if s.body == nil {
+		return nil
+	}
+	f := msg.BeginFrame(nil, msg.FrameData)
+	f = msg.AppendDataHeader(f, s.seq, s.seq, epoch)
+	f = append(f, s.body...)
+	if msg.EndFrame(f, 0) != nil {
+		return nil // bounded by the decoded frame it re-encodes
+	}
+	return f
+}
+
+// record assigns the next delivery sequence, retains the delivery in
+// the replay ring, and returns the assembled wire frame. Caller holds
+// n.mu; body is copied (callers reuse their encode scratch). A nil body
+// records sequence and deadline data only — a plan-mode session with no
+// real subscriber behind it has no wire to rewrite to — and returns no
+// frame.
+func (s *session) record(epoch uint32, body []byte, published, allowed vtime.Millis) []byte {
+	s.seq++
+	d := sessDelivery{seq: s.seq, published: published, allowed: allowed}
+	if body != nil {
+		d.body = append([]byte(nil), body...)
+	}
+	if len(s.ring) >= s.limit {
+		copy(s.ring, s.ring[1:])
+		s.ring[len(s.ring)-1] = d
+	} else {
+		s.ring = append(s.ring, d)
+	}
+	if d.body == nil {
+		return nil
+	}
+	return d.frame(epoch)
+}
+
+// handleResume reattaches a reconnected subscriber and replays the
+// retained deliveries past its resume token. The deadline gate: at the
+// edge the residual path is the local client connection — zero modeled
+// delay, σ = 0 — so the admission CDF degenerates to "slack ≥ 0": a
+// retained delivery is replayed only while its bound still holds, and
+// expired ones are charged to DroppedDeadline instead of arriving late.
+func (n *Node) handleResume(id msg.SubID, lastSeq uint64, peer *peerConn) {
+	now := n.clock.Now()
+	n.mu.Lock()
+	sess, ok := n.sessions[id]
+	if !ok {
+		// A restarted incarnation lost its replay rings with the crash,
+		// but the WAL reinstalled the routing entry: if this broker still
+		// routes the subscription, reattach under a fresh session that
+		// continues the client's sequence numbering — the retained window
+		// died with the old process, so nothing replays, but later
+		// deliveries must not fall below the client's dedup cursor.
+		sub := n.tableSub(id)
+		if sub == nil {
+			n.mu.Unlock()
+			return // unknown subscription: nothing to reattach or replay
+		}
+		sess = &session{sub: sub, seq: lastSeq, limit: sessionRingDefault}
+		n.sessions[id] = sess
+	}
+	n.locals[id] = &subConn{sub: sess.sub, peer: peer}
+	n.cnt.sessionsResumed.Add(1)
+	if n.sink != nil {
+		n.sink.SessionResumed(1)
+	}
+	epoch := n.epoch.Load()
+	var frames [][]byte
+	expired := 0
+	for i := range sess.ring {
+		d := &sess.ring[i]
+		if d.seq <= lastSeq {
+			continue // already delivered before the disconnect
+		}
+		if d.allowed <= 0 || now-d.published > d.allowed {
+			expired++
+			continue
+		}
+		if f := d.frame(epoch); f != nil {
+			frames = append(frames, f)
+		}
+	}
+	if expired > 0 {
+		n.cnt.droppedDeadline.Add(int64(expired))
+		if n.sink != nil {
+			n.sink.DroppedDeadline(expired)
+		}
+	}
+	n.cnt.msgsReplayed.Add(int64(len(frames)))
+	if n.sink != nil && len(frames) > 0 {
+		n.sink.MsgReplayed(len(frames))
+	}
+	n.mu.Unlock()
+
+	for _, f := range frames {
+		if peer.writeBuf(f) != nil {
+			return // the reconnect died already; the next resume replays
+		}
+	}
+}
+
+// SessionSuspend begins broker-side delivery retention for one static
+// subscription: the plan-mode half of a SessionDown fault, standing in
+// for a real subscriber losing its connection. The current delivery
+// sequence becomes the resume token SessionResume gates against.
+func (n *Node) SessionSuspend(sub *msg.Subscription) {
+	n.mu.Lock()
+	s := n.session(sub)
+	s.lastAck = s.seq
+	n.mu.Unlock()
+}
+
+// SessionResume ends a plan-mode session outage with the accounting a
+// real client's FrameResume produces — session resumed, retained
+// deliveries past the token replayed while their bound still holds,
+// expired ones charged to DroppedDeadline — without any wire writes.
+// The session is dropped afterwards: retention restarts fresh at the
+// next suspension.
+func (n *Node) SessionResume(id msg.SubID) {
+	now := n.clock.Now()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	sess, ok := n.sessions[id]
+	if !ok {
+		return
+	}
+	n.cnt.sessionsResumed.Add(1)
+	if n.sink != nil {
+		n.sink.SessionResumed(1)
+	}
+	replayed, expired := 0, 0
+	for i := range sess.ring {
+		d := &sess.ring[i]
+		if d.seq <= sess.lastAck {
+			continue
+		}
+		if d.allowed <= 0 || now-d.published > d.allowed {
+			expired++
+			continue
+		}
+		replayed++
+	}
+	if expired > 0 {
+		n.cnt.droppedDeadline.Add(int64(expired))
+		if n.sink != nil {
+			n.sink.DroppedDeadline(expired)
+		}
+	}
+	n.cnt.msgsReplayed.Add(int64(replayed))
+	if n.sink != nil && replayed > 0 {
+		n.sink.MsgReplayed(replayed)
+	}
+	delete(n.sessions, id)
+}

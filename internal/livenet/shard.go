@@ -95,7 +95,7 @@ func (n *Node) startShards(k int) {
 // and batch toward the shard workers; control frames (subscribe,
 // unsubscribe) flush pending batches first so control never overtakes
 // the data queued behind it, then run inline like the classic plane.
-func (n *Node) readLoopSharded(conn net.Conn, role byte, peer *peerConn) {
+func (n *Node) readLoopSharded(conn net.Conn, role byte, peerID msg.NodeID, peer *peerConn) {
 	fr := msg.NewFrameReader(conn)
 	var dec msg.Decoder
 	pend := make([]*inBatch, len(n.shards))
@@ -249,9 +249,19 @@ func (n *Node) readLoopSharded(conn net.Conn, role byte, peer *peerConn) {
 				fb.Release()
 				continue
 			}
-			seq, base, mb, derr := msg.DecodeDataHeader(body)
+			seq, base, fepoch, mb, derr := msg.DecodeDataHeader(body)
 			if derr != nil {
 				fb.Release()
+				continue
+			}
+			if n.rejectStale(peerID, fepoch) {
+				// Sent by a dead incarnation: counted toward the wire
+				// totals (like a mangled drop), never processed.
+				fb.Release()
+				n.recvPeers.Add(1)
+				if fr.Buffered() == 0 && !flush() {
+					return
+				}
 				continue
 			}
 			m := msg.GetMessage()
@@ -325,7 +335,7 @@ func (n *Node) readLoopSharded(conn net.Conn, role byte, peer *peerConn) {
 			}
 			n.handleUnsubscribe(id)
 		case msg.FrameHeartbeat:
-			from, derr := msg.DecodeHeartbeat(body)
+			from, fepoch, derr := msg.DecodeHeartbeat(body)
 			fb.Release()
 			// A heartbeat behind the last data frame defeats the
 			// Buffered()==0 idle-flush heuristic above: without this flush
@@ -338,6 +348,7 @@ func (n *Node) readLoopSharded(conn net.Conn, role byte, peer *peerConn) {
 				// Liveness bookkeeping only — no quiescence counters, no
 				// ordering barrier: heartbeats are control-plane noise the
 				// data plane must not feel.
+				n.observeEpoch(from, fepoch)
 				n.heartbeatReceived(from)
 			}
 		default:

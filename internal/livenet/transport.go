@@ -2,6 +2,7 @@ package livenet
 
 import (
 	"fmt"
+	"os"
 	"sort"
 	"time"
 
@@ -39,6 +40,20 @@ func (Transport) Deploy(p *runtime.Plan) (runtime.Deployment, error) {
 		Sink:      sink,
 		Shards:    p.Cfg.LiveShards,
 	}
+	// A plan that schedules broker restarts needs durable state to
+	// recover from: provision a throwaway state root for the run (the
+	// deployment removes it on Close).
+	stateRoot := ""
+	for _, f := range p.Cfg.Faults {
+		if _, ok := f.(runtime.BrokerRestart); ok {
+			dir, err := os.MkdirTemp("", "bdps-state-")
+			if err != nil {
+				return nil, err
+			}
+			stateRoot, cc.StateRoot = dir, dir
+			break
+		}
+	}
 	// With recovery on, every node heartbeats its links and the monitors'
 	// liveness events funnel into one repair goroutine that owns the
 	// failure detector (started below, once the cluster exists).
@@ -53,16 +68,20 @@ func (Transport) Deploy(p *runtime.Plan) (runtime.Deployment, error) {
 	}
 	c, err := StartCluster(cc)
 	if err != nil {
+		if stateRoot != "" {
+			os.RemoveAll(stateRoot)
+		}
 		return nil, err
 	}
-	d := &deployment{plan: p, cluster: c, clock: clock, ts: ts, sink: sink}
+	d := &deployment{plan: p, cluster: c, clock: clock, ts: ts, sink: sink, stateRoot: stateRoot}
 	if events != nil {
 		d.events = events
 		d.repairDone = make(chan struct{})
 		d.faultAt = faultInstants(p)
 		det := runtime.NewFailureDetector(p, sink, func(id msg.NodeID, fn func()) {
-			c.Nodes[id].MutateTable(fn)
+			c.Node(id).MutateTable(fn)
 		})
+		d.det = det
 		go d.repairLoop(det)
 	}
 	// One publishing client per ingress, like the workload model: the
@@ -91,6 +110,14 @@ type deployment struct {
 	pubs     []*Publisher
 	timers   []*time.Timer
 	injected int
+
+	// det is the shared failure detector (nil when recovery is off); a
+	// broker restart notifies it directly from the fault timer.
+	det *runtime.FailureDetector
+	// stateRoot is the auto-provisioned durable-state directory backing
+	// the run's broker restarts (removed on Close; empty when the plan
+	// schedules none).
+	stateRoot string
 
 	// churn driver lifecycle (nil when the plan has no churn).
 	churnStop chan struct{}
@@ -197,13 +224,68 @@ func (d *deployment) armFaults() {
 		switch f := f.(type) {
 		case runtime.LinkDown:
 			from, to := f.From, f.To
-			after(f.Start, func() { d.cluster.Nodes[from].SetLinkDown(to, true) })
-			after(f.End, func() { d.cluster.Nodes[from].SetLinkDown(to, false) })
+			after(f.Start, func() { d.cluster.Node(from).SetLinkDown(to, true) })
+			after(f.End, func() { d.cluster.Node(from).SetLinkDown(to, false) })
 		case runtime.BrokerCrash:
 			id := f.ID
-			after(f.At, func() { d.cluster.Nodes[id].Crash() })
+			after(f.At, func() { d.cluster.Node(id).Crash() })
+		case runtime.BrokerRestart:
+			id := f.ID
+			after(f.At, func() { d.restartBroker(id) })
+		case runtime.SessionDown:
+			var sub *msg.Subscription
+			for _, s := range d.plan.Subs {
+				if s.ID == f.Sub {
+					sub = s
+					break
+				}
+			}
+			if sub == nil {
+				continue // validated against the static population; defensive
+			}
+			s := sub
+			after(f.Start, func() {
+				if node := d.cluster.Node(s.Edge); node != nil {
+					node.SessionSuspend(s)
+				}
+			})
+			after(f.End, func() {
+				if node := d.cluster.Node(s.Edge); node != nil {
+					node.SessionResume(s.ID)
+				}
+			})
 		}
 	}
+}
+
+// restartBroker realizes one BrokerRestart fault: the cluster rebuilds
+// the broker from its durable state directory, and before any wire
+// reconnects, the plan's broker and table maps are swapped to the new
+// incarnation and the repair engine withdraws the crash evidence — so
+// its re-flood lands on the recovered table and the monitors' later
+// organic Restored events find nothing left to repair. The replayed-sub
+// ledger counts the distinct subscriptions the WAL reinstalled.
+func (d *deployment) restartBroker(id msg.NodeID) {
+	_, _ = d.cluster.RestartNode(id, func(n *Node) {
+		swap := func() {
+			d.plan.Tables[id] = n.table
+			d.plan.Brokers[id] = n.b
+		}
+		if st, ok := n.Restarted(); ok {
+			subs := make(map[msg.SubID]bool, len(st.Entries))
+			for _, e := range st.Entries {
+				subs[e.Sub.ID] = true
+			}
+			if len(subs) > 0 {
+				d.sink.SubReplayed(len(subs))
+			}
+		}
+		if d.det != nil {
+			d.det.BrokerRestarted(id, swap)
+		} else {
+			swap()
+		}
+	})
 }
 
 // armChurn starts one pacing goroutine that walks the plan's
@@ -308,6 +390,9 @@ func (d *deployment) Close() error {
 	if d.events != nil {
 		close(d.events)
 		<-d.repairDone
+	}
+	if d.stateRoot != "" {
+		os.RemoveAll(d.stateRoot)
 	}
 	return nil
 }

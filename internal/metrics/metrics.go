@@ -59,6 +59,13 @@ type Collector struct {
 	dropsShed    int // queue entries evicted by pressure shedding
 	boundLedger  map[int]*boundCounts
 
+	// Crash-restart recovery counters (durable broker state + session
+	// resumption).
+	restartReplayedSubs int // routing entries reinstalled from a restarted broker's log
+	sessionsResumed     int // subscriber sessions reattached via resume token
+	replayedMsgs        int // retained deliveries replayed to resumed sessions
+	staleEpochFrames    int // data frames rejected as a dead incarnation's
+
 	// Delivery timeline: targets and valid deliveries bucketed by the
 	// message's publication instant (enabled by EnableTimeline).
 	timelineBucket vtime.Millis
@@ -276,6 +283,22 @@ func (c *Collector) SubRejected(n int) { c.subsRejected += n }
 // worst-first shedding.
 func (c *Collector) DroppedShed(n int) { c.dropsShed += n }
 
+// SubReplayed counts routing entries a restarted broker reinstalled
+// from its durable log.
+func (c *Collector) SubReplayed(n int) { c.restartReplayedSubs += n }
+
+// SessionResumed counts subscriber sessions reattached via resume token.
+func (c *Collector) SessionResumed(n int) { c.sessionsResumed += n }
+
+// MsgReplayed counts retained deliveries replayed to resumed sessions
+// (only those whose bounds still held; expired replays are
+// DroppedDeadline).
+func (c *Collector) MsgReplayed(n int) { c.replayedMsgs += n }
+
+// StaleEpoch counts data frames rejected because they carried a dead
+// broker incarnation's epoch.
+func (c *Collector) StaleEpoch(n int) { c.staleEpochFrames += n }
+
 // AggregatedEntries records the end-of-run count of live routing entries
 // standing for more than one subscription (stamped by the run driver
 // from a table scan).
@@ -315,6 +338,11 @@ func (c *Collector) Result() Result {
 		PubsRejected: c.pubsRejected,
 		SubsRejected: c.subsRejected,
 		DropsShed:    c.dropsShed,
+
+		RestartReplayedSubs: c.restartReplayedSubs,
+		SessionsResumed:     c.sessionsResumed,
+		ReplayedMsgs:        c.replayedMsgs,
+		StaleEpochFrames:    c.staleEpochFrames,
 	}
 	if len(c.boundLedger) > 0 {
 		r.BoundLedger = make([]BoundAdmissions, 0, len(c.boundLedger))
@@ -444,6 +472,13 @@ type Result struct {
 	// bound (bucketed to whole seconds), sorted by bound.
 	BoundLedger []BoundAdmissions
 
+	// Crash-restart recovery ledger (durable broker state + warm rejoin
+	// + session resumption); all zero on runs without broker restarts.
+	RestartReplayedSubs int
+	SessionsResumed     int
+	ReplayedMsgs        int
+	StaleEpochFrames    int
+
 	// Timeline is the delivery-over-time histogram (publication-time
 	// buckets); nil unless the run enabled one.
 	Timeline []TimeBucket
@@ -527,6 +562,10 @@ func (r Result) String() string {
 			r.PubsAdmitted, r.PubsRelaxed, r.PubsRejected, r.SubsRejected, r.DropsShed,
 			100*r.SLOAttainment())
 	}
+	if r.RestartReplayedSubs > 0 || r.SessionsResumed > 0 || r.ReplayedMsgs > 0 || r.StaleEpochFrames > 0 {
+		s += fmt.Sprintf(" (restart replayed-subs=%d sessions-resumed=%d replayed-msgs=%d stale-epoch=%d)",
+			r.RestartReplayedSubs, r.SessionsResumed, r.ReplayedMsgs, r.StaleEpochFrames)
+	}
 	return s
 }
 
@@ -545,7 +584,12 @@ func Mean(rs []Result) Result {
 	var lost, retx, dups, reord, ddl float64
 	var floodSup, aggEnt float64
 	var padm, prel, prej, srej, shed float64
+	var rsubs, sres, rmsgs, stale float64
 	for _, r := range rs {
+		rsubs += float64(r.RestartReplayedSubs)
+		sres += float64(r.SessionsResumed)
+		rmsgs += float64(r.ReplayedMsgs)
+		stale += float64(r.StaleEpochFrames)
 		padm += float64(r.PubsAdmitted)
 		prel += float64(r.PubsRelaxed)
 		prej += float64(r.PubsRejected)
@@ -618,6 +662,10 @@ func Mean(rs []Result) Result {
 	out.PubsRejected = round(prej)
 	out.SubsRejected = round(srej)
 	out.DropsShed = round(shed)
+	out.RestartReplayedSubs = round(rsubs)
+	out.SessionsResumed = round(sres)
+	out.ReplayedMsgs = round(rmsgs)
+	out.StaleEpochFrames = round(stale)
 	out.BoundLedger = meanBoundLedger(rs)
 	out.Timeline = meanTimeline(rs)
 	return out

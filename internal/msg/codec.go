@@ -38,6 +38,12 @@ const (
 	// flight: same body, delivered only so the wire totals balance, then
 	// discarded — the receiver treats it as a vanished transmission.
 	FrameDataDrop = 0x08
+	// FrameResume is a subscriber's session-resumption request: after a
+	// disconnect it re-attaches to its edge broker with its resume token
+	// — subscription id + last delivered sequence — and the broker
+	// replays only the buffered messages above that sequence whose
+	// remaining slack still admits an in-bound delivery.
+	FrameResume = 0x09
 )
 
 // Hello roles: the first frame on every live-runtime connection declares
@@ -48,34 +54,47 @@ const (
 	RoleSubscriber = 0x03
 )
 
-// AppendHello appends a hello body: role byte + node id.
-func AppendHello(dst []byte, role byte, id NodeID) []byte {
+// AppendHello appends a hello body: role byte + node id + the sender's
+// incarnation epoch (0 for clients and never-restarted brokers).
+func AppendHello(dst []byte, role byte, id NodeID, epoch uint32) []byte {
 	dst = append(dst, role)
-	return binary.BigEndian.AppendUint32(dst, uint32(id))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(id))
+	return binary.BigEndian.AppendUint32(dst, epoch)
 }
 
-// DecodeHello parses a hello body.
-func DecodeHello(body []byte) (role byte, id NodeID, err error) {
-	if len(body) != 5 {
-		return 0, 0, fmt.Errorf("%w: hello body %d bytes", ErrCorrupt, len(body))
+// DecodeHello parses a hello body. The 5-byte epoch-less form of wire
+// generations before crash-restart durability decodes as epoch 0.
+func DecodeHello(body []byte) (role byte, id NodeID, epoch uint32, err error) {
+	switch len(body) {
+	case 5:
+	case 9:
+		epoch = binary.BigEndian.Uint32(body[5:])
+	default:
+		return 0, 0, 0, fmt.Errorf("%w: hello body %d bytes", ErrCorrupt, len(body))
 	}
-	return body[0], NodeID(binary.BigEndian.Uint32(body[1:])), nil
+	return body[0], NodeID(binary.BigEndian.Uint32(body[1:])), epoch, nil
 }
 
-// AppendHeartbeat appends a heartbeat body: the sending broker's id.
-// Heartbeats are per-link liveness probes; the receiver tracks the last
-// time it heard each neighbor and declares the link dead after a
-// configurable silence.
-func AppendHeartbeat(dst []byte, id NodeID) []byte {
-	return binary.BigEndian.AppendUint32(dst, uint32(id))
+// AppendHeartbeat appends a heartbeat body: the sending broker's id and
+// its incarnation epoch. Heartbeats are per-link liveness probes; the
+// receiver tracks the last time it heard each neighbor and declares the
+// link dead after a configurable silence. The epoch lets it reject
+// probes from a stale incarnation of a restarted peer.
+func AppendHeartbeat(dst []byte, id NodeID, epoch uint32) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(id))
+	return binary.BigEndian.AppendUint32(dst, epoch)
 }
 
-// DecodeHeartbeat parses a heartbeat body.
-func DecodeHeartbeat(body []byte) (NodeID, error) {
-	if len(body) != 4 {
-		return 0, fmt.Errorf("%w: heartbeat body %d bytes", ErrCorrupt, len(body))
+// DecodeHeartbeat parses a heartbeat body (the 4-byte epoch-less legacy
+// form decodes as epoch 0).
+func DecodeHeartbeat(body []byte) (NodeID, uint32, error) {
+	switch len(body) {
+	case 4:
+		return NodeID(binary.BigEndian.Uint32(body)), 0, nil
+	case 8:
+		return NodeID(binary.BigEndian.Uint32(body)), binary.BigEndian.Uint32(body[4:]), nil
 	}
-	return NodeID(binary.BigEndian.Uint32(body)), nil
+	return 0, 0, fmt.Errorf("%w: heartbeat body %d bytes", ErrCorrupt, len(body))
 }
 
 // AppendUnsubscribe appends an unsubscribe body: the subscription id.
@@ -92,28 +111,53 @@ func DecodeUnsubscribe(body []byte) (SubID, error) {
 }
 
 // DataHdrLen is the fixed prefix a FrameData body carries before the
-// message encoding: seq(8) base(8).
-const DataHdrLen = 16
+// message encoding: seq(8) base(8) epoch(4).
+const DataHdrLen = 20
 
-// AppendDataHeader appends the reliable-link data prefix: seq(8) base(8).
-// The message body encoding (AppendMessage) follows it.
-func AppendDataHeader(dst []byte, seq, base uint64) []byte {
+// AppendDataHeader appends the reliable-link data prefix: seq(8) base(8)
+// epoch(4). The message body encoding (AppendMessage) follows it. The
+// epoch is the sender's incarnation; a receiver that has heard a newer
+// incarnation of the same peer rejects the frame as stale.
+func AppendDataHeader(dst []byte, seq, base uint64, epoch uint32) []byte {
 	dst = binary.BigEndian.AppendUint64(dst, seq)
-	return binary.BigEndian.AppendUint64(dst, base)
+	dst = binary.BigEndian.AppendUint64(dst, base)
+	return binary.BigEndian.AppendUint32(dst, epoch)
 }
 
-// DecodeDataHeader splits a FrameData body into its sequence numbers and
-// the message body that follows (aliasing body, not copying).
-func DecodeDataHeader(body []byte) (seq, base uint64, msgBody []byte, err error) {
+// DecodeDataHeader splits a FrameData body into its sequence numbers,
+// the sender's incarnation epoch, and the message body that follows
+// (aliasing body, not copying).
+func DecodeDataHeader(body []byte) (seq, base uint64, epoch uint32, msgBody []byte, err error) {
 	if len(body) < DataHdrLen {
-		return 0, 0, nil, fmt.Errorf("%w: data body %d bytes", ErrCorrupt, len(body))
+		return 0, 0, 0, nil, fmt.Errorf("%w: data body %d bytes", ErrCorrupt, len(body))
 	}
 	seq = binary.BigEndian.Uint64(body)
 	base = binary.BigEndian.Uint64(body[8:])
+	epoch = binary.BigEndian.Uint32(body[16:])
 	if base > seq {
-		return 0, 0, nil, fmt.Errorf("%w: data base %d above seq %d", ErrCorrupt, base, seq)
+		return 0, 0, 0, nil, fmt.Errorf("%w: data base %d above seq %d", ErrCorrupt, base, seq)
 	}
-	return seq, base, body[DataHdrLen:], nil
+	return seq, base, epoch, body[DataHdrLen:], nil
+}
+
+// ResumeBodyLen is the fixed size of a FrameResume body: subID(4)
+// lastSeq(8).
+const ResumeBodyLen = 12
+
+// AppendResume appends a session-resumption body: the subscription id
+// (doubling as the session id) and the last delivery sequence the
+// subscriber actually received.
+func AppendResume(dst []byte, sub SubID, lastSeq uint64) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(sub))
+	return binary.BigEndian.AppendUint64(dst, lastSeq)
+}
+
+// DecodeResume parses a session-resumption body.
+func DecodeResume(body []byte) (sub SubID, lastSeq uint64, err error) {
+	if len(body) != ResumeBodyLen {
+		return 0, 0, fmt.Errorf("%w: resume body %d bytes", ErrCorrupt, len(body))
+	}
+	return SubID(binary.BigEndian.Uint32(body)), binary.BigEndian.Uint64(body[4:]), nil
 }
 
 // AppendAck appends a cumulative-ack body: every sequence ≤ cum has been

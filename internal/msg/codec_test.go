@@ -297,19 +297,62 @@ func TestDecodeSubscriptionNeverPanicsOnGarbage(t *testing.T) {
 			}()
 			_, _ = DecodeSubscription(buf)
 			_, _ = DecodeMessage(buf)
-			_, _, _ = DecodeHello(buf)
+			_, _, _, _ = DecodeHello(buf)
+			_, _, _ = DecodeHeartbeat(buf)
+			_, _, _ = DecodeResume(buf)
 		}()
 	}
 }
 
 func TestHelloCodec(t *testing.T) {
-	body := AppendHello(nil, RoleSubscriber, 42)
-	role, id, err := DecodeHello(body)
-	if err != nil || role != RoleSubscriber || id != 42 {
-		t.Errorf("hello round trip: role=%d id=%d err=%v", role, id, err)
+	body := AppendHello(nil, RoleSubscriber, 42, 7)
+	role, id, epoch, err := DecodeHello(body)
+	if err != nil || role != RoleSubscriber || id != 42 || epoch != 7 {
+		t.Errorf("hello round trip: role=%d id=%d epoch=%d err=%v", role, id, epoch, err)
 	}
-	if _, _, err := DecodeHello([]byte{1, 2}); err == nil {
+	// The pre-epoch 5-byte form still decodes, as epoch 0.
+	role, id, epoch, err = DecodeHello(body[:5])
+	if err != nil || role != RoleSubscriber || id != 42 || epoch != 0 {
+		t.Errorf("legacy hello: role=%d id=%d epoch=%d err=%v", role, id, epoch, err)
+	}
+	if _, _, _, err := DecodeHello([]byte{1, 2}); err == nil {
 		t.Error("short hello should fail")
+	}
+}
+
+func TestHeartbeatCodec(t *testing.T) {
+	body := AppendHeartbeat(nil, 6, 3)
+	id, epoch, err := DecodeHeartbeat(body)
+	if err != nil || id != 6 || epoch != 3 {
+		t.Errorf("heartbeat round trip: id=%d epoch=%d err=%v", id, epoch, err)
+	}
+	if id, epoch, err = DecodeHeartbeat(body[:4]); err != nil || id != 6 || epoch != 0 {
+		t.Errorf("legacy heartbeat: id=%d epoch=%d err=%v", id, epoch, err)
+	}
+	if _, _, err := DecodeHeartbeat(body[:3]); err == nil {
+		t.Error("short heartbeat should fail")
+	}
+}
+
+func TestResumeCodec(t *testing.T) {
+	body := AppendResume(nil, 42, 1<<40)
+	sub, lastSeq, err := DecodeResume(body)
+	if err != nil || sub != 42 || lastSeq != 1<<40 {
+		t.Errorf("resume round trip: sub=%d lastSeq=%d err=%v", sub, lastSeq, err)
+	}
+	if _, _, err := DecodeResume(body[:8]); err == nil {
+		t.Error("short resume should fail")
+	}
+}
+
+func TestDataHeaderEpoch(t *testing.T) {
+	body := AppendDataHeader(nil, 9, 5, 2)
+	seq, base, epoch, rest, err := DecodeDataHeader(body)
+	if err != nil || seq != 9 || base != 5 || epoch != 2 || len(rest) != 0 {
+		t.Errorf("data header round trip: seq=%d base=%d epoch=%d err=%v", seq, base, epoch, err)
+	}
+	if _, _, _, _, err := DecodeDataHeader(AppendDataHeader(nil, 3, 9, 0)); err == nil {
+		t.Error("base above seq should fail")
 	}
 }
 

@@ -153,12 +153,13 @@ func AppendMessageFrame(dst []byte, m *Message) ([]byte, error) {
 }
 
 // AppendDataFrame assembles one complete reliable-link data frame
-// (header + seq/base prefix + message body) into dst — the FrameData
-// counterpart of AppendMessageFrame for the batched egress path.
-func AppendDataFrame(dst []byte, seq, base uint64, m *Message) ([]byte, error) {
+// (header + seq/base/epoch prefix + message body) into dst — the
+// FrameData counterpart of AppendMessageFrame for the batched egress
+// path.
+func AppendDataFrame(dst []byte, seq, base uint64, epoch uint32, m *Message) ([]byte, error) {
 	start := len(dst)
 	dst = BeginFrame(dst, FrameData)
-	dst = AppendDataHeader(dst, seq, base)
+	dst = AppendDataHeader(dst, seq, base, epoch)
 	dst, err := AppendMessage(dst, m)
 	if err != nil {
 		return dst[:start], err

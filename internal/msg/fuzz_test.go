@@ -47,20 +47,22 @@ func FuzzCodec(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(framed.Bytes())
-	f.Add(AppendHello(nil, RoleBroker, 4))
+	f.Add(AppendHello(nil, RoleBroker, 4, 0))
+	f.Add(AppendHello(nil, RoleBroker, 4, 2))
+	f.Add(AppendResume(nil, 9, 41))
 	f.Add(AppendUnsubscribe(nil, 9))
 	// Reliable-channel frames: a full data frame (seq/base header wrapping
 	// a message body), a bare data header, a cumulative ack, and two
 	// malformed variants — base above seq, and a truncated header.
-	df, err := AppendDataFrame(nil, 7, 5, m)
+	df, err := AppendDataFrame(nil, 7, 5, 1, m)
 	if err != nil {
 		f.Fatal(err)
 	}
 	f.Add(df)
-	f.Add(append(AppendDataHeader(nil, 7, 5), mBody...))
+	f.Add(append(AppendDataHeader(nil, 7, 5, 1), mBody...))
 	f.Add(AppendAck(nil, 42))
-	f.Add(AppendDataHeader(nil, 3, 9))
-	f.Add(AppendDataHeader(nil, 7, 5)[:DataHdrLen-1])
+	f.Add(AppendDataHeader(nil, 3, 9, 0))
+	f.Add(AppendDataHeader(nil, 7, 5, 0)[:DataHdrLen-1])
 	// A header claiming a huge body: must be refused, not allocated.
 	f.Add([]byte{0xBD, 0x75, 1, FrameMessage, 0xFF, 0xFF, 0xFF, 0xFF})
 
@@ -113,16 +115,18 @@ func FuzzCodec(f *testing.F) {
 			}
 		}
 		// The small decoders must simply never panic.
-		_, _, _ = DecodeHello(data)
+		_, _, _, _ = DecodeHello(data)
+		_, _, _ = DecodeHeartbeat(data)
+		_, _, _ = DecodeResume(data)
 		_, _ = DecodeUnsubscribe(data)
 		// Data frame body: the header must round-trip bit for bit and obey
 		// its invariant (base never above seq); the wrapped message body is
 		// itself decoder-safe input.
-		if seq, base, msgBody, err := DecodeDataHeader(data); err == nil {
+		if seq, base, epoch, msgBody, err := DecodeDataHeader(data); err == nil {
 			if base > seq {
 				t.Fatalf("decoder accepted base %d > seq %d", base, seq)
 			}
-			enc := append(AppendDataHeader(nil, seq, base), msgBody...)
+			enc := append(AppendDataHeader(nil, seq, base, epoch), msgBody...)
 			if !bytes.Equal(enc, data) {
 				t.Fatalf("data header re-encodes differently:\n%x\n%x", enc, data)
 			}

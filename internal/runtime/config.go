@@ -310,7 +310,7 @@ func (r *Reliability) setDefaults() {
 }
 
 // Fault is an injected failure. The concrete types are LinkDown,
-// BrokerCrash and LinkLoss.
+// BrokerCrash, LinkLoss, BrokerRestart and SessionDown.
 type Fault interface {
 	isFault()
 }
@@ -351,6 +351,34 @@ type LinkLoss struct {
 }
 
 func (LinkLoss) isFault() {}
+
+// BrokerRestart brings a crashed broker back at time At as a fresh
+// incarnation recovering from its durable state: the routing entries it
+// held at the crash are reinstalled from the log, its incarnation epoch
+// is bumped (in-flight frames of the dead incarnation are rejected as
+// stale), and the repair engine reroutes the recovered subscriptions
+// back through it — renegotiating delay bounds over the rejoined paths.
+// Must follow a BrokerCrash of the same broker at an earlier time.
+type BrokerRestart struct {
+	ID msg.NodeID
+	At vtime.Millis
+}
+
+func (BrokerRestart) isFault() {}
+
+// SessionDown detaches one subscriber's client session during
+// [Start, End): deliveries matched to the subscription while it is down
+// are retained in the edge broker's bounded replay ring instead of
+// handed off. At End the session resumes with its resume token and the
+// broker replays the retained deliveries whose bounds still hold;
+// expired ones are dropped as DroppedDeadline — a resumed subscriber
+// never receives a late message, and never receives one twice.
+type SessionDown struct {
+	Sub        msg.SubID
+	Start, End vtime.Millis
+}
+
+func (SessionDown) isFault() {}
 
 func (c *Config) setDefaults() error {
 	if c.Strategy == nil {

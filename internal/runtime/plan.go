@@ -258,6 +258,9 @@ func (p *Plan) validateFaults() error {
 	outages := make(map[[2]msg.NodeID][]window)
 	lossArcs := make(map[[2]msg.NodeID]bool)
 	lossWild := false
+	crashAt := make(map[msg.NodeID]vtime.Millis)
+	restarted := make(map[msg.NodeID]bool)
+	sessions := make(map[msg.SubID][]window)
 	for _, f := range p.Cfg.Faults {
 		switch f := f.(type) {
 		case LinkDown:
@@ -278,6 +281,39 @@ func (p *Plan) validateFaults() error {
 			if f.At > horizon {
 				return fmt.Errorf("runtime: BrokerCrash at %v falls past the run horizon %v", f.At, horizon)
 			}
+			if _, dup := crashAt[f.ID]; dup {
+				return fmt.Errorf("runtime: duplicate BrokerCrash on broker %d", f.ID)
+			}
+			crashAt[f.ID] = f.At
+		case BrokerRestart:
+			if _, ok := p.Brokers[f.ID]; !ok {
+				return fmt.Errorf("runtime: BrokerRestart on unknown broker %d", f.ID)
+			}
+			at, crashed := crashAt[f.ID]
+			if !crashed {
+				return fmt.Errorf("runtime: BrokerRestart of broker %d without a preceding BrokerCrash", f.ID)
+			}
+			if f.At <= at {
+				return fmt.Errorf("runtime: BrokerRestart of broker %d at %v not after its crash at %v", f.ID, f.At, at)
+			}
+			if f.At > horizon {
+				return fmt.Errorf("runtime: BrokerRestart at %v falls past the run horizon %v", f.At, horizon)
+			}
+			if restarted[f.ID] {
+				return fmt.Errorf("runtime: duplicate BrokerRestart on broker %d", f.ID)
+			}
+			restarted[f.ID] = true
+		case SessionDown:
+			if !p.hasSub(f.Sub) {
+				return fmt.Errorf("runtime: SessionDown on unknown subscription %d", f.Sub)
+			}
+			if f.End <= f.Start {
+				return fmt.Errorf("runtime: SessionDown window [%v,%v) has non-positive duration", f.Start, f.End)
+			}
+			if f.Start > horizon {
+				return fmt.Errorf("runtime: SessionDown at %v starts past the run horizon %v", f.Start, horizon)
+			}
+			sessions[f.Sub] = append(sessions[f.Sub], window{f.Start, f.End})
 		case LinkLoss:
 			wild := f.From == msg.None && f.To == msg.None
 			if !wild {
@@ -323,10 +359,31 @@ func (p *Plan) validateFaults() error {
 			}
 		}
 	}
+	for sub, ws := range sessions {
+		sort.Slice(ws, func(i, j int) bool { return ws[i].start < ws[j].start })
+		for i := 1; i < len(ws); i++ {
+			if ws[i].start < ws[i-1].end {
+				return fmt.Errorf("runtime: overlapping SessionDown windows on subscription %d ([%v,%v) and [%v,%v))",
+					sub, ws[i-1].start, ws[i-1].end, ws[i].start, ws[i].end)
+			}
+		}
+	}
 	sort.SliceStable(p.Cfg.Faults, func(i, j int) bool {
 		return faultLess(p.Cfg.Faults[i], p.Cfg.Faults[j])
 	})
 	return nil
+}
+
+// hasSub reports whether a subscription id is in the plan's static
+// population (SessionDown targets static subscriptions; churn-event
+// subscribers have no stable session to suspend).
+func (p *Plan) hasSub(id msg.SubID) bool {
+	for _, s := range p.Subs {
+		if s.ID == id {
+			return true
+		}
+	}
+	return false
 }
 
 // faultKey flattens a fault into sortable fields: onset time, kind
@@ -339,8 +396,12 @@ func faultKey(f Fault) (at vtime.Millis, kind int, a, b msg.NodeID) {
 		return f.Start, 1, f.From, f.To
 	case LinkLoss:
 		return f.Start, 2, f.From, f.To
+	case BrokerRestart:
+		return f.At, 3, f.ID, 0
+	case SessionDown:
+		return f.Start, 4, msg.NodeID(f.Sub), 0
 	}
-	return 0, 3, 0, 0
+	return 0, 5, 0, 0
 }
 
 // faultLess is the deterministic fault order shared by both backends.

@@ -86,6 +86,34 @@ func (d *FailureDetector) ArcsDead(arcs [][2]msg.NodeID, faultAt, detectedAt vti
 	}
 }
 
+// BrokerRestarted reports that a crashed broker came back with durable
+// state intact: every piece of dead-arc evidence rooted at it is
+// withdrawn in one batch and a single repair moves routes back through
+// the rejoined node. The restarted broker reinstalls its own table from
+// its log before this is called, so the repair's installs land on a
+// warm table rather than re-deriving it from scratch. prepare, when
+// non-nil, runs under the detector's mutex before the evidence is
+// withdrawn — the live backend swaps the plan's broker and table maps
+// to the fresh incarnation there, serialized against concurrent
+// repairs (the single-threaded simulator passes nil and swaps first).
+func (d *FailureDetector) BrokerRestarted(id msg.NodeID, prepare func()) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if prepare != nil {
+		prepare()
+	}
+	fresh := 0
+	for arc := range d.dead {
+		if arc[0] == id {
+			delete(d.dead, arc)
+			fresh++
+		}
+	}
+	if fresh > 0 {
+		d.repair()
+	}
+}
+
 // ArcRestored reports a previously dead arc as live again (a transient
 // link outage ending). The repair moves affected routes back.
 func (d *FailureDetector) ArcRestored(from, to msg.NodeID) {

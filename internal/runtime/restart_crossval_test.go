@@ -1,0 +1,258 @@
+package runtime_test
+
+import (
+	"math"
+	"testing"
+
+	"bdps/internal/core"
+	"bdps/internal/livenet"
+	"bdps/internal/msg"
+	"bdps/internal/runtime"
+	"bdps/internal/simnet"
+	"bdps/internal/vtime"
+	"bdps/internal/workload"
+)
+
+// restartConfig is the shared crash-restart run. It reuses the chain
+// overlay (0,1 → 2 → 3 → 4,5) where broker 2 is a cut vertex: crashing
+// it severs every delivery path with nothing to reroute through, so the
+// run's fate rests entirely on the restart — exactly the regime where
+// durable state matters. The knobs pin the recovery ledger to plan-pure
+// decisions on both backends:
+//
+//   - FixedInterval puts publications on a strict 10 s grid, and the
+//     small 4 KB payload delivers in well under a second — so every
+//     fault instant below sits ≥ 4 emulated seconds from any
+//     publication or delivery, and "which deliveries fall inside the
+//     session-down window" is a function of the plan, not of wall-clock
+//     jitter.
+//   - The generous 2–3 min publisher bounds keep every delivery and
+//     every session replay inside its bound, so DroppedDeadline is
+//     exactly zero on both backends (asserted: 0 == 0 by proof).
+//   - NoRetry keeps the reliable channel out of the picture: a frame
+//     sent toward the dead incarnation is lost identically on both
+//     backends instead of lingering in a retransmit buffer whose
+//     post-reconnect fate would be backend-specific.
+func restartConfig(t testing.TB) runtime.Config {
+	return runtime.Config{
+		Seed:     1,
+		Scenario: msg.PSD,
+		Strategy: core.MaxEB{},
+		Overlay:  crossValOverlay(t),
+		Workload: workload.Config{
+			RatePerMin:    6,
+			Duration:      2 * vtime.Minute,
+			FixedInterval: true,
+			SizeKB:        4,
+			PSDDelayLo:    2 * vtime.Minute,
+			PSDDelayHi:    3 * vtime.Minute,
+		},
+		Recovery: runtime.Recovery{
+			Detect:            true,
+			Renegotiate:       true,
+			HeartbeatInterval: vtime.Second,
+			HeartbeatTimeout:  6 * vtime.Second,
+		},
+		Reliability:    runtime.Reliability{NoRetry: true},
+		TimelineBucket: 30 * vtime.Second,
+		TimeScale:      0.005,
+	}
+}
+
+// restartFaults is the crash–restart–resume storyline: broker 2 dies at
+// 35 s, comes back from its log at 65 s, and one subscriber's session
+// drops across [75 s, 105 s) — so the session outage happens entirely on
+// the rejoined incarnation. All instants sit mid-gap on the 10 s
+// publication grid.
+func restartFaults() []runtime.Fault {
+	return []runtime.Fault{
+		runtime.BrokerCrash{ID: 2, At: 35 * vtime.Second},
+		runtime.BrokerRestart{ID: 2, At: 65 * vtime.Second},
+		// Subscription 3's filter matches four of the six publications on
+		// the grid inside the window, so the replay is non-trivial.
+		runtime.SessionDown{Sub: 3, Start: 75 * vtime.Second, End: 105 * vtime.Second},
+	}
+}
+
+// TestSimRestartRecoversDelivery is the ablation half of the tentpole
+// proof (A12): with broker 2 crashed and never restarted, every delivery
+// path is severed and repair has nothing to reroute through — delivery
+// collapses to zero for the rest of the run. The same crash followed by
+// a warm restart from durable state brings the final timeline bucket
+// back to the fault-free baseline.
+func TestSimRestartRecoversDelivery(t *testing.T) {
+	quiet, err := runtime.Run(restartConfig(t), simnet.Transport{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	downCfg := restartConfig(t)
+	downCfg.Faults = restartFaults()[:1] // crash only: no restart, no resume
+	down, err := runtime.Run(downCfg, simnet.Transport{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	recCfg := restartConfig(t)
+	recCfg.Faults = restartFaults()
+	rec, err := runtime.Run(recCfg, simnet.Transport{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The crash-only run can detect but not heal: broker 2 is the only
+	// route, so repair rejects every path and nothing published after the
+	// crash ever delivers.
+	if down.RestartReplayedSubs != 0 || down.SessionsResumed != 0 {
+		t.Errorf("crash-only run recovered state: %d replayed subs, %d resumed sessions",
+			down.RestartReplayedSubs, down.SessionsResumed)
+	}
+	for _, i := range []int{2, 3} { // buckets [60 s, 90 s) and [90 s, 120 s)
+		if r := down.Timeline[i].Rate(); r != 0 {
+			t.Errorf("bucket %d: crash-only delivery = %.3f, want 0 (cut vertex down)", i, r)
+		}
+	}
+
+	// The restart reinstalls broker 2's routing from its log: one entry
+	// set per subscription, every subscription routed through the cut
+	// vertex — all of them.
+	subs := 2 * 10 // two edges × the workload default SubsPerEdge
+	if rec.RestartReplayedSubs != subs {
+		t.Errorf("replayed subs = %d, want %d (every sub routes through broker 2)",
+			rec.RestartReplayedSubs, subs)
+	}
+	if rec.SessionsResumed != 1 {
+		t.Errorf("sessions resumed = %d, want 1", rec.SessionsResumed)
+	}
+	if rec.ReplayedMsgs == 0 {
+		t.Error("resume replayed nothing despite deliveries during the session outage")
+	}
+	// Generous bounds: nothing dies of lateness, at delivery or at replay.
+	if rec.DroppedDeadline != 0 {
+		t.Errorf("dropped on deadline = %d, want 0 under 2–3 min bounds", rec.DroppedDeadline)
+	}
+	// Broker 2 was silent for the whole crash window, so no frame of the
+	// dead incarnation is in flight at the restart.
+	if rec.StaleEpochFrames != 0 {
+		t.Errorf("stale-epoch frames = %d, want 0 (dead incarnation drained)", rec.StaleEpochFrames)
+	}
+	if rec.ValidDeliveries <= down.ValidDeliveries {
+		t.Errorf("restart should recover deliveries: %d with vs %d without",
+			rec.ValidDeliveries, down.ValidDeliveries)
+	}
+
+	// Everything published after the rejoin settles delivers on the
+	// reinstalled routes: the final full bucket returns to baseline.
+	if len(rec.Timeline) != len(quiet.Timeline) {
+		t.Fatalf("timeline lengths diverged: quiet %d, rec %d", len(quiet.Timeline), len(rec.Timeline))
+	}
+	q, r := quiet.Timeline[3].Rate(), rec.Timeline[3].Rate()
+	if diff := math.Abs(r - q); diff > 0.15 {
+		t.Errorf("bucket 3: restarted rate %.3f vs quiet %.3f (|Δ| = %.3f > 0.15)", r, q, diff)
+	}
+}
+
+// TestRestartResumeCrossValidation pins the recovery ledger across
+// backends: the same crash–restart–resume plan on the simulator and on
+// the live TCP overlay (real WAL files, real re-dial and epoch
+// handshake, real replay rings) must agree EXACTLY on what was recovered
+// — subscriptions reinstalled from the log, sessions resumed, messages
+// replayed, deadline drops and stale-epoch rejections — and land in the
+// same delivery band.
+//
+// The live run uses the classic data plane: client session replay rings
+// are a classic-plane feature (the sharded plane's local handoff writes
+// message frames straight to the subscriber, bypassing per-session
+// sequencing).
+func TestRestartResumeCrossValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compressed-timescale live cluster run")
+	}
+	quietCfg := restartConfig(t)
+	quiet, err := runtime.Run(quietCfg, simnet.Transport{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	simCfg := restartConfig(t)
+	simCfg.Overlay = quietCfg.Overlay
+	simCfg.Faults = restartFaults()
+	sim, err := runtime.Run(simCfg, simnet.Transport{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	liveCfg := restartConfig(t)
+	liveCfg.Overlay = quietCfg.Overlay
+	liveCfg.Faults = restartFaults()
+	liveCfg.TimeScale = liveRecoveryTimeScale
+	live, err := runtime.Run(liveCfg, livenet.Transport{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The recovery ledger is a deterministic function of the plan on both
+	// backends: exact equality, not bands.
+	if sim.RestartReplayedSubs != live.RestartReplayedSubs {
+		t.Errorf("replayed subs diverged: sim %d, live %d", sim.RestartReplayedSubs, live.RestartReplayedSubs)
+	}
+	if sim.RestartReplayedSubs != 2*10 {
+		t.Errorf("replayed subs = %d, want 20 (every sub in broker 2's log)", sim.RestartReplayedSubs)
+	}
+	if sim.SessionsResumed != 1 || live.SessionsResumed != 1 {
+		t.Errorf("sessions resumed diverged: sim %d, live %d, want 1 each",
+			sim.SessionsResumed, live.SessionsResumed)
+	}
+	if sim.ReplayedMsgs != live.ReplayedMsgs {
+		t.Errorf("replayed messages diverged: sim %d, live %d", sim.ReplayedMsgs, live.ReplayedMsgs)
+	}
+	if sim.ReplayedMsgs == 0 {
+		t.Error("resume replayed nothing despite deliveries during the session outage")
+	}
+	if sim.DroppedDeadline != 0 || live.DroppedDeadline != 0 {
+		t.Errorf("deadline drops diverged from proof: sim %d, live %d, want 0 each",
+			sim.DroppedDeadline, live.DroppedDeadline)
+	}
+	if sim.StaleEpochFrames != 0 || live.StaleEpochFrames != 0 {
+		t.Errorf("stale-epoch frames diverged from proof: sim %d, live %d, want 0 each",
+			sim.StaleEpochFrames, live.StaleEpochFrames)
+	}
+
+	// Detection and repair walk the same plan state: the crash is seen as
+	// broker 2's outgoing arcs, the restart as one warm rejoin.
+	if sim.Detections != live.Detections {
+		t.Errorf("detections diverged: sim %d, live %d", sim.Detections, live.Detections)
+	}
+	if sim.ReroutedPaths != live.ReroutedPaths || sim.RefloodedSubs != live.RefloodedSubs {
+		t.Errorf("repair diverged: sim rerouted %d reflooded %d, live %d and %d",
+			sim.ReroutedPaths, sim.RefloodedSubs, live.ReroutedPaths, live.RefloodedSubs)
+	}
+
+	// Workload identity and the delivery band.
+	if sim.Published != live.Published || sim.TotalTargets != live.TotalTargets {
+		t.Errorf("workload diverged: sim %d/%d, live %d/%d (published/targets)",
+			sim.Published, sim.TotalTargets, live.Published, live.TotalTargets)
+	}
+	if d := math.Abs(sim.DeliveryRate() - live.DeliveryRate()); d > 0.15 {
+		t.Errorf("delivery rates diverged by %.3f: sim %.3f, live %.3f",
+			d, sim.DeliveryRate(), live.DeliveryRate())
+	}
+
+	// Post-rejoin delivery returns to the quiet baseline on BOTH backends.
+	if len(live.Timeline) != len(quiet.Timeline) {
+		t.Fatalf("timeline lengths diverged: quiet %d, live %d", len(quiet.Timeline), len(live.Timeline))
+	}
+	if quiet.Timeline[3].Targets != live.Timeline[3].Targets {
+		t.Errorf("bucket 3 targets diverged: quiet %d, live %d",
+			quiet.Timeline[3].Targets, live.Timeline[3].Targets)
+	}
+	q := quiet.Timeline[3].Rate()
+	for name, r := range map[string]float64{
+		"sim": sim.Timeline[3].Rate(), "live": live.Timeline[3].Rate(),
+	} {
+		if diff := math.Abs(r - q); diff > 0.15 {
+			t.Errorf("bucket 3: %s restarted rate %.3f vs quiet %.3f (|Δ| = %.3f > 0.15)",
+				name, r, q, diff)
+		}
+	}
+}

@@ -44,6 +44,16 @@ type Sink interface {
 	// Overload-protection accounting: queue entries evicted by
 	// pressure-triggered worst-first shedding (see core.Queue.ShedWorst).
 	DroppedShed(n int)
+
+	// Crash-restart accounting, fed by durable recovery on both
+	// backends: routing entries a restarted broker reinstalled from its
+	// log, subscriber sessions resumed, messages replayed to resumed
+	// sessions, and data frames rejected for carrying a dead
+	// incarnation's epoch.
+	SubReplayed(n int)
+	SessionResumed(n int)
+	MsgReplayed(n int)
+	StaleEpoch(n int)
 }
 
 // LockedSink serializes a Sink for concurrent backends. The simulator
@@ -164,4 +174,28 @@ func (l *LockedSink) DroppedShed(n int) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.s.DroppedShed(n)
+}
+
+func (l *LockedSink) SubReplayed(n int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.s.SubReplayed(n)
+}
+
+func (l *LockedSink) SessionResumed(n int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.s.SessionResumed(n)
+}
+
+func (l *LockedSink) MsgReplayed(n int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.s.MsgReplayed(n)
+}
+
+func (l *LockedSink) StaleEpoch(n int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.s.StaleEpoch(n)
 }

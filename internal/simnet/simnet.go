@@ -16,6 +16,7 @@ import (
 
 	"bdps/internal/broker"
 	"bdps/internal/core"
+	"bdps/internal/durable"
 	"bdps/internal/metrics"
 	"bdps/internal/msg"
 	"bdps/internal/routing"
@@ -41,13 +42,15 @@ const (
 	LinkGamma  = runtime.LinkGamma
 )
 
-// Fault is an injected failure; LinkDown, BrokerCrash and LinkLoss are
-// the concrete types.
+// Fault is an injected failure; LinkDown, BrokerCrash, LinkLoss,
+// BrokerRestart and SessionDown are the concrete types.
 type (
-	Fault       = runtime.Fault
-	LinkDown    = runtime.LinkDown
-	BrokerCrash = runtime.BrokerCrash
-	LinkLoss    = runtime.LinkLoss
+	Fault         = runtime.Fault
+	LinkDown      = runtime.LinkDown
+	BrokerCrash   = runtime.BrokerCrash
+	LinkLoss      = runtime.LinkLoss
+	BrokerRestart = runtime.BrokerRestart
+	SessionDown   = runtime.SessionDown
 )
 
 // Transport is the discrete-event backend: deterministic, virtual-time,
@@ -90,10 +93,45 @@ type link struct {
 }
 
 // simFrame is one surviving wire frame of an in-flight transfer (lost
-// transmissions charge link time but never appear here).
+// transmissions charge link time but never appear here). epoch is the
+// sender's incarnation epoch when the frame hit the wire; a frame still
+// in flight when its sender crashes and restarts arrives stale.
 type simFrame struct {
 	m         *msg.Message
 	seq, base uint64
+	epoch     uint32
+}
+
+// simSession is the simulator's model of one suspended subscriber
+// session: the broker-side delivery sequence plus the bounded replay
+// ring the live edge broker retains — sequence and deadline data only,
+// since nothing is rewritten to a wire here. lastAck is the resume
+// token's sequence (the last delivery before the suspension).
+type simSession struct {
+	seq     uint64
+	lastAck uint64
+	ring    []simDelivery
+	limit   int
+}
+
+// simDelivery is one retained delivery: its session sequence and the
+// deadline data the resume gate needs.
+type simDelivery struct {
+	seq                uint64
+	published, allowed vtime.Millis
+}
+
+// record mirrors the live session ring: next sequence, bounded
+// retention with oldest-first eviction.
+func (s *simSession) record(published, allowed vtime.Millis) {
+	s.seq++
+	d := simDelivery{seq: s.seq, published: published, allowed: allowed}
+	if len(s.ring) >= s.limit {
+		copy(s.ring, s.ring[1:])
+		s.ring[len(s.ring)-1] = d
+	} else {
+		s.ring = append(s.ring, d)
+	}
 }
 
 // Network is a deployed simulation, stepped by its engine. Most callers
@@ -110,6 +148,16 @@ type Network struct {
 	links  map[msg.NodeID]map[msg.NodeID]*link
 	dead   map[msg.NodeID]bool
 	tracer trace.Tracer
+
+	// Crash-restart durability: the plan (whose broker/table maps a
+	// restart swaps), the repair engine, per-broker incarnation epochs,
+	// the deploy-time durable snapshots modeling each restartable
+	// broker's WAL, and the suspended subscriber sessions.
+	p        *runtime.Plan
+	det      *runtime.FailureDetector
+	epochs   map[msg.NodeID]uint32
+	walSnaps map[msg.NodeID][]durable.Entry
+	sessions map[msg.SubID]*simSession
 }
 
 // deploy realizes a plan on a fresh engine: links with the plan's
@@ -126,6 +174,10 @@ func deploy(p *runtime.Plan) (*Network, error) {
 		links:     make(map[msg.NodeID]map[msg.NodeID]*link),
 		dead:      make(map[msg.NodeID]bool),
 		tracer:    p.Cfg.Tracer,
+		p:         p,
+		epochs:    make(map[msg.NodeID]uint32),
+		walSnaps:  make(map[msg.NodeID][]durable.Entry),
+		sessions:  make(map[msg.SubID]*simSession),
 	}
 	if n.tracer == nil {
 		n.tracer = trace.Nop{}
@@ -200,7 +252,19 @@ func deploy(p *runtime.Plan) (*Network, error) {
 	if p.Cfg.Recovery.Detect {
 		det = runtime.NewFailureDetector(p, n.Collector, nil)
 	}
+	n.det = det
 	rec := p.Cfg.Recovery
+
+	// Brokers with a scheduled restart get their WAL modeled now: the
+	// durable snapshot a live deployment checkpoints at deploy time.
+	// (Admissions after deployment — churn events — mutate tables
+	// without touching the log on either backend, so the recovered
+	// state is the deployed population on both.)
+	for _, f := range p.Cfg.Faults {
+		if r, ok := f.(BrokerRestart); ok {
+			n.walSnaps[r.ID] = p.SnapshotDurable(r.ID)
+		}
+	}
 	for _, f := range p.Cfg.Faults {
 		switch f := f.(type) {
 		case LinkDown:
@@ -235,9 +299,79 @@ func deploy(p *runtime.Plan) (*Network, error) {
 					det.ArcsDead(arcs, f.At, f.At+rec.HeartbeatTimeout)
 				})
 			}
+		case BrokerRestart:
+			n.Engine.At(f.At, func() { n.restartBroker(f.ID) })
+		case SessionDown:
+			n.Engine.At(f.Start, func() {
+				n.sessions[f.Sub] = &simSession{limit: runtime.SessionRingLimit}
+			})
+			n.Engine.At(f.End, func() { n.resumeSession(f.Sub) })
 		}
 	}
 	return n, nil
+}
+
+// restartBroker brings a crashed broker back as a fresh incarnation:
+// epoch bumped, broker and table rebuilt from the modeled WAL (empty
+// queues — the crash took them), inbound reliable-channel state reset
+// (a live rejoin opens new connections), and the crash evidence
+// withdrawn from the repair engine so routes move back through the
+// rejoined node. The broker's outbound send sequences survive in the
+// links themselves — exactly the watermarks a live WAL restores, so
+// neighbor dedup state never mistakes a post-restart frame for a replay.
+func (n *Network) restartBroker(id msg.NodeID) {
+	delete(n.dead, id)
+	n.epochs[id]++
+	subs, err := n.p.RestartBroker(id, n.walSnaps[id])
+	if err != nil {
+		// The original deployment built this same broker config; a
+		// rebuild cannot fail without the plan being unusable. Leave the
+		// broker dead rather than half-alive.
+		n.dead[id] = true
+		return
+	}
+	if subs > 0 {
+		n.Collector.SubReplayed(subs)
+	}
+	for _, lm := range n.links {
+		if l, ok := lm[id]; ok {
+			l.recv = runtime.NewRecvState(n.cfg.Reliability.Window)
+		}
+	}
+	if n.det != nil {
+		n.det.BrokerRestarted(id, nil)
+	}
+}
+
+// resumeSession ends one suspended subscriber session: the resume
+// accounting of a live client redialing with its token — session
+// resumed, retained deliveries past the token replayed while their
+// bound still holds, expired ones charged to DroppedDeadline.
+func (n *Network) resumeSession(id msg.SubID) {
+	s, ok := n.sessions[id]
+	if !ok {
+		return
+	}
+	now := n.Engine.Now()
+	n.Collector.SessionResumed(1)
+	replayed, expired := 0, 0
+	for _, d := range s.ring {
+		if d.seq <= s.lastAck {
+			continue
+		}
+		if d.allowed <= 0 || now-d.published > d.allowed {
+			expired++
+			continue
+		}
+		replayed++
+	}
+	if expired > 0 {
+		n.Collector.DroppedDeadline(expired)
+	}
+	if replayed > 0 {
+		n.Collector.MsgReplayed(replayed)
+	}
+	delete(n.sessions, id)
 }
 
 // New assembles a ready-to-step network from a config: plan, deployment,
@@ -364,6 +498,11 @@ func (n *Network) process(m *msg.Message, at msg.NodeID) {
 		n.Collector.DeliveredAt(int32(d.SubID), d.Price, d.Published, d.Latency, d.Valid)
 		n.tracer.Emit(trace.Event{T: n.Engine.Now(), Kind: trace.Deliver,
 			MsgID: uint64(m.ID), Broker: int32(at), Peer: int32(d.SubID)})
+		if s, ok := n.sessions[d.SubID]; ok {
+			// A suspended session retains the delivery for the resume
+			// replay, exactly as the live edge broker's session ring does.
+			s.record(d.Published, d.Allowed)
+		}
 	}
 	if res.ArrivalDrops > 0 {
 		n.Collector.DroppedOnArrival(res.ArrivalDrops)
@@ -453,10 +592,11 @@ func (n *Network) kick(from, to msg.NodeID) {
 				MsgID: uint64(m.ID), Broker: int32(from), Note: "deadline-retx"})
 			return false
 		}
-		frames = append(frames, simFrame{m: m, seq: l.seq})
+		epoch := n.epochs[from]
+		frames = append(frames, simFrame{m: m, seq: l.seq, epoch: epoch})
 		if out.Dup {
 			tx += size * l.sampler.Sample(l.stream)
-			frames = append(frames, simFrame{m: m, seq: l.seq})
+			frames = append(frames, simFrame{m: m, seq: l.seq, epoch: epoch})
 		}
 		return true
 	}
@@ -500,6 +640,14 @@ func (n *Network) linkDone(l *link) {
 	l.busy = false
 	deliver := l.scratch[:0]
 	for _, f := range l.frames {
+		if f.epoch < n.epochs[l.from] {
+			// The frame was in flight when its sender crashed and
+			// restarted: it carries a dead incarnation's epoch, and the
+			// receiver discards it exactly as a live node rejects stale
+			// frames from a reborn neighbor.
+			n.Collector.StaleEpoch(1)
+			continue
+		}
 		var dup bool
 		var healed int
 		deliver, dup, healed = l.recv.Accept(f.seq, f.base, f.m, deliver[:0])
